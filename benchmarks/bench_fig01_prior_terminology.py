@@ -1,0 +1,31 @@
+"""Figure 1 — "Types of Time": the prior literature's terminology.
+
+Regenerates the paper's survey table of how earlier papers characterized
+their time attributes (append-only?, application-independent?,
+representation vs. reality) and benchmarks the classification machinery.
+
+Run:  pytest benchmarks/bench_fig01_prior_terminology.py --benchmark-only -s
+"""
+
+from repro.core.taxonomy import FIGURE_1, Models, render_figure_1
+
+
+def test_figure_1(benchmark):
+    table = benchmark(render_figure_1)
+
+    # The reproduced table carries every row of the paper's Figure 1.
+    assert len(FIGURE_1) == 13
+    for term in FIGURE_1:
+        assert term.terminology.split(" (")[0] in table
+    # Spot-check the semantics of key rows against the paper.
+    ben_zvi_registration = next(t for t in FIGURE_1
+                                if t.terminology == "Registration")
+    assert ben_zvi_registration.append_only is True
+    assert ben_zvi_registration.models is Models.REPRESENTATION
+    jones_user_defined = next(t for t in FIGURE_1
+                              if t.terminology == "User Defined")
+    assert jones_user_defined.application_independent is False
+
+    print()
+    print("Figure 1: Types of Time (prior terminology)")
+    print(table)

@@ -1,0 +1,35 @@
+"""Figure 2 — a static relation, and §4.1's Quel query.
+
+Rebuilds the static ``faculty`` relation from the paper's update narrative
+and benchmarks the paper's first query:
+
+    range of f is faculty
+    retrieve (f.rank) where f.name = "Merrie"     ->  full
+
+Run:  pytest benchmarks/bench_fig02_static_relation.py --benchmark-only -s
+"""
+
+from repro.core import StaticDatabase
+
+from benchmarks.scenario import build_faculty, tquel_session
+
+
+def test_figure_2(benchmark):
+    database, _ = build_faculty(StaticDatabase)
+    session = tquel_session(database)
+    query = 'retrieve (f.rank) where f.name = "Merrie"'
+
+    result = benchmark(session.query, query)
+
+    # The paper's printed answer.
+    assert result.to_dicts() == [{"rank": "full"}]
+    # The relation itself matches Figure 2's instance.
+    assert {(row["name"], row["rank"])
+            for row in database.snapshot("faculty")} == {
+        ("Merrie", "full"), ("Tom", "associate")}
+
+    print()
+    print(database.snapshot("faculty").pretty(
+        "Figure 2: a static relation ('faculty')"))
+    print()
+    print(session.render(result, title=f"§4.1 query: {query}"))

@@ -1,0 +1,82 @@
+"""Figure 5 — an historical relation: same transactions, different axis.
+
+Figure 5 runs the *same* transaction sequence as Figure 3, but on a
+historical database — and then a later transaction "has removed an
+erroneous tuple inserted on the first transaction", which is impossible
+on a rollback relation.  The reproduced check: after the error removal,
+no timeslice of the historical relation ever shows the erroneous tuple —
+the correction rewrote the past — while the rollback database from
+Figure 3 can still produce it.
+
+Run:  pytest benchmarks/bench_fig05_historical_cube.py --benchmark-only -s
+"""
+
+from repro.core import HistoricalDatabase, RollbackDatabase
+from repro.relational import Domain, Schema
+from repro.time import Instant, SimulatedClock
+
+
+def build_pair():
+    """The Figure 3/5 narrative on both kinds, plus the error removal."""
+    databases = {}
+    for label, db_class in (("rollback", RollbackDatabase),
+                            ("historical", HistoricalDatabase)):
+        clock = SimulatedClock("01/01/80")
+        database = db_class(clock=clock)
+        database.define("r", Schema.of(name=Domain.STRING))
+        historical = database.kind.supports_historical_queries
+
+        def args(**valid):
+            return valid if historical else {}
+
+        with database.begin() as txn:
+            for name in ("a", "b", "c"):
+                database.insert("r", {"name": name},
+                                **args(valid_from="01/01/80"), txn=txn)
+        clock.advance(1)
+        database.insert("r", {"name": "d"}, **args(valid_from="01/02/80"))
+        clock.advance(1)
+        with database.begin() as txn:
+            database.delete("r", {"name": "a"},
+                            **args(valid_from="01/03/80"), txn=txn)
+            database.insert("r", {"name": "e"},
+                            **args(valid_from="01/03/80"), txn=txn)
+        # The later transaction of Figure 5: tuple 'b' was an error and is
+        # removed outright (all validity) — only historical DBs can.
+        clock.advance(1)
+        if historical:
+            database.delete("r", {"name": "b"})
+        databases[label] = (database, clock)
+    return databases
+
+
+def test_figure_5(benchmark):
+    databases = build_pair()
+    historical_db, clock = databases["historical"]
+    rollback_db, _ = databases["rollback"]
+
+    probes = [Instant.parse(f"01/0{day}/80") for day in range(1, 5)]
+
+    def timeslice_sweep():
+        return [historical_db.timeslice("r", probe) for probe in probes]
+
+    slices = benchmark(timeslice_sweep)
+
+    # The error is gone from *every* valid instant of the historical DB.
+    for timeslice in slices:
+        assert "b" not in timeslice.column("name")
+    # ...but the rollback DB can still roll back to the incorrect state:
+    # "Static rollback DBMS's can rollback to an incorrect previous static
+    # relation; historical DBMS's can record the current knowledge about
+    # the past."
+    assert "b" in rollback_db.rollback("r", "01/02/80").column("name")
+
+    print()
+    print("Figure 5: an historical relation (after removing erroneous 'b')")
+    print(historical_db.history("r").pretty("r"))
+    print()
+    for probe, timeslice in zip(probes, slices):
+        names = ", ".join(sorted(timeslice.column("name"))) or "(empty)"
+        print(f"  valid at {probe}: {{{names}}}")
+    print(f"  rollback DB still shows the error as of 01/02/80: "
+          f"{sorted(rollback_db.rollback('r', '01/02/80').column('name'))}")

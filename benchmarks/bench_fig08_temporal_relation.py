@@ -1,0 +1,68 @@
+"""Figure 8 — the bitemporal faculty relation, and §4.4's two queries.
+
+Rebuilds Figure 8's seven-row bitemporal table from the transaction
+narrative, asserts it cell-for-cell, and benchmarks the paper's query at
+both as-of instants — the same question giving two answers:
+
+    retrieve (f1.rank) where f1.name = "Merrie" and f2.name = "Tom"
+    when f1 overlap start of f2 as of "12/10/82"   ->  associate
+    ... as of "12/20/82"                            ->  full
+
+Run:  pytest benchmarks/bench_fig08_temporal_relation.py --benchmark-only -s
+"""
+
+from repro.core import TemporalDatabase
+
+from benchmarks.scenario import build_faculty, tquel_session
+
+QUERY = ('retrieve (f1.rank) where f1.name = "Merrie" and f2.name = "Tom" '
+         'when f1 overlap start of f2 as of "{}"')
+
+FIGURE_8 = {
+    ("Merrie", "associate", "09/01/77", "∞", "08/25/77", "12/15/82"),
+    ("Merrie", "associate", "09/01/77", "12/01/82", "12/15/82", "∞"),
+    ("Merrie", "full", "12/01/82", "∞", "12/15/82", "∞"),
+    ("Tom", "full", "12/05/82", "∞", "12/01/82", "12/07/82"),
+    ("Tom", "associate", "12/05/82", "∞", "12/07/82", "∞"),
+    ("Mike", "assistant", "01/01/83", "∞", "01/10/83", "02/25/84"),
+    ("Mike", "assistant", "01/01/83", "03/01/84", "02/25/84", "∞"),
+}
+
+
+def test_figure_8(benchmark):
+    database, _ = build_faculty(TemporalDatabase)
+    session = tquel_session(database)
+
+    def both_queries():
+        return (session.query(QUERY.format("12/10/82")),
+                session.query(QUERY.format("12/20/82")))
+
+    early, late = benchmark(both_queries)
+
+    # The stored relation is exactly Figure 8, all seven rows.
+    rows = {(r.data["name"], r.data["rank"],
+             r.valid.start.paper_format(), r.valid.end.paper_format(),
+             r.tt.start.paper_format(), r.tt.end.paper_format())
+            for r in database.temporal("faculty").rows}
+    assert rows == FIGURE_8
+
+    # As of 12/10/82 — the paper's printed result row, all six columns.
+    assert len(early) == 1
+    row = early.rows[0]
+    assert row.data["rank"] == "associate"
+    assert (row.valid.start.paper_format(),
+            row.valid.end.paper_format()) == ("09/01/77", "∞")
+    assert (row.tt.start.paper_format(),
+            row.tt.end.paper_format()) == ("08/25/77", "12/15/82")
+
+    # As of 12/20/82 — "the answer would be full because the fact was
+    # recorded retroactively by that time".
+    assert [r.data["rank"] for r in late.rows] == ["full"]
+
+    print()
+    print(database.temporal("faculty").pretty(
+        "Figure 8: a temporal relation"))
+    print()
+    print(session.render(early, title="§4.4 query as of 12/10/82:"))
+    print()
+    print(session.render(late, title="§4.4 query as of 12/20/82:"))

@@ -1,0 +1,70 @@
+"""Figure 10 — "Types of Databases": the 2x2 classification, live.
+
+Renders the classification table, and — beyond the static data — verifies
+it *behaviourally*: for each cell, the corresponding database class
+supports exactly the advertised capabilities, accepting or rejecting
+rollback and historical queries accordingly.  Benchmarks classification
+plus the capability probes.
+
+Run:  pytest benchmarks/bench_fig10_database_kinds.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.core import (DatabaseKind, HistoricalDatabase, RollbackDatabase,
+                        StaticDatabase, TemporalDatabase, classify,
+                        render_figure_10)
+from repro.errors import (HistoricalNotSupportedError,
+                          RollbackNotSupportedError)
+from repro.relational import Domain, Schema
+from repro.time import SimulatedClock
+
+KINDS = [
+    (StaticDatabase, DatabaseKind.STATIC),
+    (RollbackDatabase, DatabaseKind.STATIC_ROLLBACK),
+    (HistoricalDatabase, DatabaseKind.HISTORICAL),
+    (TemporalDatabase, DatabaseKind.TEMPORAL),
+]
+
+
+def probe_all():
+    """Exercise every cell of Figure 10 against a live database."""
+    outcomes = {}
+    for db_class, expected_kind in KINDS:
+        database = db_class(clock=SimulatedClock("01/01/80"))
+        database.define("r", Schema.of(x=Domain.STRING))
+        assert database.kind is expected_kind
+        assert classify(database.supports_rollback,
+                        database.supports_historical_queries) is expected_kind
+        can_rollback = True
+        try:
+            database.rollback("r", "01/01/80")
+        except RollbackNotSupportedError:
+            can_rollback = False
+        can_timeslice = True
+        try:
+            database.timeslice("r", "01/01/80")
+        except HistoricalNotSupportedError:
+            can_timeslice = False
+        outcomes[expected_kind] = (can_rollback, can_timeslice)
+    return outcomes
+
+
+def test_figure_10(benchmark):
+    outcomes = benchmark(probe_all)
+
+    assert outcomes == {
+        DatabaseKind.STATIC: (False, False),
+        DatabaseKind.STATIC_ROLLBACK: (True, False),
+        DatabaseKind.HISTORICAL: (False, True),
+        DatabaseKind.TEMPORAL: (True, True),
+    }
+
+    print()
+    print("Figure 10: Types of Databases")
+    print(render_figure_10())
+    print()
+    print("...verified against live databases:")
+    for kind, (can_rollback, can_timeslice) in outcomes.items():
+        print(f"  {str(kind):16s} rollback={'yes' if can_rollback else 'no ':3s}"
+              f" historical={'yes' if can_timeslice else 'no'}")

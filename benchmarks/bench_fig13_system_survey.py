@@ -1,0 +1,43 @@
+"""Figure 13 — time support in existing or proposed systems (1985).
+
+Regenerates the survey table and derives, through :func:`classify`, the
+paper's concluding observation: fifteen years of work had produced many
+static databases, a few rollback implementations and historical
+formalizations, and almost nothing temporal.  Benchmarks the survey
+classification sweep.
+
+Run:  pytest benchmarks/bench_fig13_system_survey.py --benchmark-only -s
+"""
+
+from collections import Counter
+
+from repro.core import DatabaseKind, FIGURE_13, render_figure_13
+
+
+def classify_survey():
+    return Counter(system.database_kind for system in FIGURE_13)
+
+
+def test_figure_13(benchmark):
+    by_kind = benchmark(classify_survey)
+
+    assert len(FIGURE_13) == 17
+    # The paper's landscape: mostly static/historical designs, a handful
+    # of rollback stores, and TRM + TQuel as the only temporal entries.
+    temporal_systems = {s.system for s in FIGURE_13
+                        if s.database_kind is DatabaseKind.TEMPORAL}
+    assert temporal_systems == {"TRM", "TQuel"}
+    assert by_kind[DatabaseKind.TEMPORAL] == 2
+    assert by_kind[DatabaseKind.STATIC_ROLLBACK] == 5
+    assert by_kind[DatabaseKind.HISTORICAL] == 6
+    assert by_kind[DatabaseKind.STATIC] == 4
+
+    print()
+    print("Figure 13: Time Support in Existing or Proposed Systems")
+    print(render_figure_13())
+    print()
+    print("Derived database kinds (via classify):")
+    for kind in DatabaseKind:
+        systems = sorted(s.system for s in FIGURE_13
+                         if s.database_kind is kind)
+        print(f"  {str(kind):16s} ({by_kind[kind]:2d}): {', '.join(systems)}")

@@ -1,0 +1,70 @@
+"""Historical query costs: timeslice, when-joins, coalescing.
+
+§4.3: "more sophisticated operations are necessary to manipulate the
+complex semantics of valid time adequately, compared to the simple
+rollback operation."  This bench quantifies that claim — on identically
+sized stores, a valid-timeslice is a scan like a rollback, but a ``when``
+join is a product over fact pairs, and coalescing is the canonicalization
+pass everything else leans on.
+
+Run:  pytest benchmarks/bench_historical_queries.py --benchmark-only -s
+"""
+
+import time
+
+from repro.core import HistoricalDatabase, when_join
+from repro.time import Instant, SimulatedClock
+from repro.workload import FacultyWorkload, apply_workload
+
+SIZES = [10, 20, 40]
+REPEATS = 50
+
+
+def build(people):
+    workload = FacultyWorkload(people=people, events_per_person=4, seed=5)
+    database = HistoricalDatabase(clock=SimulatedClock("01/01/79"))
+    apply_workload(database, workload)
+    return database
+
+
+def timed(repeat, operation):
+    start = time.perf_counter()
+    for _ in range(repeat):
+        operation()
+    return (time.perf_counter() - start) / repeat * 1e6
+
+
+def test_historical_queries(benchmark):
+    probe = Instant.parse("06/01/82")
+    rows = []
+    for people in SIZES:
+        database = build(people)
+        history = database.history("faculty")
+        timeslice_us = timed(REPEATS,
+                             lambda: history.timeslice(probe))
+        join_us = timed(max(1, REPEATS // 10), lambda: when_join(
+            history, history, when=lambda a, b: a.overlaps(b)))
+        coalesce_us = timed(REPEATS, history.coalesce)
+        rows.append((people, len(history), timeslice_us, join_us,
+                     coalesce_us))
+
+    database = build(SIZES[1])
+    history = database.history("faculty")
+    benchmark(history.timeslice, probe)
+
+    print()
+    print("historical operation cost vs. store size (microseconds)")
+    print(f"{'people':>7} {'facts':>6} {'timeslice':>10} {'when-join':>11} "
+          f"{'coalesce':>9}")
+    for people, facts, timeslice_us, join_us, coalesce_us in rows:
+        print(f"{people:>7} {facts:>6} {timeslice_us:>10.1f} "
+              f"{join_us:>11.1f} {coalesce_us:>9.1f}")
+    print()
+    print("timeslice scales like the rollback scan; the when-join pays a")
+    print("pairwise product — the 'more sophisticated operations' of §4.3.")
+
+    # Shape: the join is superlinear relative to the slice.
+    first, last = rows[0], rows[-1]
+    slice_growth = last[2] / first[2]
+    join_growth = last[3] / first[3]
+    assert join_growth > slice_growth

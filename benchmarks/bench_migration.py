@@ -1,0 +1,70 @@
+"""Migration cost: what upgrading up the taxonomy takes.
+
+The paper's conclusion urges systems to support all three times; this
+bench prices the upgrade path for an existing store: migrating a rollback
+database of growing history into a temporal one (a full replay of every
+commit) versus the cheap snapshot-only upgrades, with the diagonal
+correctness property asserted before timing.
+
+Run:  pytest benchmarks/bench_migration.py --benchmark-only -s
+"""
+
+import time
+
+from repro.core import (HistoricalDatabase, RollbackDatabase, StaticDatabase,
+                        TemporalDatabase, migrate)
+from repro.time import Instant, SimulatedClock
+from repro.workload import FacultyWorkload, apply_workload
+
+SIZES = [10, 20, 40]
+
+
+def build_rollback(people):
+    database = RollbackDatabase(clock=SimulatedClock("01/01/79"))
+    apply_workload(database, FacultyWorkload(people=people,
+                                             events_per_person=4, seed=37))
+    return database
+
+
+def timed_once(operation):
+    start = time.perf_counter()
+    result = operation()
+    return result, (time.perf_counter() - start) * 1e3
+
+
+def test_migration(benchmark):
+    base = Instant.parse("01/01/80").chronon
+    rows = []
+    for people in SIZES:
+        source = build_rollback(people)
+        transactions = len(source.log)
+
+        target, replay_ms = timed_once(
+            lambda: migrate(source, TemporalDatabase))
+        # Diagonal correctness before the numbers mean anything.
+        for offset in range(0, 1200, 211):
+            when = Instant.from_chronon(base + offset)
+            assert target.rollback("faculty", when).timeslice(when) == \
+                source.rollback("faculty", when)
+
+        _, snapshot_ms = timed_once(
+            lambda: migrate(source, StaticDatabase, allow_loss=True))
+        rows.append((people, transactions, replay_ms, snapshot_ms))
+
+    source = build_rollback(SIZES[0])
+    benchmark(migrate, source, TemporalDatabase)
+
+    print()
+    print("migration cost (milliseconds)")
+    print(f"{'people':>7} {'txns':>5} {'replay->temporal':>17} "
+          f"{'snapshot->static':>17}")
+    for people, transactions, replay_ms, snapshot_ms in rows:
+        print(f"{people:>7} {transactions:>5} {replay_ms:>17.1f} "
+              f"{snapshot_ms:>17.1f}")
+    print()
+    print("replay re-commits every transaction at its original instant so")
+    print("old rollbacks keep answering; the snapshot downgrade copies one")
+    print("state and discards the axis (allow_loss=True).")
+
+    # Shape: replay cost grows with history; the snapshot copy barely does.
+    assert rows[-1][2] > rows[0][2]

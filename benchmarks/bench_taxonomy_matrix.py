@@ -1,0 +1,125 @@
+"""The whole taxonomy, head to head: one workload, four database kinds.
+
+Applies one identical workload to all four kinds and measures what each
+can answer and at what cost:
+
+- **snapshot** (all four kinds) — and they agree wherever defined;
+- **rollback / as-of** (rollback + temporal only);
+- **timeslice / historical** (historical + temporal only);
+- **bitemporal point** (temporal only);
+
+plus the per-kind storage bill.  The result is Figure 10 as a
+cost/capability matrix: each step up in capability is paid for in rows
+stored and microseconds per query.
+
+Run:  pytest benchmarks/bench_taxonomy_matrix.py --benchmark-only -s
+"""
+
+import time
+
+from repro.core import (HistoricalDatabase, RollbackDatabase, StaticDatabase,
+                        TemporalDatabase)
+from repro.errors import TemporalSupportError
+from repro.time import Instant, SimulatedClock
+from repro.workload import PayrollWorkload, apply_workload
+
+REPEATS = 100
+KINDS = [("static", StaticDatabase), ("rollback", RollbackDatabase),
+         ("historical", HistoricalDatabase), ("temporal", TemporalDatabase)]
+
+
+def build_all():
+    workload = PayrollWorkload(employees=20, months=12, seed=17)
+    steps = workload.steps()
+    databases = {}
+    for label, db_class in KINDS:
+        database = db_class(clock=SimulatedClock("01/01/79"))
+        apply_workload(database, workload, steps=steps)
+        database.manager.clock.source.set("01/01/90")
+        databases[label] = database
+    return databases
+
+
+def timed_or_none(operation):
+    try:
+        operation()  # probe support first
+    except TemporalSupportError:
+        return None
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        operation()
+    return (time.perf_counter() - start) / REPEATS * 1e6
+
+
+def storage_rows(database):
+    if isinstance(database, TemporalDatabase):
+        return len(database.temporal("payroll"))
+    if isinstance(database, HistoricalDatabase):
+        return len(database.history("payroll"))
+    if isinstance(database, RollbackDatabase):
+        return len(database.store("payroll"))
+    return len(database.snapshot("payroll"))
+
+
+def test_taxonomy_matrix(benchmark):
+    databases = build_all()
+    valid_probe = Instant.parse("06/15/80")
+    txn_probe = Instant.parse("06/01/80")
+
+    matrix = {}
+    for label, database in databases.items():
+        matrix[label] = {
+            "rows": storage_rows(database),
+            "snapshot": timed_or_none(lambda: database.snapshot("payroll")),
+            "as_of": timed_or_none(
+                lambda: database.rollback("payroll", txn_probe)),
+            "timeslice": timed_or_none(
+                lambda: database.timeslice("payroll", valid_probe)),
+            "bitemporal": (timed_or_none(lambda: database.timeslice(
+                "payroll", valid_probe, as_of=txn_probe))
+                if isinstance(database, TemporalDatabase) else None),
+        }
+
+    # Capability pattern == Figure 10.
+    assert matrix["static"]["as_of"] is None
+    assert matrix["static"]["timeslice"] is None
+    assert matrix["rollback"]["as_of"] is not None
+    assert matrix["rollback"]["timeslice"] is None
+    assert matrix["historical"]["as_of"] is None
+    assert matrix["historical"]["timeslice"] is not None
+    assert all(matrix["temporal"][op] is not None
+               for op in ("snapshot", "as_of", "timeslice", "bitemporal"))
+
+    # Agreement wherever two kinds share a capability.
+    assert databases["static"].snapshot("payroll") == \
+        databases["rollback"].snapshot("payroll")
+    assert databases["historical"].history("payroll") == \
+        databases["temporal"].history("payroll")
+    # (A rollback DB's as-of state and a temporal DB's rollback are not
+    # directly comparable under retroactive workloads: the former holds
+    # the then-current snapshot, the latter the then-current *historical*
+    # state.  Their agreement on shared ground is the history check above.)
+
+    # Storage ordering: each capability costs rows.
+    assert (matrix["static"]["rows"] <= matrix["rollback"]["rows"]
+            <= matrix["temporal"]["rows"])
+
+    benchmark(databases["temporal"].timeslice, "payroll", valid_probe,
+              as_of=txn_probe)
+
+    print()
+    print("The taxonomy as a cost/capability matrix (us/query; '-' = "
+          "unsupported, by type)")
+    header = (f"{'kind':>11} {'rows':>6} {'snapshot':>9} {'as-of':>8} "
+              f"{'timeslice':>10} {'bitemporal':>11}")
+    print(header)
+    for label, row in matrix.items():
+        def cell(value):
+            return f"{value:.1f}" if value is not None else "-"
+        print(f"{label:>11} {row['rows']:>6} {cell(row['snapshot']):>9} "
+              f"{cell(row['as_of']):>8} {cell(row['timeslice']):>10} "
+              f"{cell(row['bitemporal']):>11}")
+    print()
+    print("Reading: capability strictly grows down the table (Figure 10),")
+    print("and so do storage and the cost of the richest query each kind")
+    print("supports — the price of remembering more.")

@@ -1,0 +1,100 @@
+"""Shared scenario builders for the benchmark harness.
+
+Every figure-bench reconstructs the paper's examples from their
+transaction narratives using these helpers; the performance benches scale
+the same shapes up with the generators in :mod:`repro.workload`.
+"""
+
+from repro.core import (HistoricalDatabase, RollbackDatabase, StaticDatabase,
+                        TemporalDatabase)
+from repro.relational import Attribute, Domain, Schema
+from repro.time import Instant, SimulatedClock
+
+RANK = Domain.enumeration("rank", "assistant", "associate", "full")
+
+
+def faculty_schema() -> Schema:
+    """The paper's ``faculty(name, rank)`` schema with ``name`` as key."""
+    return Schema.of(key=["name"], name=Domain.STRING, rank=RANK)
+
+
+def build_faculty(db_class, **db_kwargs):
+    """The paper's Section-4 faculty history, in a database of any kind.
+
+    Transactions (see Figures 4, 6, 8):
+
+    ========  =====================================================
+    08/25/77  Merrie recorded as associate, valid from 09/01/77
+    12/01/82  Tom recorded as full, valid from 12/05/82
+    12/07/82  correction: Tom is actually an associate
+    12/15/82  Merrie's retroactive promotion, valid from 12/01/82
+    01/10/83  Mike recorded as assistant, valid from 01/01/83
+    02/25/84  Mike leaves effective 03/01/84
+    ========  =====================================================
+    """
+    clock = SimulatedClock("01/01/77")
+    database = db_class(clock=clock, **db_kwargs)
+    database.define("faculty", faculty_schema())
+    historical = database.kind.supports_historical_queries
+
+    def args(**valid):
+        return valid if historical else {}
+
+    clock.set("08/25/77")
+    database.insert("faculty", {"name": "Merrie", "rank": "associate"},
+                    **args(valid_from="09/01/77"))
+    clock.set("12/01/82")
+    database.insert("faculty", {"name": "Tom", "rank": "full"},
+                    **args(valid_from="12/05/82"))
+    clock.set("12/07/82")
+    database.replace("faculty", {"name": "Tom"}, {"rank": "associate"},
+                     **args(valid_from="12/05/82"))
+    clock.set("12/15/82")
+    database.replace("faculty", {"name": "Merrie"}, {"rank": "full"},
+                     **args(valid_from="12/01/82"))
+    clock.set("01/10/83")
+    database.insert("faculty", {"name": "Mike", "rank": "assistant"},
+                    **args(valid_from="01/01/83"))
+    clock.set("02/25/84")
+    database.delete("faculty", {"name": "Mike"},
+                    **args(valid_from="03/01/84"))
+    return database, clock
+
+
+def build_promotion_event_relation():
+    """The Figure-9 'promotion' temporal event relation, from its narrative."""
+    clock = SimulatedClock("01/01/77")
+    database = TemporalDatabase(clock=clock)
+    rank = Domain.enumeration("rank", "assistant", "associate", "full",
+                              "left")
+    schema = Schema([
+        Attribute("name", Domain.STRING),
+        Attribute("rank", rank),
+        Attribute("effective date", Domain.user_defined_time("effective date")),
+    ])
+    database.define("promotion", schema, event=True)
+
+    rows = [
+        ("08/25/77", "Merrie", "associate", "09/01/77", "08/25/77"),
+        ("12/01/82", "Tom", "full", "12/05/82", "12/05/82"),
+        ("12/07/82", "Tom", "associate", "12/05/82", "12/07/82"),
+        ("12/15/82", "Merrie", "full", "12/01/82", "12/11/82"),
+        ("01/10/83", "Mike", "assistant", "01/01/83", "01/01/83"),
+        ("02/25/84", "Mike", "left", "03/01/84", "02/25/84"),
+    ]
+    for commit, name, rank_value, effective, valid_at in rows:
+        clock.set(commit)
+        database.insert("promotion",
+                        {"name": name, "rank": rank_value,
+                         "effective date": Instant.parse(effective)},
+                        valid_at=valid_at)
+    return database, clock
+
+
+def tquel_session(database):
+    """A session with range variables f, f1, f2 over 'faculty'."""
+    from repro.tquel import Session
+    session = Session(database)
+    for variable in ("f", "f1", "f2"):
+        session.execute(f"range of {variable} is faculty")
+    return session

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""The adoption path: from static to temporal, one upgrade at a time.
+
+The paper closes by arguing that "future database management systems
+should support all three times to fully capture time varying behavior."
+This example plays out how a real shop gets there, using
+``repro.core.migrate``:
+
+1. year one — a plain **static** inventory database (all anyone had in
+   1985);
+2. an audit requirement arrives — upgrade to **static rollback**: from
+   now on every state is retrievable;
+3. the business needs effectivity dates — upgrade to **temporal** (the
+   rollback history is *replayed*, so the pre-upgrade states remain
+   queryable) and retroactive corrections start carrying their real
+   valid times;
+4. a reporting replica that only needs current reality is **downgraded**
+   to historical — explicitly acknowledging the loss of the transaction
+   axis.
+
+Run:  python examples/adoption_path.py
+"""
+
+from repro import Domain, Schema, SimulatedClock
+from repro.core import (HistoricalDatabase, RollbackDatabase, StaticDatabase,
+                        TemporalDatabase, migrate)
+from repro.errors import TemporalSupportError
+
+
+def main():
+    clock = SimulatedClock("01/01/80")
+
+    # -- stage 1: the static years --------------------------------------------
+    static_db = StaticDatabase(clock=clock)
+    static_db.define("stock", Schema.of(
+        key=["item"], item=Domain.STRING, qty=Domain.INTEGER))
+    static_db.insert("stock", {"item": "widget", "qty": 100})
+    clock.set("03/01/80")
+    static_db.replace("stock", {"item": "widget"}, {"qty": 80})
+    clock.set("05/01/80")
+    static_db.insert("stock", {"item": "gadget", "qty": 50})
+    print("Stage 1 — static database; only today's stock exists:")
+    print(static_db.snapshot("stock").pretty("stock"))
+    print("  (the March state of 100 widgets is gone forever)")
+
+    # -- stage 2: the auditors arrive ------------------------------------------
+    clock.set("06/01/80")
+    rollback_db = migrate(static_db, RollbackDatabase,
+                          clock=SimulatedClock("06/01/80"))
+    rb_clock = rollback_db.manager.clock.source
+    rb_clock.set("07/01/80")
+    rollback_db.replace("stock", {"item": "widget"}, {"qty": 65})
+    rb_clock.set("09/01/80")
+    rollback_db.delete("stock", {"item": "gadget"})
+    print()
+    print("Stage 2 — migrated to static rollback on 06/01/80:")
+    print("  as of 06/15/80:",
+          sorted((r['item'], r['qty'])
+                 for r in rollback_db.rollback("stock", "06/15/80")))
+    print("  as of 08/01/80:",
+          sorted((r['item'], r['qty'])
+                 for r in rollback_db.rollback("stock", "08/01/80")))
+    print("  (every post-migration state is retrievable; pre-migration")
+    print("   history was never recorded and honestly reads as empty:",
+          rollback_db.rollback("stock", "02/01/80").is_empty, ")")
+
+    # -- stage 3: effectivity dates — go temporal -------------------------------
+    temporal_db = migrate(rollback_db, TemporalDatabase)
+    t_clock = temporal_db.manager.clock.source
+    t_clock.set("11/01/80")
+    # A retroactive correction, at last expressible: the September gadget
+    # write-off actually happened in August.
+    temporal_db.insert("stock", {"item": "gizmo", "qty": 10},
+                       valid_from="10/15/80")
+    print()
+    print("Stage 3 — migrated to temporal (rollback history replayed):")
+    print("  as of 08/01/80, sliced at 08/01/80:",
+          sorted((r['item'], r['qty'])
+                 for r in temporal_db.timeslice("stock", "08/01/80",
+                                                as_of="08/01/80")))
+    print("  the old rollback answers survive the upgrade:",
+          temporal_db.rollback("stock", "08/01/80").timeslice("08/01/80")
+          == rollback_db.rollback("stock", "08/01/80"))
+    print(temporal_db.temporal("stock").pretty("stock (bitemporal)"))
+
+    # -- stage 4: a lossy replica, eyes open -------------------------------------
+    print()
+    print("Stage 4 — a reporting replica without the transaction axis:")
+    try:
+        migrate(temporal_db, HistoricalDatabase)
+    except TemporalSupportError as error:
+        print(f"  refused by default: {error}")
+    replica = migrate(temporal_db, HistoricalDatabase, allow_loss=True)
+    print("  with allow_loss=True, current history carried over:",
+          replica.history("stock") == temporal_db.history("stock"))
+    print("  and the replica, as promised, cannot roll back:",
+          not replica.supports_rollback)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Durable audit trails: the journal, replay, and dump/load.
+
+Because transaction time is append-only and system-assigned, the commit
+journal is a *complete* description of a temporal database — this example
+demonstrates that operationally:
+
+1. run a bitemporal scenario with every commit journaled to disk;
+2. "lose" the database and rebuild it by replaying the journal — every
+   rollback answer survives, commit times included;
+3. dump/load the database as JSON as an alternative persistence path;
+4. show the journal doubling as a human-auditable trail.
+
+Run:  python examples/audit_trail.py
+"""
+
+import os
+import tempfile
+
+from repro import Session, SimulatedClock, TemporalDatabase
+from repro.storage import Journal, dumps_database, loads_database
+
+
+def build(journal_path):
+    clock = SimulatedClock("01/01/84")
+    database = TemporalDatabase(clock=clock)
+    Journal(journal_path).bind(database)
+    session = Session(database)
+    run = session.execute
+
+    run("create accounts (owner = string, balance = integer) key (owner)")
+    run("range of a is accounts")
+    clock.set("01/05/84")
+    run('append to accounts (owner = "ada", balance = 1000) '
+        'valid from "01/05/84"')
+    clock.set("02/01/84")
+    run('append to accounts (owner = "bob", balance = 500) '
+        'valid from "02/01/84"')
+    clock.set("03/10/84")
+    run('replace a (balance = 750) where a.owner = "ada" '
+        'valid from "03/10/84"')
+    clock.set("04/02/84")
+    # A correction: bob's opening balance was recorded wrong all along.
+    run('replace a (balance = 550) where a.owner = "bob" '
+        'valid from "02/01/84"')
+    return session, clock
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_path = os.path.join(tmp, "accounts.journal")
+        session, clock = build(journal_path)
+        database = session.database
+
+        print("The live database (bitemporal):")
+        print(database.temporal("accounts").pretty("accounts"))
+
+        print()
+        print("The journal on disk — one JSON line per commit:")
+        with open(journal_path) as handle:
+            for line in handle:
+                print(" ", line.rstrip()[:100] + ("…" if len(line) > 100
+                                                  else ""))
+
+        # -- disaster strikes: rebuild from the journal ------------------------
+        print()
+        print("Rebuilding from the journal alone...")
+        rebuilt = Journal(journal_path).replay(TemporalDatabase)
+        checks = {
+            "bitemporal store identical":
+                rebuilt.temporal("accounts") == database.temporal("accounts"),
+            "rollback to 03/15/84 identical":
+                rebuilt.rollback("accounts", "03/15/84")
+                == database.rollback("accounts", "03/15/84"),
+            "commit times identical":
+                [r.commit_time for r in rebuilt.log]
+                == [r.commit_time for r in database.log],
+        }
+        for label, passed in checks.items():
+            print(f"  {label}: {'OK' if passed else 'FAILED'}")
+
+        # -- the audit question the journal answers -----------------------------
+        print()
+        print("Audit: what did we believe bob's 02/15/84 balance was...")
+        for as_of in ("02/15/84", "04/05/84"):
+            answer = rebuilt.timeslice("accounts", "02/15/84", as_of=as_of)
+            bob = [row["balance"] for row in answer if row["owner"] == "bob"]
+            print(f"  ...as of {as_of}: {bob[0] if bob else 'unknown'}")
+        print("  (the 04/02/84 correction is visible on the transaction "
+              "axis, not papered over)")
+
+        # -- JSON dump/load as the second persistence path ----------------------
+        print()
+        text = dumps_database(database)
+        restored = loads_database(text)
+        print(f"JSON dump: {len(text)} bytes; reload identical: "
+              f"{restored.temporal('accounts') == database.temporal('accounts')}")
+        clock_last = restored.manager.clock.last
+        new_commit = restored.insert(
+            "accounts", {"owner": "eve", "balance": 10},
+            valid_from="05/01/84")
+        print(f"restored database accepts new commits after "
+              f"{clock_last}: committed at {new_commit}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's faculty example across all four database kinds.
+
+Runs the exact transaction narrative of Snodgrass & Ahn (SIGMOD 1985),
+Section 4, against each kind of database in the taxonomy, and reproduces
+the paper's four worked queries — including the two different answers to
+"what was Merrie's rank when Tom arrived?" depending on the transaction
+time the question is asked *as of*.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (HistoricalDatabase, RollbackDatabase, Session,
+                   SimulatedClock, StaticDatabase, TemporalDatabase)
+
+
+def drive_history(session, clock, historical):
+    """The paper's six transactions (§4), via TQuel."""
+    valid = (lambda clause: " " + clause) if historical else (lambda _: "")
+
+    session.execute("create faculty (name = string, rank = string) "
+                    "key (name)")
+    session.execute("range of f is faculty")
+
+    clock.set("08/25/77")  # Merrie recorded ahead of her 09/01 start
+    session.execute('append to faculty (name = "Merrie", rank = "associate")'
+                    + valid('valid from "09/01/77"'))
+    clock.set("12/01/82")  # Tom recorded, incorrectly, as full
+    session.execute('append to faculty (name = "Tom", rank = "full")'
+                    + valid('valid from "12/05/82"'))
+    clock.set("12/07/82")  # the error corrected
+    session.execute('replace f (rank = "associate") where f.name = "Tom"'
+                    + valid('valid from "12/05/82"'))
+    clock.set("12/15/82")  # Merrie's retroactive promotion
+    session.execute('replace f (rank = "full") where f.name = "Merrie"'
+                    + valid('valid from "12/01/82"'))
+    clock.set("01/10/83")
+    session.execute('append to faculty (name = "Mike", rank = "assistant")'
+                    + valid('valid from "01/01/83"'))
+    clock.set("02/25/84")  # Mike leaves, effective 03/01/84
+    if historical:
+        session.execute('delete f where f.name = "Mike" '
+                        'valid from "03/01/84"')
+    else:
+        session.execute('delete f where f.name = "Mike"')
+
+
+def fresh_session(db_class):
+    clock = SimulatedClock("01/01/77")
+    session = Session(db_class(clock=clock))
+    drive_history(session, clock,
+                  session.database.supports_historical_queries)
+    session.execute("range of f1 is faculty")
+    session.execute("range of f2 is faculty")
+    return session
+
+
+def banner(text):
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main():
+    # -- 1. static (§4.1): one snapshot, the past is gone ---------------------
+    banner("STATIC database (§4.1): a snapshot; updates discard the past")
+    session = fresh_session(StaticDatabase)
+    print(session.show('retrieve (f.name, f.rank) sort by name',
+                       title="faculty (Figure 2 after all updates)"))
+    print()
+    print(session.show('retrieve (f.rank) where f.name = "Merrie"',
+                       title='Quel: Merrie\'s rank'))
+
+    # -- 2. static rollback (§4.2): transaction time, append-only -------------
+    banner("STATIC ROLLBACK database (§4.2): every stored state retrievable")
+    session = fresh_session(RollbackDatabase)
+    from repro.tquel.printer import render_rollback
+    print(render_rollback(session.database.store("faculty"),
+                          title="faculty with transaction time (Figure 4)"))
+    print()
+    print(session.show(
+        'retrieve (f.rank) where f.name = "Merrie" as of "12/10/82"',
+        title='as of 12/10/82 (the promotion was recorded 12/15/82):'))
+
+    # -- 3. historical (§4.3): valid time, history as best known --------------
+    banner("HISTORICAL database (§4.3): reality as currently best known")
+    session = fresh_session(HistoricalDatabase)
+    print(session.database.history("faculty").pretty(
+        "faculty with valid time (Figure 6)"))
+    print()
+    print(session.show(
+        'retrieve (f1.rank) where f1.name = "Merrie" and f2.name = "Tom" '
+        'when f1 overlap start of f2',
+        title="Merrie's rank when Tom arrived (when query):"))
+
+    # -- 4. temporal (§4.4): both axes, the full story -------------------------
+    banner("TEMPORAL database (§4.4): valid time AND transaction time")
+    session = fresh_session(TemporalDatabase)
+    print(session.database.temporal("faculty").pretty(
+        "the bitemporal faculty relation (Figure 8)"))
+    print()
+    query = ('retrieve (f1.rank) where f1.name = "Merrie" and '
+             'f2.name = "Tom" when f1 overlap start of f2 as of "{}"')
+    print(session.show(query.format("12/10/82"),
+                       title="...as the database believed on 12/10/82:"))
+    print()
+    print(session.show(query.format("12/20/82"),
+                       title="...as the database believed on 12/20/82:"))
+    print()
+    print("The taxonomy, enforced: ask a static database to roll back and")
+    print("you get a typed error, not silent nonsense —")
+    static_session = fresh_session(StaticDatabase)
+    try:
+        static_session.execute('retrieve (f.rank) as of "12/10/82"')
+    except Exception as error:
+        print(f"  {type(error).__name__}: {error}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro: a full reproduction of *A Taxonomy of Time in Databases*
+(Snodgrass & Ahn, SIGMOD 1985).
+
+The library implements the paper's three kinds of time — **transaction**,
+**valid** and **user-defined** — and its four kinds of database —
+**static**, **static rollback**, **historical** and **temporal** —
+together with the TQuel query language (``where`` / ``when`` / ``valid`` /
+``as of``) over all of them.
+
+Quickstart::
+
+    from repro import TemporalDatabase, Session
+    from repro.time import SimulatedClock
+
+    clock = SimulatedClock("01/01/80")
+    session = Session(TemporalDatabase(clock=clock))
+    session.execute('create faculty (name = string, rank = string) key (name)')
+    session.execute('append to faculty (name = "Merrie", rank = "associate") '
+                    'valid from "09/01/77"')
+    session.execute('range of f is faculty')
+    print(session.show('retrieve (f.rank) where f.name = "Merrie"'))
+
+Package map:
+
+- :mod:`repro.time` — instants, periods, Allen's relations, clocks;
+- :mod:`repro.relational` — the relational engine;
+- :mod:`repro.txn` — transactions and the commit log;
+- :mod:`repro.core` — the four database kinds and the taxonomy;
+- :mod:`repro.tquel` — the TQuel language;
+- :mod:`repro.storage` — serialization and the durable journal;
+- :mod:`repro.workload` — synthetic history generators;
+- :mod:`repro.cli` — the ``tquel`` shell.
+"""
+
+from repro.core import (
+    DatabaseKind, HistoricalDatabase, HistoricalRelation, RollbackDatabase,
+    StaticDatabase, TemporalDatabase, TemporalRelation, TimeKind, classify,
+)
+from repro.errors import ReproError
+from repro.relational import Domain, Relation, Schema
+from repro.time import Granularity, Instant, Period, SimulatedClock, SystemClock
+from repro.tquel import Session
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DatabaseKind",
+    "Domain",
+    "Granularity",
+    "HistoricalDatabase",
+    "HistoricalRelation",
+    "Instant",
+    "Period",
+    "Relation",
+    "ReproError",
+    "RollbackDatabase",
+    "Schema",
+    "Session",
+    "SimulatedClock",
+    "StaticDatabase",
+    "SystemClock",
+    "TemporalDatabase",
+    "TemporalRelation",
+    "TimeKind",
+    "classify",
+    "__version__",
+]

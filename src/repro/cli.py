@@ -1,0 +1,222 @@
+"""The ``tquel`` command-line shell.
+
+An interactive REPL (or script runner) over any of the four database
+kinds::
+
+    tquel --kind temporal                 # interactive shell
+    tquel --kind historical -f script.tq  # run a script
+    tquel -c 'create r (x = string)'      # run one statement
+    tquel --kind temporal --journal db.journal   # durable session
+
+Inside the shell, TQuel statements run directly; lines starting with a
+dot are shell commands:
+
+    .help               this message
+    .kind               show the database kind and its capabilities
+    .relations          list relations
+    .figure <relation>  render a relation in the paper's figure style
+    .log                show the commit log
+    .clock <instant>    advance the simulated clock (e.g. .clock 12/15/82)
+    .save <path>        dump the database to JSON
+    .migrate <kind>     migrate the session's database to another kind
+                        (static|rollback|historical|temporal); append
+                        " force" to allow a lossy downgrade
+    .explain <query>    show how a retrieve would execute
+    .quit               leave
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core import (HistoricalDatabase, RollbackDatabase, StaticDatabase,
+                        TemporalDatabase)
+from repro.errors import ReproError
+from repro.storage import Journal, dumps_database
+from repro.time import SimulatedClock, SystemClock
+from repro.tquel import Session
+
+_KINDS = {
+    "static": StaticDatabase,
+    "rollback": RollbackDatabase,
+    "historical": HistoricalDatabase,
+    "temporal": TemporalDatabase,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="tquel",
+        description="A TQuel shell over the four database kinds of "
+                    "Snodgrass & Ahn's taxonomy.")
+    parser.add_argument("--kind", choices=sorted(_KINDS), default="temporal",
+                        help="which kind of database to run (default: temporal)")
+    parser.add_argument("--simulated-clock", metavar="INSTANT", default=None,
+                        help="start from a simulated clock at INSTANT "
+                             "(e.g. 01/01/80) instead of the system clock")
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="journal every commit to PATH (JSON lines)")
+    parser.add_argument("--replay", metavar="PATH", default=None,
+                        help="rebuild the database from a journal first")
+    parser.add_argument("-c", "--command", default=None,
+                        help="run one statement and exit")
+    parser.add_argument("-f", "--file", default=None,
+                        help="run a script file and exit")
+    return parser
+
+
+def make_session(args) -> Session:
+    """Construct the session an invocation asked for."""
+    if args.replay is not None:
+        database = Journal(args.replay).replay(_KINDS[args.kind])
+    else:
+        if args.simulated_clock is not None:
+            clock = SimulatedClock(args.simulated_clock)
+        else:
+            clock = SystemClock()
+        database = _KINDS[args.kind](clock=clock)
+    if args.journal is not None:
+        Journal(args.journal).bind(database)
+    return Session(database)
+
+
+def run_source(session: Session, source: str, out=None) -> int:
+    """Run statements from *source*, printing results; returns an exit code."""
+    out = out if out is not None else sys.stdout
+    try:
+        for result in session.execute_script(source):
+            rendered = session.render(result)
+            if rendered != "(no result)":
+                print(rendered, file=out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _dot_command(session: Session, line: str, out) -> bool:
+    """Handle a shell command; returns False to quit."""
+    command, _, argument = line.partition(" ")
+    argument = argument.strip()
+    database = session.database
+    if command in (".quit", ".exit"):
+        return False
+    if command == ".help":
+        print(__doc__, file=out)
+    elif command == ".kind":
+        kind = database.kind
+        print(f"{kind} database — rollback: "
+              f"{'yes' if kind.supports_rollback else 'no'}, historical "
+              f"queries: {'yes' if kind.supports_historical_queries else 'no'}",
+              file=out)
+    elif command == ".relations":
+        for name in database.relation_names():
+            print(f"  {name}{'  (event)' if getattr(database, 'is_event_relation', lambda n: False)(name) else ''}",
+                  file=out)
+    elif command == ".figure":
+        from repro.tquel import printer
+        if hasattr(database, "temporal"):
+            print(printer.render_temporal(
+                database.temporal(argument), argument,
+                event=database.is_event_relation(argument)), file=out)
+        elif hasattr(database, "history"):
+            print(printer.render_historical(
+                database.history(argument), argument,
+                event=database.is_event_relation(argument)), file=out)
+        elif hasattr(database, "store"):
+            store = database.store(argument)
+            if hasattr(store, "rows"):
+                print(printer.render_rollback(store, argument), file=out)
+            else:
+                print(database.snapshot(argument).pretty(argument), file=out)
+        else:
+            print(database.snapshot(argument).pretty(argument), file=out)
+    elif command == ".log":
+        for record in database.log:
+            ops = ", ".join(f"{op.action} {op.relation}"
+                            for op in record.operations)
+            print(f"  #{record.sequence} at {record.commit_time}: {ops}",
+                  file=out)
+    elif command == ".clock":
+        clock = database.manager.clock.source
+        if isinstance(clock, SimulatedClock):
+            clock.set(argument)
+            print(f"clock at {clock.current()}", file=out)
+        else:
+            print("not running on a simulated clock", file=out)
+    elif command == ".migrate":
+        parts = argument.split()
+        kind_name = parts[0] if parts else ""
+        force = len(parts) > 1 and parts[1] == "force"
+        if kind_name not in _KINDS:
+            print(f"usage: .migrate <{('|'.join(sorted(_KINDS)))}> [force]",
+                  file=out)
+        else:
+            try:
+                session.migrate_database(_KINDS[kind_name],
+                                         allow_loss=force)
+                print(f"migrated to a {session.database.kind} database",
+                      file=out)
+            except ReproError as error:
+                print(f"error: {error}", file=out)
+    elif command == ".explain":
+        try:
+            print(session.explain(argument), file=out)
+        except ReproError as error:
+            print(f"error: {error}", file=out)
+    elif command == ".save":
+        with open(argument, "w", encoding="utf-8") as handle:
+            handle.write(dumps_database(session.database, indent=2))
+        print(f"saved to {argument}", file=out)
+    else:
+        print(f"unknown command {command!r}; try .help", file=out)
+    return True
+
+
+def repl(session: Session, stdin=None, out=None) -> int:
+    """The interactive loop."""
+    stdin = stdin if stdin is not None else sys.stdin
+    out = out if out is not None else sys.stdout
+    print(f"tquel shell — {session.database.kind} database "
+          f"(.help for commands)", file=out)
+    while True:
+        try:
+            print("tquel> ", end="", file=out, flush=True)
+            line = stdin.readline()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            print(file=out)
+            return 0
+        if not line:
+            return 0
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            if not _dot_command(session, line, out):
+                return 0
+            continue
+        try:
+            result = session.execute(line)
+            rendered = session.render(result)
+            print(rendered, file=out)
+        except ReproError as error:
+            print(f"error: {error}", file=out)
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point for the ``tquel`` console script."""
+    args = build_parser().parse_args(argv)
+    session = make_session(args)
+    if args.command is not None:
+        return run_source(session, args.command)
+    if args.file is not None:
+        with open(args.file, encoding="utf-8") as handle:
+            return run_source(session, handle.read())
+    return repl(session)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""The paper's contribution: three kinds of time, four kinds of database.
+
+This package implements Section 4 of *A Taxonomy of Time in Databases*:
+
+- :mod:`~repro.core.taxonomy` — the classification itself (Figures 1 and
+  10–13 as executable data);
+- :mod:`~repro.core.static` — static databases (§4.1);
+- :mod:`~repro.core.rollback` — static rollback databases with both the
+  state-cube and interval-stamped representations (§4.2, Figures 3–4);
+- :mod:`~repro.core.historical` — historical databases and the
+  :class:`~repro.core.historical.HistoricalRelation` value type (§4.3,
+  Figures 5–6);
+- :mod:`~repro.core.temporal` — temporal (bitemporal) databases as
+  sequences of historical states (§4.4, Figures 7–8);
+- :mod:`~repro.core.operations` — temporal joins, snapshot equivalence,
+  representation equivalence;
+- :mod:`~repro.core.vacuum` — the controlled forget-the-past extension.
+
+User-defined time (§4.5, Figure 9) needs no dedicated class: it is an
+ordinary schema attribute over
+:meth:`repro.relational.domain.Domain.user_defined_time`, and event
+relations are declared with ``define(..., event=True)``.
+"""
+
+from repro.core.taxonomy import (
+    DatabaseKind, Models, TimeKind, classify,
+    FIGURE_1, FIGURE_13, PriorTerm, SurveyedSystem,
+    render_figure_1, render_figure_10, render_figure_11, render_figure_12,
+    render_figure_13,
+)
+from repro.core.base import Database
+from repro.core.static import StaticDatabase
+from repro.core.rollback import (
+    INTERVAL, STATES, RollbackDatabase, RollbackRelation, StateSequence,
+    TransactionTimeRow,
+)
+from repro.core.historical import (
+    HistoricalDatabase, HistoricalRelation, HistoricalRow,
+    apply_historical_operation,
+)
+from repro.core.temporal import BitemporalRow, TemporalDatabase, TemporalRelation
+from repro.core.operations import (
+    changed_instants, diff_states, history_series, rollback_equivalent,
+    snapshot_equivalent, temporal_timeslice_matrix, when_join,
+)
+from repro.core.vacuum import vacuum_rollback, vacuum_states, vacuum_temporal
+from repro.core.indexing import (
+    BitemporalIndex, DatabaseIndexCache, HistoricalIndex, IntervalTree,
+    RollbackIndex,
+)
+from repro.core.migrate import migrate
+from repro.core.temporal_constraints import (
+    BoundedValidity, ContiguousHistory, NoFutureValidity, TemporalConstraint,
+    ValidityDuration,
+)
+
+__all__ = [
+    "BitemporalIndex",
+    "BitemporalRow",
+    "BoundedValidity",
+    "ContiguousHistory",
+    "NoFutureValidity",
+    "TemporalConstraint",
+    "ValidityDuration",
+    "Database",
+    "DatabaseIndexCache",
+    "HistoricalIndex",
+    "IntervalTree",
+    "RollbackIndex",
+    "DatabaseKind",
+    "FIGURE_1",
+    "FIGURE_13",
+    "HistoricalDatabase",
+    "HistoricalRelation",
+    "HistoricalRow",
+    "INTERVAL",
+    "Models",
+    "PriorTerm",
+    "RollbackDatabase",
+    "RollbackRelation",
+    "STATES",
+    "StateSequence",
+    "StaticDatabase",
+    "SurveyedSystem",
+    "TemporalDatabase",
+    "TemporalRelation",
+    "TimeKind",
+    "TransactionTimeRow",
+    "apply_historical_operation",
+    "changed_instants",
+    "classify",
+    "diff_states",
+    "history_series",
+    "migrate",
+    "render_figure_1",
+    "render_figure_10",
+    "render_figure_11",
+    "render_figure_12",
+    "render_figure_13",
+    "rollback_equivalent",
+    "snapshot_equivalent",
+    "temporal_timeslice_matrix",
+    "vacuum_rollback",
+    "vacuum_states",
+    "vacuum_temporal",
+    "when_join",
+]

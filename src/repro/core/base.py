@@ -1,0 +1,293 @@
+"""The abstract database: what all four kinds share.
+
+A :class:`Database` is a set of named relations (schemas + stores), a
+single-writer :class:`~repro.txn.manager.TransactionManager`, and a
+position in the taxonomy (:attr:`Database.kind`).  The four concrete kinds
+in :mod:`repro.core` differ *only* in what history their stores keep and
+which query operations they can therefore support:
+
+======================  ==========  ==========  ===========  =========
+operation               static      rollback    historical   temporal
+======================  ==========  ==========  ===========  =========
+``snapshot``            yes         yes         yes          yes
+``rollback`` (as of)    —           yes         —            yes
+``timeslice`` (valid)   —           —           yes          yes
+``history``             —           —           yes          yes
+======================  ==========  ==========  ===========  =========
+
+The dashes are not missing features but *category errors*: the base class
+raises :class:`~repro.errors.RollbackNotSupportedError` /
+:class:`~repro.errors.HistoricalNotSupportedError` with the database kind
+named, which is Figure 11 of the paper enforced at runtime (and, for
+TQuel, at analysis time).
+
+DDL (``define``/``drop``) is immediate and journaled as its own
+transaction; DML is buffered in transactions and applied atomically at a
+system-assigned commit time.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import (Any, Dict, List, Mapping, Optional, Sequence, Tuple as PyTuple,
+                    Union)
+
+from repro.core.taxonomy import DatabaseKind
+from repro.errors import (DuplicateRelationError, HistoricalNotSupportedError,
+                          RollbackNotSupportedError, UnknownRelationError)
+from repro.relational.constraints import Constraint
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.tuple import Tuple
+from repro.time.clock import Clock
+from repro.time.instant import Instant
+from repro.txn.log import CommitLog
+from repro.txn.manager import TransactionManager
+from repro.txn.transaction import Operation, Transaction
+
+InstantLike = Union[Instant, str, int]
+
+
+class Database(abc.ABC):
+    """Base class of the four database kinds."""
+
+    #: The kind of database, per the taxonomy (set by each subclass).
+    kind: DatabaseKind
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._schemas: Dict[str, Schema] = {}
+        self._constraints: Dict[str, List[Constraint]] = {}
+        self._event_relations: set = set()
+        self._manager = TransactionManager(self._apply, clock)
+
+    # -- capabilities ----------------------------------------------------------
+
+    @property
+    def supports_rollback(self) -> bool:
+        """True if the database incorporates transaction time (Figure 11)."""
+        return self.kind.supports_rollback
+
+    @property
+    def supports_historical_queries(self) -> bool:
+        """True if the database incorporates valid time (Figure 11)."""
+        return self.kind.supports_historical_queries
+
+    def require_rollback(self, operation: str = "as of") -> None:
+        """Raise unless this kind supports transaction time."""
+        if not self.supports_rollback:
+            raise RollbackNotSupportedError(
+                f"{operation!r} requires transaction time, which a "
+                f"{self.kind} database does not support"
+            )
+
+    def require_historical(self, operation: str = "when") -> None:
+        """Raise unless this kind supports valid time."""
+        if not self.supports_historical_queries:
+            raise HistoricalNotSupportedError(
+                f"{operation!r} requires valid time, which a "
+                f"{self.kind} database does not support"
+            )
+
+    # -- bookkeeping --------------------------------------------------------------
+
+    @property
+    def manager(self) -> TransactionManager:
+        """The transaction manager (clock + log)."""
+        return self._manager
+
+    @property
+    def log(self) -> CommitLog:
+        """The append-only commit log."""
+        return self._manager.log
+
+    def now(self) -> Instant:
+        """The database clock's current reading."""
+        return self._manager.now()
+
+    def relation_names(self) -> List[str]:
+        """All defined relation names, sorted."""
+        return sorted(self._schemas)
+
+    def schema(self, name: str) -> Schema:
+        """The schema of a relation."""
+        self._require_defined(name)
+        return self._schemas[name]
+
+    def constraints(self, name: str) -> PyTuple[Constraint, ...]:
+        """The declared constraints of a relation."""
+        self._require_defined(name)
+        return tuple(self._constraints[name])
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._schemas
+
+    def _require_defined(self, name: str) -> None:
+        if name not in self._schemas:
+            known = ", ".join(self.relation_names()) or "<none>"
+            raise UnknownRelationError(
+                f"no relation {name!r}; database has: {known}"
+            )
+
+    # -- DDL ----------------------------------------------------------------------------
+
+    def define(self, name: str, schema: Schema,
+               constraints: Sequence[Constraint] = (),
+               event: bool = False) -> Instant:
+        """Create a relation; returns the commit time of the DDL transaction.
+
+        ``event=True`` declares an *event* relation (Figure 9): its valid
+        time is a single instant per tuple (``valid_at``).  Only database
+        kinds with valid time accept it.
+        """
+        if event:
+            self.require_historical("an event relation")
+        from repro.core.temporal_constraints import TemporalConstraint
+        if any(isinstance(c, TemporalConstraint) for c in constraints):
+            self.require_historical("a temporal constraint")
+        if name in self._schemas:
+            raise DuplicateRelationError(f"relation {name!r} already exists")
+        op = Operation("define", name,
+                       {"schema": schema, "constraints": tuple(constraints),
+                        "event": event})
+        return self._manager.run([op])
+
+    def is_event_relation(self, name: str) -> bool:
+        """True if the relation was defined with ``event=True``."""
+        self._require_defined(name)
+        return name in self._event_relations
+
+    def drop(self, name: str) -> Instant:
+        """Remove a relation (and, in this implementation, its history)."""
+        self._require_defined(name)
+        return self._manager.run([Operation("drop", name, {})])
+
+    # -- DML plumbing ------------------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a multi-operation transaction."""
+        return self._manager.begin()
+
+    def _submit(self, op: Operation,
+                txn: Optional[Transaction]) -> Optional[Instant]:
+        """Buffer *op* in *txn*, or run it as a single-op transaction.
+
+        Returns the commit time when run immediately, ``None`` when
+        buffered.
+        """
+        self._require_defined(op.relation)
+        if txn is not None:
+            txn.add(op)
+            return None
+        return self._manager.run([op])
+
+    def _checked_values(self, name: str, values: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate a full tuple of values against the relation schema."""
+        self._require_defined(name)
+        row = Tuple(self._schemas[name], values)  # raises on mismatch
+        return dict(row)
+
+    def _checked_match(self, name: str, match: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate a partial equality-match against the relation schema."""
+        self._require_defined(name)
+        schema = self._schemas[name]
+        for attribute in match:
+            schema.attribute(attribute)
+        return dict(match)
+
+    @staticmethod
+    def _matches(row: Tuple, match: Mapping[str, Any]) -> bool:
+        """True if *row* agrees with every attribute in *match*."""
+        return all(row[attribute] == value for attribute, value in match.items())
+
+    # -- the applier -----------------------------------------------------------------------------
+
+    def _apply(self, operations: Sequence[Operation],
+               commit_time: Instant) -> None:
+        """Apply a committed batch (called by the manager, under its lock).
+
+        DDL is dispatched here; DML is handed to the kind-specific
+        :meth:`_apply_dml`.  Any exception aborts the whole batch — stores
+        must not be left half-updated, so kinds stage into fresh values
+        that are installed only at the end, and the schema/constraint/
+        event-flag bookkeeping is snapshotted and restored on failure.
+        """
+        staged = self._stage()
+        snapshot = (dict(self._schemas), dict(self._constraints),
+                    set(self._event_relations))
+        try:
+            for op in operations:
+                if op.action == "define":
+                    if op.relation in self._schemas:
+                        raise DuplicateRelationError(
+                            f"relation {op.relation!r} already exists"
+                        )
+                    self._schemas[op.relation] = op.arguments["schema"]
+                    self._constraints[op.relation] = list(
+                        op.arguments["constraints"])
+                    if op.arguments.get("event"):
+                        self._event_relations.add(op.relation)
+                    self._create_store(staged, op.relation,
+                                       op.arguments["schema"])
+                elif op.action == "drop":
+                    self._require_defined(op.relation)
+                    del self._schemas[op.relation]
+                    del self._constraints[op.relation]
+                    self._event_relations.discard(op.relation)
+                    self._drop_store(staged, op.relation)
+                else:
+                    self._apply_dml(staged, op, commit_time)
+            self._install(staged)
+        except Exception:
+            self._schemas, self._constraints, self._event_relations = snapshot
+            raise
+
+    # -- kind-specific hooks ------------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _stage(self) -> Any:
+        """A mutable working copy of the stores for one commit."""
+
+    @abc.abstractmethod
+    def _install(self, staged: Any) -> None:
+        """Make the staged stores current (the commit point)."""
+
+    @abc.abstractmethod
+    def _create_store(self, staged: Any, name: str, schema: Schema) -> None:
+        """Create an empty store for a newly defined relation."""
+
+    @abc.abstractmethod
+    def _drop_store(self, staged: Any, name: str) -> None:
+        """Remove the store of a dropped relation."""
+
+    @abc.abstractmethod
+    def _apply_dml(self, staged: Any, op: Operation,
+                   commit_time: Instant) -> None:
+        """Apply one DML operation to the staged stores."""
+
+    # -- queries: the capability matrix -----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def snapshot(self, name: str) -> Relation:
+        """The current static view of a relation (available in every kind)."""
+
+    def rollback(self, name: str, as_of: InstantLike):
+        """The relation as of a past transaction time.
+
+        Supported by static rollback and temporal databases only; the
+        result is a static relation for the former and a historical
+        relation for the latter.
+        """
+        self.require_rollback("rollback")
+        raise NotImplementedError  # pragma: no cover - kinds override
+
+    def timeslice(self, name: str, valid_at: InstantLike) -> Relation:
+        """The tuples valid at an instant of valid time, as a static relation.
+
+        Supported by historical and temporal databases only.
+        """
+        self.require_historical("timeslice")
+        raise NotImplementedError  # pragma: no cover - kinds override
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({len(self._schemas)} relations, "
+                f"{len(self.log)} commits)")

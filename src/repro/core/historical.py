@@ -1,0 +1,505 @@
+"""Historical databases (§4.3 of the paper).
+
+A historical database "records a single historical state per relation,
+storing the history as it is best known.  As errors are discovered, they
+are corrected by modifying the database."  It incorporates **valid time**
+— the time the stored information models reality — and supports
+*historical queries* (TQuel ``when`` / ``valid``), but keeps no record of
+its own past states: "it is not possible to view the database as it was in
+the past".
+
+The central value type here, :class:`HistoricalRelation`, is shared with
+the temporal database (a temporal relation *is* a sequence of historical
+states, §4.4), as is the operation semantics in
+:func:`apply_historical_operation`.
+
+Update semantics (all arbitrary modifications, per Figure 12's
+``Append-Only: No`` for valid time):
+
+- ``insert(values, valid_from, valid_to)`` — a new fact with its validity;
+- ``delete(match, valid_from, valid_to)`` — remove the matching facts'
+  validity *within* the given period (splitting rows as needed);
+- ``replace(match, updates, valid_from, valid_to)`` — within the period,
+  the matching facts' attributes change to *updates*; outside it they are
+  untouched.  This is how a promotion is recorded: replace rank to
+  ``full`` from 12/01/82 onward turns one ``associate [09/01/77, ∞)`` row
+  into ``associate [09/01/77, 12/01/82)`` + ``full [12/01/82, ∞)`` —
+  exactly Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, NamedTuple,
+                    Optional, Sequence, Tuple as PyTuple, Union)
+
+from repro.core.base import Database, InstantLike
+from repro.core.taxonomy import DatabaseKind
+from repro.errors import ConstraintViolation, JournalError, UnknownRelationError
+from repro.relational.constraints import Constraint, check_all
+from repro.relational.expression import Expression
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.tuple import Tuple
+from repro.time.element import TemporalElement
+from repro.time.instant import Instant, POS_INF, instant as _coerce
+from repro.time.period import Period
+from repro.txn.transaction import Operation, Transaction
+
+Predicate = Union[Expression, Callable[[Tuple], bool]]
+
+
+class HistoricalRow(NamedTuple):
+    """One fact plus the valid-time period during which it models reality."""
+
+    data: Tuple
+    valid: Period
+
+    def valid_at(self, when: Instant) -> bool:
+        """Does this fact hold at valid-time instant *when*?"""
+        return self.valid.contains(when)
+
+
+class HistoricalRelation:
+    """A valid-time relation (Figure 6): an immutable value object.
+
+    Rows pair a data tuple with a valid period.  Derived historical
+    relations (from selections, projections, timeslices of temporal
+    relations, TQuel retrieves) are the same type — the closure property
+    the paper requires ("the derived relation is also an historical
+    relation").
+    """
+
+    __slots__ = ("_schema", "_rows")
+
+    def __init__(self, schema: Schema,
+                 rows: Iterable[HistoricalRow] = ()) -> None:
+        self._schema = schema
+        deduped: Dict[HistoricalRow, None] = {}
+        for row in rows:
+            deduped.setdefault(row, None)
+        self._rows: PyTuple[HistoricalRow, ...] = tuple(deduped)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The explicit (non-temporal) schema."""
+        return self._schema
+
+    @property
+    def rows(self) -> PyTuple[HistoricalRow, ...]:
+        """All (fact, valid period) rows."""
+        return self._rows
+
+    @property
+    def is_empty(self) -> bool:
+        """True if no facts are recorded."""
+        return not self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    # -- queries -------------------------------------------------------------------
+
+    def timeslice(self, valid_at: InstantLike) -> Relation:
+        """The static relation of facts valid at an instant."""
+        when = _coerce(valid_at)
+        return Relation(self._schema,
+                        (row.data for row in self._rows if row.valid_at(when)))
+
+    def during(self, period: Period) -> "HistoricalRelation":
+        """The facts restricted (and clipped) to a valid period."""
+        clipped = []
+        for row in self._rows:
+            common = row.valid.intersect(period)
+            if common is not None:
+                clipped.append(HistoricalRow(row.data, common))
+        return HistoricalRelation(self._schema, clipped)
+
+    def select(self, predicate: Predicate) -> "HistoricalRelation":
+        """Facts whose data satisfies the predicate (validity untouched)."""
+        if isinstance(predicate, Expression):
+            test = lambda row: bool(predicate.evaluate(row))
+        else:
+            test = predicate
+        return HistoricalRelation(
+            self._schema, (row for row in self._rows if test(row.data)))
+
+    def project(self, names: Sequence[str],
+                coalesce: bool = True) -> "HistoricalRelation":
+        """Project the data attributes; by default coalesce the result.
+
+        Projection can make distinct facts equal, so their validities merge
+        — the standard temporal-projection semantics.
+        """
+        projected_schema = self._schema.project(names)
+        projected = HistoricalRelation(
+            projected_schema,
+            (HistoricalRow(row.data.project(names), row.valid)
+             for row in self._rows))
+        return projected.coalesce() if coalesce else projected
+
+    def rename(self, mapping: Mapping[str, str]) -> "HistoricalRelation":
+        """Rename data attributes."""
+        renamed_schema = self._schema.rename(mapping)
+        return HistoricalRelation(
+            renamed_schema,
+            (HistoricalRow(row.data.cast(renamed_schema), row.valid)
+             for row in self._rows))
+
+    def union(self, other: "HistoricalRelation") -> "HistoricalRelation":
+        """Temporal union: a fact holds when it holds in either operand.
+
+        Snapshot-homomorphic: ``(a ∪ b).timeslice(t) ==
+        a.timeslice(t) ∪ b.timeslice(t)`` for every instant (property-
+        tested, as for :meth:`intersect` and :meth:`difference`).
+        """
+        return HistoricalRelation(self._schema, self._rows + other._rows)
+
+    def intersect(self, other: "HistoricalRelation") -> "HistoricalRelation":
+        """Temporal intersection: a fact holds when both operands say so."""
+        by_fact: Dict[Tuple, TemporalElement] = {}
+        for row in other.coalesce().rows:
+            element = by_fact.get(row.data, TemporalElement.empty())
+            by_fact[row.data] = element | row.valid
+        rows: List[HistoricalRow] = []
+        for row in self._rows:
+            theirs = by_fact.get(row.data)
+            if theirs is None:
+                continue
+            for period in (TemporalElement([row.valid]) & theirs).periods:
+                rows.append(HistoricalRow(row.data, period))
+        return HistoricalRelation(self._schema, rows)
+
+    def difference(self, other: "HistoricalRelation") -> "HistoricalRelation":
+        """Temporal difference: a fact's validity minus the other's claim."""
+        by_fact: Dict[Tuple, TemporalElement] = {}
+        for row in other.coalesce().rows:
+            element = by_fact.get(row.data, TemporalElement.empty())
+            by_fact[row.data] = element | row.valid
+        rows: List[HistoricalRow] = []
+        for row in self._rows:
+            theirs = by_fact.get(row.data)
+            if theirs is None:
+                rows.append(row)
+                continue
+            for period in (TemporalElement([row.valid]) - theirs).periods:
+                rows.append(HistoricalRow(row.data, period))
+        return HistoricalRelation(self._schema, rows)
+
+    def coalesce(self) -> "HistoricalRelation":
+        """Merge value-equivalent rows with overlapping or adjacent validity.
+
+        The canonical form: per distinct fact, validity becomes a minimal
+        set of disjoint, non-adjacent periods.  Coalescing never changes
+        any timeslice (property-tested).
+        """
+        by_fact: Dict[Tuple, List[Period]] = {}
+        order: List[Tuple] = []
+        for row in self._rows:
+            if row.data not in by_fact:
+                order.append(row.data)
+            by_fact.setdefault(row.data, []).append(row.valid)
+        merged: List[HistoricalRow] = []
+        for fact in order:
+            element = TemporalElement(by_fact[fact])
+            for period in element.periods:
+                merged.append(HistoricalRow(fact, period))
+        return HistoricalRelation(self._schema, merged)
+
+    def validity_of(self, predicate: Predicate) -> TemporalElement:
+        """The total valid time during which any matching fact holds."""
+        return TemporalElement(
+            row.valid for row in self.select(predicate).rows)
+
+    def lifespan(self) -> TemporalElement:
+        """The union of every row's validity."""
+        return TemporalElement(row.valid for row in self._rows)
+
+    def storage_cells(self) -> int:
+        """Stored cells: rows × (attributes + 2 timestamps).  For benches."""
+        return len(self._rows) * (len(self._schema) + 2)
+
+    def pretty(self, title: Optional[str] = None, event: bool = False) -> str:
+        """Render like Figure 6 (or Figure 9's ``(at)`` style for events)."""
+        from repro.tquel.printer import render_historical  # local: avoid cycle
+        return render_historical(self, title, event=event)
+
+    # -- equality ----------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Snapshot equivalence: equal iff every timeslice agrees.
+
+        Implemented as equality of the coalesced row sets, which is the
+        same thing (proved by the property suite).
+        """
+        if not isinstance(other, HistoricalRelation):
+            return NotImplemented
+        if self._schema.names != other._schema.names:
+            return False
+        return (frozenset(self.coalesce().rows)
+                == frozenset(other.coalesce().rows))
+
+    def __hash__(self) -> int:
+        return hash((self._schema.names, frozenset(self.coalesce().rows)))
+
+    def __repr__(self) -> str:
+        return (f"HistoricalRelation({', '.join(self._schema.names)}; "
+                f"{len(self._rows)} rows)")
+
+
+# ---------------------------------------------------------------------------
+# Operation semantics, shared with the temporal database
+# ---------------------------------------------------------------------------
+
+def _period_from_args(arguments: Mapping[str, Any]) -> Period:
+    """Build the valid period from operation arguments.
+
+    Accepts ``valid_at`` (event semantics: a single chronon) or
+    ``valid_from``/``valid_to`` (interval semantics; both optional,
+    defaulting to ``[-∞, ∞)``... in practice ``valid_from`` is required
+    for inserts by the databases).
+    """
+    if "valid_at" in arguments and arguments["valid_at"] is not None:
+        return Period.at(_coerce(arguments["valid_at"]))
+    start = arguments.get("valid_from")
+    end = arguments.get("valid_to")
+    return Period(
+        _coerce(start) if start is not None else Period.always().start,
+        _coerce(end) if end is not None else POS_INF,
+    )
+
+
+def _matches(row: Tuple, match: Mapping[str, Any]) -> bool:
+    return all(row[attribute] == value for attribute, value in match.items())
+
+
+def apply_historical_operation(relation: HistoricalRelation,
+                               op: Operation) -> HistoricalRelation:
+    """Apply one insert/delete/replace to a historical relation value.
+
+    Pure function: returns the new historical state.  Used directly by
+    :class:`HistoricalDatabase` and, via state-diffing, by
+    :class:`~repro.core.temporal.TemporalDatabase` — which is what makes a
+    temporal relation literally "a sequence of historical states" (§4.4).
+    """
+    schema = relation.schema
+    if op.action == "insert":
+        row = HistoricalRow(Tuple(schema, op.arguments["values"]),
+                            _period_from_args(op.arguments))
+        return HistoricalRelation(schema, relation.rows + (row,))
+
+    if op.action == "delete":
+        match = op.arguments["match"]
+        period = _period_from_args(op.arguments)
+        kept: List[HistoricalRow] = []
+        for row in relation.rows:
+            if not _matches(row.data, match):
+                kept.append(row)
+                continue
+            for piece in row.valid.difference(period):
+                kept.append(HistoricalRow(row.data, piece))
+        return HistoricalRelation(schema, kept)
+
+    if op.action == "replace":
+        match = op.arguments["match"]
+        updates = op.arguments["updates"]
+        period = _period_from_args(op.arguments)
+        result: List[HistoricalRow] = []
+        for row in relation.rows:
+            if not _matches(row.data, match):
+                result.append(row)
+                continue
+            common = row.valid.intersect(period)
+            if common is None:
+                result.append(row)
+                continue
+            for piece in row.valid.difference(period):
+                result.append(HistoricalRow(row.data, piece))
+            result.append(HistoricalRow(row.data.replace(**updates), common))
+        return HistoricalRelation(schema, result)
+
+    raise JournalError(f"historical stores do not understand {op.action!r}")
+
+
+def check_sequenced_key(relation: HistoricalRelation) -> None:
+    """Enforce the sequenced key: at no valid instant may two distinct
+    facts share the key.  (Coalesce-equal duplicates are merged first, so
+    re-asserting the same fact is not a violation.)"""
+    key = relation.schema.key
+    if not key:
+        return
+    canonical = relation.coalesce()
+    by_key: Dict[PyTuple[Any, ...], List[HistoricalRow]] = {}
+    for row in canonical.rows:
+        by_key.setdefault(tuple(row.data[name] for name in key), []).append(row)
+    for key_value, rows in by_key.items():
+        for index, mine in enumerate(rows):
+            for other in rows[index + 1:]:
+                if mine.data != other.data and mine.valid.overlaps(other.valid):
+                    raise ConstraintViolation(
+                        f"sequenced key violation: key {key_value!r} has two "
+                        f"facts valid simultaneously during "
+                        f"{mine.valid.intersect(other.valid)}"
+                    )
+
+
+def check_historical_constraints(relation: HistoricalRelation,
+                                 constraints: Sequence[Constraint],
+                                 now=None) -> None:
+    """Apply declared constraints to the state, plus the sequenced key.
+
+    Ordinary :class:`~repro.relational.constraints.Constraint`\\ s check the
+    data tuples; :class:`~repro.core.temporal_constraints.
+    TemporalConstraint`\\ s (when *now* is given) check the valid times.
+    """
+    facts = Relation(relation.schema, (row.data for row in relation.rows))
+    data_constraints = [c for c in constraints
+                        if isinstance(c, Constraint)
+                        and not _is_key_constraint(c)]
+    check_all(facts, data_constraints)
+    check_sequenced_key(relation)
+    if now is not None:
+        from repro.core.temporal_constraints import check_temporal_constraints
+        check_temporal_constraints(relation, constraints, now)
+
+
+def _is_key_constraint(constraint: Constraint) -> bool:
+    from repro.relational.constraints import KeyConstraint
+    return isinstance(constraint, KeyConstraint)
+
+
+# ---------------------------------------------------------------------------
+# The database kind
+# ---------------------------------------------------------------------------
+
+_Store = Dict[str, HistoricalRelation]
+
+
+class HistoricalDatabase(Database):
+    """The historical database: valid time, arbitrary modification, no rollback."""
+
+    kind = DatabaseKind.HISTORICAL
+
+    def __init__(self, clock=None) -> None:
+        super().__init__(clock)
+        self._store: _Store = {}
+
+    # -- DML API -------------------------------------------------------------------------
+
+    def insert(self, name: str, values: Mapping[str, Any],
+               valid_from: Optional[InstantLike] = None,
+               valid_to: Optional[InstantLike] = None,
+               valid_at: Optional[InstantLike] = None,
+               txn: Optional[Transaction] = None) -> Optional[Instant]:
+        """Record a fact with its valid time.
+
+        Interval relations take ``valid_from`` (required) and ``valid_to``
+        (default ∞); event relations take ``valid_at``.
+        """
+        checked = self._checked_values(name, values)
+        arguments = self._valid_args(name, valid_from, valid_to, valid_at,
+                                     for_insert=True)
+        arguments["values"] = checked
+        return self._submit(Operation("insert", name, arguments), txn)
+
+    def delete(self, name: str, match: Optional[Mapping[str, Any]] = None,
+               valid_from: Optional[InstantLike] = None,
+               valid_to: Optional[InstantLike] = None,
+               valid_at: Optional[InstantLike] = None,
+               txn: Optional[Transaction] = None) -> Optional[Instant]:
+        """Remove matching facts' validity within the given period.
+
+        With no period, the facts are removed entirely — including from the
+        past, since "errors ... are corrected by modifying the database"
+        and no record of the correction is kept.
+        """
+        arguments = self._valid_args(name, valid_from, valid_to, valid_at,
+                                     for_insert=False)
+        arguments["match"] = self._checked_match(name, match or {})
+        return self._submit(Operation("delete", name, arguments), txn)
+
+    def replace(self, name: str, match: Mapping[str, Any],
+                updates: Mapping[str, Any],
+                valid_from: Optional[InstantLike] = None,
+                valid_to: Optional[InstantLike] = None,
+                valid_at: Optional[InstantLike] = None,
+                txn: Optional[Transaction] = None) -> Optional[Instant]:
+        """Change matching facts' attributes within the given period."""
+        arguments = self._valid_args(name, valid_from, valid_to, valid_at,
+                                     for_insert=False)
+        arguments["match"] = self._checked_match(name, match)
+        arguments["updates"] = self._checked_match(name, updates)
+        return self._submit(Operation("replace", name, arguments), txn)
+
+    def _valid_args(self, name: str, valid_from, valid_to, valid_at,
+                    for_insert: bool) -> Dict[str, Any]:
+        if valid_at is not None:
+            if valid_from is not None or valid_to is not None:
+                raise ConstraintViolation(
+                    "give either valid_at or valid_from/valid_to, not both"
+                )
+            return {"valid_at": _coerce(valid_at)}
+        if name in self._event_relations and for_insert:
+            raise ConstraintViolation(
+                f"{name!r} is an event relation; inserts take valid_at"
+            )
+        if for_insert and valid_from is None:
+            raise ConstraintViolation(
+                "inserting into a historical relation requires valid_from "
+                "(the instant the fact began to hold)"
+            )
+        arguments: Dict[str, Any] = {}
+        if valid_from is not None:
+            arguments["valid_from"] = _coerce(valid_from)
+        if valid_to is not None:
+            arguments["valid_to"] = _coerce(valid_to)
+        return arguments
+
+    # -- queries --------------------------------------------------------------------------
+
+    def history(self, name: str) -> HistoricalRelation:
+        """The single historical state of the relation."""
+        self._require_defined(name)
+        return self._store[name]
+
+    def snapshot(self, name: str) -> Relation:
+        """The facts valid *now* (the historical DB always views 'as of now')."""
+        return self.timeslice(name, self.now())
+
+    def timeslice(self, name: str, valid_at: InstantLike) -> Relation:
+        """The facts valid at an instant, as a static relation."""
+        self.require_historical("timeslice")
+        return self.history(name).timeslice(valid_at)
+
+    # -- applier hooks ----------------------------------------------------------------------
+
+    def _stage(self) -> _Store:
+        return dict(self._store)
+
+    def _install(self, staged: _Store) -> None:
+        # The commit being applied has already ticked the clock, so the
+        # manager's last reading is this transaction's commit instant.
+        now = self._manager.clock.last
+        for name, relation in staged.items():
+            if name in self._schemas:
+                # The schema key is enforced as a sequenced key inside
+                # check_historical_constraints (via relation.schema.key).
+                check_historical_constraints(relation,
+                                             self._constraints[name], now)
+        self._store = staged
+
+    def _create_store(self, staged: _Store, name: str, schema: Schema) -> None:
+        staged[name] = HistoricalRelation(schema)
+
+    def _drop_store(self, staged: _Store, name: str) -> None:
+        staged.pop(name, None)
+
+    def _apply_dml(self, staged: _Store, op: Operation,
+                   commit_time: Instant) -> None:
+        if op.relation not in staged:
+            raise UnknownRelationError(f"no relation {op.relation!r}")
+        staged[op.relation] = apply_historical_operation(staged[op.relation], op)

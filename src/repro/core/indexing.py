@@ -1,0 +1,317 @@
+"""Temporal indexing: interval trees over valid and transaction time.
+
+The value types in :mod:`repro.core` answer ``timeslice`` and ``rollback``
+by scanning their rows.  That is fine at paper scale; at workload scale
+the natural accelerator is a *stabbing* index over the periods.  This
+module provides:
+
+- :class:`IntervalTree` — a classic centered interval tree over periods
+  (including unbounded ones), answering "which intervals contain this
+  instant" in ``O(log n + k)``;
+- :class:`HistoricalIndex` — a timeslice accelerator for one
+  :class:`~repro.core.historical.HistoricalRelation`;
+- :class:`RollbackIndex` — a rollback accelerator for one
+  :class:`~repro.core.rollback.RollbackRelation`;
+- :class:`BitemporalIndex` — both axes for one
+  :class:`~repro.core.temporal.TemporalRelation`: a transaction-time tree
+  into per-state valid-time slices.
+
+Indexes are built over the *immutable* relation values, so they can never
+go stale: the database kinds hand out fresh values per commit, and the
+caller re-indexes when it picks up a new value (see
+:class:`DatabaseIndexCache`, which automates exactly that using the
+commit log position).
+
+The benchmark ``bench_indexing.py`` measures the win; the property suite
+checks index answers against the naive scans they replace.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import (Any, Dict, Generic, Iterable, List, Optional, Sequence,
+                    Tuple as PyTuple, TypeVar)
+
+from repro.core.historical import HistoricalRelation
+from repro.core.rollback import RollbackRelation
+from repro.core.temporal import TemporalRelation
+from repro.relational.relation import Relation
+from repro.time.instant import Instant, instant as _coerce
+from repro.time.period import Period
+
+Payload = TypeVar("Payload")
+
+#: Unbounded endpoints are mapped onto IEEE infinities so plain numeric
+#: comparison orders them against integer chronons.
+_NEG = -math.inf
+_POS = math.inf
+
+
+def _lo(period: Period) -> float:
+    return period.start.chronon if period.start.is_finite else _NEG
+
+
+def _hi(period: Period) -> float:
+    """Exclusive upper bound as a number."""
+    return period.end.chronon if period.end.is_finite else _POS
+
+
+class _Node(Generic[Payload]):
+    __slots__ = ("center", "by_start", "by_end", "left", "right")
+
+    def __init__(self, center: float) -> None:
+        self.center = center
+        # Intervals containing the center, sorted two ways for the
+        # classic asymmetric stabbing scans.
+        self.by_start: List[PyTuple[float, float, Payload]] = []
+        self.by_end: List[PyTuple[float, float, Payload]] = []
+        self.left: Optional["_Node[Payload]"] = None
+        self.right: Optional["_Node[Payload]"] = None
+
+
+class IntervalTree(Generic[Payload]):
+    """A centered interval tree over half-open periods.
+
+    Built once from ``(period, payload)`` pairs; :meth:`stab` returns the
+    payloads of every period containing a given instant.  Handles
+    unbounded periods (``-∞`` / ``∞`` endpoints) transparently.
+    """
+
+    def __init__(self, items: Iterable[PyTuple[Period, Payload]]) -> None:
+        triples = [(_lo(period), _hi(period), payload)
+                   for period, payload in items]
+        self._size = len(triples)
+        self._root = self._build(triples)
+
+    @property
+    def size(self) -> int:
+        """The number of indexed intervals."""
+        return self._size
+
+    def _build(self, triples: List[PyTuple[float, float, Payload]]
+               ) -> Optional[_Node[Payload]]:
+        if not triples:
+            return None
+        # Median of the finite endpoints keeps the tree balanced even with
+        # many unbounded intervals.
+        endpoints = sorted(
+            point
+            for lo, hi, _ in triples
+            for point in (lo, hi)
+            if point not in (_NEG, _POS)
+        )
+        if endpoints:
+            center = endpoints[len(endpoints) // 2]
+        else:
+            center = 0.0  # every interval is (-∞, ∞); all land here
+        node = _Node[Payload](center)
+        left_items: List[PyTuple[float, float, Payload]] = []
+        right_items: List[PyTuple[float, float, Payload]] = []
+        for triple in triples:
+            lo, hi, _ = triple
+            if hi <= center:
+                left_items.append(triple)
+            elif lo > center:
+                right_items.append(triple)
+            else:
+                node.by_start.append(triple)
+        # Guard against degenerate splits that would not shrink (possible
+        # only when every interval shares the median endpoint structure).
+        if len(left_items) == len(triples) or len(right_items) == len(triples):
+            node.by_start.extend(left_items + right_items)
+            left_items, right_items = [], []
+        node.by_start.sort(key=lambda t: t[0])
+        node.by_end = sorted(node.by_start, key=lambda t: -t[1])
+        node.left = self._build(left_items)
+        node.right = self._build(right_items)
+        return node
+
+    def stab(self, when) -> List[Payload]:
+        """Payloads of every interval containing *when* (an instant)."""
+        point_instant = _coerce(when)
+        if point_instant.is_finite:
+            point: float = point_instant.chronon
+        elif point_instant.is_pos_inf:
+            point = _POS
+        else:
+            point = _NEG
+        found: List[Payload] = []
+        node = self._root
+        while node is not None:
+            if point < node.center:
+                # Only intervals starting at or before the point can match.
+                for lo, hi, payload in node.by_start:
+                    if lo > point:
+                        break
+                    if point < hi:
+                        found.append(payload)
+                node = node.left
+            else:
+                # point >= center: every stored interval starts <= center
+                # <= point, so filter on the (descending) exclusive ends.
+                for lo, hi, payload in node.by_end:
+                    if hi <= point:
+                        break
+                    found.append(payload)
+                node = node.right
+        return found
+
+    def overlapping(self, period: Period) -> List[Payload]:
+        """Payloads of every interval sharing a chronon with *period*.
+
+        Implemented by walking the whole relevant subtree span: an
+        interval overlaps ``[lo, hi)`` iff it starts before ``hi`` and
+        ends after ``lo``.  Backs transaction-time range queries
+        (``as of ... through``) at index speed.
+        """
+        lo, hi = _lo(period), _hi(period)
+        found: List[Payload] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            if hi <= node.center:
+                # Query lies left of the center: stored intervals need
+                # start < hi to overlap.
+                for start, end, payload in node.by_start:
+                    if start >= hi:
+                        break
+                    if end > lo:
+                        found.append(payload)
+                stack.append(node.left)
+            elif lo > node.center:
+                # Query lies right: stored intervals need end > lo.
+                for start, end, payload in node.by_end:
+                    if end <= lo:
+                        break
+                    if start < hi:
+                        found.append(payload)
+                stack.append(node.right)
+            else:
+                # The query straddles the center: every stored interval
+                # contains the center, hence overlaps; recurse both ways.
+                for start, end, payload in node.by_start:
+                    if start < hi and end > lo:
+                        found.append(payload)
+                stack.append(node.left)
+                stack.append(node.right)
+        return found
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class HistoricalIndex:
+    """Timeslice acceleration for one historical relation value."""
+
+    def __init__(self, relation: HistoricalRelation) -> None:
+        self._relation = relation
+        self._tree: IntervalTree = IntervalTree(
+            (row.valid, row.data) for row in relation.rows)
+
+    @property
+    def relation(self) -> HistoricalRelation:
+        """The indexed (immutable) relation value."""
+        return self._relation
+
+    def timeslice(self, valid_at) -> Relation:
+        """Same result as ``relation.timeslice``, via the interval tree."""
+        return Relation(self._relation.schema, self._tree.stab(valid_at))
+
+
+class RollbackIndex:
+    """Rollback acceleration for one interval-stamped rollback store."""
+
+    def __init__(self, relation: RollbackRelation) -> None:
+        self._relation = relation
+        self._tree: IntervalTree = IntervalTree(
+            (row.tt, row.data) for row in relation.rows)
+
+    @property
+    def relation(self) -> RollbackRelation:
+        """The indexed (immutable) store value."""
+        return self._relation
+
+    def rollback(self, as_of) -> Relation:
+        """Same result as ``relation.rollback``, via the interval tree."""
+        return Relation(self._relation.schema, self._tree.stab(as_of))
+
+
+class BitemporalIndex:
+    """Both axes of one temporal relation value.
+
+    A transaction-time tree finds the rows visible as of ``t``; a
+    valid-time tree over *those* rows answers the timeslice.  The
+    valid-time trees are memoized per distinct rollback instant actually
+    queried, which matches the access pattern of audit workloads (few
+    distinct as-of instants, many valid-time probes each).
+    """
+
+    def __init__(self, relation: TemporalRelation) -> None:
+        self._relation = relation
+        self._tt_tree: IntervalTree = IntervalTree(
+            (row.tt, row) for row in relation.rows)
+        self._state_indexes: Dict[Instant, HistoricalIndex] = {}
+
+    @property
+    def relation(self) -> TemporalRelation:
+        """The indexed (immutable) relation value."""
+        return self._relation
+
+    def rollback(self, as_of) -> HistoricalRelation:
+        """Same result as ``relation.rollback``, via the tt tree."""
+        from repro.core.historical import HistoricalRow
+        rows = [HistoricalRow(row.data, row.valid)
+                for row in self._tt_tree.stab(as_of)]
+        return HistoricalRelation(self._relation.schema, rows)
+
+    def timeslice(self, valid_at, as_of) -> Relation:
+        """Same result as ``relation.timeslice(valid_at, as_of)``."""
+        when = _coerce(as_of)
+        index = self._state_indexes.get(when)
+        if index is None:
+            index = HistoricalIndex(self.rollback(when))
+            self._state_indexes[when] = index
+        return index.timeslice(valid_at)
+
+
+class DatabaseIndexCache:
+    """Fresh-by-construction index cache for a live database.
+
+    Indexes are keyed by ``(relation name, commit-log length)``: any commit
+    advances the log, so a stale index can never be served.  Works with
+    rollback, historical and temporal databases.
+    """
+
+    def __init__(self, database) -> None:
+        self._db = database
+        self._cache: Dict[PyTuple[str, int], Any] = {}
+
+    def _get(self, name: str, builder):
+        key = (name, len(self._db.log))
+        index = self._cache.get(key)
+        if index is None:
+            index = builder()
+            # Drop entries from older log positions for this relation.
+            stale = [k for k in self._cache
+                     if k[0] == name and k[1] != key[1]]
+            for k in stale:
+                del self._cache[k]
+            self._cache[key] = index
+        return index
+
+    def historical(self, name: str) -> HistoricalIndex:
+        """A current HistoricalIndex over ``database.history(name)``."""
+        return self._get(name,
+                         lambda: HistoricalIndex(self._db.history(name)))
+
+    def rollback(self, name: str) -> RollbackIndex:
+        """A current RollbackIndex over the interval store of *name*."""
+        return self._get(name,
+                         lambda: RollbackIndex(self._db.store(name)))
+
+    def bitemporal(self, name: str) -> BitemporalIndex:
+        """A current BitemporalIndex over ``database.temporal(name)``."""
+        return self._get(name,
+                         lambda: BitemporalIndex(self._db.temporal(name)))

@@ -1,0 +1,138 @@
+"""Static databases (§4.1 of the paper).
+
+A static database "models the real world, as it changes dynamically, by a
+snapshot at a particular point in time".  Updates (insertion, deletion,
+replacement) take effect at commit and *destroy* the previous state: "past
+states of the database, and those of the real world, are discarded and
+forgotten completely".
+
+Consequently a static database supports neither rollback (no transaction
+time is kept) nor historical queries (no valid time is kept) — asking for
+either raises the corresponding taxonomy error from the base class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from repro.core.base import Database
+from repro.core.taxonomy import DatabaseKind
+from repro.errors import JournalError, UnknownRelationError
+from repro.relational.constraints import KeyConstraint, check_all
+from repro.relational.relation import Predicate, Relation
+from repro.relational.schema import Schema
+from repro.relational.tuple import Tuple
+from repro.time.instant import Instant
+from repro.txn.transaction import Operation, Transaction
+
+_Store = Dict[str, Relation]
+
+
+class StaticDatabase(Database):
+    """The conventional snapshot database: one current state, no history."""
+
+    kind = DatabaseKind.STATIC
+
+    def __init__(self, clock=None) -> None:
+        super().__init__(clock)
+        self._store: _Store = {}
+
+    # -- DML API -----------------------------------------------------------------
+
+    def insert(self, name: str, values: Mapping[str, Any],
+               txn: Optional[Transaction] = None) -> Optional[Instant]:
+        """Insert one tuple (a no-op if an identical tuple exists: set semantics)."""
+        checked = self._checked_values(name, values)
+        return self._submit(Operation("insert", name, {"values": checked}), txn)
+
+    def delete(self, name: str, match: Optional[Mapping[str, Any]] = None,
+               txn: Optional[Transaction] = None) -> Optional[Instant]:
+        """Delete every tuple agreeing with *match* (all tuples if ``None``)."""
+        checked = self._checked_match(name, match or {})
+        return self._submit(Operation("delete", name, {"match": checked}), txn)
+
+    def replace(self, name: str, match: Mapping[str, Any],
+                updates: Mapping[str, Any],
+                txn: Optional[Transaction] = None) -> Optional[Instant]:
+        """Replace attributes of every tuple agreeing with *match*."""
+        checked_match = self._checked_match(name, match)
+        checked_updates = self._checked_match(name, updates)
+        return self._submit(
+            Operation("replace", name,
+                      {"match": checked_match, "updates": checked_updates}),
+            txn)
+
+    def delete_where(self, name: str, predicate: Predicate,
+                     txn: Optional[Transaction] = None) -> Optional[Instant]:
+        """Delete by predicate.
+
+        The predicate is resolved against the *current* snapshot into
+        concrete full-tuple matches, so the journaled operations are plain
+        values and replay exactly.  Under the single-writer model this is
+        equivalent to resolving at commit.
+        """
+        matched = self.snapshot(name).select(predicate)
+        if txn is not None:
+            for row in matched:
+                self.delete(name, dict(row), txn=txn)
+            return None
+        with self.begin() as batch:
+            for row in matched:
+                self.delete(name, dict(row), txn=batch)
+        return batch.commit_time
+
+    # -- queries ---------------------------------------------------------------------
+
+    def snapshot(self, name: str) -> Relation:
+        """The current (and only) state of the relation."""
+        self._require_defined(name)
+        return self._store[name]
+
+    # -- applier hooks ------------------------------------------------------------------
+
+    def _stage(self) -> _Store:
+        return dict(self._store)
+
+    def _install(self, staged: _Store) -> None:
+        for name in staged:
+            if name in self._schemas:
+                self._check_state(name, staged[name])
+        self._store = staged
+
+    def _check_state(self, name: str, relation: Relation) -> None:
+        declared = list(self._constraints[name])
+        if self._schemas[name].key:
+            declared.append(KeyConstraint(self._schemas[name].key))
+        check_all(relation, declared)
+
+    def _create_store(self, staged: _Store, name: str, schema: Schema) -> None:
+        staged[name] = Relation.empty(schema)
+
+    def _drop_store(self, staged: _Store, name: str) -> None:
+        staged.pop(name, None)
+
+    def _apply_dml(self, staged: _Store, op: Operation,
+                   commit_time: Instant) -> None:
+        try:
+            current = staged[op.relation]
+        except KeyError:
+            raise UnknownRelationError(f"no relation {op.relation!r}") from None
+        schema = current.schema
+        if op.action == "insert":
+            row = Tuple(schema, op.arguments["values"])
+            staged[op.relation] = current.with_tuple(row)
+        elif op.action == "delete":
+            match = op.arguments["match"]
+            staged[op.relation] = current.select(
+                lambda row: not self._matches(row, match))
+        elif op.action == "replace":
+            match = op.arguments["match"]
+            updates = op.arguments["updates"]
+            staged[op.relation] = Relation(schema, (
+                row.replace(**updates) if self._matches(row, match) else row
+                for row in current
+            ))
+        else:
+            raise JournalError(
+                f"static databases do not understand {op.action!r}"
+            )

@@ -1,0 +1,297 @@
+"""The taxonomy itself: three kinds of time, four kinds of database.
+
+This module is the paper's Section 4 and 5 as executable data:
+
+- :class:`TimeKind` — transaction, valid and user-defined time, each
+  carrying the three attributes of Figure 12 (append-only?,
+  application-independent?, representation vs. reality);
+- :class:`DatabaseKind` — static, static rollback, historical and
+  temporal, derived from the two orthogonal capabilities of Figure 10
+  (rollback and historical queries) and carrying the incidence matrix of
+  Figure 11 (which kinds of time each database kind requires);
+- :func:`classify` — Figure 10 as a function: capabilities in, kind out;
+- the survey datasets behind Figure 1 (prior terminology and its
+  attributes) and Figure 13 (time support in existing or proposed
+  systems), with renderers that regenerate those tables.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Sequence, Tuple
+
+
+class Models(enum.Enum):
+    """What a time value is about: the stored representation, or reality."""
+
+    REPRESENTATION = "representation"
+    REALITY = "reality"
+
+
+class TimeKind(enum.Enum):
+    """The paper's three kinds of time (replacing 'physical'/'logical')."""
+
+    TRANSACTION = "transaction"
+    VALID = "valid"
+    USER_DEFINED = "user-defined"
+
+    # -- Figure 12: attributes of the new kinds of time --------------------
+
+    @property
+    def append_only(self) -> bool:
+        """Whether values of this kind, once written, may never change."""
+        return self is TimeKind.TRANSACTION
+
+    @property
+    def application_independent(self) -> bool:
+        """Whether the DBMS can interpret the values without the application."""
+        return self is not TimeKind.USER_DEFINED
+
+    @property
+    def models(self) -> Models:
+        """Representation (database activity) or reality (the modeled world)."""
+        if self is TimeKind.TRANSACTION:
+            return Models.REPRESENTATION
+        return Models.REALITY
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class DatabaseKind(enum.Enum):
+    """The paper's four kinds of database (Figure 10)."""
+
+    STATIC = "static"
+    STATIC_ROLLBACK = "static rollback"
+    HISTORICAL = "historical"
+    TEMPORAL = "temporal"
+
+    # -- Figure 10: the two orthogonal capabilities --------------------------
+
+    @property
+    def supports_rollback(self) -> bool:
+        """Can the database be viewed as of a past transaction time?"""
+        return self in (DatabaseKind.STATIC_ROLLBACK, DatabaseKind.TEMPORAL)
+
+    @property
+    def supports_historical_queries(self) -> bool:
+        """Can the database answer queries about valid time?"""
+        return self in (DatabaseKind.HISTORICAL, DatabaseKind.TEMPORAL)
+
+    # -- Figure 11: which kinds of time each database kind incorporates -------
+
+    @property
+    def time_kinds(self) -> FrozenSet[TimeKind]:
+        """The kinds of time the database kind supports.
+
+        Transaction time comes with rollback; valid time comes with
+        historical queries; user-defined time rides along with valid time
+        ("both valid time and user-defined time concern modeling of
+        reality, and so it is appropriate that they should appear
+        together", §4.3).
+        """
+        kinds = set()
+        if self.supports_rollback:
+            kinds.add(TimeKind.TRANSACTION)
+        if self.supports_historical_queries:
+            kinds.add(TimeKind.VALID)
+            kinds.add(TimeKind.USER_DEFINED)
+        return frozenset(kinds)
+
+    @property
+    def append_only(self) -> bool:
+        """DBMSs supporting rollback are append-only (§5)."""
+        return self.supports_rollback
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def classify(rollback: bool, historical_queries: bool) -> DatabaseKind:
+    """Figure 10 as a function: from capabilities to database kind."""
+    if rollback and historical_queries:
+        return DatabaseKind.TEMPORAL
+    if rollback:
+        return DatabaseKind.STATIC_ROLLBACK
+    if historical_queries:
+        return DatabaseKind.HISTORICAL
+    return DatabaseKind.STATIC
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: the prior literature's terminology and its attributes
+# ---------------------------------------------------------------------------
+
+class PriorTerm(NamedTuple):
+    """One row of Figure 1: how an earlier paper characterized a time.
+
+    ``append_only`` / ``application_independent`` are tri-state: ``True``,
+    ``False``, or a footnote string for the qualified entries ("can make
+    corrections only", ...).  ``models`` is ``None`` where the paper's
+    table leaves the cell blank.
+    """
+
+    reference: str
+    terminology: str
+    append_only: object
+    application_independent: object
+    models: Optional[Models]
+    supported: bool = True  # footnote (1): "not actually supported"
+
+
+#: Figure 1 of the paper, verbatim.
+FIGURE_1: Tuple[PriorTerm, ...] = (
+    PriorTerm("Ariav & Morgan 1982", "Time", True, True, Models.REPRESENTATION),
+    PriorTerm("Ben-Zvi 1982", "Registration", True, True, Models.REPRESENTATION),
+    PriorTerm("Ben-Zvi 1982", "Effective", False, True, Models.REALITY),
+    PriorTerm("Clifford & Warren 1983", "State", False, True, None),
+    PriorTerm("Copeland & Maier 1984", "Transaction", True, True,
+              Models.REPRESENTATION),
+    PriorTerm("Copeland & Maier 1984", "Event", False, False, Models.REALITY,
+              supported=False),
+    PriorTerm("Dadam et al. 1984 & Lum et al. 1984", "Physical",
+              "corrections only", True, Models.REPRESENTATION),
+    PriorTerm("Dadam et al. 1984 & Lum et al. 1984", "Logical",
+              False, False, Models.REALITY, supported=False),
+    PriorTerm("Jones et al. 1979 & Jones & Mason 1980", "Start/End",
+              "corrections only", True, Models.REALITY),
+    PriorTerm("Jones et al. 1979 & Jones & Mason 1980", "User Defined",
+              False, False, Models.REALITY),
+    PriorTerm("Mueller & Steinbauer 1983", "Data-Valid-Time-From/To",
+              "future changes only", True, Models.REPRESENTATION),
+    PriorTerm("Reed 1978", "Start/End", True, True, Models.REPRESENTATION),
+    PriorTerm("Snodgrass 1984", "Valid Time", False, True, Models.REALITY),
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: time support in existing or proposed systems
+# ---------------------------------------------------------------------------
+
+class SurveyedSystem(NamedTuple):
+    """One row of Figure 13: a 1985-era system and the times it supports."""
+
+    reference: str
+    system: str
+    transaction_time: bool
+    valid_time: bool
+    user_defined_time: bool
+
+    @property
+    def time_kinds(self) -> FrozenSet[TimeKind]:
+        """The supported kinds as a set."""
+        kinds = set()
+        if self.transaction_time:
+            kinds.add(TimeKind.TRANSACTION)
+        if self.valid_time:
+            kinds.add(TimeKind.VALID)
+        if self.user_defined_time:
+            kinds.add(TimeKind.USER_DEFINED)
+        return frozenset(kinds)
+
+    @property
+    def database_kind(self) -> DatabaseKind:
+        """The kind of database the system realizes, via :func:`classify`."""
+        return classify(rollback=self.transaction_time,
+                        historical_queries=self.valid_time)
+
+
+#: Figure 13 of the paper, verbatim.
+FIGURE_13: Tuple[SurveyedSystem, ...] = (
+    SurveyedSystem("Ariav & Morgan 1982", "MDM/DB", True, False, False),
+    SurveyedSystem("Ben-Zvi 1982", "TRM", True, True, False),
+    SurveyedSystem("Bontempo 1983", "QBE", False, False, True),
+    SurveyedSystem("Breutmann et al. 1979", "CSL", False, True, False),
+    SurveyedSystem("Clifford & Warren 1983", "IL_s", False, True, False),
+    SurveyedSystem("Copeland & Maier 1984", "GemStone", True, False, False),
+    SurveyedSystem("Findler & Chen 1971", "AMPPL-II", False, True, False),
+    SurveyedSystem("Jones & Mason 1980", "LEGOL 2.0", False, True, True),
+    SurveyedSystem("Klopprogge 1981", "TERM", False, True, False),
+    SurveyedSystem("Lum et al. 1984", "AIM", True, False, False),
+    SurveyedSystem("Relational 1984", "MicroINGRES", False, False, True),
+    SurveyedSystem("Mueller & Steinbauer 1983", "CAM", True, False, False),
+    SurveyedSystem("Overmyer & Stonebraker 1982", "INGRES", False, False, True),
+    SurveyedSystem("Reed 1978", "SWALLOW", True, False, False),
+    SurveyedSystem("Snodgrass 1985", "TQuel", True, True, True),
+    SurveyedSystem("Tandem 1983", "ENFORM", False, False, True),
+    SurveyedSystem("Wiederhold et al. 1975", "TODS", False, True, False),
+)
+
+
+# ---------------------------------------------------------------------------
+# Table renderers: regenerate Figures 1, 10, 11, 12, 13
+# ---------------------------------------------------------------------------
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [max(len(str(cell)) for cell in column)
+              for column in zip(headers, *rows)] if rows else [len(h) for h in headers]
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(str(cell).ljust(width)
+                          for cell, width in zip(cells, widths)).rstrip()
+    rule = "-+-".join("-" * width for width in widths)
+    return "\n".join([line(headers), rule] + [line(row) for row in rows])
+
+
+def _tri(value: object) -> str:
+    if value is True:
+        return "Yes"
+    if value is False:
+        return "No"
+    return f"({value})"
+
+
+def render_figure_1() -> str:
+    """Figure 1: Types of Time (prior terminology vs. the three attributes)."""
+    rows = []
+    for term in FIGURE_1:
+        models = term.models.value.capitalize() if term.models else ""
+        name = term.terminology + ("" if term.supported else " (unsupported)")
+        rows.append([term.reference, name, _tri(term.append_only),
+                     _tri(term.application_independent), models])
+    return _table(["Reference", "Terminology", "Append-Only",
+                   "Application Independent", "Representation vs. Reality"],
+                  rows)
+
+
+def render_figure_10() -> str:
+    """Figure 10: Types of Databases (the 2x2 classification)."""
+    rows = [
+        ["Static Queries", str(classify(False, False)), str(classify(True, False))],
+        ["Historical Queries", str(classify(False, True)), str(classify(True, True))],
+    ]
+    return _table(["", "No Rollback", "Rollback"], rows)
+
+
+def render_figure_11() -> str:
+    """Figure 11: Attributes of the New Kinds of Databases (incidence matrix)."""
+    rows = []
+    for kind in DatabaseKind:
+        marks = ["V" if time in kind.time_kinds else ""
+                 for time in (TimeKind.TRANSACTION, TimeKind.VALID,
+                              TimeKind.USER_DEFINED)]
+        rows.append([str(kind).title()] + marks)
+    return _table(["", "Transaction", "Valid", "User-defined"], rows)
+
+
+def render_figure_12() -> str:
+    """Figure 12: Attributes of the New Kinds of Time."""
+    rows = []
+    for time in TimeKind:
+        rows.append([str(time).title(),
+                     "Yes" if time.append_only else "No",
+                     "Yes" if time.application_independent else "No",
+                     time.models.value.capitalize()])
+    return _table(["Terminology", "Append-Only", "Application Independent",
+                   "Representation vs. Reality"], rows)
+
+
+def render_figure_13() -> str:
+    """Figure 13: Time Support in Existing or Proposed Systems."""
+    rows = []
+    for system in FIGURE_13:
+        rows.append([system.reference, system.system,
+                     "V" if system.transaction_time else "",
+                     "V" if system.valid_time else "",
+                     "V" if system.user_defined_time else ""])
+    return _table(["Reference", "System or Language", "Transaction Time",
+                   "Valid Time", "User-defined Time"], rows)

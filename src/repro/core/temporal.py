@@ -1,0 +1,330 @@
+"""Temporal databases (§4.4 of the paper): both transaction and valid time.
+
+"While a static rollback database views tuples valid at some time as of
+that time, and a historical database always views tuples valid at some
+moment as of now, a temporal DBMS makes it possible to view tuples valid
+at some moment seen as of some other moment, completely capturing the
+history of retroactive/postactive changes."
+
+A :class:`TemporalRelation` is implemented as the paper conceptualizes it:
+**a sequence of historical states**.  Each committed transaction takes the
+current historical state, applies the same valid-time operations a
+historical database understands (:func:`~repro.core.historical.
+apply_historical_operation`), and records the difference — rows that
+disappeared get their transaction time closed at the commit instant, rows
+that appeared open at it.  Hence temporal relations are append-only in
+transaction time, and ``rollback(t)`` reconstructs exactly the historical
+state any moment ``t`` saw.
+
+The stored form is the four-timestamp table of Figure 8:
+``(data ‖ valid from, valid to ‖ transaction start, transaction end)``.
+"""
+
+from __future__ import annotations
+
+from typing import (Any, Dict, Iterable, List, Mapping, NamedTuple, Optional,
+                    Sequence, Set, Tuple as PyTuple)
+
+from repro.core.base import Database, InstantLike
+from repro.core.historical import (HistoricalRelation, HistoricalRow,
+                                   apply_historical_operation,
+                                   check_historical_constraints)
+from repro.core.taxonomy import DatabaseKind
+from repro.errors import ConstraintViolation, UnknownRelationError
+from repro.relational.constraints import Constraint
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.tuple import Tuple
+from repro.time.instant import Instant, POS_INF, instant as _coerce
+from repro.time.period import Period
+from repro.txn.transaction import Operation, Transaction
+
+
+class BitemporalRow(NamedTuple):
+    """One fact with its valid period and its transaction-time period."""
+
+    data: Tuple
+    valid: Period
+    tt: Period
+
+    def visible_at(self, as_of: Instant) -> bool:
+        """Was this row part of the historical state as of *as_of*?"""
+        return self.tt.contains(as_of)
+
+
+class TemporalRelation:
+    """A bitemporal relation (Figure 8): an immutable value object."""
+
+    __slots__ = ("_schema", "_rows")
+
+    def __init__(self, schema: Schema,
+                 rows: Iterable[BitemporalRow] = ()) -> None:
+        self._schema = schema
+        self._rows: PyTuple[BitemporalRow, ...] = tuple(rows)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The explicit (non-temporal) schema."""
+        return self._schema
+
+    @property
+    def rows(self) -> PyTuple[BitemporalRow, ...]:
+        """Every bitemporal row, past and current."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    # -- the two time axes ------------------------------------------------------
+
+    def rollback(self, as_of: InstantLike) -> HistoricalRelation:
+        """The historical state as of a transaction time (§4.4's rollback)."""
+        when = _coerce(as_of)
+        return HistoricalRelation(
+            self._schema,
+            (HistoricalRow(row.data, row.valid)
+             for row in self._rows if row.visible_at(when)))
+
+    def current(self) -> HistoricalRelation:
+        """The most recent historical state (transaction end = ∞)."""
+        return HistoricalRelation(
+            self._schema,
+            (HistoricalRow(row.data, row.valid)
+             for row in self._rows if row.tt.end.is_pos_inf))
+
+    def visible_during(self, period: Period) -> "TemporalRelation":
+        """The rows belonging to any historical state during the period.
+
+        Backs TQuel's ``as of t1 through t2`` on temporal databases; the
+        result keeps both time axes (it is itself a temporal relation).
+        """
+        return TemporalRelation(
+            self._schema,
+            (row for row in self._rows if row.tt.overlaps(period)))
+
+    def timeslice(self, valid_at: InstantLike,
+                  as_of: Optional[InstantLike] = None) -> Relation:
+        """Facts valid at one instant, seen as of another (a bitemporal point)."""
+        state = self.current() if as_of is None else self.rollback(as_of)
+        return state.timeslice(valid_at)
+
+    def commit_times(self) -> List[Instant]:
+        """Every transaction time at which this relation changed, ascending."""
+        times = {row.tt.start for row in self._rows}
+        times.update(row.tt.end for row in self._rows if row.tt.end.is_finite)
+        return sorted(times)
+
+    def historical_states(self) -> List[PyTuple[Instant, HistoricalRelation]]:
+        """The full sequence of historical states (Figure 7's cube)."""
+        return [(when, self.rollback(when)) for when in self.commit_times()]
+
+    def select(self, predicate) -> "TemporalRelation":
+        """Rows whose data satisfies the predicate (both times untouched)."""
+        from repro.relational.expression import Expression
+        if isinstance(predicate, Expression):
+            test = lambda row: bool(predicate.evaluate(row))
+        else:
+            test = predicate
+        return TemporalRelation(
+            self._schema, (row for row in self._rows if test(row.data)))
+
+    def storage_cells(self) -> int:
+        """Stored cells: rows × (attributes + 4 timestamps).  For benches."""
+        return len(self._rows) * (len(self._schema) + 4)
+
+    def pretty(self, title: Optional[str] = None, event: bool = False) -> str:
+        """Render like Figure 8 (or Figure 9's event style)."""
+        from repro.tquel.printer import render_temporal  # local: avoid cycle
+        return render_temporal(self, title, event=event)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemporalRelation):
+            return NotImplemented
+        return (self._schema.names == other._schema.names
+                and frozenset(self._rows) == frozenset(other._rows))
+
+    def __hash__(self) -> int:
+        return hash((self._schema.names, frozenset(self._rows)))
+
+    def __repr__(self) -> str:
+        return (f"TemporalRelation({', '.join(self._schema.names)}; "
+                f"{len(self._rows)} rows)")
+
+
+# ---------------------------------------------------------------------------
+# The database kind
+# ---------------------------------------------------------------------------
+
+_Store = Dict[str, TemporalRelation]
+
+
+class TemporalDatabase(Database):
+    """The temporal database: transaction time *and* valid time.
+
+    The update API is the historical database's (facts with valid-time
+    arguments); the difference is that every change is also recorded on
+    the transaction-time axis, so nothing is ever physically forgotten.
+    """
+
+    kind = DatabaseKind.TEMPORAL
+
+    def __init__(self, clock=None) -> None:
+        super().__init__(clock)
+        self._store: _Store = {}
+
+    # -- DML API (same shape as HistoricalDatabase) --------------------------------------
+
+    def insert(self, name: str, values: Mapping[str, Any],
+               valid_from: Optional[InstantLike] = None,
+               valid_to: Optional[InstantLike] = None,
+               valid_at: Optional[InstantLike] = None,
+               txn: Optional[Transaction] = None) -> Optional[Instant]:
+        """Record a fact with its valid time (transaction time is assigned)."""
+        checked = self._checked_values(name, values)
+        arguments = self._valid_args(name, valid_from, valid_to, valid_at,
+                                     for_insert=True)
+        arguments["values"] = checked
+        return self._submit(Operation("insert", name, arguments), txn)
+
+    def delete(self, name: str, match: Optional[Mapping[str, Any]] = None,
+               valid_from: Optional[InstantLike] = None,
+               valid_to: Optional[InstantLike] = None,
+               valid_at: Optional[InstantLike] = None,
+               txn: Optional[Transaction] = None) -> Optional[Instant]:
+        """Remove matching facts' validity within the period — logically.
+
+        The current historical state loses the validity; the previous
+        belief remains on the transaction-time axis ("errors ... cannot be
+        forgotten").
+        """
+        arguments = self._valid_args(name, valid_from, valid_to, valid_at,
+                                     for_insert=False)
+        arguments["match"] = self._checked_match(name, match or {})
+        return self._submit(Operation("delete", name, arguments), txn)
+
+    def replace(self, name: str, match: Mapping[str, Any],
+                updates: Mapping[str, Any],
+                valid_from: Optional[InstantLike] = None,
+                valid_to: Optional[InstantLike] = None,
+                valid_at: Optional[InstantLike] = None,
+                txn: Optional[Transaction] = None) -> Optional[Instant]:
+        """Change matching facts' attributes within the period — logically."""
+        arguments = self._valid_args(name, valid_from, valid_to, valid_at,
+                                     for_insert=False)
+        arguments["match"] = self._checked_match(name, match)
+        arguments["updates"] = self._checked_match(name, updates)
+        return self._submit(Operation("replace", name, arguments), txn)
+
+    def _valid_args(self, name: str, valid_from, valid_to, valid_at,
+                    for_insert: bool) -> Dict[str, Any]:
+        if valid_at is not None:
+            if valid_from is not None or valid_to is not None:
+                raise ConstraintViolation(
+                    "give either valid_at or valid_from/valid_to, not both"
+                )
+            return {"valid_at": _coerce(valid_at)}
+        if name in self._event_relations and for_insert:
+            raise ConstraintViolation(
+                f"{name!r} is an event relation; inserts take valid_at"
+            )
+        if for_insert and valid_from is None:
+            raise ConstraintViolation(
+                "inserting into a temporal relation requires valid_from "
+                "(the instant the fact began to hold)"
+            )
+        arguments: Dict[str, Any] = {}
+        if valid_from is not None:
+            arguments["valid_from"] = _coerce(valid_from)
+        if valid_to is not None:
+            arguments["valid_to"] = _coerce(valid_to)
+        return arguments
+
+    # -- queries --------------------------------------------------------------------------
+
+    def temporal(self, name: str) -> TemporalRelation:
+        """The full bitemporal relation (Figure 8)."""
+        self._require_defined(name)
+        return self._store[name]
+
+    def history(self, name: str) -> HistoricalRelation:
+        """The current historical state (what a historical DB would hold)."""
+        return self.temporal(name).current()
+
+    def rollback(self, name: str, as_of: InstantLike) -> HistoricalRelation:
+        """The historical state as of a past transaction time."""
+        self.require_rollback("rollback")
+        return self.temporal(name).rollback(as_of)
+
+    def rollback_range(self, name: str, from_: InstantLike,
+                       through: InstantLike) -> TemporalRelation:
+        """Rows of every historical state over the inclusive tt range."""
+        self.require_rollback("rollback")
+        period = Period.from_inclusive(_coerce(from_), _coerce(through))
+        return self.temporal(name).visible_during(period)
+
+    def snapshot(self, name: str) -> Relation:
+        """Facts valid now, as of now."""
+        return self.history(name).timeslice(self.now())
+
+    def timeslice(self, name: str, valid_at: InstantLike,
+                  as_of: Optional[InstantLike] = None) -> Relation:
+        """Facts valid at an instant, optionally seen as of a past moment."""
+        self.require_historical("timeslice")
+        return self.temporal(name).timeslice(valid_at, as_of)
+
+    # -- applier hooks ----------------------------------------------------------------------
+
+    def _stage(self) -> _Store:
+        return dict(self._store)
+
+    def _install(self, staged: _Store) -> None:
+        now = self._manager.clock.last
+        for name, relation in staged.items():
+            if name in self._schemas:
+                check_historical_constraints(relation.current(),
+                                             self._constraints[name], now)
+        self._store = staged
+
+    def _create_store(self, staged: _Store, name: str, schema: Schema) -> None:
+        staged[name] = TemporalRelation(schema)
+
+    def _drop_store(self, staged: _Store, name: str) -> None:
+        staged.pop(name, None)
+
+    def _apply_dml(self, staged: _Store, op: Operation,
+                   commit_time: Instant) -> None:
+        if op.relation not in staged:
+            raise UnknownRelationError(f"no relation {op.relation!r}")
+        staged[op.relation] = self._advance(staged[op.relation], op, commit_time)
+
+    @staticmethod
+    def _advance(relation: TemporalRelation, op: Operation,
+                 commit_time: Instant) -> TemporalRelation:
+        """Apply a valid-time operation and record the state difference."""
+        old_state = relation.current()
+        new_state = apply_historical_operation(old_state, op)
+        old_rows: Set[HistoricalRow] = set(old_state.rows)
+        new_rows: Set[HistoricalRow] = set(new_state.rows)
+
+        result: List[BitemporalRow] = []
+        for row in relation.rows:
+            if not row.tt.end.is_pos_inf:
+                result.append(row)  # already part of the immutable past
+                continue
+            if HistoricalRow(row.data, row.valid) in new_rows:
+                result.append(row)  # survives this transaction
+                continue
+            if row.tt.start == commit_time:
+                continue  # created and superseded within one transaction
+            result.append(BitemporalRow(row.data, row.valid,
+                                        Period(row.tt.start, commit_time)))
+        for hist_row in new_state.rows:
+            if hist_row not in old_rows:
+                result.append(BitemporalRow(hist_row.data, hist_row.valid,
+                                            Period(commit_time, POS_INF)))
+        return TemporalRelation(relation.schema, result)

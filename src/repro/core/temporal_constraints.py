@@ -1,0 +1,160 @@
+"""Temporal integrity constraints: rules over valid time itself.
+
+Ordinary constraints (:mod:`repro.relational.constraints`) see a relation
+of data tuples.  Temporal applications also need rules about *validity*:
+
+- :class:`ContiguousHistory` — per key, the recorded validity must form
+  one gap-free block ("an employee has exactly one salary at every moment
+  between hire and termination; no accidental uncovered days");
+- :class:`NoFutureValidity` — facts may not claim validity beyond the
+  current instant plus a horizon (some shops forbid postactive recording
+  entirely, horizon 0; the paper's examples obviously allow it — this is
+  opt-in policy, not taxonomy);
+- :class:`BoundedValidity` — all validity must fall inside a window
+  (e.g. nothing before the company existed);
+- :class:`ValidityDuration` — per fact, validity pieces must respect a
+  minimum/maximum duration (e.g. contracts run at least a full day).
+
+These are :class:`TemporalConstraint` subclasses; historical and temporal
+databases check them — against the *current* historical state — on every
+commit, alongside the sequenced key.  Declare them in ``define(...,
+constraints=[...])`` next to ordinary constraints; the kinds route each
+constraint to the right checker.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.core.historical import HistoricalRelation
+from repro.errors import ConstraintViolation
+from repro.time.element import TemporalElement
+from repro.time.instant import Instant
+from repro.time.period import Period
+
+
+class TemporalConstraint(abc.ABC):
+    """A named integrity rule over a historical state's valid times."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @abc.abstractmethod
+    def check_history(self, relation: HistoricalRelation,
+                      now: Instant) -> None:
+        """Raise :class:`ConstraintViolation` if the state breaks the rule."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class ContiguousHistory(TemporalConstraint):
+    """Per key, validity must be one gap-free block.
+
+    A key may be absent entirely, but once present its total validity
+    (union over all its facts) must coalesce to a single period — no
+    holes.  Value *changes* are fine; uncovered instants between them are
+    not.
+    """
+
+    def __init__(self, key: Sequence[str], name: str = "") -> None:
+        self.key = tuple(key)
+        super().__init__(name or f"contiguous({', '.join(self.key)})")
+
+    def check_history(self, relation: HistoricalRelation,
+                      now: Instant) -> None:
+        coverage: Dict[PyTuple, TemporalElement] = {}
+        for row in relation.rows:
+            key_value = tuple(row.data[attribute] for attribute in self.key)
+            element = coverage.get(key_value, TemporalElement.empty())
+            coverage[key_value] = element | row.valid
+        for key_value, element in coverage.items():
+            if len(element.periods) > 1:
+                gaps = element.complement().intersect(element.span())
+                raise ConstraintViolation(
+                    f"{self.name}: key {key_value!r} has gaps in its "
+                    f"history at {gaps}"
+                )
+
+
+class NoFutureValidity(TemporalConstraint):
+    """Validity may not start more than *horizon* chronons after now.
+
+    ``horizon=0`` forbids postactive recording outright; a positive
+    horizon allows scheduling that far ahead.  (Open-ended ``to ∞`` facts
+    are fine — the rule constrains when a fact may *begin*.)
+    """
+
+    def __init__(self, horizon: int = 0, name: str = "") -> None:
+        self.horizon = horizon
+        super().__init__(name or f"no_future_validity(+{horizon})")
+
+    def check_history(self, relation: HistoricalRelation,
+                      now: Instant) -> None:
+        limit = now + self.horizon
+        for row in relation.rows:
+            if row.valid.start.is_finite and row.valid.start > limit:
+                raise ConstraintViolation(
+                    f"{self.name}: fact {dict(row.data)!r} claims validity "
+                    f"from {row.valid.start}, beyond the horizon {limit}"
+                )
+
+
+class BoundedValidity(TemporalConstraint):
+    """All validity must lie inside a fixed window."""
+
+    def __init__(self, bounds: Period, name: str = "") -> None:
+        self.bounds = bounds
+        super().__init__(name or f"bounded_validity({bounds})")
+
+    def check_history(self, relation: HistoricalRelation,
+                      now: Instant) -> None:
+        for row in relation.rows:
+            if not self.bounds.contains_period(row.valid):
+                raise ConstraintViolation(
+                    f"{self.name}: fact {dict(row.data)!r} valid "
+                    f"{row.valid} escapes the window {self.bounds}"
+                )
+
+
+class ValidityDuration(TemporalConstraint):
+    """Each validity piece must last between *at_least* and *at_most* chronons.
+
+    Open-ended pieces satisfy any maximum (they may still be cut short
+    later) and any minimum (they are unbounded).
+    """
+
+    def __init__(self, at_least: Optional[int] = None,
+                 at_most: Optional[int] = None, name: str = "") -> None:
+        if at_least is None and at_most is None:
+            raise ValueError("give at_least and/or at_most")
+        self.at_least = at_least
+        self.at_most = at_most
+        super().__init__(
+            name or f"duration(min={at_least}, max={at_most})")
+
+    def check_history(self, relation: HistoricalRelation,
+                      now: Instant) -> None:
+        for row in relation.coalesce().rows:
+            length = row.valid.duration()
+            if length is None:
+                continue
+            if self.at_least is not None and length < self.at_least:
+                raise ConstraintViolation(
+                    f"{self.name}: fact {dict(row.data)!r} valid for only "
+                    f"{length} chronons ({row.valid})"
+                )
+            if self.at_most is not None and length > self.at_most:
+                raise ConstraintViolation(
+                    f"{self.name}: fact {dict(row.data)!r} valid for "
+                    f"{length} chronons ({row.valid}), over the maximum"
+                )
+
+
+def check_temporal_constraints(relation: HistoricalRelation,
+                               constraints: Sequence, now: Instant) -> None:
+    """Apply every :class:`TemporalConstraint` in *constraints*."""
+    for constraint in constraints:
+        if isinstance(constraint, TemporalConstraint):
+            constraint.check_history(relation, now)

@@ -1,0 +1,100 @@
+"""Vacuuming: deliberately forgetting transaction history.
+
+The paper is emphatic that transaction time is append-only — "errors can
+sometimes be overridden ... but they cannot be forgotten".  Real systems
+built on this taxonomy (Postgres's original time-travel, SQL:2011 system
+versioning) nevertheless need a *controlled* escape hatch: reclaiming
+storage for states older than some retention cutoff.  This module
+implements that extension.
+
+Vacuuming is explicitly **not** an update: it removes information that was
+only visible to rollbacks earlier than the cutoff, and it refuses to run
+with a cutoff in the future (which would amputate the current state).
+After ``vacuum(relation, cutoff)``:
+
+- ``rollback(t)`` for ``t >= cutoff`` is unchanged;
+- ``rollback(t)`` for ``t < cutoff`` sees the null relation — that
+  history has been discarded, and the store honestly reports knowing
+  nothing about it (both representations agree on this).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.core.rollback import RollbackRelation, StateSequence, TransactionTimeRow
+from repro.core.temporal import BitemporalRow, TemporalRelation
+from repro.errors import AppendOnlyViolation
+from repro.time.instant import Instant, instant as _coerce
+from repro.time.period import Period
+
+
+def _check_cutoff(cutoff: Instant, newest: Instant) -> None:
+    if not cutoff.is_finite:
+        raise AppendOnlyViolation("vacuum cutoff must be a finite instant")
+    if newest.is_finite and cutoff > newest:
+        raise AppendOnlyViolation(
+            f"vacuum cutoff {cutoff} lies after the newest commit {newest}; "
+            f"vacuuming may only discard the past, never the present"
+        )
+
+
+def vacuum_rollback(relation: RollbackRelation,
+                    cutoff) -> RollbackRelation:
+    """Drop transaction history before *cutoff* from an interval store.
+
+    Rows that ended before the cutoff vanish; rows that started before it
+    but were still in the database at the cutoff have their start clamped
+    to the cutoff.
+    """
+    when = _coerce(cutoff)
+    newest = max((bound for row in relation.rows
+                  for bound in (row.tt.start, row.tt.end) if bound.is_finite),
+                 default=when)
+    _check_cutoff(when, newest)
+    kept: List[TransactionTimeRow] = []
+    for row in relation.rows:
+        if row.tt.end <= when:
+            continue  # only visible strictly before the cutoff
+        start = max(row.tt.start, when)
+        kept.append(TransactionTimeRow(row.data, Period(start, row.tt.end)))
+    return RollbackRelation(relation.schema, kept)
+
+
+def vacuum_states(sequence: StateSequence, cutoff) -> StateSequence:
+    """Drop whole states before *cutoff* from a state-sequence store.
+
+    The newest state at or before the cutoff is retained (re-stamped at
+    the cutoff) so rollbacks at the cutoff still answer correctly.
+    """
+    when = _coerce(cutoff)
+    states = sequence.states
+    newest = states[-1][0] if states else when
+    _check_cutoff(when, newest)
+    older = [(time, state) for time, state in states if time <= when]
+    newer = [(time, state) for time, state in states if time > when]
+    kept = []
+    if older:
+        kept.append((when, older[-1][1]))
+    kept.extend(newer)
+    return StateSequence(sequence.schema, kept)
+
+
+def vacuum_temporal(relation: TemporalRelation, cutoff) -> TemporalRelation:
+    """Drop transaction history before *cutoff* from a temporal relation.
+
+    Valid time is untouched — vacuuming forgets what the database *used to
+    believe*, never what is (currently believed to be) true.
+    """
+    when = _coerce(cutoff)
+    newest = max((bound for row in relation.rows
+                  for bound in (row.tt.start, row.tt.end) if bound.is_finite),
+                 default=when)
+    _check_cutoff(when, newest)
+    kept: List[BitemporalRow] = []
+    for row in relation.rows:
+        if row.tt.end <= when:
+            continue
+        start = max(row.tt.start, when)
+        kept.append(BitemporalRow(row.data, row.valid, Period(start, row.tt.end)))
+    return TemporalRelation(relation.schema, kept)

@@ -1,0 +1,154 @@
+"""Exception hierarchy for the repro temporal database library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  The hierarchy mirrors the layers of
+the system: time values, the relational substrate, transactions, the four
+database kinds, and the TQuel language.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Time substrate
+# ---------------------------------------------------------------------------
+
+class TimeError(ReproError):
+    """Base class for errors concerning time values."""
+
+
+class InvalidInstantError(TimeError):
+    """An instant literal could not be parsed or is out of range."""
+
+
+class InvalidPeriodError(TimeError):
+    """A period was constructed with end before start, or is otherwise malformed."""
+
+
+class GranularityError(TimeError):
+    """Two time values of incompatible granularities were combined."""
+
+
+class ClockError(TimeError):
+    """A clock was asked to move backwards or produced a non-monotone reading."""
+
+
+# ---------------------------------------------------------------------------
+# Relational substrate
+# ---------------------------------------------------------------------------
+
+class RelationalError(ReproError):
+    """Base class for errors in the relational substrate."""
+
+
+class SchemaError(RelationalError):
+    """A schema is malformed: duplicate attributes, unknown domains, bad keys."""
+
+
+class DomainError(RelationalError):
+    """A value does not belong to its attribute's domain."""
+
+
+class ConstraintViolation(RelationalError):
+    """An integrity constraint (key, not-null, check) was violated."""
+
+
+class UnknownAttributeError(RelationalError):
+    """An expression referenced an attribute not present in the schema."""
+
+
+class UnknownRelationError(RelationalError):
+    """A statement referenced a relation not present in the catalog."""
+
+
+class DuplicateRelationError(RelationalError):
+    """A relation with the same name already exists in the catalog."""
+
+
+class ExpressionError(RelationalError):
+    """A scalar or predicate expression is ill-typed or cannot be evaluated."""
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+class TransactionError(ReproError):
+    """Base class for transaction-machinery errors."""
+
+
+class TransactionStateError(TransactionError):
+    """An operation was attempted in the wrong transaction state."""
+
+
+class JournalError(TransactionError):
+    """The append-only journal is corrupt or was used incorrectly."""
+
+
+# ---------------------------------------------------------------------------
+# Database kinds (the paper's taxonomy, enforced)
+# ---------------------------------------------------------------------------
+
+class TemporalSupportError(ReproError):
+    """An operation requires a kind of time the database does not support.
+
+    This is the taxonomy of the paper made executable: asking a *static*
+    database to roll back, or a *static rollback* database to answer a
+    historical query, raises this error with the database kind named in the
+    message.
+    """
+
+
+class RollbackNotSupportedError(TemporalSupportError):
+    """``as of`` / rollback requires transaction time (Figure 11 of the paper)."""
+
+
+class HistoricalNotSupportedError(TemporalSupportError):
+    """``when`` / ``valid`` requires valid time (Figure 11 of the paper)."""
+
+
+class AppendOnlyViolation(TemporalSupportError):
+    """A committed (past) state of a transaction-time database was altered.
+
+    Transaction time is append-only (Figure 12 of the paper): once a
+    transaction has completed, the static relations in the rollback store
+    may not be altered.
+    """
+
+
+# ---------------------------------------------------------------------------
+# TQuel language
+# ---------------------------------------------------------------------------
+
+class TQuelError(ReproError):
+    """Base class for TQuel language errors."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class TQuelSyntaxError(TQuelError):
+    """The statement could not be tokenized or parsed."""
+
+
+class TQuelSemanticError(TQuelError):
+    """The statement parsed but is ill-formed: unknown range variable,
+    unknown attribute, or a temporal clause the target database kind cannot
+    support."""
+
+
+# ---------------------------------------------------------------------------
+# Storage
+# ---------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Serialized data is malformed or of an unsupported version."""

@@ -1,0 +1,113 @@
+"""The catalog: named relations with their constraints.
+
+A :class:`Catalog` maps relation names to current
+:class:`~repro.relational.relation.Relation` values plus their declared
+constraints — the standalone entry point for using the relational engine
+*without* the temporal kinds.  (The database kinds in :mod:`repro.core`
+manage their own stores, since each keeps a different shape of history
+around an update; they share this module's constraint checking.)
+
+Updates are functional at the relation level (a new ``Relation`` replaces
+the old one under the name) and constraint-checked before taking effect,
+so a catalog never holds an inconsistent state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.errors import DuplicateRelationError, UnknownRelationError
+from repro.relational.constraints import Constraint, KeyConstraint, check_all
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+class Catalog:
+    """Named relations plus per-relation constraints."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, Relation] = {}
+        self._constraints: Dict[str, List[Constraint]] = {}
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def create(self, name: str, schema: Schema,
+               constraints: Sequence[Constraint] = ()) -> Relation:
+        """Create an empty relation; the schema key becomes a KeyConstraint."""
+        if name in self._relations:
+            raise DuplicateRelationError(f"relation {name!r} already exists")
+        declared = list(constraints)
+        if schema.key:
+            declared.append(KeyConstraint(schema.key))
+        empty = Relation.empty(schema)
+        check_all(empty, declared)
+        self._relations[name] = empty
+        self._constraints[name] = declared
+        return empty
+
+    def drop(self, name: str) -> None:
+        """Remove a relation and its constraints."""
+        self._require(name)
+        del self._relations[name]
+        del self._constraints[name]
+
+    # -- access -------------------------------------------------------------------
+
+    def _require(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            known = ", ".join(sorted(self._relations)) or "<none>"
+            raise UnknownRelationError(
+                f"no relation {name!r}; catalog has: {known}"
+            ) from None
+
+    def get(self, name: str) -> Relation:
+        """The current state of a relation."""
+        return self._require(name)
+
+    def schema(self, name: str) -> Schema:
+        """The schema of a relation."""
+        return self._require(name).schema
+
+    def constraints(self, name: str) -> PyTuple[Constraint, ...]:
+        """The declared constraints of a relation."""
+        self._require(name)
+        return tuple(self._constraints[name])
+
+    def names(self) -> List[str]:
+        """All relation names, sorted."""
+        return sorted(self._relations)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    # -- update ---------------------------------------------------------------------
+
+    def replace(self, name: str, relation: Relation,
+                skip_constraints: bool = False) -> None:
+        """Install a new state for *name*, after constraint checking.
+
+        ``skip_constraints`` exists for the temporal kinds, whose key
+        uniqueness is *sequenced* (per valid-time snapshot) and checked by
+        the kind itself rather than over the raw timestamped table.
+        """
+        current = self._require(name)
+        if relation.schema.names != current.schema.names:
+            raise UnknownRelationError(
+                f"replacement for {name!r} has different attributes"
+            )
+        if not skip_constraints:
+            check_all(relation, self._constraints[name])
+        self._relations[name] = relation
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}({len(relation)})"
+                          for name, relation in sorted(self._relations.items()))
+        return f"Catalog({inner})"

@@ -1,0 +1,96 @@
+"""Integrity constraints.
+
+The paper notes (§3) that DBMSs interpret application-dependent integrity
+constraints automatically — one of its arguments against using
+"application independence" to classify time.  This module provides the
+constraint machinery the database kinds enforce on every update:
+
+- :class:`KeyConstraint` — uniqueness over the schema key (snapshot
+  uniqueness in static databases; the temporal kinds enforce it per
+  snapshot of valid time, i.e. a *sequenced* key);
+- :class:`NotNullConstraint` — redundant with non-nullable attributes but
+  available as an explicit, named constraint;
+- :class:`CheckConstraint` — an arbitrary predicate expression over each
+  tuple.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, Sequence, Set, Tuple as PyTuple
+
+from repro.errors import ConstraintViolation
+from repro.relational.expression import Expression
+from repro.relational.relation import Relation
+from repro.relational.tuple import Tuple
+
+
+class Constraint(abc.ABC):
+    """A named integrity rule checked against a candidate relation state."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @abc.abstractmethod
+    def check(self, relation: Relation) -> None:
+        """Raise :class:`ConstraintViolation` if *relation* violates the rule."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class KeyConstraint(Constraint):
+    """No two tuples may agree on all key attributes."""
+
+    def __init__(self, attributes: Sequence[str], name: str = "") -> None:
+        self.attributes = tuple(attributes)
+        super().__init__(name or f"key({', '.join(self.attributes)})")
+
+    def check(self, relation: Relation) -> None:
+        for attribute in self.attributes:
+            relation.schema.attribute(attribute)
+        seen: Set[PyTuple] = set()
+        for row in relation:
+            key = tuple(row[name] for name in self.attributes)
+            if key in seen:
+                raise ConstraintViolation(
+                    f"duplicate key {key!r} violates {self.name}"
+                )
+            seen.add(key)
+
+
+class NotNullConstraint(Constraint):
+    """The given attributes may not be null."""
+
+    def __init__(self, attributes: Sequence[str], name: str = "") -> None:
+        self.attributes = tuple(attributes)
+        super().__init__(name or f"not_null({', '.join(self.attributes)})")
+
+    def check(self, relation: Relation) -> None:
+        for row in relation:
+            for attribute in self.attributes:
+                if row[attribute] is None:
+                    raise ConstraintViolation(
+                        f"null in {attribute} violates {self.name}"
+                    )
+
+
+class CheckConstraint(Constraint):
+    """Every tuple must satisfy an arbitrary predicate expression."""
+
+    def __init__(self, predicate: Expression, name: str = "check") -> None:
+        self.predicate = predicate
+        super().__init__(name)
+
+    def check(self, relation: Relation) -> None:
+        for row in relation:
+            if not self.predicate.evaluate(row):
+                raise ConstraintViolation(
+                    f"tuple {dict(row)!r} violates {self.name}"
+                )
+
+
+def check_all(relation: Relation, constraints: Iterable[Constraint]) -> None:
+    """Check a candidate relation state against every constraint."""
+    for constraint in constraints:
+        constraint.check(relation)

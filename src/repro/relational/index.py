@@ -1,0 +1,116 @@
+"""Secondary indexes: hash (equality) and ordered (range).
+
+The database kinds keep their current state in plain relations; these
+indexes accelerate the two access paths that dominate temporal workloads:
+
+- equality lookup on a key or name attribute (``where f.name = "Merrie"``),
+  served by :class:`HashIndex`;
+- range / as-of lookup on a timestamp attribute (``as of "12/10/82"``),
+  served by :class:`OrderedIndex` via bisection.
+
+Indexes are built over an immutable :class:`~repro.relational.relation.
+Relation` snapshot; the mutable databases rebuild or incrementally update
+them on commit.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple as PyTuple
+
+from repro.errors import UnknownAttributeError
+from repro.relational.relation import Relation
+from repro.relational.tuple import Tuple
+
+
+class HashIndex:
+    """Equality index on one or more attributes."""
+
+    def __init__(self, relation: Relation, attributes: Sequence[str]) -> None:
+        for name in attributes:
+            relation.schema.attribute(name)
+        self._attributes = tuple(attributes)
+        self._buckets: Dict[PyTuple[Any, ...], List[Tuple]] = {}
+        for row in relation:
+            self._buckets.setdefault(self._key_of(row), []).append(row)
+
+    def _key_of(self, row: Tuple) -> PyTuple[Any, ...]:
+        return tuple(row[name] for name in self._attributes)
+
+    @property
+    def attributes(self) -> PyTuple[str, ...]:
+        """The indexed attribute names."""
+        return self._attributes
+
+    def lookup(self, *values: Any) -> List[Tuple]:
+        """The tuples whose indexed attributes equal *values*."""
+        if len(values) != len(self._attributes):
+            raise UnknownAttributeError(
+                f"index on {self._attributes} takes {len(self._attributes)} "
+                f"values, got {len(values)}"
+            )
+        return list(self._buckets.get(tuple(values), ()))
+
+    def contains(self, *values: Any) -> bool:
+        """True if at least one tuple matches."""
+        return bool(self.lookup(*values))
+
+    def distinct_keys(self) -> Iterator[PyTuple[Any, ...]]:
+        """Every distinct indexed key."""
+        return iter(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class OrderedIndex:
+    """Ordered index on one attribute, supporting range and as-of scans.
+
+    Values must be mutually comparable (e.g. all
+    :class:`~repro.time.instant.Instant` at one granularity).  ``None``
+    values are excluded from the index.
+    """
+
+    def __init__(self, relation: Relation, attribute: str) -> None:
+        relation.schema.attribute(attribute)
+        self._attribute = attribute
+        pairs = sorted(
+            ((row[attribute], position)
+             for position, row in enumerate(relation)
+             if row[attribute] is not None),
+            key=lambda pair: pair[0],
+        )
+        self._keys = [key for key, _ in pairs]
+        self._rows: List[Tuple] = [relation.tuples[position] for _, position in pairs]
+
+    @property
+    def attribute(self) -> str:
+        """The indexed attribute name."""
+        return self._attribute
+
+    def range(self, low: Optional[Any] = None, high: Optional[Any] = None,
+              inclusive_high: bool = False) -> List[Tuple]:
+        """Tuples with ``low <= value < high`` (or ``<= high`` if inclusive)."""
+        start = 0 if low is None else bisect.bisect_left(self._keys, low)
+        if high is None:
+            stop = len(self._keys)
+        elif inclusive_high:
+            stop = bisect.bisect_right(self._keys, high)
+        else:
+            stop = bisect.bisect_left(self._keys, high)
+        return self._rows[start:stop]
+
+    def at_most(self, value: Any) -> List[Tuple]:
+        """Tuples with indexed value ``<= value`` — the as-of scan."""
+        return self.range(None, value, inclusive_high=True)
+
+    def first(self) -> Optional[Tuple]:
+        """The tuple with the smallest indexed value, or ``None``."""
+        return self._rows[0] if self._rows else None
+
+    def last(self) -> Optional[Tuple]:
+        """The tuple with the largest indexed value, or ``None``."""
+        return self._rows[-1] if self._rows else None
+
+    def __len__(self) -> int:
+        return len(self._rows)

@@ -1,0 +1,123 @@
+"""Immutable, schema-checked tuples.
+
+A :class:`Tuple` binds a value to every attribute of a
+:class:`~repro.relational.schema.Schema`.  Tuples are immutable and
+hashable, so relations can be genuine sets; derived tuples are produced by
+:meth:`Tuple.project`, :meth:`Tuple.replace` and :meth:`Tuple.concat`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence, Tuple as PyTuple
+
+from repro.errors import SchemaError, UnknownAttributeError
+from repro.relational.schema import Schema
+
+
+class Tuple(Mapping[str, Any]):
+    """One row of a relation: an immutable mapping from attribute name to value.
+
+    Values are validated against the schema's domains at construction, so a
+    tuple that exists is well-typed by construction.
+    """
+
+    __slots__ = ("_schema", "_values", "_hash")
+
+    def __init__(self, schema: Schema, values: Mapping[str, Any]) -> None:
+        extra = set(values) - set(schema.names)
+        if extra:
+            raise SchemaError(
+                f"values for unknown attributes: {', '.join(sorted(extra))}"
+            )
+        missing = [name for name in schema.names if name not in values]
+        if missing:
+            raise SchemaError(f"missing values for: {', '.join(missing)}")
+        self._schema = schema
+        self._values: PyTuple[Any, ...] = tuple(
+            attribute.check(values[attribute.name]) for attribute in schema
+        )
+        self._hash = hash((schema.names, self._values))
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_sequence(cls, schema: Schema, values: Sequence[Any]) -> "Tuple":
+        """Build from positional values in schema order."""
+        if len(values) != len(schema):
+            raise SchemaError(
+                f"expected {len(schema)} values, got {len(values)}"
+            )
+        return cls(schema, dict(zip(schema.names, values)))
+
+    # -- mapping protocol ---------------------------------------------------------
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            index = self._schema.names.index(name)
+        except ValueError:
+            raise UnknownAttributeError(
+                f"tuple has no attribute {name!r}; "
+                f"schema has {', '.join(self._schema.names)}"
+            ) from None
+        return self._values[index]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._schema.names)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- accessors -------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The schema this tuple conforms to."""
+        return self._schema
+
+    @property
+    def values(self) -> PyTuple[Any, ...]:
+        """The values in schema order."""
+        return self._values
+
+    def key(self) -> PyTuple[Any, ...]:
+        """The key values, per the schema's key."""
+        return tuple(self[name] for name in self._schema.key)
+
+    # -- derivation ---------------------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Tuple":
+        """The sub-tuple over *names*, against the projected schema."""
+        projected_schema = self._schema.project(names)
+        return Tuple(projected_schema, {name: self[name] for name in names})
+
+    def replace(self, **updates: Any) -> "Tuple":
+        """A copy with some attribute values replaced (schema-checked)."""
+        merged = {name: self[name] for name in self._schema.names}
+        merged.update(updates)
+        return Tuple(self._schema, merged)
+
+    def cast(self, schema: Schema) -> "Tuple":
+        """Re-type this tuple against an equal-named schema (e.g. after rename)."""
+        if len(schema) != len(self._values):
+            raise SchemaError("cannot cast: attribute counts differ")
+        return Tuple.from_sequence(schema, self._values)
+
+    def concat(self, other: "Tuple", schema: Schema) -> "Tuple":
+        """Concatenate with *other* under a precomputed combined schema."""
+        return Tuple.from_sequence(schema, self._values + other._values)
+
+    # -- dunder ----------------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tuple):
+            return NotImplemented
+        return (self._schema.names == other._schema.names
+                and self._values == other._values)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={value!r}"
+                          for name, value in zip(self._schema.names, self._values))
+        return f"Tuple({inner})"

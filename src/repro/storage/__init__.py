@@ -1,0 +1,38 @@
+"""Persistence: serialization and the durable append-only journal.
+
+- :mod:`~repro.storage.serializer` — JSON encoding of every value,
+  schema, and relation kind in the system, plus whole-database dump/load;
+- :mod:`~repro.storage.journal` — a durable, append-only JSON-lines
+  journal of commit records.  Replaying the journal through a fresh
+  database reproduces it exactly, commit times included — the
+  transaction-time semantics of the paper make the commit log a complete
+  description of a rollback or temporal database.
+"""
+
+from repro.storage.serializer import (
+    decode_value, dump_database, dumps_database, encode_value, load_database,
+    loads_database, schema_from_dict, schema_to_dict,
+)
+from repro.storage.journal import Journal
+from repro.storage.interchange import (
+    export_csv, export_historical_csv, export_temporal_csv, import_csv,
+    import_historical_csv, import_temporal_csv,
+)
+
+__all__ = [
+    "Journal",
+    "export_csv",
+    "export_historical_csv",
+    "export_temporal_csv",
+    "import_csv",
+    "import_historical_csv",
+    "import_temporal_csv",
+    "decode_value",
+    "dump_database",
+    "dumps_database",
+    "encode_value",
+    "load_database",
+    "loads_database",
+    "schema_from_dict",
+    "schema_to_dict",
+]

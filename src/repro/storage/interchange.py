@@ -1,0 +1,205 @@
+"""CSV interchange: moving relations in and out of the system.
+
+Real adoption needs flat-file paths.  This module round-trips every
+relation shape through CSV:
+
+- static relations: one column per attribute;
+- historical relations: plus ``valid_from`` / ``valid_to`` columns
+  (``valid_at`` for event-style export);
+- temporal relations: plus ``txn_start`` / ``txn_end``.
+
+Values are written with each attribute's domain formatter and read back
+with its parser, so enumerations, dates and user-defined time survive.
+The infinities round-trip as ``∞`` / ``-∞``; nulls as empty cells.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Any, Iterable, List, Optional, TextIO, Union
+
+from repro.core.historical import HistoricalRelation, HistoricalRow
+from repro.core.temporal import BitemporalRow, TemporalRelation
+from repro.errors import StorageError
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.tuple import Tuple
+from repro.time.instant import Instant
+from repro.time.period import Period
+
+_VALID_COLUMNS = ("valid_from", "valid_to")
+_EVENT_COLUMN = "valid_at"
+_TT_COLUMNS = ("txn_start", "txn_end")
+
+PathOrFile = Union[str, TextIO]
+
+
+def _open_for(target: PathOrFile, mode: str):
+    if isinstance(target, str):
+        return open(target, mode, encoding="utf-8", newline=""), True
+    return target, False
+
+
+def _format_value(schema: Schema, name: str, value: Any) -> str:
+    if value is None:
+        return ""
+    return schema.attribute(name).domain.format(value)
+
+
+def _parse_value(schema: Schema, name: str, text: str) -> Any:
+    if text == "":
+        return None
+    return schema.attribute(name).domain.parse(text)
+
+
+def _check_reserved(schema: Schema) -> None:
+    reserved = set(_VALID_COLUMNS) | set(_TT_COLUMNS) | {_EVENT_COLUMN}
+    clash = reserved & set(schema.names)
+    if clash:
+        raise StorageError(
+            f"schema attributes {sorted(clash)} collide with the reserved "
+            f"temporal CSV columns"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Export
+# ---------------------------------------------------------------------------
+
+def export_csv(relation: Relation, target: PathOrFile) -> int:
+    """Write a static relation as CSV; returns the number of rows."""
+    handle, owned = _open_for(target, "w")
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.names)
+        for row in relation:
+            writer.writerow([_format_value(relation.schema, name, row[name])
+                             for name in relation.schema.names])
+        return relation.cardinality
+    finally:
+        if owned:
+            handle.close()
+
+
+def export_historical_csv(relation: HistoricalRelation,
+                          target: PathOrFile, event: bool = False) -> int:
+    """Write a historical relation as CSV with its valid-time columns."""
+    _check_reserved(relation.schema)
+    handle, owned = _open_for(target, "w")
+    try:
+        writer = csv.writer(handle)
+        temporal_header = ([_EVENT_COLUMN] if event
+                           else list(_VALID_COLUMNS))
+        writer.writerow(list(relation.schema.names) + temporal_header)
+        for row in relation.rows:
+            cells = [_format_value(relation.schema, name, row.data[name])
+                     for name in relation.schema.names]
+            if event:
+                cells.append(row.valid.start.isoformat())
+            else:
+                cells += [row.valid.start.isoformat(),
+                          row.valid.end.isoformat()]
+            writer.writerow(cells)
+        return len(relation)
+    finally:
+        if owned:
+            handle.close()
+
+
+def export_temporal_csv(relation: TemporalRelation,
+                        target: PathOrFile) -> int:
+    """Write a bitemporal relation as CSV with all four timestamps."""
+    _check_reserved(relation.schema)
+    handle, owned = _open_for(target, "w")
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(list(relation.schema.names)
+                        + list(_VALID_COLUMNS) + list(_TT_COLUMNS))
+        for row in relation.rows:
+            cells = [_format_value(relation.schema, name, row.data[name])
+                     for name in relation.schema.names]
+            cells += [row.valid.start.isoformat(), row.valid.end.isoformat(),
+                      row.tt.start.isoformat(), row.tt.end.isoformat()]
+            writer.writerow(cells)
+        return len(relation)
+    finally:
+        if owned:
+            handle.close()
+
+
+# ---------------------------------------------------------------------------
+# Import
+# ---------------------------------------------------------------------------
+
+def _read_rows(schema: Schema, source: PathOrFile,
+               expected_extra: List[str]):
+    handle, owned = _open_for(source, "r")
+    try:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise StorageError("CSV file is empty (no header)") from None
+        expected = list(schema.names) + expected_extra
+        if header != expected:
+            raise StorageError(
+                f"CSV header {header!r} does not match the schema "
+                f"(expected {expected!r})"
+            )
+        for line_number, cells in enumerate(reader, start=2):
+            if not cells:
+                continue
+            if len(cells) != len(expected):
+                raise StorageError(
+                    f"CSV line {line_number} has {len(cells)} cells, "
+                    f"expected {len(expected)}"
+                )
+            yield cells
+    finally:
+        if owned:
+            handle.close()
+
+
+def import_csv(schema: Schema, source: PathOrFile) -> Relation:
+    """Read a static relation from CSV, parsing values per the schema."""
+    rows = []
+    for cells in _read_rows(schema, source, []):
+        values = {name: _parse_value(schema, name, cell)
+                  for name, cell in zip(schema.names, cells)}
+        rows.append(Tuple(schema, values))
+    return Relation(schema, rows)
+
+
+def import_historical_csv(schema: Schema, source: PathOrFile,
+                          event: bool = False) -> HistoricalRelation:
+    """Read a historical relation from CSV written by the exporter."""
+    _check_reserved(schema)
+    extra = [_EVENT_COLUMN] if event else list(_VALID_COLUMNS)
+    rows = []
+    for cells in _read_rows(schema, source, extra):
+        data_cells = cells[:len(schema.names)]
+        values = {name: _parse_value(schema, name, cell)
+                  for name, cell in zip(schema.names, data_cells)}
+        if event:
+            valid = Period.at(Instant.parse(cells[-1]))
+        else:
+            valid = Period(Instant.parse(cells[-2]),
+                           Instant.parse(cells[-1]))
+        rows.append(HistoricalRow(Tuple(schema, values), valid))
+    return HistoricalRelation(schema, rows)
+
+
+def import_temporal_csv(schema: Schema,
+                        source: PathOrFile) -> TemporalRelation:
+    """Read a bitemporal relation from CSV written by the exporter."""
+    _check_reserved(schema)
+    extra = list(_VALID_COLUMNS) + list(_TT_COLUMNS)
+    rows = []
+    for cells in _read_rows(schema, source, extra):
+        data_cells = cells[:len(schema.names)]
+        values = {name: _parse_value(schema, name, cell)
+                  for name, cell in zip(schema.names, data_cells)}
+        valid = Period(Instant.parse(cells[-4]), Instant.parse(cells[-3]))
+        tt = Period(Instant.parse(cells[-2]), Instant.parse(cells[-1]))
+        rows.append(BitemporalRow(Tuple(schema, values), valid, tt))
+    return TemporalRelation(schema, rows)

@@ -1,0 +1,153 @@
+"""The durable journal: commit records as append-only JSON lines.
+
+Because transaction time is append-only and system-assigned, the sequence
+of commit records *is* a complete description of a database: replaying the
+journal through a fresh database of the same kind reproduces every store,
+every transaction time, and therefore every rollback answer.  This module
+makes that operational:
+
+- :meth:`Journal.bind` hooks a live database so every commit is appended
+  to the journal file as it happens;
+- :meth:`Journal.replay` rebuilds a database from the file, driving a
+  simulated clock so each transaction commits at its original instant.
+
+Operations are serialized with the tagged-value scheme of
+:mod:`repro.storage.serializer`.  ``define`` operations serialize their
+schema; declared constraints other than the schema key are **not**
+journaled (they close over arbitrary predicates) — replayed databases
+re-enforce the key but not ad-hoc check constraints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.errors import JournalError
+from repro.storage.serializer import (decode_value, encode_value,
+                                      schema_from_dict, schema_to_dict)
+from repro.time.clock import SimulatedClock
+from repro.time.instant import Instant
+from repro.txn.log import CommitRecord
+from repro.txn.transaction import Operation
+
+
+def _encode_arguments(arguments: Dict[str, Any]) -> Dict[str, Any]:
+    encoded: Dict[str, Any] = {}
+    for key, value in arguments.items():
+        if key == "schema":
+            encoded[key] = schema_to_dict(value)
+        elif key == "constraints":
+            encoded[key] = []  # documented: not journaled
+        elif isinstance(value, dict):
+            encoded[key] = {inner: encode_value(v) for inner, v in value.items()}
+        else:
+            encoded[key] = encode_value(value)
+    return encoded
+
+
+def _decode_arguments(arguments: Dict[str, Any]) -> Dict[str, Any]:
+    decoded: Dict[str, Any] = {}
+    for key, value in arguments.items():
+        if key == "schema":
+            decoded[key] = schema_from_dict(value)
+        elif key == "constraints":
+            decoded[key] = ()
+        elif isinstance(value, dict) and not ("$instant" in value
+                                              or "$period" in value):
+            decoded[key] = {inner: decode_value(v) for inner, v in value.items()}
+        else:
+            decoded[key] = decode_value(value)
+    return decoded
+
+
+class Journal:
+    """A JSON-lines journal of commit records at *path*."""
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._synced = 0  # commit-log records already written (when bound)
+
+    @property
+    def path(self) -> str:
+        """The journal file path."""
+        return self._path
+
+    # -- writing -------------------------------------------------------------------
+
+    def record(self, commit: CommitRecord) -> None:
+        """Append one commit record to the file."""
+        line = json.dumps({
+            "sequence": commit.sequence,
+            "commit_time": encode_value(commit.commit_time),
+            "operations": [
+                {"action": op.action, "relation": op.relation,
+                 "arguments": _encode_arguments(op.arguments)}
+                for op in commit.operations
+            ],
+        }, ensure_ascii=False, sort_keys=True)
+        with open(self._path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    def bind(self, database) -> None:
+        """Journal every future commit of *database*, and any past ones.
+
+        Existing records in the database's in-memory log are written first
+        so binding late still captures the full history.
+        """
+        for commit in database.log:
+            self.record(commit)
+        database.manager.on_commit = self.record
+
+    # -- reading --------------------------------------------------------------------
+
+    def read(self) -> List[Dict[str, Any]]:
+        """Every journal entry, oldest first."""
+        if not os.path.exists(self._path):
+            return []
+        entries = []
+        with open(self._path, encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise JournalError(
+                        f"corrupt journal line {line_number} in {self._path}"
+                    ) from exc
+        return entries
+
+    def replay(self, factory: Callable[..., Any]):
+        """Rebuild a database by replaying the journal.
+
+        *factory* is called as ``factory(clock=...)`` with a simulated
+        clock the journal drives, e.g. ``TemporalDatabase`` itself.  Each
+        transaction is re-run at its original commit time, so the rebuilt
+        database is observationally identical — rollbacks included.
+        """
+        entries = self.read()
+        clock = SimulatedClock(1)
+        database = factory(clock=clock)
+        for entry in entries:
+            commit_time = decode_value(entry["commit_time"])
+            if not isinstance(commit_time, Instant):
+                raise JournalError(f"bad commit time in entry {entry!r}")
+            clock.set(commit_time)
+            operations = [
+                Operation(op["action"], op["relation"],
+                          _decode_arguments(op["arguments"]))
+                for op in entry["operations"]
+            ]
+            actual = database.manager.run(operations)
+            if actual != commit_time:
+                raise JournalError(
+                    f"replay drift: journal says {commit_time}, "
+                    f"database committed at {actual}"
+                )
+        return database
+
+    def __repr__(self) -> str:
+        return f"Journal({self._path!r})"

@@ -1,0 +1,325 @@
+"""JSON serialization of values, schemas, relations and whole databases.
+
+Encoding conventions (tagged objects, so plain values stay plain):
+
+- ``{"$instant": "1982-12-15", "granularity": "day"}`` — finite instants;
+  ``"$instant": "inf" / "-inf"`` for the unbounded endpoints;
+- ``{"$period": [start, end]}`` — periods;
+- schemas carry attribute name, domain descriptor and nullability, plus
+  the key;
+- domains serialize by descriptor: the built-ins by name, enumerations
+  with their value lists, user-defined time with its display name and
+  granularity.
+
+``dump_database``/``load_database`` persist a whole database of any kind,
+including rollback/temporal history, event-relation flags, the commit log
+and the clock position, so a loaded database answers every query the
+original did.  *Check constraints are not serialized* (they close over
+arbitrary predicates); key constraints survive via the schema key.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.historical import (HistoricalDatabase, HistoricalRelation,
+                                   HistoricalRow)
+from repro.core.rollback import (INTERVAL, RollbackDatabase,
+                                 RollbackRelation, StateSequence,
+                                 TransactionTimeRow)
+from repro.core.static import StaticDatabase
+from repro.core.temporal import BitemporalRow, TemporalDatabase, TemporalRelation
+from repro.errors import StorageError
+from repro.relational.domain import Domain
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+from repro.relational.tuple import Tuple
+from repro.time.chronon import Granularity
+from repro.time.clock import SimulatedClock
+from repro.time.instant import Instant, NEG_INF, POS_INF
+from repro.time.period import Period
+
+FORMAT_VERSION = 1
+
+_BUILTIN_DOMAINS = {
+    "string": Domain.STRING,
+    "integer": Domain.INTEGER,
+    "float": Domain.FLOAT,
+    "boolean": Domain.BOOLEAN,
+    "date": Domain.DATE,
+    "any": Domain.ANY,
+}
+
+
+# ---------------------------------------------------------------------------
+# Values
+# ---------------------------------------------------------------------------
+
+def encode_value(value: Any) -> Any:
+    """Encode one value as JSON-compatible data."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, Instant):
+        if value.is_pos_inf:
+            return {"$instant": "inf"}
+        if value.is_neg_inf:
+            return {"$instant": "-inf"}
+        return {"$instant": value.isoformat(),
+                "granularity": value.granularity.value}
+    if isinstance(value, Period):
+        return {"$period": [encode_value(value.start), encode_value(value.end)]}
+    raise StorageError(f"cannot serialize value {value!r}")
+
+
+def decode_value(data: Any) -> Any:
+    """Decode data produced by :func:`encode_value`."""
+    if not isinstance(data, dict):
+        return data
+    if "$instant" in data:
+        literal = data["$instant"]
+        if literal == "inf":
+            return POS_INF
+        if literal == "-inf":
+            return NEG_INF
+        granularity = Granularity(data.get("granularity", "day"))
+        return Instant.parse(literal, granularity)
+    if "$period" in data:
+        start, end = data["$period"]
+        return Period(decode_value(start), decode_value(end))
+    raise StorageError(f"unknown tagged value {data!r}")
+
+
+# ---------------------------------------------------------------------------
+# Domains and schemas
+# ---------------------------------------------------------------------------
+
+def _domain_to_dict(domain: Domain) -> Dict[str, Any]:
+    if domain.enum_values is not None:
+        return {"kind": "enumeration", "name": domain.name,
+                "values": list(domain.enum_values)}
+    if domain.is_user_defined_time:
+        return {"kind": "user_defined_time", "name": domain.name}
+    for name, builtin in _BUILTIN_DOMAINS.items():
+        if domain == builtin:
+            return {"kind": "builtin", "name": name}
+    raise StorageError(f"cannot serialize domain {domain!r}")
+
+
+def _domain_from_dict(data: Dict[str, Any]) -> Domain:
+    kind = data.get("kind")
+    if kind == "builtin":
+        try:
+            return _BUILTIN_DOMAINS[data["name"]]
+        except KeyError:
+            raise StorageError(f"unknown builtin domain {data['name']!r}") from None
+    if kind == "enumeration":
+        return Domain.enumeration(data["name"], *data["values"])
+    if kind == "user_defined_time":
+        return Domain.user_defined_time(data["name"])
+    raise StorageError(f"unknown domain descriptor {data!r}")
+
+
+def schema_to_dict(schema: Schema) -> Dict[str, Any]:
+    """Serialize a schema (attributes, domains, nullability, key)."""
+    return {
+        "attributes": [
+            {"name": attribute.name,
+             "domain": _domain_to_dict(attribute.domain),
+             "nullable": attribute.nullable}
+            for attribute in schema
+        ],
+        "key": list(schema.key),
+    }
+
+
+def schema_from_dict(data: Dict[str, Any]) -> Schema:
+    """Deserialize a schema produced by :func:`schema_to_dict`."""
+    attributes = [
+        Attribute(item["name"], _domain_from_dict(item["domain"]),
+                  nullable=item.get("nullable", False))
+        for item in data["attributes"]
+    ]
+    return Schema(attributes, key=data.get("key") or None)
+
+
+# ---------------------------------------------------------------------------
+# Relations (all four storage shapes)
+# ---------------------------------------------------------------------------
+
+def _tuple_to_list(row: Tuple) -> List[Any]:
+    return [encode_value(value) for value in row.values]
+
+
+def _tuple_from_list(schema: Schema, values: List[Any]) -> Tuple:
+    return Tuple.from_sequence(schema, [decode_value(value) for value in values])
+
+
+def relation_to_dict(relation: Relation) -> Dict[str, Any]:
+    """Serialize a static relation."""
+    return {"kind": "static", "schema": schema_to_dict(relation.schema),
+            "tuples": [_tuple_to_list(row) for row in relation]}
+
+
+def historical_to_dict(relation: HistoricalRelation) -> Dict[str, Any]:
+    """Serialize a historical relation."""
+    return {"kind": "historical", "schema": schema_to_dict(relation.schema),
+            "rows": [[_tuple_to_list(row.data), encode_value(row.valid)]
+                     for row in relation.rows]}
+
+
+def rollback_to_dict(relation: RollbackRelation) -> Dict[str, Any]:
+    """Serialize an interval-stamped rollback relation."""
+    return {"kind": "rollback", "schema": schema_to_dict(relation.schema),
+            "rows": [[_tuple_to_list(row.data), encode_value(row.tt)]
+                     for row in relation.rows]}
+
+
+def states_to_dict(sequence: StateSequence) -> Dict[str, Any]:
+    """Serialize a state-sequence rollback store."""
+    return {"kind": "states", "schema": schema_to_dict(sequence.schema),
+            "states": [[encode_value(time),
+                        [_tuple_to_list(row) for row in state]]
+                       for time, state in sequence.states]}
+
+
+def temporal_to_dict(relation: TemporalRelation) -> Dict[str, Any]:
+    """Serialize a bitemporal relation."""
+    return {"kind": "temporal", "schema": schema_to_dict(relation.schema),
+            "rows": [[_tuple_to_list(row.data), encode_value(row.valid),
+                      encode_value(row.tt)]
+                     for row in relation.rows]}
+
+
+def relation_from_dict(data: Dict[str, Any]):
+    """Deserialize any relation shape produced by the ``*_to_dict`` functions."""
+    schema = schema_from_dict(data["schema"])
+    kind = data.get("kind")
+    if kind == "static":
+        return Relation(schema, (_tuple_from_list(schema, values)
+                                 for values in data["tuples"]))
+    if kind == "historical":
+        return HistoricalRelation(schema, (
+            HistoricalRow(_tuple_from_list(schema, values), decode_value(valid))
+            for values, valid in data["rows"]))
+    if kind == "rollback":
+        return RollbackRelation(schema, (
+            TransactionTimeRow(_tuple_from_list(schema, values),
+                               decode_value(tt))
+            for values, tt in data["rows"]))
+    if kind == "states":
+        return StateSequence(schema, (
+            (decode_value(time),
+             Relation(schema, (_tuple_from_list(schema, row) for row in rows)))
+            for time, rows in data["states"]))
+    if kind == "temporal":
+        return TemporalRelation(schema, (
+            BitemporalRow(_tuple_from_list(schema, values),
+                          decode_value(valid), decode_value(tt))
+            for values, valid, tt in data["rows"]))
+    raise StorageError(f"unknown relation kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Whole databases
+# ---------------------------------------------------------------------------
+
+_DB_CLASSES = {
+    "static": StaticDatabase,
+    "static rollback": RollbackDatabase,
+    "historical": HistoricalDatabase,
+    "temporal": TemporalDatabase,
+}
+
+
+def _store_to_dict(database, name: str) -> Dict[str, Any]:
+    if isinstance(database, StaticDatabase):
+        return relation_to_dict(database.snapshot(name))
+    if isinstance(database, RollbackDatabase):
+        store = database.store(name)
+        if isinstance(store, StateSequence):
+            return states_to_dict(store)
+        return rollback_to_dict(store)
+    if isinstance(database, HistoricalDatabase):
+        return historical_to_dict(database.history(name))
+    if isinstance(database, TemporalDatabase):
+        return temporal_to_dict(database.temporal(name))
+    raise StorageError(f"cannot dump database {database!r}")
+
+
+def dump_database(database) -> Dict[str, Any]:
+    """Serialize a whole database (any kind) to plain data.
+
+    Check constraints are not serialized; everything else — schemas, event
+    flags, full stores including history, and the clock position — is.
+    """
+    relations = {}
+    for name in database.relation_names():
+        entry = {
+            "schema": schema_to_dict(database.schema(name)),
+            "store": _store_to_dict(database, name),
+        }
+        is_event = getattr(database, "is_event_relation", None)
+        if is_event is not None and is_event(name):
+            entry["event"] = True
+        relations[name] = entry
+    last = database.manager.clock.last
+    return {
+        "version": FORMAT_VERSION,
+        "kind": database.kind.value,
+        "representation": getattr(database, "representation", None),
+        "clock_last": encode_value(last) if last is not None else None,
+        "relations": relations,
+    }
+
+
+def load_database(data: Dict[str, Any], clock=None):
+    """Reconstruct a database from :func:`dump_database` output.
+
+    The returned database's clock resumes after the dumped position, so
+    new commits keep strictly increasing transaction times.
+    """
+    if data.get("version") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported dump version {data.get('version')!r}"
+        )
+    kind = data.get("kind")
+    try:
+        db_class = _DB_CLASSES[kind]
+    except KeyError:
+        raise StorageError(f"unknown database kind {kind!r}") from None
+
+    last = (decode_value(data["clock_last"])
+            if data.get("clock_last") is not None else None)
+    if clock is None:
+        clock = SimulatedClock(last if last is not None else 1)
+
+    if db_class is RollbackDatabase:
+        database = RollbackDatabase(
+            clock=clock, representation=data.get("representation") or INTERVAL)
+    else:
+        database = db_class(clock=clock)
+
+    # Rebuild private state directly; the dump is the source of truth.
+    for name, entry in data["relations"].items():
+        schema = schema_from_dict(entry["schema"])
+        database._schemas[name] = schema
+        database._constraints[name] = []
+        database._store[name] = relation_from_dict(entry["store"])
+        if entry.get("event"):
+            database._event_relations.add(name)
+    if last is not None:
+        # Advance the transaction clock past the dumped position.
+        database.manager.clock._last = last  # noqa: SLF001 - deliberate restore
+    return database
+
+
+def dumps_database(database, indent: Optional[int] = None) -> str:
+    """:func:`dump_database` to a JSON string."""
+    return json.dumps(dump_database(database), indent=indent,
+                      ensure_ascii=False, sort_keys=True)
+
+
+def loads_database(text: str, clock=None):
+    """:func:`load_database` from a JSON string."""
+    return load_database(json.loads(text), clock=clock)

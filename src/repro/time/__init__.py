@@ -1,0 +1,42 @@
+"""Time substrate for the temporal database reproduction.
+
+The paper models time as a discrete line.  This package provides:
+
+- :class:`~repro.time.chronon.Granularity` — the unit of the discrete
+  timeline (day, second, month, ...), with conversions between calendar
+  fields and integer *chronons*;
+- :class:`~repro.time.instant.Instant` — a point on the timeline, including
+  the two distinguished values ``NEG_INF`` and ``POS_INF`` (the paper's
+  ``∞``), and parsing of the paper's ``MM/DD/YY`` date literals;
+- :class:`~repro.time.period.Period` — a half-open interval ``[start, end)``
+  together with Allen's thirteen interval relations, which back TQuel's
+  ``when`` predicates (``overlap``, ``precede``, ...);
+- :class:`~repro.time.element.TemporalElement` — a finite union of periods,
+  closed under union, intersection, difference and complement;
+- :class:`~repro.time.duration.Duration` — a signed span of chronons;
+- :mod:`~repro.time.clock` — clocks, including the strictly monotone
+  transaction clock that makes transaction time append-only and
+  application-independent (Figure 12 of the paper).
+"""
+
+from repro.time.chronon import Granularity
+from repro.time.instant import Instant, NEG_INF, POS_INF
+from repro.time.period import AllenRelation, Period
+from repro.time.element import TemporalElement
+from repro.time.duration import Duration
+from repro.time.clock import Clock, SimulatedClock, SystemClock, TransactionClock
+
+__all__ = [
+    "AllenRelation",
+    "Clock",
+    "Duration",
+    "Granularity",
+    "Instant",
+    "NEG_INF",
+    "POS_INF",
+    "Period",
+    "SimulatedClock",
+    "SystemClock",
+    "TemporalElement",
+    "TransactionClock",
+]

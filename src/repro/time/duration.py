@@ -1,0 +1,112 @@
+"""Durations: signed spans of chronons.
+
+A :class:`Duration` is the difference of two instants at one granularity —
+"three days", "eighteen months".  Durations support the arithmetic needed
+by trend-analysis queries ("over the last 5 years") and by the workload
+generators.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.errors import GranularityError
+from repro.time.chronon import Granularity, require_same_granularity
+from repro.time.instant import Instant
+
+
+@functools.total_ordering
+class Duration:
+    """A signed number of chronons at a granularity. Immutable and hashable."""
+
+    __slots__ = ("_chronons", "_granularity")
+
+    def __init__(self, chronons: int,
+                 granularity: Granularity = Granularity.DAY) -> None:
+        if not isinstance(chronons, int) or isinstance(chronons, bool):
+            raise GranularityError(
+                f"duration must be an integer chronon count, got {chronons!r}"
+            )
+        self._chronons = chronons
+        self._granularity = granularity
+
+    # -- convenience constructors ---------------------------------------------
+
+    @classmethod
+    def days(cls, count: int) -> "Duration":
+        """*count* day-chronons."""
+        return cls(count, Granularity.DAY)
+
+    @classmethod
+    def between(cls, earlier: Instant, later: Instant) -> "Duration":
+        """The duration from *earlier* to *later* (may be negative)."""
+        return cls(later - earlier, earlier.granularity)
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def chronons(self) -> int:
+        """The signed chronon count."""
+        return self._chronons
+
+    @property
+    def granularity(self) -> Granularity:
+        """The granularity the count is expressed in."""
+        return self._granularity
+
+    # -- arithmetic -----------------------------------------------------------------
+
+    def _check(self, other: "Duration") -> None:
+        require_same_granularity(self._granularity, other._granularity,
+                                 "combine durations")
+
+    def __add__(self, other):
+        if isinstance(other, Duration):
+            self._check(other)
+            return Duration(self._chronons + other._chronons, self._granularity)
+        if isinstance(other, Instant):
+            return other + self._chronons
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Duration") -> "Duration":
+        if not isinstance(other, Duration):
+            return NotImplemented
+        self._check(other)
+        return Duration(self._chronons - other._chronons, self._granularity)
+
+    def __neg__(self) -> "Duration":
+        return Duration(-self._chronons, self._granularity)
+
+    def __mul__(self, factor: int) -> "Duration":
+        if not isinstance(factor, int):
+            return NotImplemented
+        return Duration(self._chronons * factor, self._granularity)
+
+    __rmul__ = __mul__
+
+    # -- comparison --------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Duration):
+            return NotImplemented
+        return (self._chronons == other._chronons
+                and self._granularity is other._granularity)
+
+    def __lt__(self, other: "Duration") -> bool:
+        if not isinstance(other, Duration):
+            return NotImplemented
+        self._check(other)
+        return self._chronons < other._chronons
+
+    def __hash__(self) -> int:
+        return hash((self._chronons, self._granularity))
+
+    def __str__(self) -> str:
+        unit = self._granularity.value
+        plural = "" if abs(self._chronons) == 1 else "s"
+        return f"{self._chronons} {unit}{plural}"
+
+    def __repr__(self) -> str:
+        return f"Duration({self._chronons}, {self._granularity!r})"

@@ -1,0 +1,170 @@
+"""Temporal elements: finite unions of periods, closed under set operations.
+
+A single period cannot represent, say, "employed 1977–1980 and again
+1983–1985".  A :class:`TemporalElement` is the standard temporal-database
+fix: a finite union of periods, kept in canonical (coalesced) form so that
+equality is set equality of the underlying chronon sets.
+
+Temporal elements are closed under union, intersection, difference and
+complement, which makes them the natural codomain for TQuel's ``valid``
+clause expressions and for coalescing historical relations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.time.period import Period, coalesce
+
+PeriodLike = Union[Period, "TemporalElement"]
+
+
+def _as_periods(value: PeriodLike) -> Tuple[Period, ...]:
+    if isinstance(value, TemporalElement):
+        return value.periods
+    return (value,)
+
+
+class TemporalElement:
+    """An immutable, canonical finite union of periods.
+
+    The empty element is allowed (unlike the empty period) and acts as the
+    identity for union and the absorbing element for intersection.
+    """
+
+    __slots__ = ("_periods",)
+
+    def __init__(self, periods: Iterable[Period] = ()) -> None:
+        self._periods: Tuple[Period, ...] = tuple(coalesce(periods))
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "TemporalElement":
+        """The element covering no chronons."""
+        return cls(())
+
+    @classmethod
+    def always(cls) -> "TemporalElement":
+        """The element covering the whole timeline."""
+        return cls((Period.always(),))
+
+    @classmethod
+    def of(cls, *periods: PeriodLike) -> "TemporalElement":
+        """Union of the given periods and/or elements."""
+        flat: List[Period] = []
+        for item in periods:
+            flat.extend(_as_periods(item))
+        return cls(flat)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def periods(self) -> Tuple[Period, ...]:
+        """The canonical periods: sorted, disjoint, non-adjacent."""
+        return self._periods
+
+    @property
+    def is_empty(self) -> bool:
+        """True if no chronon is covered."""
+        return not self._periods
+
+    def span(self) -> Optional[Period]:
+        """The smallest single period covering the element, or ``None`` if empty."""
+        if not self._periods:
+            return None
+        return Period(self._periods[0].start, self._periods[-1].end)
+
+    def duration(self) -> Optional[int]:
+        """Total chronons covered, or ``None`` if any period is unbounded."""
+        total = 0
+        for period in self._periods:
+            length = period.duration()
+            if length is None:
+                return None
+            total += length
+        return total
+
+    # -- membership --------------------------------------------------------------
+
+    def contains(self, when) -> bool:
+        """True if the instant lies in one of the periods."""
+        return any(period.contains(when) for period in self._periods)
+
+    def overlaps(self, other: PeriodLike) -> bool:
+        """True if the element shares a chronon with *other*."""
+        others = _as_periods(other)
+        return any(mine.overlaps(theirs)
+                   for mine in self._periods for theirs in others)
+
+    # -- set algebra ----------------------------------------------------------------
+
+    def union(self, other: PeriodLike) -> "TemporalElement":
+        """Chronon-set union."""
+        return TemporalElement(self._periods + _as_periods(other))
+
+    def intersect(self, other: PeriodLike) -> "TemporalElement":
+        """Chronon-set intersection."""
+        pieces: List[Period] = []
+        for mine in self._periods:
+            for theirs in _as_periods(other):
+                common = mine.intersect(theirs)
+                if common is not None:
+                    pieces.append(common)
+        return TemporalElement(pieces)
+
+    def difference(self, other: PeriodLike) -> "TemporalElement":
+        """Chronon-set difference (``self`` minus *other*)."""
+        remaining: List[Period] = list(self._periods)
+        for theirs in _as_periods(other):
+            next_remaining: List[Period] = []
+            for mine in remaining:
+                next_remaining.extend(mine.difference(theirs))
+            remaining = next_remaining
+        return TemporalElement(remaining)
+
+    def complement(self) -> "TemporalElement":
+        """The chronons *not* covered, within ``[-∞, ∞)``."""
+        return TemporalElement.always().difference(self)
+
+    # -- operators --------------------------------------------------------------------
+
+    def __or__(self, other: PeriodLike) -> "TemporalElement":
+        return self.union(other)
+
+    def __and__(self, other: PeriodLike) -> "TemporalElement":
+        return self.intersect(other)
+
+    def __sub__(self, other: PeriodLike) -> "TemporalElement":
+        return self.difference(other)
+
+    def __invert__(self) -> "TemporalElement":
+        return self.complement()
+
+    def __iter__(self) -> Iterator[Period]:
+        return iter(self._periods)
+
+    def __len__(self) -> int:
+        return len(self._periods)
+
+    def __bool__(self) -> bool:
+        return bool(self._periods)
+
+    def __contains__(self, when: object) -> bool:
+        return self.contains(when)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemporalElement):
+            return NotImplemented
+        return self._periods == other._periods
+
+    def __hash__(self) -> int:
+        return hash(self._periods)
+
+    def __str__(self) -> str:
+        if not self._periods:
+            return "{}"
+        return "{" + ", ".join(str(period) for period in self._periods) + "}"
+
+    def __repr__(self) -> str:
+        return f"TemporalElement({list(self._periods)!r})"

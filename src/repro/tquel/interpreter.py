@@ -1,0 +1,149 @@
+"""The TQuel session: the user-facing entry point of the language.
+
+A :class:`Session` holds one database, the range-variable environment
+(``range of f is faculty`` persists across statements, as in Quel), and
+runs the full pipeline per statement: lex → parse → analyze → evaluate.
+
+::
+
+    from repro.core import TemporalDatabase
+    from repro.tquel import Session
+
+    session = Session(TemporalDatabase())
+    session.execute('create faculty (name = string, rank = string) key (name)')
+    session.execute('append to faculty (name = "Tom", rank = "associate") '
+                    'valid from "12/05/82"')
+    session.execute('range of f is faculty')
+    result = session.execute('retrieve (f.rank) where f.name = "Tom"')
+    print(session.render(result))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.core.base import Database
+from repro.core.historical import HistoricalRelation
+from repro.core.temporal import TemporalRelation
+from repro.relational.relation import Relation
+from repro.tquel.analyzer import analyze
+from repro.tquel.ast import RangeStmt, Statement
+from repro.tquel.evaluator import Evaluator, Result
+from repro.tquel.parser import parse, parse_script
+from repro.tquel import printer
+
+
+class Session:
+    """An interactive TQuel session over one database."""
+
+    def __init__(self, database: Database) -> None:
+        self._db = database
+        self._ranges: Dict[str, str] = {}
+
+    @property
+    def database(self) -> Database:
+        """The underlying database."""
+        return self._db
+
+    @property
+    def ranges(self) -> Dict[str, str]:
+        """The live range-variable bindings (variable -> relation name)."""
+        return dict(self._ranges)
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, source: str) -> Result:
+        """Run one statement of TQuel source and return its result.
+
+        Retrieves return a relation value of the kind the database produces
+        (static / historical / temporal); updates and DDL return the commit
+        time; ``range of`` returns ``None``.
+        """
+        return self.execute_statement(parse(source))
+
+    def execute_statement(self, statement: Statement) -> Result:
+        """Run one parsed statement (analyze, evaluate, update bindings)."""
+        analyze(statement, self._db, self._ranges)
+        evaluator = Evaluator(self._db, self._ranges)
+        result = evaluator.execute(statement)
+        if isinstance(statement, RangeStmt):
+            self._ranges[statement.variable] = statement.relation
+        return result
+
+    def execute_script(self, source: str) -> List[Result]:
+        """Run a multi-statement script, returning every result in order."""
+        return [self.execute_statement(statement)
+                for statement in parse_script(source)]
+
+    # -- convenience ------------------------------------------------------------------
+
+    def query(self, source: str) -> Union[Relation, HistoricalRelation,
+                                          TemporalRelation]:
+        """Run a retrieve and insist on a relation result."""
+        result = self.execute(source)
+        if not isinstance(result, (Relation, HistoricalRelation,
+                                   TemporalRelation)):
+            raise TypeError(f"{source!r} did not produce a relation")
+        return result
+
+    def explain(self, source: str) -> str:
+        """Describe how a retrieve would execute, as readable text.
+
+        Shows the candidate source and count per range variable (before
+        and after selection pushdown), the residual predicate size, the
+        temporal clauses, and the result kind — without forming the
+        product.
+        """
+        statement = parse(source)
+        analyze(statement, self._db, self._ranges)
+        plan = Evaluator(self._db, self._ranges).explain(statement)
+        lines = [f"retrieve on a {plan['database_kind']} database "
+                 f"-> {plan['result_kind']} result"]
+        for variable, info in plan["variables"].items():
+            note = (f", {info['pushed_conjuncts']} conjunct(s) pushed"
+                    if info["pushed_conjuncts"] else "")
+            lines.append(
+                f"  {variable} over {info['relation']}: "
+                f"{info['candidates']} candidates -> "
+                f"{info['after_pushdown']}{note}")
+        lines.append(f"  product of {plan['product_size']} combination(s), "
+                     f"{plan['residual_conjuncts']} residual conjunct(s)")
+        clauses = []
+        if plan["when"]:
+            clauses.append("when")
+        if plan["valid_clause"]:
+            clauses.append("valid")
+        if plan["as_of"]:
+            clauses.append(f"as of {plan['as_of']}"
+                           + (f" through {plan['through']}"
+                              if plan["through"] else ""))
+        if clauses:
+            lines.append("  temporal clauses: " + ", ".join(clauses))
+        return "\n".join(lines)
+
+    def migrate_database(self, target_class, allow_loss: bool = False):
+        """Migrate the session's database to another kind, in place.
+
+        Range-variable bindings survive (relation names carry over).  See
+        :func:`repro.core.migrate.migrate` for what each direction keeps.
+        """
+        from repro.core.migrate import migrate
+        self._db = migrate(self._db, target_class, allow_loss=allow_loss)
+        return self._db
+
+    def render(self, result: Result, title: Optional[str] = None,
+               event: bool = False) -> str:
+        """Render a result the way the paper's figures do."""
+        if result is None or not isinstance(
+                result, (Relation, HistoricalRelation, TemporalRelation)):
+            return printer.render(None, title)
+        return printer.render(result, title, event=event)
+
+    def show(self, source: str, title: Optional[str] = None) -> str:
+        """Execute and render in one step (the REPL's workhorse)."""
+        return self.render(self.execute(source), title=title)
+
+    def __repr__(self) -> str:
+        bindings = ", ".join(f"{var}→{rel}" for var, rel in
+                             sorted(self._ranges.items())) or "no ranges"
+        return f"Session({self._db.kind} database; {bindings})"

@@ -1,0 +1,521 @@
+"""The TQuel recursive-descent parser.
+
+Grammar (in the paper's concrete syntax; ``[...]`` optional, ``{...}``
+repeated):
+
+.. code-block:: text
+
+    statement   := range | retrieve | append | delete | replace
+                 | create | destroy
+    range       := "range" "of" IDENT "is" IDENT
+    retrieve    := "retrieve" ["into" IDENT] ["unique"]
+                   "(" target {"," target} ")"
+                   ["where" expr] ["when" tpred] [valid] [asof]
+                   ["sort" "by" IDENT {"," IDENT}]
+    target      := [IDENT "="] expr
+    valid       := "valid" ("at" texpr | "from" texpr ["to" texpr])
+    asof        := "as" "of" texpr
+    append      := "append" "to" IDENT "(" assign {"," assign} ")" [valid]
+    delete      := "delete" IDENT ["where" expr] [valid]
+    replace     := "replace" IDENT "(" assign {"," assign} ")"
+                   ["where" expr] [valid]
+    create      := "create" ["event"] ["persistent"] IDENT
+                   "(" IDENT "=" TYPE {"," IDENT "=" TYPE} ")"
+                   ["key" "(" IDENT {"," IDENT} ")"]
+    destroy     := "destroy" IDENT
+
+    expr        := or-expr with and/or/not, comparisons (= != < <= > >=),
+                   arithmetic (+ - * /), attributes (f.rank or rank),
+                   string/number literals, aggregates
+                   (count|sum|avg|min|max)[unique]"(" expr ")"
+    tpred       := tor {"or" tor} ; tor := tand {"and" tand}
+                   ; tand := ["not"] (  "(" tpred ")"
+                                      | texpr ("overlap"|"precede"|"equal") texpr )
+    texpr       := "start" "of" texpr | "end" "of" texpr
+                 | "overlap" "(" texpr "," texpr ")"
+                 | "extend" "(" texpr "," texpr ")"
+                 | "now" | STRING | IDENT
+
+Statements may be separated by optional semicolons;
+:func:`parse_script` splits a multi-statement source.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import TQuelSyntaxError
+from repro.relational.expression import (
+    And, AttrRef, BinaryOp, Comparison, Const, Expression, Not, Or,
+)
+from repro.tquel.ast import (
+    AggCall, AppendStmt, CreateStmt, DeleteStmt, DestroyStmt, RangeStmt,
+    ReplaceStmt, RetrieveStmt, Statement, TargetItem, TConst, TEndOf, TExtend,
+    TNow, TOverlap, TPAnd, TPCompare, TPNot, TPOr, TStartOf, TVar,
+    TemporalExpr, TemporalPredicate, ValidClause,
+)
+from repro.tquel.lexer import Token, TokenType, tokenize
+
+_AGGREGATES = frozenset({"count", "sum", "avg", "min", "max"})
+_TYPE_NAMES = frozenset({"string", "integer", "int", "float", "boolean",
+                         "bool", "date"})
+_COMPARATORS = ("=", "!=", "<=", ">=", "<", ">")
+
+
+class Parser:
+    """Parses one token stream into statements."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token plumbing ----------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._position + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.type is not TokenType.EOF:
+            self._position += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> TQuelSyntaxError:
+        token = token or self._peek()
+        return TQuelSyntaxError(message, token.line, token.column)
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._advance()
+        if not token.is_keyword(word):
+            raise self._error(f"expected {word!r}, found {token.value!r}", token)
+        return token
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self._advance()
+        if not token.is_symbol(symbol):
+            raise self._error(f"expected {symbol!r}, found {token.value!r}", token)
+        return token
+
+    def _expect_ident(self, what: str = "identifier") -> str:
+        token = self._advance()
+        if token.type is not TokenType.IDENT:
+            raise self._error(f"expected {what}, found {token.value!r}", token)
+        return token.value
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        if self._peek().is_symbol(symbol):
+            self._advance()
+            return True
+        return False
+
+    # -- entry points -----------------------------------------------------------------
+
+    def statements(self) -> List[Statement]:
+        """Parse the whole stream as a sequence of statements."""
+        parsed: List[Statement] = []
+        while True:
+            while self._accept_symbol(";"):
+                pass
+            if self._peek().type is TokenType.EOF:
+                return parsed
+            parsed.append(self.statement())
+
+    def statement(self) -> Statement:
+        """Parse a single statement."""
+        token = self._peek()
+        if token.is_keyword("range"):
+            return self._range()
+        if token.is_keyword("retrieve"):
+            return self._retrieve()
+        if token.is_keyword("append"):
+            return self._append()
+        if token.is_keyword("delete"):
+            return self._delete()
+        if token.is_keyword("replace"):
+            return self._replace()
+        if token.is_keyword("create"):
+            return self._create()
+        if token.is_keyword("destroy"):
+            return self._destroy()
+        raise self._error(
+            f"expected a statement, found {token.value!r}", token)
+
+    # -- statements ----------------------------------------------------------------------
+
+    def _range(self) -> RangeStmt:
+        self._expect_keyword("range")
+        self._expect_keyword("of")
+        variable = self._expect_ident("range variable")
+        self._expect_keyword("is")
+        relation = self._expect_ident("relation name")
+        return RangeStmt(variable, relation)
+
+    def _retrieve(self) -> RetrieveStmt:
+        self._expect_keyword("retrieve")
+        into = None
+        if self._accept_keyword("into"):
+            into = self._expect_ident("result relation name")
+        unique = self._accept_keyword("unique")
+        self._expect_symbol("(")
+        targets = [self._target()]
+        while self._accept_symbol(","):
+            targets.append(self._target())
+        self._expect_symbol(")")
+
+        where = when = valid = as_of = as_of_through = None
+        sort_by: Tuple[str, ...] = ()
+        while True:
+            if self._accept_keyword("where"):
+                if where is not None:
+                    raise self._error("duplicate where clause")
+                where = self._expression()
+            elif self._accept_keyword("when"):
+                if when is not None:
+                    raise self._error("duplicate when clause")
+                when = self._temporal_predicate()
+            elif self._peek().is_keyword("valid"):
+                if valid is not None:
+                    raise self._error("duplicate valid clause")
+                valid = self._valid_clause()
+            elif self._peek().is_keyword("as"):
+                if as_of is not None:
+                    raise self._error("duplicate as-of clause")
+                as_of = self._as_of_clause()
+                if self._accept_keyword("through"):
+                    as_of_through = self._temporal_expr()
+            elif self._accept_keyword("sort"):
+                self._expect_keyword("by")
+                names = [self._expect_ident("sort attribute")]
+                while self._accept_symbol(","):
+                    names.append(self._expect_ident("sort attribute"))
+                sort_by = tuple(names)
+            else:
+                break
+        return RetrieveStmt(targets, into=into, unique=unique, where=where,
+                            when=when, valid=valid, as_of=as_of,
+                            as_of_through=as_of_through, sort_by=sort_by)
+
+    def _target(self) -> TargetItem:
+        # [name =] expr; the name defaults to the referenced attribute.
+        name = None
+        if (self._peek().type is TokenType.IDENT
+                and self._peek(1).is_symbol("=")
+                and not self._peek(2).is_symbol("=")):
+            # Lookahead: "ident =" starts a named target unless it is a
+            # bare comparison like (rank = "full") — disambiguate by
+            # treating "ident = expr" as a named target, which matches
+            # Quel's target-list syntax.
+            name = self._advance().value
+            self._expect_symbol("=")
+        expr = self._expression()
+        if name is None:
+            name = _default_target_name(expr)
+            if name is None:
+                raise self._error("this target expression needs an explicit "
+                                  "name: write (name = expression)")
+        return TargetItem(name, expr)
+
+    def _assignments(self) -> List[Tuple[str, Expression]]:
+        self._expect_symbol("(")
+        assignments = [self._assignment()]
+        while self._accept_symbol(","):
+            assignments.append(self._assignment())
+        self._expect_symbol(")")
+        return assignments
+
+    def _assignment(self) -> Tuple[str, Expression]:
+        name = self._expect_ident("attribute name")
+        self._expect_symbol("=")
+        return name, self._expression()
+
+    def _append(self) -> AppendStmt:
+        self._expect_keyword("append")
+        self._expect_keyword("to")
+        relation = self._expect_ident("relation name")
+        assignments = self._assignments()
+        valid = self._valid_clause() if self._peek().is_keyword("valid") else None
+        return AppendStmt(relation, assignments, valid)
+
+    def _delete(self) -> DeleteStmt:
+        self._expect_keyword("delete")
+        variable = self._expect_ident("range variable")
+        where = self._expression() if self._accept_keyword("where") else None
+        valid = self._valid_clause() if self._peek().is_keyword("valid") else None
+        return DeleteStmt(variable, where, valid)
+
+    def _replace(self) -> ReplaceStmt:
+        self._expect_keyword("replace")
+        variable = self._expect_ident("range variable")
+        assignments = self._assignments()
+        where = self._expression() if self._accept_keyword("where") else None
+        valid = self._valid_clause() if self._peek().is_keyword("valid") else None
+        return ReplaceStmt(variable, assignments, where, valid)
+
+    def _create(self) -> CreateStmt:
+        self._expect_keyword("create")
+        event = self._accept_keyword("event")
+        self._accept_keyword("persistent")  # accepted, implied
+        relation = self._expect_ident("relation name")
+        self._expect_symbol("(")
+        attributes = [self._attribute_def()]
+        while self._accept_symbol(","):
+            attributes.append(self._attribute_def())
+        self._expect_symbol(")")
+        key: Tuple[str, ...] = ()
+        if self._accept_keyword("key"):
+            self._expect_symbol("(")
+            names = [self._expect_ident("key attribute")]
+            while self._accept_symbol(","):
+                names.append(self._expect_ident("key attribute"))
+            self._expect_symbol(")")
+            key = tuple(names)
+        return CreateStmt(relation, tuple(attributes), key, event)
+
+    def _attribute_def(self) -> Tuple[str, str]:
+        name = self._expect_ident("attribute name")
+        self._expect_symbol("=")
+        token = self._advance()
+        type_name = token.value.lower()
+        if type_name not in _TYPE_NAMES:
+            raise self._error(
+                f"unknown type {token.value!r}; expected one of "
+                f"{', '.join(sorted(_TYPE_NAMES))}", token)
+        return name, type_name
+
+    def _destroy(self) -> DestroyStmt:
+        self._expect_keyword("destroy")
+        return DestroyStmt(self._expect_ident("relation name"))
+
+    # -- clauses ------------------------------------------------------------------------------
+
+    def _valid_clause(self) -> ValidClause:
+        self._expect_keyword("valid")
+        if self._accept_keyword("at"):
+            return ValidClause(at=self._temporal_expr())
+        self._expect_keyword("from")
+        from_ = self._temporal_expr()
+        to = self._temporal_expr() if self._accept_keyword("to") else None
+        return ValidClause(from_=from_, to=to)
+
+    def _as_of_clause(self) -> TemporalExpr:
+        self._expect_keyword("as")
+        self._expect_keyword("of")
+        return self._temporal_expr()
+
+    # -- scalar expressions ----------------------------------------------------------------------
+
+    def _expression(self) -> Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        left = self._and_expr()
+        while self._accept_keyword("or"):
+            left = Or(left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expression:
+        left = self._not_expr()
+        while self._accept_keyword("and"):
+            left = And(left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expression:
+        if self._accept_keyword("not"):
+            return Not(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        left = self._additive()
+        token = self._peek()
+        if token.is_keyword("is"):
+            # `x is null` / `x is not null`.
+            self._advance()
+            negated = self._accept_keyword("not")
+            self._expect_keyword("null")
+            from repro.relational.expression import IsNull
+            test: Expression = IsNull(left)
+            return Not(test) if negated else test
+        if token.type is TokenType.SYMBOL and token.value in _COMPARATORS:
+            self._advance()
+            right = self._additive()
+            return Comparison(token.value, left, right)
+        return left
+
+    def _additive(self) -> Expression:
+        left = self._multiplicative()
+        while self._peek().is_symbol("+") or self._peek().is_symbol("-"):
+            op = self._advance().value
+            left = BinaryOp(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> Expression:
+        left = self._primary()
+        while self._peek().is_symbol("*") or self._peek().is_symbol("/"):
+            op = self._advance().value
+            left = BinaryOp(op, left, self._primary())
+        return left
+
+    def _primary(self) -> Expression:
+        token = self._peek()
+        if token.is_symbol("("):
+            self._advance()
+            inner = self._expression()
+            self._expect_symbol(")")
+            return inner
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Const(token.value)
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            if "." in token.value:
+                return Const(float(token.value))
+            return Const(int(token.value))
+        if token.is_symbol("-"):
+            self._advance()
+            operand = self._primary()
+            return BinaryOp("-", Const(0), operand)
+        if token.type is TokenType.IDENT:
+            return self._name_or_aggregate()
+        raise self._error(
+            f"expected an expression, found {token.value!r}", token)
+
+    def _name_or_aggregate(self) -> Expression:
+        name_token = self._advance()
+        name = name_token.value
+        if name.lower() in _AGGREGATES and self._peek().is_symbol("("):
+            return self._aggregate(name.lower())
+        if self._accept_symbol("."):
+            attribute = self._expect_ident("attribute name")
+            return AttrRef(name, attribute)
+        return AttrRef(None, name)
+
+    def _aggregate(self, func: str) -> Expression:
+        self._expect_symbol("(")
+        unique = self._accept_keyword("unique")
+        operand = None
+        if not self._peek().is_symbol(")"):
+            operand = self._expression()
+        self._expect_symbol(")")
+        if operand is None and func != "count":
+            raise self._error(f"{func} needs an operand")
+        # AggCall is not an Expression; the analyzer/evaluator treat targets
+        # containing it specially.  Wrap check happens there.
+        return AggCall(func, operand, unique)  # type: ignore[return-value]
+
+    # -- temporal expressions and predicates -------------------------------------------------------
+
+    def _temporal_predicate(self) -> TemporalPredicate:
+        left = self._temporal_and()
+        while self._accept_keyword("or"):
+            left = TPOr(left, self._temporal_and())
+        return left
+
+    def _temporal_and(self) -> TemporalPredicate:
+        left = self._temporal_unary()
+        while self._accept_keyword("and"):
+            left = TPAnd(left, self._temporal_unary())
+        return left
+
+    def _temporal_unary(self) -> TemporalPredicate:
+        if self._accept_keyword("not"):
+            return TPNot(self._temporal_unary())
+        if self._peek().is_symbol("("):
+            self._advance()
+            inner = self._temporal_predicate()
+            self._expect_symbol(")")
+            return inner
+        return self._temporal_comparison()
+
+    #: ``when`` comparison operators: the paper's three plus the Allen-style
+    #: extensions (documented in the evaluator).
+    _WHEN_OPERATORS = frozenset({
+        "overlap", "precede", "equal",
+        "meets", "before", "after", "during", "starts", "finishes",
+    })
+
+    def _temporal_comparison(self) -> TemporalPredicate:
+        left = self._temporal_expr()
+        token = self._advance()
+        if token.type is TokenType.KEYWORD and token.value in self._WHEN_OPERATORS:
+            return TPCompare(token.value, left, self._temporal_expr())
+        raise self._error(
+            f"expected one of {', '.join(sorted(self._WHEN_OPERATORS))}; "
+            f"found {token.value!r}", token)
+
+    def _temporal_expr(self) -> TemporalExpr:
+        token = self._peek()
+        if token.is_keyword("start"):
+            self._advance()
+            self._expect_keyword("of")
+            return TStartOf(self._temporal_expr())
+        if token.is_keyword("end"):
+            self._advance()
+            self._expect_keyword("of")
+            return TEndOf(self._temporal_expr())
+        if token.is_keyword("overlap"):
+            self._advance()
+            self._expect_symbol("(")
+            left = self._temporal_expr()
+            self._expect_symbol(",")
+            right = self._temporal_expr()
+            self._expect_symbol(")")
+            return TOverlap(left, right)
+        if token.is_keyword("extend"):
+            self._advance()
+            self._expect_symbol("(")
+            left = self._temporal_expr()
+            self._expect_symbol(",")
+            right = self._temporal_expr()
+            self._expect_symbol(")")
+            return TExtend(left, right)
+        if token.is_keyword("now"):
+            self._advance()
+            return TNow()
+        if token.is_keyword("forever") or token.is_keyword("beginning"):
+            self._advance()
+            return TConst(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return TConst(token.value)
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return TVar(token.value)
+        raise self._error(
+            f"expected a temporal expression, found {token.value!r}", token)
+
+
+def _default_target_name(expr) -> Optional[str]:
+    """The implicit result-attribute name of a bare target expression."""
+    if isinstance(expr, AttrRef):
+        return expr.name
+    if isinstance(expr, AggCall):
+        if expr.operand is not None and isinstance(expr.operand, AttrRef):
+            return f"{expr.func}_{expr.operand.name}"
+        return expr.func
+    return None
+
+
+def parse(source: str) -> Statement:
+    """Parse exactly one statement."""
+    parser = Parser(tokenize(source))
+    statement = parser.statement()
+    while parser._accept_symbol(";"):
+        pass
+    trailing = parser._peek()
+    if trailing.type is not TokenType.EOF:
+        raise TQuelSyntaxError(
+            f"unexpected input after statement: {trailing.value!r}",
+            trailing.line, trailing.column)
+    return statement
+
+
+def parse_script(source: str) -> List[Statement]:
+    """Parse a multi-statement script."""
+    return Parser(tokenize(source)).statements()

@@ -1,0 +1,87 @@
+"""The append-only commit log.
+
+Every committed transaction leaves a :class:`CommitRecord` — its sequence
+number, commit (transaction) time, and operations.  The log is the
+system's source of truth for *representation* history: a static rollback
+database could in principle be reconstructed purely by replaying it (the
+durable journal in :mod:`repro.storage.journal` does exactly that).
+
+The log is append-only by construction: records can be appended and read,
+never modified or removed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import JournalError
+from repro.time.instant import Instant
+from repro.txn.transaction import Operation
+
+
+class CommitRecord:
+    """One committed transaction: sequence number, commit time, operations."""
+
+    __slots__ = ("sequence", "commit_time", "operations")
+
+    def __init__(self, sequence: int, commit_time: Instant,
+                 operations: Sequence[Operation]) -> None:
+        self.sequence = sequence
+        self.commit_time = commit_time
+        self.operations: Tuple[Operation, ...] = tuple(operations)
+
+    def describe(self) -> dict:
+        """A plain-dict description (used by the durable journal)."""
+        return {
+            "sequence": self.sequence,
+            "commit_time": self.commit_time.isoformat(),
+            "operations": [op.describe() for op in self.operations],
+        }
+
+    def __repr__(self) -> str:
+        return (f"CommitRecord(#{self.sequence} at {self.commit_time}, "
+                f"{len(self.operations)} ops)")
+
+
+class CommitLog:
+    """An in-memory, append-only sequence of commit records."""
+
+    def __init__(self) -> None:
+        self._records: List[CommitRecord] = []
+
+    def append(self, commit_time: Instant,
+               operations: Sequence[Operation]) -> CommitRecord:
+        """Record a committed transaction; commit times must increase."""
+        if self._records and commit_time <= self._records[-1].commit_time:
+            raise JournalError(
+                f"commit time {commit_time} does not advance past "
+                f"{self._records[-1].commit_time}"
+            )
+        record = CommitRecord(len(self._records), commit_time, operations)
+        self._records.append(record)
+        return record
+
+    # -- reading -----------------------------------------------------------------
+
+    @property
+    def records(self) -> Tuple[CommitRecord, ...]:
+        """All records, oldest first."""
+        return tuple(self._records)
+
+    def last(self) -> Optional[CommitRecord]:
+        """The most recent record, or ``None`` if empty."""
+        return self._records[-1] if self._records else None
+
+    def as_of(self, when: Instant) -> List[CommitRecord]:
+        """The records with ``commit_time <= when`` (the rollback prefix)."""
+        return [record for record in self._records
+                if record.commit_time <= when]
+
+    def __iter__(self) -> Iterator[CommitRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"CommitLog({len(self._records)} records)"

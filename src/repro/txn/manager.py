@@ -1,0 +1,127 @@
+"""The transaction manager: begin/commit/abort plus commit timestamps.
+
+One :class:`TransactionManager` serves one database.  It owns the
+:class:`~repro.time.clock.TransactionClock` (so commit times are strictly
+increasing and system-assigned — the paper's append-only,
+application-independent transaction time) and the
+:class:`~repro.txn.log.CommitLog`.
+
+The concurrency model is single-writer: one transaction may be active at a
+time, matching the serial-history semantics the paper's figures assume (a
+rollback relation *is* the serialized sequence of its transactions).
+Attempting to begin a second concurrent transaction raises
+:class:`~repro.errors.TransactionStateError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, Sequence
+
+from repro.errors import TransactionStateError
+from repro.time.clock import Clock, SystemClock, TransactionClock
+from repro.time.instant import Instant
+from repro.txn.log import CommitLog, CommitRecord
+from repro.txn.transaction import Operation, Transaction
+
+#: The database-side applier: given operations and the commit time, make
+#: them durable.  Must raise (leaving state untouched) to reject the commit.
+Applier = Callable[[Sequence[Operation], Instant], None]
+
+
+class TransactionManager:
+    """Coordinates transactions for one database."""
+
+    def __init__(self, applier: Applier, clock: Optional[Clock] = None) -> None:
+        self._applier = applier
+        self._txn_clock = TransactionClock(clock if clock is not None
+                                           else SystemClock())
+        self._log = CommitLog()
+        self._active: Optional[Transaction] = None
+        self._next_id = 1
+        self._lock = threading.Lock()
+        self._run_lock = threading.Lock()
+        #: Optional hook invoked with each CommitRecord after it is logged
+        #: (used by the durable journal).
+        self.on_commit: Optional[Callable[[CommitRecord], None]] = None
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def log(self) -> CommitLog:
+        """The append-only commit log."""
+        return self._log
+
+    @property
+    def clock(self) -> TransactionClock:
+        """The transaction clock (strictly monotone)."""
+        return self._txn_clock
+
+    def now(self) -> Instant:
+        """The database's notion of *now* (for ``now`` literals and defaults).
+
+        This is the underlying clock's reading, floored at the last commit
+        time: when a stalled simulated clock forces the monotone
+        transaction clock to bump commit times past the raw reading,
+        *now* follows — the present never precedes the latest commit.
+        """
+        reading = self._txn_clock.current()
+        last = self._txn_clock.last
+        if last is not None and last > reading:
+            return last
+        return reading
+
+    @property
+    def active(self) -> Optional[Transaction]:
+        """The currently active transaction, if any."""
+        if self._active is not None and not self._active.is_active:
+            self._active = None
+        return self._active
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a transaction (single-writer: only one may be active)."""
+        with self._lock:
+            if self.active is not None:
+                raise TransactionStateError(
+                    f"transaction {self._active.txn_id} is still active; "
+                    f"the manager is single-writer"
+                )
+            txn = Transaction(self._next_id, self._commit)
+            self._next_id += 1
+            self._active = txn
+            return txn
+
+    def _commit(self, txn: Transaction) -> Instant:
+        """Assign a commit time, apply, and log (called by Transaction.commit)."""
+        with self._lock:
+            commit_time = self._txn_clock.tick()
+            self._applier(txn.operations, commit_time)
+            record = self._log.append(commit_time, txn.operations)
+            self._active = None
+        if self.on_commit is not None:
+            self.on_commit(record)
+        return commit_time
+
+    def run(self, operations: Sequence[Operation]) -> Instant:
+        """Convenience: begin, buffer *operations*, and commit.
+
+        Unlike interleaved explicit ``begin()`` calls (which the
+        single-writer rule rejects), concurrent ``run()`` calls simply
+        *serialize*: each whole-transaction convenience call takes its
+        turn.
+        """
+        with self._run_lock:
+            txn = self.begin()
+            try:
+                for operation in operations:
+                    txn.add(operation)
+                return txn.commit()
+            finally:
+                if txn.is_active:
+                    txn.abort()
+
+    def __repr__(self) -> str:
+        return (f"TransactionManager({len(self._log)} commits, "
+                f"active={self._active is not None})")

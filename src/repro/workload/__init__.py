@@ -1,0 +1,21 @@
+"""Synthetic workload generators for benchmarks and property tests.
+
+The paper has no machine-readable traces — its evaluation is a worked
+faculty example — so the benchmark harness generates synthetic histories
+in the same shape, at scale, with the temporally interesting behaviours
+the paper motivates dialled in as parameters: retroactive and postactive
+changes, error corrections, and batched updates (the §3 payroll example).
+"""
+
+from repro.workload.generators import (
+    FacultyWorkload, PayrollWorkload, VersionWorkload, WorkloadStep,
+    apply_workload,
+)
+
+__all__ = [
+    "FacultyWorkload",
+    "PayrollWorkload",
+    "VersionWorkload",
+    "WorkloadStep",
+    "apply_workload",
+]

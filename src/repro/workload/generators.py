@@ -1,0 +1,303 @@
+"""Workload generators.
+
+Each generator is deterministic for a given seed and produces a list of
+:class:`WorkloadStep`\\ s — (commit instant, operation descriptor) pairs —
+that :func:`apply_workload` drives into any database kind.  The same step
+list can therefore be applied to a static, rollback, historical and
+temporal database, which is exactly what the equivalence property tests
+and the taxonomy benchmarks need.
+
+Generated behaviours, mapped to the paper:
+
+- hires with postactive entry ("James is joining the faculty next
+  month"): the fact is recorded *before* its valid time begins;
+- retroactive promotions ("Merrie was promoted ... starting last
+  month"): recorded *after* the valid time begins;
+- error corrections: a previously recorded fact is deleted or its rank
+  replaced — destructive in a historical DB, append-recorded in a
+  temporal DB;
+- batched payroll updates (§3): many salary changes entered in one
+  transaction on the batch day, with effective dates scattered earlier.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.base import Database
+from repro.relational.domain import Domain
+from repro.relational.schema import Schema
+from repro.time.clock import SimulatedClock
+from repro.time.instant import Instant
+
+RANKS = ("assistant", "associate", "full")
+
+#: Day chronon for 1980-01-01; generated histories start here.
+EPOCH = Instant.parse("01/01/80").chronon
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadStep:
+    """One update: the instant it is committed, and what it does.
+
+    ``action`` is ``insert`` / ``delete`` / ``replace``; ``valid_from`` /
+    ``valid_to`` are day chronons (ignored by kinds without valid time);
+    ``batch`` groups steps committed in one transaction.
+    """
+
+    commit: int
+    action: str
+    values: Optional[Dict[str, Any]] = None
+    match: Optional[Dict[str, Any]] = None
+    updates: Optional[Dict[str, Any]] = None
+    valid_from: Optional[int] = None
+    valid_to: Optional[int] = None
+    batch: int = 0
+
+
+class FacultyWorkload:
+    """Randomized faculty histories in the shape of the paper's example.
+
+    Parameters control the temporal character:
+
+    - ``people``: how many distinct faculty members;
+    - ``events_per_person``: promotions/corrections per member (≥1);
+    - ``retroactive_ratio``: fraction of changes recorded after their
+      effective date (the rest are postactive or same-day);
+    - ``correction_ratio``: fraction of changes that are *error
+      corrections* (replace a recorded rank without changing validity).
+    """
+
+    relation = "faculty"
+
+    def __init__(self, people: int = 20, events_per_person: int = 3,
+                 retroactive_ratio: float = 0.4,
+                 correction_ratio: float = 0.2, seed: int = 1985) -> None:
+        self.people = people
+        self.events_per_person = events_per_person
+        self.retroactive_ratio = retroactive_ratio
+        self.correction_ratio = correction_ratio
+        self.seed = seed
+
+    def schema(self) -> Schema:
+        """``faculty(name, rank)`` with ``name`` as key."""
+        return Schema.of(key=["name"],
+                         name=Domain.STRING,
+                         rank=Domain.enumeration("rank", *RANKS))
+
+    def steps(self) -> List[WorkloadStep]:
+        """Generate the full, commit-ordered step list."""
+        rng = random.Random(self.seed)
+        raw: List[WorkloadStep] = []
+        batch = 0
+        for person in range(self.people):
+            name = f"person{person:04d}"
+            hired_valid = EPOCH + rng.randrange(0, 365)
+            offset = rng.randrange(1, 30)
+            if rng.random() < self.retroactive_ratio:
+                hired_commit = hired_valid + offset  # recorded late
+            else:
+                hired_commit = max(EPOCH, hired_valid - offset)  # postactive
+            rank_index = 0
+            raw.append(WorkloadStep(
+                commit=hired_commit, action="insert", batch=batch,
+                values={"name": name, "rank": RANKS[rank_index]},
+                valid_from=hired_valid))
+            batch += 1
+            event_valid = hired_valid
+            for _ in range(self.events_per_person - 1):
+                event_valid += rng.randrange(90, 720)
+                offset = rng.randrange(1, 45)
+                retro = rng.random() < self.retroactive_ratio
+                commit = event_valid + offset if retro else max(
+                    hired_commit + 1, event_valid - offset)
+                if rng.random() < self.correction_ratio:
+                    # An error correction: the recorded rank was wrong.
+                    new_rank = RANKS[rng.randrange(len(RANKS))]
+                    raw.append(WorkloadStep(
+                        commit=commit, action="replace", batch=batch,
+                        match={"name": name},
+                        updates={"rank": new_rank},
+                        valid_from=hired_valid))
+                elif rank_index + 1 < len(RANKS):
+                    rank_index += 1
+                    raw.append(WorkloadStep(
+                        commit=commit, action="replace", batch=batch,
+                        match={"name": name},
+                        updates={"rank": RANKS[rank_index]},
+                        valid_from=event_valid))
+                else:
+                    # Leaves the faculty.
+                    raw.append(WorkloadStep(
+                        commit=commit, action="delete", batch=batch,
+                        match={"name": name}, valid_from=event_valid))
+                batch += 1
+        return _normalize_commits(raw)
+
+
+class PayrollWorkload:
+    """The §3 payroll scenario: batched updates, scattered effective dates.
+
+    Salary changes are entered against the database "only once or twice a
+    month" — all steps of one batch share a commit instant (one
+    transaction) — while the effective dates fall anywhere in the
+    preceding month.
+    """
+
+    relation = "payroll"
+
+    def __init__(self, employees: int = 30, months: int = 12,
+                 changes_per_month: int = 8, seed: int = 83) -> None:
+        self.employees = employees
+        self.months = months
+        self.changes_per_month = changes_per_month
+        self.seed = seed
+
+    def schema(self) -> Schema:
+        """``payroll(employee, salary)`` with ``employee`` as key."""
+        return Schema.of(key=["employee"],
+                         employee=Domain.STRING, salary=Domain.INTEGER)
+
+    def steps(self) -> List[WorkloadStep]:
+        """Generate hires (month 0) then monthly batched salary changes."""
+        rng = random.Random(self.seed)
+        raw: List[WorkloadStep] = []
+        salaries = {}
+        for employee in range(self.employees):
+            name = f"emp{employee:04d}"
+            salaries[name] = 30000 + rng.randrange(0, 40) * 1000
+            raw.append(WorkloadStep(
+                commit=EPOCH, action="insert", batch=0,
+                values={"employee": name, "salary": salaries[name]},
+                valid_from=EPOCH))
+        for month in range(1, self.months + 1):
+            batch_day = EPOCH + month * 30  # the entry day (transaction time)
+            chosen = rng.sample(sorted(salaries), k=min(self.changes_per_month,
+                                                        len(salaries)))
+            for name in chosen:
+                salaries[name] = int(salaries[name] * 1.05)
+                effective = batch_day - rng.randrange(1, 30)  # retroactive
+                raw.append(WorkloadStep(
+                    commit=batch_day, action="replace", batch=month,
+                    match={"employee": name},
+                    updates={"salary": salaries[name]},
+                    valid_from=effective))
+        return _normalize_commits(raw)
+
+
+class VersionWorkload:
+    """Engineering versions: parts with release dates and supersessions.
+
+    Models the CAM/engineering-version motivation (Mueller & Steinbauer):
+    each part goes through revisions; a revision's valid time starts at its
+    release date, which may be announced ahead of time (postactive) or
+    back-dated after qualification testing (retroactive).
+    """
+
+    relation = "versions"
+
+    def __init__(self, parts: int = 15, revisions: int = 4,
+                 seed: int = 7) -> None:
+        self.parts = parts
+        self.revisions = revisions
+        self.seed = seed
+
+    def schema(self) -> Schema:
+        """``versions(part, revision)`` with ``part`` as key."""
+        return Schema.of(key=["part"],
+                         part=Domain.STRING, revision=Domain.INTEGER)
+
+    def steps(self) -> List[WorkloadStep]:
+        """Generate release/supersede steps for every part."""
+        rng = random.Random(self.seed)
+        raw: List[WorkloadStep] = []
+        batch = 0
+        for part_number in range(self.parts):
+            part = f"part{part_number:04d}"
+            release = EPOCH + rng.randrange(0, 200)
+            raw.append(WorkloadStep(
+                commit=max(EPOCH, release - rng.randrange(0, 20)),
+                action="insert", batch=batch,
+                values={"part": part, "revision": 1}, valid_from=release))
+            batch += 1
+            for revision in range(2, self.revisions + 1):
+                release += rng.randrange(60, 400)
+                announce = release + rng.randrange(-30, 30)
+                raw.append(WorkloadStep(
+                    commit=max(EPOCH + 1, announce), action="replace",
+                    batch=batch, match={"part": part},
+                    updates={"revision": revision}, valid_from=release))
+                batch += 1
+        return _normalize_commits(raw)
+
+
+def _normalize_commits(steps: Sequence[WorkloadStep]) -> List[WorkloadStep]:
+    """Sort by commit time, keeping batch members adjacent and ordered."""
+    return sorted(steps, key=lambda step: (step.commit, step.batch))
+
+
+def apply_workload(database: Database, workload,
+                   steps: Optional[Sequence[WorkloadStep]] = None) -> int:
+    """Drive a generated step list into *database* (any kind).
+
+    The database must have been constructed with a
+    :class:`~repro.time.clock.SimulatedClock` so commit instants can be
+    steered; consecutive steps of one batch commit in one transaction.
+    Returns the number of transactions committed.
+    """
+    if steps is None:
+        steps = workload.steps()
+    clock = database.manager.clock.source  # the injected SimulatedClock
+    if not isinstance(clock, SimulatedClock):
+        raise TypeError("apply_workload needs a database built on a "
+                        "SimulatedClock")
+    if workload.relation not in database:
+        database.define(workload.relation, workload.schema())
+
+    supports_valid = database.kind.supports_historical_queries
+    transactions = 0
+    index = 0
+    while index < len(steps):
+        step = steps[index]
+        # One transaction per (commit, batch) group.
+        group = [step]
+        scan = index + 1
+        while (scan < len(steps) and steps[scan].commit == step.commit
+               and steps[scan].batch == step.batch):
+            group.append(steps[scan])
+            scan += 1
+        index = scan
+
+        if clock.current().chronon < step.commit:
+            clock.set(Instant.from_chronon(step.commit))
+        with database.begin() as txn:
+            for member in group:
+                _apply_step(database, workload.relation, member,
+                            supports_valid, txn)
+        transactions += 1
+    return transactions
+
+
+def _apply_step(database: Database, relation: str, step: WorkloadStep,
+                supports_valid: bool, txn) -> None:
+    def bounds() -> Dict[str, Any]:
+        if not supports_valid:
+            return {}
+        args: Dict[str, Any] = {}
+        if step.valid_from is not None:
+            args["valid_from"] = Instant.from_chronon(step.valid_from)
+        if step.valid_to is not None:
+            args["valid_to"] = Instant.from_chronon(step.valid_to)
+        return args
+
+    if step.action == "insert":
+        database.insert(relation, step.values, txn=txn, **bounds())
+    elif step.action == "delete":
+        database.delete(relation, step.match, txn=txn, **bounds())
+    elif step.action == "replace":
+        database.replace(relation, step.match, step.updates, txn=txn,
+                         **bounds())
+    else:
+        raise ValueError(f"unknown workload action {step.action!r}")

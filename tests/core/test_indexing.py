@@ -1,0 +1,185 @@
+"""Unit + property tests for the temporal indexes (interval trees)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (BitemporalIndex, DatabaseIndexCache, HistoricalIndex,
+                        IntervalTree, RollbackDatabase, RollbackIndex,
+                        TemporalDatabase)
+from repro.time import Instant, NEG_INF, POS_INF, Period, SimulatedClock
+from repro.workload import FacultyWorkload, apply_workload
+
+from tests.conftest import build_faculty
+
+BASE = Instant.parse("01/01/80").chronon
+
+
+def period(lo, hi):
+    return Period(Instant.from_chronon(BASE + lo) if lo is not None else NEG_INF,
+                  Instant.from_chronon(BASE + hi) if hi is not None else POS_INF)
+
+
+class TestIntervalTree:
+    def test_basic_stabbing(self):
+        tree = IntervalTree([(period(0, 10), "a"), (period(5, 15), "b"),
+                             (period(20, 30), "c")])
+        assert sorted(tree.stab(Instant.from_chronon(BASE + 7))) == ["a", "b"]
+        assert tree.stab(Instant.from_chronon(BASE + 17)) == []
+        assert tree.stab(Instant.from_chronon(BASE + 25)) == ["c"]
+
+    def test_half_open_boundaries(self):
+        tree = IntervalTree([(period(0, 10), "a")])
+        assert tree.stab(Instant.from_chronon(BASE + 0)) == ["a"]
+        assert tree.stab(Instant.from_chronon(BASE + 9)) == ["a"]
+        assert tree.stab(Instant.from_chronon(BASE + 10)) == []
+
+    def test_unbounded_intervals(self):
+        tree = IntervalTree([(period(None, 5), "past"),
+                             (period(5, None), "future"),
+                             (Period.always(), "always")])
+        assert sorted(tree.stab(Instant.from_chronon(BASE + 3))) == [
+            "always", "past"]
+        assert sorted(tree.stab(Instant.from_chronon(BASE + 1000))) == [
+            "always", "future"]
+
+    def test_empty_tree(self):
+        tree = IntervalTree([])
+        assert tree.stab(Instant.from_chronon(BASE)) == []
+        assert len(tree) == 0
+
+    def test_identical_intervals(self):
+        tree = IntervalTree([(period(0, 10), i) for i in range(5)])
+        assert sorted(tree.stab(Instant.from_chronon(BASE + 5))) == [
+            0, 1, 2, 3, 4]
+
+    @given(st.lists(st.tuples(st.integers(0, 60), st.integers(1, 25)),
+                    max_size=40),
+           st.integers(-5, 90))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_naive_scan(self, raw, probe_offset):
+        items = [(period(lo, lo + length), index)
+                 for index, (lo, length) in enumerate(raw)]
+        tree = IntervalTree(items)
+        probe = Instant.from_chronon(BASE + probe_offset)
+        expected = sorted(index for p, index in items if p.contains(probe))
+        assert sorted(tree.stab(probe)) == expected
+
+    @given(st.lists(st.tuples(
+        st.one_of(st.none(), st.integers(0, 40)),
+        st.one_of(st.none(), st.integers(41, 80))), max_size=25),
+        st.integers(-10, 100))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_naive_scan_with_unbounded(self, raw, probe_offset):
+        items = [(period(lo, hi), index)
+                 for index, (lo, hi) in enumerate(raw)]
+        tree = IntervalTree(items)
+        probe = Instant.from_chronon(BASE + probe_offset)
+        expected = sorted(index for p, index in items if p.contains(probe))
+        assert sorted(tree.stab(probe)) == expected
+
+
+class TestOverlapping:
+    def test_basic(self):
+        tree = IntervalTree([(period(0, 10), "a"), (period(5, 15), "b"),
+                             (period(20, 30), "c")])
+        assert sorted(tree.overlapping(period(8, 22))) == ["a", "b", "c"]
+        assert tree.overlapping(period(16, 19)) == []
+
+    def test_meeting_does_not_overlap(self):
+        tree = IntervalTree([(period(0, 10), "a")])
+        assert tree.overlapping(period(10, 20)) == []
+        assert tree.overlapping(period(9, 20)) == ["a"]
+
+    def test_unbounded_query(self):
+        tree = IntervalTree([(period(0, 10), "a"), (period(50, 60), "b")])
+        assert sorted(tree.overlapping(Period.always())) == ["a", "b"]
+
+    @given(st.lists(st.tuples(st.integers(0, 60), st.integers(1, 25)),
+                    max_size=30),
+           st.integers(-5, 80), st.integers(1, 30))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_naive_scan(self, raw, query_lo, query_len):
+        items = [(period(lo, lo + length), index)
+                 for index, (lo, length) in enumerate(raw)]
+        tree = IntervalTree(items)
+        query = period(query_lo, query_lo + query_len)
+        expected = sorted(index for p, index in items if p.overlaps(query))
+        assert sorted(tree.overlapping(query)) == expected
+
+
+class TestRelationIndexes:
+    def test_historical_index_matches_timeslice(self, historical_faculty):
+        database, _ = historical_faculty
+        history = database.history("faculty")
+        index = HistoricalIndex(history)
+        for probe in ("08/31/77", "09/01/77", "12/06/82", "06/01/83",
+                      "03/01/84"):
+            assert index.timeslice(probe) == history.timeslice(probe), probe
+
+    def test_rollback_index_matches_rollback(self, rollback_faculty):
+        database, _ = rollback_faculty
+        store = database.store("faculty")
+        index = RollbackIndex(store)
+        for probe in ("01/01/77", "08/25/77", "12/10/82", "06/01/83",
+                      "01/01/85"):
+            assert index.rollback(probe) == store.rollback(probe), probe
+
+    def test_bitemporal_index_matches_both_axes(self, temporal_faculty):
+        database, _ = temporal_faculty
+        relation = database.temporal("faculty")
+        index = BitemporalIndex(relation)
+        for as_of in ("12/06/82", "12/10/82", "12/20/82", "06/01/84"):
+            assert index.rollback(as_of) == relation.rollback(as_of), as_of
+            for valid_at in ("12/06/82", "06/01/83"):
+                assert index.timeslice(valid_at, as_of) == \
+                    relation.timeslice(valid_at, as_of), (valid_at, as_of)
+
+    def test_at_workload_scale(self):
+        database = TemporalDatabase(clock=SimulatedClock("01/01/79"))
+        apply_workload(database, FacultyWorkload(people=15, seed=3))
+        relation = database.temporal("faculty")
+        index = BitemporalIndex(relation)
+        probes = [Instant.from_chronon(BASE + offset)
+                  for offset in range(0, 1500, 97)]
+        for probe in probes:
+            assert index.rollback(probe) == relation.rollback(probe)
+
+
+class TestDatabaseIndexCache:
+    def test_serves_current_answers(self, temporal_faculty):
+        database, _ = temporal_faculty
+        cache = DatabaseIndexCache(database)
+        assert cache.bitemporal("faculty").rollback("12/10/82") == \
+            database.rollback("faculty", "12/10/82")
+
+    def test_reuses_until_commit(self, temporal_faculty):
+        database, _ = temporal_faculty
+        cache = DatabaseIndexCache(database)
+        first = cache.bitemporal("faculty")
+        second = cache.bitemporal("faculty")
+        assert first is second
+
+    def test_invalidates_on_commit(self, temporal_faculty):
+        database, clock = temporal_faculty
+        cache = DatabaseIndexCache(database)
+        stale = cache.bitemporal("faculty")
+        clock.set("06/01/85")
+        database.insert("faculty", {"name": "New", "rank": "assistant"},
+                        valid_from="06/01/85")
+        fresh = cache.bitemporal("faculty")
+        assert fresh is not stale
+        # And the fresh index sees the new fact.
+        assert any(row.data["name"] == "New"
+                   for row in fresh.rollback("06/01/85").rows)
+
+    def test_rollback_and_historical_flavours(self, rollback_faculty,
+                                              historical_faculty):
+        rollback_db, _ = rollback_faculty
+        cache = DatabaseIndexCache(rollback_db)
+        assert cache.rollback("faculty").rollback("12/10/82") == \
+            rollback_db.rollback("faculty", "12/10/82")
+        historical_db, _ = historical_faculty
+        cache2 = DatabaseIndexCache(historical_db)
+        assert cache2.historical("faculty").timeslice("06/01/83") == \
+            historical_db.timeslice("faculty", "06/01/83")

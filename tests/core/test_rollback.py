@@ -1,0 +1,196 @@
+"""Unit tests for static rollback databases (§4.2, Figures 3-4)."""
+
+import pytest
+
+from repro.core import (DatabaseKind, INTERVAL, STATES, RollbackDatabase,
+                        RollbackRelation, StateSequence)
+from repro.errors import HistoricalNotSupportedError
+from repro.relational import Relation
+from repro.time import Instant, POS_INF, SimulatedClock
+
+from tests.conftest import build_faculty, faculty_schema
+
+
+class TestKind:
+    def test_kind_and_capabilities(self, rollback_faculty):
+        database, _ = rollback_faculty
+        assert database.kind is DatabaseKind.STATIC_ROLLBACK
+        assert database.supports_rollback
+        assert not database.supports_historical_queries
+
+    def test_timeslice_rejected(self, rollback_faculty):
+        database, _ = rollback_faculty
+        with pytest.raises(HistoricalNotSupportedError, match="rollback"):
+            database.timeslice("faculty", "12/10/82")
+
+    def test_bad_representation_rejected(self):
+        with pytest.raises(ValueError):
+            RollbackDatabase(clock=SimulatedClock("01/01/80"),
+                             representation="cube")
+
+    def test_representation_property(self, rollback_faculty,
+                                      rollback_faculty_states):
+        assert rollback_faculty[0].representation == INTERVAL
+        assert rollback_faculty_states[0].representation == STATES
+
+
+class TestRollbackQueries:
+    """§4.2: rollback yields the static relation as of a past moment."""
+
+    def test_result_is_pure_static_relation(self, rollback_faculty):
+        database, _ = rollback_faculty
+        result = database.rollback("faculty", "12/10/82")
+        assert isinstance(result, Relation)
+
+    def test_paper_query(self, rollback_faculty):
+        # Merrie's rank as of 12/10/82 is associate (the promotion was
+        # recorded 12/15/82).
+        database, _ = rollback_faculty
+        state = database.rollback("faculty", "12/10/82")
+        merrie = state.select(lambda row: row["name"] == "Merrie")
+        assert merrie.column("rank") == ["associate"]
+
+    def test_rollback_before_any_transaction_is_null_relation(
+            self, rollback_faculty):
+        database, _ = rollback_faculty
+        assert database.rollback("faculty", "01/01/70").is_empty
+
+    def test_rollback_sees_then_current_errors(self, rollback_faculty):
+        # As of 12/05/82 the database believed Tom was a full professor;
+        # rollback faithfully reproduces the incorrect state.
+        database, _ = rollback_faculty
+        state = database.rollback("faculty", "12/05/82")
+        tom = state.select(lambda row: row["name"] == "Tom")
+        assert tom.column("rank") == ["full"]
+
+    def test_rollback_at_exact_commit_time_includes_commit(
+            self, rollback_faculty):
+        database, _ = rollback_faculty
+        state = database.rollback("faculty", "12/15/82")
+        merrie = state.select(lambda row: row["name"] == "Merrie")
+        assert merrie.column("rank") == ["full"]
+
+    def test_snapshot_is_latest_state(self, rollback_faculty):
+        database, _ = rollback_faculty
+        snapshot = {tuple(sorted(row.items()))
+                    for row in database.snapshot("faculty").to_dicts()}
+        assert snapshot == {
+            (("name", "Merrie"), ("rank", "full")),
+            (("name", "Tom"), ("rank", "associate")),
+        }
+
+    def test_rollback_now_equals_snapshot(self, rollback_faculty):
+        database, clock = rollback_faculty
+        assert database.rollback("faculty", clock.current()) == \
+            database.snapshot("faculty")
+
+
+class TestBothRepresentationsAgree:
+    PROBES = ["01/01/77", "08/25/77", "08/26/77", "12/01/82", "12/06/82",
+              "12/07/82", "12/10/82", "12/15/82", "12/16/82", "01/10/83",
+              "02/24/84", "02/25/84", "01/01/85"]
+
+    def test_every_probe_agrees(self, rollback_faculty,
+                                rollback_faculty_states):
+        interval_db, _ = rollback_faculty
+        states_db, _ = rollback_faculty_states
+        for probe in self.PROBES:
+            assert (interval_db.rollback("faculty", probe)
+                    == states_db.rollback("faculty", probe)), probe
+
+
+class TestIntervalStore:
+    def test_figure_4_shape(self, rollback_faculty):
+        database, _ = rollback_faculty
+        store = database.store("faculty")
+        assert isinstance(store, RollbackRelation)
+        rows = {(row.data["name"], row.data["rank"],
+                 row.tt.start.paper_format(), row.tt.end.paper_format())
+                for row in store.rows}
+        # The four rows of Figure 4 are all present.
+        assert ("Merrie", "associate", "08/25/77", "12/15/82") in rows
+        assert ("Merrie", "full", "12/15/82", "∞") in rows
+        assert ("Tom", "associate", "12/07/82", "∞") in rows
+        assert ("Mike", "assistant", "01/10/83", "02/25/84") in rows
+
+    def test_current_rows_have_open_transaction_end(self, rollback_faculty):
+        database, _ = rollback_faculty
+        store = database.store("faculty")
+        open_rows = [row for row in store.rows if row.tt.end.is_pos_inf]
+        assert {row.data["name"] for row in open_rows} == {"Merrie", "Tom"}
+
+    def test_insert_then_delete_in_one_transaction_leaves_no_row(self):
+        clock = SimulatedClock("01/01/80")
+        database = RollbackDatabase(clock=clock)
+        database.define("faculty", faculty_schema())
+        with database.begin() as txn:
+            database.insert("faculty", {"name": "Ghost", "rank": "full"},
+                            txn=txn)
+            database.delete("faculty", {"name": "Ghost"}, txn=txn)
+        store = database.store("faculty")
+        assert not any(row.data["name"] == "Ghost" for row in store.rows)
+
+
+class TestStatesStore:
+    def test_one_state_per_transaction(self, rollback_faculty_states):
+        database, _ = rollback_faculty_states
+        store = database.store("faculty")
+        assert isinstance(store, StateSequence)
+        # Six DML transactions drove the scenario.
+        assert len(store) == 6
+
+    def test_states_are_cumulative_snapshots(self, rollback_faculty_states):
+        database, _ = rollback_faculty_states
+        states = database.store("faculty").states
+        cardinalities = [len(state) for _, state in states]
+        assert cardinalities == [1, 2, 2, 2, 3, 2]
+
+    def test_multiple_ops_one_transaction_one_state(self):
+        clock = SimulatedClock("01/01/80")
+        database = RollbackDatabase(clock=clock, representation=STATES)
+        database.define("faculty", faculty_schema())
+        with database.begin() as txn:
+            database.insert("faculty", {"name": "A", "rank": "full"}, txn=txn)
+            database.insert("faculty", {"name": "B", "rank": "full"}, txn=txn)
+        assert len(database.store("faculty")) == 1
+
+
+class TestAppendOnly:
+    """'Once a transaction has completed, the static relations ... may not
+    be altered.'"""
+
+    def test_past_states_unchanged_by_new_transactions(self, rollback_faculty):
+        database, clock = rollback_faculty
+        before = database.rollback("faculty", "12/10/82")
+        clock.set("06/01/84")
+        database.insert("faculty", {"name": "New", "rank": "assistant"})
+        after = database.rollback("faculty", "12/10/82")
+        assert before == after
+
+    def test_delete_cannot_forget(self, rollback_faculty):
+        # Mike was deleted from the current state, yet remains visible in
+        # the past: "errors can sometimes be overridden ... but they cannot
+        # be forgotten".
+        database, _ = rollback_faculty
+        assert not any(row["name"] == "Mike"
+                       for row in database.snapshot("faculty"))
+        past = database.rollback("faculty", "06/01/83")
+        assert any(row["name"] == "Mike" for row in past)
+
+    def test_rollback_results_are_immutable_values(self, rollback_faculty):
+        database, _ = rollback_faculty
+        state = database.rollback("faculty", "12/10/82")
+        grown = state.insert_values(name="X", rank="full")
+        # Deriving a new relation does not touch the store.
+        assert database.rollback("faculty", "12/10/82") != grown
+
+
+class TestStorageAccounting:
+    def test_states_duplicate_storage_exceeds_interval(self):
+        # The paper's claim: the cube representation is "impractical, due
+        # to excessive duplication".
+        interval_db, _ = build_faculty(RollbackDatabase)
+        states_db, _ = build_faculty(RollbackDatabase, representation="states")
+        interval_cells = interval_db.store("faculty").storage_cells()
+        states_cells = states_db.store("faculty").storage_cells()
+        assert states_cells > interval_cells

@@ -1,0 +1,158 @@
+"""Unit tests for static databases (§4.1)."""
+
+import pytest
+
+from repro.core import DatabaseKind, StaticDatabase
+from repro.errors import (ConstraintViolation, DuplicateRelationError,
+                          HistoricalNotSupportedError,
+                          RollbackNotSupportedError, UnknownRelationError)
+from repro.relational import Domain, Schema, attr
+from repro.time import Instant, SimulatedClock
+
+from tests.conftest import faculty_schema
+
+
+def fresh():
+    clock = SimulatedClock("01/01/80")
+    database = StaticDatabase(clock=clock)
+    database.define("faculty", faculty_schema())
+    return database, clock
+
+
+class TestKind:
+    def test_kind_and_capabilities(self):
+        database = StaticDatabase(clock=SimulatedClock("01/01/80"))
+        assert database.kind is DatabaseKind.STATIC
+        assert not database.supports_rollback
+        assert not database.supports_historical_queries
+
+    def test_rollback_rejected(self, static_faculty):
+        database, _ = static_faculty
+        with pytest.raises(RollbackNotSupportedError, match="static"):
+            database.rollback("faculty", "12/10/82")
+
+    def test_timeslice_rejected(self, static_faculty):
+        database, _ = static_faculty
+        with pytest.raises(HistoricalNotSupportedError, match="static"):
+            database.timeslice("faculty", "12/10/82")
+
+
+class TestDDL:
+    def test_define_and_names(self):
+        database, _ = fresh()
+        assert database.relation_names() == ["faculty"]
+        assert "faculty" in database
+        assert database.schema("faculty").names == ("name", "rank")
+
+    def test_define_duplicate(self):
+        database, _ = fresh()
+        with pytest.raises(DuplicateRelationError):
+            database.define("faculty", faculty_schema())
+
+    def test_drop(self):
+        database, _ = fresh()
+        database.drop("faculty")
+        assert "faculty" not in database
+        with pytest.raises(UnknownRelationError):
+            database.snapshot("faculty")
+
+    def test_ddl_is_journaled(self):
+        database, _ = fresh()
+        assert database.log.records[0].operations[0].action == "define"
+
+
+class TestDML:
+    def test_insert_and_snapshot(self):
+        database, _ = fresh()
+        database.insert("faculty", {"name": "Merrie", "rank": "full"})
+        assert database.snapshot("faculty").to_dicts() == [
+            {"name": "Merrie", "rank": "full"}]
+
+    def test_past_states_forgotten(self, static_faculty):
+        # "past states of the database ... are discarded and forgotten
+        # completely" — only the final snapshot exists.
+        database, _ = static_faculty
+        snapshot = database.snapshot("faculty")
+        assert snapshot.to_dicts() == [
+            {"name": "Merrie", "rank": "full"},
+            {"name": "Tom", "rank": "associate"},
+        ]
+
+    def test_delete_by_match(self):
+        database, _ = fresh()
+        database.insert("faculty", {"name": "A", "rank": "full"})
+        database.insert("faculty", {"name": "B", "rank": "full"})
+        database.delete("faculty", {"name": "A"})
+        assert database.snapshot("faculty").column("name") == ["B"]
+
+    def test_delete_all(self):
+        database, _ = fresh()
+        database.insert("faculty", {"name": "A", "rank": "full"})
+        database.delete("faculty")
+        assert database.snapshot("faculty").is_empty
+
+    def test_delete_where_predicate(self):
+        database, _ = fresh()
+        database.insert("faculty", {"name": "A", "rank": "full"})
+        database.insert("faculty", {"name": "B", "rank": "assistant"})
+        database.delete_where("faculty", attr("rank") == "assistant")
+        assert database.snapshot("faculty").column("name") == ["A"]
+
+    def test_replace(self):
+        database, _ = fresh()
+        database.insert("faculty", {"name": "A", "rank": "assistant"})
+        database.replace("faculty", {"name": "A"}, {"rank": "associate"})
+        assert database.snapshot("faculty").column("rank") == ["associate"]
+
+    def test_insert_validates_domain(self):
+        database, _ = fresh()
+        with pytest.raises(Exception):
+            database.insert("faculty", {"name": "A", "rank": "janitor"})
+
+    def test_insert_unknown_relation(self):
+        database, _ = fresh()
+        with pytest.raises(UnknownRelationError):
+            database.insert("nowhere", {"name": "A", "rank": "full"})
+
+
+class TestTransactions:
+    def test_multi_op_transaction_is_atomic(self):
+        database, _ = fresh()
+        with database.begin() as txn:
+            database.insert("faculty", {"name": "A", "rank": "full"}, txn=txn)
+            database.insert("faculty", {"name": "B", "rank": "full"}, txn=txn)
+        assert database.snapshot("faculty").cardinality == 2
+        # Both inserts share one commit record.
+        assert len(database.log.records[-1].operations) == 2
+
+    def test_abort_leaves_state_untouched(self):
+        database, _ = fresh()
+        txn = database.begin()
+        database.insert("faculty", {"name": "A", "rank": "full"}, txn=txn)
+        txn.abort()
+        assert database.snapshot("faculty").is_empty
+
+    def test_failed_constraint_aborts_whole_batch(self):
+        database, _ = fresh()
+        database.insert("faculty", {"name": "A", "rank": "full"})
+        txn = database.begin()
+        database.insert("faculty", {"name": "B", "rank": "full"}, txn=txn)
+        database.insert("faculty", {"name": "A", "rank": "assistant"},
+                        txn=txn)  # key violation
+        with pytest.raises(ConstraintViolation):
+            txn.commit()
+        # Neither insert took effect.
+        assert database.snapshot("faculty").column("name") == ["A"]
+
+    def test_key_constraint_enforced(self):
+        database, _ = fresh()
+        database.insert("faculty", {"name": "A", "rank": "full"})
+        with pytest.raises(ConstraintViolation, match="duplicate key"):
+            database.insert("faculty", {"name": "A", "rank": "assistant"})
+
+    def test_commit_times_recorded(self):
+        database, clock = fresh()
+        clock.set("06/01/80")
+        when = database.insert("faculty", {"name": "A", "rank": "full"})
+        assert when == Instant.parse("06/01/80")
+        assert database.log.last().commit_time == when

@@ -1,0 +1,182 @@
+"""Unit tests for temporal integrity constraints."""
+
+import pytest
+
+from repro.core import (BoundedValidity, ContiguousHistory,
+                        HistoricalDatabase, NoFutureValidity, StaticDatabase,
+                        TemporalDatabase, ValidityDuration)
+from repro.errors import ConstraintViolation, HistoricalNotSupportedError
+from repro.relational import Domain, Schema
+from repro.time import Period, SimulatedClock
+
+
+def payroll_schema():
+    return Schema.of(key=["who"], who=Domain.STRING, salary=Domain.INTEGER)
+
+
+def fresh(db_class=HistoricalDatabase, constraints=()):
+    clock = SimulatedClock("01/01/80")
+    database = db_class(clock=clock)
+    database.define("pay", payroll_schema(), constraints=constraints)
+    return database, clock
+
+
+class TestContiguousHistory:
+    def test_contiguous_changes_allowed(self):
+        database, _ = fresh(constraints=[ContiguousHistory(["who"])])
+        database.insert("pay", {"who": "a", "salary": 100},
+                        valid_from="01/01/80", valid_to="01/01/81")
+        database.insert("pay", {"who": "a", "salary": 200},
+                        valid_from="01/01/81")
+        assert len(database.history("pay")) == 2
+
+    def test_gap_rejected(self):
+        database, _ = fresh(constraints=[ContiguousHistory(["who"])])
+        database.insert("pay", {"who": "a", "salary": 100},
+                        valid_from="01/01/80", valid_to="01/01/81")
+        with pytest.raises(ConstraintViolation, match="gaps"):
+            database.insert("pay", {"who": "a", "salary": 200},
+                            valid_from="06/01/81")
+
+    def test_gap_created_by_delete_rejected(self):
+        database, _ = fresh(constraints=[ContiguousHistory(["who"])])
+        database.insert("pay", {"who": "a", "salary": 100},
+                        valid_from="01/01/80")
+        with pytest.raises(ConstraintViolation, match="gaps"):
+            database.delete("pay", {"who": "a"},
+                            valid_from="01/01/81", valid_to="01/01/82")
+
+    def test_whole_batch_aborts(self):
+        database, _ = fresh(constraints=[ContiguousHistory(["who"])])
+        database.insert("pay", {"who": "a", "salary": 100},
+                        valid_from="01/01/80", valid_to="01/01/81")
+        before = database.history("pay")
+        txn = database.begin()
+        database.insert("pay", {"who": "b", "salary": 10},
+                        valid_from="01/01/80", txn=txn)
+        database.insert("pay", {"who": "a", "salary": 200},
+                        valid_from="06/01/81", txn=txn)  # the gap
+        with pytest.raises(ConstraintViolation):
+            txn.commit()
+        assert database.history("pay") == before
+
+    def test_distinct_keys_independent(self):
+        database, _ = fresh(constraints=[ContiguousHistory(["who"])])
+        database.insert("pay", {"who": "a", "salary": 100},
+                        valid_from="01/01/80", valid_to="01/01/81")
+        # b's history starting much later is fine: contiguity is per key.
+        database.insert("pay", {"who": "b", "salary": 100},
+                        valid_from="01/01/83")
+
+
+class TestNoFutureValidity:
+    def test_postactive_rejected_with_zero_horizon(self):
+        database, clock = fresh(constraints=[NoFutureValidity(0)])
+        with pytest.raises(ConstraintViolation, match="horizon"):
+            database.insert("pay", {"who": "a", "salary": 100},
+                            valid_from="02/01/80")
+
+    def test_within_horizon_allowed(self):
+        database, clock = fresh(constraints=[NoFutureValidity(45)])
+        database.insert("pay", {"who": "a", "salary": 100},
+                        valid_from="02/01/80")  # 31 days ahead
+
+    def test_retroactive_always_allowed(self):
+        database, clock = fresh(constraints=[NoFutureValidity(0)])
+        clock.set("06/01/80")
+        database.insert("pay", {"who": "a", "salary": 100},
+                        valid_from="01/01/80")
+
+    def test_open_end_is_fine(self):
+        database, _ = fresh(constraints=[NoFutureValidity(0)])
+        database.insert("pay", {"who": "a", "salary": 100},
+                        valid_from="01/01/80")  # to ∞
+
+
+class TestBoundedValidity:
+    WINDOW = Period("01/01/75", "01/01/90")
+
+    def test_inside_window(self):
+        database, _ = fresh(constraints=[BoundedValidity(self.WINDOW)])
+        database.insert("pay", {"who": "a", "salary": 100},
+                        valid_from="01/01/80", valid_to="01/01/85")
+
+    def test_escaping_window_rejected(self):
+        database, _ = fresh(constraints=[BoundedValidity(self.WINDOW)])
+        with pytest.raises(ConstraintViolation, match="escapes"):
+            database.insert("pay", {"who": "a", "salary": 100},
+                            valid_from="01/01/70")
+
+    def test_open_ended_escapes_bounded_window(self):
+        database, _ = fresh(constraints=[BoundedValidity(self.WINDOW)])
+        with pytest.raises(ConstraintViolation):
+            database.insert("pay", {"who": "a", "salary": 100},
+                            valid_from="01/01/80")  # to ∞ > window end
+
+
+class TestValidityDuration:
+    def test_minimum_enforced(self):
+        database, _ = fresh(constraints=[ValidityDuration(at_least=7)])
+        with pytest.raises(ConstraintViolation, match="only"):
+            database.insert("pay", {"who": "a", "salary": 100},
+                            valid_from="01/01/80", valid_to="01/03/80")
+
+    def test_maximum_enforced(self):
+        database, _ = fresh(constraints=[ValidityDuration(at_most=30)])
+        with pytest.raises(ConstraintViolation, match="maximum"):
+            database.insert("pay", {"who": "a", "salary": 100},
+                            valid_from="01/01/80", valid_to="06/01/80")
+
+    def test_open_ended_passes(self):
+        database, _ = fresh(constraints=[ValidityDuration(at_least=7,
+                                                          at_most=10000)])
+        database.insert("pay", {"who": "a", "salary": 100},
+                        valid_from="01/01/80")
+
+    def test_coalesced_before_checking(self):
+        # Two adjacent 5-day pieces of the same fact coalesce to 10 days,
+        # satisfying a 7-day minimum.
+        database, _ = fresh(constraints=[ValidityDuration(at_least=7)])
+        with database.begin() as txn:
+            database.insert("pay", {"who": "a", "salary": 100},
+                            valid_from="01/01/80", valid_to="01/06/80",
+                            txn=txn)
+            database.insert("pay", {"who": "a", "salary": 100},
+                            valid_from="01/06/80", valid_to="01/11/80",
+                            txn=txn)
+
+    def test_requires_some_bound(self):
+        with pytest.raises(ValueError):
+            ValidityDuration()
+
+
+class TestKindRouting:
+    def test_temporal_database_checks_current_state(self):
+        clock = SimulatedClock("01/01/80")
+        database = TemporalDatabase(clock=clock)
+        database.define("pay", payroll_schema(),
+                        constraints=[ContiguousHistory(["who"])])
+        database.insert("pay", {"who": "a", "salary": 100},
+                        valid_from="01/01/80", valid_to="01/01/81")
+        with pytest.raises(ConstraintViolation):
+            database.insert("pay", {"who": "a", "salary": 200},
+                            valid_from="06/01/81")
+        # The failed commit appended nothing to the temporal store.
+        assert len(database.temporal("pay")) == 1
+
+    def test_static_database_rejects_temporal_constraints(self):
+        clock = SimulatedClock("01/01/80")
+        database = StaticDatabase(clock=clock)
+        with pytest.raises(HistoricalNotSupportedError):
+            database.define("pay", payroll_schema(),
+                            constraints=[ContiguousHistory(["who"])])
+
+    def test_mixed_with_ordinary_constraints(self):
+        from repro.relational import CheckConstraint, attr
+        database, _ = fresh(constraints=[
+            ContiguousHistory(["who"]),
+            CheckConstraint(attr("salary") > 0, name="positive"),
+        ])
+        with pytest.raises(ConstraintViolation, match="positive"):
+            database.insert("pay", {"who": "a", "salary": -5},
+                            valid_from="01/01/80")

@@ -1,0 +1,92 @@
+"""Unit tests for aggregation and grouping."""
+
+import pytest
+
+from repro.errors import ExpressionError, UnknownAttributeError
+from repro.relational import Domain, Relation, Schema
+from repro.relational.aggregate import (
+    agg_avg, agg_max, agg_min, agg_sum, aggregate, count, count_unique,
+)
+
+
+def staff() -> Relation:
+    schema = Schema.of(name=Domain.STRING, dept=Domain.STRING,
+                       salary=Domain.INTEGER)
+    return Relation.from_rows(schema, [
+        ["Merrie", "cs", 60000],
+        ["Tom", "cs", 45000],
+        ["Ann", "math", 50000],
+        ["Bob", "math", 50000],
+    ])
+
+
+class TestUngrouped:
+    def test_count_rows(self):
+        assert aggregate(staff(), [count()]).to_dicts() == [{"count": 4}]
+
+    def test_count_empty_relation_is_zero(self):
+        empty = Relation.empty(staff().schema)
+        assert aggregate(empty, [count()]).to_dicts() == [{"count": 0}]
+
+    def test_sum(self):
+        assert aggregate(staff(), [agg_sum("salary")]).to_dicts() == [
+            {"sum_salary": 205000}]
+
+    def test_avg(self):
+        assert aggregate(staff(), [agg_avg("salary")]).to_dicts() == [
+            {"avg_salary": 51250.0}]
+
+    def test_avg_of_empty_is_null(self):
+        empty = Relation.empty(staff().schema)
+        assert aggregate(empty, [agg_avg("salary")]).to_dicts() == [
+            {"avg_salary": None}]
+
+    def test_min_max(self):
+        result = aggregate(staff(), [agg_min("salary"), agg_max("salary")])
+        assert result.to_dicts() == [{"min_salary": 45000, "max_salary": 60000}]
+
+    def test_count_unique(self):
+        assert aggregate(staff(), [count_unique("salary")]).to_dicts() == [
+            {"countu_salary": 3}]
+
+    def test_multiple_functions(self):
+        result = aggregate(staff(), [count(), agg_sum("salary")])
+        assert result.to_dicts() == [{"count": 4, "sum_salary": 205000}]
+
+
+class TestGrouped:
+    def test_group_by_dept(self):
+        result = aggregate(staff(), [count(), agg_avg("salary")], by=["dept"])
+        rows = {row["dept"]: row for row in result.to_dicts()}
+        assert rows["cs"]["count"] == 2
+        assert rows["cs"]["avg_salary"] == 52500.0
+        assert rows["math"]["avg_salary"] == 50000.0
+
+    def test_result_composes_with_algebra(self):
+        from repro.relational import attr
+        result = aggregate(staff(), [count()], by=["dept"])
+        big = result.select(attr("count") > 1)
+        assert big.cardinality == 2
+
+
+class TestNulls:
+    def test_nulls_skipped(self):
+        from repro.relational import Attribute
+        schema = Schema([Attribute("x", Domain.INTEGER, nullable=True)])
+        relation = Relation.from_rows(schema, [[1], [None], [3]])
+        result = aggregate(relation, [count("x"), agg_sum("x")])
+        assert result.to_dicts() == [{"count_x": 2, "sum_x": 4}]
+
+
+class TestErrors:
+    def test_no_functions(self):
+        with pytest.raises(ExpressionError):
+            aggregate(staff(), [])
+
+    def test_unknown_group_attribute(self):
+        with pytest.raises(UnknownAttributeError):
+            aggregate(staff(), [count()], by=["nowhere"])
+
+    def test_unknown_aggregated_attribute(self):
+        with pytest.raises(UnknownAttributeError):
+            aggregate(staff(), [agg_sum("nowhere")])

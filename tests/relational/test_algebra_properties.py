@@ -1,0 +1,114 @@
+"""Property-based tests for relational algebra laws."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational import Domain, Relation, Schema, attr
+
+SCHEMA = Schema.of(name=Domain.STRING, grade=Domain.INTEGER)
+
+names = st.sampled_from(["A", "B", "C", "D"])
+grades = st.integers(min_value=0, max_value=3)
+rows = st.lists(st.tuples(names, grades), max_size=10)
+
+
+def relation(pairs) -> Relation:
+    return Relation.from_rows(SCHEMA, [list(pair) for pair in pairs])
+
+
+class TestSetLaws:
+    @given(rows, rows)
+    def test_union_commutative(self, a, b):
+        assert relation(a).union(relation(b)) == relation(b).union(relation(a))
+
+    @given(rows, rows, rows)
+    def test_union_associative(self, a, b, c):
+        left = relation(a).union(relation(b)).union(relation(c))
+        right = relation(a).union(relation(b).union(relation(c)))
+        assert left == right
+
+    @given(rows)
+    def test_union_idempotent(self, a):
+        assert relation(a).union(relation(a)) == relation(a)
+
+    @given(rows, rows)
+    def test_difference_disjoint_from_subtrahend(self, a, b):
+        result = relation(a).difference(relation(b))
+        assert result.intersect(relation(b)).is_empty
+
+    @given(rows, rows)
+    def test_intersection_via_difference(self, a, b):
+        # a ∩ b == a − (a − b)
+        ra, rb = relation(a), relation(b)
+        assert ra.intersect(rb) == ra.difference(ra.difference(rb))
+
+    @given(rows, rows)
+    def test_cardinality_inclusion_exclusion(self, a, b):
+        ra, rb = relation(a), relation(b)
+        assert (ra.union(rb).cardinality
+                == ra.cardinality + rb.cardinality - ra.intersect(rb).cardinality)
+
+
+class TestSelectLaws:
+    @given(rows, grades)
+    def test_select_commutes(self, a, threshold):
+        ra = relation(a)
+        p = attr("grade") >= threshold
+        q = attr("name") == "A"
+        assert ra.select(p).select(q) == ra.select(q).select(p)
+
+    @given(rows, grades)
+    def test_select_conjunction_is_composition(self, a, threshold):
+        ra = relation(a)
+        p = attr("grade") >= threshold
+        q = attr("name") == "A"
+        assert ra.select(p & q) == ra.select(p).select(q)
+
+    @given(rows, rows, grades)
+    def test_select_distributes_over_union(self, a, b, threshold):
+        p = attr("grade") >= threshold
+        ra, rb = relation(a), relation(b)
+        assert ra.union(rb).select(p) == ra.select(p).union(rb.select(p))
+
+    @given(rows)
+    def test_select_true_is_identity(self, a):
+        ra = relation(a)
+        assert ra.select(lambda row: True) == ra
+
+    @given(rows)
+    def test_select_false_is_empty(self, a):
+        assert relation(a).select(lambda row: False).is_empty
+
+
+class TestProjectJoinLaws:
+    @given(rows)
+    def test_project_idempotent(self, a):
+        ra = relation(a)
+        assert ra.project(["name"]).project(["name"]) == ra.project(["name"])
+
+    @given(rows)
+    def test_project_full_is_identity(self, a):
+        ra = relation(a)
+        assert ra.project(["name", "grade"]) == ra
+
+    @given(rows)
+    def test_rename_roundtrip(self, a):
+        ra = relation(a)
+        assert ra.rename({"grade": "g"}).rename({"g": "grade"}) == ra
+
+    @given(rows, rows)
+    def test_natural_join_with_self_schema_is_intersection(self, a, b):
+        # With identical schemas, every attribute is shared, so the natural
+        # join degenerates to intersection.
+        ra, rb = relation(a), relation(b)
+        assert ra.natural_join(rb) == ra.intersect(rb)
+
+    @given(rows)
+    def test_product_cardinality(self, a):
+        ra = relation(a)
+        assert ra.product(ra, "l", "r").cardinality == ra.cardinality ** 2
+
+    @given(rows, grades)
+    def test_sort_preserves_content(self, a, _):
+        ra = relation(a)
+        assert ra.sort(["grade", "name"]) == ra

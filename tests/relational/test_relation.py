@@ -1,0 +1,176 @@
+"""Unit tests for relations and the relational algebra."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Attribute, Domain, Relation, Schema, Tuple, attr, const
+
+RANK = Domain.enumeration("rank", "assistant", "associate", "full")
+
+
+def faculty() -> Relation:
+    schema = Schema.of(name=Domain.STRING, rank=RANK)
+    return Relation.from_rows(schema, [
+        {"name": "Merrie", "rank": "full"},
+        {"name": "Tom", "rank": "associate"},
+        {"name": "Mike", "rank": "assistant"},
+    ])
+
+
+def salaries() -> Relation:
+    schema = Schema.of(name=Domain.STRING, salary=Domain.INTEGER)
+    return Relation.from_rows(schema, [
+        {"name": "Merrie", "salary": 60000},
+        {"name": "Tom", "salary": 45000},
+        {"name": "Ann", "salary": 50000},
+    ])
+
+
+class TestConstruction:
+    def test_from_rows_dicts_and_sequences(self):
+        schema = Schema.of(name=Domain.STRING, rank=RANK)
+        relation = Relation.from_rows(schema, [
+            {"name": "Merrie", "rank": "full"},
+            ["Tom", "associate"],
+        ])
+        assert relation.cardinality == 2
+
+    def test_duplicates_eliminated(self):
+        schema = Schema.of(name=Domain.STRING)
+        relation = Relation.from_rows(schema, [["Tom"], ["Tom"], ["Ann"]])
+        assert relation.cardinality == 2
+
+    def test_insertion_order_preserved(self):
+        assert faculty().column("name") == ["Merrie", "Tom", "Mike"]
+
+    def test_schema_mismatch_rejected(self):
+        schema_a = Schema.of(name=Domain.STRING)
+        schema_b = Schema.of(who=Domain.STRING)
+        row = Tuple(schema_b, {"who": "Tom"})
+        with pytest.raises(SchemaError):
+            Relation(schema_a, [row])
+
+    def test_empty(self):
+        empty = Relation.empty(Schema.of(name=Domain.STRING))
+        assert empty.is_empty and len(empty) == 0
+
+
+class TestPointUpdates:
+    def test_with_tuple(self):
+        base = faculty()
+        grown = base.insert_values(name="Ann", rank="assistant")
+        assert grown.cardinality == 4
+        assert base.cardinality == 3  # original untouched
+
+    def test_without_tuple(self):
+        base = faculty()
+        tom = base.tuples[1]
+        assert base.without_tuple(tom).column("name") == ["Merrie", "Mike"]
+
+    def test_without_absent_tuple_is_noop(self):
+        base = faculty()
+        ghost = Tuple(base.schema, {"name": "Nobody", "rank": "full"})
+        assert base.without_tuple(ghost) == base
+
+
+class TestSelectProject:
+    def test_select_expression(self):
+        result = faculty().select(attr("rank") == "associate")
+        assert result.column("name") == ["Tom"]
+
+    def test_select_callable(self):
+        result = faculty().select(lambda row: row["name"].startswith("M"))
+        assert result.column("name") == ["Merrie", "Mike"]
+
+    def test_project(self):
+        result = faculty().project(["rank"])
+        assert set(result.column("rank")) == {"full", "associate", "assistant"}
+
+    def test_project_collapses_duplicates(self):
+        schema = Schema.of(name=Domain.STRING, rank=RANK)
+        relation = Relation.from_rows(schema, [["A", "full"], ["B", "full"]])
+        assert relation.project(["rank"]).cardinality == 1
+
+    def test_rename(self):
+        result = faculty().rename({"rank": "position"})
+        assert result.schema.names == ("name", "position")
+        assert result.column("position") == ["full", "associate", "assistant"]
+
+
+class TestSetOperations:
+    def test_union(self):
+        extra = Relation.from_rows(faculty().schema, [["Ann", "assistant"],
+                                                      ["Merrie", "full"]])
+        merged = faculty().union(extra)
+        assert merged.cardinality == 4  # Merrie deduplicated
+
+    def test_difference(self):
+        tom_only = Relation.from_rows(faculty().schema, [["Tom", "associate"]])
+        assert faculty().difference(tom_only).column("name") == ["Merrie", "Mike"]
+
+    def test_intersect(self):
+        other = Relation.from_rows(faculty().schema, [["Tom", "associate"],
+                                                      ["Ann", "full"]])
+        assert faculty().intersect(other).column("name") == ["Tom"]
+
+    def test_incompatible_schemas_rejected(self):
+        with pytest.raises(SchemaError, match="union"):
+            faculty().union(salaries())
+
+
+class TestJoins:
+    def test_product_with_prefixes(self):
+        product = faculty().product(faculty(), "f1", "f2")
+        assert product.cardinality == 9
+        assert "f1.name" in product.schema
+
+    def test_theta_join(self):
+        pairs = faculty().theta_join(
+            faculty(), attr("f1.rank") == attr("f2.rank"), "f1", "f2")
+        assert pairs.cardinality == 3  # only self-pairs share a rank
+
+    def test_natural_join(self):
+        joined = faculty().natural_join(salaries())
+        assert joined.schema.names == ("name", "rank", "salary")
+        assert joined.cardinality == 2  # Merrie and Tom
+        merrie = joined.select(attr("name") == "Merrie")
+        assert merrie.column("salary") == [60000]
+
+    def test_natural_join_no_common_attributes_is_product(self):
+        left = Relation.from_rows(Schema.of(a=Domain.INTEGER), [[1], [2]])
+        right = Relation.from_rows(Schema.of(b=Domain.INTEGER), [[10], [20]])
+        assert left.natural_join(right).cardinality == 4
+
+
+class TestSortAndDisplay:
+    def test_sort(self):
+        assert faculty().sort(["name"]).column("name") == ["Merrie", "Mike", "Tom"]
+
+    def test_sort_reverse(self):
+        assert faculty().sort(["name"], reverse=True).column("name") == [
+            "Tom", "Mike", "Merrie"]
+
+    def test_pretty_contains_all_values(self):
+        text = faculty().pretty("faculty")
+        assert "faculty" in text
+        for name in ("Merrie", "Tom", "Mike", "rank"):
+            assert name in text
+
+    def test_pretty_renders_null_as_dash(self):
+        schema = Schema([Attribute("nick", Domain.STRING, nullable=True)])
+        relation = Relation.from_rows(schema, [[None]])
+        assert "-" in relation.pretty()
+
+
+class TestEquality:
+    def test_set_semantics(self):
+        reordered = Relation(faculty().schema, reversed(faculty().tuples))
+        assert reordered == faculty()
+        assert hash(reordered) == hash(faculty())
+
+    def test_contains(self):
+        tom = faculty().tuples[1]
+        assert tom in faculty()
+
+    def test_to_dicts(self):
+        assert faculty().to_dicts()[0] == {"name": "Merrie", "rank": "full"}

@@ -1,0 +1,126 @@
+"""Unit tests for CSV interchange."""
+
+import io
+
+import pytest
+
+from repro.core import HistoricalRelation, TemporalRelation
+from repro.errors import StorageError
+from repro.relational import Attribute, Domain, Relation, Schema
+from repro.storage import (export_csv, export_historical_csv,
+                           export_temporal_csv, import_csv,
+                           import_historical_csv, import_temporal_csv)
+from repro.time import Instant
+
+from tests.conftest import build_faculty, faculty_schema
+from repro.core import HistoricalDatabase, StaticDatabase, TemporalDatabase
+
+
+class TestStaticRoundTrip:
+    def test_roundtrip(self, static_faculty):
+        database, _ = static_faculty
+        relation = database.snapshot("faculty")
+        buffer = io.StringIO()
+        written = export_csv(relation, buffer)
+        assert written == relation.cardinality
+        buffer.seek(0)
+        assert import_csv(relation.schema, buffer) == relation
+
+    def test_file_path_target(self, tmp_path, static_faculty):
+        database, _ = static_faculty
+        relation = database.snapshot("faculty")
+        path = str(tmp_path / "faculty.csv")
+        export_csv(relation, path)
+        assert import_csv(relation.schema, path) == relation
+
+    def test_nulls_roundtrip(self):
+        schema = Schema([Attribute("name", Domain.STRING),
+                         Attribute("nick", Domain.STRING, nullable=True)])
+        relation = Relation.from_rows(schema, [["a", None], ["b", "bee"]])
+        buffer = io.StringIO()
+        export_csv(relation, buffer)
+        buffer.seek(0)
+        assert import_csv(schema, buffer) == relation
+
+    def test_dates_and_numbers_roundtrip(self):
+        schema = Schema([Attribute("when", Domain.DATE),
+                         Attribute("n", Domain.INTEGER),
+                         Attribute("x", Domain.FLOAT)])
+        relation = Relation.from_rows(
+            schema, [[Instant.parse("12/15/82"), 42, 2.5]])
+        buffer = io.StringIO()
+        export_csv(relation, buffer)
+        buffer.seek(0)
+        assert import_csv(schema, buffer) == relation
+
+    def test_header_mismatch_rejected(self):
+        buffer = io.StringIO("wrong,header\n1,2\n")
+        with pytest.raises(StorageError, match="header"):
+            import_csv(faculty_schema(), buffer)
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(StorageError, match="empty"):
+            import_csv(faculty_schema(), io.StringIO(""))
+
+    def test_ragged_line_rejected(self):
+        buffer = io.StringIO("name,rank\nMerrie\n")
+        with pytest.raises(StorageError, match="cells"):
+            import_csv(faculty_schema(), buffer)
+
+
+class TestHistoricalRoundTrip:
+    def test_roundtrip(self, historical_faculty):
+        database, _ = historical_faculty
+        relation = database.history("faculty")
+        buffer = io.StringIO()
+        export_historical_csv(relation, buffer)
+        buffer.seek(0)
+        assert import_historical_csv(relation.schema, buffer) == relation
+
+    def test_infinity_cells(self, historical_faculty):
+        database, _ = historical_faculty
+        buffer = io.StringIO()
+        export_historical_csv(database.history("faculty"), buffer)
+        assert "∞" in buffer.getvalue()
+
+    def test_event_style(self):
+        clock_schema = Schema.of(name=Domain.STRING)
+        from repro.core.historical import HistoricalRow
+        from repro.relational import Tuple
+        from repro.time import Period
+        relation = HistoricalRelation(clock_schema, [
+            HistoricalRow(Tuple(clock_schema, {"name": "ping"}),
+                          Period.at("12/11/82"))])
+        buffer = io.StringIO()
+        export_historical_csv(relation, buffer, event=True)
+        assert "valid_at" in buffer.getvalue()
+        buffer.seek(0)
+        rebuilt = import_historical_csv(clock_schema, buffer, event=True)
+        assert rebuilt == relation
+
+    def test_reserved_column_clash_rejected(self):
+        schema = Schema.of(valid_from=Domain.STRING)
+        relation = HistoricalRelation(schema)
+        with pytest.raises(StorageError, match="reserved"):
+            export_historical_csv(relation, io.StringIO())
+
+
+class TestTemporalRoundTrip:
+    def test_roundtrip(self, temporal_faculty):
+        database, _ = temporal_faculty
+        relation = database.temporal("faculty")
+        buffer = io.StringIO()
+        written = export_temporal_csv(relation, buffer)
+        assert written == 7  # Figure 8's rows
+        buffer.seek(0)
+        assert import_temporal_csv(relation.schema, buffer) == relation
+
+    def test_rollbacks_survive_roundtrip(self, temporal_faculty):
+        database, _ = temporal_faculty
+        relation = database.temporal("faculty")
+        buffer = io.StringIO()
+        export_temporal_csv(relation, buffer)
+        buffer.seek(0)
+        rebuilt = import_temporal_csv(relation.schema, buffer)
+        for probe in ("12/10/82", "12/20/82", "06/01/83"):
+            assert rebuilt.rollback(probe) == relation.rollback(probe), probe

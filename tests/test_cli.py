@@ -1,0 +1,218 @@
+"""Unit tests for the tquel command-line shell."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main, make_session, repl, run_source
+from repro.core import DatabaseKind
+from repro.storage import Journal
+
+
+SCRIPT = """
+create faculty (name = string, rank = string) key (name)
+append to faculty (name = "Merrie", rank = "full") valid from "12/01/82"
+range of f is faculty
+retrieve (f.rank) where f.name = "Merrie"
+"""
+
+
+class TestArguments:
+    def test_default_kind_is_temporal(self):
+        args = build_parser().parse_args([])
+        assert args.kind == "temporal"
+
+    def test_kind_choices(self):
+        for kind in ("static", "rollback", "historical", "temporal"):
+            assert build_parser().parse_args(["--kind", kind]).kind == kind
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--kind", "quantum"])
+
+    def test_make_session_kinds(self):
+        args = build_parser().parse_args(
+            ["--kind", "historical", "--simulated-clock", "01/01/80"])
+        session = make_session(args)
+        assert session.database.kind is DatabaseKind.HISTORICAL
+
+
+class TestRunSource:
+    def test_script_runs_and_prints(self, capsys):
+        args = build_parser().parse_args(
+            ["--simulated-clock", "01/01/80"])
+        session = make_session(args)
+        code = run_source(session, SCRIPT)
+        assert code == 0
+        assert "full" in capsys.readouterr().out
+
+    def test_error_returns_nonzero(self, capsys):
+        args = build_parser().parse_args(["--simulated-clock", "01/01/80"])
+        session = make_session(args)
+        code = run_source(session, "retrieve (f.rank)")
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_main_with_command(self, capsys):
+        code = main(["--simulated-clock", "01/01/80", "-c",
+                     "create r (x = string)"])
+        assert code == 0
+
+    def test_main_with_file(self, tmp_path, capsys):
+        script = tmp_path / "s.tq"
+        script.write_text(SCRIPT)
+        code = main(["--simulated-clock", "01/01/80", "-f", str(script)])
+        assert code == 0
+        assert "full" in capsys.readouterr().out
+
+    def test_taxonomy_error_surfaces(self, capsys):
+        code = main(["--kind", "static", "--simulated-clock", "01/01/80",
+                     "-c", 'create r (x = string); range of v is r;'
+                           ' retrieve (v.x) as of "01/01/80"'])
+        assert code == 1
+        assert "transaction time" in capsys.readouterr().err
+
+
+class TestJournalFlags:
+    def test_journal_and_replay(self, tmp_path, capsys):
+        journal = str(tmp_path / "db.journal")
+        assert main(["--simulated-clock", "01/01/80",
+                     "--journal", journal, "-c", SCRIPT]) == 0
+        # Replay into a new process/session.
+        assert main(["--replay", journal, "-c",
+                     "range of f is faculty; "
+                     'retrieve (f.name) where f.rank = "full"']) == 0
+        assert "Merrie" in capsys.readouterr().out
+
+
+class TestRepl:
+    def run_repl(self, lines, kind="temporal"):
+        args = build_parser().parse_args(
+            ["--kind", kind, "--simulated-clock", "01/01/80"])
+        session = make_session(args)
+        stdin = io.StringIO("\n".join(lines) + "\n")
+        out = io.StringIO()
+        code = repl(session, stdin=stdin, out=out)
+        return code, out.getvalue()
+
+    def test_quit(self):
+        code, output = self.run_repl([".quit"])
+        assert code == 0
+        assert "tquel shell" in output
+
+    def test_statement_and_result(self):
+        code, output = self.run_repl([
+            "create faculty (name = string, rank = string)",
+            'append to faculty (name = "M", rank = "full") '
+            'valid from "01/01/80"',
+            "range of f is faculty",
+            "retrieve (f.rank)",
+            ".quit",
+        ])
+        assert "full" in output
+
+    def test_dot_kind(self):
+        _, output = self.run_repl([".kind", ".quit"])
+        assert "temporal database" in output
+        assert "rollback: yes" in output
+
+    def test_dot_relations_and_figure(self):
+        _, output = self.run_repl([
+            "create faculty (name = string, rank = string)",
+            'append to faculty (name = "M", rank = "full") '
+            'valid from "01/01/80"',
+            ".relations",
+            ".figure faculty",
+            ".quit",
+        ])
+        assert "faculty" in output
+        assert "transaction (start)" in output
+
+    def test_dot_log_and_clock(self):
+        _, output = self.run_repl([
+            "create r (x = string)",
+            ".log",
+            ".clock 06/01/80",
+            ".quit",
+        ])
+        assert "define r" in output
+        assert "clock at 1980-06-01" in output
+
+    def test_dot_save(self, tmp_path):
+        target = str(tmp_path / "dump.json")
+        _, output = self.run_repl([
+            "create r (x = string)",
+            f".save {target}",
+            ".quit",
+        ])
+        assert "saved" in output
+        import json
+        with open(target) as handle:
+            assert json.load(handle)["kind"] == "temporal"
+
+    def test_error_recovers(self):
+        _, output = self.run_repl([
+            "retrieve (f.rank)",  # error: no range variable
+            "create r (x = string)",
+            ".quit",
+        ])
+        assert "error" in output
+
+    def test_unknown_dot_command(self):
+        _, output = self.run_repl([".wat", ".quit"])
+        assert "unknown command" in output
+
+    def test_eof_exits(self):
+        code, _ = self.run_repl([])
+        assert code == 0
+
+    def test_dot_migrate_upgrade(self):
+        _, output = self.run_repl([
+            "create stock (item = string)",
+            'append to stock (item = "widget")',
+            ".migrate temporal",
+            ".kind",
+            ".quit",
+        ], kind="static")
+        assert "migrated to a temporal database" in output
+        assert "rollback: yes" in output
+
+    def test_dot_migrate_lossy_needs_force(self):
+        _, output = self.run_repl([
+            ".migrate static",
+            ".migrate static force",
+            ".kind",
+            ".quit",
+        ], kind="temporal")
+        assert "allow_loss" in output  # first attempt refused
+        assert "migrated to a static database" in output
+
+    def test_dot_explain(self):
+        _, output = self.run_repl([
+            "create stock (item = string)",
+            'append to stock (item = "widget") valid from "01/01/80"',
+            "range of s is stock",
+            '.explain retrieve (s.item) where s.item = "widget"',
+            ".quit",
+        ])
+        assert "candidates" in output
+        assert "pushed" in output
+
+    def test_dot_explain_error(self):
+        _, output = self.run_repl([".explain retrieve (x.y)", ".quit"])
+        assert "error" in output
+
+    def test_dot_migrate_usage(self):
+        _, output = self.run_repl([".migrate quantum", ".quit"])
+        assert "usage: .migrate" in output
+
+    def test_range_bindings_survive_migration(self):
+        _, output = self.run_repl([
+            "create stock (item = string)",
+            'append to stock (item = "widget") valid from "01/01/80"',
+            "range of s is stock",
+            ".migrate historical force",
+            "retrieve (s.item)",
+            ".quit",
+        ], kind="temporal")
+        assert "widget" in output

@@ -1,0 +1,62 @@
+"""The exception hierarchy: one base class, sensible taxonomy of its own."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        exception_types = [
+            value for value in vars(errors).values()
+            if isinstance(value, type) and issubclass(value, Exception)
+        ]
+        assert len(exception_types) > 15
+        for exception_type in exception_types:
+            assert issubclass(exception_type, errors.ReproError), exception_type
+
+    def test_time_errors(self):
+        for exc in (errors.InvalidInstantError, errors.InvalidPeriodError,
+                    errors.GranularityError, errors.ClockError):
+            assert issubclass(exc, errors.TimeError)
+
+    def test_relational_errors(self):
+        for exc in (errors.SchemaError, errors.DomainError,
+                    errors.ConstraintViolation, errors.UnknownAttributeError,
+                    errors.UnknownRelationError,
+                    errors.DuplicateRelationError, errors.ExpressionError):
+            assert issubclass(exc, errors.RelationalError)
+
+    def test_taxonomy_errors(self):
+        assert issubclass(errors.RollbackNotSupportedError,
+                          errors.TemporalSupportError)
+        assert issubclass(errors.HistoricalNotSupportedError,
+                          errors.TemporalSupportError)
+        assert issubclass(errors.AppendOnlyViolation,
+                          errors.TemporalSupportError)
+
+    def test_tquel_errors_carry_positions(self):
+        error = errors.TQuelSyntaxError("boom", 3, 7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+    def test_tquel_errors_without_positions(self):
+        error = errors.TQuelSemanticError("boom")
+        assert error.line is None
+        assert "line" not in str(error)
+
+    def test_one_except_clause_catches_all(self):
+        from repro.core import StaticDatabase
+        from repro.time import SimulatedClock
+        database = StaticDatabase(clock=SimulatedClock("01/01/80"))
+        caught = []
+        for action in (
+            lambda: database.snapshot("nowhere"),
+            lambda: database.rollback("nowhere", "01/01/80"),
+            lambda: database.timeslice("nowhere", "01/01/80"),
+        ):
+            try:
+                action()
+            except errors.ReproError as error:
+                caught.append(type(error).__name__)
+        assert len(caught) == 3

@@ -1,0 +1,105 @@
+"""The examples are part of the product: run each one and check its story.
+
+Each test executes an example script in-process (fresh module namespace)
+and asserts the key facts its narration prints — so a regression that
+breaks a documented walkthrough fails the suite, not a user.
+"""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return buffer.getvalue()
+
+
+class TestQuickstart:
+    def test_reproduces_all_four_kinds(self):
+        output = run_example("quickstart.py")
+        assert "STATIC database" in output
+        assert "STATIC ROLLBACK database" in output
+        assert "HISTORICAL database" in output
+        assert "TEMPORAL database" in output
+
+    def test_paper_answers_present(self):
+        output = run_example("quickstart.py")
+        # The as-of answer and both bitemporal answers.
+        assert "associate" in output and "full" in output
+        assert "08/25/77" in output  # Figure 8's transaction start
+        # The taxonomy error demo at the end.
+        assert "TQuelSemanticError" in output or "static" in output
+
+
+class TestPayroll:
+    def test_reconciliation_totals(self):
+        output = run_example("payroll_retroactive.py")
+        assert "back pay owed to alice: 800" in output
+        assert "back pay owed to bob: 300" in output
+        assert "back pay owed to carol: 500" in output
+
+    def test_bitemporal_detail_rendered(self):
+        output = run_example("payroll_retroactive.py")
+        assert "transaction (start)" in output
+        assert "4400" in output
+
+
+class TestEngineeringVersions:
+    def test_rollback_story(self):
+        output = run_example("engineering_versions.py")
+        assert "03/15/80" in output
+        assert "stator is recalled" in output
+        assert "stator is released" in output
+
+    def test_storage_comparison_and_vacuum(self):
+        output = run_example("engineering_versions.py")
+        assert "stored cells" in output
+        assert "rollback to 09/14/80 unchanged: True" in output
+        assert "rollback to 03/15/80 now empty: True" in output
+
+
+class TestUniversityRegistry:
+    def test_when_join_answer(self):
+        output = run_example("university_registry.py")
+        assert "Merrie" in output  # chair during Ilsoo's studies
+        assert "Ursula" in output
+
+    def test_trend_and_events(self):
+        output = run_example("university_registry.py")
+        assert "valid (at)" in output  # the event-relation rendering
+        assert "▇" in output           # the head-count trend bars
+
+
+class TestAdoptionPath:
+    def test_migration_checks_pass(self):
+        output = run_example("adoption_path.py")
+        assert "the old rollback answers survive the upgrade: True" in output
+        assert "current history carried over: True" in output
+        assert "cannot roll back: True" in output
+
+    def test_lossy_migration_refused_by_default(self):
+        output = run_example("adoption_path.py")
+        assert "refused by default" in output
+        assert "allow_loss=True" in output
+
+
+class TestAuditTrail:
+    def test_replay_checks_all_pass(self):
+        output = run_example("audit_trail.py")
+        assert output.count(": OK") >= 3
+        assert "FAILED" not in output
+
+    def test_audit_answers(self):
+        output = run_example("audit_trail.py")
+        assert "...as of 02/15/84: 500" in output
+        assert "...as of 04/05/84: 550" in output
+        assert "reload identical: True" in output

@@ -1,0 +1,111 @@
+"""Unit tests for clocks, especially the monotone transaction clock."""
+
+import threading
+
+import pytest
+
+from repro.errors import ClockError
+from repro.time import (Granularity, Instant, SimulatedClock, SystemClock,
+                        TransactionClock)
+
+
+class TestSystemClock:
+    def test_reads_today(self):
+        import datetime as dt
+        clock = SystemClock(Granularity.DAY)
+        assert clock.current().to_date() == dt.date.today()
+
+    def test_granularity(self):
+        assert SystemClock(Granularity.SECOND).granularity is Granularity.SECOND
+
+
+class TestSimulatedClock:
+    def test_starts_where_told(self):
+        clock = SimulatedClock("01/01/80")
+        assert clock.current() == Instant.parse("01/01/80")
+
+    def test_set_forward(self):
+        clock = SimulatedClock("01/01/80")
+        clock.set("06/15/80")
+        assert clock.current() == Instant.parse("06/15/80")
+
+    def test_set_same_instant_is_allowed(self):
+        clock = SimulatedClock("01/01/80")
+        clock.set("01/01/80")
+        assert clock.current() == Instant.parse("01/01/80")
+
+    def test_set_backwards_raises(self):
+        clock = SimulatedClock("06/15/80")
+        with pytest.raises(ClockError, match="backwards"):
+            clock.set("01/01/80")
+
+    def test_set_infinity_raises(self):
+        clock = SimulatedClock("01/01/80")
+        with pytest.raises(ClockError):
+            clock.set("forever")
+
+    def test_advance(self):
+        clock = SimulatedClock("01/01/80")
+        clock.advance(14)
+        assert clock.current() == Instant.parse("01/15/80")
+
+    def test_advance_negative_raises(self):
+        clock = SimulatedClock("01/01/80")
+        with pytest.raises(ClockError):
+            clock.advance(-1)
+
+    def test_must_start_finite(self):
+        with pytest.raises(ClockError):
+            SimulatedClock("forever")
+
+
+class TestTransactionClock:
+    def test_strictly_monotone_on_stalled_source(self):
+        txn_clock = TransactionClock(SimulatedClock("01/01/80"))
+        readings = [txn_clock.tick() for _ in range(5)]
+        assert all(a < b for a, b in zip(readings, readings[1:]))
+
+    def test_follows_advancing_source(self):
+        source = SimulatedClock("01/01/80")
+        txn_clock = TransactionClock(source)
+        first = txn_clock.tick()
+        source.set("03/01/80")
+        second = txn_clock.tick()
+        assert second == Instant.parse("03/01/80")
+        assert first < second
+
+    def test_peek_does_not_consume(self):
+        txn_clock = TransactionClock(SimulatedClock("01/01/80"))
+        peeked = txn_clock.peek()
+        assert txn_clock.tick() == peeked
+        assert txn_clock.last == peeked
+
+    def test_last_starts_none(self):
+        assert TransactionClock(SimulatedClock("01/01/80")).last is None
+
+    def test_current_exposes_raw_reading(self):
+        source = SimulatedClock("01/01/80")
+        txn_clock = TransactionClock(source)
+        txn_clock.tick()
+        txn_clock.tick()
+        # tick() bumped past the stalled source, but current() is raw.
+        assert txn_clock.current() == Instant.parse("01/01/80")
+
+    def test_thread_safety_no_duplicates(self):
+        txn_clock = TransactionClock(SimulatedClock("01/01/80"))
+        readings = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(50):
+                reading = txn_clock.tick()
+                with lock:
+                    readings.append(reading)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(readings) == 200
+        assert len(set(readings)) == 200

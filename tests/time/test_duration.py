@@ -1,0 +1,63 @@
+"""Unit tests for durations."""
+
+import pytest
+
+from repro.errors import GranularityError
+from repro.time import Duration, Granularity, Instant
+
+
+class TestConstruction:
+    def test_days(self):
+        assert Duration.days(5).chronons == 5
+        assert Duration.days(5).granularity is Granularity.DAY
+
+    def test_between(self):
+        gap = Duration.between(Instant.parse("12/01/82"), Instant.parse("12/15/82"))
+        assert gap == Duration.days(14)
+
+    def test_between_negative(self):
+        gap = Duration.between(Instant.parse("12/15/82"), Instant.parse("12/01/82"))
+        assert gap.chronons == -14
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(GranularityError):
+            Duration(1.5)  # type: ignore[arg-type]
+
+    def test_rejects_bool(self):
+        with pytest.raises(GranularityError):
+            Duration(True)  # type: ignore[arg-type]
+
+
+class TestArithmetic:
+    def test_add_durations(self):
+        assert Duration.days(3) + Duration.days(4) == Duration.days(7)
+
+    def test_add_to_instant(self):
+        assert Duration.days(14) + Instant.parse("12/01/82") == Instant.parse("12/15/82")
+        assert Instant.parse("12/01/82") + Duration.days(14) == Instant.parse("12/15/82")
+
+    def test_subtract(self):
+        assert Duration.days(7) - Duration.days(3) == Duration.days(4)
+
+    def test_negate(self):
+        assert -Duration.days(3) == Duration.days(-3)
+
+    def test_multiply(self):
+        assert Duration.days(3) * 4 == Duration.days(12)
+        assert 4 * Duration.days(3) == Duration.days(12)
+
+    def test_cross_granularity_raises(self):
+        with pytest.raises(GranularityError):
+            Duration.days(1) + Duration(1, Granularity.SECOND)
+
+
+class TestComparison:
+    def test_ordering(self):
+        assert Duration.days(3) < Duration.days(4) <= Duration.days(4)
+
+    def test_hash(self):
+        assert len({Duration.days(3), Duration.days(3), Duration.days(4)}) == 2
+
+    def test_str(self):
+        assert str(Duration.days(1)) == "1 day"
+        assert str(Duration.days(5)) == "5 days"

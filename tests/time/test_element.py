@@ -1,0 +1,114 @@
+"""Unit tests for temporal elements (finite unions of periods)."""
+
+import pytest
+
+from repro.time import Instant, Period, TemporalElement
+
+
+def days(start: int, end: int) -> Period:
+    return Period(Instant.from_chronon(start), Instant.from_chronon(end))
+
+
+class TestConstruction:
+    def test_empty(self):
+        element = TemporalElement.empty()
+        assert element.is_empty
+        assert not element
+        assert len(element) == 0
+
+    def test_canonicalizes(self):
+        element = TemporalElement([days(3, 5), days(0, 3), days(4, 8)])
+        assert element.periods == (days(0, 8),)
+
+    def test_of_mixes_periods_and_elements(self):
+        inner = TemporalElement([days(0, 2)])
+        element = TemporalElement.of(inner, days(5, 7))
+        assert element.periods == (days(0, 2), days(5, 7))
+
+    def test_always(self):
+        assert TemporalElement.always().contains(Instant.from_chronon(12345))
+
+
+class TestAccessors:
+    def test_span(self):
+        element = TemporalElement([days(0, 2), days(8, 10)])
+        assert element.span() == days(0, 10)
+        assert TemporalElement.empty().span() is None
+
+    def test_duration_sums_pieces(self):
+        element = TemporalElement([days(0, 2), days(8, 10)])
+        assert element.duration() == 4
+
+    def test_duration_unbounded_is_none(self):
+        element = TemporalElement([Period("12/01/82", "forever")])
+        assert element.duration() is None
+
+    def test_membership(self):
+        element = TemporalElement([days(0, 2), days(8, 10)])
+        assert element.contains(Instant.from_chronon(1))
+        assert not element.contains(Instant.from_chronon(5))
+        assert Instant.from_chronon(9) in element
+
+    def test_overlaps(self):
+        element = TemporalElement([days(0, 2), days(8, 10)])
+        assert element.overlaps(days(1, 5))
+        assert not element.overlaps(days(3, 7))
+        assert element.overlaps(TemporalElement([days(9, 12)]))
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        a = TemporalElement([days(0, 3)])
+        b = TemporalElement([days(5, 8)])
+        assert (a | b).periods == (days(0, 3), days(5, 8))
+
+    def test_union_coalesces(self):
+        a = TemporalElement([days(0, 3)])
+        assert (a | days(3, 6)).periods == (days(0, 6),)
+
+    def test_intersection(self):
+        a = TemporalElement([days(0, 5), days(10, 15)])
+        b = TemporalElement([days(3, 12)])
+        assert (a & b).periods == (days(3, 5), days(10, 12))
+
+    def test_intersection_empty(self):
+        a = TemporalElement([days(0, 3)])
+        assert (a & days(5, 8)).is_empty
+
+    def test_difference(self):
+        a = TemporalElement([days(0, 10)])
+        b = TemporalElement([days(2, 4), days(6, 8)])
+        assert (a - b).periods == (days(0, 2), days(4, 6), days(8, 10))
+
+    def test_difference_everything(self):
+        a = TemporalElement([days(0, 10)])
+        assert (a - TemporalElement.always()).is_empty
+
+    def test_complement_roundtrip(self):
+        a = TemporalElement([days(0, 10)])
+        assert ~~a == a
+
+    def test_complement_disjoint_from_original(self):
+        a = TemporalElement([days(0, 10), days(20, 30)])
+        assert (a & ~a).is_empty
+        assert (a | ~a) == TemporalElement.always()
+
+
+class TestEquality:
+    def test_equality_is_chronon_set_equality(self):
+        assert (TemporalElement([days(0, 3), days(3, 6)])
+                == TemporalElement([days(0, 6)]))
+
+    def test_hashable(self):
+        assert len({TemporalElement([days(0, 6)]),
+                    TemporalElement([days(0, 3), days(3, 6)])}) == 1
+
+    def test_iteration_order(self):
+        element = TemporalElement([days(8, 10), days(0, 2)])
+        assert list(element) == [days(0, 2), days(8, 10)]
+
+    def test_str(self):
+        assert str(TemporalElement.empty()) == "{}"
+        element = TemporalElement([Period("01/01/80", "01/05/80"),
+                                   Period("02/01/80", "02/05/80")])
+        assert "," in str(element)

@@ -1,0 +1,171 @@
+"""Unit tests for instants, including the paper's date literals and ∞."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import GranularityError, InvalidInstantError
+from repro.time import Granularity, Instant, NEG_INF, POS_INF
+from repro.time.instant import instant
+
+
+class TestParsing:
+    def test_paper_format(self):
+        assert Instant.parse("12/15/82").to_date() == dt.date(1982, 12, 15)
+
+    def test_paper_format_single_digit(self):
+        assert Instant.parse("8/1/83").to_date() == dt.date(1983, 8, 1)
+
+    def test_paper_format_four_digit_year(self):
+        assert Instant.parse("12/15/1982").to_date() == dt.date(1982, 12, 15)
+
+    def test_two_digit_year_pivot_past(self):
+        # 77 is 1977 (the paper's examples).
+        assert Instant.parse("09/01/77").to_date().year == 1977
+
+    def test_two_digit_year_pivot_future(self):
+        # 69 pivots to 2069.
+        assert Instant.parse("01/01/69").to_date().year == 2069
+
+    def test_iso_date(self):
+        assert Instant.parse("1982-12-15").to_date() == dt.date(1982, 12, 15)
+
+    def test_iso_datetime_at_second_granularity(self):
+        parsed = Instant.parse("1982-12-15 08:30:45", Granularity.SECOND)
+        assert parsed.to_datetime() == dt.datetime(1982, 12, 15, 8, 30, 45)
+
+    def test_iso_datetime_without_seconds(self):
+        parsed = Instant.parse("1982-12-15T08:30", Granularity.MINUTE)
+        assert parsed.to_datetime() == dt.datetime(1982, 12, 15, 8, 30)
+
+    @pytest.mark.parametrize("token", ["forever", "infinity", "∞", "INF", "+∞"])
+    def test_positive_infinity_tokens(self, token):
+        assert Instant.parse(token) is POS_INF
+
+    @pytest.mark.parametrize("token", ["beginning", "-infinity", "-∞", "-inf"])
+    def test_negative_infinity_tokens(self, token):
+        assert Instant.parse(token) is NEG_INF
+
+    def test_whitespace_tolerated(self):
+        assert Instant.parse("  12/15/82  ") == Instant.parse("12/15/82")
+
+    @pytest.mark.parametrize("bad", ["", "not-a-date", "13/45/82", "1982/12/15",
+                                     "02/30/83", "1982-13-01"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(InvalidInstantError):
+            Instant.parse(bad)
+
+
+class TestCoercion:
+    def test_coerce_instant_identity(self):
+        original = Instant.parse("12/15/82")
+        assert instant(original) is original
+
+    def test_coerce_string(self):
+        assert instant("12/15/82") == Instant.parse("12/15/82")
+
+    def test_coerce_int_chronon(self):
+        assert instant(723890).chronon == 723890
+
+    def test_coerce_date(self):
+        assert instant(dt.date(1982, 12, 15)) == Instant.parse("12/15/82")
+
+    def test_coerce_datetime(self):
+        assert instant(dt.datetime(1982, 12, 15, 10, 0)) == Instant.parse("12/15/82")
+
+    def test_coerce_rejects_bool(self):
+        with pytest.raises(InvalidInstantError):
+            instant(True)
+
+    def test_coerce_rejects_other_types(self):
+        with pytest.raises(InvalidInstantError):
+            instant(3.14)  # type: ignore[arg-type]
+
+
+class TestOrdering:
+    def test_total_order(self):
+        early = Instant.parse("09/01/77")
+        late = Instant.parse("12/15/82")
+        assert early < late <= late < POS_INF
+        assert NEG_INF < early
+
+    def test_infinities_compare(self):
+        assert NEG_INF < POS_INF
+        assert not POS_INF < POS_INF
+        assert POS_INF == POS_INF
+        assert NEG_INF == NEG_INF
+        assert POS_INF != NEG_INF
+
+    def test_equal_instants(self):
+        assert Instant.parse("12/15/82") == Instant.parse("1982-12-15")
+
+    def test_cross_granularity_comparison_raises(self):
+        day = Instant.parse("12/15/82")
+        second = Instant.parse("1982-12-15 00:00:00", Granularity.SECOND)
+        with pytest.raises(GranularityError):
+            _ = day < second
+
+    def test_cross_granularity_equality_is_false(self):
+        day = Instant.from_chronon(5, Granularity.DAY)
+        month = Instant.from_chronon(5, Granularity.MONTH)
+        assert day != month
+
+    def test_hashable(self):
+        assert len({Instant.parse("12/15/82"), Instant.parse("1982-12-15"),
+                    POS_INF, NEG_INF}) == 3
+
+    def test_comparison_with_non_instant(self):
+        assert Instant.parse("12/15/82") != "12/15/82"
+
+
+class TestArithmetic:
+    def test_add_chronons(self):
+        assert Instant.parse("12/15/82") + 5 == Instant.parse("12/20/82")
+
+    def test_subtract_chronons(self):
+        assert Instant.parse("12/15/82") - 14 == Instant.parse("12/01/82")
+
+    def test_difference(self):
+        assert Instant.parse("12/15/82") - Instant.parse("12/01/82") == 14
+
+    def test_infinity_absorbs_addition(self):
+        assert POS_INF + 100 is POS_INF
+        assert NEG_INF - 100 is NEG_INF
+
+    def test_difference_with_infinity_raises(self):
+        with pytest.raises(InvalidInstantError):
+            _ = POS_INF - Instant.parse("12/15/82")
+
+    def test_successor_predecessor(self):
+        when = Instant.parse("12/15/82")
+        assert when.successor().predecessor() == when
+        assert POS_INF.successor() is POS_INF
+
+    def test_chronon_of_infinity_raises(self):
+        with pytest.raises(InvalidInstantError):
+            _ = POS_INF.chronon
+
+
+class TestFormatting:
+    def test_isoformat(self):
+        assert Instant.parse("12/15/82").isoformat() == "1982-12-15"
+
+    def test_paper_format(self):
+        assert Instant.parse("12/15/82").paper_format() == "12/15/82"
+
+    def test_infinity_formats(self):
+        assert POS_INF.isoformat() == "∞"
+        assert NEG_INF.isoformat() == "-∞"
+        assert POS_INF.paper_format() == "∞"
+
+    def test_str_and_repr(self):
+        when = Instant.parse("12/15/82")
+        assert str(when) == "1982-12-15"
+        assert "1982-12-15" in repr(when)
+        assert repr(POS_INF) == "Instant(∞)"
+
+    def test_flags(self):
+        when = Instant.parse("12/15/82")
+        assert when.is_finite and not when.is_pos_inf and not when.is_neg_inf
+        assert POS_INF.is_pos_inf and not POS_INF.is_finite
+        assert NEG_INF.is_neg_inf and not NEG_INF.is_finite

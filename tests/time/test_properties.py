@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for the time substrate.
+
+These check the algebraic laws the rest of the system leans on:
+
+- Allen's relations partition the space of period pairs (exactly one holds);
+- coalescing is idempotent, order-insensitive, and preserves the chronon set;
+- temporal-element algebra agrees with plain Python set algebra on chronons;
+- instant arithmetic round-trips.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.time import (AllenRelation, Instant, Period, TemporalElement)
+from repro.time.period import coalesce
+
+# Keep chronons small so intersections/adjacency are common, not vanishing.
+chronons = st.integers(min_value=0, max_value=40)
+
+
+@st.composite
+def periods(draw) -> Period:
+    start = draw(chronons)
+    length = draw(st.integers(min_value=1, max_value=15))
+    return Period(Instant.from_chronon(start), Instant.from_chronon(start + length))
+
+
+@st.composite
+def elements(draw) -> TemporalElement:
+    return TemporalElement(draw(st.lists(periods(), max_size=6)))
+
+
+def chronon_set(element: TemporalElement) -> set:
+    """The plain-Python model: the set of chronon integers covered."""
+    covered = set()
+    for period in element.periods:
+        covered.update(range(period.start.chronon, period.end.chronon))
+    return covered
+
+
+def period_chronons(period: Period) -> set:
+    return set(range(period.start.chronon, period.end.chronon))
+
+
+class TestAllenPartition:
+    @given(periods(), periods())
+    def test_exactly_one_relation_holds(self, a, b):
+        # allen() must be a total classification...
+        relation = a.allen(b)
+        assert isinstance(relation, AllenRelation)
+        # ...and the inverse of the swapped classification.
+        assert b.allen(a) is relation.inverse
+
+    @given(periods(), periods())
+    def test_relation_consistent_with_chronon_sets(self, a, b):
+        sa, sb = period_chronons(a), period_chronons(b)
+        relation = a.allen(b)
+        if relation in (AllenRelation.BEFORE, AllenRelation.MEETS,
+                        AllenRelation.MEETS_INV, AllenRelation.AFTER):
+            assert not (sa & sb)
+        else:
+            assert sa & sb
+        if relation is AllenRelation.EQUALS:
+            assert sa == sb
+        if relation is AllenRelation.DURING:
+            assert sa < sb
+        if relation is AllenRelation.DURING_INV:
+            assert sb < sa
+
+    @given(periods(), periods())
+    def test_overlap_predicate_matches_sets(self, a, b):
+        assert a.overlaps(b) == bool(period_chronons(a) & period_chronons(b))
+
+    @given(periods(), periods())
+    def test_precede_predicate_matches_sets(self, a, b):
+        sa, sb = period_chronons(a), period_chronons(b)
+        assert a.precedes(b) == (max(sa) < min(sb) if sa and sb else True)
+
+
+class TestCoalesce:
+    @given(st.lists(periods(), max_size=8))
+    def test_idempotent(self, raw):
+        once = coalesce(raw)
+        assert coalesce(once) == once
+
+    @given(st.lists(periods(), max_size=8))
+    def test_order_insensitive(self, raw):
+        assert coalesce(raw) == coalesce(list(reversed(raw)))
+
+    @given(st.lists(periods(), max_size=8))
+    def test_preserves_chronon_set(self, raw):
+        merged = coalesce(raw)
+        original = set().union(*(period_chronons(p) for p in raw)) if raw else set()
+        assert chronon_set(TemporalElement(merged)) == original
+
+    @given(st.lists(periods(), max_size=8))
+    def test_result_is_canonical(self, raw):
+        merged = coalesce(raw)
+        for left, right in zip(merged, merged[1:]):
+            assert left.end < right.start  # disjoint AND non-adjacent
+
+
+class TestElementAlgebra:
+    @given(elements(), elements())
+    def test_union_models_set_union(self, a, b):
+        assert chronon_set(a | b) == chronon_set(a) | chronon_set(b)
+
+    @given(elements(), elements())
+    def test_intersection_models_set_intersection(self, a, b):
+        assert chronon_set(a & b) == chronon_set(a) & chronon_set(b)
+
+    @given(elements(), elements())
+    def test_difference_models_set_difference(self, a, b):
+        assert chronon_set(a - b) == chronon_set(a) - chronon_set(b)
+
+    @given(elements())
+    def test_double_complement_identity(self, a):
+        assert ~~a == a
+
+    @given(elements(), elements())
+    def test_de_morgan(self, a, b):
+        assert ~(a | b) == (~a & ~b)
+
+    @given(elements())
+    def test_equality_is_set_equality(self, a):
+        rebuilt = TemporalElement(list(a.periods))
+        assert rebuilt == a
+
+    @given(elements(), elements(), elements())
+    def test_distributivity(self, a, b, c):
+        assert (a & (b | c)) == ((a & b) | (a & c))
+
+
+class TestInstantArithmetic:
+    @given(chronons, st.integers(min_value=-30, max_value=30))
+    def test_add_then_subtract_roundtrip(self, base, delta):
+        start = Instant.from_chronon(base + 100)
+        assert (start + delta) - delta == start
+
+    @given(chronons, chronons)
+    def test_difference_inverts_addition(self, a, b):
+        ia, ib = Instant.from_chronon(a), Instant.from_chronon(b)
+        assert ia + (ib - ia) == ib
+
+    @given(chronons, chronons)
+    def test_ordering_matches_integers(self, a, b):
+        assert (Instant.from_chronon(a) < Instant.from_chronon(b)) == (a < b)

@@ -1,0 +1,198 @@
+"""Unit tests for the analyzer — the taxonomy as a type system."""
+
+import pytest
+
+from repro.core import (HistoricalDatabase, RollbackDatabase, StaticDatabase,
+                        TemporalDatabase)
+from repro.errors import TQuelSemanticError
+from repro.time import SimulatedClock
+from repro.tquel.analyzer import analyze
+from repro.tquel.parser import parse
+
+from tests.conftest import faculty_schema
+
+
+def make(db_class):
+    database = db_class(clock=SimulatedClock("01/01/80"))
+    database.define("faculty", faculty_schema())
+    return database
+
+RANGES = {"f": "faculty", "f1": "faculty", "f2": "faculty"}
+
+
+def check(db_class, source, ranges=RANGES):
+    analyze(parse(source), make(db_class), ranges)
+
+
+def rejected(db_class, source, match, ranges=RANGES):
+    with pytest.raises(TQuelSemanticError, match=match):
+        check(db_class, source, ranges)
+
+
+class TestTaxonomyEnforcement:
+    """Figure 11 enforced statically, with the database kind in the message."""
+
+    def test_as_of_rejected_on_static(self):
+        rejected(StaticDatabase,
+                 'retrieve (f.rank) as of "12/10/82"', "static database")
+
+    def test_as_of_rejected_on_historical(self):
+        rejected(HistoricalDatabase,
+                 'retrieve (f.rank) as of "12/10/82"', "historical database")
+
+    def test_as_of_allowed_on_rollback_and_temporal(self):
+        check(RollbackDatabase, 'retrieve (f.rank) as of "12/10/82"')
+        check(TemporalDatabase, 'retrieve (f.rank) as of "12/10/82"')
+
+    def test_when_rejected_on_static(self):
+        rejected(StaticDatabase,
+                 "retrieve (f1.rank) when f1 overlap f2", "static database")
+
+    def test_when_rejected_on_rollback(self):
+        rejected(RollbackDatabase,
+                 "retrieve (f1.rank) when f1 overlap f2",
+                 "static rollback database")
+
+    def test_when_allowed_on_historical_and_temporal(self):
+        check(HistoricalDatabase, "retrieve (f1.rank) when f1 overlap f2")
+        check(TemporalDatabase, "retrieve (f1.rank) when f1 overlap f2")
+
+    def test_valid_rejected_on_static_and_rollback(self):
+        rejected(StaticDatabase,
+                 'retrieve (f.rank) valid from "01/01/80"', "valid time")
+        rejected(RollbackDatabase,
+                 'retrieve (f.rank) valid from "01/01/80"', "valid time")
+
+    def test_valid_clause_on_append_rejected_for_static(self):
+        rejected(StaticDatabase,
+                 'append to faculty (name = "A", rank = "full") '
+                 'valid from "01/01/80"', "valid time")
+
+    def test_append_without_valid_rejected_for_historical(self):
+        rejected(HistoricalDatabase,
+                 'append to faculty (name = "A", rank = "full")',
+                 "requires a valid clause")
+
+    def test_event_create_rejected_on_static(self):
+        rejected(StaticDatabase, "create event p (name = string)",
+                 "valid time")
+
+
+class TestVariableAndAttributeChecks:
+    def test_undeclared_range_variable(self):
+        rejected(StaticDatabase, "retrieve (g.rank)", "not declared")
+
+    def test_unknown_attribute(self):
+        rejected(StaticDatabase, "retrieve (f.salary)", "no attribute")
+
+    def test_unqualified_reference_rejected(self):
+        rejected(StaticDatabase, "retrieve (x = rank)", "qualified")
+
+    def test_unknown_relation_in_range(self):
+        rejected(StaticDatabase, "range of x is nowhere", "unknown relation")
+
+    def test_tvar_must_be_declared(self):
+        rejected(HistoricalDatabase,
+                 "retrieve (f1.rank) when g overlap f1", "not declared")
+
+    def test_as_of_cannot_reference_variables(self):
+        rejected(TemporalDatabase, "retrieve (f.rank) as of start of f",
+                 "not allowed")
+
+    def test_update_valid_must_be_constant(self):
+        rejected(HistoricalDatabase,
+                 'delete f valid from start of f', "not allowed")
+
+    def test_bad_date_literal_in_temporal_expr(self):
+        rejected(TemporalDatabase,
+                 'retrieve (f.rank) as of "13/45/99"', "invalid date")
+
+    def test_delete_where_other_variable_rejected(self):
+        rejected(StaticDatabase, 'delete f where f2.rank = "full"',
+                 "only 'f'")
+
+
+class TestRetrieveChecks:
+    def test_duplicate_target_names(self):
+        rejected(StaticDatabase, "retrieve (f.rank, f.rank)", "duplicate")
+
+    def test_into_existing_relation(self):
+        rejected(StaticDatabase, "retrieve into faculty (f.rank)",
+                 "already exists")
+
+    def test_sort_by_unknown_target(self):
+        rejected(StaticDatabase, "retrieve (f.rank) sort by name",
+                 "not a target")
+
+    def test_aggregate_mixed_with_when_rejected(self):
+        rejected(HistoricalDatabase,
+                 "retrieve (n = count(f1.name)) when f1 overlap f2",
+                 "aggregate")
+
+    def test_nested_aggregate_rejected(self):
+        rejected(StaticDatabase, "retrieve (x = count(f.name) + 1)",
+                 "top level")
+
+
+class TestUpdateChecks:
+    def test_append_unknown_attribute(self):
+        rejected(StaticDatabase,
+                 'append to faculty (name = "A", rank = "full", age = 3)',
+                 "no attribute")
+
+    def test_append_missing_attribute(self):
+        rejected(StaticDatabase, 'append to faculty (name = "A")', "misses")
+
+    def test_append_attribute_twice(self):
+        rejected(StaticDatabase,
+                 'append to faculty (name = "A", name = "B", rank = "full")',
+                 "twice")
+
+    def test_append_values_must_be_constant(self):
+        rejected(StaticDatabase,
+                 'append to faculty (name = f.name, rank = "full")',
+                 "constant")
+
+    def test_replace_unknown_attribute(self):
+        rejected(StaticDatabase, 'replace f (salary = 3)', "no attribute")
+
+    def test_create_duplicate_relation(self):
+        rejected(StaticDatabase, "create faculty (name = string)",
+                 "already exists")
+
+    def test_create_duplicate_attributes(self):
+        rejected(StaticDatabase, "create r (a = string, a = integer)",
+                 "duplicate")
+
+    def test_create_key_not_declared(self):
+        rejected(StaticDatabase, "create r (a = string) key (b)",
+                 "not declared")
+
+    def test_destroy_unknown(self):
+        rejected(StaticDatabase, "destroy nowhere", "unknown")
+
+
+class TestEventRelationChecks:
+    def make_with_event(self, db_class):
+        database = make(db_class)
+        from repro.relational import Domain, Schema
+        database.define("promotion", Schema.of(name=Domain.STRING),
+                        event=True)
+        return database
+
+    def test_event_append_requires_valid_at(self):
+        database = self.make_with_event(HistoricalDatabase)
+        with pytest.raises(TQuelSemanticError, match="valid at"):
+            analyze(parse('append to promotion (name = "M") '
+                          'valid from "01/01/80"'), database, {})
+
+    def test_interval_append_rejects_valid_at(self):
+        database = make(HistoricalDatabase)
+        with pytest.raises(TQuelSemanticError, match="interval relation"):
+            analyze(parse('append to faculty (name = "M", rank = "full") '
+                          'valid at "01/01/80"'), database, {})
+
+    def test_event_append_accepted(self):
+        database = self.make_with_event(TemporalDatabase)
+        analyze(parse('append to promotion (name = "M") valid at "01/01/80"'),
+                database, {})

@@ -1,0 +1,332 @@
+"""Unit tests for the TQuel evaluator across all four database kinds."""
+
+import pytest
+
+from repro.core import (HistoricalDatabase, HistoricalRelation,
+                        RollbackDatabase, StaticDatabase, TemporalDatabase,
+                        TemporalRelation)
+from repro.errors import TQuelSemanticError
+from repro.relational import Relation
+from repro.time import Instant, Period, SimulatedClock
+from repro.tquel import Session
+
+from tests.conftest import build_faculty
+
+
+def session_for(db_class, **kwargs):
+    database, clock = build_faculty(db_class, **kwargs)
+    session = Session(database)
+    session.execute("range of f is faculty")
+    session.execute("range of f1 is faculty")
+    session.execute("range of f2 is faculty")
+    return session, clock
+
+
+class TestStaticRetrieve:
+    def test_result_is_static_relation(self):
+        session, _ = session_for(StaticDatabase)
+        result = session.query('retrieve (f.rank) where f.name = "Merrie"')
+        assert isinstance(result, Relation)
+        assert result.to_dicts() == [{"rank": "full"}]
+
+    def test_projection_collapses_duplicates(self):
+        session, _ = session_for(StaticDatabase)
+        session.execute('append to faculty (name = "Another", rank = "full")')
+        result = session.query("retrieve (f.rank)")
+        assert result.cardinality == 2  # full, associate
+
+    def test_multi_variable_join(self):
+        session, _ = session_for(StaticDatabase)
+        result = session.query(
+            "retrieve (a = f1.name, b = f2.name) where f1.rank = f2.rank "
+            'and f1.name != f2.name')
+        assert result.is_empty  # everyone has a distinct rank now
+
+    def test_constant_target(self):
+        session, _ = session_for(StaticDatabase)
+        result = session.query('retrieve (who = f.name, marker = 1)')
+        assert all(row["marker"] == 1 for row in result)
+
+    def test_sort_by(self):
+        session, _ = session_for(StaticDatabase)
+        result = session.query("retrieve (f.name) sort by name")
+        assert result.column("name") == ["Merrie", "Tom"]
+
+    def test_into_materializes(self):
+        session, _ = session_for(StaticDatabase)
+        session.execute('retrieve into full_profs (f.name) '
+                        'where f.rank = "full"')
+        assert "full_profs" in session.database
+        result = session.query("range of p is full_profs") \
+            if False else session.database.snapshot("full_profs")
+        assert result.column("name") == ["Merrie"]
+
+
+class TestRollbackRetrieve:
+    def test_as_of_query(self):
+        session, _ = session_for(RollbackDatabase)
+        result = session.query(
+            'retrieve (f.rank) where f.name = "Merrie" as of "12/10/82"')
+        assert isinstance(result, Relation)
+        assert result.to_dicts() == [{"rank": "associate"}]
+
+    def test_without_as_of_uses_current(self):
+        session, _ = session_for(RollbackDatabase)
+        result = session.query('retrieve (f.rank) where f.name = "Merrie"')
+        assert result.to_dicts() == [{"rank": "full"}]
+
+    def test_as_of_now(self):
+        session, _ = session_for(RollbackDatabase)
+        result = session.query(
+            'retrieve (f.rank) where f.name = "Merrie" as of now')
+        assert result.to_dicts() == [{"rank": "full"}]
+
+    def test_as_of_before_everything(self):
+        session, _ = session_for(RollbackDatabase)
+        result = session.query('retrieve (f.name) as of "01/01/70"')
+        assert result.is_empty
+
+
+class TestHistoricalRetrieve:
+    def test_result_is_historical_relation(self):
+        session, _ = session_for(HistoricalDatabase)
+        result = session.query('retrieve (f.rank) where f.name = "Merrie"')
+        assert isinstance(result, HistoricalRelation)
+
+    def test_paper_when_query(self):
+        session, _ = session_for(HistoricalDatabase)
+        result = session.query(
+            'retrieve (f1.rank) where f1.name = "Merrie" and '
+            'f2.name = "Tom" when f1 overlap start of f2')
+        assert len(result) == 1
+        row = result.rows[0]
+        assert row.data["rank"] == "full"
+        assert row.valid == Period("12/01/82", "forever")
+
+    def test_default_validity_is_target_variable_period(self):
+        # Only f1 appears in the target list, so the derived validity is
+        # f1's period, not its intersection with f2's.
+        session, _ = session_for(HistoricalDatabase)
+        result = session.query(
+            'retrieve (f1.name) where f2.name = "Mike" when f1 overlap f2')
+        for row in result.rows:
+            assert row.valid.end.is_pos_inf or \
+                row.valid.end == Instant.parse("03/01/84")
+
+    def test_explicit_valid_clause(self):
+        session, _ = session_for(HistoricalDatabase)
+        result = session.query(
+            'retrieve (f.rank) where f.name = "Merrie" '
+            'valid from "01/01/83" to "01/01/84"')
+        assert all(row.valid == Period("01/01/83", "01/01/84")
+                   for row in result.rows)
+
+    def test_valid_clause_with_variable(self):
+        session, _ = session_for(HistoricalDatabase)
+        result = session.query(
+            'retrieve (f.rank) where f.name = "Tom" '
+            'valid from start of f to forever')
+        assert result.rows[0].valid == Period("12/05/82", "forever")
+
+    def test_when_precede(self):
+        # With `precede` the operand periods are disjoint, so the *default*
+        # derived validity (their intersection) would be empty; an explicit
+        # valid clause is required, exactly as in TQuel.
+        session, _ = session_for(HistoricalDatabase)
+        result = session.query(
+            'retrieve (early = f1.name, late = f2.name) '
+            'when f1 precede f2 valid from start of f1 to forever')
+        pairs = {(row.data["early"], row.data["late"])
+                 for row in result.rows}
+        # Merrie-associate [77..82) precedes Tom [82..) and Mike [83..84).
+        assert ("Merrie", "Tom") in pairs
+        assert ("Merrie", "Mike") in pairs
+
+    def test_when_precede_default_validity_is_empty(self):
+        session, _ = session_for(HistoricalDatabase)
+        result = session.query(
+            'retrieve (early = f1.name, late = f2.name) when f1 precede f2')
+        assert result.is_empty
+
+    def test_derived_relation_queryable_again(self):
+        # Closure: retrieve into a new relation, then query it historically.
+        session, _ = session_for(HistoricalDatabase)
+        session.execute('retrieve into merrie_history (f.rank) '
+                        'where f.name = "Merrie"')
+        session.execute("range of m is merrie_history")
+        result = session.query('retrieve (m.rank) when m overlap "06/01/80"')
+        assert {row.data["rank"] for row in result.rows} == {"associate"}
+
+    def test_empty_intersection_filters_row(self):
+        session, _ = session_for(HistoricalDatabase)
+        # Merrie's associate period and Mike's period never overlap, so a
+        # two-variable target over them yields only overlapping pairs.
+        result = session.query(
+            'retrieve (a = f1.rank, b = f2.name) where f1.name = "Merrie" '
+            'and f2.name = "Mike"')
+        for row in result.rows:
+            assert row.data["a"] == "full"  # associate ∩ Mike = ∅
+
+
+class TestTemporalRetrieve:
+    def test_result_is_temporal_relation(self):
+        session, _ = session_for(TemporalDatabase)
+        result = session.query('retrieve (f.rank) where f.name = "Merrie"')
+        assert isinstance(result, TemporalRelation)
+
+    def test_paper_bitemporal_query_as_of_12_10(self):
+        session, _ = session_for(TemporalDatabase)
+        result = session.query(
+            'retrieve (f1.rank) where f1.name = "Merrie" and '
+            'f2.name = "Tom" when f1 overlap start of f2 as of "12/10/82"')
+        assert len(result) == 1
+        row = result.rows[0]
+        assert row.data["rank"] == "associate"
+        assert row.valid == Period("09/01/77", "forever")
+        assert row.tt == Period("08/25/77", "12/15/82")  # kept, not clipped
+
+    def test_paper_bitemporal_query_as_of_12_20(self):
+        session, _ = session_for(TemporalDatabase)
+        result = session.query(
+            'retrieve (f1.rank) where f1.name = "Merrie" and '
+            'f2.name = "Tom" when f1 overlap start of f2 as of "12/20/82"')
+        assert [row.data["rank"] for row in result.rows] == ["full"]
+
+    def test_default_as_of_now(self):
+        session, _ = session_for(TemporalDatabase)
+        result = session.query('retrieve (f.rank) where f.name = "Tom"')
+        assert [row.data["rank"] for row in result.rows] == ["associate"]
+
+    def test_into_materializes_current_history(self):
+        # `retrieve into` on a temporal DB stores the derived data with its
+        # valid times; transaction time is restamped at materialization.
+        session, _ = session_for(TemporalDatabase)
+        session.execute('retrieve into merrie (f.rank) '
+                        'where f.name = "Merrie"')
+        stored = session.database.history("merrie")
+        periods = sorted((row.data["rank"], str(row.valid))
+                         for row in stored.rows)
+        assert periods == [("associate", "[1977-09-01, 1982-12-01)"),
+                           ("full", "[1982-12-01, ∞)")]
+        session.execute("range of m is merrie")
+        again = session.query('retrieve (m.rank) when m overlap "06/01/80"')
+        assert [row.data["rank"] for row in again.rows] == ["associate"]
+
+
+class TestAggregates:
+    def test_count_on_static(self):
+        session, _ = session_for(StaticDatabase)
+        result = session.query("retrieve (n = count(f.name))")
+        assert result.to_dicts() == [{"n": 2}]
+
+    def test_group_by_non_aggregate_targets(self):
+        session, _ = session_for(StaticDatabase)
+        session.execute('append to faculty (name = "Ann", rank = "full")')
+        result = session.query("retrieve (f.rank, n = count(f.name))")
+        counts = {row["rank"]: row["n"] for row in result}
+        assert counts == {"full": 2, "associate": 1}
+
+    def test_count_unique(self):
+        session, _ = session_for(StaticDatabase)
+        session.execute('append to faculty (name = "Ann", rank = "full")')
+        result = session.query("retrieve (n = count(unique f.rank))")
+        assert result.to_dicts() == [{"n": 2}]
+
+    def test_count_empty(self):
+        session, _ = session_for(StaticDatabase)
+        result = session.query(
+            'retrieve (n = count(f.name)) where f.rank = "assistant"')
+        assert result.to_dicts() == [{"n": 0}]
+
+    def test_aggregates_on_historical_count_facts(self):
+        # Aggregate retrieves on a historical DB range over the recorded
+        # facts — every (tuple, validity) row, i.e. the rows of Figure 6.
+        session, _ = session_for(HistoricalDatabase)
+        result = session.query("retrieve (n = count(f.name))")
+        assert result.to_dicts() == [{"n": 4}]  # the 4 rows of Figure 6
+
+
+class TestUpdatesThroughTQuel:
+    def test_append_and_retrieve_roundtrip(self):
+        session, clock = session_for(StaticDatabase)
+        session.execute('append to faculty (name = "Ann", rank = "full")')
+        result = session.query('retrieve (f.rank) where f.name = "Ann"')
+        assert result.to_dicts() == [{"rank": "full"}]
+
+    def test_delete_where(self):
+        session, _ = session_for(StaticDatabase)
+        session.execute('delete f where f.rank = "associate"')
+        result = session.query("retrieve (f.name)")
+        assert result.column("name") == ["Merrie"]
+
+    def test_delete_all(self):
+        session, _ = session_for(StaticDatabase)
+        session.execute("delete f")
+        assert session.query("retrieve (f.name)").is_empty
+
+    def test_replace_with_computed_expression(self):
+        session, _ = session_for(StaticDatabase)
+        session.execute('replace f (name = f.name + "!") '
+                        'where f.rank = "full"')
+        result = session.query("retrieve (f.name) sort by name")
+        assert "Merrie!" in result.column("name")
+
+    def test_historical_delete_with_valid_clause(self):
+        session, clock = session_for(HistoricalDatabase)
+        clock.set("06/01/84")
+        session.execute('delete f where f.name = "Tom" '
+                        'valid from "01/01/85"')
+        history = session.database.history("faculty")
+        tom = [row for row in history.rows if row.data["name"] == "Tom"]
+        assert [str(row.valid) for row in tom] == ["[1982-12-05, 1985-01-01)"]
+
+    def test_create_with_date_is_user_defined_time(self):
+        session, _ = session_for(StaticDatabase)
+        session.execute("create letters (who = string, sent = date)")
+        schema = session.database.schema("letters")
+        assert schema.attribute("sent").domain.is_user_defined_time
+
+    def test_create_and_destroy(self):
+        session, _ = session_for(StaticDatabase)
+        session.execute("create temp (x = integer)")
+        assert "temp" in session.database
+        session.execute("destroy temp")
+        assert "temp" not in session.database
+
+    def test_string_dates_coerced_into_date_domains(self):
+        session, clock = session_for(TemporalDatabase)
+        session.execute("create event letters (who = string, sent = date)")
+        session.execute('append to letters (who = "M", sent = "12/11/82") '
+                        'valid at "12/11/82"')
+        rows = session.database.history("letters").rows
+        assert rows[0].data["sent"] == Instant.parse("12/11/82")
+
+
+class TestSessionBehaviour:
+    def test_query_on_update_raises(self):
+        session, _ = session_for(StaticDatabase)
+        with pytest.raises(TypeError):
+            session.query('append to faculty (name = "X", rank = "full")')
+
+    def test_render_none(self):
+        session, _ = session_for(StaticDatabase)
+        assert session.render(None) == "(no result)"
+
+    def test_execute_script(self):
+        session, _ = session_for(StaticDatabase)
+        results = session.execute_script("""
+            create r2 (x = string)
+            append to r2 (x = "hello")
+            range of r is r2
+            retrieve (r.x)
+        """)
+        assert results[-1].to_dicts() == [{"x": "hello"}]
+
+    def test_ranges_property(self):
+        session, _ = session_for(StaticDatabase)
+        assert session.ranges["f"] == "faculty"
+
+    def test_show_renders_table(self):
+        session, _ = session_for(StaticDatabase)
+        text = session.show('retrieve (f.rank) where f.name = "Merrie"')
+        assert "full" in text and "|" in text

@@ -1,0 +1,202 @@
+"""Tests for the TQuel extensions: `as of ... through` and the
+Allen-style when-operators."""
+
+import pytest
+
+from repro.core import (HistoricalDatabase, RollbackDatabase, StaticDatabase,
+                        TemporalDatabase)
+from repro.errors import TQuelSemanticError
+from repro.tquel import Session, parse, unparse
+from repro.tquel.ast import TConst
+
+from tests.conftest import build_faculty
+
+
+def session_for(db_class):
+    database, clock = build_faculty(db_class)
+    session = Session(database)
+    for variable in ("f", "f1", "f2"):
+        session.execute(f"range of {variable} is faculty")
+    return session, clock
+
+
+class TestAsOfThroughParsing:
+    def test_parse(self):
+        stmt = parse('retrieve (f.rank) as of "12/02/82" through "12/20/82"')
+        assert stmt.as_of == TConst("12/02/82")
+        assert stmt.as_of_through == TConst("12/20/82")
+
+    def test_through_requires_as_of(self):
+        with pytest.raises(Exception):
+            parse('retrieve (f.rank) through "12/20/82"')
+
+    def test_unparse_roundtrip(self):
+        source = ('retrieve (rank = f.rank) as of "12/02/82" '
+                  'through "12/20/82"')
+        assert parse(unparse(parse(source))) == parse(source)
+
+    def test_analyzer_enforces_transaction_time(self):
+        session, _ = session_for(HistoricalDatabase)
+        with pytest.raises(TQuelSemanticError, match="transaction time"):
+            session.execute('retrieve (f.rank) as of "12/02/82" '
+                            'through "12/20/82"')
+
+    def test_analyzer_rejects_variables_in_through(self):
+        session, _ = session_for(TemporalDatabase)
+        with pytest.raises(TQuelSemanticError, match="not allowed"):
+            session.execute('retrieve (f.rank) as of "12/02/82" '
+                            "through start of f")
+
+
+class TestAsOfThroughEvaluation:
+    def test_rollback_union(self):
+        session, _ = session_for(RollbackDatabase)
+        result = session.query('retrieve (f.name, f.rank) '
+                               'as of "12/02/82" through "12/20/82"')
+        assert {(row["name"], row["rank"]) for row in result} == {
+            ("Merrie", "associate"), ("Merrie", "full"),
+            ("Tom", "full"), ("Tom", "associate")}
+
+    def test_temporal_keeps_transaction_times(self):
+        session, _ = session_for(TemporalDatabase)
+        result = session.query('retrieve (f.rank) where f.name = "Tom" '
+                               'as of "12/02/82" through "12/20/82"')
+        pairs = sorted((row.data["rank"], row.tt.start.paper_format())
+                       for row in result.rows)
+        assert pairs == [("associate", "12/07/82"), ("full", "12/01/82")]
+
+    def test_degenerate_range_equals_point_as_of(self):
+        session, _ = session_for(RollbackDatabase)
+        point = session.query('retrieve (f.rank) where f.name = "Merrie" '
+                              'as of "12/10/82"')
+        ranged = session.query('retrieve (f.rank) where f.name = "Merrie" '
+                               'as of "12/10/82" through "12/10/82"')
+        assert point == ranged
+
+    def test_backwards_range_rejected(self):
+        session, _ = session_for(RollbackDatabase)
+        with pytest.raises(TQuelSemanticError, match="backwards"):
+            session.execute('retrieve (f.rank) as of "12/20/82" '
+                            'through "12/02/82"')
+
+    def test_through_forever_covers_everything(self):
+        session, _ = session_for(RollbackDatabase)
+        result = session.query('retrieve (f.name) as of "01/01/77" '
+                               "through forever")
+        assert set(result.column("name")) == {"Merrie", "Tom", "Mike"}
+
+
+class TestIsNull:
+    def build(self):
+        from repro.core import StaticDatabase
+        from repro.relational import Attribute, Domain, Schema
+        from repro.time import SimulatedClock
+        database = StaticDatabase(clock=SimulatedClock("01/01/80"))
+        database.define("people", Schema([
+            Attribute("name", Domain.STRING),
+            Attribute("nick", Domain.STRING, nullable=True)]))
+        database.insert("people", {"name": "a", "nick": None})
+        database.insert("people", {"name": "b", "nick": "bee"})
+        session = Session(database)
+        session.execute("range of p is people")
+        return session
+
+    def test_is_null(self):
+        session = self.build()
+        result = session.query("retrieve (p.name) where p.nick is null")
+        assert result.column("name") == ["a"]
+
+    def test_is_not_null(self):
+        session = self.build()
+        result = session.query("retrieve (p.name) where p.nick is not null")
+        assert result.column("name") == ["b"]
+
+    def test_roundtrip(self):
+        for source in ("retrieve (name = p.name) where (p.nick is null)",
+                       "retrieve (name = p.name) where (not (p.nick is null))"):
+            assert parse(unparse(parse(source))) == parse(source)
+
+    def test_combines_with_other_predicates(self):
+        session = self.build()
+        result = session.query(
+            'retrieve (p.name) where p.nick is null or p.name = "b"')
+        assert set(result.column("name")) == {"a", "b"}
+
+    def test_equality_with_null_stays_false(self):
+        # `= null` has no syntax; comparisons against a null *value* are
+        # false either way — is null is the only true null test.
+        session = self.build()
+        result = session.query('retrieve (p.name) where p.nick = "bee"')
+        assert result.column("name") == ["b"]
+
+
+class TestExtendedWhenOperators:
+    """meets / before / after / during / starts / finishes."""
+
+    def test_parse_and_roundtrip(self):
+        for op in ("meets", "before", "after", "during", "starts",
+                   "finishes"):
+            source = f"retrieve (rank = f1.rank) when f1 {op} f2"
+            assert parse(unparse(parse(source))) == parse(source)
+
+    def test_meets(self):
+        # Merrie-associate [09/01/77, 12/01/82) meets Merrie-full
+        # [12/01/82, ∞) — but those are the same variable; use constants.
+        session, _ = session_for(HistoricalDatabase)
+        result = session.query(
+            'retrieve (f.rank) where f.name = "Merrie" '
+            'when f meets "12/01/82" valid from start of f')
+        assert [row.data["rank"] for row in result.rows] == ["associate"]
+
+    def test_before_is_strict(self):
+        session, _ = session_for(HistoricalDatabase)
+        # Merrie-associate ends 12/01/82; 'precede' a period starting
+        # exactly there holds, 'before' (needs a gap) does not.
+        precede = session.query(
+            'retrieve (f.rank) where f.name = "Merrie" '
+            'when f precede "12/01/82" valid from start of f')
+        before = session.query(
+            'retrieve (f.rank) where f.name = "Merrie" '
+            'when f before "12/01/82" valid from start of f')
+        assert [row.data["rank"] for row in precede.rows] == ["associate"]
+        assert before.is_empty
+
+    def test_after(self):
+        session, _ = session_for(HistoricalDatabase)
+        result = session.query(
+            'retrieve (f.name) when f after "12/25/82" '
+            "valid from start of f")
+        assert {row.data["name"] for row in result.rows} == {"Mike"}
+        # 'after' is strict: a period meeting the reference does not count.
+        meeting = session.query(
+            'retrieve (f.name) when f after "12/31/82" '
+            "valid from start of f")
+        assert meeting.is_empty
+
+    def test_during(self):
+        session, _ = session_for(HistoricalDatabase)
+        # Mike [01/01/83, 03/01/84) lies during Tom [12/05/82, ∞).
+        result = session.query(
+            'retrieve (a = f1.name) where f2.name = "Tom" '
+            "when f1 during f2 valid from start of f1")
+        assert {"Mike"} <= {row.data["a"] for row in result.rows}
+
+    def test_starts_and_finishes(self):
+        session, _ = session_for(HistoricalDatabase)
+        starts = session.query(
+            'retrieve (f.name) when f starts "01/01/83" '
+            "valid from start of f")
+        # Nothing starts exactly at the single chronon 01/01/83 while also
+        # fitting inside it (Mike's period is longer).
+        assert starts.is_empty
+        finishes = session.query(
+            'retrieve (f.rank) where f.name = "Merrie" '
+            'when "11/30/82" finishes f valid from start of f')
+        # The chronon 11/30/82 is the last chronon of Merrie-associate
+        # [09/01/77, 12/01/82).
+        assert [row.data["rank"] for row in finishes.rows] == ["associate"]
+
+    def test_static_database_still_rejects_when(self):
+        session, _ = session_for(StaticDatabase)
+        with pytest.raises(TQuelSemanticError, match="valid time"):
+            session.execute("retrieve (f1.rank) when f1 during f2")

@@ -1,0 +1,120 @@
+"""Property tests: TQuel queries agree with the direct Python API.
+
+For randomly generated stores and simple queries, the language must give
+exactly the answer the algebra gives — the evaluator is a convenience,
+never a different semantics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HistoricalDatabase, StaticDatabase, TemporalDatabase
+from repro.relational import Domain, Schema, attr
+from repro.time import Instant, SimulatedClock
+from repro.tquel import Session
+
+BASE = Instant.parse("01/01/80").chronon
+
+names = st.sampled_from(["a", "b", "c", "d"])
+grades = st.integers(min_value=0, max_value=3)
+static_rows = st.lists(st.tuples(names, grades), max_size=8)
+
+
+@st.composite
+def historical_facts(draw):
+    facts = []
+    used = set()
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        name = draw(names.filter(lambda n: n not in used))
+        used.add(name)
+        start = draw(st.integers(min_value=0, max_value=30))
+        length = draw(st.integers(min_value=1, max_value=20))
+        facts.append((name, draw(grades), start, start + length))
+    return facts
+
+
+def static_db(rows):
+    database = StaticDatabase(clock=SimulatedClock(BASE))
+    database.define("r", Schema.of(name=Domain.STRING, grade=Domain.INTEGER))
+    for name, grade in dict(rows).items():  # dedup names to one row each
+        database.insert("r", {"name": name, "grade": grade})
+    return database
+
+
+def session_over(database):
+    session = Session(database)
+    session.execute("range of v is r")
+    return session
+
+
+class TestStaticAgreement:
+    @given(static_rows, grades)
+    @settings(max_examples=60, deadline=None)
+    def test_select_project(self, rows, threshold):
+        database = static_db(rows)
+        session = session_over(database)
+        via_language = session.query(
+            f"retrieve (v.name) where v.grade >= {threshold}")
+        via_api = database.snapshot("r").select(
+            attr("grade") >= threshold).project(["name"])
+        assert via_language == via_api
+
+    @given(static_rows)
+    @settings(max_examples=40, deadline=None)
+    def test_count_agreement(self, rows):
+        database = static_db(rows)
+        session = session_over(database)
+        via_language = session.query("retrieve (n = count(v.name))")
+        assert via_language.to_dicts() == [
+            {"n": database.snapshot("r").cardinality}]
+
+    @given(static_rows, grades)
+    @settings(max_examples=40, deadline=None)
+    def test_delete_agreement(self, rows, threshold):
+        db_language = static_db(rows)
+        db_api = static_db(rows)
+        session = session_over(db_language)
+        session.execute(f"delete v where v.grade >= {threshold}")
+        db_api.delete_where("r", attr("grade") >= threshold)
+        assert db_language.snapshot("r") == db_api.snapshot("r")
+
+
+class TestHistoricalAgreement:
+    def build(self, db_class, facts):
+        database = db_class(clock=SimulatedClock(BASE - 10))
+        database.define("r", Schema.of(key=["name"], name=Domain.STRING,
+                                       grade=Domain.INTEGER))
+        clock = database.manager.clock.source
+        for name, grade, start, end in facts:
+            clock.advance(1)
+            database.insert("r", {"name": name, "grade": grade},
+                            valid_from=Instant.from_chronon(BASE + start),
+                            valid_to=Instant.from_chronon(BASE + end))
+        return database
+
+    @given(historical_facts(), st.integers(min_value=-5, max_value=55))
+    @settings(max_examples=60, deadline=None)
+    def test_when_overlap_constant_is_timeslice(self, facts, probe_offset):
+        database = self.build(HistoricalDatabase, facts)
+        session = session_over(database)
+        probe = Instant.from_chronon(BASE + probe_offset)
+        via_language = session.query(
+            f'retrieve (v.name) when v overlap "{probe.isoformat()}" '
+            "valid from start of v")
+        data_names = {row.data["name"] for row in via_language.rows}
+        api_names = set(database.timeslice("r", probe).column("name"))
+        assert data_names == api_names
+
+    @given(historical_facts())
+    @settings(max_examples=40, deadline=None)
+    def test_temporal_and_historical_agree_via_language(self, facts):
+        historical_session = session_over(
+            self.build(HistoricalDatabase, facts))
+        temporal_session = session_over(self.build(TemporalDatabase, facts))
+        query = "retrieve (v.name, v.grade)"
+        historical_result = historical_session.query(query)
+        temporal_result = temporal_session.query(query)
+        assert frozenset(
+            (row.data, row.valid) for row in historical_result.rows
+        ) == frozenset(
+            (row.data, row.valid) for row in temporal_result.rows)

@@ -1,0 +1,106 @@
+"""Unit tests for rendering and unparsing."""
+
+import pytest
+
+from repro.core import (HistoricalDatabase, RollbackDatabase, StaticDatabase,
+                        TemporalDatabase)
+from repro.tquel import parse, unparse
+from repro.tquel.printer import (render, render_historical, render_rollback,
+                                 render_static, render_temporal,
+                                 unparse_expression)
+
+from tests.conftest import build_faculty
+
+
+class TestRenderFigures:
+    def test_static_table(self, static_faculty):
+        database, _ = static_faculty
+        text = render_static(database.snapshot("faculty"), "faculty")
+        assert "faculty" in text and "Merrie" in text and "full" in text
+
+    def test_rollback_table_has_double_bar_and_infinity(self,
+                                                        rollback_faculty):
+        database, _ = rollback_faculty
+        text = render_rollback(database.store("faculty"))
+        assert "‖" in text
+        assert "transaction (start)" in text
+        assert "∞" in text
+        assert "08/25/77" in text  # the paper's date style
+
+    def test_historical_table(self, historical_faculty):
+        database, _ = historical_faculty
+        text = render_historical(database.history("faculty"))
+        assert "valid (from)" in text and "(to)" in text
+        assert "09/01/77" in text
+
+    def test_historical_event_style(self, historical_faculty):
+        database, _ = historical_faculty
+        text = render_historical(database.history("faculty"), event=True)
+        assert "valid (at)" in text and "(to)" not in text
+
+    def test_temporal_table_has_both_axes(self, temporal_faculty):
+        database, _ = temporal_faculty
+        text = render_temporal(database.temporal("faculty"))
+        assert "valid (from)" in text
+        assert "transaction (start)" in text
+        assert text.count("‖") >= 2 * 7  # two bars per data row
+
+    def test_render_dispatch(self, temporal_faculty):
+        database, _ = temporal_faculty
+        assert "transaction" in render(database.temporal("faculty"))
+        assert "valid" in render(database.history("faculty"))
+        assert render(None) == "(no result)"
+
+    def test_null_cell_renders_dash(self):
+        from repro.relational import Attribute, Domain, Relation, Schema
+        schema = Schema([Attribute("x", Domain.STRING, nullable=True)])
+        assert "-" in render_static(Relation.from_rows(schema, [[None]]))
+
+
+class TestUnparse:
+    STATEMENTS = [
+        "range of f is faculty",
+        'retrieve (rank = f.rank) where (f.name = "Merrie")',
+        "retrieve into r unique (rank = f.rank) sort by rank",
+        'retrieve (rank = f1.rank) when f1 overlap start of f2 '
+        'as of "12/10/82"',
+        "retrieve (rank = f.rank) valid from start of f to forever",
+        "retrieve (rank = f.rank) valid at end of f",
+        'retrieve (n = count(f.name), m = avg(f.salary))',
+        'append to faculty (name = "Tom", rank = "associate") '
+        'valid from "12/05/82"',
+        'delete f where (f.name = "Mike") valid from "03/01/84"',
+        'replace f (rank = "full") where (f.name = "Merrie") '
+        'valid from "12/01/82"',
+        "create faculty2 (name = string, rank = string) key (name)",
+        "create event promotion (name = string, sent = date)",
+        "destroy faculty",
+    ]
+
+    @pytest.mark.parametrize("source", STATEMENTS)
+    def test_roundtrip(self, source):
+        statement = parse(source)
+        again = parse(unparse(statement))
+        assert again == statement
+
+    def test_unparse_idempotent(self):
+        source = ('retrieve (rank = f1.rank) where (f1.name = "M") '
+                  'when f1 overlap f2')
+        once = unparse(parse(source))
+        assert unparse(parse(once)) == once
+
+    def test_string_escaping(self):
+        statement = parse(r'retrieve (x = f.name) where f.name = "a\"b"')
+        assert parse(unparse(statement)) == statement
+
+    def test_complex_when_roundtrip(self):
+        source = ("retrieve (rank = f1.rank) when f1 overlap f2 and not "
+                  "(extend(f1, f2) precede f3 or f1 equal f2)")
+        assert parse(unparse(parse(source))) == parse(source)
+
+    def test_unparse_expression_values(self):
+        from repro.relational import attr, const
+        assert unparse_expression(const("x")) == '"x"'
+        assert unparse_expression(const(42)) == "42"
+        assert unparse_expression(attr("f", "rank")) == "f.rank"
+        assert unparse_expression(attr("rank")) == "rank"

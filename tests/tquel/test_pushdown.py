@@ -1,0 +1,102 @@
+"""Unit + property tests for selection pushdown in the evaluator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import StaticDatabase
+from repro.relational import Domain, Schema, attr, const
+from repro.relational.expression import And, Or
+from repro.time import Instant, SimulatedClock
+from repro.tquel import Session
+from repro.tquel.evaluator import partition_pushdown, split_conjuncts
+
+
+class TestSplitting:
+    def test_none(self):
+        assert split_conjuncts(None) == []
+
+    def test_flat(self):
+        expr = (attr("f", "a") == 1) & (attr("g", "b") == 2) & \
+               (attr("f", "c") == 3)
+        assert len(split_conjuncts(expr)) == 3
+
+    def test_or_not_split(self):
+        expr = (attr("f", "a") == 1) | (attr("f", "b") == 2)
+        assert len(split_conjuncts(expr)) == 1
+
+    def test_partition(self):
+        expr = ((attr("f", "a") == 1)
+                & (attr("g", "b") == 2)
+                & (attr("f", "c") == attr("g", "d"))
+                & ((attr("g", "e") == 3) | (attr("g", "e") == 4)))
+        pushdown, residual = partition_pushdown(expr)
+        assert set(pushdown) == {"f", "g"}
+        assert len(pushdown["f"]) == 1
+        assert len(pushdown["g"]) == 2  # the simple one and the Or
+        assert len(residual) == 1       # the cross-variable join conjunct
+
+    def test_constant_conjunct_stays_residual(self):
+        pushdown, residual = partition_pushdown(const(True) & (attr("f", "a") == 1))
+        assert len(residual) == 1
+        assert len(pushdown["f"]) == 1
+
+
+class TestPushdownCorrectness:
+    """The rewrite must be invisible: results identical to the naive plan."""
+
+    names = st.sampled_from(["a", "b", "c"])
+    grades = st.integers(min_value=0, max_value=3)
+    rows = st.lists(st.tuples(names, grades, grades), max_size=8)
+
+    def build(self, raw):
+        database = StaticDatabase(
+            clock=SimulatedClock(Instant.parse("01/01/80")))
+        database.define("r", Schema.of(name=Domain.STRING,
+                                       x=Domain.INTEGER, y=Domain.INTEGER))
+        for name, x, y in raw:
+            database.insert("r", {"name": name, "x": x, "y": y})
+        session = Session(database)
+        session.execute("range of u is r")
+        session.execute("range of v is r")
+        return session, database
+
+    @given(rows, grades)
+    @settings(max_examples=60, deadline=None)
+    def test_join_with_mixed_conjuncts(self, raw, threshold):
+        session, database = self.build(raw)
+        result = session.query(
+            f"retrieve (a = u.name, b = v.name) "
+            f"where u.x >= {threshold} and u.y = v.y and v.x < 3")
+        snapshot = database.snapshot("r")
+        expected = set()
+        for left in snapshot:
+            for right in snapshot:
+                if (left["x"] >= threshold and left["y"] == right["y"]
+                        and right["x"] < 3):
+                    expected.add((left["name"], right["name"]))
+        assert {(row["a"], row["b"]) for row in result} == expected
+
+    @given(rows, grades)
+    @settings(max_examples=40, deadline=None)
+    def test_or_conjuncts_pushed_safely(self, raw, pivot):
+        session, database = self.build(raw)
+        result = session.query(
+            f"retrieve (u.name) where (u.x = {pivot} or u.y = {pivot})")
+        expected = {row["name"] for row in database.snapshot("r")
+                    if row["x"] == pivot or row["y"] == pivot}
+        assert set(result.column("name")) == expected
+
+    def test_null_semantics_preserved(self):
+        from repro.relational import Attribute, Relation
+        database = StaticDatabase(
+            clock=SimulatedClock(Instant.parse("01/01/80")))
+        schema = Schema([Attribute("name", Domain.STRING),
+                         Attribute("x", Domain.INTEGER, nullable=True)])
+        database.define("r", schema)
+        database.insert("r", {"name": "a", "x": None})
+        database.insert("r", {"name": "b", "x": 1})
+        session = Session(database)
+        session.execute("range of u is r")
+        # Comparisons with null are false — pushed or not.
+        result = session.query("retrieve (u.name) where u.x < 5")
+        assert result.column("name") == ["b"]

@@ -1,0 +1,107 @@
+"""Property-based tests: parse/unparse round-trips over generated TQuel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tquel import parse, unparse
+
+identifiers = st.sampled_from(["f", "f1", "f2", "g"])
+attributes = st.sampled_from(["name", "rank", "salary"])
+strings = st.text(alphabet="abcXYZ019 /", min_size=0, max_size=8)
+numbers = st.integers(min_value=0, max_value=9999)
+
+
+@st.composite
+def scalar_exprs(draw, depth=2):
+    """Concrete-syntax scalar expressions."""
+    if depth == 0 or draw(st.booleans()):
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0:
+            return f"{draw(identifiers)}.{draw(attributes)}"
+        if choice == 1:
+            value = draw(strings).replace("\\", "").replace('"', "")
+            return f'"{value}"'
+        return str(draw(numbers))
+    op = draw(st.sampled_from(["+", "-", "*", "/"]))
+    left = draw(scalar_exprs(depth=depth - 1))
+    right = draw(scalar_exprs(depth=depth - 1))
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def predicates(draw, depth=2):
+    comparator = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+    base = (f"{draw(scalar_exprs(depth=1))} {comparator} "
+            f"{draw(scalar_exprs(depth=1))}")
+    if depth == 0 or draw(st.booleans()):
+        return base
+    connective = draw(st.sampled_from(["and", "or"]))
+    other = draw(predicates(depth=depth - 1))
+    combined = f"({base} {connective} {other})"
+    if draw(st.booleans()):
+        return f"not {combined}"
+    return combined
+
+
+@st.composite
+def temporal_exprs(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0:
+            return draw(identifiers)
+        if choice == 1:
+            return '"12/10/82"'
+        return "now"
+    form = draw(st.integers(min_value=0, max_value=3))
+    inner = draw(temporal_exprs(depth=depth - 1))
+    other = draw(temporal_exprs(depth=depth - 1))
+    if form == 0:
+        return f"start of {inner}"
+    if form == 1:
+        return f"end of {inner}"
+    if form == 2:
+        return f"overlap({inner}, {other})"
+    return f"extend({inner}, {other})"
+
+
+@st.composite
+def when_clauses(draw):
+    op = draw(st.sampled_from(["overlap", "precede", "equal"]))
+    return (f"{draw(temporal_exprs(depth=1))} {op} "
+            f"{draw(temporal_exprs(depth=1))}")
+
+
+@st.composite
+def retrieves(draw):
+    target = f"x = {draw(scalar_exprs())}"
+    clauses = [f"retrieve ({target})"]
+    if draw(st.booleans()):
+        clauses.append(f"where {draw(predicates())}")
+    if draw(st.booleans()):
+        clauses.append(f"when {draw(when_clauses())}")
+    if draw(st.booleans()):
+        clauses.append(f"valid from {draw(temporal_exprs(depth=1))}")
+    if draw(st.booleans()):
+        clauses.append('as of "12/10/82"')
+    return " ".join(clauses)
+
+
+class TestRoundTrip:
+    @given(retrieves())
+    @settings(max_examples=150, deadline=None)
+    def test_parse_unparse_parse_fixpoint(self, source):
+        statement = parse(source)
+        assert parse(unparse(statement)) == statement
+
+    @given(retrieves())
+    @settings(max_examples=100, deadline=None)
+    def test_unparse_is_stable(self, source):
+        once = unparse(parse(source))
+        assert unparse(parse(once)) == once
+
+    @given(scalar_exprs())
+    @settings(max_examples=100, deadline=None)
+    def test_expressions_roundtrip_inside_targets(self, expr_source):
+        source = f"retrieve (x = {expr_source})"
+        statement = parse(source)
+        assert parse(unparse(statement)) == statement

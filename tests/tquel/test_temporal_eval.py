@@ -1,0 +1,121 @@
+"""Direct unit tests for temporal expression/predicate evaluation."""
+
+import pytest
+
+from repro.errors import TQuelSemanticError
+from repro.time import Instant, NEG_INF, POS_INF, Period
+from repro.tquel.ast import (TConst, TEndOf, TExtend, TNow, TOverlap,
+                             TPAnd, TPCompare, TPNot, TPOr, TStartOf, TVar)
+from repro.tquel.evaluator import (eval_bound, eval_period,
+                                   eval_temporal_predicate)
+
+NOW = Instant.parse("06/01/83")
+PERIODS = {
+    "f": Period("01/01/80", "01/01/82"),
+    "g": Period("06/01/81", "forever"),
+}
+
+
+class TestEvalPeriod:
+    def test_variable(self):
+        assert eval_period(TVar("f"), PERIODS, NOW) == PERIODS["f"]
+
+    def test_constant_is_single_chronon(self):
+        period = eval_period(TConst("12/15/82"), PERIODS, NOW)
+        assert period == Period.at("12/15/82")
+
+    def test_now(self):
+        assert eval_period(TNow(), PERIODS, NOW) == Period.at(NOW)
+
+    def test_start_of_and_end_of(self):
+        assert eval_period(TStartOf(TVar("f")), PERIODS, NOW) == \
+            Period.at("01/01/80")
+        end = eval_period(TEndOf(TVar("f")), PERIODS, NOW)
+        assert end == Period.at(Instant.parse("01/01/82") - 1)
+
+    def test_end_of_unbounded_raises(self):
+        with pytest.raises(TQuelSemanticError, match="unbounded"):
+            eval_period(TEndOf(TVar("g")), PERIODS, NOW)
+
+    def test_overlap_intersection(self):
+        period = eval_period(TOverlap(TVar("f"), TVar("g")), PERIODS, NOW)
+        assert period == Period("06/01/81", "01/01/82")
+
+    def test_overlap_empty_is_none(self):
+        disjoint = {"a": Period("01/01/80", "01/01/81"),
+                    "b": Period("06/01/82", "01/01/83")}
+        assert eval_period(TOverlap(TVar("a"), TVar("b")),
+                           disjoint, NOW) is None
+
+    def test_none_propagates(self):
+        disjoint = {"a": Period("01/01/80", "01/01/81"),
+                    "b": Period("06/01/82", "01/01/83")}
+        assert eval_period(TStartOf(TOverlap(TVar("a"), TVar("b"))),
+                           disjoint, NOW) is None
+
+    def test_extend_cover(self):
+        period = eval_period(TExtend(TVar("f"), TConst("06/01/83")),
+                             PERIODS, NOW)
+        assert period == Period("01/01/80", Instant.parse("06/01/83") + 1)
+
+    def test_forever_rejected_outside_bounds(self):
+        with pytest.raises(TQuelSemanticError, match="bound"):
+            eval_period(TConst("forever"), PERIODS, NOW)
+
+
+class TestEvalBound:
+    def test_plain_bound_is_start(self):
+        assert eval_bound(TConst("12/15/82"), PERIODS, NOW) == \
+            Instant.parse("12/15/82")
+        assert eval_bound(TVar("f"), PERIODS, NOW) == Instant.parse("01/01/80")
+
+    def test_end_of_resolves_to_exclusive_end(self):
+        assert eval_bound(TEndOf(TVar("f")), PERIODS, NOW) == \
+            Instant.parse("01/01/82")
+
+    def test_end_of_unbounded_is_forever(self):
+        assert eval_bound(TEndOf(TVar("g")), PERIODS, NOW) is POS_INF
+
+    def test_infinity_tokens(self):
+        assert eval_bound(TConst("forever"), PERIODS, NOW) is POS_INF
+        assert eval_bound(TConst("beginning"), PERIODS, NOW) is NEG_INF
+
+    def test_empty_overlap_is_none(self):
+        disjoint = {"a": Period("01/01/80", "01/01/81"),
+                    "b": Period("06/01/82", "01/01/83")}
+        assert eval_bound(TOverlap(TVar("a"), TVar("b")),
+                          disjoint, NOW) is None
+
+
+class TestEvalPredicate:
+    def check(self, predicate):
+        return eval_temporal_predicate(predicate, PERIODS, NOW)
+
+    def test_compare_operators(self):
+        assert self.check(TPCompare("overlap", TVar("f"), TVar("g")))
+        assert not self.check(TPCompare("precede", TVar("f"), TVar("g")))
+        assert self.check(TPCompare("equal", TVar("f"), TVar("f")))
+
+    def test_boolean_combinators(self):
+        overlap = TPCompare("overlap", TVar("f"), TVar("g"))
+        precede = TPCompare("precede", TVar("f"), TVar("g"))
+        assert self.check(TPAnd(overlap, TPNot(precede)))
+        assert self.check(TPOr(precede, overlap))
+        assert not self.check(TPAnd(overlap, precede))
+
+    def test_empty_operand_makes_compare_false(self):
+        disjoint = {"a": Period("01/01/80", "01/01/81"),
+                    "b": Period("06/01/82", "01/01/83")}
+        predicate = TPCompare("overlap", TOverlap(TVar("a"), TVar("b")),
+                              TVar("a"))
+        assert not eval_temporal_predicate(predicate, disjoint, NOW)
+
+    def test_extended_operators(self):
+        inner = {"big": Period("01/01/80", "01/01/85"),
+                 "small": Period("06/01/81", "06/01/82")}
+        assert eval_temporal_predicate(
+            TPCompare("during", TVar("small"), TVar("big")), inner, NOW)
+        assert not eval_temporal_predicate(
+            TPCompare("during", TVar("big"), TVar("small")), inner, NOW)
+        assert eval_temporal_predicate(
+            TPCompare("meets", TConst("12/31/79"), TVar("big")), inner, NOW)

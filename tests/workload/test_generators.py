@@ -1,0 +1,125 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.core import (HistoricalDatabase, RollbackDatabase, StaticDatabase,
+                        TemporalDatabase)
+from repro.time import SimulatedClock
+from repro.workload import (FacultyWorkload, PayrollWorkload, VersionWorkload,
+                            apply_workload)
+from repro.workload.generators import EPOCH
+
+
+def fresh_db(db_class):
+    return db_class(clock=SimulatedClock("01/01/79"))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workload_class", [
+        FacultyWorkload, PayrollWorkload, VersionWorkload])
+    def test_same_seed_same_steps(self, workload_class):
+        assert workload_class(seed=7).steps() == workload_class(seed=7).steps()
+
+    @pytest.mark.parametrize("workload_class", [
+        FacultyWorkload, PayrollWorkload, VersionWorkload])
+    def test_different_seed_different_steps(self, workload_class):
+        assert workload_class(seed=7).steps() != workload_class(seed=8).steps()
+
+
+class TestStepShape:
+    def test_commits_sorted(self):
+        steps = FacultyWorkload(people=10).steps()
+        commits = [step.commit for step in steps]
+        assert commits == sorted(commits)
+
+    def test_faculty_has_retroactive_and_postactive(self):
+        steps = FacultyWorkload(people=30, retroactive_ratio=0.5).steps()
+        retro = sum(1 for s in steps
+                    if s.valid_from is not None and s.commit > s.valid_from)
+        post = sum(1 for s in steps
+                   if s.valid_from is not None and s.commit < s.valid_from)
+        assert retro > 0 and post > 0
+
+    def test_payroll_batches_share_commit(self):
+        steps = PayrollWorkload(employees=10, months=3).steps()
+        month_one = [s for s in steps if s.batch == 1]
+        assert len(month_one) > 1
+        assert len({s.commit for s in month_one}) == 1
+
+    def test_payroll_effective_dates_retroactive(self):
+        steps = PayrollWorkload(employees=10, months=3).steps()
+        changes = [s for s in steps if s.action == "replace"]
+        assert all(s.valid_from < s.commit for s in changes)
+
+    def test_version_revisions_increase(self):
+        steps = VersionWorkload(parts=5, revisions=3).steps()
+        part_steps = [s for s in steps
+                      if (s.values or s.updates or {}).get("part")
+                      or (s.match or {}).get("part") == "part0000"]
+        assert part_steps  # generator produced work for part0000
+
+    def test_commits_not_before_epoch(self):
+        for workload in (FacultyWorkload(people=10), PayrollWorkload(),
+                         VersionWorkload()):
+            assert all(s.commit >= EPOCH for s in workload.steps())
+
+
+class TestApply:
+    @pytest.mark.parametrize("db_class", [
+        StaticDatabase, RollbackDatabase, HistoricalDatabase,
+        TemporalDatabase])
+    def test_applies_to_every_kind(self, db_class):
+        database = fresh_db(db_class)
+        transactions = apply_workload(database,
+                                      FacultyWorkload(people=6, seed=2))
+        assert transactions > 0
+        assert len(database.log) == transactions + 1  # + the define
+
+    def test_all_kinds_agree_on_final_snapshot(self):
+        # Valid times in the faculty workload may lead/trail transaction
+        # times, so snapshots can differ transiently — but the *payroll*
+        # workload only changes values (never presence), and all kinds
+        # agree on who exists now.
+        workload = PayrollWorkload(employees=8, months=4, seed=3)
+        names = {}
+        for db_class in (StaticDatabase, RollbackDatabase,
+                         HistoricalDatabase, TemporalDatabase):
+            database = fresh_db(db_class)
+            apply_workload(database, workload)
+            database.manager.clock.source.set("01/01/90")
+            names[db_class.__name__] = frozenset(
+                row["employee"] for row in database.snapshot("payroll"))
+        assert len(set(names.values())) == 1
+
+    def test_requires_simulated_clock(self):
+        from repro.time import SystemClock
+        database = StaticDatabase(clock=SystemClock())
+        with pytest.raises(TypeError, match="SimulatedClock"):
+            apply_workload(database, FacultyWorkload(people=1))
+
+    def test_precomputed_steps_accepted(self):
+        workload = FacultyWorkload(people=3, seed=9)
+        steps = workload.steps()
+        database = fresh_db(TemporalDatabase)
+        apply_workload(database, workload, steps=steps)
+        assert len(database.temporal("faculty")) > 0
+
+    def test_temporal_accumulates_more_rows_than_historical(self):
+        # Corrections append in a temporal DB but overwrite in a historical
+        # one, so the temporal store is at least as large.
+        workload = FacultyWorkload(people=10, correction_ratio=0.5, seed=11)
+        temporal_db = fresh_db(TemporalDatabase)
+        historical_db = fresh_db(HistoricalDatabase)
+        apply_workload(temporal_db, workload)
+        apply_workload(historical_db, workload)
+        assert (len(temporal_db.temporal("faculty"))
+                >= len(historical_db.history("faculty")))
+
+    def test_temporal_current_equals_historical_state(self):
+        workload = FacultyWorkload(people=8, seed=21)
+        temporal_db = fresh_db(TemporalDatabase)
+        historical_db = fresh_db(HistoricalDatabase)
+        apply_workload(temporal_db, workload)
+        apply_workload(historical_db, workload)
+        assert temporal_db.history("faculty") == \
+            historical_db.history("faculty")
