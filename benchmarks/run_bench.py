@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Run the temporal performance suite and write ``BENCH_temporal.json``.
+
+Two kinds of measurement:
+
+1. **Ingest scaling** (measured here directly): drive a fixed current
+   state of ``KEYS`` facts through *n* single-operation commits for
+   n ∈ {10^2, 10^3, 10^4}.  History grows by one closed row per commit
+   while the open partition stays constant, so the incremental commit
+   path must keep per-commit latency flat — the acceptance bar is a
+   ratio ≤ 2x between the smallest and largest n.  A second series
+   interleaves an indexed ``rollback`` probe after every commit to
+   exercise live index maintenance (O(Δ log n) patching, not rebuilds).
+2. **The pytest benches** (``bench_temporal_workload.py``,
+   ``bench_indexing.py``, ``bench_rollback_cost.py``) run as
+   subprocesses; their pass/fail and wall time land in the report.
+
+Run:  python benchmarks/run_bench.py [--sizes 100,1000,10000]
+                                     [--out BENCH_temporal.json]
+                                     [--skip-suites]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core import TemporalDatabase  # noqa: E402
+from repro.relational import Domain, Schema  # noqa: E402
+from repro.time import Instant, SimulatedClock  # noqa: E402
+
+KEYS = 50
+SUITES = ["bench_temporal_workload.py", "bench_indexing.py",
+          "bench_rollback_cost.py"]
+BASE = Instant.parse("01/01/80")
+
+
+def _ingest(commits, query_every=0):
+    """Time *commits* replace-commits against a KEYS-fact current state."""
+    clock = SimulatedClock(BASE)
+    database = TemporalDatabase(clock=clock)
+    database.define("facts", Schema.of(k=Domain.STRING, v=Domain.INTEGER))
+    for i in range(KEYS):
+        database.insert("facts", {"k": "k%d" % i, "v": 0},
+                        valid_from=BASE)
+    start = time.perf_counter()
+    for step in range(commits):
+        clock.set(BASE + 10 + step)
+        database.replace("facts", {"k": "k%d" % (step % KEYS)},
+                         {"v": step + 1})
+        if query_every and step % query_every == 0:
+            database.rollback("facts", clock.current())
+    elapsed = time.perf_counter() - start
+    history = len(database.temporal("facts"))
+    cache = database.index_cache
+    return {
+        "commits": commits,
+        "history_rows": history,
+        "open_rows": KEYS,
+        "total_s": round(elapsed, 6),
+        "per_commit_us": round(elapsed / commits * 1e6, 3),
+        "ops_per_sec": round(commits / elapsed, 1),
+        "index_incremental_updates":
+            cache.incremental_updates if query_every else 0,
+        "index_rebuilds": cache.misses if query_every else 0,
+    }
+
+
+def _run_suites():
+    results = {}
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    for suite in SUITES:
+        start = time.perf_counter()
+        # The benches assert timing shapes (speedup grows with size etc.),
+        # so one retry absorbs scheduler noise on a loaded machine.
+        for attempt in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-m", "pytest",
+                 os.path.join("benchmarks", suite), "-q",
+                 "--benchmark-disable"],
+                cwd=REPO_ROOT, env=env,
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+            if proc.returncode == 0:
+                break
+        results[suite] = {
+            "passed": proc.returncode == 0,
+            "seconds": round(time.perf_counter() - start, 2),
+        }
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout.decode(errors="replace"))
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", default="100,1000,10000",
+                        help="comma-separated commit counts for the sweep")
+    parser.add_argument("--out",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_temporal.json"))
+    parser.add_argument("--skip-suites", action="store_true",
+                        help="skip the pytest benches (ingest sweep only)")
+    args = parser.parse_args(argv)
+    try:
+        sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    except ValueError:
+        parser.error("--sizes must be comma-separated integers, "
+                     "got %r" % args.sizes)
+    if not sizes:
+        parser.error("--sizes must name at least one commit count")
+
+    report = {
+        "generated_by": "benchmarks/run_bench.py",
+        "python": sys.version.split()[0],
+        "keys": KEYS,
+        "sizes": sizes,
+        "ingest": {},
+        "ingest_with_index_queries": {},
+    }
+    for n in sizes:
+        report["ingest"][str(n)] = _ingest(n)
+        report["ingest_with_index_queries"][str(n)] = _ingest(n, query_every=1)
+        print("ingest n=%d: %.1f us/commit (%.0f ops/s); "
+              "with index queries: %.1f us/commit" % (
+                  n, report["ingest"][str(n)]["per_commit_us"],
+                  report["ingest"][str(n)]["ops_per_sec"],
+                  report["ingest_with_index_queries"][str(n)]
+                  ["per_commit_us"]))
+
+    smallest, largest = str(min(sizes)), str(max(sizes))
+    ratio = (report["ingest"][largest]["per_commit_us"]
+             / report["ingest"][smallest]["per_commit_us"])
+    report["flatness_ratio"] = round(ratio, 3)
+    report["flat_within_2x"] = ratio <= 2.0
+    print("per-commit latency ratio (n=%s vs n=%s): %.2fx"
+          % (largest, smallest, ratio))
+
+    if not args.skip_suites:
+        report["suites"] = _run_suites()
+        for suite, outcome in report["suites"].items():
+            print("%s: %s (%.1fs)" % (
+                suite, "ok" if outcome["passed"] else "FAILED",
+                outcome["seconds"]))
+
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.out)
+
+    failed_suites = [s for s, o in report.get("suites", {}).items()
+                     if not o["passed"]]
+    if failed_suites:
+        return 1
+    if len(sizes) > 1 and not report["flat_within_2x"]:
+        print("FAIL: per-commit ingest latency is not flat within 2x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

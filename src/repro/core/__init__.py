@@ -32,13 +32,14 @@ from repro.core.base import Database
 from repro.core.static import StaticDatabase
 from repro.core.rollback import (
     INTERVAL, STATES, RollbackDatabase, RollbackRelation, StateSequence,
-    TransactionTimeRow,
+    TransactionTimeRow, naive_rollback_advance,
 )
 from repro.core.historical import (
     HistoricalDatabase, HistoricalRelation, HistoricalRow,
     apply_historical_operation,
 )
-from repro.core.temporal import BitemporalRow, TemporalDatabase, TemporalRelation
+from repro.core.temporal import (BitemporalRow, TemporalDatabase,
+                                 TemporalRelation, naive_advance)
 from repro.core.operations import (
     changed_instants, diff_states, history_series, rollback_equivalent,
     snapshot_equivalent, temporal_timeslice_matrix, when_join,
@@ -92,6 +93,8 @@ __all__ = [
     "diff_states",
     "history_series",
     "migrate",
+    "naive_advance",
+    "naive_rollback_advance",
     "render_figure_1",
     "render_figure_10",
     "render_figure_11",

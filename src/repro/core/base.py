@@ -54,11 +54,18 @@ class Database(abc.ABC):
     #: The kind of database, per the taxonomy (set by each subclass).
     kind: DatabaseKind
 
-    def __init__(self, clock: Optional[Clock] = None) -> None:
+    def __init__(self, clock: Optional[Clock] = None,
+                 index: bool = True) -> None:
         self._schemas: Dict[str, Schema] = {}
         self._constraints: Dict[str, List[Constraint]] = {}
         self._event_relations: set = set()
         self._manager = TransactionManager(self._apply, clock)
+        # Per-relation version counters: bumped once per committed batch
+        # that touches the relation (DML, define, drop).  Monotone across
+        # drop/redefine, so a version never aliases an older value.
+        self._versions: Dict[str, int] = {}
+        self._index_enabled = bool(index)
+        self._index_cache: Optional[Any] = None
 
     # -- capabilities ----------------------------------------------------------
 
@@ -103,6 +110,31 @@ class Database(abc.ABC):
     def now(self) -> Instant:
         """The database clock's current reading."""
         return self._manager.now()
+
+    def relation_version(self, name: str) -> int:
+        """How many committed batches have touched *name* (0 if none).
+
+        The counter keys the index cache: an index built for
+        ``(name, version)`` stays valid until another commit touches that
+        very relation — commits elsewhere no longer invalidate it.
+        """
+        return self._versions.get(name, 0)
+
+    @property
+    def index_cache(self):
+        """The live :class:`~repro.core.indexing.DatabaseIndexCache`.
+
+        ``None`` when the database was created with ``index=False``; the
+        cache is built lazily on first use otherwise.  The default query
+        paths (``snapshot``/``timeslice``/``rollback`` and the TQuel
+        evaluator) go through it when present.
+        """
+        if not self._index_enabled:
+            return None
+        if self._index_cache is None:
+            from repro.core.indexing import DatabaseIndexCache  # avoid cycle
+            self._index_cache = DatabaseIndexCache(self)
+        return self._index_cache
 
     def relation_names(self) -> List[str]:
         """All defined relation names, sorted."""
@@ -240,6 +272,8 @@ class Database(abc.ABC):
         except Exception:
             self._schemas, self._constraints, self._event_relations = snapshot
             raise
+        for name in {op.relation for op in operations}:
+            self._versions[name] = self._versions.get(name, 0) + 1
 
     # -- kind-specific hooks ------------------------------------------------------------------------
 

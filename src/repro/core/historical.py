@@ -69,7 +69,7 @@ class HistoricalRelation:
     relation").
     """
 
-    __slots__ = ("_schema", "_rows")
+    __slots__ = ("_schema", "_rows", "_coalesced")
 
     def __init__(self, schema: Schema,
                  rows: Iterable[HistoricalRow] = ()) -> None:
@@ -78,6 +78,7 @@ class HistoricalRelation:
         for row in rows:
             deduped.setdefault(row, None)
         self._rows: PyTuple[HistoricalRow, ...] = tuple(deduped)
+        self._coalesced: Optional["HistoricalRelation"] = None
 
     # -- accessors ------------------------------------------------------------
 
@@ -195,8 +196,11 @@ class HistoricalRelation:
 
         The canonical form: per distinct fact, validity becomes a minimal
         set of disjoint, non-adjacent periods.  Coalescing never changes
-        any timeslice (property-tested).
+        any timeslice (property-tested).  Memoized — the value is
+        immutable and equality/hashing lean on the canonical form.
         """
+        if self._coalesced is not None:
+            return self._coalesced
         by_fact: Dict[Tuple, List[Period]] = {}
         order: List[Tuple] = []
         for row in self._rows:
@@ -208,7 +212,10 @@ class HistoricalRelation:
             element = TemporalElement(by_fact[fact])
             for period in element.periods:
                 merged.append(HistoricalRow(fact, period))
-        return HistoricalRelation(self._schema, merged)
+        canonical = HistoricalRelation(self._schema, merged)
+        canonical._coalesced = canonical  # its own canonical form
+        self._coalesced = canonical
+        return canonical
 
     def validity_of(self, predicate: Predicate) -> TemporalElement:
         """The total valid time during which any matching fact holds."""
@@ -384,8 +391,8 @@ class HistoricalDatabase(Database):
 
     kind = DatabaseKind.HISTORICAL
 
-    def __init__(self, clock=None) -> None:
-        super().__init__(clock)
+    def __init__(self, clock=None, index: bool = True) -> None:
+        super().__init__(clock, index=index)
         self._store: _Store = {}
 
     # -- DML API -------------------------------------------------------------------------
@@ -473,6 +480,10 @@ class HistoricalDatabase(Database):
     def timeslice(self, name: str, valid_at: InstantLike) -> Relation:
         """The facts valid at an instant, as a static relation."""
         self.require_historical("timeslice")
+        cache = self.index_cache
+        if cache is not None:
+            self._require_defined(name)
+            return cache.historical(name).timeslice(valid_at)
         return self.history(name).timeslice(valid_at)
 
     # -- applier hooks ----------------------------------------------------------------------
@@ -485,7 +496,10 @@ class HistoricalDatabase(Database):
         # manager's last reading is this transaction's commit instant.
         now = self._manager.clock.last
         for name, relation in staged.items():
-            if name in self._schemas:
+            # Only relations this batch replaced are re-checked: an
+            # untouched store is the same immutable value that already
+            # passed, and no declared constraint tightens as now advances.
+            if name in self._schemas and relation is not self._store.get(name):
                 # The schema key is enforced as a sequenced key inside
                 # check_historical_constraints (via relation.schema.key).
                 check_historical_constraints(relation,

@@ -7,7 +7,9 @@ module provides:
 
 - :class:`IntervalTree` — a classic centered interval tree over periods
   (including unbounded ones), answering "which intervals contain this
-  instant" in ``O(log n + k)``;
+  instant" in ``O(log n + k)``, with a small *delta overlay* so
+  insertions and removals cost O(1)/O(Δ) amortized between
+  threshold-triggered rebuilds;
 - :class:`HistoricalIndex` — a timeslice accelerator for one
   :class:`~repro.core.historical.HistoricalRelation`;
 - :class:`RollbackIndex` — a rollback accelerator for one
@@ -16,11 +18,13 @@ module provides:
   :class:`~repro.core.temporal.TemporalRelation`: a transaction-time tree
   into per-state valid-time slices.
 
-Indexes are built over the *immutable* relation values, so they can never
-go stale: the database kinds hand out fresh values per commit, and the
-caller re-indexes when it picks up a new value (see
-:class:`DatabaseIndexCache`, which automates exactly that using the
-commit log position).
+Indexes are built over the *immutable* relation values, so a wrapper can
+never silently go stale: the database kinds hand out fresh values per
+commit, and :class:`DatabaseIndexCache` hands out a fresh wrapper per
+relation *version*.  When successive versions share a storage lineage
+(the incremental commit path), the cache patches the previous version's
+tree with the row delta (``update``) instead of rebuilding from scratch —
+a commit costs O(Δ log n) index upkeep.
 
 The benchmark ``bench_indexing.py`` measures the win; the property suite
 checks index answers against the naive scans they replace.
@@ -32,10 +36,11 @@ import math
 from typing import (Any, Dict, Generic, Iterable, List, Optional, Sequence,
                     Tuple as PyTuple, TypeVar)
 
-from repro.core.historical import HistoricalRelation
-from repro.core.rollback import RollbackRelation
-from repro.core.temporal import TemporalRelation
+from repro.core.historical import HistoricalRelation, HistoricalRow
+from repro.core.rollback import RollbackRelation, TransactionTimeRow
+from repro.core.temporal import BitemporalRow, TemporalRelation
 from repro.relational.relation import Relation
+from repro.time.chronon import require_same_granularity
 from repro.time.instant import Instant, instant as _coerce
 from repro.time.period import Period
 
@@ -72,21 +77,71 @@ class _Node(Generic[Payload]):
 class IntervalTree(Generic[Payload]):
     """A centered interval tree over half-open periods.
 
-    Built once from ``(period, payload)`` pairs; :meth:`stab` returns the
+    Built from ``(period, payload)`` pairs; :meth:`stab` returns the
     payloads of every period containing a given instant.  Handles
     unbounded periods (``-∞`` / ``∞`` endpoints) transparently.
+
+    Mutation happens through a delta overlay: :meth:`insert` appends to a
+    small side list, :meth:`discard` tombstones a tree entry; queries
+    consult both.  Once the overlay exceeds a fraction of the tree
+    (:attr:`REBUILD_FRACTION`, floor :attr:`REBUILD_MIN`), the live
+    intervals are folded into a fresh balanced tree — so a long edit
+    stream costs O(Δ log n) amortized, never O(n log n) per edit.
     """
 
+    #: Rebuild when pending edits exceed base_size / REBUILD_FRACTION ...
+    REBUILD_FRACTION = 8
+    #: ... but never before this many edits accumulate.
+    REBUILD_MIN = 32
+
     def __init__(self, items: Iterable[PyTuple[Period, Payload]]) -> None:
-        triples = [(_lo(period), _hi(period), payload)
-                   for period, payload in items]
+        # The probe-time granularity the naive scans would have enforced
+        # through Instant comparison; remembered from the first finite
+        # endpoint and checked on every query.
+        self._granularity = None
+        triples = []
+        for period, payload in items:
+            self._note_granularity(period)
+            triples.append((_lo(period), _hi(period), payload))
+        self._reset(triples)
+
+    def _note_granularity(self, period: Period) -> None:
+        if self._granularity is None:
+            if period.start.is_finite:
+                self._granularity = period.start.granularity
+            elif period.end.is_finite:
+                self._granularity = period.end.granularity
+
+    def _check_instant(self, when: Instant) -> None:
+        if when.is_finite and self._granularity is not None:
+            require_same_granularity(when.granularity, self._granularity,
+                                     "stab a temporal index")
+
+    def _check_period(self, period: Period) -> None:
+        self._check_instant(period.start)
+        self._check_instant(period.end)
+
+    def _reset(self, triples: List[PyTuple[float, float, Payload]]) -> None:
+        self._base = triples
+        counts: Dict[PyTuple[float, float, Payload], int] = {}
+        for triple in triples:
+            counts[triple] = counts.get(triple, 0) + 1
+        self._base_counts = counts
+        self._extra: List[PyTuple[float, float, Payload]] = []
+        self._dead: Dict[PyTuple[float, float, Payload], int] = {}
+        self._pending = 0
         self._size = len(triples)
         self._root = self._build(triples)
 
     @property
     def size(self) -> int:
-        """The number of indexed intervals."""
+        """The number of live indexed intervals."""
         return self._size
+
+    @property
+    def pending_edits(self) -> int:
+        """Overlay edits (inserts + tombstones) since the last rebuild."""
+        return self._pending
 
     def _build(self, triples: List[PyTuple[float, float, Payload]]
                ) -> Optional[_Node[Payload]]:
@@ -126,34 +181,104 @@ class IntervalTree(Generic[Payload]):
         node.right = self._build(right_items)
         return node
 
+    # -- incremental maintenance -----------------------------------------------
+
+    def insert(self, period: Period, payload: Payload) -> None:
+        """Add one interval through the overlay (O(1) amortized)."""
+        self._note_granularity(period)
+        self._extra.append((_lo(period), _hi(period), payload))
+        self._size += 1
+        self._pending += 1
+        self._maybe_rebuild()
+
+    def discard(self, period: Period, payload: Payload) -> bool:
+        """Remove one interval; False if it is not in the index.
+
+        A tree-resident interval is tombstoned (queries filter it out);
+        an overlay interval is removed outright.  Duplicate identical
+        intervals are respected: one call removes one copy.
+        """
+        triple = (_lo(period), _hi(period), payload)
+        live_in_base = (self._base_counts.get(triple, 0)
+                        - self._dead.get(triple, 0))
+        if live_in_base > 0:
+            self._dead[triple] = self._dead.get(triple, 0) + 1
+            self._size -= 1
+            self._pending += 1
+            self._maybe_rebuild()
+            return True
+        try:
+            self._extra.remove(triple)
+        except ValueError:
+            return False
+        self._size -= 1
+        return True
+
+    def _maybe_rebuild(self) -> None:
+        threshold = max(self.REBUILD_MIN,
+                        len(self._base) // self.REBUILD_FRACTION)
+        if self._pending <= threshold:
+            return
+        live: List[PyTuple[float, float, Payload]] = []
+        remaining = dict(self._dead)
+        for triple in self._base:
+            count = remaining.get(triple, 0)
+            if count:
+                remaining[triple] = count - 1
+                continue
+            live.append(triple)
+        live.extend(self._extra)
+        self._reset(live)
+
+    # -- queries --------------------------------------------------------------
+
     def stab(self, when) -> List[Payload]:
         """Payloads of every interval containing *when* (an instant)."""
         point_instant = _coerce(when)
+        self._check_instant(point_instant)
         if point_instant.is_finite:
             point: float = point_instant.chronon
         elif point_instant.is_pos_inf:
             point = _POS
         else:
             point = _NEG
+        # Tombstones are filtered against a local working copy so each
+        # dead duplicate suppresses exactly one matching tree entry.
+        dead = dict(self._dead) if self._dead else None
         found: List[Payload] = []
         node = self._root
         while node is not None:
             if point < node.center:
                 # Only intervals starting at or before the point can match.
-                for lo, hi, payload in node.by_start:
+                for triple in node.by_start:
+                    lo, hi, payload = triple
                     if lo > point:
                         break
                     if point < hi:
+                        if dead is not None:
+                            count = dead.get(triple, 0)
+                            if count:
+                                dead[triple] = count - 1
+                                continue
                         found.append(payload)
                 node = node.left
             else:
                 # point >= center: every stored interval starts <= center
                 # <= point, so filter on the (descending) exclusive ends.
-                for lo, hi, payload in node.by_end:
+                for triple in node.by_end:
+                    lo, hi, payload = triple
                     if hi <= point:
                         break
+                    if dead is not None:
+                        count = dead.get(triple, 0)
+                        if count:
+                            dead[triple] = count - 1
+                            continue
                     found.append(payload)
                 node = node.right
+        for lo, hi, payload in self._extra:
+            if lo <= point < hi:
+                found.append(payload)
         return found
 
     def overlapping(self, period: Period) -> List[Payload]:
@@ -164,7 +289,9 @@ class IntervalTree(Generic[Payload]):
         ends after ``lo``.  Backs transaction-time range queries
         (``as of ... through``) at index speed.
         """
+        self._check_period(period)
         lo, hi = _lo(period), _hi(period)
+        dead = dict(self._dead) if self._dead else None
         found: List[Payload] = []
         stack = [self._root]
         while stack:
@@ -174,32 +301,79 @@ class IntervalTree(Generic[Payload]):
             if hi <= node.center:
                 # Query lies left of the center: stored intervals need
                 # start < hi to overlap.
-                for start, end, payload in node.by_start:
+                for triple in node.by_start:
+                    start, end, payload = triple
                     if start >= hi:
                         break
                     if end > lo:
+                        if dead is not None:
+                            count = dead.get(triple, 0)
+                            if count:
+                                dead[triple] = count - 1
+                                continue
                         found.append(payload)
                 stack.append(node.left)
             elif lo > node.center:
                 # Query lies right: stored intervals need end > lo.
-                for start, end, payload in node.by_end:
+                for triple in node.by_end:
+                    start, end, payload = triple
                     if end <= lo:
                         break
                     if start < hi:
+                        if dead is not None:
+                            count = dead.get(triple, 0)
+                            if count:
+                                dead[triple] = count - 1
+                                continue
                         found.append(payload)
                 stack.append(node.right)
             else:
                 # The query straddles the center: every stored interval
                 # contains the center, hence overlaps; recurse both ways.
-                for start, end, payload in node.by_start:
+                for triple in node.by_start:
+                    start, end, payload = triple
                     if start < hi and end > lo:
+                        if dead is not None:
+                            count = dead.get(triple, 0)
+                            if count:
+                                dead[triple] = count - 1
+                                continue
                         found.append(payload)
                 stack.append(node.left)
                 stack.append(node.right)
+        for start, end, payload in self._extra:
+            if start < hi and end > lo:
+                found.append(payload)
         return found
 
     def __len__(self) -> int:
         return self._size
+
+
+def _partition_delta(old, new):
+    """``(removed, added)`` rows between two versions of one partitioned
+    store (:class:`TemporalRelation` or :class:`RollbackRelation`).
+
+    Computed structurally — the closed-log suffix plus a value diff of the
+    open maps, O(current state + Δ) with no look at the closed past.
+    Returns ``None`` when the versions are unrelated (different storage
+    lineage, e.g. after a drop/redefine or a deserialized overwrite) or
+    non-canonical (duplicate open rows in a derived value), in which case
+    the caller rebuilds from scratch.
+    """
+    if (old._lineage is not new._lineage or old._open_extra
+            or new._open_extra or new._closed_len < old._closed_len):
+        return None
+    added = list(new._closed_log[old._closed_len:new._closed_len])
+    removed = []
+    old_open, new_open = old._open, new._open
+    for key, row in old_open.items():
+        if new_open.get(key) != row:
+            removed.append(row)
+    for key, row in new_open.items():
+        if old_open.get(key) != row:
+            added.append(row)
+    return removed, added
 
 
 class HistoricalIndex:
@@ -219,6 +393,28 @@ class HistoricalIndex:
         """Same result as ``relation.timeslice``, via the interval tree."""
         return Relation(self._relation.schema, self._tree.stab(valid_at))
 
+    def update(self, new_relation: HistoricalRelation
+               ) -> Optional["HistoricalIndex"]:
+        """A fresh index over *new_relation*, patching this index's tree.
+
+        The tree is edited with the row diff (O(Δ log n) amortized) and
+        handed to a new wrapper; the stale wrapper must not be queried
+        afterwards.  Returns ``None`` when a diff row is missing from the
+        tree (unrelated values) — the caller then rebuilds.
+        """
+        old_rows = set(self._relation.rows)
+        new_rows = set(new_relation.rows)
+        tree = self._tree
+        for row in old_rows - new_rows:
+            if not tree.discard(row.valid, row.data):
+                return None
+        for row in new_rows - old_rows:
+            tree.insert(row.valid, row.data)
+        fresh = HistoricalIndex.__new__(HistoricalIndex)
+        fresh._relation = new_relation
+        fresh._tree = tree
+        return fresh
+
 
 class RollbackIndex:
     """Rollback acceleration for one interval-stamped rollback store."""
@@ -236,6 +432,33 @@ class RollbackIndex:
     def rollback(self, as_of) -> Relation:
         """Same result as ``relation.rollback``, via the interval tree."""
         return Relation(self._relation.schema, self._tree.stab(as_of))
+
+    def visible_during(self, period: Period) -> Relation:
+        """Same result as ``relation.visible_during``, via the tree."""
+        return Relation(self._relation.schema, self._tree.overlapping(period))
+
+    def update(self, new_relation: RollbackRelation
+               ) -> Optional["RollbackIndex"]:
+        """A fresh index over *new_relation*, patching this index's tree.
+
+        Uses the structural partition delta — O(Δ log n) amortized per
+        commit, independent of history size.  ``None`` when the two
+        values do not share a storage lineage.
+        """
+        delta = _partition_delta(self._relation, new_relation)
+        if delta is None:
+            return None
+        removed, added = delta
+        tree = self._tree
+        for row in removed:
+            if not tree.discard(row.tt, row.data):
+                return None
+        for row in added:
+            tree.insert(row.tt, row.data)
+        fresh = RollbackIndex.__new__(RollbackIndex)
+        fresh._relation = new_relation
+        fresh._tree = tree
+        return fresh
 
 
 class BitemporalIndex:
@@ -259,9 +482,16 @@ class BitemporalIndex:
         """The indexed (immutable) relation value."""
         return self._relation
 
+    def visible(self, as_of) -> List[BitemporalRow]:
+        """The bitemporal rows whose transaction time contains *as_of*."""
+        return self._tt_tree.stab(as_of)
+
+    def visible_during(self, period: Period) -> List[BitemporalRow]:
+        """The bitemporal rows whose transaction time overlaps *period*."""
+        return self._tt_tree.overlapping(period)
+
     def rollback(self, as_of) -> HistoricalRelation:
         """Same result as ``relation.rollback``, via the tt tree."""
-        from repro.core.historical import HistoricalRow
         rows = [HistoricalRow(row.data, row.valid)
                 for row in self._tt_tree.stab(as_of)]
         return HistoricalRelation(self._relation.schema, rows)
@@ -275,43 +505,92 @@ class BitemporalIndex:
             self._state_indexes[when] = index
         return index.timeslice(valid_at)
 
+    def update(self, new_relation: TemporalRelation
+               ) -> Optional["BitemporalIndex"]:
+        """A fresh index over *new_relation*, patching this index's tree.
+
+        Uses the structural partition delta — O(Δ log n) amortized per
+        commit, independent of how many rows the relation has accumulated.
+        ``None`` when the two values do not share a storage lineage (the
+        caller rebuilds from scratch).
+        """
+        delta = _partition_delta(self._relation, new_relation)
+        if delta is None:
+            return None
+        removed, added = delta
+        tree = self._tt_tree
+        for row in removed:
+            if not tree.discard(row.tt, row):
+                return None
+        for row in added:
+            tree.insert(row.tt, row)
+        fresh = BitemporalIndex.__new__(BitemporalIndex)
+        fresh._relation = new_relation
+        fresh._tt_tree = tree
+        # Per-as-of valid-time slices are rebuilt lazily on demand; the
+        # memo keys (instants) would survive, but dropping them keeps the
+        # wrapper's lifetime bounded by what is actually queried.
+        fresh._state_indexes = {}
+        return fresh
+
 
 class DatabaseIndexCache:
     """Fresh-by-construction index cache for a live database.
 
-    Indexes are keyed by ``(relation name, commit-log length)``: any commit
-    advances the log, so a stale index can never be served.  Works with
-    rollback, historical and temporal databases.
+    One slot per ``(relation name, index flavor)``, stamped with the
+    relation's *version* (:meth:`~repro.core.base.Database.
+    relation_version`): a commit that touches relation A no longer
+    invalidates relation B's index, and DDL on other relations is
+    invisible too.  On a version miss the previous index is *patched*
+    with the commit delta when the storage lineage allows (O(Δ log n));
+    only unrelated values force a full rebuild.
+
+    The counters (:attr:`hits`, :attr:`misses`,
+    :attr:`incremental_updates`) exist for tests and benchmarks.
     """
 
     def __init__(self, database) -> None:
         self._db = database
-        self._cache: Dict[PyTuple[str, int], Any] = {}
+        self._slots: Dict[PyTuple[str, str], PyTuple[int, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.incremental_updates = 0
 
-    def _get(self, name: str, builder):
-        key = (name, len(self._db.log))
-        index = self._cache.get(key)
-        if index is None:
-            index = builder()
-            # Drop entries from older log positions for this relation.
-            stale = [k for k in self._cache
-                     if k[0] == name and k[1] != key[1]]
-            for k in stale:
-                del self._cache[k]
-            self._cache[key] = index
+    def _get(self, name: str, flavor: str, builder, updater):
+        version = self._db.relation_version(name)
+        slot = self._slots.get((name, flavor))
+        if slot is not None:
+            cached_version, index = slot
+            if cached_version == version:
+                self.hits += 1
+                return index
+            fresh = updater(index)
+            if fresh is not None:
+                self.incremental_updates += 1
+                self._slots[(name, flavor)] = (version, fresh)
+                return fresh
+        self.misses += 1
+        index = builder()
+        self._slots[(name, flavor)] = (version, index)
         return index
 
     def historical(self, name: str) -> HistoricalIndex:
         """A current HistoricalIndex over ``database.history(name)``."""
-        return self._get(name,
-                         lambda: HistoricalIndex(self._db.history(name)))
+        return self._get(
+            name, "historical",
+            lambda: HistoricalIndex(self._db.history(name)),
+            lambda stale: stale.update(self._db.history(name)))
 
     def rollback(self, name: str) -> RollbackIndex:
         """A current RollbackIndex over the interval store of *name*."""
-        return self._get(name,
-                         lambda: RollbackIndex(self._db.store(name)))
+        return self._get(
+            name, "rollback",
+            lambda: RollbackIndex(self._db.store(name)),
+            lambda stale: stale.update(self._db.store(name)))
 
     def bitemporal(self, name: str) -> BitemporalIndex:
         """A current BitemporalIndex over ``database.temporal(name)``."""
-        return self._get(name,
-                         lambda: BitemporalIndex(self._db.temporal(name)))
+        return self._get(
+            name, "bitemporal",
+            lambda: BitemporalIndex(self._db.temporal(name)),
+            lambda stale: stale.update(self._db.temporal(name)))

@@ -29,6 +29,7 @@ recent state only, and errors in past states "can sometimes be overridden
 from __future__ import annotations
 
 import bisect
+import itertools
 from typing import (Any, Dict, Iterable, List, Mapping, NamedTuple, Optional,
                     Sequence, Tuple as PyTuple)
 
@@ -60,14 +61,57 @@ class TransactionTimeRow(NamedTuple):
 
 
 class RollbackRelation:
-    """The interval-stamped representation (Figure 4): immutable value object."""
+    """The interval-stamped representation (Figure 4): immutable value object.
 
-    __slots__ = ("_schema", "_rows")
+    Like :class:`~repro.core.temporal.TemporalRelation`, the rows are
+    partitioned along transaction time: closed rows live in an append-only
+    segment shared structurally between successive versions; open rows
+    (the current state) live in a map keyed by their data tuple.  A commit
+    therefore costs O(current state + Δ), never O(history).
+    """
+
+    __slots__ = ("_schema", "_closed_log", "_closed_len", "_open",
+                 "_open_extra", "_lineage", "_rows_cache", "_current_cache")
 
     def __init__(self, schema: Schema,
                  rows: Iterable[TransactionTimeRow] = ()) -> None:
+        closed: List[TransactionTimeRow] = []
+        open_map: Dict[Tuple, TransactionTimeRow] = {}
+        extra: List[TransactionTimeRow] = []
+        for row in rows:
+            if row.tt.end.is_pos_inf:
+                if row.data in open_map:
+                    extra.append(row)  # derived values may repeat a tuple
+                else:
+                    open_map[row.data] = row
+            else:
+                closed.append(row)
+        self._init_parts(schema, closed, len(closed), open_map, extra,
+                         object())
+
+    def _init_parts(self, schema: Schema,
+                    closed_log: List[TransactionTimeRow], closed_len: int,
+                    open_map: Dict[Tuple, TransactionTimeRow],
+                    extra: List[TransactionTimeRow], lineage: object) -> None:
         self._schema = schema
-        self._rows: PyTuple[TransactionTimeRow, ...] = tuple(rows)
+        self._closed_log = closed_log
+        self._closed_len = closed_len
+        self._open = open_map
+        self._open_extra = extra
+        self._lineage = lineage
+        self._rows_cache: Optional[PyTuple[TransactionTimeRow, ...]] = None
+        self._current_cache: Optional[Relation] = None
+
+    @classmethod
+    def _from_parts(cls, schema: Schema,
+                    closed_log: List[TransactionTimeRow], closed_len: int,
+                    open_map: Dict[Tuple, TransactionTimeRow],
+                    lineage: object) -> "RollbackRelation":
+        """Internal constructor for :meth:`RollbackDatabase._advance`."""
+        value = cls.__new__(cls)
+        value._init_parts(schema, closed_log, closed_len, open_map, [],
+                          lineage)
+        return value
 
     @property
     def schema(self) -> Schema:
@@ -77,18 +121,34 @@ class RollbackRelation:
     @property
     def rows(self) -> PyTuple[TransactionTimeRow, ...]:
         """Every timestamped row, current and past."""
-        return self._rows
+        if self._rows_cache is None:
+            self._rows_cache = tuple(self._iter_rows())
+        return self._rows_cache
+
+    def _iter_rows(self):
+        return itertools.chain(
+            itertools.islice(self._closed_log, self._closed_len),
+            self._open.values(), self._open_extra)
 
     def rollback(self, as_of: InstantLike) -> Relation:
         """The static relation as of a transaction time (the vertical slice)."""
         when = _coerce(as_of)
         return Relation(self._schema,
-                        (row.data for row in self._rows if row.visible_at(when)))
+                        (row.data for row in self._iter_rows()
+                         if row.visible_at(when)))
 
     def current(self) -> Relation:
-        """The most recent static state (rows whose transaction end is ∞)."""
-        return Relation(self._schema,
-                        (row.data for row in self._rows if row.tt.end.is_pos_inf))
+        """The most recent static state (rows whose transaction end is ∞).
+
+        Exactly the open partition — O(current state), memoized per
+        version.
+        """
+        if self._current_cache is None:
+            self._current_cache = Relation(
+                self._schema,
+                (row.data for row in itertools.chain(self._open.values(),
+                                                     self._open_extra)))
+        return self._current_cache
 
     def visible_during(self, period: Period) -> Relation:
         """Every tuple that was in *some* state during the period.
@@ -97,12 +157,12 @@ class RollbackRelation:
         rollback states over the transaction-time range.
         """
         return Relation(self._schema,
-                        (row.data for row in self._rows
+                        (row.data for row in self._iter_rows()
                          if row.tt.overlaps(period)))
 
     def storage_cells(self) -> int:
         """Stored cells: tuples × (attributes + 2 timestamps).  For benches."""
-        return len(self._rows) * (len(self._schema) + 2)
+        return len(self) * (len(self._schema) + 2)
 
     def pretty(self, title: Optional[str] = None) -> str:
         """Render like Figure 4: data columns ‖ transaction (start, end)."""
@@ -110,11 +170,11 @@ class RollbackRelation:
         return render_rollback(self, title)
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._closed_len + len(self._open) + len(self._open_extra)
 
     def __repr__(self) -> str:
         return (f"RollbackRelation({', '.join(self._schema.names)}; "
-                f"{len(self._rows)} timestamped rows)")
+                f"{len(self)} timestamped rows)")
 
 
 class StateSequence:
@@ -199,12 +259,13 @@ class RollbackDatabase(Database):
 
     kind = DatabaseKind.STATIC_ROLLBACK
 
-    def __init__(self, clock=None, representation: str = INTERVAL) -> None:
+    def __init__(self, clock=None, representation: str = INTERVAL,
+                 index: bool = True) -> None:
         if representation not in (INTERVAL, STATES):
             raise ValueError(
                 f"representation must be {INTERVAL!r} or {STATES!r}"
             )
-        super().__init__(clock)
+        super().__init__(clock, index=index)
         self._representation = representation
         self._store: _Store = {}
 
@@ -266,6 +327,10 @@ class RollbackDatabase(Database):
         """
         self.require_rollback("rollback")
         self._require_defined(name)
+        cache = self.index_cache
+        if cache is not None and isinstance(self._store[name],
+                                            RollbackRelation):
+            return cache.rollback(name).rollback(as_of)
         return self._store[name].rollback(as_of)
 
     def rollback_range(self, name: str, from_: InstantLike,
@@ -278,6 +343,10 @@ class RollbackDatabase(Database):
         self.require_rollback("rollback")
         self._require_defined(name)
         period = Period.from_inclusive(_coerce(from_), _coerce(through))
+        cache = self.index_cache
+        if cache is not None and isinstance(self._store[name],
+                                            RollbackRelation):
+            return cache.rollback(name).visible_during(period)
         return self._store[name].visible_during(period)
 
     def store(self, name: str):
@@ -357,31 +426,70 @@ class RollbackDatabase(Database):
             staged["store"][op.relation], new, commit_time)
 
     def _advance(self, store, new_current: Relation, commit_time: Instant):
-        """Record *new_current* as the state from *commit_time* on."""
+        """Record *new_current* as the state from *commit_time* on.
+
+        Interval representation: close the open rows that vanished from
+        the state, open rows for the tuples that appeared — O(current
+        state + Δ) against the open partition, never re-reading the
+        closed past (see :func:`naive_rollback_advance` for the original
+        whole-relation walk, kept as the executable specification).
+        """
         if isinstance(store, StateSequence):
             states = [pair for pair in store.states if pair[0] < commit_time]
             states.append((commit_time, new_current))
             return StateSequence(store.schema, states)
-        # Interval representation: close rows that vanished, open new ones.
-        rows: List[TransactionTimeRow] = []
+        if store._open_extra:
+            return naive_rollback_advance(store, new_current, commit_time)
         new_set = set(new_current.tuples)
-        carried = set()
-        for row in store.rows:
-            if not row.tt.end.is_pos_inf:
-                # A closed row — but a row both opened and closed at this
-                # very commit time never existed in any state: drop it.
-                rows.append(row)
-                continue
-            if row.data in new_set:
-                rows.append(row)
-                carried.add(row.data)
+        closed_log = store._closed_log
+        if len(closed_log) != store._closed_len:
+            # A sibling version extended the shared log (an aborted
+            # commit): diverge onto a private copy.
+            closed_log = closed_log[:store._closed_len]
+        old_open = store._open
+        new_open: Dict[Tuple, TransactionTimeRow] = {}
+        for data, row in old_open.items():
+            if data in new_set:
+                new_open[data] = row  # survives this transaction
+            elif row.tt.start == commit_time:
+                continue  # opened and removed within one transaction
             else:
-                if row.tt.start == commit_time:
-                    continue  # opened and removed within one transaction
-                rows.append(TransactionTimeRow(
-                    row.data, Period(row.tt.start, commit_time)))
+                closed_log.append(TransactionTimeRow(
+                    data, Period(row.tt.start, commit_time)))
         for data in new_current.tuples:
-            if data not in carried and not any(
-                    r.data == data and r.tt.end.is_pos_inf for r in rows):
-                rows.append(TransactionTimeRow(data, Period(commit_time, POS_INF)))
-        return RollbackRelation(store.schema, rows)
+            if data not in old_open:
+                new_open[data] = TransactionTimeRow(
+                    data, Period(commit_time, POS_INF))
+        return RollbackRelation._from_parts(store.schema, closed_log,
+                                            len(closed_log), new_open,
+                                            store._lineage)
+
+
+def naive_rollback_advance(store: RollbackRelation, new_current: Relation,
+                           commit_time: Instant) -> RollbackRelation:
+    """The original whole-relation advance: O(n) per commit.
+
+    The reference the incremental :meth:`RollbackDatabase._advance` is
+    property-tested against, and the fallback for non-canonical values
+    (duplicate open tuples in a derived relation).
+    """
+    rows: List[TransactionTimeRow] = []
+    new_set = set(new_current.tuples)
+    carried = set()
+    for row in store.rows:
+        if not row.tt.end.is_pos_inf:
+            rows.append(row)
+            continue
+        if row.data in new_set:
+            rows.append(row)
+            carried.add(row.data)
+        else:
+            if row.tt.start == commit_time:
+                continue  # opened and removed within one transaction
+            rows.append(TransactionTimeRow(
+                row.data, Period(row.tt.start, commit_time)))
+    for data in new_current.tuples:
+        if data not in carried and not any(
+                r.data == data and r.tt.end.is_pos_inf for r in rows):
+            rows.append(TransactionTimeRow(data, Period(commit_time, POS_INF)))
+    return RollbackRelation(store.schema, rows)

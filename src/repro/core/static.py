@@ -33,8 +33,10 @@ class StaticDatabase(Database):
 
     kind = DatabaseKind.STATIC
 
-    def __init__(self, clock=None) -> None:
-        super().__init__(clock)
+    def __init__(self, clock=None, index: bool = True) -> None:
+        # Static snapshots have no temporal axis to index; the knob is
+        # accepted for API uniformity across the four kinds.
+        super().__init__(clock, index=index)
         self._store: _Store = {}
 
     # -- DML API -----------------------------------------------------------------

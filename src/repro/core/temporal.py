@@ -18,12 +18,25 @@ state any moment ``t`` saw.
 
 The stored form is the four-timestamp table of Figure 8:
 ``(data ‖ valid from, valid to ‖ transaction start, transaction end)``.
+
+Physically, a :class:`TemporalRelation` is *partitioned* along the
+transaction-time axis: rows whose transaction period has closed belong to
+the immutable past and live in an append-only segment shared structurally
+between successive versions, while the open rows (transaction end = ∞) —
+exactly the current historical state — live in a map keyed by
+``(data, valid)``.  Committing a transaction therefore costs
+O(current state + Δ), not O(all rows ever written): the closed past is
+never re-read, re-diffed or re-tupled.  The value semantics (``rows``,
+``rollback``, ``current``, equality) are unchanged; :func:`naive_advance`
+keeps the original whole-relation diff as the executable specification
+the incremental path is property-tested against.
 """
 
 from __future__ import annotations
 
-from typing import (Any, Dict, Iterable, List, Mapping, NamedTuple, Optional,
-                    Sequence, Set, Tuple as PyTuple)
+import itertools
+from typing import (Any, Dict, Iterable, Iterator, List, Mapping, NamedTuple,
+                    Optional, Sequence, Set, Tuple as PyTuple)
 
 from repro.core.base import Database, InstantLike
 from repro.core.historical import (HistoricalRelation, HistoricalRow,
@@ -52,15 +65,67 @@ class BitemporalRow(NamedTuple):
         return self.tt.contains(as_of)
 
 
-class TemporalRelation:
-    """A bitemporal relation (Figure 8): an immutable value object."""
+#: The current-state key: a fact plus its valid period.  At most one open
+#: row per key exists in any store the database maintains.
+_OpenKey = PyTuple[Tuple, Period]
 
-    __slots__ = ("_schema", "_rows")
+
+class TemporalRelation:
+    """A bitemporal relation (Figure 8): an immutable value object.
+
+    Internally partitioned into an append-only *closed* segment (rows
+    whose transaction time has ended) and an *open* map keyed by
+    ``(data, valid)`` (the current historical state).  Successive
+    versions produced by :meth:`TemporalDatabase._advance` share the
+    closed segment structurally, so a commit never copies the past.
+    """
+
+    __slots__ = ("_schema", "_closed_log", "_closed_len", "_open",
+                 "_open_extra", "_lineage", "_rows_cache", "_current_cache",
+                 "_times_cache")
 
     def __init__(self, schema: Schema,
                  rows: Iterable[BitemporalRow] = ()) -> None:
+        closed: List[BitemporalRow] = []
+        open_map: Dict[_OpenKey, BitemporalRow] = {}
+        extra: List[BitemporalRow] = []
+        for row in rows:
+            if row.tt.end.is_pos_inf:
+                key = (row.data, row.valid)
+                if key in open_map:
+                    extra.append(row)  # derived values may repeat a row
+                else:
+                    open_map[key] = row
+            else:
+                closed.append(row)
+        self._init_parts(schema, closed, len(closed), open_map, extra,
+                         object())
+
+    def _init_parts(self, schema: Schema, closed_log: List[BitemporalRow],
+                    closed_len: int, open_map: Dict[_OpenKey, BitemporalRow],
+                    extra: List[BitemporalRow], lineage: object) -> None:
         self._schema = schema
-        self._rows: PyTuple[BitemporalRow, ...] = tuple(rows)
+        self._closed_log = closed_log
+        self._closed_len = closed_len
+        self._open = open_map
+        self._open_extra = extra
+        # Versions descending from the same original value share a lineage
+        # token; within a lineage the closed log only ever grows, so index
+        # maintenance can diff two versions structurally.
+        self._lineage = lineage
+        self._rows_cache: Optional[PyTuple[BitemporalRow, ...]] = None
+        self._current_cache: Optional[HistoricalRelation] = None
+        self._times_cache: Optional[List[Instant]] = None
+
+    @classmethod
+    def _from_parts(cls, schema: Schema, closed_log: List[BitemporalRow],
+                    closed_len: int, open_map: Dict[_OpenKey, BitemporalRow],
+                    lineage: object) -> "TemporalRelation":
+        """Internal constructor for :meth:`TemporalDatabase._advance`."""
+        value = cls.__new__(cls)
+        value._init_parts(schema, closed_log, closed_len, open_map, [],
+                          lineage)
+        return value
 
     # -- accessors ------------------------------------------------------------
 
@@ -72,13 +137,20 @@ class TemporalRelation:
     @property
     def rows(self) -> PyTuple[BitemporalRow, ...]:
         """Every bitemporal row, past and current."""
-        return self._rows
+        if self._rows_cache is None:
+            self._rows_cache = tuple(self._iter_rows())
+        return self._rows_cache
+
+    def _iter_rows(self) -> Iterator[BitemporalRow]:
+        return itertools.chain(
+            itertools.islice(self._closed_log, self._closed_len),
+            self._open.values(), self._open_extra)
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._closed_len + len(self._open) + len(self._open_extra)
 
     def __iter__(self):
-        return iter(self._rows)
+        return self._iter_rows()
 
     # -- the two time axes ------------------------------------------------------
 
@@ -88,14 +160,22 @@ class TemporalRelation:
         return HistoricalRelation(
             self._schema,
             (HistoricalRow(row.data, row.valid)
-             for row in self._rows if row.visible_at(when)))
+             for row in self._iter_rows() if row.visible_at(when)))
 
     def current(self) -> HistoricalRelation:
-        """The most recent historical state (transaction end = ∞)."""
-        return HistoricalRelation(
-            self._schema,
-            (HistoricalRow(row.data, row.valid)
-             for row in self._rows if row.tt.end.is_pos_inf))
+        """The most recent historical state (transaction end = ∞).
+
+        The state is exactly the open partition, so this is O(current
+        state); the result is memoized (the value is immutable, so the
+        memo is per relation version).
+        """
+        if self._current_cache is None:
+            self._current_cache = HistoricalRelation(
+                self._schema,
+                (HistoricalRow(row.data, row.valid)
+                 for row in itertools.chain(self._open.values(),
+                                            self._open_extra)))
+        return self._current_cache
 
     def visible_during(self, period: Period) -> "TemporalRelation":
         """The rows belonging to any historical state during the period.
@@ -105,7 +185,7 @@ class TemporalRelation:
         """
         return TemporalRelation(
             self._schema,
-            (row for row in self._rows if row.tt.overlaps(period)))
+            (row for row in self._iter_rows() if row.tt.overlaps(period)))
 
     def timeslice(self, valid_at: InstantLike,
                   as_of: Optional[InstantLike] = None) -> Relation:
@@ -115,9 +195,12 @@ class TemporalRelation:
 
     def commit_times(self) -> List[Instant]:
         """Every transaction time at which this relation changed, ascending."""
-        times = {row.tt.start for row in self._rows}
-        times.update(row.tt.end for row in self._rows if row.tt.end.is_finite)
-        return sorted(times)
+        if self._times_cache is None:
+            times = {row.tt.start for row in self._iter_rows()}
+            times.update(row.tt.end for row in self._iter_rows()
+                         if row.tt.end.is_finite)
+            self._times_cache = sorted(times)
+        return list(self._times_cache)
 
     def historical_states(self) -> List[PyTuple[Instant, HistoricalRelation]]:
         """The full sequence of historical states (Figure 7's cube)."""
@@ -131,11 +214,11 @@ class TemporalRelation:
         else:
             test = predicate
         return TemporalRelation(
-            self._schema, (row for row in self._rows if test(row.data)))
+            self._schema, (row for row in self._iter_rows() if test(row.data)))
 
     def storage_cells(self) -> int:
         """Stored cells: rows × (attributes + 4 timestamps).  For benches."""
-        return len(self._rows) * (len(self._schema) + 4)
+        return len(self) * (len(self._schema) + 4)
 
     def pretty(self, title: Optional[str] = None, event: bool = False) -> str:
         """Render like Figure 8 (or Figure 9's event style)."""
@@ -146,14 +229,14 @@ class TemporalRelation:
         if not isinstance(other, TemporalRelation):
             return NotImplemented
         return (self._schema.names == other._schema.names
-                and frozenset(self._rows) == frozenset(other._rows))
+                and frozenset(self.rows) == frozenset(other.rows))
 
     def __hash__(self) -> int:
-        return hash((self._schema.names, frozenset(self._rows)))
+        return hash((self._schema.names, frozenset(self.rows)))
 
     def __repr__(self) -> str:
         return (f"TemporalRelation({', '.join(self._schema.names)}; "
-                f"{len(self._rows)} rows)")
+                f"{len(self)} rows)")
 
 
 # ---------------------------------------------------------------------------
@@ -173,8 +256,8 @@ class TemporalDatabase(Database):
 
     kind = DatabaseKind.TEMPORAL
 
-    def __init__(self, clock=None) -> None:
-        super().__init__(clock)
+    def __init__(self, clock=None, index: bool = True) -> None:
+        super().__init__(clock, index=index)
         self._store: _Store = {}
 
     # -- DML API (same shape as HistoricalDatabase) --------------------------------------
@@ -258,6 +341,10 @@ class TemporalDatabase(Database):
     def rollback(self, name: str, as_of: InstantLike) -> HistoricalRelation:
         """The historical state as of a past transaction time."""
         self.require_rollback("rollback")
+        cache = self.index_cache
+        if cache is not None:
+            self._require_defined(name)
+            return cache.bitemporal(name).rollback(as_of)
         return self.temporal(name).rollback(as_of)
 
     def rollback_range(self, name: str, from_: InstantLike,
@@ -265,16 +352,46 @@ class TemporalDatabase(Database):
         """Rows of every historical state over the inclusive tt range."""
         self.require_rollback("rollback")
         period = Period.from_inclusive(_coerce(from_), _coerce(through))
+        cache = self.index_cache
+        if cache is not None:
+            self._require_defined(name)
+            return TemporalRelation(self._store[name].schema,
+                                    cache.bitemporal(name).visible_during(period))
         return self.temporal(name).visible_during(period)
+
+    def visible(self, name: str, as_of: InstantLike) -> List[BitemporalRow]:
+        """The bitemporal rows visible as of a transaction time.
+
+        The TQuel evaluator's relation access: with the index cache on,
+        this is a stab (O(log n + k)) instead of a scan of every row ever
+        written.
+        """
+        self._require_defined(name)
+        cache = self.index_cache
+        if cache is not None:
+            return cache.bitemporal(name).visible(as_of)
+        when = _coerce(as_of)
+        return [row for row in self._store[name]
+                if row.visible_at(when)]
 
     def snapshot(self, name: str) -> Relation:
         """Facts valid now, as of now."""
+        cache = self.index_cache
+        if cache is not None:
+            self._require_defined(name)
+            return cache.historical(name).timeslice(self.now())
         return self.history(name).timeslice(self.now())
 
     def timeslice(self, name: str, valid_at: InstantLike,
                   as_of: Optional[InstantLike] = None) -> Relation:
         """Facts valid at an instant, optionally seen as of a past moment."""
         self.require_historical("timeslice")
+        cache = self.index_cache
+        if cache is not None:
+            self._require_defined(name)
+            if as_of is None:
+                return cache.historical(name).timeslice(valid_at)
+            return cache.bitemporal(name).timeslice(valid_at, as_of)
         return self.temporal(name).timeslice(valid_at, as_of)
 
     # -- applier hooks ----------------------------------------------------------------------
@@ -285,7 +402,11 @@ class TemporalDatabase(Database):
     def _install(self, staged: _Store) -> None:
         now = self._manager.clock.last
         for name, relation in staged.items():
-            if name in self._schemas:
+            # Only relations this batch actually replaced need re-checking:
+            # an untouched store is the very same (immutable) value that
+            # passed its checks when it was installed, and no declared
+            # constraint tightens as `now` advances.
+            if name in self._schemas and relation is not self._store.get(name):
                 check_historical_constraints(relation.current(),
                                              self._constraints[name], now)
         self._store = staged
@@ -305,26 +426,79 @@ class TemporalDatabase(Database):
     @staticmethod
     def _advance(relation: TemporalRelation, op: Operation,
                  commit_time: Instant) -> TemporalRelation:
-        """Apply a valid-time operation and record the state difference."""
+        """Apply a valid-time operation and record the state difference.
+
+        Incremental: the closed past is carried over by reference (shared
+        structurally with the input version), and only the open partition
+        — the current historical state — is diffed against the state the
+        operation produces.  Cost is O(current state + Δ) regardless of how
+        many rows the relation has accumulated.  Semantically identical to
+        :func:`naive_advance` (property-tested), which also handles the
+        one case the partition cannot: a derived value holding duplicate
+        open rows.
+        """
+        if relation._open_extra:
+            return naive_advance(relation, op, commit_time)
         old_state = relation.current()
         new_state = apply_historical_operation(old_state, op)
-        old_rows: Set[HistoricalRow] = set(old_state.rows)
-        new_rows: Set[HistoricalRow] = set(new_state.rows)
+        new_keys: Dict[_OpenKey, HistoricalRow] = {
+            (hist_row.data, hist_row.valid): hist_row
+            for hist_row in new_state.rows
+        }
 
-        result: List[BitemporalRow] = []
-        for row in relation.rows:
-            if not row.tt.end.is_pos_inf:
-                result.append(row)  # already part of the immutable past
-                continue
-            if HistoricalRow(row.data, row.valid) in new_rows:
-                result.append(row)  # survives this transaction
-                continue
-            if row.tt.start == commit_time:
+        closed_log = relation._closed_log
+        if len(closed_log) != relation._closed_len:
+            # A sibling version already extended the shared log (an aborted
+            # or superseded commit): diverge onto a private copy.
+            closed_log = closed_log[:relation._closed_len]
+        old_open = relation._open
+        new_open: Dict[_OpenKey, BitemporalRow] = {}
+        for key, row in old_open.items():
+            if key in new_keys:
+                new_open[key] = row  # survives this transaction
+            elif row.tt.start == commit_time:
                 continue  # created and superseded within one transaction
-            result.append(BitemporalRow(row.data, row.valid,
-                                        Period(row.tt.start, commit_time)))
-        for hist_row in new_state.rows:
-            if hist_row not in old_rows:
-                result.append(BitemporalRow(hist_row.data, hist_row.valid,
-                                            Period(commit_time, POS_INF)))
-        return TemporalRelation(relation.schema, result)
+            else:
+                closed_log.append(BitemporalRow(
+                    row.data, row.valid, Period(row.tt.start, commit_time)))
+        for key, hist_row in new_keys.items():
+            if key not in old_open:
+                new_open[key] = BitemporalRow(hist_row.data, hist_row.valid,
+                                              Period(commit_time, POS_INF))
+        return TemporalRelation._from_parts(relation.schema, closed_log,
+                                            len(closed_log), new_open,
+                                            relation._lineage)
+
+
+def naive_advance(relation: TemporalRelation, op: Operation,
+                  commit_time: Instant) -> TemporalRelation:
+    """The whole-relation advance: the executable specification.
+
+    Materializes the full old and new historical states, walks every row
+    ever written, and rebuilds the relation — O(n) per commit.  Kept as
+    the reference the incremental :meth:`TemporalDatabase._advance` is
+    property-tested against, and as the fallback for non-canonical values
+    (duplicate open rows in a derived relation).
+    """
+    old_state = relation.current()
+    new_state = apply_historical_operation(old_state, op)
+    old_rows: Set[HistoricalRow] = set(old_state.rows)
+    new_rows: Set[HistoricalRow] = set(new_state.rows)
+
+    result: List[BitemporalRow] = []
+    for row in relation.rows:
+        if not row.tt.end.is_pos_inf:
+            result.append(row)  # already part of the immutable past
+            continue
+        if HistoricalRow(row.data, row.valid) in new_rows:
+            result.append(row)  # survives this transaction
+            continue
+        if row.tt.start == commit_time:
+            continue  # created and superseded within one transaction
+        result.append(BitemporalRow(row.data, row.valid,
+                                    Period(row.tt.start, commit_time)))
+    for hist_row in new_state.rows:
+        if hist_row not in old_rows:
+            result.append(BitemporalRow(hist_row.data, hist_row.valid,
+                                        Period(commit_time, POS_INF)))
+    return TemporalRelation(relation.schema, result)

@@ -295,10 +295,11 @@ class Evaluator:
                 return [_Candidate(row.data, row.valid, row.tt)
                         for row in ranged.rows]
             when = as_of if as_of is not None else db.now()
+            # db.visible stabs the transaction-time index when the
+            # database keeps one (O(log n + k)); otherwise it scans.
             return [
                 _Candidate(row.data, row.valid, row.tt)
-                for row in db.temporal(relation).rows
-                if row.visible_at(when)
+                for row in db.visible(relation, when)
             ]
         if isinstance(db, HistoricalDatabase):
             return [_Candidate(row.data, row.valid, None)

@@ -1,0 +1,234 @@
+"""The incremental commit path against the naive executable specification.
+
+The partitioned stores (:class:`TemporalRelation`, :class:`RollbackRelation`)
+advance commits in O(current state + Δ); :func:`naive_advance` and
+:func:`naive_rollback_advance` keep the original whole-relation diffs.
+These tests drive seeded random workloads through the databases and replay
+their commit logs through the naive functions, asserting the two paths
+produce identical rows, rollbacks and timeslices — including the
+created-and-superseded-within-one-transaction edge and the abort path
+(a failed commit must leave the installed values untouched even though
+staging shares the closed segment structurally).
+"""
+
+import random
+
+import pytest
+
+from repro.core import (INTERVAL, STATES, NoFutureValidity, RollbackDatabase,
+                        RollbackRelation, TemporalDatabase, TemporalRelation,
+                        naive_advance, naive_rollback_advance)
+from repro.errors import ConstraintViolation
+from repro.relational import Domain, Schema
+from repro.time import Instant, SimulatedClock
+from repro.txn.transaction import Operation
+
+BASE = Instant.parse("01/01/80")
+KEYS = ["k%d" % i for i in range(6)]
+VALUES = ["red", "green", "blue"]
+
+
+def _schema():
+    # No schema key: the sequenced-key constraint would reject most random
+    # histories; constraint interaction is tested separately below.
+    return Schema.of(k=Domain.STRING, v=Domain.STRING)
+
+
+def _random_temporal_op(database, rng, now_offset):
+    """Issue one random insert/delete/replace with a random valid period."""
+    lo = rng.randrange(0, 600)
+    hi = lo + rng.randrange(1, 400)
+    kind = rng.random()
+    if kind < 0.5:
+        database.insert("r", {"k": rng.choice(KEYS), "v": rng.choice(VALUES)},
+                        valid_from=BASE + lo, valid_to=BASE + hi)
+    elif kind < 0.75:
+        database.delete("r", {"k": rng.choice(KEYS)},
+                        valid_from=BASE + lo, valid_to=BASE + hi)
+    else:
+        database.replace("r", {"k": rng.choice(KEYS)},
+                         {"v": rng.choice(VALUES)},
+                         valid_from=BASE + lo, valid_to=BASE + hi)
+
+
+def _drive_temporal(seed, steps=40, index=True):
+    clock = SimulatedClock(BASE)
+    database = TemporalDatabase(clock=clock, index=index)
+    database.define("r", _schema())
+    rng = random.Random(seed)
+    now = 1000
+    for step in range(steps):
+        now += rng.randrange(1, 4)
+        clock.set(BASE + now)
+        _random_temporal_op(database, rng, step)
+    return database
+
+
+def _replay_naive(database, name="r"):
+    """Rebuild the relation from the commit log via the naive advance."""
+    relation = TemporalRelation(database.schema(name))
+    for record in database.log:
+        for op in record.operations:
+            if op.relation != name or op.action in ("define", "drop"):
+                continue
+            relation = naive_advance(relation, op, record.commit_time)
+    return relation
+
+
+class TestTemporalEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 1985])
+    def test_rows_match_naive_replay(self, seed):
+        database = _drive_temporal(seed)
+        naive = _replay_naive(database)
+        incremental = database.temporal("r")
+        assert frozenset(incremental.rows) == frozenset(naive.rows)
+        assert incremental == naive
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_rollbacks_and_timeslices_match(self, seed):
+        database = _drive_temporal(seed)
+        naive = _replay_naive(database)
+        commits = [record.commit_time for record in database.log]
+        for as_of in commits:
+            assert database.rollback("r", as_of) == naive.rollback(as_of)
+            for valid_offset in (0, 150, 450, 900):
+                assert (database.timeslice("r", BASE + valid_offset, as_of)
+                        == naive.timeslice(BASE + valid_offset, as_of))
+
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_indexed_and_unindexed_paths_agree(self, seed):
+        indexed = _drive_temporal(seed, index=True)
+        plain = _drive_temporal(seed, index=False)
+        commits = [record.commit_time for record in indexed.log]
+        assert commits == [record.commit_time for record in plain.log]
+        assert indexed.snapshot("r") == plain.snapshot("r")
+        for as_of in commits[:: max(1, len(commits) // 7)]:
+            assert indexed.rollback("r", as_of) == plain.rollback("r", as_of)
+            assert (indexed.timeslice("r", BASE + 200, as_of)
+                    == plain.timeslice("r", BASE + 200, as_of))
+        ranged_a = indexed.rollback_range("r", commits[1], commits[-2])
+        ranged_b = plain.rollback_range("r", commits[1], commits[-2])
+        assert frozenset(ranged_a.rows) == frozenset(ranged_b.rows)
+
+    def test_created_and_superseded_within_one_transaction(self):
+        # A fact inserted and fully deleted inside the same transaction
+        # never existed in any committed state: no row may record it
+        # (src of the edge: the tt.start == commit_time drop in _advance).
+        clock = SimulatedClock(BASE)
+        database = TemporalDatabase(clock=clock)
+        database.define("r", _schema())
+        database.insert("r", {"k": "k0", "v": "red"}, valid_from=BASE)
+        clock.set(BASE + 10)
+        with database.begin() as txn:
+            database.insert("r", {"k": "ghost", "v": "blue"},
+                            valid_from=BASE, txn=txn)
+            database.delete("r", {"k": "ghost"}, txn=txn)
+            database.replace("r", {"k": "k0"}, {"v": "green"}, txn=txn)
+        incremental = database.temporal("r")
+        naive = _replay_naive(database)
+        assert frozenset(incremental.rows) == frozenset(naive.rows)
+        assert not any(row.data["k"] == "ghost" for row in incremental.rows)
+        # The phantom also never shows up on either time axis.
+        assert not any(row.data["k"] == "ghost"
+                       for row in database.rollback("r", BASE + 10).rows)
+
+    def test_aborted_commit_leaves_installed_value_intact(self):
+        # Staging shares the closed segment with the installed value; an
+        # abort after some operations applied must not leak closed rows
+        # into it, and the next successful commit must still agree with
+        # the naive replay (the copy-on-divergence path).
+        clock = SimulatedClock(BASE)
+        database = TemporalDatabase(clock=clock)
+        database.define("r", Schema.of(k=Domain.STRING, v=Domain.STRING),
+                        constraints=[NoFutureValidity()])
+        database.insert("r", {"k": "k0", "v": "red"}, valid_from=BASE)
+        before = database.temporal("r")
+        before_rows = frozenset(before.rows)
+        clock.set(BASE + 10)
+        with pytest.raises(ConstraintViolation):
+            with database.begin() as txn:
+                # Closes k0's row in the staged value (mutating the shared
+                # closed log past the installed prefix)...
+                database.replace("r", {"k": "k0"}, {"v": "green"}, txn=txn)
+                # ...then violates NoFutureValidity, aborting the batch.
+                database.insert("r", {"k": "k1", "v": "blue"},
+                                valid_from=BASE + 5000, txn=txn)
+        assert database.temporal("r") is before
+        assert frozenset(database.temporal("r").rows) == before_rows
+        assert database.relation_version("r") == 2  # define + first insert
+        # A later commit diverges onto a private copy and stays correct.
+        clock.set(BASE + 20)
+        database.replace("r", {"k": "k0"}, {"v": "green"}, txn=None)
+        naive = _replay_naive(database)
+        assert frozenset(database.temporal("r").rows) == frozenset(naive.rows)
+
+    def test_ddl_rolls_back_on_constraint_failure(self):
+        # define + failing DML in one batch: the schema bookkeeping must
+        # be restored wholesale (the DDL is rolled back too).
+        clock = SimulatedClock(BASE)
+        database = TemporalDatabase(clock=clock)
+        schema = _schema()
+        operations = [
+            Operation("define", "doomed",
+                      {"schema": schema,
+                       "constraints": (NoFutureValidity(),),
+                       "event": False}),
+            Operation("insert", "doomed",
+                      {"values": {"k": "k0", "v": "red"},
+                       "valid_from": BASE + 5000}),
+        ]
+        with pytest.raises(ConstraintViolation):
+            database._manager.run(operations)
+        assert "doomed" not in database
+        assert database.relation_version("doomed") == 0
+        # The name is free again and works normally afterwards.
+        database.define("doomed", schema)
+        database.insert("doomed", {"k": "k0", "v": "red"}, valid_from=BASE)
+        assert len(database.snapshot("doomed")) == 1
+
+
+def _drive_rollback(seed, representation, steps=35):
+    clock = SimulatedClock(BASE)
+    database = RollbackDatabase(clock=clock, representation=representation)
+    database.define("r", _schema())
+    rng = random.Random(seed)
+    now = 1000
+    for step in range(steps):
+        now += rng.randrange(1, 4)
+        clock.set(BASE + now)
+        kind = rng.random()
+        if kind < 0.55:
+            database.insert("r", {"k": rng.choice(KEYS),
+                                  "v": rng.choice(VALUES)})
+        elif kind < 0.8:
+            database.delete("r", {"k": rng.choice(KEYS)})
+        else:
+            database.replace("r", {"k": rng.choice(KEYS)},
+                             {"v": rng.choice(VALUES)})
+    return database
+
+
+class TestRollbackEquivalence:
+    @pytest.mark.parametrize("seed", [0, 9, 77])
+    def test_interval_matches_state_cube(self, seed):
+        interval = _drive_rollback(seed, INTERVAL)
+        cube = _drive_rollback(seed, STATES)
+        commits = [record.commit_time for record in interval.log]
+        assert commits == [record.commit_time for record in cube.log]
+        for as_of in commits:
+            assert interval.rollback("r", as_of) == cube.rollback("r", as_of)
+        assert interval.snapshot("r") == cube.snapshot("r")
+
+    @pytest.mark.parametrize("seed", [2, 13])
+    def test_interval_matches_naive_replay(self, seed):
+        interval = _drive_rollback(seed, INTERVAL)
+        cube = _drive_rollback(seed, STATES)
+        # Replay the cube's state sequence through the naive advance;
+        # the incremental store must observe every rollback identically.
+        store = RollbackRelation(interval.schema("r"))
+        for commit, state in cube.store("r").states:
+            store = naive_rollback_advance(store, state, commit)
+        for record in interval.log:
+            as_of = record.commit_time
+            assert (interval.store("r").rollback(as_of)
+                    == store.rollback(as_of))

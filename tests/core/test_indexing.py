@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from repro.core import (BitemporalIndex, DatabaseIndexCache, HistoricalIndex,
                         IntervalTree, RollbackDatabase, RollbackIndex,
                         TemporalDatabase)
+from repro.relational import Domain, Schema
 from repro.time import Instant, NEG_INF, POS_INF, Period, SimulatedClock
 from repro.workload import FacultyWorkload, apply_workload
 
@@ -183,3 +184,119 @@ class TestDatabaseIndexCache:
         cache2 = DatabaseIndexCache(historical_db)
         assert cache2.historical("faculty").timeslice("06/01/83") == \
             historical_db.timeslice("faculty", "06/01/83")
+
+
+class TestIntervalTreeOverlay:
+    """Edits land in the delta overlay and fold in at the rebuild threshold."""
+
+    def test_insert_visible_without_rebuild(self):
+        tree = IntervalTree([(period(0, 10), "a")])
+        tree.insert(period(5, 15), "b")
+        assert tree.pending_edits == 1
+        assert tree.size == 2
+        assert sorted(tree.stab(Instant.from_chronon(BASE + 7))) == ["a", "b"]
+        assert tree.overlapping(period(12, 20)) == ["b"]
+
+    def test_discard_respects_duplicate_multiplicity(self):
+        tree = IntervalTree([(period(0, 10), "a"), (period(0, 10), "a")])
+        probe = Instant.from_chronon(BASE + 5)
+        assert tree.discard(period(0, 10), "a")
+        assert tree.stab(probe) == ["a"]
+        assert tree.discard(period(0, 10), "a")
+        assert tree.stab(probe) == []
+        assert not tree.discard(period(0, 10), "a")
+
+    def test_discard_from_overlay(self):
+        tree = IntervalTree([])
+        tree.insert(period(0, 10), "a")
+        assert tree.discard(period(0, 10), "a")
+        assert tree.size == 0
+        assert tree.stab(Instant.from_chronon(BASE + 5)) == []
+
+    def test_threshold_rebuild_folds_edits(self):
+        tree = IntervalTree([(period(i, i + 1), i) for i in range(4)])
+        edits = IntervalTree.REBUILD_MIN + 8
+        for j in range(edits):
+            tree.insert(period(j, j + 2), 100 + j)
+        # The threshold fired at least once, folding edits into the base.
+        assert tree.pending_edits < edits
+        assert tree.size == 4 + edits
+        probe = Instant.from_chronon(BASE + 2)
+        expected = [2, 101, 102]  # [2,3), [1,3) and [2,4) contain +2
+        assert sorted(tree.stab(probe)) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(0, 20), st.integers(1, 10),
+                              st.integers(0, 3)),
+                    max_size=40))
+    def test_edit_sequence_matches_list_model(self, ops):
+        tree = IntervalTree([])
+        model = []
+        for is_insert, lo, width, payload in ops:
+            item = (period(lo, lo + width), payload)
+            if is_insert or item not in model:
+                tree.insert(*item)
+                model.append(item)
+            else:
+                assert tree.discard(*item)
+                model.remove(item)
+        assert tree.size == len(model)
+        for point in range(0, 32, 3):
+            probe = Instant.from_chronon(BASE + point)
+            expected = sorted(payload for prd, payload in model
+                              if prd.contains(probe))
+            assert sorted(tree.stab(probe)) == expected
+
+
+class TestIncrementalCacheMaintenance:
+    def test_unrelated_commit_keeps_cache_warm(self, temporal_faculty):
+        # The acceptance criterion: a commit against relation B must not
+        # invalidate (or rebuild) relation A's cached index.
+        database, clock = temporal_faculty
+        database.define("other", Schema.of(name=Domain.STRING))
+        cache = database.index_cache
+        warm = cache.bitemporal("faculty")
+        hits = cache.hits
+        misses = cache.misses
+        clock.set("06/01/85")
+        database.insert("other", {"name": "noise"}, valid_from="06/01/85")
+        again = cache.bitemporal("faculty")
+        assert again is warm
+        assert cache.hits == hits + 1
+        assert cache.misses == misses
+
+    def test_default_query_path_uses_cache(self, temporal_faculty):
+        database, _ = temporal_faculty
+        first = database.rollback("faculty", "12/10/82")
+        cache = database.index_cache
+        misses = cache.misses
+        second = database.rollback("faculty", "12/10/82")
+        assert second == first
+        assert cache.misses == misses
+        assert cache.hits >= 1
+
+    def test_commit_patches_index_incrementally(self, temporal_faculty):
+        database, clock = temporal_faculty
+        cache = database.index_cache
+        stale = cache.bitemporal("faculty")
+        clock.set("06/01/85")
+        database.insert("faculty", {"name": "New", "rank": "assistant"},
+                        valid_from="06/01/85")
+        patched = cache.incremental_updates
+        fresh = cache.bitemporal("faculty")
+        assert cache.incremental_updates == patched + 1
+        assert fresh is not stale
+        relation = database.temporal("faculty")
+        assert fresh.rollback("06/01/85") == relation.rollback("06/01/85")
+        assert fresh.rollback("12/10/82") == relation.rollback("12/10/82")
+
+    def test_index_disabled_still_answers(self, temporal_faculty):
+        indexed, _ = temporal_faculty
+        plain = TemporalDatabase(clock=SimulatedClock("01/01/79"))
+        apply_workload(plain, FacultyWorkload(people=6, seed=1))
+        bare = TemporalDatabase(clock=SimulatedClock("01/01/79"), index=False)
+        apply_workload(bare, FacultyWorkload(people=6, seed=1))
+        assert bare.index_cache is None
+        assert plain.rollback("faculty", "12/10/82") == \
+            bare.rollback("faculty", "12/10/82")
