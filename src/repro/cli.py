@@ -22,12 +22,23 @@ dot are shell commands:
                         (static|rollback|historical|temporal); append
                         " force" to allow a lossy downgrade
     .explain <query>    show how a retrieve would execute
+    .stats              show the instrumentation snapshot (see ``repro stats``)
     .quit               leave
+
+A second console script, ``repro``, reports on the engine's built-in
+instrumentation (see :mod:`repro.obs` and docs/OBSERVABILITY.md)::
+
+    repro stats                  # run the demo workload, print metrics
+    repro stats --json           # the same snapshot as JSON
+    repro stats -f script.tq     # instrument your own TQuel script
+    repro trace --limit 20       # the last 20 spans as JSON lines
+    repro trace --out spans.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
@@ -167,6 +178,8 @@ def _dot_command(session: Session, line: str, out) -> bool:
             print(session.explain(argument), file=out)
         except ReproError as error:
             print(f"error: {error}", file=out)
+    elif command == ".stats":
+        print(_format_stats(database.stats()), file=out)
     elif command == ".save":
         with open(argument, "w", encoding="utf-8") as handle:
             handle.write(dumps_database(session.database, indent=2))
@@ -216,6 +229,159 @@ def main(argv: Optional[list] = None) -> int:
         with open(args.file, encoding="utf-8") as handle:
             return run_source(session, handle.read())
     return repl(session)
+
+
+# ---------------------------------------------------------------------------
+# The ``repro`` observability CLI
+# ---------------------------------------------------------------------------
+
+def build_repro_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Observability over the taxonomy engine: run a workload "
+                    "with instrumentation on and report what it recorded.")
+    subparsers = parser.add_subparsers(dest="subcommand", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--kind", choices=sorted(_KINDS), default="temporal",
+                         help="which kind of database to drive "
+                              "(default: temporal)")
+        sub.add_argument("-f", "--file", default=None,
+                         help="instrument a TQuel script instead of the "
+                              "built-in faculty demo workload")
+
+    stats = subparsers.add_parser(
+        "stats", help="print the metrics/spans snapshot after a workload")
+    add_common(stats)
+    stats.add_argument("--json", action="store_true",
+                       help="emit the snapshot as JSON instead of text")
+
+    trace = subparsers.add_parser(
+        "trace", help="dump the recorded spans as JSON lines")
+    add_common(trace)
+    trace.add_argument("--out", metavar="PATH", default=None,
+                       help="write the spans to PATH instead of stdout")
+    trace.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="only the last N spans")
+    return parser
+
+
+def _demo_workload(session: Session, clock: SimulatedClock) -> None:
+    """The quickstart faculty history, plus repeated indexed reads.
+
+    Mirrors ``examples/quickstart.py``'s six transactions (§4 of the
+    paper); the repeated trailing queries make the index cache show hits,
+    so a bare ``repro stats`` demonstrates every instrumented layer.
+    """
+    database = session.database
+    historical = database.supports_historical_queries
+    valid = (lambda clause: " " + clause) if historical else (lambda _: "")
+
+    session.execute("create faculty (name = string, rank = string) "
+                    "key (name)")
+    session.execute("range of f is faculty")
+    history = [
+        ("08/25/77", 'append to faculty (name = "Merrie", '
+                     'rank = "associate")' + valid('valid from "09/01/77"')),
+        ("12/01/82", 'append to faculty (name = "Tom", rank = "full")'
+                     + valid('valid from "12/05/82"')),
+        ("12/07/82", 'replace f (rank = "associate") where f.name = "Tom"'
+                     + valid('valid from "12/05/82"')),
+        ("12/15/82", 'replace f (rank = "full") where f.name = "Merrie"'
+                     + valid('valid from "12/01/82"')),
+        ("01/10/83", 'append to faculty (name = "Mike", rank = "assistant")'
+                     + valid('valid from "01/01/83"')),
+        ("02/25/84", 'delete f where f.name = "Mike"'
+                     + valid('valid from "03/01/84"')),
+    ]
+    for instant, statement in history:
+        clock.set(instant)
+        session.execute(statement)
+    for _ in range(3):
+        if database.supports_rollback:
+            session.execute('retrieve (f.rank) where f.name = "Merrie" '
+                            'as of "12/10/82"')
+        else:
+            session.execute('retrieve (f.name, f.rank) sort by name')
+
+
+def _instrumented_run(args):
+    """Run the requested workload under a fresh recording; return it."""
+    from repro import obs
+    clock = SimulatedClock("01/01/77")
+    session = Session(_KINDS[args.kind](clock=clock))
+    with obs.recording() as instrumentation:
+        if args.file is not None:
+            with open(args.file, encoding="utf-8") as handle:
+                source = handle.read()
+            for _ in session.execute_script(source):
+                pass
+        else:
+            _demo_workload(session, clock)
+    return instrumentation
+
+
+def _format_stats(stats) -> str:
+    """Render a ``stats()`` snapshot as aligned text."""
+    state = "recording" if stats["instrumentation_enabled"] else "off"
+    lines = [f"instrumentation: {state}"]
+    metrics = stats["metrics"]
+    if metrics.get("counters"):
+        lines.append("counters:")
+        for name, value in metrics["counters"].items():
+            lines.append(f"  {name:<34} {value}")
+    if metrics.get("gauges"):
+        lines.append("gauges:")
+        for name, value in metrics["gauges"].items():
+            lines.append(f"  {name:<34} {value}")
+    if metrics.get("histograms"):
+        lines.append("histograms:")
+        for name, summary in metrics["histograms"].items():
+            lines.append(
+                f"  {name}: count={summary['count']} "
+                f"total={summary['total'] * 1e3:.3f}ms "
+                f"p50={summary['p50'] * 1e6:.1f}us "
+                f"p95={summary['p95'] * 1e6:.1f}us "
+                f"max={summary['max'] * 1e6:.1f}us")
+    if stats["spans"]:
+        lines.append(f"spans ({stats['spans_retained']} retained):")
+        for name, entry in sorted(stats["spans"].items()):
+            lines.append(
+                f"  {name:<34} count={entry['count']} "
+                f"total={entry['total_s'] * 1e3:.3f}ms "
+                f"max={entry['max_s'] * 1e6:.1f}us")
+    return "\n".join(lines)
+
+
+def repro_main(argv: Optional[list] = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    args = build_repro_parser().parse_args(argv)
+    try:
+        instrumentation = _instrumented_run(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.subcommand == "stats":
+        snapshot = instrumentation.stats()
+        if args.json:
+            print(json.dumps(snapshot, indent=2, sort_keys=True, default=str))
+        else:
+            print(_format_stats(snapshot))
+        return 0
+    spans = instrumentation.tracer.spans()
+    if args.limit is not None:
+        spans = spans[-args.limit:]
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for span in spans:
+                handle.write(json.dumps(span.describe(), sort_keys=True,
+                                        default=str) + "\n")
+        print(f"wrote {len(spans)} span(s) to {args.out}")
+    else:
+        for span in spans:
+            print(json.dumps(span.describe(), sort_keys=True, default=str))
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

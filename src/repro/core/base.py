@@ -35,6 +35,7 @@ from typing import (Any, Dict, List, Mapping, Optional, Sequence, Tuple as PyTup
 from repro.core.taxonomy import DatabaseKind
 from repro.errors import (DuplicateRelationError, HistoricalNotSupportedError,
                           RollbackNotSupportedError, UnknownRelationError)
+from repro.obs import runtime as _obs
 from repro.relational.constraints import Constraint
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
@@ -242,38 +243,63 @@ class Database(abc.ABC):
         must not be left half-updated, so kinds stage into fresh values
         that are installed only at the end, and the schema/constraint/
         event-flag bookkeeping is snapshotted and restored on failure.
+
+        The whole batch runs inside a ``commit.apply`` span with the
+        batch size timed into the ``commit.apply_seconds`` histogram
+        (no-ops unless recording is on — see :mod:`repro.obs`).
         """
-        staged = self._stage()
-        snapshot = (dict(self._schemas), dict(self._constraints),
-                    set(self._event_relations))
-        try:
-            for op in operations:
-                if op.action == "define":
-                    if op.relation in self._schemas:
-                        raise DuplicateRelationError(
-                            f"relation {op.relation!r} already exists"
-                        )
-                    self._schemas[op.relation] = op.arguments["schema"]
-                    self._constraints[op.relation] = list(
-                        op.arguments["constraints"])
-                    if op.arguments.get("event"):
-                        self._event_relations.add(op.relation)
-                    self._create_store(staged, op.relation,
-                                       op.arguments["schema"])
-                elif op.action == "drop":
-                    self._require_defined(op.relation)
-                    del self._schemas[op.relation]
-                    del self._constraints[op.relation]
-                    self._event_relations.discard(op.relation)
-                    self._drop_store(staged, op.relation)
-                else:
-                    self._apply_dml(staged, op, commit_time)
-            self._install(staged)
-        except Exception:
-            self._schemas, self._constraints, self._event_relations = snapshot
-            raise
-        for name in {op.relation for op in operations}:
-            self._versions[name] = self._versions.get(name, 0) + 1
+        obs = _obs.current()
+        metrics = obs.metrics
+        with obs.tracer.span("commit.apply", kind=str(self.kind),
+                             operations=len(operations)), \
+                metrics.histogram("commit.apply_seconds").time():
+            staged = self._stage()
+            snapshot = (dict(self._schemas), dict(self._constraints),
+                        set(self._event_relations))
+            try:
+                for op in operations:
+                    if op.action == "define":
+                        if op.relation in self._schemas:
+                            raise DuplicateRelationError(
+                                f"relation {op.relation!r} already exists"
+                            )
+                        self._schemas[op.relation] = op.arguments["schema"]
+                        self._constraints[op.relation] = list(
+                            op.arguments["constraints"])
+                        if op.arguments.get("event"):
+                            self._event_relations.add(op.relation)
+                        self._create_store(staged, op.relation,
+                                           op.arguments["schema"])
+                    elif op.action == "drop":
+                        self._require_defined(op.relation)
+                        del self._schemas[op.relation]
+                        del self._constraints[op.relation]
+                        self._event_relations.discard(op.relation)
+                        self._drop_store(staged, op.relation)
+                    else:
+                        self._apply_dml(staged, op, commit_time)
+                self._install(staged)
+            except Exception:
+                self._schemas, self._constraints, self._event_relations = \
+                    snapshot
+                metrics.counter("commit.failed").inc()
+                raise
+            for name in {op.relation for op in operations}:
+                self._versions[name] = self._versions.get(name, 0) + 1
+        metrics.counter("commit.batches").inc()
+        metrics.counter("commit.operations").inc(len(operations))
+
+    # -- observability -----------------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """A snapshot of the process-local instrumentation.
+
+        Metric names and the span taxonomy are documented in
+        ``docs/OBSERVABILITY.md``.  All-empty (with
+        ``instrumentation_enabled: False``) unless recording was turned
+        on via :func:`repro.obs.enable` / :func:`repro.obs.recording`.
+        """
+        return _obs.stats()
 
     # -- kind-specific hooks ------------------------------------------------------------------------
 

@@ -39,6 +39,7 @@ from typing import (Any, Dict, Generic, Iterable, List, Optional, Sequence,
 from repro.core.historical import HistoricalRelation, HistoricalRow
 from repro.core.rollback import RollbackRelation, TransactionTimeRow
 from repro.core.temporal import BitemporalRow, TemporalRelation
+from repro.obs import runtime as _obs
 from repro.relational.relation import Relation
 from repro.time.chronon import require_same_granularity
 from repro.time.instant import Instant, instant as _coerce
@@ -219,6 +220,7 @@ class IntervalTree(Generic[Payload]):
                         len(self._base) // self.REBUILD_FRACTION)
         if self._pending <= threshold:
             return
+        _obs.current().metrics.counter("index.tree.fold_rebuilds").inc()
         live: List[PyTuple[float, float, Payload]] = []
         remaining = dict(self._dead)
         for triple in self._base:
@@ -545,8 +547,12 @@ class DatabaseIndexCache:
     with the commit delta when the storage lineage allows (O(Δ log n));
     only unrelated values force a full rebuild.
 
-    The counters (:attr:`hits`, :attr:`misses`,
-    :attr:`incremental_updates`) exist for tests and benchmarks.
+    The plain-int counters (:attr:`hits`, :attr:`misses`,
+    :attr:`incremental_updates`) are always live for tests and benchmarks;
+    the same events are mirrored into the process instrumentation
+    (:mod:`repro.obs`) as ``index.cache.hits`` / ``index.cache.misses`` /
+    ``index.cache.patches``, plus an ``index.tree.size.<name>.<flavor>``
+    gauge per served index, whenever recording is on.
     """
 
     def __init__(self, database) -> None:
@@ -556,22 +562,37 @@ class DatabaseIndexCache:
         self.misses = 0
         self.incremental_updates = 0
 
+    @staticmethod
+    def _tree_size(index) -> int:
+        tree = getattr(index, "_tree", None)
+        if tree is None:
+            tree = getattr(index, "_tt_tree", None)
+        return tree.size if tree is not None else 0
+
     def _get(self, name: str, flavor: str, builder, updater):
+        metrics = _obs.current().metrics
         version = self._db.relation_version(name)
         slot = self._slots.get((name, flavor))
         if slot is not None:
             cached_version, index = slot
             if cached_version == version:
                 self.hits += 1
+                metrics.counter("index.cache.hits").inc()
                 return index
             fresh = updater(index)
             if fresh is not None:
                 self.incremental_updates += 1
                 self._slots[(name, flavor)] = (version, fresh)
+                metrics.counter("index.cache.patches").inc()
+                metrics.gauge(f"index.tree.size.{name}.{flavor}").set(
+                    self._tree_size(fresh))
                 return fresh
         self.misses += 1
+        metrics.counter("index.cache.misses").inc()
         index = builder()
         self._slots[(name, flavor)] = (version, index)
+        metrics.gauge(f"index.tree.size.{name}.{flavor}").set(
+            self._tree_size(index))
         return index
 
     def historical(self, name: str) -> HistoricalIndex:

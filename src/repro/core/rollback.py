@@ -36,6 +36,7 @@ from typing import (Any, Dict, Iterable, List, Mapping, NamedTuple, Optional,
 from repro.core.base import Database, InstantLike
 from repro.core.taxonomy import DatabaseKind
 from repro.errors import JournalError, UnknownRelationError
+from repro.obs import runtime as _obs
 from repro.relational.constraints import KeyConstraint, check_all
 from repro.relational.relation import Predicate, Relation
 from repro.relational.schema import Schema
@@ -438,7 +439,9 @@ class RollbackDatabase(Database):
             states = [pair for pair in store.states if pair[0] < commit_time]
             states.append((commit_time, new_current))
             return StateSequence(store.schema, states)
+        metrics = _obs.current().metrics
         if store._open_extra:
+            metrics.counter("commit.fallback_naive").inc()
             return naive_rollback_advance(store, new_current, commit_time)
         new_set = set(new_current.tuples)
         closed_log = store._closed_log
@@ -446,6 +449,7 @@ class RollbackDatabase(Database):
             # A sibling version extended the shared log (an aborted
             # commit): diverge onto a private copy.
             closed_log = closed_log[:store._closed_len]
+        closed_before = len(closed_log)
         old_open = store._open
         new_open: Dict[Tuple, TransactionTimeRow] = {}
         for data, row in old_open.items():
@@ -456,10 +460,15 @@ class RollbackDatabase(Database):
             else:
                 closed_log.append(TransactionTimeRow(
                     data, Period(row.tt.start, commit_time)))
+        opened = 0
         for data in new_current.tuples:
             if data not in old_open:
                 new_open[data] = TransactionTimeRow(
                     data, Period(commit_time, POS_INF))
+                opened += 1
+        metrics.counter("commit.rows_closed").inc(
+            len(closed_log) - closed_before)
+        metrics.counter("commit.rows_opened").inc(opened)
         return RollbackRelation._from_parts(store.schema, closed_log,
                                             len(closed_log), new_open,
                                             store._lineage)

@@ -44,6 +44,7 @@ from repro.core.historical import (HistoricalRelation, HistoricalRow,
                                    check_historical_constraints)
 from repro.core.taxonomy import DatabaseKind
 from repro.errors import ConstraintViolation, UnknownRelationError
+from repro.obs import runtime as _obs
 from repro.relational.constraints import Constraint
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
@@ -437,7 +438,9 @@ class TemporalDatabase(Database):
         one case the partition cannot: a derived value holding duplicate
         open rows.
         """
+        metrics = _obs.current().metrics
         if relation._open_extra:
+            metrics.counter("commit.fallback_naive").inc()
             return naive_advance(relation, op, commit_time)
         old_state = relation.current()
         new_state = apply_historical_operation(old_state, op)
@@ -451,6 +454,7 @@ class TemporalDatabase(Database):
             # A sibling version already extended the shared log (an aborted
             # or superseded commit): diverge onto a private copy.
             closed_log = closed_log[:relation._closed_len]
+        closed_before = len(closed_log)
         old_open = relation._open
         new_open: Dict[_OpenKey, BitemporalRow] = {}
         for key, row in old_open.items():
@@ -461,10 +465,15 @@ class TemporalDatabase(Database):
             else:
                 closed_log.append(BitemporalRow(
                     row.data, row.valid, Period(row.tt.start, commit_time)))
+        opened = 0
         for key, hist_row in new_keys.items():
             if key not in old_open:
                 new_open[key] = BitemporalRow(hist_row.data, hist_row.valid,
                                               Period(commit_time, POS_INF))
+                opened += 1
+        metrics.counter("commit.rows_closed").inc(
+            len(closed_log) - closed_before)
+        metrics.counter("commit.rows_opened").inc(opened)
         return TemporalRelation._from_parts(relation.schema, closed_log,
                                             len(closed_log), new_open,
                                             relation._lineage)

@@ -1,0 +1,53 @@
+"""Observability: metrics, tracing and the process-local switchboard.
+
+The instrumentation layer the rest of ``repro`` writes to:
+
+- :mod:`~repro.obs.metrics` — :class:`MetricsRegistry` (counters, gauges,
+  monotonic-clock histograms with p50/p95/max summaries) and its
+  zero-cost :class:`NullRegistry` twin;
+- :mod:`~repro.obs.tracing` — :class:`Tracer` producing nested
+  :class:`Span`\\ s into a bounded ring buffer, with a JSON-lines
+  exporter;
+- :mod:`~repro.obs.runtime` — the *current* instrumentation: a no-op by
+  default, swapped in with :func:`enable` / :func:`recording`.
+
+Metric names and the span taxonomy are documented in
+``docs/OBSERVABILITY.md``.  Instrumented layers: the commit applier
+(:meth:`repro.core.base.Database._apply`), the incremental advance paths
+(:mod:`repro.core.temporal`, :mod:`repro.core.rollback`), the index
+cache and interval trees (:mod:`repro.core.indexing`), the TQuel
+pipeline (:mod:`repro.tquel`), the transaction lifecycle
+(:mod:`repro.txn`) and the workload driver (:mod:`repro.workload`).
+"""
+
+from repro.obs.metrics import (
+    Counter, Gauge, Histogram, MetricsRegistry, NullRegistry, NULL_REGISTRY,
+    quantile,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.runtime import (
+    Instrumentation, NULL, current, disable, enable, install, recording,
+    stats,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NULL",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current",
+    "disable",
+    "enable",
+    "install",
+    "quantile",
+    "recording",
+    "stats",
+]

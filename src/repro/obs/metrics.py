@@ -1,0 +1,281 @@
+"""Process-local metrics: counters, gauges and monotonic-clock histograms.
+
+The registry is the write side of the instrumentation layer
+(:mod:`repro.obs`): hot paths ask it for an instrument by name and bump
+it; :meth:`MetricsRegistry.snapshot` is the read side, a plain dict that
+``db.stats()``, the ``repro stats`` CLI and the benchmark harness embed
+verbatim.
+
+Two implementations share one interface:
+
+- :class:`MetricsRegistry` records everything;
+- :class:`NullRegistry` (the process default, see :mod:`repro.obs.runtime`)
+  returns shared singleton no-op instruments, so an instrumented call
+  site costs a dict lookup and a no-op method call — and **allocates
+  nothing** — when observability is off.
+
+Durations are measured with :func:`time.perf_counter`, the monotonic
+clock; this module (and :mod:`repro.obs.tracing`) are the only places in
+``repro`` allowed to touch it directly — everything else times itself
+through :meth:`Histogram.time` or a tracer span, which CI enforces with a
+grep guard.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
+    "NULL_REGISTRY", "quantile",
+]
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """The *q*-quantile of pre-sorted values, linearly interpolated.
+
+    Uses the standard ``idx = q * (n - 1)`` rule (numpy's default): the
+    result is ``v[floor(idx)]`` blended with ``v[ceil(idx)]`` by the
+    fractional part.  Raises :class:`ValueError` on an empty sequence.
+    """
+    if not sorted_values:
+        raise ValueError("quantile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
+    position = q * (len(sorted_values) - 1)
+    lower = int(position)
+    fraction = position - lower
+    if fraction == 0.0:
+        return float(sorted_values[lower])
+    return (sorted_values[lower]
+            + (sorted_values[lower + 1] - sorted_values[lower]) * fraction)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (default 1)."""
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (sizes, active counts)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value) -> None:
+        """Record the current reading."""
+        self.value = value
+
+    def add(self, amount) -> None:
+        """Move the reading by *amount* (may be negative)."""
+        self.value += amount
+
+
+class _Timer:
+    """Context manager: observes the elapsed monotonic time on exit."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: "Histogram") -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._histogram.observe(time.perf_counter() - self._start)
+        return False
+
+
+class Histogram:
+    """Raw-sample histogram with p50/p95/max summaries.
+
+    Keeps every observation (these are process-local diagnostics, not a
+    long-running telemetry pipeline); :meth:`summary` sorts once and
+    reads the quantiles off the sorted samples.
+    """
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self._values.append(value)
+
+    def time(self) -> _Timer:
+        """A context manager observing the wrapped block's duration."""
+        return _Timer(self)
+
+    @property
+    def count(self) -> int:
+        """How many samples have been observed."""
+        return len(self._values)
+
+    @property
+    def values(self) -> List[float]:
+        """A copy of the raw samples, in observation order."""
+        return list(self._values)
+
+    def summary(self) -> Dict[str, float]:
+        """``{count, total, p50, p95, max}`` over the samples so far."""
+        if not self._values:
+            return {"count": 0, "total": 0.0, "p50": 0.0, "p95": 0.0,
+                    "max": 0.0}
+        ordered = sorted(self._values)
+        return {
+            "count": len(ordered),
+            "total": float(sum(ordered)),
+            "p50": quantile(ordered, 0.50),
+            "p95": quantile(ordered, 0.95),
+            "max": float(ordered[-1]),
+        }
+
+
+class MetricsRegistry:
+    """A process-local, name-keyed home for instruments.
+
+    Instruments are created on first use and live for the registry's
+    lifetime; asking twice for the same name returns the same object, so
+    call sites may cache the handle.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called *name* (created empty on first use)."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called *name* (created at 0 on first use)."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called *name* (created empty on first use)."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict snapshot of every instrument, sorted by name."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": {name: h.summary()
+                           for name, h in sorted(self._histograms.items())},
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (used between benchmark series)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value) -> None:
+        pass
+
+    def add(self, amount) -> None:
+        pass
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def time(self) -> _NullTimer:  # type: ignore[override]
+        return _NULL_TIMER
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class NullRegistry(MetricsRegistry):
+    """The zero-cost registry: every lookup returns a shared no-op.
+
+    No instrument is ever created, no sample stored, and — the property
+    the no-op tests pin down — no call on it allocates: the singletons
+    below are returned by reference and their methods do nothing.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self) -> None:
+        pass
+
+
+#: The shared no-op registry (the process default until recording is on).
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,127 @@
+"""The live instrumentation switchboard.
+
+One process-local :class:`Instrumentation` (a metrics registry + a
+tracer) is *current* at any moment; instrumented call sites fetch it
+with :func:`current` and bump instruments on whatever it holds.  The
+default is :data:`NULL` — the no-op registry and tracer — so the
+instrumented hot paths (commit apply, index cache, TQuel pipeline,
+transaction lifecycle) cost a global read and a no-op call until someone
+turns recording on:
+
+>>> from repro import obs
+>>> with obs.recording() as inst:
+...     ...  # run a workload
+...     inst.metrics.snapshot()
+
+or, imperatively, ``obs.enable()`` / ``obs.disable()`` (what the
+``repro stats`` CLI and the benchmark harness use).
+
+The switch is process-wide on purpose: the paper's engine is a
+single-writer system and the observability layer follows the same model
+— a snapshot describes *this process*, not one database object.
+``db.stats()`` is a convenience view over the same current
+instrumentation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.obs.tracing import NULL_TRACER, Tracer
+
+__all__ = ["Instrumentation", "NULL", "current", "install", "enable",
+           "disable", "recording", "stats"]
+
+
+class Instrumentation:
+    """A metrics registry and a tracer that travel together."""
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 capacity: int = 2048) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(capacity)
+
+    @property
+    def enabled(self) -> bool:
+        """True when this instrumentation records anything."""
+        return self.metrics.enabled
+
+    def stats(self) -> Dict[str, Any]:
+        """The combined snapshot ``db.stats()`` and ``repro stats`` print."""
+        return {
+            "instrumentation_enabled": self.enabled,
+            "metrics": self.metrics.snapshot(),
+            "spans": self.tracer.aggregate(),
+            "spans_retained": len(self.tracer),
+        }
+
+    def reset(self) -> None:
+        """Drop all recorded metrics and spans."""
+        self.metrics.reset()
+        self.tracer.reset()
+
+    def __repr__(self) -> str:
+        state = "recording" if self.enabled else "no-op"
+        return f"Instrumentation({state})"
+
+
+#: The no-op instrumentation: the process default.
+NULL = Instrumentation(NULL_REGISTRY, NULL_TRACER)
+
+_current: Instrumentation = NULL
+
+
+def current() -> Instrumentation:
+    """The instrumentation the process is writing to right now."""
+    return _current
+
+
+def install(instrumentation: Instrumentation) -> Instrumentation:
+    """Make *instrumentation* current; returns the previous one."""
+    global _current
+    previous = _current
+    _current = instrumentation
+    return previous
+
+
+def enable(capacity: int = 2048) -> Instrumentation:
+    """Start recording into a fresh instrumentation and return it.
+
+    If recording is already on, the existing instrumentation is kept (so
+    repeated ``enable()`` calls don't silently drop data).
+    """
+    if _current.enabled:
+        return _current
+    install(Instrumentation(capacity=capacity))
+    return _current
+
+
+def disable() -> Instrumentation:
+    """Stop recording; returns the instrumentation that was current."""
+    previous = install(NULL)
+    return previous
+
+
+@contextlib.contextmanager
+def recording(capacity: int = 2048) -> Iterator[Instrumentation]:
+    """Record within a ``with`` block; restores the previous state after.
+
+    Yields the fresh :class:`Instrumentation`, which stays readable after
+    the block (it is merely no longer *current*).
+    """
+    instrumentation = Instrumentation(capacity=capacity)
+    previous = install(instrumentation)
+    try:
+        yield instrumentation
+    finally:
+        install(previous)
+
+
+def stats() -> Dict[str, Any]:
+    """Snapshot of the current instrumentation (empty when disabled)."""
+    return _current.stats()

@@ -1,0 +1,233 @@
+"""Nested spans over a ring buffer, with a JSON-lines exporter.
+
+A :class:`Span` is one timed region — name, attributes, monotonic-clock
+duration, and the id of the span it ran inside.  The :class:`Tracer`
+keeps the *finished* spans in a bounded ring buffer (old spans fall off
+the back), so tracing a long workload costs constant memory.
+
+Nesting is tracked per thread with an open-span stack: a span started
+while another is open records that span as its parent, which is how one
+``commit.apply`` span owns its operation children and one
+``tquel.statement`` span owns its lex/parse/analyze/evaluate phases.
+
+Finished spans land in the buffer in *completion* order (children before
+their parent, as in every tracing system), each carrying ``started_at``
+(monotonic seconds) so exporters can re-derive wall ordering.
+
+:class:`NullTracer` is the disabled twin: :meth:`NullTracer.span`
+returns a shared no-op context manager, so tracing call sites cost a
+method call when observability is off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, IO, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One timed region of execution.
+
+    Created by :meth:`Tracer.span` and used as a context manager; set
+    extra attributes mid-flight with :meth:`set`.  ``duration`` is in
+    monotonic-clock seconds.
+    """
+
+    __slots__ = ("name", "attributes", "span_id", "parent_id", "started_at",
+                 "duration", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: Optional[int],
+                 attributes: Dict[str, Any]) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.started_at = 0.0
+        self.duration = 0.0
+        self._tracer = tracer
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes to the live span; returns the span."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.started_at = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self.started_at
+        if exc_type is not None:
+            self.attributes["error"] = exc_type.__name__
+        self._tracer._finish(self)
+        return False
+
+    def describe(self) -> Dict[str, Any]:
+        """A JSON-ready dict (the exporter's row format)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started_at": round(self.started_at, 9),
+            "duration_s": round(self.duration, 9),
+            "attributes": self.attributes,
+        }
+
+    def __repr__(self) -> str:
+        parent = f" in #{self.parent_id}" if self.parent_id is not None else ""
+        return (f"Span(#{self.span_id} {self.name!r}{parent}, "
+                f"{self.duration * 1e3:.3f} ms)")
+
+
+class Tracer:
+    """Produces nested spans and retains the last *capacity* finished ones."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self._finished: deque = deque(maxlen=capacity)
+        self._ids = itertools.count(1)
+        self._local = threading.local()  # per-thread open-span stack
+
+    @property
+    def capacity(self) -> int:
+        """The ring-buffer size (finished spans retained)."""
+        return self._finished.maxlen  # type: ignore[return-value]
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Open a span; use as a context manager.
+
+        The span's parent is whatever span is currently open on this
+        thread (None at top level).
+        """
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        span = Span(self, name, next(self._ids), parent_id, attributes)
+        stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # out-of-order exit (mis-nested manual use): drop from middle
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        self._finished.append(span)
+
+    def spans(self) -> List[Span]:
+        """The retained finished spans, oldest first (completion order)."""
+        return list(self._finished)
+
+    def __len__(self) -> int:
+        return len(self._finished)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans())
+
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Per-name ``{count, total_s, max_s}`` over the retained spans."""
+        result: Dict[str, Dict[str, float]] = {}
+        for span in self._finished:
+            entry = result.setdefault(span.name,
+                                      {"count": 0, "total_s": 0.0,
+                                       "max_s": 0.0})
+            entry["count"] += 1
+            entry["total_s"] += span.duration
+            if span.duration > entry["max_s"]:
+                entry["max_s"] = span.duration
+        for entry in result.values():
+            entry["total_s"] = round(entry["total_s"], 9)
+            entry["max_s"] = round(entry["max_s"], 9)
+        return result
+
+    def export_jsonl(self, target) -> int:
+        """Write the retained spans as JSON lines; returns the span count.
+
+        *target* is an open text file or a path.
+        """
+        if hasattr(target, "write"):
+            return self._write_jsonl(target)
+        with open(target, "w", encoding="utf-8") as handle:
+            return self._write_jsonl(handle)
+
+    def _write_jsonl(self, handle: IO[str]) -> int:
+        count = 0
+        for span in self._finished:
+            handle.write(json.dumps(span.describe(), sort_keys=True,
+                                    default=str))
+            handle.write("\n")
+            count += 1
+        return count
+
+    def reset(self) -> None:
+        """Drop the retained spans (open spans are unaffected)."""
+        self._finished.clear()
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self._finished)}/{self.capacity} spans retained)"
+
+
+class _NullSpan:
+    """The shared do-nothing span."""
+
+    __slots__ = ()
+
+    name = "null"
+    attributes: Dict[str, Any] = {}
+    span_id = 0
+    parent_id = None
+    duration = 0.0
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: spans are shared no-ops, nothing is retained."""
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def spans(self) -> List[Span]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        return {}
+
+    def export_jsonl(self, target) -> int:
+        return 0
+
+
+#: The shared no-op tracer (the process default until recording is on).
+NULL_TRACER = NullTracer()

@@ -38,6 +38,7 @@ from repro.core.historical import HistoricalDatabase, HistoricalRelation, Histor
 from repro.core.rollback import RollbackDatabase
 from repro.core.temporal import BitemporalRow, TemporalDatabase, TemporalRelation
 from repro.errors import TQuelSemanticError
+from repro.obs import runtime as _obs
 from repro.relational.domain import Domain
 from repro.relational.expression import (
     And, AttrRef, BinaryOp, Comparison, Const, Expression, IsNull, Not, Or,
@@ -315,6 +316,34 @@ class Evaluator:
         return [_Candidate(row, None, None)
                 for row in db.snapshot(relation)]
 
+    def _index_decision(self, as_of: Optional[Instant],
+                        through: Optional[Instant]) -> str:
+        """How :meth:`_candidates` would source one relation's rows.
+
+        Mirrors the dispatch in :meth:`_candidates` without running it:
+        which access path (index stab, index range overlap, or scan) the
+        evaluator will take for the statement's temporal clauses.
+        """
+        db = self._db
+        indexed = db.index_cache is not None
+        if isinstance(db, TemporalDatabase):
+            if not indexed:
+                return "scan (index disabled)"
+            if through is not None:
+                return "bitemporal index: transaction-time range overlap"
+            return "bitemporal index: transaction-time stab"
+        if isinstance(db, HistoricalDatabase):
+            return "scan of recorded facts"
+        if isinstance(db, RollbackDatabase):
+            if as_of is None and through is None:
+                return "snapshot scan"
+            if not indexed:
+                return "scan (index disabled)"
+            if through is not None:
+                return "rollback index: transaction-time range overlap"
+            return "rollback index: transaction-time stab"
+        return "snapshot scan"
+
     # -- explain -------------------------------------------------------------------------
 
     def explain(self, statement: RetrieveStmt) -> Dict[str, Any]:
@@ -336,6 +365,7 @@ class Evaluator:
             through = eval_bound(statement.as_of_through, {}, now)
 
         pushdown, residual = partition_pushdown(statement.where)
+        index_decision = self._index_decision(as_of, through)
         variables = {}
         product = 1
         for variable in used:
@@ -351,6 +381,7 @@ class Evaluator:
                 "candidates": len(candidates),
                 "after_pushdown": len(filtered),
                 "pushed_conjuncts": len(pushdown.get(variable, [])),
+                "index": index_decision,
             }
             product *= len(filtered)
 
@@ -395,6 +426,9 @@ class Evaluator:
                                               through)
                    for variable in used}
         variables = list(used)
+        metrics = _obs.current().metrics
+        metrics.counter("tquel.candidates_enumerated").inc(
+            sum(len(stream) for stream in streams.values()))
 
         # Selection pushdown: single-variable conjuncts filter their
         # stream before the product is formed.
@@ -433,6 +467,10 @@ class Evaluator:
             result = self._static_result(statement, matched)
 
         result = self._sorted(result, statement.sort_by)
+        metrics.counter("tquel.rows_emitted").inc(
+            len(result) if isinstance(
+                result, (Relation, HistoricalRelation, TemporalRelation))
+            else 0)
         if statement.into is not None:
             self._materialize(statement.into, result)
         return result

@@ -25,11 +25,14 @@ from typing import Dict, List, Optional, Union
 from repro.core.base import Database
 from repro.core.historical import HistoricalRelation
 from repro.core.temporal import TemporalRelation
+from repro.obs import runtime as _obs
+from repro.obs.runtime import Instrumentation
 from repro.relational.relation import Relation
 from repro.tquel.analyzer import analyze
 from repro.tquel.ast import RangeStmt, Statement
 from repro.tquel.evaluator import Evaluator, Result
-from repro.tquel.parser import parse, parse_script
+from repro.tquel.lexer import tokenize
+from repro.tquel.parser import parse_script, parse_tokens
 from repro.tquel import printer
 
 
@@ -58,14 +61,36 @@ class Session:
         Retrieves return a relation value of the kind the database produces
         (static / historical / temporal); updates and DDL return the commit
         time; ``range of`` returns ``None``.
+
+        The four pipeline phases run under nested spans
+        (``tquel.statement`` > ``tquel.lex`` / ``tquel.parse`` /
+        ``tquel.analyze`` / ``tquel.evaluate``) — no-ops unless recording
+        is on.
         """
-        return self.execute_statement(parse(source))
+        obs = _obs.current()
+        with obs.tracer.span("tquel.statement"):
+            obs.metrics.counter("tquel.statements").inc()
+            with obs.tracer.span("tquel.lex"):
+                tokens = tokenize(source)
+            with obs.tracer.span("tquel.parse"):
+                statement = parse_tokens(tokens)
+            return self._execute_parsed(statement)
 
     def execute_statement(self, statement: Statement) -> Result:
         """Run one parsed statement (analyze, evaluate, update bindings)."""
-        analyze(statement, self._db, self._ranges)
+        obs = _obs.current()
+        with obs.tracer.span("tquel.statement"):
+            obs.metrics.counter("tquel.statements").inc()
+            return self._execute_parsed(statement)
+
+    def _execute_parsed(self, statement: Statement) -> Result:
+        """The analyze + evaluate tail shared by both entry points."""
+        tracer = _obs.current().tracer
+        with tracer.span("tquel.analyze"):
+            analyze(statement, self._db, self._ranges)
         evaluator = Evaluator(self._db, self._ranges)
-        result = evaluator.execute(statement)
+        with tracer.span("tquel.evaluate"):
+            result = evaluator.execute(statement)
         if isinstance(statement, RangeStmt):
             self._ranges[statement.variable] = statement.relation
         return result
@@ -86,17 +111,39 @@ class Session:
             raise TypeError(f"{source!r} did not produce a relation")
         return result
 
+    def explain_plan(self, source: str) -> Dict[str, object]:
+        """The raw explain plan, with measured pipeline-phase timings.
+
+        Runs lex → parse → analyze → plan under a private (not installed)
+        :class:`~repro.obs.Instrumentation` so the timings are recorded
+        even when process-wide recording is off, and nothing leaks into
+        the global registry.  The returned dict is the evaluator's plan
+        (per-variable candidate counts, pushdown effect, and index access
+        path) plus a ``"phases"`` map of phase name → seconds.
+        """
+        local = Instrumentation(capacity=16)
+        with local.tracer.span("lex"):
+            tokens = tokenize(source)
+        with local.tracer.span("parse"):
+            statement = parse_tokens(tokens)
+        with local.tracer.span("analyze"):
+            analyze(statement, self._db, self._ranges)
+        with local.tracer.span("plan"):
+            plan = Evaluator(self._db, self._ranges).explain(statement)
+        plan["phases"] = {span.name: span.duration
+                          for span in local.tracer.spans()}
+        return plan
+
     def explain(self, source: str) -> str:
         """Describe how a retrieve would execute, as readable text.
 
-        Shows the candidate source and count per range variable (before
-        and after selection pushdown), the residual predicate size, the
-        temporal clauses, and the result kind — without forming the
+        Shows the candidate source, count and index access path per range
+        variable (before and after selection pushdown), the residual
+        predicate size, the temporal clauses, the result kind, and the
+        measured time of each pipeline phase — without forming the
         product.
         """
-        statement = parse(source)
-        analyze(statement, self._db, self._ranges)
-        plan = Evaluator(self._db, self._ranges).explain(statement)
+        plan = self.explain_plan(source)
         lines = [f"retrieve on a {plan['database_kind']} database "
                  f"-> {plan['result_kind']} result"]
         for variable, info in plan["variables"].items():
@@ -106,6 +153,7 @@ class Session:
                 f"  {variable} over {info['relation']}: "
                 f"{info['candidates']} candidates -> "
                 f"{info['after_pushdown']}{note}")
+            lines.append(f"    access path: {info['index']}")
         lines.append(f"  product of {plan['product_size']} combination(s), "
                      f"{plan['residual_conjuncts']} residual conjunct(s)")
         clauses = []
@@ -119,6 +167,9 @@ class Session:
                               if plan["through"] else ""))
         if clauses:
             lines.append("  temporal clauses: " + ", ".join(clauses))
+        lines.append("  phases: " + ", ".join(
+            f"{name} {duration * 1e6:.1f}us"
+            for name, duration in plan["phases"].items()))
         return "\n".join(lines)
 
     def migrate_database(self, target_class, allow_loss: bool = False):

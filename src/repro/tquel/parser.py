@@ -502,9 +502,14 @@ def _default_target_name(expr) -> Optional[str]:
     return None
 
 
-def parse(source: str) -> Statement:
-    """Parse exactly one statement."""
-    parser = Parser(tokenize(source))
+def parse_tokens(tokens: List[Token]) -> Statement:
+    """Parse exactly one statement from an already-lexed token stream.
+
+    Split out of :func:`parse` so callers that time lexing and parsing
+    separately (the session's ``tquel.lex`` / ``tquel.parse`` spans) can
+    run the two phases themselves.
+    """
+    parser = Parser(tokens)
     statement = parser.statement()
     while parser._accept_symbol(";"):
         pass
@@ -514,6 +519,11 @@ def parse(source: str) -> Statement:
             f"unexpected input after statement: {trailing.value!r}",
             trailing.line, trailing.column)
     return statement
+
+
+def parse(source: str) -> Statement:
+    """Parse exactly one statement."""
+    return parse_tokens(tokenize(source))
 
 
 def parse_script(source: str) -> List[Statement]:

@@ -19,6 +19,7 @@ import threading
 from typing import Callable, Optional, Sequence
 
 from repro.errors import TransactionStateError
+from repro.obs import runtime as _obs
 from repro.time.clock import Clock, SystemClock, TransactionClock
 from repro.time.instant import Instant
 from repro.txn.log import CommitLog, CommitRecord
@@ -91,6 +92,9 @@ class TransactionManager:
             txn = Transaction(self._next_id, self._commit)
             self._next_id += 1
             self._active = txn
+            metrics = _obs.current().metrics
+            metrics.counter("txn.begin").inc()
+            metrics.gauge("txn.active").add(1)
             return txn
 
     def _commit(self, txn: Transaction) -> Instant:
@@ -100,6 +104,9 @@ class TransactionManager:
             self._applier(txn.operations, commit_time)
             record = self._log.append(commit_time, txn.operations)
             self._active = None
+        metrics = _obs.current().metrics
+        metrics.counter("txn.commit").inc()
+        metrics.gauge("txn.active").add(-1)
         if self.on_commit is not None:
             self.on_commit(record)
         return commit_time

@@ -19,6 +19,7 @@ import enum
 from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import TransactionStateError
+from repro.obs import runtime as _obs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.time.instant import Instant
@@ -132,6 +133,9 @@ class Transaction:
             self._commit_time = self._commit_callback(self)
         except Exception:
             self._status = TxnStatus.ABORTED
+            metrics = _obs.current().metrics
+            metrics.counter("txn.abort").inc()
+            metrics.gauge("txn.active").add(-1)
             raise
         self._status = TxnStatus.COMMITTED
         return self._commit_time
@@ -141,6 +145,9 @@ class Transaction:
         self._require_active()
         self._operations.clear()
         self._status = TxnStatus.ABORTED
+        metrics = _obs.current().metrics
+        metrics.counter("txn.abort").inc()
+        metrics.gauge("txn.active").add(-1)
 
     # -- context manager ---------------------------------------------------------------
 

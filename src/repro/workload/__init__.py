@@ -5,6 +5,11 @@ faculty example — so the benchmark harness generates synthetic histories
 in the same shape, at scale, with the temporally interesting behaviours
 the paper motivates dialled in as parameters: retroactive and postactive
 changes, error corrections, and batched updates (the §3 payroll example).
+
+Driving a workload with :func:`apply_workload` records into the live
+:mod:`repro.obs` instrumentation: a ``workload.apply`` span plus
+``workload.steps`` / ``workload.transactions`` counters, alongside the
+commit/transaction metrics the engine itself emits.
 """
 
 from repro.workload.generators import (

@@ -27,6 +27,7 @@ import random
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.base import Database
+from repro.obs import runtime as _obs
 from repro.relational.domain import Domain
 from repro.relational.schema import Schema
 from repro.time.clock import SimulatedClock
@@ -246,6 +247,10 @@ def apply_workload(database: Database, workload,
     :class:`~repro.time.clock.SimulatedClock` so commit instants can be
     steered; consecutive steps of one batch commit in one transaction.
     Returns the number of transactions committed.
+
+    The whole drive runs under a ``workload.apply`` span, with
+    ``workload.steps`` / ``workload.transactions`` counters recorded into
+    the current registry (no-ops unless recording is on).
     """
     if steps is None:
         steps = workload.steps()
@@ -256,27 +261,32 @@ def apply_workload(database: Database, workload,
     if workload.relation not in database:
         database.define(workload.relation, workload.schema())
 
+    obs = _obs.current()
     supports_valid = database.kind.supports_historical_queries
     transactions = 0
     index = 0
-    while index < len(steps):
-        step = steps[index]
-        # One transaction per (commit, batch) group.
-        group = [step]
-        scan = index + 1
-        while (scan < len(steps) and steps[scan].commit == step.commit
-               and steps[scan].batch == step.batch):
-            group.append(steps[scan])
-            scan += 1
-        index = scan
+    with obs.tracer.span("workload.apply", kind=str(database.kind),
+                         steps=len(steps)):
+        while index < len(steps):
+            step = steps[index]
+            # One transaction per (commit, batch) group.
+            group = [step]
+            scan = index + 1
+            while (scan < len(steps) and steps[scan].commit == step.commit
+                   and steps[scan].batch == step.batch):
+                group.append(steps[scan])
+                scan += 1
+            index = scan
 
-        if clock.current().chronon < step.commit:
-            clock.set(Instant.from_chronon(step.commit))
-        with database.begin() as txn:
-            for member in group:
-                _apply_step(database, workload.relation, member,
-                            supports_valid, txn)
-        transactions += 1
+            if clock.current().chronon < step.commit:
+                clock.set(Instant.from_chronon(step.commit))
+            with database.begin() as txn:
+                for member in group:
+                    _apply_step(database, workload.relation, member,
+                                supports_valid, txn)
+            transactions += 1
+    obs.metrics.counter("workload.steps").inc(len(steps))
+    obs.metrics.counter("workload.transactions").inc(transactions)
     return transactions
 
 

@@ -1,0 +1,25 @@
+"""Source hygiene: the monotonic clock is confined to ``repro.obs``.
+
+Mirrors the CI grep guard: every ``time.perf_counter`` call site inside
+``src/repro`` must live in ``src/repro/obs/`` — everything else times
+itself through a histogram timer or a tracer span, so enabling or
+disabling observability never changes what the engine measures.
+"""
+
+import pathlib
+
+import repro
+
+SRC_REPRO = pathlib.Path(repro.__file__).parent
+
+
+def test_perf_counter_only_inside_obs():
+    offenders = []
+    for path in sorted(SRC_REPRO.rglob("*.py")):
+        relative = path.relative_to(SRC_REPRO)
+        if relative.parts[0] == "obs":
+            continue
+        if "perf_counter" in path.read_text(encoding="utf-8"):
+            offenders.append(str(relative))
+    assert not offenders, (
+        f"time.perf_counter used outside repro.obs: {offenders}")

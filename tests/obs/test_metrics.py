@@ -1,0 +1,109 @@
+"""Unit tests for the metrics side: quantiles, instruments, the registry."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, quantile
+
+
+class TestQuantile:
+    def test_single_value(self):
+        assert quantile([7.0], 0.0) == 7.0
+        assert quantile([7.0], 0.5) == 7.0
+        assert quantile([7.0], 1.0) == 7.0
+
+    def test_endpoints(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 4.0
+
+    def test_median_even_count_interpolates(self):
+        # idx = 0.5 * 3 = 1.5 -> halfway between v[1]=2 and v[2]=3.
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_median_odd_count_is_exact(self):
+        assert quantile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_p95_interpolation(self):
+        # 0..100: idx = 0.95 * 100 = 95 exactly.
+        values = [float(i) for i in range(101)]
+        assert quantile(values, 0.95) == 95.0
+        # 5 values: idx = 0.95 * 4 = 3.8 -> 4 + 0.8 * (5 - 4) = 4.8.
+        assert quantile([1.0, 2.0, 3.0, 4.0, 5.0], 0.95) == pytest.approx(4.8)
+
+    def test_quarter_quantile(self):
+        # idx = 0.25 * 3 = 0.75 -> 10 + 0.75 * (20 - 10) = 17.5.
+        assert quantile([10.0, 20.0, 30.0, 40.0], 0.25) == 17.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            quantile([], 0.5)
+
+    def test_out_of_range_fraction_raises(self):
+        with pytest.raises(ValueError, match="quantile fraction"):
+            quantile([1.0], 1.5)
+        with pytest.raises(ValueError, match="quantile fraction"):
+            quantile([1.0], -0.1)
+
+
+class TestInstruments:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.counter("c") is counter
+
+    def test_gauge_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in (3.0, 1.0, 2.0, 4.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["total"] == pytest.approx(10.0)
+        assert summary["p50"] == pytest.approx(2.5)
+        assert summary["max"] == 4.0
+
+    def test_empty_histogram_summary_is_zeroed(self):
+        summary = MetricsRegistry().histogram("h").summary()
+        assert summary == {"count": 0, "total": 0.0, "p50": 0.0,
+                           "p95": 0.0, "max": 0.0}
+
+    def test_histogram_timer_observes_positive_duration(self):
+        histogram = MetricsRegistry().histogram("h")
+        with histogram.time():
+            sum(range(100))
+        assert histogram.count == 1
+        assert histogram.values[0] >= 0.0
+
+
+class TestRegistry:
+    def test_snapshot_shape_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("size").set(9)
+        registry.histogram("lat").observe(0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["counters"] == {"a": 2, "b": 1}
+        assert snapshot["gauges"] == {"size": 9}
+        assert snapshot["histograms"]["lat"]["count"] == 1
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                       "histograms": {}}
+
+    def test_enabled_flag(self):
+        assert MetricsRegistry().enabled is True

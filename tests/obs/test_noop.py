@@ -1,0 +1,94 @@
+"""The disabled layer really is free: shared singletons, zero allocation."""
+
+import tracemalloc
+
+from repro import obs
+from repro.obs import NULL_REGISTRY, NULL_TRACER
+
+
+class TestSingletons:
+    def test_registry_returns_shared_instruments(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+        assert NULL_REGISTRY.gauge("a") is NULL_REGISTRY.gauge("b")
+        assert NULL_REGISTRY.histogram("a") is NULL_REGISTRY.histogram("b")
+        assert NULL_REGISTRY.histogram("a").time() is \
+            NULL_REGISTRY.histogram("b").time()
+
+    def test_tracer_returns_shared_span(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b", key=1)
+
+    def test_null_instruments_record_nothing(self):
+        NULL_REGISTRY.counter("c").inc(10)
+        NULL_REGISTRY.gauge("g").set(5)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        assert NULL_REGISTRY.snapshot() == {"counters": {}, "gauges": {},
+                                            "histograms": {}}
+        with NULL_TRACER.span("s"):
+            pass
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.aggregate() == {}
+        assert len(NULL_TRACER) == 0
+
+    def test_enabled_flags(self):
+        assert NULL_REGISTRY.enabled is False
+        assert obs.NULL.enabled is False
+
+
+class TestZeroAllocation:
+    def test_registry_calls_allocate_nothing(self):
+        # Warm every code path first so lazy setup is out of the picture.
+        NULL_REGISTRY.counter("warm").inc()
+        NULL_REGISTRY.gauge("warm").add(1)
+        with NULL_REGISTRY.histogram("warm").time():
+            pass
+
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            for _ in range(200):
+                NULL_REGISTRY.counter("hot").inc()
+                NULL_REGISTRY.gauge("hot").add(1)
+                NULL_REGISTRY.histogram("hot").observe(0.5)
+                with NULL_REGISTRY.histogram("hot").time():
+                    pass
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        grew = [stat for stat in after.compare_to(before, "lineno")
+                if stat.size_diff > 0
+                and "tracemalloc" not in (stat.traceback[0].filename or "")]
+        # Nothing from the loop above may have allocated; tracemalloc's
+        # own bookkeeping is excluded.
+        loop_allocs = [stat for stat in grew
+                       if "test_noop" in stat.traceback[0].filename
+                       or "obs" in stat.traceback[0].filename]
+        assert not loop_allocs, loop_allocs
+
+
+class TestDefaultState:
+    def test_process_default_is_null(self):
+        assert obs.current() is obs.NULL
+
+    def test_disabled_stats_are_empty(self):
+        stats = obs.stats()
+        assert stats["instrumentation_enabled"] is False
+        assert stats["metrics"] == {"counters": {}, "gauges": {},
+                                    "histograms": {}}
+        assert stats["spans"] == {}
+        assert stats["spans_retained"] == 0
+
+    def test_recording_restores_null_after(self):
+        with obs.recording() as instrumentation:
+            assert obs.current() is instrumentation
+            assert instrumentation.enabled
+        assert obs.current() is obs.NULL
+
+    def test_enable_disable_round_trip(self):
+        instrumentation = obs.enable()
+        try:
+            assert obs.current() is instrumentation
+            # A second enable keeps the live recording.
+            assert obs.enable() is instrumentation
+        finally:
+            assert obs.disable() is instrumentation
+        assert obs.current() is obs.NULL

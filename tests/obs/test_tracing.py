@@ -1,0 +1,122 @@
+"""Unit tests for the tracer: nesting, ordering, the ring buffer, export."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import Tracer
+
+
+class TestNesting:
+    def test_child_records_parent_id(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("first") as first:
+                pass
+            with tracer.span("second") as second:
+                pass
+        assert first.parent_id == parent.span_id
+        assert second.parent_id == parent.span_id
+        assert first.span_id != second.span_id
+
+    def test_completion_order_children_before_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [span.name for span in tracer.spans()] == ["inner", "outer"]
+
+    def test_top_level_after_nested_has_no_parent(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second") as second:
+            pass
+        assert second.parent_id is None
+
+
+class TestSpanContents:
+    def test_attributes_at_open_and_mid_flight(self):
+        tracer = Tracer()
+        with tracer.span("work", kind="demo") as span:
+            span.set(rows=3)
+        assert span.attributes == {"kind": "demo", "rows": 3}
+
+    def test_duration_is_monotonic_seconds(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            sum(range(1000))
+        assert span.duration >= 0.0
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans()
+        assert span.attributes["error"] == "RuntimeError"
+
+
+class TestRingBuffer:
+    def test_old_spans_fall_off(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [span.name for span in tracer.spans()] == ["s2", "s3", "s4"]
+        assert len(tracer) == 3
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.spans() == []
+
+
+class TestAggregateAndExport:
+    def test_aggregate_counts_and_totals(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("repeated"):
+                pass
+        aggregate = tracer.aggregate()
+        assert aggregate["repeated"]["count"] == 3
+        assert aggregate["repeated"]["total_s"] >= \
+            aggregate["repeated"]["max_s"]
+
+    def test_jsonl_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="demo"):
+            with tracer.span("inner"):
+                pass
+        buffer = io.StringIO()
+        count = tracer.export_jsonl(buffer)
+        assert count == 2
+        rows = [json.loads(line) for line in
+                buffer.getvalue().splitlines()]
+        assert [row["name"] for row in rows] == ["inner", "outer"]
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["attributes"] == {"kind": "demo"}
+
+    def test_jsonl_to_path(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        target = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(str(target)) == 1
+        assert json.loads(target.read_text().strip())["name"] == "s"

@@ -216,3 +216,70 @@ class TestRepl:
             ".quit",
         ], kind="temporal")
         assert "widget" in output
+
+
+class TestReproCLI:
+    """The ``repro`` observability console script."""
+
+    def test_stats_demo_shows_instrumented_layers(self, capsys):
+        from repro.cli import repro_main
+        assert repro_main(["stats"]) == 0
+        output = capsys.readouterr().out
+        assert "commit.batches" in output
+        assert "index.cache.hits" in output
+        assert "commit.apply" in output  # nonzero commit spans
+        assert "commit.apply_seconds" in output
+
+    def test_stats_json(self, capsys):
+        import json
+        from repro.cli import repro_main
+        assert repro_main(["stats", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["instrumentation_enabled"] is True
+        assert snapshot["metrics"]["counters"]["commit.batches"] > 0
+        assert snapshot["metrics"]["counters"]["index.cache.hits"] > 0
+        assert snapshot["spans"]["commit.apply"]["count"] > 0
+
+    def test_stats_on_a_script(self, capsys, tmp_path):
+        from repro.cli import repro_main
+        script = tmp_path / "script.tq"
+        script.write_text(SCRIPT)
+        assert repro_main(["stats", "-f", str(script)]) == 0
+        assert "tquel.statements" in capsys.readouterr().out
+
+    def test_stats_script_error(self, capsys, tmp_path):
+        from repro.cli import repro_main
+        script = tmp_path / "script.tq"
+        script.write_text("retrieve (f.rank)")  # unbound variable
+        assert repro_main(["stats", "-f", str(script)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_emits_json_lines(self, capsys):
+        import json
+        from repro.cli import repro_main
+        assert repro_main(["trace", "--limit", "5"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 5
+        rows = [json.loads(line) for line in lines]
+        assert all({"name", "span_id", "parent_id", "duration_s"}
+                   <= set(row) for row in rows)
+
+    def test_trace_to_file(self, capsys, tmp_path):
+        import json
+        from repro.cli import repro_main
+        target = tmp_path / "spans.jsonl"
+        assert repro_main(["trace", "--out", str(target)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        rows = [json.loads(line)
+                for line in target.read_text().strip().splitlines()]
+        assert any(row["name"] == "commit.apply" for row in rows)
+
+    def test_subcommand_required(self):
+        import pytest as _pytest
+        from repro.cli import repro_main
+        with _pytest.raises(SystemExit):
+            repro_main([])
+
+    def test_dot_stats_command(self):
+        _, output = TestRepl().run_repl([".stats", ".quit"])
+        assert "instrumentation: off" in output
