@@ -20,9 +20,20 @@ cheap: the same ingest loop runs with recording off and on (best of
 several rounds each) and the per-commit overhead must stay under 5%.
 The collected metrics snapshot is embedded in the report.
 
+A fourth measurement times **recovery** (``BENCH_recovery.json``): the
+same ingest history is journaled through a
+:class:`~repro.storage.recovery.DurabilityManager` with a checkpoint
+written ``RECOVERY_TAIL`` commits before the end, then the directory is
+recovered both ways.  Full replay re-runs every commit, so its cost
+grows with n; checkpoint + tail replays a constant-length tail, so as
+history grows the speedup must grow with it — the acceptance bar is a
+≥ 2x speedup at the largest size (enforced when that size is ≥ 1000;
+the CI smoke sweep at n=100 records the numbers without gating).
+
 Run:  python benchmarks/run_bench.py [--sizes 100,1000,10000]
                                      [--seed N]
                                      [--out BENCH_temporal.json]
+                                     [--recovery-out BENCH_recovery.json]
                                      [--skip-suites]
 """
 
@@ -32,6 +43,7 @@ import os
 import random
 import subprocess
 import sys
+import tempfile
 import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -50,6 +62,13 @@ BASE = Instant.parse("01/01/80")
 OVERHEAD_COMMITS = 2000
 OVERHEAD_ROUNDS = 3
 OVERHEAD_LIMIT = 1.05
+#: The checkpoint sits this many commits before the end of history, so
+#: tail replay has constant cost while full replay grows with n.
+RECOVERY_TAIL = 50
+#: Required checkpoint-vs-full-replay speedup at the largest size
+#: (gated only when that size is large enough for replay to dominate).
+RECOVERY_SPEEDUP = 2.0
+RECOVERY_GATE_SIZE = 1000
 
 
 def _git_sha():
@@ -130,6 +149,85 @@ def _measure_overhead(seed):
     return summary, snapshot
 
 
+def _recovery_point(commits, seed):
+    """One recovery measurement: build a durable history, restart twice.
+
+    The ingest trajectory is the same replace-loop as :func:`_ingest`,
+    journaled through a :class:`DurabilityManager`, with one checkpoint
+    written ``RECOVERY_TAIL`` commits before the end.  Both recovery
+    paths are then timed cold (fresh manager, fresh database) and the
+    recovered states are cross-checked against each other.
+    """
+    from repro.storage import DurabilityManager
+
+    rng = random.Random(seed)
+    with tempfile.TemporaryDirectory() as scratch:
+        directory = os.path.join(scratch, "dur")
+        manager = DurabilityManager(directory)
+        database, _ = manager.recover(TemporalDatabase)
+        clock = database.manager.clock.source
+        clock.set(BASE)
+        database.define("facts",
+                        Schema.of(k=Domain.STRING, v=Domain.INTEGER))
+        for i in range(KEYS):
+            database.insert("facts", {"k": "k%d" % i, "v": 0},
+                            valid_from=BASE)
+        checkpoint_after = max(0, commits - RECOVERY_TAIL)
+        checkpoint_s = None
+        for step in range(commits):
+            clock.set(BASE + 10 + step)
+            database.replace("facts", {"k": "k%d" % rng.randrange(KEYS)},
+                             {"v": step + 1})
+            if step + 1 == checkpoint_after:
+                start = time.perf_counter()
+                manager.checkpoint()
+                checkpoint_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        replayed_full, full_report = DurabilityManager(directory).recover(
+            TemporalDatabase, use_checkpoint=False)
+        full_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        replayed_tail, tail_report = DurabilityManager(directory).recover(
+            TemporalDatabase)
+        tail_s = time.perf_counter() - start
+
+        if replayed_tail.temporal("facts") != replayed_full.temporal("facts"):
+            raise AssertionError(
+                "recovery paths disagree at n=%d" % commits)
+        return {
+            "commits": commits,
+            "records_total": full_report.records_total,
+            "tail_records": tail_report.records_replayed,
+            "checkpoint_write_s": (round(checkpoint_s, 6)
+                                   if checkpoint_s is not None else None),
+            "full_replay_s": round(full_s, 6),
+            "checkpoint_tail_s": round(tail_s, 6),
+            "speedup": round(full_s / tail_s, 3),
+        }
+
+
+def _run_recovery(sizes, seed):
+    """The recovery sweep: every size, plus the speedup gate verdict."""
+    section = {"tail": RECOVERY_TAIL, "points": {}}
+    for n in sizes:
+        point = _recovery_point(n, seed)
+        section["points"][str(n)] = point
+        print("recovery n=%d: full replay %.1f ms, checkpoint+tail "
+              "%.1f ms (%.1fx, tail of %d records)" % (
+                  n, point["full_replay_s"] * 1e3,
+                  point["checkpoint_tail_s"] * 1e3,
+                  point["speedup"], point["tail_records"]))
+    largest = max(sizes)
+    point = section["points"][str(largest)]
+    section["gated"] = largest >= RECOVERY_GATE_SIZE
+    section["required_speedup"] = RECOVERY_SPEEDUP
+    section["speedup_ok"] = (not section["gated"]
+                             or point["speedup"] >= RECOVERY_SPEEDUP)
+    return section
+
+
 def _run_suites():
     results = {}
     env = dict(os.environ)
@@ -163,6 +261,9 @@ def main(argv=None):
     parser.add_argument("--out",
                         default=os.path.join(REPO_ROOT,
                                              "BENCH_temporal.json"))
+    parser.add_argument("--recovery-out",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_recovery.json"))
     parser.add_argument("--skip-suites", action="store_true",
                         help="skip the pytest benches (ingest sweep only)")
     parser.add_argument("--seed", type=int, default=0,
@@ -218,6 +319,20 @@ def main(argv=None):
               overhead["instrumented_best_s"] / overhead["commits"] * 1e6,
               overhead["commits"], overhead["rounds"]))
 
+    recovery = _run_recovery(sizes, args.seed)
+    recovery.update({
+        "generated_by": "benchmarks/run_bench.py",
+        "python": report["python"],
+        "git_sha": report["git_sha"],
+        "seed": args.seed,
+        "keys": KEYS,
+    })
+    with open(args.recovery_out, "w") as handle:
+        json.dump(recovery, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.recovery_out)
+    report["recovery"] = recovery
+
     if not args.skip_suites:
         report["suites"] = _run_suites()
         for suite, outcome in report["suites"].items():
@@ -240,6 +355,10 @@ def main(argv=None):
     if not overhead["overhead_under_5pct"]:
         print("FAIL: instrumentation overhead %.2f%% exceeds 5%%"
               % ((overhead["overhead_ratio"] - 1.0) * 100))
+        return 1
+    if not recovery["speedup_ok"]:
+        print("FAIL: checkpoint+tail recovery is not ≥ %.1fx faster than "
+              "full replay at n=%d" % (RECOVERY_SPEEDUP, max(sizes)))
         return 1
     return 0
 

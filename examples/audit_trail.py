@@ -56,7 +56,8 @@ def main():
         print(database.temporal("accounts").pretty("accounts"))
 
         print()
-        print("The journal on disk — one JSON line per commit:")
+        print("The journal on disk — one framed line per commit\n"
+              "  (<tag> <length> <crc32> <json payload>, see docs/DURABILITY.md):")
         with open(journal_path) as handle:
             for line in handle:
                 print(" ", line.rstrip()[:100] + ("…" if len(line) > 100

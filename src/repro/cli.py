@@ -33,6 +33,18 @@ instrumentation (see :mod:`repro.obs` and docs/OBSERVABILITY.md)::
     repro stats -f script.tq     # instrument your own TQuel script
     repro trace --limit 20       # the last 20 spans as JSON lines
     repro trace --out spans.jsonl
+
+``repro`` also operates durability directories (checkpoint + segmented
+journal; see docs/DURABILITY.md)::
+
+    repro recover --dir DIR            # recover, print the report
+    repro recover --dir DIR --json     # the report as JSON
+    repro recover --dir DIR --full     # ignore checkpoints (full replay)
+    repro checkpoint --dir DIR         # recover, then publish a checkpoint
+    repro checkpoint --dir DIR -f setup.tq   # run a script first
+
+The database kind is read from the newest checkpoint when one exists;
+``--kind`` decides it for journal-only or fresh directories.
 """
 
 from __future__ import annotations
@@ -264,7 +276,100 @@ def build_repro_parser() -> argparse.ArgumentParser:
                        help="write the spans to PATH instead of stdout")
     trace.add_argument("--limit", type=int, default=None, metavar="N",
                        help="only the last N spans")
+
+    recover = subparsers.add_parser(
+        "recover", help="recover a durability directory and report how")
+    recover.add_argument("--dir", required=True, metavar="DIR",
+                         help="the durability directory (checkpoints + "
+                              "journal segments)")
+    recover.add_argument("--kind", choices=sorted(_KINDS), default="temporal",
+                         help="database kind when no checkpoint records it "
+                              "(default: temporal)")
+    recover.add_argument("--full", action="store_true",
+                         help="ignore checkpoints and replay all of history")
+    recover.add_argument("--json", action="store_true",
+                         help="emit the recovery report as JSON")
+
+    checkpoint = subparsers.add_parser(
+        "checkpoint", help="recover a durability directory, then publish "
+                           "a checkpoint of it")
+    checkpoint.add_argument("--dir", required=True, metavar="DIR",
+                            help="the durability directory")
+    checkpoint.add_argument("--kind", choices=sorted(_KINDS),
+                            default="temporal",
+                            help="database kind when no checkpoint records "
+                                 "it (default: temporal)")
+    checkpoint.add_argument("-f", "--file", default=None,
+                            help="run a TQuel script against the recovered "
+                                 "database before checkpointing")
     return parser
+
+
+#: DatabaseKind value string (as checkpoints record it) → class.
+_KIND_VALUES = {
+    "static": StaticDatabase,
+    "static rollback": RollbackDatabase,
+    "historical": HistoricalDatabase,
+    "temporal": TemporalDatabase,
+}
+
+
+def _durable_class(directory: str, kind_flag: str):
+    """The database class a durability directory holds.
+
+    The newest valid checkpoint records the kind; without one (fresh or
+    journal-only directory) the ``--kind`` flag decides."""
+    from repro.storage import detect_kind
+    detected = detect_kind(directory)
+    if detected is not None:
+        return _KIND_VALUES[detected]
+    return _KINDS[kind_flag]
+
+
+def _repro_recover(args) -> int:
+    """The ``repro recover`` verb: rebuild, then report what it took."""
+    from repro.storage import DurabilityManager
+    manager = DurabilityManager(args.dir)
+    database, report = manager.recover(
+        _durable_class(args.dir, args.kind), use_checkpoint=not args.full)
+    data = report.describe()
+    data["kind"] = str(database.kind)
+    data["relations"] = sorted(database.relation_names())
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+        return 0
+    source = ("full journal replay" if report.full_replay else
+              f"checkpoint at commit index {report.checkpoint_index}")
+    print(f"recovered a {database.kind} database from {source}")
+    print(f"  records replayed:   {report.records_replayed} "
+          f"of {report.records_total} durable")
+    print(f"  segments read:      {report.segments_read}")
+    if report.torn_bytes_truncated:
+        print(f"  torn tail repaired: {report.torn_bytes_truncated} bytes "
+              f"truncated")
+    if report.checkpoints_skipped:
+        print(f"  checkpoints skipped (damaged): "
+              f"{report.checkpoints_skipped}")
+    for name in data["relations"]:
+        print(f"  relation: {name}")
+    return 0
+
+
+def _repro_checkpoint(args) -> int:
+    """The ``repro checkpoint`` verb: recover, optionally run a script,
+    publish a checkpoint."""
+    from repro.storage import DurabilityManager
+    manager = DurabilityManager(args.dir)
+    database, _ = manager.recover(_durable_class(args.dir, args.kind))
+    if args.file is not None:
+        session = Session(database)
+        with open(args.file, encoding="utf-8") as handle:
+            for _ in session.execute_script(handle.read()):
+                pass
+    path = manager.checkpoint()
+    print(f"checkpointed the {database.kind} database at commit index "
+          f"{manager.record_count}: {path}")
+    return 0
 
 
 def _demo_workload(session: Session, clock: SimulatedClock) -> None:
@@ -357,6 +462,14 @@ def _format_stats(stats) -> str:
 def repro_main(argv: Optional[list] = None) -> int:
     """Entry point for the ``repro`` console script."""
     args = build_repro_parser().parse_args(argv)
+    if args.subcommand in ("recover", "checkpoint"):
+        try:
+            handler = (_repro_recover if args.subcommand == "recover"
+                       else _repro_checkpoint)
+            return handler(args)
+        except (ReproError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     try:
         instrumentation = _instrumented_run(args)
     except (ReproError, OSError) as error:

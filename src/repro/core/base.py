@@ -247,6 +247,13 @@ class Database(abc.ABC):
         The whole batch runs inside a ``commit.apply`` span with the
         batch size timed into the ``commit.apply_seconds`` histogram
         (no-ops unless recording is on — see :mod:`repro.obs`).
+
+        Durability note: this runs *before* the commit record is logged
+        and journaled, so an exception here rejects the commit cleanly —
+        nothing reaches the journal and nothing needs recovery.  Once
+        ``_apply`` returns, the manager logs the record and fires
+        ``on_commit``; only that journal append makes the commit durable
+        (docs/DURABILITY.md).
         """
         obs = _obs.current()
         metrics = obs.metrics

@@ -152,3 +152,12 @@ class TQuelSemanticError(TQuelError):
 
 class StorageError(ReproError):
     """Serialized data is malformed or of an unsupported version."""
+
+
+class CheckpointError(StorageError):
+    """A checkpoint file is damaged, of an unknown version, or missing.
+
+    Recovery treats a damaged checkpoint as absent (falling back to an
+    older checkpoint or a full journal replay); this error surfaces only
+    when a checkpoint is read directly.
+    """

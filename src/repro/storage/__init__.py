@@ -1,19 +1,53 @@
-"""Persistence: serialization and the durable append-only journal.
+"""Persistence: serialization, the durable journal, and recovery.
+
+The layer is built bottom-up, and each module states the durability
+obligation it carries:
 
 - :mod:`~repro.storage.serializer` — JSON encoding of every value,
-  schema, and relation kind in the system, plus whole-database dump/load;
-- :mod:`~repro.storage.journal` — a durable, append-only JSON-lines
-  journal of commit records.  Replaying the journal through a fresh
-  database reproduces it exactly, commit times included — the
-  transaction-time semantics of the paper make the commit log a complete
-  description of a rollback or temporal database.
+  schema, and relation kind in the system, plus whole-database
+  dump/load.  Pure data transformation: no I/O, no durability claims.
+- :mod:`~repro.storage.framing` — the on-disk record format: one line,
+  length-prefixed and CRC32-checksummed, so a reader can tell a *torn*
+  record (crash residue, recoverable at the tail) from a *corrupt* one
+  (never recoverable).
+- :mod:`~repro.storage.io` — the two primitives everything durable is
+  built from: flushed append and atomic whole-file replace.  Also the
+  seam the fault-injection harness (:mod:`~repro.storage.faults`)
+  replaces to simulate crashes deterministically.
+- :mod:`~repro.storage.journal` — framed commit records in an
+  append-only file.  Because transaction time is append-only and
+  system-assigned, replaying the journal reproduces the database
+  exactly, commit times included — the paper's transaction-time
+  semantics make the commit log a complete description of a rollback
+  or temporal database.
+- :mod:`~repro.storage.checkpoint` — atomic full-state snapshots keyed
+  by the journal records they incorporate.  Pure optimization: a
+  damaged or deleted checkpoint costs replay time, never data.
+- :mod:`~repro.storage.recovery` — :class:`DurabilityManager`, which
+  ties segments and checkpoints into restart = *latest valid
+  checkpoint + tail replay*, with torn-tail repair.
+
+The crash-safety contract these modules jointly implement is documented
+in ``docs/DURABILITY.md``.
 """
 
 from repro.storage.serializer import (
     decode_value, dump_database, dumps_database, encode_value, load_database,
     loads_database, schema_from_dict, schema_to_dict,
 )
-from repro.storage.journal import Journal
+from repro.storage.framing import (
+    CHECKPOINT_TAG, JOURNAL_TAG, FrameDamage, FrameError, frame,
+    frame_record, parse_frame,
+)
+from repro.storage.io import REAL_IO, StorageIO
+from repro.storage.journal import Journal, apply_entries, encode_commit
+from repro.storage.checkpoint import (
+    CheckpointStore, checkpoint_bytes, read_checkpoint,
+)
+from repro.storage.recovery import DurabilityManager, RecoveryReport, detect_kind
+from repro.storage.faults import (
+    ALL_CRASH_POINTS, CrashPoint, FaultyIO, SimulatedCrash,
+)
 from repro.storage.interchange import (
     export_csv, export_historical_csv, export_temporal_csv, import_csv,
     import_historical_csv, import_temporal_csv,
@@ -21,6 +55,27 @@ from repro.storage.interchange import (
 
 __all__ = [
     "Journal",
+    "apply_entries",
+    "encode_commit",
+    "CheckpointStore",
+    "checkpoint_bytes",
+    "read_checkpoint",
+    "DurabilityManager",
+    "RecoveryReport",
+    "detect_kind",
+    "StorageIO",
+    "REAL_IO",
+    "CrashPoint",
+    "ALL_CRASH_POINTS",
+    "FaultyIO",
+    "SimulatedCrash",
+    "JOURNAL_TAG",
+    "CHECKPOINT_TAG",
+    "FrameDamage",
+    "FrameError",
+    "frame",
+    "frame_record",
+    "parse_frame",
     "export_csv",
     "export_historical_csv",
     "export_temporal_csv",

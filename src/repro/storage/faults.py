@@ -1,0 +1,136 @@
+"""Deterministic fault injection for the durability subsystem.
+
+The crash-safety contract in ``docs/DURABILITY.md`` names four crash
+points a process can die at while persisting state.  This module makes
+each of them a reproducible event: a :class:`FaultyIO` wraps the real
+:class:`~repro.storage.io.StorageIO` and, on the *n*-th matching write,
+performs exactly the damaged write a crash at that point would leave
+behind, then raises :class:`SimulatedCrash`:
+
+====================  =====================================================
+crash point           simulated residue
+====================  =====================================================
+``TORN_RECORD``       a prefix of the journal record's bytes reaches the
+                      segment (died mid-``write``); framing detects the
+                      short payload, recovery truncates it
+``LOST_RECORD``       nothing reaches the segment (died after the commit
+                      applied in memory, before the record was flushed);
+                      the commit is not durable and is absent after
+                      recovery
+``TORN_CHECKPOINT``   a prefix of the checkpoint bytes lands at the
+                      *final* path (a non-atomic writer, or the tail of a
+                      failed sector); the checksum fails and recovery
+                      falls back to the previous checkpoint or full replay
+``LOST_CHECKPOINT``   the ``.tmp`` file is complete but the atomic rename
+                      never happened; recovery ignores the ``.tmp`` and
+                      uses the previous checkpoint or full replay
+====================  =====================================================
+
+:class:`SimulatedCrash` deliberately does **not** derive from
+:class:`~repro.errors.ReproError`: no library code may catch it, just as
+no library code survives ``SIGKILL``.  After the crash fires the
+injector becomes a passthrough, so a test can keep using the same
+manager object if it wants to model "the machine came back up".
+
+The harness used by ``tests/storage/test_faults.py``: build a durable
+database with ``DurabilityManager(directory, io=FaultyIO(kind, at=n))``,
+drive a workload until :class:`SimulatedCrash`, then recover the
+directory with real I/O and assert the recovered database answers the
+paper's queries identically to an uncrashed database built from the
+records that were durable at the crash point.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.storage.io import REAL_IO, StorageIO
+
+
+class SimulatedCrash(Exception):
+    """The injected process death.  Not a :class:`ReproError` on purpose:
+    library code must never catch or survive it."""
+
+
+class CrashPoint(enum.Enum):
+    """The four write-path crash points of the durability contract."""
+
+    #: Die midway through appending a journal record (torn tail).
+    TORN_RECORD = "torn-record"
+    #: Die after the in-memory commit, before its record reached disk.
+    LOST_RECORD = "lost-record"
+    #: Die leaving a partial checkpoint at the final path (bad checksum).
+    TORN_CHECKPOINT = "torn-checkpoint"
+    #: Die between writing the checkpoint ``.tmp`` and the atomic rename.
+    LOST_CHECKPOINT = "lost-checkpoint"
+
+
+#: The full matrix the fault suite iterates (name → CrashPoint).
+ALL_CRASH_POINTS = tuple(CrashPoint)
+
+#: Crash points that fire on journal appends (vs. checkpoint writes).
+_APPEND_POINTS = (CrashPoint.TORN_RECORD, CrashPoint.LOST_RECORD)
+
+
+class FaultyIO(StorageIO):
+    """A :class:`StorageIO` that dies deterministically at one crash point.
+
+    ``at`` counts *matching* writes: ``FaultyIO(CrashPoint.TORN_RECORD,
+    at=3)`` lets two journal appends through untouched and tears the
+    third.  Checkpoint crash points count :meth:`write_atomic` calls the
+    same way.  ``fraction`` controls how much of the damaged write's
+    payload reaches the file (default: half, at least one byte).
+    """
+
+    def __init__(self, crash: CrashPoint, at: int = 1,
+                 fraction: float = 0.5,
+                 real: Optional[StorageIO] = None) -> None:
+        if at < 1:
+            raise ValueError("FaultyIO fires on the at-th write; at >= 1")
+        self._crash = crash
+        self._remaining = at
+        self._fraction = fraction
+        self._real = real if real is not None else REAL_IO
+        self.fired = False
+
+    def _trigger(self) -> bool:
+        """Count one matching write; True when this is the fatal one."""
+        if self.fired:
+            return False
+        self._remaining -= 1
+        if self._remaining > 0:
+            return False
+        self.fired = True
+        return True
+
+    def _partial(self, data: bytes) -> bytes:
+        return data[:max(1, int(len(data) * self._fraction))]
+
+    def append(self, path: str, data: bytes, fsync: bool = False) -> None:
+        if self._crash in _APPEND_POINTS and self._trigger():
+            if self._crash is CrashPoint.TORN_RECORD:
+                self._real.append(path, self._partial(data))
+            raise SimulatedCrash(
+                f"crashed at {self._crash.value} appending to {path}")
+        self._real.append(path, data, fsync=fsync)
+
+    def write_atomic(self, path: str, data: bytes,
+                     fsync: bool = False) -> None:
+        if self._crash in _APPEND_POINTS or not self._trigger():
+            self._real.write_atomic(path, data, fsync=fsync)
+            return
+        if self._crash is CrashPoint.TORN_CHECKPOINT:
+            # Model a non-atomic writer dying at the destination itself:
+            # the final path holds a prefix that must fail its checksum.
+            with open(path, "wb") as handle:
+                handle.write(self._partial(data))
+        else:  # LOST_CHECKPOINT: the .tmp is complete, the rename is not.
+            with open(path + ".tmp", "wb") as handle:
+                handle.write(data)
+        raise SimulatedCrash(
+            f"crashed at {self._crash.value} checkpointing {path}")
+
+    def __repr__(self) -> str:
+        state = "fired" if self.fired else f"in {self._remaining}"
+        return f"FaultyIO({self._crash.value}, {state})"

@@ -1,0 +1,143 @@
+"""Record framing: checksummed, length-prefixed lines.
+
+Durable files in this system (journal segments, checkpoint files) are
+built from *framed records*.  A framed record is one line of text::
+
+    <tag> <length> <crc32> <payload>\\n
+
+- ``tag`` names the record format (``r1`` for journal records, ``c1``
+  for checkpoint bodies), so a file identifies itself;
+- ``length`` is the byte length of the UTF-8 encoded payload — a torn
+  write (the process died mid-``write``) leaves fewer bytes than the
+  prefix promises and is detected without parsing the payload;
+- ``crc32`` (eight lowercase hex digits, :func:`zlib.crc32`) covers the
+  payload bytes — bit rot or an overwritten tail fails the checksum even
+  when the length happens to match.
+
+The distinction matters for recovery: a record that fails *because the
+file ends too early* (:attr:`FrameDamage.TORN`) is the expected residue
+of a crash during an append and may be safely truncated when it is the
+final record; a record whose bytes are all present but wrong
+(:attr:`FrameDamage.CORRUPT`) is never silently dropped.
+
+Journal files written before framing existed hold bare JSON objects, one
+per line.  :func:`parse_frame` accepts those (a line starting with
+``{``) so old journals stay replayable; they simply carry no checksum.
+
+Nothing in this module touches the filesystem — it frames and parses
+strings.  Durability (when bytes reach the disk) is the business of
+:mod:`repro.storage.io`.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import zlib
+from typing import Any, Dict
+
+#: Frame tag of journal commit records.
+JOURNAL_TAG = "r1"
+#: Frame tag of checkpoint bodies.
+CHECKPOINT_TAG = "c1"
+
+
+class FrameDamage(enum.Enum):
+    """How a framed record can fail to parse."""
+
+    #: The line ends before the promised payload length: the signature of
+    #: a write that was cut short by a crash.  Recoverable when final.
+    TORN = "torn"
+    #: All bytes are present but wrong (bad checksum, malformed prefix,
+    #: undecodable payload).  Never recoverable.
+    CORRUPT = "corrupt"
+
+
+class FrameError(ValueError):
+    """A framed record could not be parsed.
+
+    Carries :attr:`damage` so callers can distinguish a torn tail (safe
+    to truncate during recovery) from mid-file corruption (never safe).
+    """
+
+    def __init__(self, message: str, damage: FrameDamage) -> None:
+        super().__init__(message)
+        self.damage = damage
+
+
+def frame(payload: str, tag: str = JOURNAL_TAG) -> str:
+    """Wrap *payload* in a one-line frame (no trailing newline)."""
+    data = payload.encode("utf-8")
+    return f"{tag} {len(data)} {zlib.crc32(data):08x} {payload}"
+
+
+def frame_record(entry: Dict[str, Any], tag: str = JOURNAL_TAG) -> str:
+    """Frame a JSON-serializable record (the journal's write path)."""
+    return frame(json.dumps(entry, ensure_ascii=False, sort_keys=True),
+                 tag=tag)
+
+
+def parse_frame(line: str, tag: str = JOURNAL_TAG) -> Dict[str, Any]:
+    """Parse one framed line back into its JSON record.
+
+    Raises :class:`FrameError` tagged :attr:`FrameDamage.TORN` when the
+    payload is shorter than the length prefix promises (a torn trailing
+    write), and :attr:`FrameDamage.CORRUPT` for everything else that is
+    wrong (bad tag, bad checksum, undecodable JSON).  Legacy bare-JSON
+    lines (starting with ``{``) are accepted for compatibility.
+    """
+    if line.startswith("{"):
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise FrameError(f"bad legacy JSON record: {exc}",
+                             FrameDamage.CORRUPT) from exc
+    parts = line.split(" ", 3)
+    if parts[0] != tag:
+        # A crash can cut an append at any byte, so a strict prefix of
+        # the tag itself is still torn residue, not corruption.
+        if len(parts) == 1 and line and tag.startswith(line):
+            raise FrameError(f"torn record: header cut mid-tag ({line!r})",
+                             FrameDamage.TORN)
+        raise FrameError(
+            f"not a {tag!r} frame (starts {line[:16]!r})",
+            FrameDamage.CORRUPT)
+    if len(parts) < 4:
+        # Header fields missing entirely: torn if what *is* present is a
+        # plausible prefix of a valid header, corrupt otherwise.
+        plausible = (len(parts) < 2 or parts[1].isdigit() or parts[1] == "") \
+            and (len(parts) < 3 or (len(parts[2]) <= 8 and all(
+                c in "0123456789abcdef" for c in parts[2])))
+        if plausible:
+            raise FrameError(f"torn record: header ends early ({line!r})",
+                             FrameDamage.TORN)
+        raise FrameError(f"malformed frame prefix {line[:32]!r}",
+                         FrameDamage.CORRUPT)
+    try:
+        length = int(parts[1])
+        checksum = int(parts[2], 16)
+    except ValueError as exc:
+        raise FrameError(f"malformed frame prefix {line[:32]!r}",
+                         FrameDamage.CORRUPT) from exc
+    payload = parts[3]
+    data = payload.encode("utf-8")
+    if len(data) < length:
+        raise FrameError(
+            f"torn record: frame promises {length} payload bytes, "
+            f"only {len(data)} present", FrameDamage.TORN)
+    if len(data) > length:
+        raise FrameError(
+            f"overlong record: frame promises {length} payload bytes, "
+            f"{len(data)} present", FrameDamage.CORRUPT)
+    if zlib.crc32(data) != checksum:
+        raise FrameError(
+            f"checksum mismatch: frame says {checksum:08x}, "
+            f"payload hashes to {zlib.crc32(data):08x}",
+            FrameDamage.CORRUPT)
+    try:
+        return json.loads(payload)
+    except json.JSONDecodeError as exc:
+        # The checksum matched, so this is a writer bug, not disk damage;
+        # either way the record cannot be used.
+        raise FrameError(f"framed payload is not JSON: {exc}",
+                         FrameDamage.CORRUPT) from exc

@@ -11,6 +11,12 @@ relation shape through CSV:
 Values are written with each attribute's domain formatter and read back
 with its parser, so enumerations, dates and user-defined time survive.
 The infinities round-trip as ``∞`` / ``-∞``; nulls as empty cells.
+
+**Not a durability mechanism.**  CSV export captures one relation's
+*contents*, not the commit history that produced them — re-importing
+yields new transactions at new commit times.  The crash-safe record of
+a database is its journal and checkpoints (docs/DURABILITY.md); use
+this module for getting data in and out, never for backup/restore.
 """
 
 from __future__ import annotations

@@ -1,0 +1,69 @@
+"""The storage I/O seam: where bytes become durable.
+
+Every write the durability subsystem performs goes through a
+:class:`StorageIO`, which defines exactly two primitives and their
+crash-safety contracts:
+
+- :meth:`StorageIO.append` — append bytes to a file and flush them to
+  the operating system (optionally ``fsync`` to the device).  A crash
+  *during* the call may leave any prefix of the bytes in the file (a
+  torn record); a crash *before* the call loses the bytes entirely.
+  The journal's record framing (:mod:`repro.storage.framing`) is what
+  makes both residues detectable on recovery.
+- :meth:`StorageIO.write_atomic` — publish a whole file
+  all-or-nothing: the bytes are written to a ``.tmp`` sibling, flushed
+  (and ``fsync``\\ ed when asked), then :func:`os.replace`\\ d over the
+  destination.  Readers never observe a half-written destination file;
+  a crash leaves either the old file, the new file, or a stray ``.tmp``
+  that recovery ignores.
+
+The seam exists so the fault-injection harness
+(:mod:`repro.storage.faults`) can substitute a :class:`~repro.storage.
+faults.FaultyIO` that deterministically dies at each of those crash
+points; production code always uses the process-wide :data:`REAL_IO`.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+class StorageIO:
+    """Real filesystem writes with the documented crash-safety contract."""
+
+    def append(self, path: str, data: bytes, fsync: bool = False) -> None:
+        """Append *data* to *path*; flushed to the OS before returning.
+
+        With ``fsync=True`` the bytes are also forced to the device, so
+        they survive an operating-system crash, not just a process
+        crash.  Appends are the journal's durability point: a commit is
+        durable exactly when its record's ``append`` has returned.
+        """
+        with open(path, "ab") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+
+    def write_atomic(self, path: str, data: bytes,
+                     fsync: bool = False) -> None:
+        """Replace *path* with *data* atomically (write tmp, rename).
+
+        A reader (or a recovery pass) sees either the previous complete
+        file or the new complete file, never a mixture.  The ``.tmp``
+        sibling a crash may leave behind is never read by recovery.
+        """
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def __repr__(self) -> str:
+        return "StorageIO()"
+
+
+#: The process-wide real I/O; the default everywhere an ``io=`` is taken.
+REAL_IO = StorageIO()

@@ -1,4 +1,4 @@
-"""The durable journal: commit records as append-only JSON lines.
+"""The durable journal: framed commit records in an append-only file.
 
 Because transaction time is append-only and system-assigned, the sequence
 of commit records *is* a complete description of a database: replaying the
@@ -11,20 +11,36 @@ makes that operational:
 - :meth:`Journal.replay` rebuilds a database from the file, driving a
   simulated clock so each transaction commits at its original instant.
 
+**Durability obligations.**  One commit record is one framed line
+(:mod:`repro.storage.framing`: length-prefixed, CRC32-checksummed).  The
+append is flushed to the operating system before :meth:`record` returns
+— that is the commit's durability point against *process* crashes; pass
+``fsync=True`` to also survive OS/power failure at the cost of a device
+sync per commit.  A crash mid-append leaves a torn final record that
+framing detects; :meth:`read` with ``recover=True`` drops exactly that
+trailing damage (and :meth:`truncate_torn_tail` repairs the file), while
+damage *before* the final record is never recoverable and always raises
+:class:`~repro.errors.JournalError` with the failing line number and
+byte offset.
+
 Operations are serialized with the tagged-value scheme of
 :mod:`repro.storage.serializer`.  ``define`` operations serialize their
 schema; declared constraints other than the schema key are **not**
 journaled (they close over arbitrary predicates) — replayed databases
-re-enforce the key but not ad-hoc check constraints.
+re-enforce the key but not ad-hoc check constraints.  This is the one
+documented exception to "the journal describes everything".
 """
 
 from __future__ import annotations
 
-import json
 import os
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import (Any, Callable, Dict, List, NamedTuple, Optional,
+                    Sequence, Tuple)
 
 from repro.errors import JournalError
+from repro.obs import runtime as _obs
+from repro.storage.framing import FrameError, frame_record, parse_frame
+from repro.storage.io import REAL_IO, StorageIO
 from repro.storage.serializer import (decode_value, encode_value,
                                       schema_from_dict, schema_to_dict)
 from repro.time.clock import SimulatedClock
@@ -62,12 +78,80 @@ def _decode_arguments(arguments: Dict[str, Any]) -> Dict[str, Any]:
     return decoded
 
 
-class Journal:
-    """A JSON-lines journal of commit records at *path*."""
+def encode_commit(commit: CommitRecord) -> Dict[str, Any]:
+    """The plain-data form of one commit record (what gets framed)."""
+    return {
+        "sequence": commit.sequence,
+        "commit_time": encode_value(commit.commit_time),
+        "operations": [
+            {"action": op.action, "relation": op.relation,
+             "arguments": _encode_arguments(op.arguments)}
+            for op in commit.operations
+        ],
+    }
 
-    def __init__(self, path: str) -> None:
+
+def apply_entries(database, clock: SimulatedClock,
+                  entries: Sequence[Dict[str, Any]]) -> int:
+    """Re-run journal *entries* against *database*, oldest first.
+
+    *clock* must be the simulated clock the database's transaction clock
+    reads: each entry sets it to the recorded commit time before the
+    transaction re-runs, and a mismatch between the recorded and the
+    re-assigned commit time raises :class:`JournalError` (replay drift —
+    the journal and the database disagree about history).  Returns the
+    number of entries applied.  Shared by :meth:`Journal.replay` and the
+    checkpoint-tail recovery in :mod:`repro.storage.recovery`.
+    """
+    for entry in entries:
+        commit_time = decode_value(entry["commit_time"])
+        if not isinstance(commit_time, Instant):
+            raise JournalError(f"bad commit time in entry {entry!r}")
+        clock.set(commit_time)
+        operations = [
+            Operation(op["action"], op["relation"],
+                      _decode_arguments(op["arguments"]))
+            for op in entry["operations"]
+        ]
+        actual = database.manager.run(operations)
+        if actual != commit_time:
+            raise JournalError(
+                f"replay drift: journal says {commit_time}, "
+                f"database committed at {actual}"
+            )
+    return len(entries)
+
+
+class ScannedRecord(NamedTuple):
+    """One parsed journal record with its position in the file."""
+
+    line_number: int
+    offset: int  # byte offset of the record's first byte
+    entry: Dict[str, Any]
+
+
+class TailDamage(NamedTuple):
+    """A damaged final record: where it starts and why it failed."""
+
+    line_number: int
+    offset: int  # truncating the file here removes exactly the damage
+    reason: str
+
+
+class Journal:
+    """A framed, append-only journal of commit records at *path*.
+
+    ``fsync=True`` forces every record to the device (survives OS
+    crashes); the default flushes to the OS only (survives process
+    crashes).  ``io`` is the write seam the fault-injection harness
+    replaces; production code leaves it alone.
+    """
+
+    def __init__(self, path: str, fsync: bool = False,
+                 io: Optional[StorageIO] = None) -> None:
         self._path = path
-        self._synced = 0  # commit-log records already written (when bound)
+        self._fsync = fsync
+        self._io = io if io is not None else REAL_IO
 
     @property
     def path(self) -> str:
@@ -77,24 +161,21 @@ class Journal:
     # -- writing -------------------------------------------------------------------
 
     def record(self, commit: CommitRecord) -> None:
-        """Append one commit record to the file."""
-        line = json.dumps({
-            "sequence": commit.sequence,
-            "commit_time": encode_value(commit.commit_time),
-            "operations": [
-                {"action": op.action, "relation": op.relation,
-                 "arguments": _encode_arguments(op.arguments)}
-                for op in commit.operations
-            ],
-        }, ensure_ascii=False, sort_keys=True)
-        with open(self._path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+        """Append one framed commit record; durable (per the ``fsync``
+        setting) when this returns."""
+        line = frame_record(encode_commit(commit))
+        self._io.append(self._path, (line + "\n").encode("utf-8"),
+                        fsync=self._fsync)
+        _obs.current().metrics.counter("journal.records").inc()
 
     def bind(self, database) -> None:
         """Journal every future commit of *database*, and any past ones.
 
         Existing records in the database's in-memory log are written first
-        so binding late still captures the full history.
+        so binding late still captures the full history.  From here on a
+        commit is durable once its record is appended — a crash between
+        the in-memory apply and the append loses that one commit (see
+        docs/DURABILITY.md).
         """
         for commit in database.log:
             self.record(commit)
@@ -102,51 +183,91 @@ class Journal:
 
     # -- reading --------------------------------------------------------------------
 
-    def read(self) -> List[Dict[str, Any]]:
-        """Every journal entry, oldest first."""
-        if not os.path.exists(self._path):
-            return []
-        entries = []
-        with open(self._path, encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entries.append(json.loads(line))
-                except json.JSONDecodeError as exc:
-                    raise JournalError(
-                        f"corrupt journal line {line_number} in {self._path}"
-                    ) from exc
-        return entries
+    def scan(self) -> Tuple[List[ScannedRecord], Optional[TailDamage]]:
+        """Parse the journal, reporting trailing damage instead of raising.
 
-    def replay(self, factory: Callable[..., Any]):
+        Returns ``(records, damage)``.  ``damage`` is ``None`` for a
+        clean file, or describes the damaged **final** record (the torn
+        residue of a crashed append).  A damaged record *followed by
+        further records* is mid-journal corruption — the append-only
+        contract says that cannot be the residue of any crash — and
+        raises :class:`JournalError` naming the line and byte offset.
+        """
+        if not os.path.exists(self._path):
+            return [], None
+        with open(self._path, "rb") as handle:
+            data = handle.read()
+        records: List[ScannedRecord] = []
+        damage: Optional[TailDamage] = None
+        offset = 0
+        for line_number, chunk in enumerate(data.split(b"\n"), start=1):
+            stripped = chunk.strip()
+            if stripped:
+                if damage is not None:
+                    raise JournalError(
+                        f"corrupt journal record at line "
+                        f"{damage.line_number} (byte offset {damage.offset}) "
+                        f"in {self._path}: {damage.reason} — records follow "
+                        f"it, so this is not a torn tail"
+                    )
+                try:
+                    entry = parse_frame(chunk.decode("utf-8"))
+                except (FrameError, UnicodeDecodeError) as exc:
+                    damage = TailDamage(line_number, offset, str(exc))
+                else:
+                    records.append(ScannedRecord(line_number, offset, entry))
+            offset += len(chunk) + 1
+        return records, damage
+
+    def read(self, recover: bool = False) -> List[Dict[str, Any]]:
+        """Every journal entry, oldest first.
+
+        Strict by default: any damage raises :class:`JournalError` with
+        the failing line number and byte offset.  With ``recover=True`` a
+        damaged *final* record (the torn residue of a crashed append) is
+        silently dropped; mid-journal damage still raises.
+        """
+        records, damage = self.scan()
+        if damage is not None and not recover:
+            raise JournalError(
+                f"corrupt journal record at line {damage.line_number} "
+                f"(byte offset {damage.offset}) in {self._path}: "
+                f"{damage.reason}"
+            )
+        return [record.entry for record in records]
+
+    def truncate_torn_tail(self) -> int:
+        """Physically remove a torn trailing record; returns bytes dropped.
+
+        The repair that recovery applies before new commits append again:
+        after it, the file holds exactly the durable records.  Returns 0
+        when the journal is already clean.  Mid-journal corruption raises
+        (from :meth:`scan`) — it is never repaired.
+        """
+        _, damage = self.scan()
+        if damage is None:
+            return 0
+        size = os.path.getsize(self._path)
+        with open(self._path, "r+b") as handle:
+            handle.truncate(damage.offset)
+        dropped = size - damage.offset
+        _obs.current().metrics.counter(
+            "recovery.torn_bytes_truncated").inc(dropped)
+        return dropped
+
+    def replay(self, factory: Callable[..., Any], recover: bool = False):
         """Rebuild a database by replaying the journal.
 
         *factory* is called as ``factory(clock=...)`` with a simulated
         clock the journal drives, e.g. ``TemporalDatabase`` itself.  Each
         transaction is re-run at its original commit time, so the rebuilt
         database is observationally identical — rollbacks included.
+        ``recover=True`` tolerates (drops) a torn trailing record.
         """
-        entries = self.read()
+        entries = self.read(recover=recover)
         clock = SimulatedClock(1)
         database = factory(clock=clock)
-        for entry in entries:
-            commit_time = decode_value(entry["commit_time"])
-            if not isinstance(commit_time, Instant):
-                raise JournalError(f"bad commit time in entry {entry!r}")
-            clock.set(commit_time)
-            operations = [
-                Operation(op["action"], op["relation"],
-                          _decode_arguments(op["arguments"]))
-                for op in entry["operations"]
-            ]
-            actual = database.manager.run(operations)
-            if actual != commit_time:
-                raise JournalError(
-                    f"replay drift: journal says {commit_time}, "
-                    f"database committed at {actual}"
-                )
+        apply_entries(database, clock, entries)
         return database
 
     def __repr__(self) -> str:

@@ -1,0 +1,289 @@
+"""Recovery: checkpoint + tail replay over a segmented journal.
+
+One :class:`DurabilityManager` owns one directory holding a database's
+entire durable state:
+
+- ``journal-<start>.seg`` — journal segments.  A segment's name is the
+  **global index** of its first record; record *j* of the segment is
+  global record ``start + j``.  Segments rotate at every checkpoint, so
+  a checkpoint's tail is exactly the segments at or after its index.
+- ``checkpoint-<index>.ckpt`` — atomic full-state checkpoints
+  (:mod:`repro.storage.checkpoint`); ``index`` counts the journal
+  records the state incorporates.
+
+**The recovery algorithm** (:meth:`DurabilityManager.recover`):
+
+1. load the newest *valid* checkpoint (damaged ones are skipped — the
+   journal can always fill the gap); with none, start from an empty
+   database of the requested kind;
+2. repair the final segment — a torn trailing record (the residue of a
+   crash mid-append) is truncated; damage anywhere else is a hard
+   :class:`~repro.errors.JournalError`, because in an append-only file
+   nothing but the tail can be half-written;
+3. replay, in global order, every record whose index is at or after the
+   checkpoint's, driving the simulated clock so each transaction
+   commits at its original instant;
+4. attach: new commits append to the final segment, and
+   :meth:`DurabilityManager.checkpoint` publishes a fresh checkpoint
+   and rotates to a new segment.
+
+The recovered database is observationally identical to one that never
+crashed (same snapshots, timeslices, rollbacks and TQuel answers) up to
+the last *durable* commit — a commit whose record never reached the
+journal is lost, which is the documented contract (docs/DURABILITY.md).
+
+Checkpoints are pure optimization: ``recover(use_checkpoint=False)``
+ignores them and replays all of history, and the equivalence tests in
+``tests/storage/test_recovery.py`` hold the two paths to identical
+answers for every database kind.  Segments strictly below the newest
+checkpoint index may be deleted by an operator to reclaim space; this
+module never deletes anything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import re
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import JournalError
+from repro.obs import runtime as _obs
+from repro.storage.checkpoint import CheckpointStore
+from repro.storage.io import REAL_IO, StorageIO
+from repro.storage.journal import Journal, apply_entries
+from repro.time.clock import SimulatedClock
+
+_SEGMENT = re.compile(r"^journal-(\d{8,})\.seg$")
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryReport:
+    """What one :meth:`DurabilityManager.recover` run did."""
+
+    #: Commit index of the checkpoint used, or ``None`` for full replay.
+    checkpoint_index: Optional[int]
+    #: Journal records re-run (the tail; all of them on full replay).
+    records_replayed: int
+    #: Durable records on disk after repair (checkpointed + replayed).
+    records_total: int
+    #: Journal segments opened.
+    segments_read: int
+    #: Bytes of torn trailing record physically truncated (0 = clean).
+    torn_bytes_truncated: int
+    #: Checkpoint files present but newer than the one used (i.e. damaged
+    #: and skipped); nonzero means a checkpoint write was interrupted.
+    checkpoints_skipped: int
+
+    @property
+    def full_replay(self) -> bool:
+        """True when no checkpoint could be used."""
+        return self.checkpoint_index is None
+
+    def describe(self) -> Dict[str, Any]:
+        """A plain dict (what ``repro recover --json`` prints)."""
+        data = dataclasses.asdict(self)
+        data["full_replay"] = self.full_replay
+        return data
+
+
+class DurabilityManager:
+    """Checkpointed, crash-tolerant persistence for one database.
+
+    ``fsync=True`` forces every journal append to the device (checkpoint
+    publication always syncs).  ``io`` is the fault-injection seam; the
+    default is the real filesystem.
+    """
+
+    def __init__(self, directory: str, fsync: bool = False,
+                 io: Optional[StorageIO] = None) -> None:
+        self._directory = directory
+        self._fsync = fsync
+        self._io = io if io is not None else REAL_IO
+        self._checkpoints = CheckpointStore(directory, io=self._io)
+        self._database = None
+        self._count = 0  # durable records; also the next global index
+        self._live: Optional[Journal] = None
+        self._live_start = 0
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def directory(self) -> str:
+        """The durability directory."""
+        return self._directory
+
+    @property
+    def database(self):
+        """The attached database (``None`` before recover/attach)."""
+        return self._database
+
+    @property
+    def record_count(self) -> int:
+        """Durable journal records across all segments."""
+        return self._count
+
+    @property
+    def checkpoints(self) -> CheckpointStore:
+        """The directory's checkpoint store."""
+        return self._checkpoints
+
+    def segments(self) -> List[Tuple[int, str]]:
+        """``(start_index, path)`` of every segment, oldest first."""
+        found = []
+        if os.path.isdir(self._directory):
+            for name in os.listdir(self._directory):
+                match = _SEGMENT.match(name)
+                if match:
+                    found.append((int(match.group(1)),
+                                  os.path.join(self._directory, name)))
+        return sorted(found)
+
+    def _segment_path(self, start: int) -> str:
+        return os.path.join(self._directory, f"journal-{start:08d}.seg")
+
+    # -- recovery ----------------------------------------------------------------
+
+    def recover(self, factory: Callable[..., Any],
+                use_checkpoint: bool = True):
+        """Rebuild the database from disk; returns ``(database, report)``.
+
+        Works on an empty (or absent) directory too, yielding a fresh
+        database — so ``recover`` is also how a durable database is
+        created.  The returned database is attached: its commits append
+        to the live segment from here on.  ``use_checkpoint=False``
+        forces a full-history replay (the benchmark baseline and the
+        equivalence tests' reference path).
+        """
+        os.makedirs(self._directory, exist_ok=True)
+        obs = _obs.current()
+        with obs.tracer.span("recovery.recover",
+                             directory=self._directory), \
+                obs.metrics.histogram("recovery.recover_seconds").time():
+            segment_list = self.segments()
+            loaded = (self._checkpoints.load_latest() if use_checkpoint
+                      else None)
+            if loaded is not None:
+                base, database = loaded
+            else:
+                base = 0
+                database = factory(clock=SimulatedClock(1))
+            clock = database.manager.clock.source
+            if not isinstance(clock, SimulatedClock):
+                raise JournalError(
+                    "recovery drives a simulated clock; the factory must "
+                    "accept clock=SimulatedClock(...)")
+            replayed = 0
+            truncated = 0
+            total = base
+            for position, (start, path) in enumerate(segment_list):
+                journal = Journal(path, fsync=self._fsync, io=self._io)
+                if position == len(segment_list) - 1:
+                    # Only the live segment may carry a torn tail; repair
+                    # it so future appends extend a clean file.
+                    truncated = journal.truncate_torn_tail()
+                entries = journal.read()  # strict: damage here is fatal
+                tail = [entry for index, entry in enumerate(entries)
+                        if start + index >= base]
+                if tail:
+                    with obs.tracer.span("recovery.tail_replay",
+                                         segment=os.path.basename(path),
+                                         records=len(tail)):
+                        apply_entries(database, clock, tail)
+                    replayed += len(tail)
+                total = max(total, start + len(entries))
+            obs.metrics.counter("recovery.records_replayed").inc(replayed)
+            obs.metrics.counter("recovery.runs").inc()
+
+            self._database = database
+            self._count = total
+            if segment_list:
+                self._live_start, live_path = segment_list[-1]
+                self._live = Journal(live_path, fsync=self._fsync,
+                                     io=self._io)
+            else:
+                self._live_start = base
+                self._live = Journal(self._segment_path(base),
+                                     fsync=self._fsync, io=self._io)
+            database.manager.on_commit = self._on_commit
+
+            skipped = len([index for index in self._checkpoints.indices()
+                           if loaded is None or index > base])
+            report = RecoveryReport(
+                checkpoint_index=base if loaded is not None else None,
+                records_replayed=replayed,
+                records_total=total,
+                segments_read=len(segment_list),
+                torn_bytes_truncated=truncated,
+                checkpoints_skipped=skipped if use_checkpoint else 0,
+            )
+        return database, report
+
+    def attach(self, database) -> None:
+        """Adopt a live in-memory database into an *empty* directory.
+
+        Its existing commit log is back-filled into segment 0 (so late
+        attachment still captures full history, like ``Journal.bind``),
+        then every future commit journals as it happens.  A directory
+        that already holds durable state must be :meth:`recover`\\ ed
+        instead — attaching over it would fork history.
+        """
+        if self.segments() or self._checkpoints.indices():
+            raise JournalError(
+                f"{self._directory} already holds a durable history; "
+                f"recover() it instead of attaching over it")
+        os.makedirs(self._directory, exist_ok=True)
+        self._database = database
+        self._count = 0
+        self._live_start = 0
+        self._live = Journal(self._segment_path(0), fsync=self._fsync,
+                             io=self._io)
+        for commit in database.log:
+            self._live.record(commit)
+            self._count += 1
+        database.manager.on_commit = self._on_commit
+
+    def _on_commit(self, record) -> None:
+        """The attached database's post-commit hook: journal the record.
+
+        Runs after the commit applied in memory; the commit is durable
+        only once this append returns (a crash in between loses exactly
+        that commit — the documented contract)."""
+        self._live.record(record)
+        self._count += 1
+
+    # -- checkpointing ---------------------------------------------------------------
+
+    def checkpoint(self) -> str:
+        """Publish a checkpoint of the attached database; returns its path.
+
+        The checkpoint covers every record journaled so far, and the
+        journal rotates to a fresh segment starting at that index, so
+        the next recovery replays only records committed after this
+        call.  Must run between transactions (single-writer system).
+        """
+        if self._database is None:
+            raise JournalError("no database attached; recover() or "
+                               "attach() first")
+        path = self._checkpoints.write(self._database, self._count)
+        if self._count != self._live_start:
+            self._live_start = self._count
+            self._live = Journal(self._segment_path(self._count),
+                                 fsync=self._fsync, io=self._io)
+            _obs.current().metrics.counter("recovery.segments_rotated").inc()
+        return path
+
+    def __repr__(self) -> str:
+        return (f"DurabilityManager({self._directory!r}, "
+                f"{self._count} records)")
+
+
+def detect_kind(directory: str) -> Optional[str]:
+    """The database kind recorded in the newest valid checkpoint.
+
+    ``None`` when the directory has no usable checkpoint (journal-only
+    directories don't record the kind; callers fall back to asking)."""
+    found = CheckpointStore(directory).latest()
+    if found is None:
+        return None
+    return found[1]["database"].get("kind")

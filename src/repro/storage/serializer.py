@@ -16,6 +16,15 @@ including rollback/temporal history, event-relation flags, the commit log
 and the clock position, so a loaded database answers every query the
 original did.  *Check constraints are not serialized* (they close over
 arbitrary predicates); key constraints survive via the schema key.
+
+**Durability obligations.**  ``dump_database`` is the payload of every
+checkpoint (:mod:`repro.storage.checkpoint`), so its completeness is
+load-bearing for recovery: anything it dropped would silently vanish
+across a checkpointed restart.  In particular the *clock position* must
+round-trip — recovery replays the journal tail through the restored
+clock, and a clock restored too early would stamp replayed commits onto
+the wrong instants.  This module only produces and consumes JSON text;
+*when* those bytes are durable is decided by :mod:`repro.storage.io`.
 """
 
 from __future__ import annotations

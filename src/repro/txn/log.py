@@ -8,6 +8,15 @@ durable journal in :mod:`repro.storage.journal` does exactly that).
 
 The log is append-only by construction: records can be appended and read,
 never modified or removed.
+
+**Durability obligations.**  This log is in-memory; persistence happens
+one layer out, through :attr:`TransactionManager.on_commit
+<repro.txn.manager.TransactionManager.on_commit>` (bound to a
+:class:`~repro.storage.journal.Journal` or
+:class:`~repro.storage.recovery.DurabilityManager`).  After a
+checkpointed recovery the in-memory log deliberately holds only the
+replayed *tail* — full history stays in the journal segments — so code
+must treat the log as "commits since load", never as all of history.
 """
 
 from __future__ import annotations

@@ -11,6 +11,15 @@ time, matching the serial-history semantics the paper's figures assume (a
 rollback relation *is* the serialized sequence of its transactions).
 Attempting to begin a second concurrent transaction raises
 :class:`~repro.errors.TransactionStateError`.
+
+**Durability obligations.**  The manager itself persists nothing; the
+:attr:`TransactionManager.on_commit` hook is the durability seam.  It
+fires with each :class:`~repro.txn.log.CommitRecord` *after* the applier
+succeeded and the record was logged — a durable database
+(:class:`~repro.storage.recovery.DurabilityManager`) journals the record
+there, and the commit is durable only once that append returns.  A crash
+between apply and append loses exactly that commit, which is the
+contract docs/DURABILITY.md documents.
 """
 
 from __future__ import annotations

@@ -11,6 +11,11 @@ front of the cube" (§4.2).
 Operations carry *values*, not predicates, so a committed transaction can
 be journaled and replayed byte-for-byte.  Databases that accept predicate
 deletes resolve the predicate to concrete matches *before* buffering.
+This value-only rule is a durability obligation: every argument of every
+:class:`Operation` must survive the tagged-JSON round-trip of
+:mod:`repro.storage.serializer` — the one documented exception being
+declared check constraints on ``define``, which are not journaled
+(docs/DURABILITY.md).
 """
 
 from __future__ import annotations

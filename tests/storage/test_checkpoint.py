@@ -1,0 +1,109 @@
+"""Unit tests for checkpoint files and the checkpoint store."""
+
+import os
+
+import pytest
+
+from repro.core import (HistoricalDatabase, RollbackDatabase, StaticDatabase,
+                        TemporalDatabase)
+from repro.errors import CheckpointError
+from repro.storage import (CHECKPOINT_TAG, CheckpointStore, checkpoint_bytes,
+                           frame, read_checkpoint)
+from repro.time import SimulatedClock
+
+from tests.conftest import build_faculty
+from tests.storage.probes import observations
+
+ALL_KINDS = [StaticDatabase, RollbackDatabase, HistoricalDatabase,
+             TemporalDatabase]
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(str(tmp_path / "dur"))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("db_class", ALL_KINDS)
+    def test_checkpoint_restores_every_kind(self, db_class, store):
+        database, _ = build_faculty(db_class)
+        store.write(database, len(database.log))
+        commit_index, restored = store.load_latest()
+        assert commit_index == len(database.log)
+        assert observations(restored) == observations(database)
+
+    def test_restored_database_accepts_new_commits(self, store):
+        database, _ = build_faculty(TemporalDatabase)
+        store.write(database, len(database.log))
+        _, restored = store.load_latest()
+        restored.manager.clock.source.set("06/01/85")
+        restored.insert("faculty", {"name": "New", "rank": "full"},
+                        valid_from="06/01/85")
+        assert "New" in {row["name"] for row in restored.snapshot("faculty")}
+        assert len(restored.log) == 1  # only the post-restore commit
+
+    def test_write_is_atomic_no_tmp_left(self, store):
+        database, _ = build_faculty(StaticDatabase)
+        path = store.write(database, 7)
+        assert os.path.exists(path)
+        assert not [name for name in os.listdir(store.directory)
+                    if name.endswith(".tmp")]
+
+
+class TestValidation:
+    def test_missing_file_raises(self, store):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            read_checkpoint(store.path_for(3))
+
+    def test_truncated_checkpoint_raises(self, store):
+        database, _ = build_faculty(StaticDatabase)
+        path = store.write(database, 7)
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[:len(data) // 2])
+        with pytest.raises(CheckpointError, match="damaged"):
+            read_checkpoint(path)
+
+    def test_unknown_format_raises(self, store):
+        os.makedirs(store.directory, exist_ok=True)
+        payload = '{"commit_index": 0, "database": {}, "format": 99}'
+        with open(store.path_for(0), "w") as handle:
+            handle.write(frame(payload, tag=CHECKPOINT_TAG) + "\n")
+        with pytest.raises(CheckpointError, match="format"):
+            read_checkpoint(store.path_for(0))
+
+    def test_latest_skips_damaged_newest(self, store):
+        database, clock = build_faculty(TemporalDatabase)
+        store.write(database, 7)
+        clock.set("06/01/85")
+        database.insert("faculty", {"name": "New", "rank": "full"},
+                        valid_from="06/01/85")
+        newest = store.path_for(8)
+        with open(newest, "wb") as handle:
+            handle.write(checkpoint_bytes(database, 8)[:40])
+        commit_index, entry = store.latest()
+        assert commit_index == 7  # the torn newer one was skipped
+        assert entry["commit_index"] == 7
+
+    def test_stray_tmp_files_are_not_checkpoints(self, store):
+        database, _ = build_faculty(StaticDatabase)
+        store.write(database, 7)
+        with open(store.path_for(9) + ".tmp", "wb") as handle:
+            handle.write(b"half a checkpoint")
+        assert store.indices() == [7]
+
+    def test_empty_directory_has_no_latest(self, store):
+        assert store.latest() is None
+        assert store.load_latest() is None
+
+
+class TestClockRestoration:
+    def test_restored_clock_resumes_at_last_commit(self, store):
+        database, _ = build_faculty(TemporalDatabase)
+        store.write(database, 7)
+        _, restored = store.load_latest(clock=SimulatedClock("02/25/84"))
+        # A same-instant reading must still commit strictly after the
+        # last recorded transaction (transaction time is monotone).
+        when = restored.insert("faculty", {"name": "Ann", "rank": "full"},
+                               valid_from="03/01/84")
+        assert when > database.log.last().commit_time

@@ -1,0 +1,177 @@
+"""Fault injection: crash at every point of the matrix, then recover.
+
+Each test drives the paper's faculty narrative into a durable database
+whose writes go through a :class:`FaultyIO` that dies deterministically
+at one crash point (docs/DURABILITY.md's matrix).  After the simulated
+crash the directory is recovered with real I/O, the remaining
+transactions are re-run, and the result must answer the paper's
+Figure 2–9 queries identically to a database that never crashed.
+"""
+
+import os
+
+import pytest
+
+from repro.core import (HistoricalDatabase, RollbackDatabase, StaticDatabase,
+                        TemporalDatabase)
+from repro.errors import CheckpointError
+from repro.storage import (ALL_CRASH_POINTS, CrashPoint, DurabilityManager,
+                           FaultyIO, Journal, SimulatedCrash, read_checkpoint)
+from repro.time import SimulatedClock
+
+from tests.storage.probes import (drive_faculty, faculty_steps, observations,
+                                  paper_answers)
+
+ALL_KINDS = [StaticDatabase, RollbackDatabase, HistoricalDatabase,
+             TemporalDatabase]
+
+#: Steps after which the driver checkpoints (0-based step indices).
+CHECKPOINT_AFTER = (1, 4)
+
+
+def crash_faculty(db_class, directory, io):
+    """Drive the faculty narrative through *io* until it kills us.
+
+    Checkpoints after steps 1 and 4, so both record-level and
+    checkpoint-level crash points get their chance.  Returns True if the
+    injected crash fired."""
+    manager = DurabilityManager(directory, io=io)
+    database, _ = manager.recover(db_class)
+    clock = database.manager.clock.source
+    try:
+        for index, (when, action) in enumerate(faculty_steps(database)):
+            clock.set(when)
+            action()
+            if index in CHECKPOINT_AFTER:
+                manager.checkpoint()
+    except SimulatedCrash:
+        return True
+    return False
+
+
+def recover_and_finish(db_class, directory):
+    """Recover with real I/O and run the rest of the narrative.
+
+    The durable record count tells us exactly which steps survived —
+    each step is one commit — so the driver resumes from there."""
+    manager = DurabilityManager(directory)
+    database, report = manager.recover(db_class)
+    drive_faculty(database, start=report.records_total)
+    return database, report
+
+
+@pytest.fixture
+def directory(tmp_path):
+    return str(tmp_path / "dur")
+
+
+class TestCrashMatrix:
+    """Every kind × every crash point: recovery ≡ never crashed."""
+
+    @pytest.mark.parametrize("db_class", ALL_KINDS)
+    @pytest.mark.parametrize("point", ALL_CRASH_POINTS,
+                             ids=[p.value for p in ALL_CRASH_POINTS])
+    def test_recovery_answers_paper_queries(self, db_class, point,
+                                            directory):
+        at = 4 if point in (CrashPoint.TORN_RECORD,
+                            CrashPoint.LOST_RECORD) else 2
+        assert crash_faculty(db_class, directory, FaultyIO(point, at=at))
+        recovered, _ = recover_and_finish(db_class, directory)
+
+        reference = db_class(clock=SimulatedClock(1))
+        drive_faculty(reference)
+        assert observations(recovered) == observations(reference)
+        assert paper_answers(recovered) == paper_answers(reference)
+        assert [r.commit_time for r in reference.log][-len(list(
+            recovered.log)):] == [r.commit_time for r in recovered.log]
+
+    @pytest.mark.parametrize("at", [1, 3, 7])
+    @pytest.mark.parametrize("point",
+                             [CrashPoint.TORN_RECORD,
+                              CrashPoint.LOST_RECORD],
+                             ids=["torn-record", "lost-record"])
+    def test_record_crash_at_every_append(self, point, at, directory):
+        # Whatever append dies — the very first, a middle one, the last —
+        # exactly the commits before it survive, and finishing the
+        # narrative converges on the uncrashed answers.
+        assert crash_faculty(TemporalDatabase, directory,
+                             FaultyIO(point, at=at))
+        manager = DurabilityManager(directory)
+        _, report = manager.recover(TemporalDatabase)
+        assert report.records_total == at - 1
+        drive_faculty(manager.database, start=at - 1)
+
+        reference = TemporalDatabase(clock=SimulatedClock(1))
+        drive_faculty(reference)
+        assert observations(manager.database) == observations(reference)
+
+
+class TestCrashResidue:
+    """The on-disk damage left behind is exactly what the matrix says."""
+
+    def test_torn_record_leaves_detectable_tail(self, directory):
+        assert crash_faculty(TemporalDatabase, directory,
+                             FaultyIO(CrashPoint.TORN_RECORD, at=4))
+        manager = DurabilityManager(directory)
+        _, live_path = manager.segments()[-1]
+        _, damage = Journal(live_path).scan()
+        assert damage is not None  # the torn bytes are visible pre-repair
+        _, report = manager.recover(TemporalDatabase)
+        assert report.torn_bytes_truncated > 0
+
+    def test_lost_record_leaves_clean_but_shorter_journal(self, directory):
+        assert crash_faculty(TemporalDatabase, directory,
+                             FaultyIO(CrashPoint.LOST_RECORD, at=4))
+        manager = DurabilityManager(directory)
+        _, live_path = manager.segments()[-1]
+        _, damage = Journal(live_path).scan()
+        assert damage is None  # nothing reached disk: no tear to repair
+        _, report = manager.recover(TemporalDatabase)
+        assert report.torn_bytes_truncated == 0
+        assert report.records_total == 3
+
+    def test_torn_checkpoint_fails_validation(self, directory):
+        assert crash_faculty(TemporalDatabase, directory,
+                             FaultyIO(CrashPoint.TORN_CHECKPOINT, at=2))
+        manager = DurabilityManager(directory)
+        newest = max(manager.checkpoints.indices())
+        with pytest.raises(CheckpointError):
+            read_checkpoint(manager.checkpoints.path_for(newest))
+        _, report = manager.recover(TemporalDatabase)
+        assert report.checkpoints_skipped == 1
+        assert report.checkpoint_index == 2  # fell back to the first one
+
+    def test_lost_checkpoint_leaves_ignored_tmp(self, directory):
+        assert crash_faculty(TemporalDatabase, directory,
+                             FaultyIO(CrashPoint.LOST_CHECKPOINT, at=2))
+        strays = [name for name in os.listdir(directory)
+                  if name.endswith(".tmp")]
+        assert strays  # the rename never happened
+        manager = DurabilityManager(directory)
+        assert max(manager.checkpoints.indices()) == 2
+        _, report = manager.recover(TemporalDatabase)
+        assert report.checkpoints_skipped == 0
+        assert report.checkpoint_index == 2
+
+
+class TestInjector:
+    def test_passthrough_after_firing(self, directory):
+        io = FaultyIO(CrashPoint.LOST_RECORD, at=1)
+        assert crash_faculty(TemporalDatabase, directory, io)
+        assert io.fired
+        # The machine "came back up": the same injector now writes for real.
+        manager = DurabilityManager(directory, io=io)
+        database, _ = manager.recover(TemporalDatabase)
+        drive_faculty(database, stop=3)
+        assert manager.record_count == 3
+
+    def test_at_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultyIO(CrashPoint.TORN_RECORD, at=0)
+
+    def test_counts_only_matching_writes(self, directory):
+        # Checkpoint writes do not advance a record-crash countdown.
+        io = FaultyIO(CrashPoint.TORN_RECORD, at=5)
+        assert crash_faculty(TemporalDatabase, directory, io)
+        _, report = DurabilityManager(directory).recover(TemporalDatabase)
+        assert report.records_total == 4  # died on the fifth append

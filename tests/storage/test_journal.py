@@ -49,12 +49,32 @@ class TestRecording:
         with pytest.raises(JournalError, match="corrupt"):
             Journal(journal_path).read()
 
-    def test_entries_are_json_lines(self, journal_path):
+    def test_entries_are_framed_lines(self, journal_path):
+        # One record per line: tag, payload length, CRC32, JSON payload.
+        from repro.storage import JOURNAL_TAG, parse_frame
         database, _ = build_faculty(StaticDatabase)
         Journal(journal_path).bind(database)
         with open(journal_path) as handle:
             for line in handle:
-                json.loads(line)
+                tag, length, checksum, payload = line.rstrip("\n").split(
+                    " ", 3)
+                assert tag == JOURNAL_TAG
+                assert int(length) == len(payload.encode("utf-8"))
+                assert parse_frame(line.rstrip("\n")) == json.loads(payload)
+
+    def test_legacy_bare_json_lines_still_replay(self, journal_path):
+        # Journals written before framing (bare JSON lines) are still
+        # accepted; they just lack checksums.
+        database, _ = build_faculty(TemporalDatabase)
+        Journal(journal_path).bind(database)
+        from repro.storage import parse_frame
+        entries = [parse_frame(line.rstrip("\n"))
+                   for line in open(journal_path)]
+        with open(journal_path, "w") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry) + "\n")
+        rebuilt = Journal(journal_path).replay(TemporalDatabase)
+        assert rebuilt.temporal("faculty") == database.temporal("faculty")
 
 
 class TestReplay:
@@ -109,6 +129,36 @@ class TestReplay:
         rebuilt = Journal(journal_path).replay(TemporalDatabase)
         assert rebuilt.is_event_relation("pings")
         assert rebuilt.history("pings").rows[0].valid.is_instantaneous
+
+    def test_corruption_error_names_line_and_offset(self, journal_path):
+        # The error message must localize the damage: line number and
+        # byte offset of the record that failed, so an operator can
+        # inspect the file without bisecting it.
+        database, _ = build_faculty(TemporalDatabase)
+        Journal(journal_path).bind(database)
+        with open(journal_path, "rb") as handle:
+            lines = handle.read().splitlines(keepends=True)
+        expected_offset = len(lines[0]) + len(lines[1])
+        lines[2] = b"r1 5 00000000 {\"x\": 1}\n"  # bad length and CRC
+        with open(journal_path, "wb") as handle:
+            handle.writelines(lines)
+        with pytest.raises(JournalError,
+                           match=rf"line 3 \(byte offset {expected_offset}\)"):
+            Journal(journal_path).read()
+
+    def test_recover_mode_drops_only_a_trailing_tear(self, journal_path):
+        database, _ = build_faculty(TemporalDatabase)
+        Journal(journal_path).bind(database)
+        intact = Journal(journal_path).read()
+        with open(journal_path, "ab") as handle:
+            handle.write(b"r1 400 0badf00d {\"torn")  # crashed append
+        journal = Journal(journal_path)
+        with pytest.raises(JournalError):
+            journal.read()  # strict mode still refuses
+        assert journal.read(recover=True) == intact
+        dropped = journal.truncate_torn_tail()
+        assert dropped > 0
+        assert journal.read() == intact  # the file itself is repaired
 
     def test_continue_after_replay(self, journal_path):
         database, _ = build_faculty(TemporalDatabase)

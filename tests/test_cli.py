@@ -283,3 +283,101 @@ class TestReproCLI:
     def test_dot_stats_command(self):
         _, output = TestRepl().run_repl([".stats", ".quit"])
         assert "instrumentation: off" in output
+
+
+class TestDurabilityVerbs:
+    """The ``repro checkpoint`` / ``repro recover`` verbs."""
+
+    def populate(self, directory, steps=None):
+        from repro.core import TemporalDatabase
+        from repro.storage import DurabilityManager
+        from tests.storage.probes import drive_faculty
+        manager = DurabilityManager(directory)
+        database, _ = manager.recover(TemporalDatabase)
+        drive_faculty(database, stop=steps)
+        return manager
+
+    def test_recover_reports_full_replay(self, capsys, tmp_path):
+        from repro.cli import repro_main
+        directory = str(tmp_path / "dur")
+        self.populate(directory)
+        assert repro_main(["recover", "--dir", directory]) == 0
+        output = capsys.readouterr().out
+        assert "full journal replay" in output
+        assert "records replayed:   7 of 7" in output
+        assert "relation: faculty" in output
+
+    def test_checkpoint_then_recover_uses_it(self, capsys, tmp_path):
+        from repro.cli import repro_main
+        directory = str(tmp_path / "dur")
+        self.populate(directory)
+        assert repro_main(["checkpoint", "--dir", directory]) == 0
+        assert "commit index 7" in capsys.readouterr().out
+        assert repro_main(["recover", "--dir", directory]) == 0
+        output = capsys.readouterr().out
+        assert "checkpoint at commit index 7" in output
+        assert "records replayed:   0 of 7" in output
+
+    def test_recover_kind_comes_from_checkpoint(self, capsys, tmp_path):
+        import json
+        from repro.cli import repro_main
+        from repro.core import RollbackDatabase
+        from repro.storage import DurabilityManager
+        from tests.storage.probes import drive_faculty
+        directory = str(tmp_path / "dur")
+        manager = DurabilityManager(directory)
+        database, _ = manager.recover(RollbackDatabase)
+        drive_faculty(database, stop=3)
+        manager.checkpoint()
+        # --kind says temporal, but the checkpoint knows better.
+        assert repro_main(["recover", "--dir", directory,
+                           "--kind", "temporal", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["kind"] == "static rollback"
+        assert report["full_replay"] is False
+
+    def test_recover_full_flag_ignores_checkpoints(self, capsys, tmp_path):
+        import json
+        from repro.cli import repro_main
+        directory = str(tmp_path / "dur")
+        manager = self.populate(directory)
+        manager.checkpoint()
+        assert repro_main(["recover", "--dir", directory, "--full",
+                           "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["full_replay"] is True
+        assert report["records_replayed"] == 7
+
+    def test_checkpoint_runs_script_first(self, capsys, tmp_path):
+        from repro.cli import repro_main
+        directory = str(tmp_path / "dur")
+        script = tmp_path / "setup.tq"
+        script.write_text(SCRIPT)
+        assert repro_main(["checkpoint", "--dir", directory,
+                           "-f", str(script)]) == 0
+        assert "commit index 2" in capsys.readouterr().out  # create + append
+        assert repro_main(["recover", "--dir", directory]) == 0
+        assert "relation: faculty" in capsys.readouterr().out
+
+    def test_recover_reports_torn_tail_repair(self, capsys, tmp_path):
+        from repro.cli import repro_main
+        directory = str(tmp_path / "dur")
+        manager = self.populate(directory)
+        _, live_path = manager.segments()[-1]
+        with open(live_path, "ab") as handle:
+            handle.write(b"r1 500 00000000 {\"torn")
+        assert repro_main(["recover", "--dir", directory]) == 0
+        assert "torn tail repaired" in capsys.readouterr().out
+
+    def test_recover_error_surfaces(self, capsys, tmp_path):
+        from repro.cli import repro_main
+        directory = str(tmp_path / "dur")
+        manager = self.populate(directory)
+        _, live_path = manager.segments()[-1]
+        with open(live_path, "rb") as handle:
+            lines = handle.read().splitlines(keepends=True)
+        lines[1] = b"r1 4 00000000 {\"x\": 2}\n"
+        with open(live_path, "wb") as handle:
+            handle.writelines(lines)
+        assert repro_main(["recover", "--dir", directory]) == 1
+        assert "corrupt journal record" in capsys.readouterr().err

@@ -11,8 +11,6 @@ Covers the abort paths the happy-path suites never hit:
   statement.
 """
 
-import json
-
 import pytest
 
 from repro.core import (HistoricalDatabase, RollbackDatabase, StaticDatabase,
@@ -150,18 +148,35 @@ class TestJournalFailures:
 
     def test_edited_operation_detected_or_replayed_consistently(
             self, tmp_path):
-        # Editing a value inside an op is undetectable in general (the
-        # journal is the source of truth), but editing the *commit time*
-        # against the recorded order must fail replay.
+        # A re-framed edit passes the checksum (the CRC detects damage,
+        # not tampering — the journal is the source of truth), but
+        # editing the *commit time* against the recorded order must
+        # still fail replay on the drift check.
+        from repro.storage import frame_record, parse_frame
         path = str(tmp_path / "db.journal")
         database, _ = build_faculty(TemporalDatabase)
         Journal(path).bind(database)
-        entries = [json.loads(line) for line in open(path)]
+        entries = [parse_frame(line.rstrip("\n")) for line in open(path)]
         entries[3]["commit_time"] = entries[0]["commit_time"]
         with open(path, "w") as handle:
             for entry in entries:
-                handle.write(json.dumps(entry) + "\n")
+                handle.write(frame_record(entry) + "\n")
         with pytest.raises(ReproError):
+            Journal(path).replay(TemporalDatabase)
+
+    def test_flipped_byte_fails_checksum(self, tmp_path):
+        # Unlike a semantic edit, raw damage inside a record body is
+        # caught by the frame CRC before replay even starts.
+        path = str(tmp_path / "db.journal")
+        database, _ = build_faculty(TemporalDatabase)
+        Journal(path).bind(database)
+        with open(path, "rb") as handle:
+            data = bytearray(handle.read())
+        quoted = data.index(b"Merrie")
+        data[quoted] = ord("X")
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        with pytest.raises(JournalError, match="corrupt"):
             Journal(path).replay(TemporalDatabase)
 
 
