@@ -30,10 +30,21 @@ history grows the speedup must grow with it — the acceptance bar is a
 ≥ 2x speedup at the largest size (enforced when that size is ≥ 1000;
 the CI smoke sweep at n=100 records the numbers without gating).
 
+A fifth measurement sweeps **contention** (``BENCH_concurrency.json``):
+the :func:`~repro.workload.stress.run_stress` harness drives the same
+counter workload from 1, 2, 4 and 8 concurrent sessions through the
+:mod:`repro.concurrency` layer, recording throughput and the conflict
+rate at each width.  The gate is correctness, not speed: every point
+must commit all of its transactions with zero lost updates, strictly
+monotone commit times, and serial-replay equivalence (the single-writer
+engine serializes commits, so throughput is not expected to scale —
+the sweep documents the cost of safety under contention).
+
 Run:  python benchmarks/run_bench.py [--sizes 100,1000,10000]
                                      [--seed N]
                                      [--out BENCH_temporal.json]
                                      [--recovery-out BENCH_recovery.json]
+                                     [--concurrency-out BENCH_concurrency.json]
                                      [--skip-suites]
 """
 
@@ -69,6 +80,10 @@ RECOVERY_TAIL = 50
 #: (gated only when that size is large enough for replay to dominate).
 RECOVERY_SPEEDUP = 2.0
 RECOVERY_GATE_SIZE = 1000
+#: The contention sweep: session counts and transactions per session.
+CONCURRENCY_SESSIONS = (1, 2, 4, 8)
+CONCURRENCY_OPS = 150
+CONCURRENCY_KEYS = 8
 
 
 def _git_sha():
@@ -228,6 +243,49 @@ def _run_recovery(sizes, seed):
     return section
 
 
+def _concurrency_point(sessions, seed):
+    """One contention measurement: *sessions* workers, audited."""
+    from repro.workload.stress import run_stress
+
+    report = run_stress(kind=TemporalDatabase, sessions=sessions,
+                        transactions=CONCURRENCY_OPS,
+                        keys=CONCURRENCY_KEYS, seed=seed)
+    return {
+        "sessions": sessions,
+        "transactions_per_session": CONCURRENCY_OPS,
+        "committed": report.committed,
+        "wall_s": report.wall_s,
+        "throughput_tps": (round(report.committed / report.wall_s, 1)
+                           if report.wall_s else None),
+        "conflicts": report.conflicts,
+        "retries": report.retries,
+        "conflict_rate": round(report.conflicts
+                               / max(1, report.committed), 4),
+        "lost_updates": report.lost_updates,
+        "commit_times_monotone": report.commit_times_monotone,
+        "serial_equivalent": report.serial_equivalent,
+        "invariants_ok": (report.ok
+                          and report.committed
+                          == sessions * CONCURRENCY_OPS),
+    }
+
+
+def _run_concurrency(seed):
+    """Throughput vs. session count, with the correctness gate verdict."""
+    section = {"keys": CONCURRENCY_KEYS, "points": {}}
+    ok = True
+    for sessions in CONCURRENCY_SESSIONS:
+        point = _concurrency_point(sessions, seed)
+        section["points"][str(sessions)] = point
+        ok = ok and point["invariants_ok"]
+        print("concurrency s=%d: %.0f txn/s, conflict rate %.1f%%, "
+              "%s" % (sessions, point["throughput_tps"] or 0.0,
+                      point["conflict_rate"] * 100,
+                      "ok" if point["invariants_ok"] else "INVARIANTS FAILED"))
+    section["invariants_ok"] = ok
+    return section
+
+
 def _run_suites():
     results = {}
     env = dict(os.environ)
@@ -264,6 +322,9 @@ def main(argv=None):
     parser.add_argument("--recovery-out",
                         default=os.path.join(REPO_ROOT,
                                              "BENCH_recovery.json"))
+    parser.add_argument("--concurrency-out",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_concurrency.json"))
     parser.add_argument("--skip-suites", action="store_true",
                         help="skip the pytest benches (ingest sweep only)")
     parser.add_argument("--seed", type=int, default=0,
@@ -333,6 +394,19 @@ def main(argv=None):
     print("wrote %s" % args.recovery_out)
     report["recovery"] = recovery
 
+    concurrency = _run_concurrency(args.seed)
+    concurrency.update({
+        "generated_by": "benchmarks/run_bench.py",
+        "python": report["python"],
+        "git_sha": report["git_sha"],
+        "seed": args.seed,
+    })
+    with open(args.concurrency_out, "w") as handle:
+        json.dump(concurrency, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.concurrency_out)
+    report["concurrency"] = concurrency
+
     if not args.skip_suites:
         report["suites"] = _run_suites()
         for suite, outcome in report["suites"].items():
@@ -359,6 +433,11 @@ def main(argv=None):
     if not recovery["speedup_ok"]:
         print("FAIL: checkpoint+tail recovery is not ≥ %.1fx faster than "
               "full replay at n=%d" % (RECOVERY_SPEEDUP, max(sizes)))
+        return 1
+    if not concurrency["invariants_ok"]:
+        print("FAIL: the contention sweep violated a serializability "
+              "invariant (lost update, non-monotone commit times, or "
+              "serial-replay divergence)")
         return 1
     return 0
 

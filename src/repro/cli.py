@@ -43,6 +43,13 @@ journal; see docs/DURABILITY.md)::
     repro checkpoint --dir DIR         # recover, then publish a checkpoint
     repro checkpoint --dir DIR -f setup.tq   # run a script first
 
+and drives the concurrent stress harness (see docs/CONCURRENCY.md)::
+
+    repro stress                           # 8 sessions x 200 txns, audit
+    repro stress --sessions 16 --ops 100   # heavier contention
+    repro stress --faults torn-record      # chaos mode: crash + recovery
+    repro stress --json                    # the full report as JSON
+
 The database kind is read from the newest checkpoint when one exists;
 ``--kind`` decides it for journal-only or fresh directories.
 """
@@ -302,7 +309,48 @@ def build_repro_parser() -> argparse.ArgumentParser:
     checkpoint.add_argument("-f", "--file", default=None,
                             help="run a TQuel script against the recovered "
                                  "database before checkpointing")
+
+    stress = subparsers.add_parser(
+        "stress", help="hammer a database from concurrent sessions and "
+                       "audit the serializability invariants")
+    stress.add_argument("--kind", choices=sorted(_KINDS), default="temporal",
+                        help="which kind of database to hammer "
+                             "(default: temporal)")
+    stress.add_argument("--sessions", type=int, default=8, metavar="N",
+                        help="concurrent worker threads (default: 8)")
+    stress.add_argument("--ops", type=int, default=200, metavar="N",
+                        help="transactions per session (default: 200)")
+    stress.add_argument("--keys", type=int, default=8, metavar="N",
+                        help="counter rows contended over (default: 8)")
+    stress.add_argument("--seed", type=int, default=0,
+                        help="workload and backoff-jitter seed (default: 0)")
+    stress.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-transaction deadline in seconds "
+                             "(default: none)")
+    stress.add_argument("--max-active", type=int, default=None, metavar="N",
+                        help="admission slots (default: the session count)")
+    stress.add_argument("--max-queue", type=int, default=None, metavar="N",
+                        help="admission wait-queue bound (default: 4x "
+                             "sessions); excess is shed as Overloaded")
+    stress.add_argument("--faults", default=None,
+                        choices=[point.value for point in _append_points()],
+                        help="chaos mode: kill journal I/O at this crash "
+                             "point, then audit recovery")
+    stress.add_argument("--fault-at", type=int, default=50, metavar="N",
+                        help="which journal append dies in chaos mode "
+                             "(default: 50)")
+    stress.add_argument("--dir", default=None, metavar="DIR",
+                        help="durability directory for chaos mode "
+                             "(default: a temporary one)")
+    stress.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON")
     return parser
+
+
+def _append_points():
+    """The journal-append crash points ``repro stress --faults`` accepts."""
+    from repro.storage.faults import CrashPoint
+    return (CrashPoint.TORN_RECORD, CrashPoint.LOST_RECORD)
 
 
 #: DatabaseKind value string (as checkpoints record it) → class.
@@ -370,6 +418,62 @@ def _repro_checkpoint(args) -> int:
     print(f"checkpointed the {database.kind} database at commit index "
           f"{manager.record_count}: {path}")
     return 0
+
+
+def _repro_stress(args) -> int:
+    """The ``repro stress`` verb: run the harness, print the audit."""
+    import tempfile
+
+    from repro.concurrency import AdmissionController
+    from repro.storage.faults import CrashPoint
+    from repro.workload.stress import run_stress
+
+    admission = None
+    if args.max_active is not None or args.max_queue is not None:
+        admission = AdmissionController(
+            max_active=args.max_active or max(2, args.sessions),
+            max_queue=(args.max_queue if args.max_queue is not None
+                       else 4 * args.sessions))
+    faults = CrashPoint(args.faults) if args.faults else None
+
+    def run(directory):
+        return run_stress(
+            kind=_KINDS[args.kind], sessions=args.sessions,
+            transactions=args.ops, keys=args.keys, seed=args.seed,
+            admission=admission, timeout=args.timeout,
+            faults=faults, fault_at=args.fault_at, directory=directory)
+
+    if faults is not None and args.dir is None:
+        with tempfile.TemporaryDirectory() as scratch:
+            report = run(scratch)
+    else:
+        report = run(args.dir)
+
+    if args.json:
+        print(json.dumps(report.describe(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    print(f"stress: {report.sessions} sessions x "
+          f"{report.transactions_per_session} transactions on a "
+          f"{args.kind} database ({report.wall_s:.3f}s)")
+    print(f"  committed:          {report.committed} of {report.attempted} "
+          f"attempted")
+    print(f"  conflicts retried:  {report.conflicts} "
+          f"({report.retries} retries)")
+    print(f"  shed (overloaded):  {report.shed}")
+    print(f"  deadline exceeded:  {report.deadline_exceeded}")
+    if faults is not None:
+        print(f"  crashed:            {report.crashed} worker(s) saw the "
+              f"injected crash")
+        print(f"  recovered records:  {report.recovered_records} "
+              f"(durable prefix intact: "
+              f"{report.recovery_is_durable_prefix})")
+    print(f"  lost updates:       {report.lost_updates}")
+    print(f"  commit times:       "
+          f"{'strictly increasing' if report.commit_times_monotone else 'OUT OF ORDER'}")
+    print(f"  serial replay:      "
+          f"{'equivalent' if report.serial_equivalent else 'DIVERGED'}")
+    print(f"  audit: {'ok' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
 
 
 def _demo_workload(session: Session, clock: SimulatedClock) -> None:
@@ -462,10 +566,11 @@ def _format_stats(stats) -> str:
 def repro_main(argv: Optional[list] = None) -> int:
     """Entry point for the ``repro`` console script."""
     args = build_repro_parser().parse_args(argv)
-    if args.subcommand in ("recover", "checkpoint"):
+    if args.subcommand in ("recover", "checkpoint", "stress"):
         try:
-            handler = (_repro_recover if args.subcommand == "recover"
-                       else _repro_checkpoint)
+            handler = {"recover": _repro_recover,
+                       "checkpoint": _repro_checkpoint,
+                       "stress": _repro_stress}[args.subcommand]
             return handler(args)
         except (ReproError, OSError) as error:
             print(f"error: {error}", file=sys.stderr)

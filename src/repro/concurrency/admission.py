@@ -1,0 +1,141 @@
+"""Admission control: bounded concurrency, bounded queueing, fast shed.
+
+An :class:`AdmissionController` guards the session layer with two knobs:
+
+- ``max_active`` — how many transactions may be past admission at once
+  (buffering, validating, or committing);
+- ``max_queue`` — how many more may *wait* for a slot.
+
+Work beyond both bounds is rejected immediately with a typed, retryable
+:class:`~repro.errors.Overloaded` carrying a ``retry_after`` hint —
+graceful degradation instead of an unbounded queue that wedges the
+process and breaks every deadline downstream (the real-time database
+literature's controlled-degradation discipline).  A queued waiter whose
+deadline passes before a slot frees aborts with
+:class:`~repro.errors.DeadlineExceeded` rather than occupying the queue
+late.
+
+Instrumented via :mod:`repro.obs` (no-ops unless recording is on):
+``admission.admitted`` / ``admission.shed`` counters and the
+``admission.active`` / ``admission.queue_depth`` gauges.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.errors import DeadlineExceeded, Overloaded
+from repro.obs import runtime as _obs
+
+
+class _Slot:
+    """An admitted slot; a context manager that releases on exit."""
+
+    __slots__ = ("_controller", "_released")
+
+    def __init__(self, controller: "AdmissionController") -> None:
+        self._controller = controller
+        self._released = False
+
+    def release(self) -> None:
+        """Free the slot (idempotent)."""
+        if not self._released:
+            self._released = True
+            self._controller._release()
+
+    def __enter__(self) -> "_Slot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+
+class AdmissionController:
+    """A bounded gate in front of the session layer.
+
+    ``retry_after`` scales the back-pressure hint: a shed request is told
+    to come back in roughly ``retry_after * (queued + active)`` seconds,
+    a crude but monotone estimate of drain time.  The *clock* is
+    injectable (monotonic seconds) so deadline tests are deterministic.
+    """
+
+    def __init__(self, max_active: int = 8, max_queue: int = 16,
+                 retry_after: float = 0.05,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_active < 1:
+            raise ValueError("max_active must be at least 1")
+        if max_queue < 0:
+            raise ValueError("max_queue cannot be negative")
+        self.max_active = max_active
+        self.max_queue = max_queue
+        self.retry_after = retry_after
+        self._clock = clock
+        self._condition = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def active(self) -> int:
+        """Transactions currently past admission."""
+        return self._active
+
+    @property
+    def queued(self) -> int:
+        """Transactions currently waiting for a slot."""
+        return self._waiting
+
+    # -- the gate ---------------------------------------------------------------
+
+    def admit(self, deadline: Optional[float] = None) -> _Slot:
+        """Take a slot, queueing up to the configured depth.
+
+        Returns a context manager releasing the slot on exit.  Raises
+        :class:`~repro.errors.Overloaded` at once when the queue is full
+        (load shedding), :class:`~repro.errors.DeadlineExceeded` when
+        the deadline passes while queued.
+        """
+        metrics = _obs.current().metrics
+        with self._condition:
+            if self._active >= self.max_active:
+                if self._waiting >= self.max_queue:
+                    metrics.counter("admission.shed").inc()
+                    hint = self.retry_after * (self._waiting + self._active)
+                    raise Overloaded(
+                        f"admission queue is full ({self._active} active, "
+                        f"{self._waiting} queued); retry in ~{hint:.3f}s",
+                        retry_after=hint)
+                self._waiting += 1
+                metrics.gauge("admission.queue_depth").set(self._waiting)
+                try:
+                    while self._active >= self.max_active:
+                        if deadline is None:
+                            self._condition.wait()
+                            continue
+                        remaining = deadline - self._clock()
+                        if remaining <= 0:
+                            raise DeadlineExceeded(
+                                "deadline passed while queued for admission")
+                        self._condition.wait(remaining)
+                finally:
+                    self._waiting -= 1
+                    metrics.gauge("admission.queue_depth").set(self._waiting)
+            self._active += 1
+            metrics.counter("admission.admitted").inc()
+            metrics.gauge("admission.active").set(self._active)
+        return _Slot(self)
+
+    def _release(self) -> None:
+        with self._condition:
+            self._active -= 1
+            _obs.current().metrics.gauge("admission.active").set(self._active)
+            self._condition.notify()
+
+    def __repr__(self) -> str:
+        return (f"AdmissionController(max_active={self.max_active}, "
+                f"max_queue={self.max_queue}, active={self._active}, "
+                f"queued={self._waiting})")

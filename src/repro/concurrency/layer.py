@@ -1,0 +1,178 @@
+"""The session layer: many sessions, one serialized commit order.
+
+A :class:`SessionLayer` lets N threads run transactions against one
+database concurrently while every commit still funnels through the
+single-writer :class:`~repro.txn.manager.TransactionManager` — so
+transaction time stays append-only, system-assigned and strictly
+increasing, exactly the paper's serial-history model ("each transaction
+results in a new static relation being appended to the front of the
+cube", §4.2).  The layer makes the race *safe* rather than the order
+parallel:
+
+1. **admission** (:class:`~repro.concurrency.admission.AdmissionController`)
+   bounds how much work is in flight and sheds the excess fast;
+2. each admitted transaction runs in an optimistic
+   :class:`~repro.concurrency.session.ConcurrentSession` — no locks held
+   while the application computes;
+3. at commit, first-committer-wins validation runs under the manager's
+   serialization lock (the ``validate`` seam of
+   :meth:`TransactionManager.run`), atomically with the apply it guards;
+4. a conflict raises a retryable :class:`~repro.errors.ConflictError`
+   and the :class:`~repro.concurrency.retry.RetryPolicy` re-runs the
+   whole closure — against the *new* committed state — with exponential
+   backoff, never past the transaction's deadline.
+
+Durability composes unchanged: the serialized commit stream is what the
+:class:`~repro.storage.recovery.DurabilityManager` journals (appends
+fire under the commit lock, in commit order), so the crash-safety
+contract of docs/DURABILITY.md is oblivious to how many sessions raced.
+
+Mixing rule: writers that bypass the layer (direct ``db.insert`` or an
+explicit ``db.begin()`` transaction) still serialize correctly, and
+commits *through* the layer detect their interference; the bypassing
+writers themselves get no conflict detection (docs/CONCURRENCY.md).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.concurrency.admission import AdmissionController
+from repro.concurrency.retry import RetryPolicy
+from repro.concurrency.session import ConcurrentSession, SessionStatus
+from repro.errors import ConflictError, DeadlineExceeded
+from repro.obs import runtime as _obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.time.instant import Instant
+
+#: A transaction closure: receives the session, returns the caller's value.
+TransactionClosure = Callable[[ConcurrentSession], Any]
+
+
+class SessionLayer:
+    """Concurrent optimistic sessions over one database.
+
+    Construct directly or via :meth:`Database.sessions
+    <repro.core.base.Database.sessions>`.  ``retry`` and ``admission``
+    default to sensible bounded policies; pass explicitly-seeded ones
+    for deterministic tests.  *clock* is the monotonic time source for
+    deadlines (injectable).
+    """
+
+    def __init__(self, database, retry: Optional[RetryPolicy] = None,
+                 admission: Optional[AdmissionController] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.database = database
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.admission = (admission if admission is not None
+                          else AdmissionController())
+        self._clock = clock
+        self._id_lock = threading.Lock()
+        self._next_id = 1
+
+    # -- session lifecycle ----------------------------------------------------
+
+    def begin(self) -> ConcurrentSession:
+        """Start an optimistic session (no admission, no retry).
+
+        The raw seam: the caller owns validation failures.  Application
+        code normally wants :meth:`run`, which adds admission control,
+        deadline enforcement, and conflict retry around this.
+        """
+        with self._id_lock:
+            session_id = self._next_id
+            self._next_id += 1
+        _obs.current().metrics.counter("concurrency.sessions").inc()
+        return ConcurrentSession(self, session_id)
+
+    def commit_session(self, session: ConcurrentSession,
+                       deadline: Optional[float] = None) -> Optional["Instant"]:
+        """Validate and commit *session*; called by ``session.commit()``.
+
+        First-committer-wins: the footprint check runs under the
+        manager's serialization lock, atomically with the apply.  A
+        transaction past its deadline aborts with
+        :class:`~repro.errors.DeadlineExceeded` instead of committing
+        late.  Read-only sessions (no buffered operations) validate and
+        return ``None`` — no commit record, but the reads are certified
+        unchallenged.
+        """
+        metrics = _obs.current().metrics
+        if deadline is not None and self._clock() >= deadline:
+            session._status = SessionStatus.ABORTED
+            raise DeadlineExceeded(
+                f"session {session.session_id} reached its deadline "
+                f"before commit; aborting instead of committing late")
+
+        def validate() -> None:
+            stale = session.conflicts()
+            if stale:
+                metrics.counter("concurrency.conflicts").inc()
+                raise ConflictError(
+                    f"session {session.session_id} lost first-committer-"
+                    f"wins validation: {', '.join(stale)} changed since "
+                    f"it began", relations=stale)
+
+        try:
+            if not session.operations:
+                validate()
+                session._status = SessionStatus.COMMITTED
+                return None
+            with metrics.histogram("concurrency.commit_seconds").time():
+                commit_time = self.database.manager.run(
+                    session.operations, validate=validate)
+        except Exception:
+            session._status = SessionStatus.ABORTED
+            raise
+        session._status = SessionStatus.COMMITTED
+        session._commit_time = commit_time
+        metrics.counter("concurrency.commits").inc()
+        return commit_time
+
+    # -- the transactional entry point -----------------------------------------
+
+    def run(self, closure: TransactionClosure,
+            timeout: Optional[float] = None,
+            deadline: Optional[float] = None) -> Any:
+        """Run *closure* as one transaction: admit, execute, commit, retry.
+
+        The closure receives a fresh :class:`ConcurrentSession` per
+        attempt and is re-run from scratch on conflict (so it must be
+        safe to repeat — pure reads plus buffered writes are).  Its
+        return value is returned on commit.  ``timeout`` (seconds from
+        now) or an absolute ``deadline`` (a reading of the layer's
+        monotonic clock) bound the whole affair, retries and queueing
+        included; past it the transaction aborts with
+        :class:`~repro.errors.DeadlineExceeded` rather than commit late.
+        Raises :class:`~repro.errors.Overloaded` when shed at admission,
+        :class:`~repro.errors.ConflictError` when retries are exhausted.
+        """
+        if deadline is None and timeout is not None:
+            deadline = self._clock() + timeout
+        obs = _obs.current()
+
+        def attempt() -> Any:
+            with self.admission.admit(deadline):
+                session = self.begin()
+                try:
+                    result = closure(session)
+                    if session.is_active:
+                        session.commit(deadline)
+                    return result
+                finally:
+                    if session.is_active:
+                        session.abort()
+
+        with obs.tracer.span("concurrency.run"):
+            try:
+                return self.retry.call(attempt, deadline)
+            except DeadlineExceeded:
+                obs.metrics.counter("concurrency.deadline_exceeded").inc()
+                raise
+
+    def __repr__(self) -> str:
+        return (f"SessionLayer({self.database!r}, retry={self.retry!r}, "
+                f"admission={self.admission!r})")

@@ -1,0 +1,211 @@
+"""Optimistic sessions: buffer against a snapshot, validate at commit.
+
+A :class:`ConcurrentSession` is one transaction's view of the database
+under the session layer (:mod:`repro.concurrency.layer`).  It never
+holds a lock while the application thinks: reads go straight to the
+committed state, writes are buffered as plain
+:class:`~repro.txn.transaction.Operation` records, and the session
+tracks its *footprint* — for every relation read or written, the
+relation's version counter at first touch (the same per-relation
+counters the index cache keys on).
+
+At commit the layer re-checks the footprint under the manager's
+serialization lock: if any touched relation has a newer version, another
+transaction committed first and this one loses — first-committer-wins —
+with a retryable :class:`~repro.errors.ConflictError`.  Validation is at
+**relation granularity**: two sessions writing different keys of the
+same relation still conflict (one retries and then succeeds).  That is
+deliberately coarse — it is sound for any operation mix, needs no
+predicate analysis, and the retry layer absorbs the false sharing; see
+docs/CONCURRENCY.md for the contract and its sharpening path.
+
+Reads within a session see the latest *committed* state, not the
+session's own buffered writes (no read-your-writes); validation then
+guarantees that everything read still holds at commit time, which makes
+a committed session serializable at relation granularity.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import TransactionStateError
+from repro.time.instant import Instant
+from repro.txn.transaction import Operation
+
+InstantLike = Union[Instant, str, int]
+
+
+class SessionStatus(enum.Enum):
+    """The lifecycle of a concurrent session."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class ConcurrentSession:
+    """One optimistic transaction: buffered writes + a read/write footprint.
+
+    Obtained from :meth:`SessionLayer.begin
+    <repro.concurrency.layer.SessionLayer.begin>` (or implicitly inside
+    :meth:`SessionLayer.run`); commits through the owning layer.  The
+    DML methods mirror the database kind's own (``valid_from`` /
+    ``valid_to`` keywords where the kind supports valid time).
+    """
+
+    def __init__(self, layer, session_id: int) -> None:
+        self._layer = layer
+        self._database = layer.database
+        self._id = session_id
+        self._status = SessionStatus.ACTIVE
+        self._operations: List[Operation] = []
+        #: relation name -> version counter at first touch.
+        self._footprint: Dict[str, int] = {}
+        #: commit-log length when the session began (diagnostic only).
+        self._snapshot_index = len(self._database.log)
+        self._commit_time: Optional[Instant] = None
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def session_id(self) -> int:
+        """A layer-unique, increasing session identifier."""
+        return self._id
+
+    @property
+    def status(self) -> SessionStatus:
+        """The current lifecycle state."""
+        return self._status
+
+    @property
+    def operations(self) -> Tuple[Operation, ...]:
+        """The buffered operations, in order."""
+        return tuple(self._operations)
+
+    @property
+    def footprint(self) -> Dict[str, int]:
+        """A copy of the read/write footprint (relation -> version)."""
+        return dict(self._footprint)
+
+    @property
+    def snapshot_index(self) -> int:
+        """How many commits the database had when this session began."""
+        return self._snapshot_index
+
+    @property
+    def commit_time(self) -> Optional[Instant]:
+        """The transaction time assigned at commit (None before)."""
+        return self._commit_time
+
+    @property
+    def is_active(self) -> bool:
+        """True while the session can still buffer and commit."""
+        return self._status is SessionStatus.ACTIVE
+
+    # -- footprint ---------------------------------------------------------------
+
+    def touch(self, name: str) -> None:
+        """Record *name* in the footprint at its current version.
+
+        Called automatically by every read and write below; call it
+        directly to declare a dependency the session reads through some
+        other channel.
+        """
+        if name not in self._footprint:
+            self._footprint[name] = self._database.relation_version(name)
+
+    def conflicts(self) -> List[str]:
+        """The touched relations whose version has moved since first touch."""
+        return sorted(name for name, version in self._footprint.items()
+                      if self._database.relation_version(name) != version)
+
+    # -- reads --------------------------------------------------------------------
+
+    def read(self, name: str):
+        """The relation's current committed snapshot, footprint-tracked."""
+        self.touch(name)
+        return self._database.snapshot(name)
+
+    def timeslice(self, name: str, valid_at: InstantLike):
+        """Valid-time slice of the committed state, footprint-tracked."""
+        self.touch(name)
+        return self._database.timeslice(name, valid_at)
+
+    def rollback(self, name: str, as_of: InstantLike):
+        """Transaction-time rollback of the committed state, tracked."""
+        self.touch(name)
+        return self._database.rollback(name, as_of)
+
+    # -- writes --------------------------------------------------------------------
+
+    def add(self, operation: Operation) -> None:
+        """Buffer one operation (the database's ``txn=`` recorder seam)."""
+        self._require_active()
+        self.touch(operation.relation)
+        self._operations.append(operation)
+
+    def insert(self, name: str, values: Mapping[str, Any],
+               **valid_bounds: Any) -> None:
+        """Buffer an insert (valid-time keywords per the database kind)."""
+        self._require_active()
+        self.touch(name)
+        self._database.insert(name, values, txn=self, **valid_bounds)
+
+    def delete(self, name: str, match: Optional[Mapping[str, Any]] = None,
+               **valid_bounds: Any) -> None:
+        """Buffer a delete of every tuple agreeing with *match*."""
+        self._require_active()
+        self.touch(name)
+        self._database.delete(name, match, txn=self, **valid_bounds)
+
+    def replace(self, name: str, match: Mapping[str, Any],
+                updates: Mapping[str, Any], **valid_bounds: Any) -> None:
+        """Buffer a replace of every tuple agreeing with *match*."""
+        self._require_active()
+        self.touch(name)
+        self._database.replace(name, match, updates, txn=self, **valid_bounds)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _require_active(self) -> None:
+        if self._status is not SessionStatus.ACTIVE:
+            raise TransactionStateError(
+                f"session {self._id} is {self._status.value}, not active")
+
+    def commit(self, deadline: Optional[float] = None) -> Instant:
+        """Validate the footprint and commit through the layer.
+
+        Raises :class:`~repro.errors.ConflictError` when first-committer-
+        wins validation fails (the session is then aborted; begin a new
+        one to retry — :meth:`SessionLayer.run` does this for you).
+        """
+        self._require_active()
+        return self._layer.commit_session(self, deadline=deadline)
+
+    def abort(self) -> None:
+        """Discard the buffered operations."""
+        self._require_active()
+        self._operations.clear()
+        self._status = SessionStatus.ABORTED
+
+    # -- context manager ---------------------------------------------------------------
+
+    def __enter__(self) -> "ConcurrentSession":
+        self._require_active()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            if self.is_active:
+                self.abort()
+            return False
+        if self.is_active:
+            self.commit()
+        return False
+
+    def __repr__(self) -> str:
+        return (f"ConcurrentSession(id={self._id}, {self._status.value}, "
+                f"{len(self._operations)} ops, "
+                f"footprint={sorted(self._footprint)})")

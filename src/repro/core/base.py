@@ -197,8 +197,26 @@ class Database(abc.ABC):
     # -- DML plumbing ------------------------------------------------------------------------
 
     def begin(self) -> Transaction:
-        """Start a multi-operation transaction."""
+        """Start a multi-operation transaction (single-writer: one at a
+        time; for many concurrent callers use :meth:`sessions`)."""
         return self._manager.begin()
+
+    def sessions(self, retry: Optional[Any] = None,
+                 admission: Optional[Any] = None, **kwargs: Any):
+        """A concurrent session layer over this database.
+
+        N threads may call :meth:`SessionLayer.run
+        <repro.concurrency.layer.SessionLayer.run>` on the returned
+        layer concurrently; commits validate optimistically
+        (first-committer-wins) and still serialize into the paper's
+        strictly-increasing transaction-time order.  ``retry`` /
+        ``admission`` override the default
+        :class:`~repro.concurrency.retry.RetryPolicy` and
+        :class:`~repro.concurrency.admission.AdmissionController`;
+        see docs/CONCURRENCY.md for the isolation contract.
+        """
+        from repro.concurrency import SessionLayer  # avoid cycle
+        return SessionLayer(self, retry=retry, admission=admission, **kwargs)
 
     def _submit(self, op: Operation,
                 txn: Optional[Transaction]) -> Optional[Instant]:

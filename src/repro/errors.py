@@ -10,7 +10,17 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    :attr:`retryable` is the session layer's triage bit: ``True`` means
+    the failure is transient — re-running the same transaction closure
+    may succeed (optimistic-concurrency conflicts, admission-control
+    overload).  Semantic errors stay ``False`` and are never retried
+    (docs/CONCURRENCY.md).
+    """
+
+    #: True when re-running the failed operation may succeed.
+    retryable = False
 
 
 # ---------------------------------------------------------------------------
@@ -87,6 +97,52 @@ class TransactionStateError(TransactionError):
 
 class JournalError(TransactionError):
     """The append-only journal is corrupt or was used incorrectly."""
+
+
+class ConcurrencyError(TransactionError):
+    """Base class for the concurrent session layer (docs/CONCURRENCY.md)."""
+
+
+class ConflictError(ConcurrencyError):
+    """First-committer-wins validation failed: another transaction
+    committed to a relation this one read or wrote since it began.
+
+    Retryable by definition — the paper's serialized commit order is
+    intact; this transaction merely lost the race and can re-run against
+    the new state.  ``relations`` names the stale relations.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, relations: tuple = ()) -> None:
+        self.relations = tuple(relations)
+        super().__init__(message)
+
+
+class DeadlineExceeded(ConcurrencyError):
+    """The transaction's deadline passed before it could commit.
+
+    Raised instead of committing late (and instead of a retry sleep that
+    would overshoot the deadline).  Not retryable: the deadline is an
+    application promise, and only the application can extend it.
+    """
+
+
+class Overloaded(ConcurrencyError):
+    """Admission control shed this transaction: the wait queue is full.
+
+    Graceful degradation under load — the request is rejected *fast*
+    with ``retry_after`` (seconds) as a back-pressure hint, instead of
+    wedging the process behind an unbounded queue.  Retryable: capacity
+    frees up as in-flight transactions commit.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str,
+                 retry_after: "float | None" = None) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
 
 
 # ---------------------------------------------------------------------------

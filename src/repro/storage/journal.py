@@ -34,6 +34,7 @@ documented exception to "the journal describes everything".
 from __future__ import annotations
 
 import os
+import threading
 from typing import (Any, Callable, Dict, List, NamedTuple, Optional,
                     Sequence, Tuple)
 
@@ -152,6 +153,11 @@ class Journal:
         self._path = path
         self._fsync = fsync
         self._io = io if io is not None else REAL_IO
+        # Appends are serialized: commits normally arrive already ordered
+        # (on_commit fires under the manager's commit lock), but a journal
+        # bound directly from several threads must still never interleave
+        # bytes of two records.
+        self._append_lock = threading.Lock()
 
     @property
     def path(self) -> str:
@@ -164,8 +170,9 @@ class Journal:
         """Append one framed commit record; durable (per the ``fsync``
         setting) when this returns."""
         line = frame_record(encode_commit(commit))
-        self._io.append(self._path, (line + "\n").encode("utf-8"),
-                        fsync=self._fsync)
+        with self._append_lock:
+            self._io.append(self._path, (line + "\n").encode("utf-8"),
+                            fsync=self._fsync)
         _obs.current().metrics.counter("journal.records").inc()
 
     def bind(self, database) -> None:

@@ -248,7 +248,10 @@ class DurabilityManager:
 
         Runs after the commit applied in memory; the commit is durable
         only once this append returns (a crash in between loses exactly
-        that commit — the documented contract)."""
+        that commit — the documented contract).  The manager fires this
+        under its commit lock, so concurrent sessions
+        (:mod:`repro.concurrency`) append records in serialized commit
+        order and the ``_count`` increment never races."""
         self._live.record(record)
         self._count += 1
 
@@ -260,7 +263,11 @@ class DurabilityManager:
         The checkpoint covers every record journaled so far, and the
         journal rotates to a fresh segment starting at that index, so
         the next recovery replays only records committed after this
-        call.  Must run between transactions (single-writer system).
+        call.  Must run between transactions (single-writer system);
+        under the concurrent session layer, quiesce the layer first —
+        checkpointing races no individual commit (appends are ordered
+        by the commit lock) but a checkpoint taken mid-burst may simply
+        cover fewer records than the burst will leave behind.
         """
         if self._database is None:
             raise JournalError("no database attached; recover() or "

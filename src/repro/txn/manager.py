@@ -10,16 +10,30 @@ The concurrency model is single-writer: one transaction may be active at a
 time, matching the serial-history semantics the paper's figures assume (a
 rollback relation *is* the serialized sequence of its transactions).
 Attempting to begin a second concurrent transaction raises
-:class:`~repro.errors.TransactionStateError`.
+:class:`~repro.errors.TransactionStateError` naming the holding
+transaction.  Many *sessions* may nonetheless race toward the serialized
+order through :mod:`repro.concurrency`, which funnels every commit
+through :meth:`TransactionManager.run` — the ``validate`` hook there is
+the optimistic-concurrency seam (docs/CONCURRENCY.md).
+
+**Failure release.**  A failed commit never wedges the manager: the
+active slot is released in a ``finally`` whether the applier, the log
+append, or the ``on_commit`` hook raised, so the next ``begin()`` is
+always accepted (the transaction itself is marked aborted by
+:meth:`Transaction.commit`).
 
 **Durability obligations.**  The manager itself persists nothing; the
 :attr:`TransactionManager.on_commit` hook is the durability seam.  It
 fires with each :class:`~repro.txn.log.CommitRecord` *after* the applier
-succeeded and the record was logged — a durable database
+succeeded and the record was logged, and — deliberately — *inside* the
+commit lock, so concurrent sessions journal records in exactly the
+serialized commit order (an out-of-order append would make replay
+non-monotone).  A durable database
 (:class:`~repro.storage.recovery.DurabilityManager`) journals the record
 there, and the commit is durable only once that append returns.  A crash
-between apply and append loses exactly that commit, which is the
-contract docs/DURABILITY.md documents.
+between apply and append — including an ``on_commit`` hook that raises —
+loses exactly that commit, which is the contract docs/DURABILITY.md
+documents.
 """
 
 from __future__ import annotations
@@ -107,28 +121,49 @@ class TransactionManager:
             return txn
 
     def _commit(self, txn: Transaction) -> Instant:
-        """Assign a commit time, apply, and log (called by Transaction.commit)."""
+        """Assign a commit time, apply, log and journal (via Transaction.commit).
+
+        The active slot is released in the ``finally`` no matter which
+        step raised — a failed commit must never wedge the manager (the
+        transaction is marked aborted by its caller).  ``on_commit``
+        fires *inside* the lock so durable journal appends happen in
+        serialized commit order; if it raises, the commit is applied
+        in memory but not durable, the documented crash-equivalent
+        (docs/DURABILITY.md).
+        """
         with self._lock:
-            commit_time = self._txn_clock.tick()
-            self._applier(txn.operations, commit_time)
-            record = self._log.append(commit_time, txn.operations)
-            self._active = None
+            try:
+                commit_time = self._txn_clock.tick()
+                self._applier(txn.operations, commit_time)
+                record = self._log.append(commit_time, txn.operations)
+                if self.on_commit is not None:
+                    self.on_commit(record)
+            finally:
+                self._active = None
         metrics = _obs.current().metrics
         metrics.counter("txn.commit").inc()
         metrics.gauge("txn.active").add(-1)
-        if self.on_commit is not None:
-            self.on_commit(record)
         return commit_time
 
-    def run(self, operations: Sequence[Operation]) -> Instant:
+    def run(self, operations: Sequence[Operation],
+            validate: Optional[Callable[[], None]] = None) -> Instant:
         """Convenience: begin, buffer *operations*, and commit.
 
         Unlike interleaved explicit ``begin()`` calls (which the
         single-writer rule rejects), concurrent ``run()`` calls simply
         *serialize*: each whole-transaction convenience call takes its
         turn.
+
+        *validate*, when given, runs under the serialization lock before
+        anything begins; raising there rejects the transaction with no
+        clock tick and no state change.  This is the optimistic-
+        concurrency seam: the session layer passes its first-committer-
+        wins check here, making validation atomic with the commit it
+        guards against every other ``run()`` caller.
         """
         with self._run_lock:
+            if validate is not None:
+                validate()
             txn = self.begin()
             try:
                 for operation in operations:

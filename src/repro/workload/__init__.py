@@ -10,17 +10,25 @@ Driving a workload with :func:`apply_workload` records into the live
 :mod:`repro.obs` instrumentation: a ``workload.apply`` span plus
 ``workload.steps`` / ``workload.transactions`` counters, alongside the
 commit/transaction metrics the engine itself emits.
+
+:func:`run_stress` (:mod:`repro.workload.stress`) is the concurrent
+counterpart: it hammers one database from many sessions through the
+:mod:`repro.concurrency` layer — optionally under crash injection — and
+audits zero lost updates, monotone commit times and serial equivalence.
 """
 
 from repro.workload.generators import (
     FacultyWorkload, PayrollWorkload, VersionWorkload, WorkloadStep,
     apply_workload,
 )
+from repro.workload.stress import StressReport, run_stress
 
 __all__ = [
     "FacultyWorkload",
     "PayrollWorkload",
+    "StressReport",
     "VersionWorkload",
     "WorkloadStep",
     "apply_workload",
+    "run_stress",
 ]

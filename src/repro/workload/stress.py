@@ -1,0 +1,310 @@
+"""Multi-threaded stress and chaos harness for the session layer.
+
+:func:`run_stress` hammers one database from many concurrent sessions —
+each worker thread runs seeded read-modify-write transactions through a
+:class:`~repro.concurrency.layer.SessionLayer` — and then audits the
+paper's invariants over the wreckage:
+
+- **zero lost updates**: every increment a worker was told committed is
+  present in the final state (the sum of the counters equals the number
+  of successful commits);
+- **monotone commit times**: the commit log's transaction times are
+  strictly increasing — the serial-history order survived the race;
+- **serial equivalence**: replaying the commit log, one transaction at
+  a time, into a fresh database of the same kind reproduces the exact
+  final state and the exact commit times (the concurrent history *is*
+  some serial history, which is the definition of serializability).
+
+With ``faults`` set, the same load runs against a durable database
+(:class:`~repro.storage.recovery.DurabilityManager`) whose journal I/O
+dies at the chosen :class:`~repro.storage.faults.CrashPoint`; after the
+simulated crash the storage stays dead, every worker drains out, and
+the harness recovers the directory with healthy I/O and checks the
+recovered history is exactly the durable prefix of the in-memory one —
+the docs/DURABILITY.md contract, now under concurrent load.
+
+Everything is deterministic under a fixed seed *except* thread
+interleaving; the audited invariants hold for every interleaving, which
+is what makes the harness a test and not a lottery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import threading
+import time
+from typing import Any, Callable, Dict, Optional, Type
+
+from repro import obs
+from repro.concurrency import AdmissionController, RetryPolicy, SessionLayer
+from repro.core.base import Database
+from repro.core.temporal import TemporalDatabase
+from repro.errors import DeadlineExceeded, Overloaded, ReproError
+from repro.relational.domain import Domain
+from repro.relational.schema import Schema
+from repro.storage.faults import CrashPoint, FaultyIO, SimulatedCrash
+from repro.storage.io import StorageIO
+from repro.time.clock import SimulatedClock
+from repro.time.instant import Instant
+from repro.workload.generators import EPOCH
+
+RELATION = "counters"
+_BASE = Instant.from_chronon(EPOCH)
+
+
+@dataclasses.dataclass
+class StressReport:
+    """What one :func:`run_stress` run did, and whether it held up."""
+
+    sessions: int
+    transactions_per_session: int
+    attempted: int
+    committed: int
+    conflicts: int
+    retries: int
+    shed: int
+    deadline_exceeded: int
+    crashed: int
+    failed: int
+    wall_s: float
+    applied_increments: int
+    lost_updates: int
+    commit_times_monotone: bool
+    serial_equivalent: bool
+    #: Durable mode only: records recovered / True when the recovered
+    #: history is exactly the durable prefix of the in-memory log.
+    recovered_records: Optional[int] = None
+    recovery_is_durable_prefix: Optional[bool] = None
+    manager_accepts_begin_after_run: bool = True
+
+    @property
+    def ok(self) -> bool:
+        """All audited invariants held."""
+        return (self.lost_updates == 0 and self.commit_times_monotone
+                and self.serial_equivalent
+                and self.recovery_is_durable_prefix is not False
+                and self.manager_accepts_begin_after_run)
+
+    def describe(self) -> Dict[str, Any]:
+        """A plain dict (what ``repro stress --json`` prints)."""
+        data = dataclasses.asdict(self)
+        data["ok"] = self.ok
+        return data
+
+
+class _DeadAfterCrashIO(StorageIO):
+    """Storage that stays dead once the wrapped :class:`FaultyIO` fired.
+
+    A real crash kills the process: nothing appends after it.  The
+    chaos harness keeps the *threads* alive (to prove nothing wedges)
+    but must not let post-crash commits reach the journal — that would
+    punch a hole in the append-only history no real crash can produce.
+    """
+
+    def __init__(self, inner: FaultyIO) -> None:
+        self._inner = inner
+
+    def append(self, path: str, data: bytes, fsync: bool = False) -> None:
+        if self._inner.fired:
+            raise SimulatedCrash("storage died at the injected crash point")
+        self._inner.append(path, data, fsync=fsync)
+
+    def write_atomic(self, path: str, data: bytes,
+                     fsync: bool = False) -> None:
+        if self._inner.fired:
+            raise SimulatedCrash("storage died at the injected crash point")
+        self._inner.write_atomic(path, data, fsync=fsync)
+
+
+def _define_counters(database: Database, keys: int) -> None:
+    schema = Schema.of(key=["k"], k=Domain.STRING, v=Domain.INTEGER)
+    database.define(RELATION, schema)
+    historical = database.kind.supports_historical_queries
+    with database.begin() as txn:
+        for i in range(keys):
+            if historical:
+                database.insert(RELATION, {"k": f"k{i}", "v": 0},
+                                valid_from=_BASE, txn=txn)
+            else:
+                database.insert(RELATION, {"k": f"k{i}", "v": 0}, txn=txn)
+
+
+def _increment_closure(rng: random.Random, keys: int):
+    """One seeded read-modify-write transaction (safe to re-run)."""
+    key = f"k{rng.randrange(keys)}"
+
+    def closure(session) -> int:
+        row = next(r for r in session.read(RELATION) if r["k"] == key)
+        session.replace(RELATION, {"k": key}, {"v": row["v"] + 1})
+        return row["v"] + 1
+
+    return closure
+
+
+def _serial_replay_matches(database: Database,
+                           kind: Type[Database]) -> bool:
+    """Replay the commit log serially into a fresh database; compare.
+
+    ``define`` is itself a logged operation, so the replay rebuilds the
+    schema too; matching commit times *and* final snapshot proves the
+    concurrent history equals this serial one.
+    """
+    reference = kind(clock=SimulatedClock(_BASE))
+    ref_clock = reference.manager.clock.source
+    for record in database.log:
+        ref_clock.set(record.commit_time)
+        actual = reference.manager.run(list(record.operations))
+        if actual != record.commit_time:
+            return False
+    return (reference.snapshot(RELATION) == database.snapshot(RELATION)
+            and len(reference.log) == len(database.log))
+
+
+def run_stress(kind: Type[Database] = TemporalDatabase,
+               sessions: int = 8, transactions: int = 200,
+               keys: int = 8, seed: int = 0,
+               retry: Optional[RetryPolicy] = None,
+               admission: Optional[AdmissionController] = None,
+               timeout: Optional[float] = None,
+               faults: Optional[CrashPoint] = None,
+               fault_at: int = 50,
+               directory: Optional[str] = None,
+               work: Optional[Callable[[], None]] = None) -> StressReport:
+    """Hammer a fresh database from *sessions* threads; audit the result.
+
+    Each worker runs *transactions* seeded increment transactions
+    against a shared ``counters`` relation through one shared
+    :class:`SessionLayer`.  ``retry`` defaults to a patient,
+    near-sleepless policy (every transaction eventually commits);
+    pass a bounded one plus a small ``admission`` queue to exercise
+    load shedding instead.  ``work`` is an optional callable invoked
+    inside each transaction closure (e.g. a tiny sleep) to hold slots
+    open and force queueing.
+
+    ``faults`` switches to chaos mode: the database becomes durable in
+    *directory* (required) and journal I/O dies at the ``fault_at``-th
+    append with the given :class:`CrashPoint`; the report then carries
+    the recovery audit fields.
+    """
+    if retry is None:
+        retry = RetryPolicy(max_attempts=10 * max(sessions, 2),
+                            base_delay=0.0002, max_delay=0.002,
+                            jitter=0.5, seed=seed)
+    if admission is None:
+        admission = AdmissionController(max_active=max(2, sessions),
+                                        max_queue=4 * sessions)
+
+    if faults is not None:
+        if directory is None:
+            raise ValueError("chaos mode (faults=) needs a directory")
+        from repro.storage.recovery import DurabilityManager
+        io = _DeadAfterCrashIO(FaultyIO(faults, at=fault_at))
+        database, _ = DurabilityManager(directory, io=io).recover(kind)
+        database.manager.clock.source.set(_BASE)
+    else:
+        database = kind(clock=SimulatedClock(_BASE))
+
+    _define_counters(database, keys)
+    layer = SessionLayer(database, retry=retry, admission=admission)
+
+    counts_lock = threading.Lock()
+    counts = {"attempted": 0, "committed": 0, "shed": 0,
+              "deadline_exceeded": 0, "crashed": 0, "failed": 0}
+    stop = threading.Event()
+
+    def worker(worker_index: int) -> None:
+        rng = random.Random((seed << 16) ^ worker_index)
+        for _ in range(transactions):
+            if stop.is_set():
+                return
+            closure = _increment_closure(rng, keys)
+            if work is not None:
+                inner = closure
+
+                def closure(session, _inner=inner):
+                    work()
+                    return _inner(session)
+            outcome = "committed"
+            try:
+                layer.run(closure, timeout=timeout)
+            except Overloaded:
+                outcome = "shed"
+            except DeadlineExceeded:
+                outcome = "deadline_exceeded"
+            except SimulatedCrash:
+                outcome = "crashed"
+                stop.set()
+            except ReproError:
+                outcome = "failed"
+            with counts_lock:
+                counts["attempted"] += 1
+                counts[outcome] += 1
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(sessions)]
+    with obs.recording() as instrumentation:
+        started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.monotonic() - started
+    metrics = instrumentation.metrics.snapshot()["counters"]
+
+    # -- audit ---------------------------------------------------------------
+    applied = sum(row["v"] for row in database.snapshot(RELATION))
+    committed = counts["committed"]
+    lost = max(0, committed - applied)
+    times = [record.commit_time for record in database.log]
+    monotone = all(a < b for a, b in zip(times, times[1:]))
+    serial_ok = _serial_replay_matches(database, kind)
+
+    accepts_begin = True
+    try:
+        probe = database.manager.begin()
+        probe.abort()
+    except ReproError:
+        accepts_begin = False
+
+    recovered_records: Optional[int] = None
+    prefix_ok: Optional[bool] = None
+    if faults is not None:
+        from repro.storage.recovery import DurabilityManager
+        recovered, report = DurabilityManager(directory).recover(kind)
+        recovered_records = report.records_total
+        in_memory = list(database.log)
+        durable = list(recovered.log)
+        # The dead-after-crash I/O guarantees the journal is a clean
+        # prefix of the serialized commit stream: once storage dies no
+        # later commit can append around the hole.  Check it record by
+        # record against the in-memory history.
+        prefix_ok = (
+            len(durable) <= len(in_memory)
+            and all(d.commit_time == m.commit_time
+                    and list(d.operations) == list(m.operations)
+                    for d, m in zip(durable, in_memory)))
+        rec_times = [record.commit_time for record in recovered.log]
+        monotone = monotone and all(
+            a < b for a, b in zip(rec_times, rec_times[1:]))
+
+    return StressReport(
+        sessions=sessions,
+        transactions_per_session=transactions,
+        attempted=counts["attempted"],
+        committed=committed,
+        conflicts=metrics.get("concurrency.conflicts", 0),
+        retries=metrics.get("concurrency.retries", 0),
+        shed=counts["shed"],
+        deadline_exceeded=counts["deadline_exceeded"],
+        crashed=counts["crashed"],
+        failed=counts["failed"],
+        wall_s=round(wall, 6),
+        applied_increments=applied,
+        lost_updates=lost,
+        commit_times_monotone=monotone,
+        serial_equivalent=serial_ok,
+        recovered_records=recovered_records,
+        recovery_is_durable_prefix=prefix_ok,
+        manager_accepts_begin_after_run=accepts_begin,
+    )

@@ -1,0 +1,119 @@
+"""AdmissionController: bounded slots, bounded queue, typed shedding."""
+
+import threading
+
+import pytest
+
+from repro.concurrency import AdmissionController
+from repro.errors import DeadlineExceeded, Overloaded
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+
+class TestBounds:
+    def test_admits_up_to_max_active_without_blocking(self):
+        gate = AdmissionController(max_active=3, max_queue=0)
+        slots = [gate.admit() for _ in range(3)]
+        assert gate.active == 3
+        for slot in slots:
+            slot.release()
+        assert gate.active == 0
+
+    def test_sheds_with_typed_overloaded_when_the_queue_is_full(self):
+        gate = AdmissionController(max_active=1, max_queue=0)
+        slot = gate.admit()
+        with pytest.raises(Overloaded) as excinfo:
+            gate.admit()
+        assert excinfo.value.retryable
+        assert excinfo.value.retry_after > 0
+        slot.release()
+
+    def test_retry_after_hint_scales_with_load(self):
+        gate = AdmissionController(max_active=1, max_queue=0, retry_after=0.1)
+        slot = gate.admit()
+        with pytest.raises(Overloaded) as excinfo:
+            gate.admit()
+        assert excinfo.value.retry_after == pytest.approx(0.1)
+        slot.release()
+
+    def test_release_is_idempotent(self):
+        gate = AdmissionController(max_active=2, max_queue=0)
+        slot = gate.admit()
+        slot.release()
+        slot.release()
+        assert gate.active == 0
+
+    def test_slot_is_a_context_manager(self):
+        gate = AdmissionController(max_active=1, max_queue=0)
+        with gate.admit():
+            assert gate.active == 1
+        assert gate.active == 0
+
+    def test_constructor_validates_its_knobs(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_active=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+
+
+class TestQueueing:
+    def test_queued_waiter_proceeds_when_a_slot_frees(self):
+        gate = AdmissionController(max_active=1, max_queue=1)
+        first = gate.admit()
+        admitted = threading.Event()
+
+        def waiter():
+            with gate.admit():
+                admitted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        while gate.queued == 0:  # it is waiting, not admitted
+            pass
+        assert not admitted.is_set()
+        first.release()
+        assert admitted.wait(timeout=5.0)
+        thread.join(timeout=5.0)
+        assert gate.active == 0 and gate.queued == 0
+
+    def test_deadline_passed_while_queued_raises_deadline_exceeded(self):
+        clock = FakeClock(start=100.0)
+        gate = AdmissionController(max_active=1, max_queue=1, clock=clock)
+        slot = gate.admit()
+        with pytest.raises(DeadlineExceeded):
+            gate.admit(deadline=50.0)  # already past
+        assert gate.queued == 0  # the waiter left the queue
+        slot.release()
+
+    def test_hammering_the_gate_never_deadlocks(self):
+        gate = AdmissionController(max_active=2, max_queue=4)
+        outcomes = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(50):
+                try:
+                    with gate.admit():
+                        pass
+                except Overloaded:
+                    with lock:
+                        outcomes.append("shed")
+                else:
+                    with lock:
+                        outcomes.append("ok")
+
+        threads = [threading.Thread(target=worker, daemon=True)
+                   for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not any(thread.is_alive() for thread in threads)
+        assert len(outcomes) == 8 * 50
+        assert gate.active == 0 and gate.queued == 0

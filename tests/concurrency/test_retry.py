@@ -1,0 +1,137 @@
+"""RetryPolicy: backoff math, triage, deadlines — all without sleeping."""
+
+import pytest
+
+from repro.concurrency import RetryPolicy
+from repro.errors import (ConflictError, ConstraintViolation, DeadlineExceeded,
+                         Overloaded)
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_policy(**kwargs):
+    """A policy whose sleeps are recorded, not performed."""
+    sleeps = []
+    clock = kwargs.pop("clock", FakeClock())
+    policy = RetryPolicy(seed=kwargs.pop("seed", 7), sleeper=sleeps.append,
+                         clock=clock, **kwargs)
+    return policy, sleeps, clock
+
+
+class TestBackoff:
+    def test_delays_grow_exponentially_up_to_the_cap(self):
+        policy = RetryPolicy(base_delay=0.01, multiplier=2.0, max_delay=0.05,
+                             jitter=0.0, seed=0)
+        assert [policy.delay(k) for k in range(4)] == [
+            0.01, 0.02, 0.04, 0.05]
+
+    def test_jitter_stays_within_the_band(self):
+        policy = RetryPolicy(base_delay=0.01, multiplier=1.0, jitter=0.5,
+                             seed=1)
+        for _ in range(100):
+            delay = policy.delay(0)
+            assert 0.005 <= delay <= 0.01
+
+    def test_same_seed_reproduces_the_delay_sequence(self):
+        first = RetryPolicy(seed=42)
+        second = RetryPolicy(seed=42)
+        assert ([first.delay(k) for k in range(6)]
+                == [second.delay(k) for k in range(6)])
+
+    def test_constructor_validates_its_knobs(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestCall:
+    def test_success_on_first_attempt_never_sleeps(self):
+        policy, sleeps, _ = make_policy()
+        assert policy.call(lambda: "done") == "done"
+        assert sleeps == []
+
+    def test_retries_retryable_errors_until_success(self):
+        policy, sleeps, _ = make_policy(max_attempts=5)
+        attempts = []
+
+        def flaky():
+            attempts.append(True)
+            if len(attempts) < 3:
+                raise ConflictError("lost validation")
+            return len(attempts)
+
+        assert policy.call(flaky) == 3
+        assert len(sleeps) == 2
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        policy, sleeps, _ = make_policy(max_attempts=5)
+        attempts = []
+
+        def broken():
+            attempts.append(True)
+            raise ConstraintViolation("semantic, not transient")
+
+        with pytest.raises(ConstraintViolation):
+            policy.call(broken)
+        assert len(attempts) == 1 and sleeps == []
+
+    def test_exhausted_attempts_raise_the_last_retryable_error(self):
+        policy, _, _ = make_policy(max_attempts=3)
+        attempts = []
+
+        def always_conflicts():
+            attempts.append(True)
+            raise ConflictError("again", relations=("r",))
+
+        with pytest.raises(ConflictError) as excinfo:
+            policy.call(always_conflicts)
+        assert len(attempts) == 3
+        assert excinfo.value.retryable  # an outer layer may still requeue
+
+    def test_max_attempts_one_means_no_retry(self):
+        policy, sleeps, _ = make_policy(max_attempts=1)
+        with pytest.raises(ConflictError):
+            policy.call(lambda: (_ for _ in ()).throw(ConflictError("x")))
+        assert sleeps == []
+
+
+class TestDeadlines:
+    def test_deadline_already_passed_prevents_the_first_attempt(self):
+        policy, _, clock = make_policy()
+        clock.advance(10.0)
+        attempts = []
+        with pytest.raises(DeadlineExceeded):
+            policy.call(lambda: attempts.append(True), deadline=5.0)
+        assert attempts == []
+
+    def test_backoff_that_would_overshoot_raises_instead_of_sleeping(self):
+        policy, sleeps, clock = make_policy(
+            max_attempts=5, base_delay=1.0, jitter=0.0)
+        with pytest.raises(DeadlineExceeded):
+            policy.call(lambda: (_ for _ in ()).throw(ConflictError("x")),
+                        deadline=clock.now + 0.5)
+        assert sleeps == []  # it never slept past the deadline
+
+    def test_overloaded_retry_after_raises_the_pause(self):
+        policy, sleeps, _ = make_policy(
+            max_attempts=3, base_delay=0.001, jitter=0.0)
+        calls = []
+
+        def overloaded_once():
+            calls.append(True)
+            if len(calls) == 1:
+                raise Overloaded("full", retry_after=0.25)
+            return "in"
+
+        assert policy.call(overloaded_once) == "in"
+        assert sleeps == [0.25]  # the hint beat the tiny exponential delay

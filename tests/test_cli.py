@@ -381,3 +381,60 @@ class TestDurabilityVerbs:
             handle.writelines(lines)
         assert repro_main(["recover", "--dir", directory]) == 1
         assert "corrupt journal record" in capsys.readouterr().err
+
+
+class TestStressVerb:
+    """The ``repro stress`` verb: run the harness, audit, report."""
+
+    def test_stress_prints_the_audit(self, capsys):
+        from repro.cli import repro_main
+        assert repro_main(["stress", "--sessions", "2", "--ops", "10",
+                           "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "committed:          20 of 20 attempted" in output
+        assert "lost updates:       0" in output
+        assert "strictly increasing" in output
+        assert "audit: ok" in output
+
+    def test_stress_json_report(self, capsys):
+        import json
+        from repro.cli import repro_main
+        assert repro_main(["stress", "--sessions", "2", "--ops", "5",
+                           "--kind", "static", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["committed"] == 10
+        assert report["lost_updates"] == 0
+        assert report["serial_equivalent"] is True
+
+    def test_stress_chaos_mode_audits_recovery(self, capsys, tmp_path):
+        from repro.cli import repro_main
+        assert repro_main(["stress", "--kind", "static", "--faults",
+                           "lost-record", "--fault-at", "10",
+                           "--sessions", "2", "--ops", "20",
+                           "--dir", str(tmp_path / "dur")]) == 0
+        output = capsys.readouterr().out
+        assert "durable prefix intact: True" in output
+        assert "audit: ok" in output
+
+    def test_stress_chaos_defaults_to_a_temporary_directory(self, capsys):
+        from repro.cli import repro_main
+        assert repro_main(["stress", "--kind", "static", "--faults",
+                           "torn-record", "--fault-at", "5",
+                           "--sessions", "2", "--ops", "10"]) == 0
+        assert "audit: ok" in capsys.readouterr().out
+
+    def test_stress_rejects_checkpoint_crash_points(self):
+        from repro.cli import repro_main
+        with pytest.raises(SystemExit):
+            repro_main(["stress", "--faults", "torn-checkpoint"])
+
+    def test_stress_admission_knobs_shed_load(self, capsys):
+        import json
+        from repro.cli import repro_main
+        repro_main(["stress", "--sessions", "4", "--ops", "10",
+                    "--max-active", "1", "--max-queue", "0", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        # With one slot and no queue some work is shed, none is lost.
+        assert report["lost_updates"] == 0
+        assert report["committed"] + report["shed"] <= report["attempted"]

@@ -60,3 +60,35 @@ class TestHierarchy:
             except errors.ReproError as error:
                 caught.append(type(error).__name__)
         assert len(caught) == 3
+
+    def test_concurrency_errors_are_transaction_errors(self):
+        for exc in (errors.ConflictError, errors.DeadlineExceeded,
+                    errors.Overloaded):
+            assert issubclass(exc, errors.ConcurrencyError)
+        assert issubclass(errors.ConcurrencyError, errors.TransactionError)
+
+
+class TestRetryableTriage:
+    """The ``retryable`` bit: the retry layer's one-line triage rule."""
+
+    def test_base_errors_are_not_retryable(self):
+        assert errors.ReproError("x").retryable is False
+        assert errors.ConstraintViolation("x").retryable is False
+        assert errors.TransactionStateError("x").retryable is False
+
+    def test_transient_concurrency_errors_are_retryable(self):
+        assert errors.ConflictError("x").retryable is True
+        assert errors.Overloaded("x").retryable is True
+
+    def test_deadline_exceeded_is_final(self):
+        # Retrying past a deadline would defeat the deadline.
+        assert errors.DeadlineExceeded("x").retryable is False
+
+    def test_conflict_error_names_the_stale_relations(self):
+        error = errors.ConflictError("lost", relations=("b", "a"))
+        assert error.relations == ("b", "a")
+        assert error.retryable
+
+    def test_overloaded_carries_the_retry_after_hint(self):
+        assert errors.Overloaded("full").retry_after is None
+        assert errors.Overloaded("full", retry_after=0.2).retry_after == 0.2

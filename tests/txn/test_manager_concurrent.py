@@ -1,0 +1,157 @@
+"""The manager under concurrency: failure release, serialized run(),
+and the validate seam the session layer builds on."""
+
+import threading
+
+import pytest
+
+from repro.core import StaticDatabase
+from repro.errors import ConflictError, ConstraintViolation, ReproError, \
+    TransactionStateError
+from repro.relational import Domain, Schema
+from repro.time import SimulatedClock
+from repro.txn.transaction import Operation
+
+
+def fresh_db():
+    database = StaticDatabase(clock=SimulatedClock("01/01/80"))
+    database.define("r", Schema.of(key=["k"], k=Domain.STRING,
+                                   v=Domain.INTEGER))
+    return database
+
+
+def insert_op(key, value=0):
+    return Operation("insert", "r", {"values": {"k": key, "v": value}})
+
+
+class TestFailureRelease:
+    """A failed commit must never wedge the manager (the regression the
+    concurrency layer depends on: retries begin new transactions)."""
+
+    def test_applier_failure_releases_the_active_slot(self):
+        database = fresh_db()
+        database.insert("r", {"k": "a", "v": 0})
+        with pytest.raises(ConstraintViolation):
+            with database.begin() as txn:
+                database.insert("r", {"k": "a", "v": 1}, txn=txn)
+                # commit on exit applies and rejects the duplicate key
+        replacement = database.manager.begin()  # must be accepted
+        replacement.abort()
+        assert database.manager.active is None
+        assert len(database.log) == 2  # define + the seed insert only
+
+    def test_on_commit_failure_releases_the_active_slot(self):
+        database = fresh_db()
+        database.manager.on_commit = lambda record: (_ for _ in ()).throw(
+            RuntimeError("journal died"))
+        with pytest.raises(RuntimeError):
+            with database.begin() as txn:
+                database.insert("r", {"k": "a", "v": 1}, txn=txn)
+        database.manager.on_commit = None
+        # The manager is not wedged: the next transaction begins and commits.
+        with database.begin() as txn:
+            database.insert("r", {"k": "b", "v": 2}, txn=txn)
+        assert {row["k"] for row in database.snapshot("r")} == {"a", "b"}
+
+    def test_failed_commit_marks_the_transaction_aborted(self):
+        database = fresh_db()
+        database.manager.on_commit = lambda record: (_ for _ in ()).throw(
+            RuntimeError("journal died"))
+        txn = database.begin()
+        database.insert("r", {"k": "a", "v": 1}, txn=txn)
+        with pytest.raises(RuntimeError):
+            txn.commit()
+        assert not txn.is_active
+        with pytest.raises(TransactionStateError):
+            txn.commit()  # dead is dead
+
+
+class TestSingleWriter:
+    def test_second_begin_names_the_holding_transaction(self):
+        database = fresh_db()
+        holder = database.begin()
+        with pytest.raises(TransactionStateError) as excinfo:
+            database.begin()
+        assert f"transaction {holder.txn_id} " in str(excinfo.value)
+        assert "single-writer" in str(excinfo.value)
+        holder.abort()
+
+    def test_racing_run_calls_serialize_into_n_monotone_commits(self):
+        database = fresh_db()
+        threads_n, per_thread = 8, 20
+        failures = []
+
+        def worker(index):
+            try:
+                for j in range(per_thread):
+                    database.manager.run(
+                        [insert_op(f"w{index}-{j}")])
+            except ReproError as error:  # pragma: no cover - diagnostic
+                failures.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+                   for i in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert failures == []
+        assert len(database.log) == 1 + threads_n * per_thread
+        times = [record.commit_time for record in database.log]
+        assert all(a < b for a, b in zip(times, times[1:]))
+        assert len(database.snapshot("r")) == threads_n * per_thread
+
+
+class TestValidateSeam:
+    def test_validate_runs_before_begin_and_can_reject(self):
+        database = fresh_db()
+        events = []
+
+        def validate():
+            events.append(("active", database.manager.active))
+            raise ConflictError("rejected")
+
+        with pytest.raises(ConflictError):
+            database.manager.run([insert_op("a")], validate=validate)
+        assert events == [("active", None)]  # ran before any begin
+        assert len(database.log) == 1  # nothing ticked, nothing applied
+
+    def test_validate_passing_lets_the_commit_through(self):
+        database = fresh_db()
+        commit_time = database.manager.run([insert_op("a")],
+                                           validate=lambda: None)
+        assert list(database.log)[-1].commit_time == commit_time
+
+    def test_validate_is_atomic_with_the_commit_it_guards(self):
+        """No other run() caller may commit between a session's validation
+        and its apply — the heart of first-committer-wins."""
+        database = fresh_db()
+        in_validate = threading.Event()
+        release = threading.Event()
+        log_len_inside = []
+
+        def stalling_validate():
+            in_validate.set()
+            release.wait(timeout=10.0)
+            log_len_inside.append(len(database.log))
+
+        def stalled_runner():
+            database.manager.run([insert_op("stalled")],
+                                 validate=stalling_validate)
+
+        thread = threading.Thread(target=stalled_runner, daemon=True)
+        thread.start()
+        assert in_validate.wait(timeout=10.0)
+        # A competing run() must block until the stalled one finishes.
+        competitor = threading.Thread(
+            target=lambda: database.manager.run([insert_op("competitor")]),
+            daemon=True)
+        competitor.start()
+        competitor.join(timeout=0.2)
+        assert competitor.is_alive()  # still waiting on the run lock
+        release.set()
+        thread.join(timeout=10.0)
+        competitor.join(timeout=10.0)
+        assert log_len_inside == [1]  # the competitor had not committed
+        assert {row["k"] for row in database.snapshot("r")} == {
+            "stalled", "competitor"}
