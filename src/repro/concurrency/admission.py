@@ -97,10 +97,14 @@ class AdmissionController:
         Returns a context manager releasing the slot on exit.  Raises
         :class:`~repro.errors.Overloaded` at once when the queue is full
         (load shedding), :class:`~repro.errors.DeadlineExceeded` when
-        the deadline passes while queued.
+        the deadline passes while queued — or has already passed on
+        entry, even when a slot is free (never admit late).
         """
         metrics = _obs.current().metrics
         with self._condition:
+            if deadline is not None and self._clock() >= deadline:
+                raise DeadlineExceeded(
+                    "deadline already passed at admission")
             if self._active >= self.max_active:
                 if self._waiting >= self.max_queue:
                     metrics.counter("admission.shed").inc()
@@ -112,14 +116,18 @@ class AdmissionController:
                 self._waiting += 1
                 metrics.gauge("admission.queue_depth").set(self._waiting)
                 try:
-                    while self._active >= self.max_active:
-                        if deadline is None:
-                            self._condition.wait()
-                            continue
-                        remaining = deadline - self._clock()
-                        if remaining <= 0:
-                            raise DeadlineExceeded(
-                                "deadline passed while queued for admission")
+                    # Deadline before capacity: a woken waiter whose
+                    # deadline has passed must never take the slot.
+                    while True:
+                        remaining = None
+                        if deadline is not None:
+                            remaining = deadline - self._clock()
+                            if remaining <= 0:
+                                raise DeadlineExceeded(
+                                    "deadline passed while queued for "
+                                    "admission")
+                        if self._active < self.max_active:
+                            break
                         self._condition.wait(remaining)
                 finally:
                     self._waiting -= 1
@@ -133,7 +141,11 @@ class AdmissionController:
         with self._condition:
             self._active -= 1
             _obs.current().metrics.gauge("admission.active").set(self._active)
-            self._condition.notify()
+            # notify_all, not notify: a single wakeup can land on a waiter
+            # that is abandoning the wait (deadline expired), which raises
+            # and leaves without passing the wakeup on — stranding the
+            # remaining waiters despite free capacity.
+            self._condition.notify_all()
 
     def __repr__(self) -> str:
         return (f"AdmissionController(max_active={self.max_active}, "

@@ -28,9 +28,11 @@ fire under the commit lock, in commit order), so the crash-safety
 contract of docs/DURABILITY.md is oblivious to how many sessions raced.
 
 Mixing rule: writers that bypass the layer (direct ``db.insert`` or an
-explicit ``db.begin()`` transaction) still serialize correctly, and
-commits *through* the layer detect their interference; the bypassing
-writers themselves get no conflict detection (docs/CONCURRENCY.md).
+explicit ``db.begin()`` transaction) commit under the same
+serialization lock as the layer — they cannot slip between a session's
+validation and its apply, so commits *through* the layer always detect
+their interference; the bypassing writers themselves get no conflict
+detection (docs/CONCURRENCY.md).
 """
 
 from __future__ import annotations
@@ -96,9 +98,13 @@ class SessionLayer:
         manager's serialization lock, atomically with the apply.  A
         transaction past its deadline aborts with
         :class:`~repro.errors.DeadlineExceeded` instead of committing
-        late.  Read-only sessions (no buffered operations) validate and
-        return ``None`` — no commit record, but the reads are certified
-        unchallenged.
+        late.  Read-only sessions (no buffered operations) validate via
+        :meth:`TransactionManager.certify
+        <repro.txn.manager.TransactionManager.certify>` — under the same
+        serialization lock as every commit, so the check cannot
+        interleave with an in-flight apply — and return ``None``: no
+        commit record, but the whole read set is certified to have held
+        simultaneously.
         """
         metrics = _obs.current().metrics
         if deadline is not None and self._clock() >= deadline:
@@ -118,7 +124,7 @@ class SessionLayer:
 
         try:
             if not session.operations:
-                validate()
+                self.database.manager.certify(validate)
                 session._status = SessionStatus.COMMITTED
                 return None
             with metrics.histogram("concurrency.commit_seconds").time():

@@ -14,7 +14,10 @@ Attempting to begin a second concurrent transaction raises
 transaction.  Many *sessions* may nonetheless race toward the serialized
 order through :mod:`repro.concurrency`, which funnels every commit
 through :meth:`TransactionManager.run` — the ``validate`` hook there is
-the optimistic-concurrency seam (docs/CONCURRENCY.md).
+the optimistic-concurrency seam (docs/CONCURRENCY.md).  Explicit
+commits take the same serialization lock as ``run()``, so a writer
+bypassing the session layer can never slip between a session's
+validation and its apply.
 
 **Failure release.**  A failed commit never wedges the manager: the
 active slot is released in a ``finally`` whether the applier, the log
@@ -64,7 +67,9 @@ class TransactionManager:
         self._active: Optional[Transaction] = None
         self._next_id = 1
         self._lock = threading.Lock()
-        self._run_lock = threading.Lock()
+        # Reentrant: _commit re-acquires it under run(), which already
+        # holds it around validate + begin + commit.
+        self._run_lock = threading.RLock()
         #: Optional hook invoked with each CommitRecord after it is logged
         #: (used by the durable journal).
         self.on_commit: Optional[Callable[[CommitRecord], None]] = None
@@ -130,16 +135,24 @@ class TransactionManager:
         serialized commit order; if it raises, the commit is applied
         in memory but not durable, the documented crash-equivalent
         (docs/DURABILITY.md).
+
+        Every commit — :meth:`run`'s or an explicit
+        :meth:`Transaction.commit` — passes through ``_run_lock``
+        (reentrant from :meth:`run`), so no commit can interleave
+        between another caller's ``validate`` and its apply: the
+        first-committer-wins check of the session layer holds against
+        explicit transactions too, not just other ``run()`` callers.
         """
-        with self._lock:
-            try:
-                commit_time = self._txn_clock.tick()
-                self._applier(txn.operations, commit_time)
-                record = self._log.append(commit_time, txn.operations)
-                if self.on_commit is not None:
-                    self.on_commit(record)
-            finally:
-                self._active = None
+        with self._run_lock:
+            with self._lock:
+                try:
+                    commit_time = self._txn_clock.tick()
+                    self._applier(txn.operations, commit_time)
+                    record = self._log.append(commit_time, txn.operations)
+                    if self.on_commit is not None:
+                        self.on_commit(record)
+                finally:
+                    self._active = None
         metrics = _obs.current().metrics
         metrics.counter("txn.commit").inc()
         metrics.gauge("txn.active").add(-1)
@@ -159,7 +172,8 @@ class TransactionManager:
         clock tick and no state change.  This is the optimistic-
         concurrency seam: the session layer passes its first-committer-
         wins check here, making validation atomic with the commit it
-        guards against every other ``run()`` caller.
+        guards against every other ``run()`` caller *and* every explicit
+        :meth:`Transaction.commit` (``_commit`` takes the same lock).
         """
         with self._run_lock:
             if validate is not None:
@@ -172,6 +186,20 @@ class TransactionManager:
             finally:
                 if txn.is_active:
                     txn.abort()
+
+    def certify(self, validate: Callable[[], None]) -> None:
+        """Run *validate* atomically with respect to every commit.
+
+        The read-only counterpart of :meth:`run`: *validate* executes
+        under the commit serialization lock — no ``run()`` caller and no
+        explicit :meth:`Transaction.commit` can apply while it checks —
+        but no transaction begins, the clock does not tick, and no
+        commit record is produced.  The session layer certifies
+        read-only sessions here (their whole read set held
+        simultaneously at one point in the serial history).
+        """
+        with self._run_lock:
+            validate()
 
     def __repr__(self) -> str:
         return (f"TransactionManager({len(self._log)} commits, "

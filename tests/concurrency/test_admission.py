@@ -91,6 +91,50 @@ class TestQueueing:
         assert gate.queued == 0  # the waiter left the queue
         slot.release()
 
+    def test_past_deadline_is_refused_even_with_free_capacity(self):
+        clock = FakeClock(start=100.0)
+        gate = AdmissionController(max_active=4, max_queue=4, clock=clock)
+        with pytest.raises(DeadlineExceeded):
+            gate.admit(deadline=50.0)  # never admit late
+        assert gate.active == 0 and gate.queued == 0
+
+    def test_release_wakes_waiters_past_an_expired_deadline_waiter(self):
+        """Regression: _release must wake *all* waiters.  A single notify
+        handed to a waiter whose deadline has expired is consumed when it
+        raises and leaves, stranding the waiters behind it forever."""
+        clock = FakeClock(start=0.0)
+        gate = AdmissionController(max_active=1, max_queue=2, clock=clock)
+        slot = gate.admit()
+        outcomes = {}
+
+        def expiring():
+            try:
+                gate.admit(deadline=5.0)
+            except DeadlineExceeded:
+                outcomes["expiring"] = "deadline"
+            else:  # pragma: no cover - the regression itself
+                outcomes["expiring"] = "admitted late"
+
+        def patient():
+            with gate.admit():
+                outcomes["patient"] = "admitted"
+
+        first = threading.Thread(target=expiring, daemon=True)
+        first.start()
+        while gate.queued < 1:  # the expiring waiter is queued first
+            pass
+        second = threading.Thread(target=patient, daemon=True)
+        second.start()
+        while gate.queued < 2:
+            pass
+        clock.now = 10.0  # the first waiter's deadline is now past
+        slot.release()
+        first.join(timeout=5.0)
+        second.join(timeout=5.0)
+        assert not first.is_alive() and not second.is_alive()
+        assert outcomes == {"expiring": "deadline", "patient": "admitted"}
+        assert gate.active == 0 and gate.queued == 0
+
     def test_hammering_the_gate_never_deadlocks(self):
         gate = AdmissionController(max_active=2, max_queue=4)
         outcomes = []

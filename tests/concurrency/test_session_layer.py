@@ -139,6 +139,42 @@ class TestFirstCommitterWins:
         with pytest.raises(ConflictError):
             reader.commit()
 
+    def test_read_only_certification_takes_the_serialization_lock(self):
+        """Regression: a read-only commit must certify under the
+        manager's serialization lock, not race an in-flight commit's
+        apply and version bumps."""
+        database = counters_db()
+        layer = database.sessions()
+        reader = layer.begin()
+        reader.read("counters")
+        in_certify = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            def blocker():
+                in_certify.set()
+                release.wait(timeout=10.0)
+            database.manager.certify(blocker)
+
+        lock_holder = threading.Thread(target=holder, daemon=True)
+        lock_holder.start()
+        assert in_certify.wait(timeout=10.0)
+        certified = threading.Event()
+
+        def read_only_commit():
+            reader.commit()
+            certified.set()
+
+        committer = threading.Thread(target=read_only_commit, daemon=True)
+        committer.start()
+        # The read-only validation must wait for the lock holder.
+        assert not certified.wait(timeout=0.2)
+        release.set()
+        assert certified.wait(timeout=10.0)
+        lock_holder.join(timeout=10.0)
+        committer.join(timeout=10.0)
+        assert reader.status is SessionStatus.COMMITTED
+
     def test_disjoint_footprints_do_not_conflict(self):
         database = counters_db()
         database.define("other",

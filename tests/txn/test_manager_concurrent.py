@@ -155,3 +155,88 @@ class TestValidateSeam:
         assert log_len_inside == [1]  # the competitor had not committed
         assert {row["k"] for row in database.snapshot("r")} == {
             "stalled", "competitor"}
+
+    def test_explicit_commit_serializes_with_run_validation(self):
+        """Regression: an explicit Transaction.commit must take the same
+        serialization lock as run(), or it can land between a session's
+        validation and its apply — a lost update the first-committer-wins
+        check never sees."""
+        database = fresh_db()
+        in_validate = threading.Event()
+        release = threading.Event()
+        order = []
+
+        def stalling_validate():
+            order.append("validate-enter")
+            in_validate.set()
+            release.wait(timeout=10.0)
+            order.append("validate-exit")
+
+        def stalled_runner():
+            try:
+                database.manager.run([insert_op("stalled")],
+                                     validate=stalling_validate)
+            except TransactionStateError:
+                # The explicit transaction below may own the
+                # single-writer slot when this run() reaches begin().
+                pass
+
+        runner = threading.Thread(target=stalled_runner, daemon=True)
+        runner.start()
+        assert in_validate.wait(timeout=10.0)
+        txn = database.begin()  # no txn is active during validate
+        database.insert("r", {"k": "explicit", "v": 1}, txn=txn)
+        committed = threading.Event()
+
+        def explicit_commit():
+            txn.commit()
+            order.append("explicit-commit")
+            committed.set()
+
+        committer = threading.Thread(target=explicit_commit, daemon=True)
+        committer.start()
+        # The explicit commit must wait out the validate critical section.
+        assert not committed.wait(timeout=0.2)
+        release.set()
+        assert committed.wait(timeout=10.0)
+        runner.join(timeout=10.0)
+        committer.join(timeout=10.0)
+        assert order == ["validate-enter", "validate-exit",
+                         "explicit-commit"]
+        assert any(row["k"] == "explicit"
+                   for row in database.snapshot("r"))
+
+    def test_certify_serializes_reads_with_commits(self):
+        database = fresh_db()
+        in_certify = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            def blocker():
+                in_certify.set()
+                release.wait(timeout=10.0)
+            database.manager.certify(blocker)
+
+        thread = threading.Thread(target=holder, daemon=True)
+        thread.start()
+        assert in_certify.wait(timeout=10.0)
+        competitor = threading.Thread(
+            target=lambda: database.manager.run([insert_op("late")]),
+            daemon=True)
+        competitor.start()
+        competitor.join(timeout=0.2)
+        assert competitor.is_alive()  # commits wait for the certifier
+        release.set()
+        thread.join(timeout=10.0)
+        competitor.join(timeout=10.0)
+        assert any(row["k"] == "late" for row in database.snapshot("r"))
+
+    def test_certify_rejection_propagates_without_a_commit(self):
+        database = fresh_db()
+
+        def reject():
+            raise ConflictError("stale read set")
+
+        with pytest.raises(ConflictError):
+            database.manager.certify(reject)
+        assert len(database.log) == 1  # no tick, no record
