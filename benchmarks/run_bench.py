@@ -40,11 +40,24 @@ monotone commit times, and serial-replay equivalence (the single-writer
 engine serializes commits, so throughput is not expected to scale —
 the sweep documents the cost of safety under contention).
 
+A sixth measurement times **replication** (``BENCH_replication.json``):
+the same ingest history streams to a replica over an in-process
+transport.  Three series per size: steady-state lag (the replica pumps
+every n/20 commits; the lag right before each pump and the apply cost
+are recorded), cold catch-up over the record-resend path (a fresh
+replica joins after n commits), and cold catch-up over the snapshot
+path (the primary is recovered from a checkpoint, so its in-memory
+floor is above the replica's position and the stream falls back to a
+full-state snapshot).  The gate is correctness, not speed: every series
+must end with the replica at the primary's exact sequence number and an
+identical canonical state digest.
+
 Run:  python benchmarks/run_bench.py [--sizes 100,1000,10000]
                                      [--seed N]
                                      [--out BENCH_temporal.json]
                                      [--recovery-out BENCH_recovery.json]
                                      [--concurrency-out BENCH_concurrency.json]
+                                     [--replication-out BENCH_replication.json]
                                      [--skip-suites]
 """
 
@@ -84,6 +97,10 @@ RECOVERY_GATE_SIZE = 1000
 CONCURRENCY_SESSIONS = (1, 2, 4, 8)
 CONCURRENCY_OPS = 150
 CONCURRENCY_KEYS = 8
+#: The replica pumps this many times over an ingest run (lag sampling).
+REPLICATION_PUMPS = 20
+#: Pump-round ceiling for catch-up loops (a bug, not noise, exhausts it).
+REPLICATION_MAX_ROUNDS = 100_000
 
 
 def _git_sha():
@@ -286,6 +303,172 @@ def _run_concurrency(seed):
     return section
 
 
+def _drain(primary, replica):
+    """Pump both ends until the replica reaches the primary's seq."""
+    for _ in range(REPLICATION_MAX_ROUNDS):
+        if replica.applied_seq >= primary.current_seq:
+            return
+        primary.pump()
+        replica.pump()
+    raise AssertionError("replica never caught up to seq %d (stuck at %d)"
+                         % (primary.current_seq, replica.applied_seq))
+
+
+def _replication_point(commits, seed):
+    """One replication measurement: steady-state lag + cold resend catch-up.
+
+    The primary runs the same replace-loop as :func:`_ingest` while a
+    replica pumps every ``commits / REPLICATION_PUMPS`` commits; the lag
+    sampled right before each pump shows how far the stream runs ahead
+    between pumps, and the pump time is the pure apply cost.  A second,
+    cold replica then joins after the run and catches up over the
+    record-resend path.
+    """
+    from repro.replication import (InProcessTransport, Primary, Replica,
+                                   state_digest)
+
+    rng = random.Random(seed)
+    clock = SimulatedClock(BASE)
+    database = TemporalDatabase(clock=clock)
+    transport = InProcessTransport()
+    primary = Primary("primary", database, transport)
+    replica = Replica("replica", TemporalDatabase, transport, "primary")
+    primary.add_replica("replica")
+
+    database.define("facts", Schema.of(k=Domain.STRING, v=Domain.INTEGER))
+    for i in range(KEYS):
+        database.insert("facts", {"k": "k%d" % i, "v": 0}, valid_from=BASE)
+
+    interval = max(1, commits // REPLICATION_PUMPS)
+    lags = []
+    apply_s = 0.0
+    start = time.perf_counter()
+    for step in range(commits):
+        clock.set(BASE + 10 + step)
+        database.replace("facts", {"k": "k%d" % rng.randrange(KEYS)},
+                         {"v": step + 1})
+        if (step + 1) % interval == 0:
+            lags.append(primary.current_seq - replica.applied_seq)
+            pump_start = time.perf_counter()
+            replica.pump()
+            apply_s += time.perf_counter() - pump_start
+    ingest_s = time.perf_counter() - start
+    _drain(primary, replica)
+
+    primary_digest = state_digest(database)
+    steady_ok = (replica.applied_seq == primary.current_seq
+                 and state_digest(replica.database) == primary_digest)
+
+    cold = Replica("cold", TemporalDatabase, transport, "primary")
+    primary.add_replica("cold")
+    start = time.perf_counter()
+    cold.request_catchup()
+    _drain(primary, cold)
+    resend_s = time.perf_counter() - start
+    resend_ok = (cold.applied_seq == primary.current_seq
+                 and state_digest(cold.database) == primary_digest)
+
+    backlog = primary.current_seq
+    return {
+        "commits": commits,
+        "primary_seq": backlog,
+        "ingest_total_s": round(ingest_s, 6),
+        "pumps": len(lags),
+        "lag_records_max": max(lags) if lags else 0,
+        "lag_records_mean": (round(sum(lags) / len(lags), 1)
+                             if lags else 0),
+        "steady_apply_s": round(apply_s, 6),
+        "apply_per_record_us": (round(apply_s / backlog * 1e6, 3)
+                                if backlog else None),
+        "catchup_resend_s": round(resend_s, 6),
+        "catchup_records_per_sec": (round(backlog / resend_s, 1)
+                                    if resend_s else None),
+        "steady_converged": steady_ok,
+        "resend_converged": resend_ok,
+    }
+
+
+def _replication_snapshot_point(commits, seed):
+    """Cold catch-up over the snapshot path, timed.
+
+    The primary is recovered from a checkpoint written near the end of
+    its history, so its in-memory floor sits above a cold replica's
+    position and catch-up must fall back to a full-state snapshot —
+    checkpoint-based catch-up, the replication analogue of
+    ``recover(use_checkpoint=True)``.
+    """
+    from repro.replication import (InProcessTransport, Primary, Replica,
+                                   state_digest)
+    from repro.storage import DurabilityManager
+
+    rng = random.Random(seed)
+    with tempfile.TemporaryDirectory() as scratch:
+        directory = os.path.join(scratch, "dur")
+        manager = DurabilityManager(directory)
+        database, _ = manager.recover(TemporalDatabase)
+        clock = database.manager.clock.source
+        clock.set(BASE)
+        database.define("facts",
+                        Schema.of(k=Domain.STRING, v=Domain.INTEGER))
+        for i in range(KEYS):
+            database.insert("facts", {"k": "k%d" % i, "v": 0},
+                            valid_from=BASE)
+        checkpoint_after = max(0, commits - RECOVERY_TAIL)
+        for step in range(commits):
+            clock.set(BASE + 10 + step)
+            database.replace("facts", {"k": "k%d" % rng.randrange(KEYS)},
+                             {"v": step + 1})
+            if step + 1 == checkpoint_after:
+                manager.checkpoint()
+
+        recovered, report = DurabilityManager(directory).recover(
+            TemporalDatabase)
+        floor = report.records_total - len(recovered.log)
+        transport = InProcessTransport()
+        primary = Primary("primary", recovered, transport, floor=floor)
+        cold = Replica("cold", TemporalDatabase, transport, "primary")
+        primary.add_replica("cold")
+        start = time.perf_counter()
+        cold.request_catchup()
+        _drain(primary, cold)
+        snapshot_s = time.perf_counter() - start
+        ok = (cold.applied_seq == primary.current_seq
+              and state_digest(cold.database) == state_digest(recovered))
+        return {
+            "commits": commits,
+            "primary_floor": floor,
+            "snapshot_used": cold.log_floor > 0,
+            "catchup_snapshot_s": round(snapshot_s, 6),
+            "snapshot_converged": ok and cold.log_floor > 0,
+        }
+
+
+def _run_replication(sizes, seed):
+    """The replication sweep: every size, with the convergence verdict."""
+    section = {"pumps": REPLICATION_PUMPS, "points": {}}
+    ok = True
+    for n in sizes:
+        point = _replication_point(n, seed)
+        point.update(_replication_snapshot_point(n, seed))
+        section["points"][str(n)] = point
+        ok = (ok and point["steady_converged"] and point["resend_converged"]
+              and point["snapshot_converged"])
+        print("replication n=%d: lag max %d mean %.1f records, apply "
+              "%.1f us/record; catch-up resend %.1f ms, snapshot %.1f ms "
+              "(floor %d) %s" % (
+                  n, point["lag_records_max"], point["lag_records_mean"],
+                  point["apply_per_record_us"] or 0.0,
+                  point["catchup_resend_s"] * 1e3,
+                  point["catchup_snapshot_s"] * 1e3,
+                  point["primary_floor"],
+                  "ok" if (point["steady_converged"]
+                           and point["resend_converged"]
+                           and point["snapshot_converged"])
+                  else "DIVERGED"))
+    section["converged_ok"] = ok
+    return section
+
+
 def _run_suites():
     results = {}
     env = dict(os.environ)
@@ -325,6 +508,9 @@ def main(argv=None):
     parser.add_argument("--concurrency-out",
                         default=os.path.join(REPO_ROOT,
                                              "BENCH_concurrency.json"))
+    parser.add_argument("--replication-out",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_replication.json"))
     parser.add_argument("--skip-suites", action="store_true",
                         help="skip the pytest benches (ingest sweep only)")
     parser.add_argument("--seed", type=int, default=0,
@@ -407,6 +593,20 @@ def main(argv=None):
     print("wrote %s" % args.concurrency_out)
     report["concurrency"] = concurrency
 
+    replication = _run_replication(sizes, args.seed)
+    replication.update({
+        "generated_by": "benchmarks/run_bench.py",
+        "python": report["python"],
+        "git_sha": report["git_sha"],
+        "seed": args.seed,
+        "keys": KEYS,
+    })
+    with open(args.replication_out, "w") as handle:
+        json.dump(replication, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.replication_out)
+    report["replication"] = replication
+
     if not args.skip_suites:
         report["suites"] = _run_suites()
         for suite, outcome in report["suites"].items():
@@ -438,6 +638,10 @@ def main(argv=None):
         print("FAIL: the contention sweep violated a serializability "
               "invariant (lost update, non-monotone commit times, or "
               "serial-replay divergence)")
+        return 1
+    if not replication["converged_ok"]:
+        print("FAIL: a replica failed to converge to the primary's "
+              "sequence number and canonical state digest")
         return 1
     return 0
 

@@ -50,6 +50,15 @@ and drives the concurrent stress harness (see docs/CONCURRENCY.md)::
     repro stress --faults torn-record      # chaos mode: crash + recovery
     repro stress --json                    # the full report as JSON
 
+and the replication subsystem (see docs/REPLICATION.md)::
+
+    repro replicate                        # replicated chaos run, audit
+    repro replicate --replicas 3 --failover-at 40   # mid-run promotion
+    repro digest --dir DIR                 # canonical state digest of a
+                                           # durability directory
+    repro promote --dir DIR                # durably bump the fencing
+                                           # epoch of a directory
+
 The database kind is read from the newest checkpoint when one exists;
 ``--kind`` decides it for journal-only or fresh directories.
 """
@@ -344,6 +353,74 @@ def build_repro_parser() -> argparse.ArgumentParser:
                              "(default: a temporary one)")
     stress.add_argument("--json", action="store_true",
                         help="emit the full report as JSON")
+
+    digest = subparsers.add_parser(
+        "digest", help="recover a durability directory and print its "
+                       "canonical state digest")
+    digest.add_argument("--dir", required=True, metavar="DIR",
+                        help="the durability directory")
+    digest.add_argument("--kind", choices=sorted(_KINDS), default="temporal",
+                        help="database kind when no checkpoint records it "
+                             "(default: temporal)")
+    digest.add_argument("--full", action="store_true",
+                        help="ignore checkpoints and replay all of history "
+                             "(the digest must not change)")
+    digest.add_argument("--json", action="store_true",
+                        help="emit digest and record count as JSON")
+
+    replicate = subparsers.add_parser(
+        "replicate", help="run the replicated chaos harness: writers on a "
+                          "primary, readers on replicas, faults on the wire")
+    replicate.add_argument("--kind", choices=sorted(_KINDS),
+                           default="temporal",
+                           help="which kind of database to replicate "
+                                "(default: temporal)")
+    replicate.add_argument("--replicas", type=int, default=2, metavar="N",
+                           help="replica count (default: 2)")
+    replicate.add_argument("--writers", type=int, default=4, metavar="N",
+                           help="writer threads on the primary (default: 4)")
+    replicate.add_argument("--ops", type=int, default=40, metavar="N",
+                           help="transactions per writer (default: 40)")
+    replicate.add_argument("--keys", type=int, default=8, metavar="N",
+                           help="counter rows contended over (default: 8)")
+    replicate.add_argument("--seed", type=int, default=0,
+                           help="workload and transport-fault seed "
+                                "(default: 0)")
+    replicate.add_argument("--drop", type=float, default=0.05,
+                           metavar="P", help="per-message drop probability "
+                                             "(default: 0.05)")
+    replicate.add_argument("--duplicate", type=float, default=0.05,
+                           metavar="P", help="duplicate probability "
+                                             "(default: 0.05)")
+    replicate.add_argument("--reorder", type=float, default=0.05,
+                           metavar="P", help="reorder probability "
+                                             "(default: 0.05)")
+    replicate.add_argument("--delay", type=float, default=0.0, metavar="P",
+                           help="delay probability (default: 0)")
+    replicate.add_argument("--partition-at", type=int, default=None,
+                           metavar="N",
+                           help="partition the last replica after N "
+                                "commits (default: never)")
+    replicate.add_argument("--heal-at", type=int, default=None, metavar="N",
+                           help="heal the partition after N commits "
+                                "(default: at the end)")
+    replicate.add_argument("--failover-at", type=int, default=None,
+                           metavar="N",
+                           help="promote the first replica after N commits "
+                                "(default: never)")
+    replicate.add_argument("--json", action="store_true",
+                           help="emit the full report as JSON")
+
+    promote = subparsers.add_parser(
+        "promote", help="promote a durability directory: recover it, "
+                        "durably bump its fencing epoch, print the digest")
+    promote.add_argument("--dir", required=True, metavar="DIR",
+                         help="the durability directory")
+    promote.add_argument("--kind", choices=sorted(_KINDS), default="temporal",
+                         help="database kind when no checkpoint records it "
+                              "(default: temporal)")
+    promote.add_argument("--json", action="store_true",
+                         help="emit epoch, digest and record count as JSON")
     return parser
 
 
@@ -476,6 +553,99 @@ def _repro_stress(args) -> int:
     return 0 if report.ok else 1
 
 
+def _repro_digest(args) -> int:
+    """The ``repro digest`` verb: recover, print the canonical digest.
+
+    The digest is over recovered *state*, not files, so two directories
+    holding the same commit history — checkpointed differently, torn
+    differently — print the same value; so do a primary and a caught-up
+    replica.  ``--full`` forces the full-replay path as a cross-check.
+    """
+    from repro.replication import state_digest
+    from repro.storage import DurabilityManager
+    database, report = DurabilityManager(args.dir).recover(
+        _durable_class(args.dir, args.kind), use_checkpoint=not args.full)
+    digest = state_digest(database)
+    if args.json:
+        print(json.dumps({"digest": digest, "kind": str(database.kind),
+                          "records": report.records_total,
+                          "full_replay": report.full_replay},
+                         indent=2, sort_keys=True))
+        return 0
+    print(digest)
+    return 0
+
+
+def _repro_promote(args) -> int:
+    """The ``repro promote`` verb: durably bump a directory's epoch.
+
+    Recovery proves the directory's history is intact, then the fencing
+    epoch file is atomically advanced — records stamped with the old
+    epoch are rejected by every replica that saw this promotion.
+    """
+    from repro.replication import read_epoch, state_digest, write_epoch
+    from repro.storage import DurabilityManager
+    database, report = DurabilityManager(args.dir).recover(
+        _durable_class(args.dir, args.kind))
+    epoch = read_epoch(args.dir) + 1
+    write_epoch(args.dir, epoch)
+    digest = state_digest(database)
+    if args.json:
+        print(json.dumps({"epoch": epoch, "digest": digest,
+                          "kind": str(database.kind),
+                          "records": report.records_total},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"promoted the {database.kind} database in {args.dir}")
+    print(f"  epoch:   {epoch} (records from older epochs are now fenced)")
+    print(f"  records: {report.records_total}")
+    print(f"  digest:  {digest}")
+    return 0
+
+
+def _repro_replicate(args) -> int:
+    """The ``repro replicate`` verb: run the replicated chaos harness."""
+    from repro.workload.stress import run_replicated
+
+    report = run_replicated(
+        kind=_KINDS[args.kind], replicas=args.replicas,
+        writers=args.writers, transactions=args.ops, keys=args.keys,
+        seed=args.seed, drop=args.drop, duplicate=args.duplicate,
+        reorder=args.reorder, delay=args.delay,
+        partition_at=args.partition_at, heal_at=args.heal_at,
+        failover_at=args.failover_at)
+    if args.json:
+        print(json.dumps(report.describe(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    print(f"replicate: {report.writers} writers x "
+          f"{report.transactions_per_writer} transactions, "
+          f"{report.replicas} replicas on a {args.kind} database "
+          f"({report.wall_s:.3f}s)")
+    print(f"  committed:          {report.committed} of {report.attempted} "
+          f"attempted")
+    print(f"  primary seq:        {report.primary_seq} "
+          f"(epoch {report.final_epoch})")
+    faults = ", ".join(f"{name}={count}" for name, count
+                       in sorted(report.transport.items()))
+    print(f"  transport:          {faults}")
+    print(f"  stream repair:      {report.gaps_detected} gaps, "
+          f"{report.duplicates_dropped} duplicates dropped, "
+          f"{report.snapshots_loaded} snapshot catch-ups")
+    if report.failover_performed:
+        print(f"  failover:           promoted (prefix verified: "
+              f"{report.promoted_prefix_verified}, "
+              f"{report.fenced_rejects} zombie records fenced)")
+    print(f"  lost durable:       {report.lost_durable_commits}")
+    print(f"  replicas:           "
+          f"{'converged' if report.replicas_converged else 'DIVERGED'} "
+          f"({report.diverged} latched divergence)")
+    print(f"  read-your-writes:   "
+          f"{'ok' if report.read_your_writes_ok else 'VIOLATED'} "
+          f"({report.ryw_reads_lagging} reads waited on the token)")
+    print(f"  audit: {'ok' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
+
+
 def _demo_workload(session: Session, clock: SimulatedClock) -> None:
     """The quickstart faculty history, plus repeated indexed reads.
 
@@ -566,11 +736,15 @@ def _format_stats(stats) -> str:
 def repro_main(argv: Optional[list] = None) -> int:
     """Entry point for the ``repro`` console script."""
     args = build_repro_parser().parse_args(argv)
-    if args.subcommand in ("recover", "checkpoint", "stress"):
+    if args.subcommand in ("recover", "checkpoint", "stress", "digest",
+                           "replicate", "promote"):
         try:
             handler = {"recover": _repro_recover,
                        "checkpoint": _repro_checkpoint,
-                       "stress": _repro_stress}[args.subcommand]
+                       "stress": _repro_stress,
+                       "digest": _repro_digest,
+                       "replicate": _repro_replicate,
+                       "promote": _repro_promote}[args.subcommand]
             return handler(args)
         except (ReproError, OSError) as error:
             print(f"error: {error}", file=sys.stderr)

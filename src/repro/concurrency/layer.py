@@ -126,6 +126,9 @@ class SessionLayer:
             if not session.operations:
                 self.database.manager.certify(validate)
                 session._status = SessionStatus.COMMITTED
+                # A certified read-only session still gets a token: a
+                # replica at this index has everything the session saw.
+                session._commit_token = len(self.database.log)
                 return None
             with metrics.histogram("concurrency.commit_seconds").time():
                 commit_time = self.database.manager.run(
@@ -135,6 +138,11 @@ class SessionLayer:
             raise
         session._status = SessionStatus.COMMITTED
         session._commit_time = commit_time
+        # The read-your-writes token: replicas must apply at least this
+        # many records before serving this session's writes.  Read after
+        # the commit lock dropped, so it may over-count (a concurrent
+        # commit landing first) — conservative, never stale.
+        session._commit_token = len(self.database.log)
         metrics.counter("concurrency.commits").inc()
         return commit_time
 

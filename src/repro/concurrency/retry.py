@@ -80,14 +80,26 @@ class RetryPolicy:
         :class:`~repro.errors.DeadlineExceeded`.
         """
         metrics = _obs.current().metrics
+        attempts = metrics.histogram("concurrency.attempts_per_txn")
         for attempt in range(self.max_attempts):
             if deadline is not None and self._clock() >= deadline:
+                attempts.observe(attempt)
                 raise DeadlineExceeded(
                     f"deadline passed before attempt {attempt + 1} started")
             try:
-                return attempt_fn()
+                result = attempt_fn()
             except ReproError as error:
+                # Shed load was invisible unless it finally failed; count
+                # every Overloaded and record its back-pressure hint so
+                # db.stats() shows how hard admission is pushing back.
+                if isinstance(error, Overloaded):
+                    metrics.counter("concurrency.overloaded").inc()
+                    if error.retry_after:
+                        metrics.histogram(
+                            "concurrency.retry_after_seconds").observe(
+                                error.retry_after)
                 if not error.retryable or attempt + 1 >= self.max_attempts:
+                    attempts.observe(attempt + 1)
                     raise
                 pause = self.delay(attempt)
                 if isinstance(error, Overloaded) and error.retry_after:
@@ -95,12 +107,16 @@ class RetryPolicy:
                 if deadline is not None:
                     remaining = deadline - self._clock()
                     if pause >= remaining:
+                        attempts.observe(attempt + 1)
                         raise DeadlineExceeded(
                             f"a {pause * 1e3:.1f} ms backoff would overshoot "
                             f"the deadline ({max(0.0, remaining) * 1e3:.1f} ms "
                             f"left)") from error
                 metrics.counter("concurrency.retries").inc()
                 self._sleeper(pause)
+            else:
+                attempts.observe(attempt + 1)
+                return result
         raise AssertionError("unreachable: the loop returns or raises")
 
     def __repr__(self) -> str:

@@ -28,7 +28,8 @@ a committed session serializable at relation granularity.
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Tuple,
+                    Union)
 
 from repro.errors import TransactionStateError
 from repro.time.instant import Instant
@@ -66,6 +67,7 @@ class ConcurrentSession:
         #: commit-log length when the session began (diagnostic only).
         self._snapshot_index = len(self._database.log)
         self._commit_time: Optional[Instant] = None
+        self._commit_token: Optional[int] = None
 
     # -- accessors ------------------------------------------------------------
 
@@ -100,6 +102,21 @@ class ConcurrentSession:
         return self._commit_time
 
     @property
+    def commit_token(self) -> Optional[int]:
+        """The read-your-writes token assigned at commit (None before).
+
+        The number of commits in the primary's log once this session's
+        commit landed; a replica must have applied at least this many
+        records before it can serve this session's own writes
+        (:meth:`Replica.read <repro.replication.replica.Replica.read>`
+        raises a retryable :class:`~repro.errors.ReplicaLagging` until
+        then).  The token may over-count — a concurrent commit landing
+        just after bumps the log length — which is safe: waiting for
+        *more* records than strictly needed never serves stale data.
+        """
+        return self._commit_token
+
+    @property
     def is_active(self) -> bool:
         """True while the session can still buffer and commit."""
         return self._status is SessionStatus.ACTIVE
@@ -123,20 +140,36 @@ class ConcurrentSession:
 
     # -- reads --------------------------------------------------------------------
 
+    def _consistent(self, compute: Callable[[], Any]) -> Any:
+        """Run *compute* under the commit serialization lock.
+
+        A commit's apply (close the superseded version, open the new
+        one) is atomic only to holders of the manager's lock; a bare
+        ``database.snapshot`` taken mid-apply can see *neither* version
+        of a replaced row.  Every session read goes through here so a
+        racing committer's torn intermediate state is never observable
+        — touch first (outside the lock), then snapshot atomically.
+        """
+        result: List[Any] = []
+        self._database.manager.certify(lambda: result.append(compute()))
+        return result[0]
+
     def read(self, name: str):
         """The relation's current committed snapshot, footprint-tracked."""
         self.touch(name)
-        return self._database.snapshot(name)
+        return self._consistent(lambda: self._database.snapshot(name))
 
     def timeslice(self, name: str, valid_at: InstantLike):
         """Valid-time slice of the committed state, footprint-tracked."""
         self.touch(name)
-        return self._database.timeslice(name, valid_at)
+        return self._consistent(
+            lambda: self._database.timeslice(name, valid_at))
 
     def rollback(self, name: str, as_of: InstantLike):
         """Transaction-time rollback of the committed state, tracked."""
         self.touch(name)
-        return self._database.rollback(name, as_of)
+        return self._consistent(
+            lambda: self._database.rollback(name, as_of))
 
     # -- writes --------------------------------------------------------------------
 

@@ -146,6 +146,77 @@ class Overloaded(ConcurrencyError):
 
 
 # ---------------------------------------------------------------------------
+# Replication
+# ---------------------------------------------------------------------------
+
+class ReplicationError(ReproError):
+    """Base class for the replication layer (docs/REPLICATION.md)."""
+
+
+class TransportError(ReplicationError):
+    """A message was lost, mangled or mis-delivered in transit.
+
+    Transport faults are transient by definition — the journal stream is
+    sequence-numbered and idempotent, so the protocol recovers by
+    re-requesting; every concrete transport failure is retryable.
+    """
+
+    retryable = True
+
+
+class ReplicationGap(TransportError):
+    """A replica saw a record beyond the next expected sequence number.
+
+    The signature of a dropped or reordered message; the replica buffers
+    what arrived and re-requests the missing range, so the condition
+    heals itself — retryable.
+    """
+
+
+class DuplicateRecord(TransportError):
+    """A record at or below the replica's applied sequence arrived again.
+
+    Duplicated delivery (a retransmit that raced the original); the
+    record is simply dropped — apply is idempotent by sequence number.
+    """
+
+
+class ReplicaLagging(ReplicationError):
+    """A replica has not yet applied the records a read requires.
+
+    Carries the read-your-writes ``token`` the caller demanded and the
+    replica's current ``applied`` sequence.  Retryable: the replica
+    converges as the stream (or a catch-up snapshot) is delivered.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, token: "int | None" = None,
+                 applied: "int | None" = None) -> None:
+        self.token = token
+        self.applied = applied
+        super().__init__(message)
+
+
+class FencedError(ReplicationError):
+    """A record carried a stale epoch: its sender was fenced at failover.
+
+    A zombie primary keeps streaming after a replica was promoted; epoch
+    numbers on the stream let every replica reject it.  Not retryable —
+    the fenced node must stand down, not resend.
+    """
+
+
+class DivergenceError(ReplicationError):
+    """Digest exchange found a replica whose state differs at equal seq.
+
+    Replay is deterministic, so divergence means corruption or a bug —
+    never a transient.  The replica refuses further reads; rebuild it
+    from a snapshot.  Not retryable.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Database kinds (the paper's taxonomy, enforced)
 # ---------------------------------------------------------------------------
 

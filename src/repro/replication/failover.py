@@ -1,0 +1,174 @@
+"""Failover: promote a replica, fence the old primary, prove the prefix.
+
+:class:`FailoverCoordinator.promote` turns a replica into the new
+primary in four audited steps:
+
+1. **fence** — the old primary (when reachable) is retired: it stops
+   publishing, and the epoch number the new primary streams under is
+   strictly greater, so any *zombie* — an old primary that was not
+   reachable to retire and keeps streaming — is rejected by every
+   replica (:class:`~repro.errors.FencedError` semantics; the replica
+   counts ``replication.fenced_rejects``).
+2. **drain** — the old primary's remaining durable records (its
+   retained journal entries are exactly what its durable log holds:
+   publication happens *after* the journal append, under the same
+   commit lock) are applied to the chosen replica through the normal
+   sequence-checked path.  An unreachable old primary simply drains
+   nothing: the promoted state is then the replica's applied prefix.
+3. **audit** — the promoted state must equal a durable prefix of the
+   old primary's commit order.  The coordinator checks the canonical
+   digest against the old primary's heartbeat history at exactly the
+   promoted sequence number (or against its live state when fully
+   drained); a mismatch aborts promotion with
+   :class:`~repro.errors.DivergenceError`.
+4. **announce** — the surviving replicas are registered with the new
+   primary and a heartbeat publishes the new epoch; each replica adopts
+   it on receipt and discards any buffered records of the deposed
+   epoch.
+
+``repro promote`` uses :func:`read_epoch` / :func:`write_epoch` to
+persist the fencing epoch next to a durability directory, so a
+hand-operated promotion survives restarts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Any, Dict, Iterable, Optional
+
+from repro.errors import DivergenceError, StorageError
+from repro.obs import runtime as _obs
+from repro.replication.digest import state_digest
+from repro.replication.primary import Primary
+from repro.replication.replica import Replica
+from repro.replication.transport import Transport
+from repro.storage.io import REAL_IO, StorageIO
+
+#: File holding the persisted fencing epoch in a durability directory.
+EPOCH_FILE = "epoch"
+
+
+@dataclasses.dataclass(frozen=True)
+class PromotionReport:
+    """What one promotion did, and the prefix proof that gates it."""
+
+    #: The replica's applied records at promotion (= new primary's seq).
+    promoted_seq: int
+    #: The old primary's record count at fencing (None if unreachable).
+    old_seq: Optional[int]
+    #: Records the coordinator drained from the old primary's durable log.
+    drained: int
+    #: The promoted state's canonical digest.
+    digest: str
+    #: True when the digest was proven equal to the old primary's at
+    #: ``promoted_seq``; None when no reference digest was available
+    #: (crash failover with no heartbeat at that seq).
+    prefix_verified: Optional[bool]
+    #: The epoch the new primary streams under.
+    epoch: int
+
+    def describe(self) -> Dict[str, Any]:
+        """A plain dict (what ``repro replicate --json`` embeds)."""
+        return dataclasses.asdict(self)
+
+
+class FailoverCoordinator:
+    """Promotes replicas and guarantees the durable-prefix contract."""
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+
+    def promote(self, replica: Replica, old_primary: Optional[Primary] = None,
+                replicas: Iterable[str] = (),
+                announce: bool = True) -> "tuple[Primary, PromotionReport]":
+        """Promote *replica*; returns ``(new_primary, report)``.
+
+        *old_primary* is passed when reachable (planned failover): it is
+        retired first and its remaining durable records drained into the
+        replica, so zero durable commits are lost.  With it unreachable
+        (crash failover), the promoted state is the replica's applied
+        prefix — still a durable prefix of the old commit order, just a
+        shorter one.  *replicas* are the surviving followers to attach
+        to the new primary.
+        """
+        metrics = _obs.current().metrics
+        old_seq: Optional[int] = None
+        drained = 0
+        old_epoch = replica.epoch
+        if old_primary is not None:
+            old_primary.retire()
+            old_epoch = max(old_epoch, old_primary.epoch)
+            old_seq = old_primary.current_seq
+            if replica.applied_seq < old_primary.floor:
+                # The gap fell below the old primary's in-memory floor:
+                # catch up from its full state (checkpoint-style), which
+                # is still the durable state at old_seq.
+                drained += replica.load_snapshot(
+                    old_seq, old_primary.snapshot_state())
+            for seq, entry in old_primary.entries_from(replica.applied_seq):
+                drained += replica.apply_direct(seq, entry)
+
+        promoted_seq = replica.applied_seq
+        replica.check()  # a diverged replica must never be promoted
+        digest = state_digest(replica.database)
+
+        expected: Optional[str] = None
+        if old_primary is not None:
+            expected = old_primary.digest_at(promoted_seq)
+            if expected is None and promoted_seq == old_primary.current_seq:
+                expected = state_digest(old_primary.database)
+        verified: Optional[bool] = None
+        if expected is not None:
+            verified = expected == digest
+            if not verified:
+                metrics.counter("replication.divergence_detected").inc()
+                raise DivergenceError(
+                    f"promotion of {replica.node_id} aborted: state at seq "
+                    f"{promoted_seq} hashes {digest[:12]}…, the old "
+                    f"primary's durable prefix hashes {expected[:12]}…")
+
+        epoch = max(replica.epoch, old_epoch) + 1
+        replica.epoch = epoch
+        promoted = Primary(replica.node_id, replica.database, self.transport,
+                           epoch=epoch, floor=replica.log_floor)
+        for node in replicas:
+            if node != replica.node_id:
+                promoted.add_replica(node)
+        if announce:
+            promoted.heartbeat()  # followers adopt the new epoch on receipt
+        metrics.counter("replication.promotions").inc()
+        report = PromotionReport(promoted_seq=promoted_seq, old_seq=old_seq,
+                                 drained=drained, digest=digest,
+                                 prefix_verified=verified, epoch=epoch)
+        return promoted, report
+
+
+# ---------------------------------------------------------------------------
+# Persisted fencing epochs (the ``repro promote`` verb)
+# ---------------------------------------------------------------------------
+
+def read_epoch(directory: str) -> int:
+    """The fencing epoch persisted in *directory* (0 when none yet)."""
+    path = os.path.join(directory, EPOCH_FILE)
+    if not os.path.exists(path):
+        return 0
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read().strip()
+    try:
+        return int(text)
+    except ValueError:
+        raise StorageError(
+            f"{path} does not hold an epoch number: {text[:32]!r}") from None
+
+
+def write_epoch(directory: str, epoch: int,
+                io: Optional[StorageIO] = None) -> str:
+    """Atomically persist *epoch* in *directory*; returns the file path."""
+    if epoch < 0:
+        raise ValueError("epochs never decrease; refusing a negative one")
+    io = io if io is not None else REAL_IO
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, EPOCH_FILE)
+    io.write_atomic(path, f"{epoch}\n".encode("utf-8"), fsync=True)
+    return path

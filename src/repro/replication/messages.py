@@ -1,0 +1,83 @@
+"""The replication wire format: framed, checksummed protocol messages.
+
+Every message that crosses the :class:`~repro.replication.transport.
+Transport` seam is one framed line (:mod:`repro.storage.framing`) under
+its own tag, ``p1`` — the same length-prefix + CRC32 armor the journal
+uses, so a mangled message is *detected*, never half-applied.  The
+payload is a JSON object with a ``type`` field:
+
+``record``
+    One journal entry: ``epoch``, ``seq`` (the record's global index in
+    the primary's commit order) and ``entry`` (the
+    :func:`~repro.storage.journal.encode_commit` form — exactly the
+    bytes the durable journal holds, so a replica applies it through
+    the same :func:`~repro.storage.journal.apply_entries` path recovery
+    uses).
+``gap``
+    A replica asking for a resend: ``next_seq`` is the first sequence
+    number it is missing.
+``catchup``
+    A cold or lagging replica announcing ``applied`` and asking the
+    primary to bring it current (resend or snapshot, primary's choice).
+``snapshot``
+    Checkpoint-based catch-up: the primary's full dumped state as of
+    ``seq`` records, plus the stream ``epoch``.
+``digest``
+    Periodic divergence check: the primary's canonical state digest at
+    exactly ``seq`` applied records (``chronon`` carries the last commit
+    time so replicas can report lag in time units, not just records).
+
+Epoch numbers ride on every primary-originated message; see
+docs/REPLICATION.md for the fencing rules.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.storage.framing import frame, parse_frame
+
+#: Frame tag of replication protocol messages.
+REPLICATION_TAG = "p1"
+
+
+def encode_message(message: Dict[str, Any]) -> str:
+    """Frame one protocol message as a single line."""
+    return frame(json.dumps(message, sort_keys=True, ensure_ascii=False),
+                 tag=REPLICATION_TAG)
+
+
+def decode_message(line: str) -> Dict[str, Any]:
+    """Parse a framed protocol line (raises
+    :class:`~repro.storage.framing.FrameError` on damage)."""
+    return parse_frame(line, tag=REPLICATION_TAG)
+
+
+def record_message(epoch: int, seq: int, entry: Dict[str, Any]) -> str:
+    """One journal record at global index *seq*."""
+    return encode_message({"type": "record", "epoch": epoch, "seq": seq,
+                           "entry": entry})
+
+
+def gap_message(next_seq: int) -> str:
+    """A replica's resend request from *next_seq* onward."""
+    return encode_message({"type": "gap", "next_seq": next_seq})
+
+
+def catchup_message(applied: int) -> str:
+    """A replica announcing how far it got and asking to be caught up."""
+    return encode_message({"type": "catchup", "applied": applied})
+
+
+def snapshot_message(epoch: int, seq: int, state: Dict[str, Any]) -> str:
+    """The primary's full state as of *seq* records (checkpoint catch-up)."""
+    return encode_message({"type": "snapshot", "epoch": epoch, "seq": seq,
+                           "state": state})
+
+
+def digest_message(epoch: int, seq: int, digest: str,
+                   chronon: Optional[int] = None) -> str:
+    """The primary's canonical state digest at exactly *seq* records."""
+    return encode_message({"type": "digest", "epoch": epoch, "seq": seq,
+                           "digest": digest, "chronon": chronon})

@@ -1,0 +1,238 @@
+"""The primary: stream the commit journal to replicas as it grows.
+
+A :class:`Primary` wraps a live database and chains itself onto the
+transaction manager's ``on_commit`` hook — *after* any existing hook,
+so a durable database journals first and publishes second (a record is
+never on the wire before it is on disk; published entries are always a
+subset of durable ones).  The hook fires under the manager's commit
+lock, so records are published in exactly the serialized commit order.
+
+Sequence numbers are global journal indices: record ``seq`` is the
+``seq``-th commit in the primary's history, which makes replica apply
+idempotent and gap detection trivial.  ``floor`` is the first sequence
+number the primary still holds in memory — a primary recovered from a
+checkpoint only has the tail of its log, exactly like
+:class:`~repro.storage.recovery.DurabilityManager` recovery — and a
+resend request below the floor is answered with a full snapshot
+(checkpoint-based catch-up) instead of records.
+
+:meth:`heartbeat` publishes the canonical state digest at an exact
+sequence number (captured atomically under
+:meth:`~repro.txn.manager.TransactionManager.certify`), which is both
+the divergence check and the failover audit trail: the coordinator
+compares a promoted replica against ``digest_at(seq)``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReplicationError
+from repro.obs import runtime as _obs
+from repro.replication.digest import state_digest
+from repro.replication.messages import (decode_message, digest_message,
+                                        record_message, snapshot_message)
+from repro.replication.transport import Transport
+from repro.storage.framing import FrameError
+from repro.storage.journal import encode_commit
+from repro.storage.serializer import dump_database
+
+
+class Primary:
+    """One database streaming its commit order to a set of replicas."""
+
+    def __init__(self, node_id: str, database, transport: Transport,
+                 epoch: int = 0, floor: int = 0) -> None:
+        self.node_id = node_id
+        self.database = database
+        self.transport = transport
+        self.epoch = epoch
+        self._floor = floor
+        self._lock = threading.Lock()
+        #: Encoded entries from ``floor`` on; entry i is global seq floor+i.
+        self._entries: List[dict] = [encode_commit(commit)
+                                     for commit in database.log]
+        self._replicas: List[str] = []
+        self._retired = False
+        #: seq -> canonical digest, recorded at each heartbeat (the
+        #: failover coordinator's durable-prefix audit trail).
+        self._digest_history: Dict[int, str] = {}
+        previous = database.manager.on_commit
+
+        def hook(record) -> None:
+            if previous is not None:
+                previous(record)
+            self._publish(record)
+
+        database.manager.on_commit = hook
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def floor(self) -> int:
+        """The first sequence number still held in memory."""
+        return self._floor
+
+    @property
+    def current_seq(self) -> int:
+        """Total records in this primary's history (next seq to assign)."""
+        with self._lock:
+            return self._floor + len(self._entries)
+
+    @property
+    def retired(self) -> bool:
+        """True once :meth:`retire` fenced this primary."""
+        return self._retired
+
+    def replicas(self) -> Tuple[str, ...]:
+        """The registered replica node ids."""
+        with self._lock:
+            return tuple(self._replicas)
+
+    def entries_from(self, seq: int) -> List[Tuple[int, dict]]:
+        """``(seq, entry)`` for every retained record at or after *seq*.
+
+        Raises :class:`~repro.errors.ReplicationError` below the floor —
+        those records left memory at a checkpoint; catch up by snapshot.
+        """
+        with self._lock:
+            if seq < self._floor:
+                raise ReplicationError(
+                    f"records below {self._floor} are checkpointed away; "
+                    f"resend from {seq} is impossible — snapshot instead")
+            start = seq - self._floor
+            return [(self._floor + index, entry)
+                    for index, entry in enumerate(self._entries)
+                    if index >= start]
+
+    def digest_at(self, seq: int) -> Optional[str]:
+        """The digest recorded at *seq* by a heartbeat, if any."""
+        with self._lock:
+            return self._digest_history.get(seq)
+
+    # -- membership -----------------------------------------------------------
+
+    def add_replica(self, node_id: str) -> None:
+        """Register a replica; it pulls catch-up itself (see Replica)."""
+        with self._lock:
+            if node_id not in self._replicas:
+                self._replicas.append(node_id)
+
+    def retire(self) -> None:
+        """Fence this primary: stop publishing (clean failover hand-off)."""
+        self._retired = True
+
+    # -- streaming ------------------------------------------------------------
+
+    def _publish(self, record) -> None:
+        """``on_commit`` tail: append to the retained entries and stream."""
+        entry = encode_commit(record)
+        with self._lock:
+            seq = self._floor + len(self._entries)
+            self._entries.append(entry)
+            targets = tuple(self._replicas)
+        if self._retired:
+            return
+        line = record_message(self.epoch, seq, entry)
+        for target in targets:
+            self.transport.send(self.node_id, target, line)
+        _obs.current().metrics.counter(
+            "replication.records_sent").inc(len(targets))
+
+    def _capture(self):
+        """Atomically capture ``(seq, digest, chronon)`` between commits."""
+        captured = {}
+
+        def capture() -> None:
+            with self._lock:
+                captured["seq"] = self._floor + len(self._entries)
+            captured["digest"] = state_digest(self.database)
+            last = self.database.manager.clock.last
+            captured["chronon"] = (last.chronon if last is not None
+                                   else None)
+
+        self.database.manager.certify(capture)
+        return captured["seq"], captured["digest"], captured["chronon"]
+
+    def heartbeat(self) -> Tuple[int, str]:
+        """Publish the state digest at an exact seq; returns ``(seq, digest)``.
+
+        Also records the digest in :meth:`digest_at` history — the
+        failover coordinator's proof obligation refers to it.
+        """
+        seq, digest, chronon = self._capture()
+        with self._lock:
+            self._digest_history[seq] = digest
+            targets = tuple(self._replicas)
+        if not self._retired:
+            line = digest_message(self.epoch, seq, digest, chronon)
+            for target in targets:
+                self.transport.send(self.node_id, target, line)
+        _obs.current().metrics.counter("replication.digests_sent").inc()
+        return seq, digest
+
+    def snapshot_state(self) -> dict:
+        """The full dumped state right now (captured between commits)."""
+        captured = {}
+
+        def capture() -> None:
+            captured["state"] = dump_database(self.database)
+
+        self.database.manager.certify(capture)
+        return captured["state"]
+
+    def _send_snapshot(self, target: str) -> None:
+        """Checkpoint-based catch-up: full state at an exact seq."""
+        captured = {}
+
+        def capture() -> None:
+            with self._lock:
+                captured["seq"] = self._floor + len(self._entries)
+            captured["state"] = dump_database(self.database)
+
+        self.database.manager.certify(capture)
+        self.transport.send(
+            self.node_id, target,
+            snapshot_message(self.epoch, captured["seq"], captured["state"]))
+        _obs.current().metrics.counter("replication.snapshots_served").inc()
+
+    def pump(self) -> int:
+        """Serve queued replica requests (gap resends, catch-up).
+
+        Returns the number of messages handled.  Damaged frames are
+        counted and dropped — the requester re-requests.
+        """
+        metrics = _obs.current().metrics
+        handled = 0
+        for source, line in self.transport.receive(self.node_id):
+            try:
+                message = decode_message(line)
+            except FrameError:
+                metrics.counter("replication.frames_rejected").inc()
+                continue
+            handled += 1
+            kind = message.get("type")
+            if kind == "gap":
+                self._serve_from(source, int(message["next_seq"]))
+                metrics.counter("replication.resend_requests").inc()
+            elif kind == "catchup":
+                self._serve_from(source, int(message["applied"]))
+                metrics.counter("replication.catchup_requests").inc()
+        return handled
+
+    def _serve_from(self, target: str, seq: int) -> None:
+        if self._retired:
+            return
+        if seq < self._floor:
+            self._send_snapshot(target)
+            return
+        for record_seq, entry in self.entries_from(seq):
+            self.transport.send(self.node_id, target,
+                                record_message(self.epoch, record_seq, entry))
+        _obs.current().metrics.counter("replication.resends_served").inc()
+
+    def __repr__(self) -> str:
+        return (f"Primary({self.node_id!r}, epoch={self.epoch}, "
+                f"seq={self.current_seq}, "
+                f"replicas={list(self.replicas())})")

@@ -1,0 +1,323 @@
+"""The replica: idempotent, sequence-numbered apply of the shipped journal.
+
+A :class:`Replica` is deliberately *just another consumer of the
+recovery path*: every record it accepts goes through the same
+:func:`~repro.storage.journal.apply_entries` that crash recovery uses,
+driving a simulated clock so each transaction re-commits at its
+original instant.  Because transaction time is append-only and
+system-assigned, a replica that applied the same prefix of the commit
+order is observationally identical to the primary — snapshots,
+timeslices, rollbacks and TQuel answers included.
+
+The apply discipline against a faulty transport:
+
+- **in order**: a record is applied only when its ``seq`` equals the
+  next expected index; later records are buffered;
+- **idempotent**: a record at or below the applied index is dropped
+  (duplicate delivery);
+- **gap repair**: a buffered future record (or an advertised head the
+  replica has not reached) triggers a rate-limited resend request; the
+  primary answers with records, or with a full snapshot when the range
+  fell below its in-memory floor (checkpoint-based catch-up);
+- **fencing**: every message carries the stream epoch.  Lower-epoch
+  messages are rejected (a fenced zombie primary), a higher epoch is
+  adopted — and the buffer is cleared, because buffered records from a
+  deposed epoch may not be part of the surviving history.
+
+Divergence detection: the primary periodically publishes its canonical
+state digest at an exact sequence number; the replica checks its own
+digest when it reaches that seq.  A mismatch latches a
+:class:`~repro.errors.DivergenceError` that every subsequent read
+raises — replay is deterministic, so divergence is corruption, and a
+diverged replica must not serve.
+
+Read-your-writes: reads accept a ``token`` (the writing session's
+:attr:`~repro.concurrency.session.ConcurrentSession.commit_token`) and
+raise a retryable :class:`~repro.errors.ReplicaLagging` until the
+replica has applied at least that many records.
+
+Lag is reported through :mod:`repro.obs` both in records and in
+chronons (``replication.lag_records`` / ``replication.lag_chronons``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import DivergenceError, ReplicaLagging, ReplicationGap
+from repro.obs import runtime as _obs
+from repro.replication.digest import state_digest
+from repro.replication.messages import (catchup_message, decode_message,
+                                        gap_message)
+from repro.replication.transport import Transport
+from repro.storage.framing import FrameError
+from repro.storage.journal import apply_entries
+from repro.storage.serializer import decode_value, load_database
+from repro.time.clock import SimulatedClock
+
+#: Pump calls a replica waits between resend requests for the same gap.
+GAP_RETRY_EVERY = 4
+
+
+class Replica:
+    """One node applying the primary's shipped journal, in order."""
+
+    def __init__(self, node_id: str, kind, transport: Transport,
+                 primary_id: str, epoch: int = 0) -> None:
+        self.node_id = node_id
+        self.transport = transport
+        self.primary_id = primary_id
+        self.epoch = epoch
+        self._clock = SimulatedClock(1)
+        self.database = kind(clock=self._clock)
+        self.applied_seq = 0
+        #: seq -> (epoch, entry): records that arrived ahead of order.
+        self._buffer: Dict[int, Tuple[int, dict]] = {}
+        #: seq -> digest the primary claims; checked on reaching seq.
+        self._expected: Dict[int, str] = {}
+        self._divergence: Optional[DivergenceError] = None
+        self._head_seq = 0
+        self._head_chronon: Optional[int] = None
+        self._applied_chronon: Optional[int] = None
+        self._gap_cooldown = 0
+
+    # -- catch-up ------------------------------------------------------------
+
+    def request_catchup(self) -> None:
+        """Ask the primary to bring this replica current (cold join)."""
+        self.transport.send(self.node_id, self.primary_id,
+                            catchup_message(self.applied_seq))
+        self._gap_cooldown = GAP_RETRY_EVERY
+
+    # -- the pump ------------------------------------------------------------
+
+    def pump(self) -> int:
+        """Drain the mailbox, apply what is in order, repair what is not.
+
+        Returns the number of records applied this call.  Damaged
+        frames are dropped and counted; the stream heals by resend.
+        """
+        metrics = _obs.current().metrics
+        applied = 0
+        for source, line in self.transport.receive(self.node_id):
+            try:
+                message = decode_message(line)
+            except FrameError:
+                metrics.counter("replication.frames_rejected").inc()
+                continue
+            epoch = int(message.get("epoch", self.epoch))
+            kind = message.get("type")
+            if kind in ("record", "snapshot", "digest"):
+                if epoch < self.epoch:
+                    metrics.counter("replication.fenced_rejects").inc()
+                    continue
+                if epoch > self.epoch:
+                    self._adopt(epoch, source)
+            if kind == "record":
+                applied += self._on_record(int(message["seq"]),
+                                           epoch, message["entry"])
+            elif kind == "snapshot":
+                applied += self._on_snapshot(int(message["seq"]),
+                                             message["state"])
+            elif kind == "digest":
+                self._on_digest(int(message["seq"]), message["digest"],
+                                message.get("chronon"))
+        self._repair_gap()
+        self._report_lag()
+        return applied
+
+    def _adopt(self, epoch: int, source: str) -> None:
+        """A higher epoch: a promotion happened; follow the new primary.
+
+        Buffered records from the deposed epoch are discarded — failover
+        guarantees the *applied* prefix survives, but an un-applied
+        buffered suffix may include zombie commits that did not."""
+        self.epoch = epoch
+        self.primary_id = source
+        self._buffer.clear()
+        self._gap_cooldown = 0
+        _obs.current().metrics.counter("replication.epoch_adoptions").inc()
+
+    # -- message handlers ----------------------------------------------------
+
+    def _on_record(self, seq: int, epoch: int, entry: dict) -> int:
+        metrics = _obs.current().metrics
+        self._head_seq = max(self._head_seq, seq + 1)
+        if seq < self.applied_seq:
+            metrics.counter("replication.duplicates_dropped").inc()
+            return 0
+        if seq > self.applied_seq:
+            if seq not in self._buffer:
+                metrics.counter("replication.gaps_detected").inc()
+            self._buffer[seq] = (epoch, entry)
+            return 0
+        applied = self._apply(entry)
+        applied += self._drain_buffer()
+        return applied
+
+    def _on_snapshot(self, seq: int, state: dict) -> int:
+        metrics = _obs.current().metrics
+        if seq < self.applied_seq:
+            metrics.counter("replication.duplicates_dropped").inc()
+            return 0
+        self.database = load_database(state)
+        self._clock = self.database.manager.clock.source
+        self.applied_seq = seq
+        self._head_seq = max(self._head_seq, seq)
+        last = self.database.manager.clock.last
+        self._applied_chronon = (last.chronon if last is not None else None)
+        for stale in [s for s in self._buffer if s < seq]:
+            del self._buffer[stale]
+        for stale in [s for s in self._expected if s < seq]:
+            del self._expected[stale]
+        metrics.counter("replication.snapshots_loaded").inc()
+        self._check_digest()
+        return self._drain_buffer()
+
+    def _on_digest(self, seq: int, digest: str,
+                   chronon: Optional[int]) -> None:
+        self._head_seq = max(self._head_seq, seq)
+        if chronon is not None:
+            self._head_chronon = max(self._head_chronon or 0, chronon)
+        if seq < self.applied_seq:
+            return  # a past state cannot be recomputed; the next one can
+        self._expected[seq] = digest
+        self._check_digest()
+
+    # -- apply ---------------------------------------------------------------
+
+    def _apply(self, entry: dict) -> int:
+        metrics = _obs.current().metrics
+        with metrics.histogram("replication.apply_seconds").time():
+            apply_entries(self.database, self._clock, [entry])
+        self.applied_seq += 1
+        commit_time = decode_value(entry["commit_time"])
+        self._applied_chronon = commit_time.chronon
+        metrics.counter("replication.records_applied").inc()
+        self._check_digest()
+        return 1
+
+    # -- the coordinator's drain path (no transport in between) --------------
+
+    def apply_direct(self, seq: int, entry: dict) -> int:
+        """Apply one record read straight from the old primary's durable
+        log (the failover drain), bypassing the transport.  Idempotent
+        like the streamed path; returns records applied (0 or 1)."""
+        if seq < self.applied_seq:
+            return 0
+        if seq > self.applied_seq:
+            raise ReplicationGap(
+                f"drain out of order: replica {self.node_id} expects seq "
+                f"{self.applied_seq}, got {seq}")
+        return self._apply(entry)
+
+    def load_snapshot(self, seq: int, state: dict) -> int:
+        """Adopt a full dumped state as of *seq* records (the failover
+        drain's catch-up when the gap fell below the old primary's
+        floor)."""
+        return self._on_snapshot(seq, state)
+
+    def _drain_buffer(self) -> int:
+        applied = 0
+        while self.applied_seq in self._buffer:
+            _, entry = self._buffer.pop(self.applied_seq)
+            applied += self._apply(entry)
+        return applied
+
+    def _check_digest(self) -> None:
+        expected = self._expected.pop(self.applied_seq, None)
+        if expected is None:
+            return
+        metrics = _obs.current().metrics
+        metrics.counter("replication.digests_checked").inc()
+        actual = state_digest(self.database)
+        if actual != expected:
+            metrics.counter("replication.divergence_detected").inc()
+            self._divergence = DivergenceError(
+                f"replica {self.node_id} diverged at seq "
+                f"{self.applied_seq}: digest {actual[:12]}… != primary's "
+                f"{expected[:12]}… — refusing to serve; rebuild from a "
+                f"snapshot")
+
+    # -- gap repair and lag --------------------------------------------------
+
+    def _repair_gap(self) -> None:
+        behind = self.applied_seq < self._head_seq or self._buffer
+        if not behind:
+            self._gap_cooldown = 0
+            return
+        if self._gap_cooldown > 0:
+            self._gap_cooldown -= 1
+            return
+        message = (gap_message(self.applied_seq) if self._buffer
+                   else catchup_message(self.applied_seq))
+        self.transport.send(self.node_id, self.primary_id, message)
+        self._gap_cooldown = GAP_RETRY_EVERY
+        _obs.current().metrics.counter("replication.gap_requests").inc()
+
+    def lag(self) -> Tuple[int, Optional[int]]:
+        """``(records, chronons)`` behind the newest advertised head."""
+        records = max(0, self._head_seq - self.applied_seq)
+        chronons: Optional[int] = None
+        if (self._head_chronon is not None
+                and self._applied_chronon is not None):
+            chronons = max(0, self._head_chronon - self._applied_chronon)
+        return records, chronons
+
+    def _report_lag(self) -> None:
+        metrics = _obs.current().metrics
+        records, chronons = self.lag()
+        metrics.gauge("replication.lag_records").set(records)
+        if chronons is not None:
+            metrics.gauge("replication.lag_chronons").set(chronons)
+
+    # -- serving reads -------------------------------------------------------
+
+    @property
+    def diverged(self) -> bool:
+        """True once digest exchange latched a divergence."""
+        return self._divergence is not None
+
+    def check(self) -> None:
+        """Raise the latched :class:`~repro.errors.DivergenceError`, if any."""
+        if self._divergence is not None:
+            raise self._divergence
+
+    def _serveable(self, token: Optional[int]) -> None:
+        self.check()
+        if token is not None and self.applied_seq < token:
+            _obs.current().metrics.counter(
+                "replication.reads_lagging").inc()
+            raise ReplicaLagging(
+                f"replica {self.node_id} applied {self.applied_seq} "
+                f"records, read requires {token}; retry after the stream "
+                f"catches up", token=token, applied=self.applied_seq)
+
+    def read(self, name: str, token: Optional[int] = None):
+        """The relation's current snapshot, gated on *token* (see module
+        docs: read-your-writes)."""
+        self._serveable(token)
+        return self.database.snapshot(name)
+
+    def timeslice(self, name: str, valid_at: Any,
+                  token: Optional[int] = None):
+        """A valid-time slice served from the replica."""
+        self._serveable(token)
+        return self.database.timeslice(name, valid_at)
+
+    def rollback(self, name: str, as_of: Any,
+                 token: Optional[int] = None):
+        """A transaction-time rollback served from the replica."""
+        self._serveable(token)
+        return self.database.rollback(name, as_of)
+
+    @property
+    def log_floor(self) -> int:
+        """Global seq of the replica's own ``database.log[0]`` (records
+        applied before the last snapshot load are not in memory)."""
+        return self.applied_seq - len(self.database.log)
+
+    def __repr__(self) -> str:
+        return (f"Replica({self.node_id!r}, epoch={self.epoch}, "
+                f"applied={self.applied_seq}, "
+                f"buffered={len(self._buffer)})")

@@ -1,0 +1,227 @@
+"""The transport seam: in-process delivery plus a seeded fault injector.
+
+Replication never talks to a socket in this codebase — it talks to a
+:class:`Transport`, and tests choose how hostile the network is.  A
+:class:`InProcessTransport` is the honest baseline: thread-safe mailbox
+queues, at-most-once, in-order per link.  :class:`FaultyTransport`
+wraps it with the misbehaviours real networks exhibit — **drop**,
+**duplicate**, **reorder**, **delay**, **partition** — decided by a
+seeded :class:`random.Random` in the spirit of
+:class:`~repro.storage.faults.FaultyIO`: a fixed seed reproduces the
+exact fault schedule, so every chaos run is a test, not a lottery.
+
+The protocol is designed so that none of these faults can corrupt a
+replica, only slow it down: records are sequence-numbered and apply is
+idempotent, so each :class:`TransportFault` maps to a *typed, retryable*
+error (:data:`FAULT_ERRORS`) when it surfaces at all.  The fault matrix
+in ``tests/storage/test_faults.py`` pins that mapping.
+
+Injected faults are counted through :mod:`repro.obs`
+(``replication.transport.*``), so a chaos run's report can say exactly
+how hostile the schedule was.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+from collections import deque
+from typing import Deque, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import (DuplicateRecord, ReplicaLagging, ReplicationGap,
+                          TransportError)
+from repro.obs import runtime as _obs
+
+#: One queued delivery: (source node, framed line).
+Delivery = Tuple[str, str]
+
+
+class Transport:
+    """The delivery seam replication speaks through."""
+
+    def send(self, source: str, target: str, line: str) -> None:
+        """Queue *line* from *source* for *target* (may be dropped)."""
+        raise NotImplementedError
+
+    def receive(self, target: str,
+                limit: Optional[int] = None) -> List[Delivery]:
+        """Drain up to *limit* pending deliveries for *target*."""
+        raise NotImplementedError
+
+
+class InProcessTransport(Transport):
+    """Honest in-memory delivery: per-target FIFO mailboxes, thread-safe."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._queues: Dict[str, Deque[Delivery]] = {}
+
+    def _push(self, target: str, item: Delivery, front: bool = False) -> None:
+        with self._lock:
+            queue = self._queues.setdefault(target, deque())
+            if front:
+                queue.appendleft(item)
+            else:
+                queue.append(item)
+
+    def send(self, source: str, target: str, line: str) -> None:
+        self._push(target, (source, line))
+        _obs.current().metrics.counter("replication.transport.sent").inc()
+
+    def receive(self, target: str,
+                limit: Optional[int] = None) -> List[Delivery]:
+        with self._lock:
+            queue = self._queues.get(target)
+            if not queue:
+                return []
+            count = len(queue) if limit is None else min(limit, len(queue))
+            return [queue.popleft() for _ in range(count)]
+
+    def pending(self, target: str) -> int:
+        """Deliveries currently queued for *target* (diagnostic)."""
+        with self._lock:
+            queue = self._queues.get(target)
+            return len(queue) if queue else 0
+
+
+class TransportFault(enum.Enum):
+    """The misbehaviours :class:`FaultyTransport` can inject."""
+
+    #: The message silently vanishes.
+    DROP = "drop"
+    #: The message is delivered twice.
+    DUPLICATE = "duplicate"
+    #: The message jumps ahead of those already queued for its target.
+    REORDER = "reorder"
+    #: Delivery is held back for a number of receive rounds.
+    DELAY = "delay"
+    #: A bidirectional link is down until healed; sends on it vanish.
+    PARTITION = "partition"
+
+
+ALL_TRANSPORT_FAULTS = tuple(TransportFault)
+
+#: What each fault surfaces as when the protocol notices it at all.
+#: Drop and reorder show up as a sequence gap the replica re-requests;
+#: duplication as an idempotently-dropped record; delay and partition as
+#: lag that read-your-writes reads observe.  All of them are transient
+#: by construction, hence retryable (``tests/storage/test_faults.py``).
+FAULT_ERRORS = {
+    TransportFault.DROP: ReplicationGap,
+    TransportFault.DUPLICATE: DuplicateRecord,
+    TransportFault.REORDER: ReplicationGap,
+    TransportFault.DELAY: ReplicaLagging,
+    TransportFault.PARTITION: ReplicaLagging,
+}
+
+
+class FaultyTransport(Transport):
+    """A seeded fault injector over an :class:`InProcessTransport`.
+
+    ``drop`` / ``duplicate`` / ``reorder`` / ``delay`` are independent
+    per-message probabilities drawn in a fixed order from one seeded
+    RNG, so a given ``seed`` reproduces the exact schedule for a given
+    message sequence.  ``delay_rounds`` is how many ``receive`` calls a
+    delayed message sits out.  Partitions are explicit and symmetric:
+    :meth:`partition` downs a link (sends in either direction vanish)
+    until :meth:`heal`.
+    """
+
+    def __init__(self, inner: Optional[InProcessTransport] = None,
+                 seed: int = 0, drop: float = 0.0, duplicate: float = 0.0,
+                 reorder: float = 0.0, delay: float = 0.0,
+                 delay_rounds: int = 2) -> None:
+        self._inner = inner if inner is not None else InProcessTransport()
+        self._rng = random.Random(seed)
+        self._drop = drop
+        self._duplicate = duplicate
+        self._reorder = reorder
+        self._delay = delay
+        self._delay_rounds = max(1, delay_rounds)
+        self._lock = threading.Lock()
+        self._partitions: Set[FrozenSet[str]] = set()
+        #: target -> [(rounds_left, delivery)]
+        self._held: Dict[str, List[Tuple[int, Delivery]]] = {}
+
+    # -- partitions ----------------------------------------------------------
+
+    def partition(self, a: str, b: str) -> None:
+        """Down the *a* <-> *b* link until :meth:`heal`."""
+        with self._lock:
+            self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: Optional[str] = None, b: Optional[str] = None) -> None:
+        """Restore one link, or every link when called with no arguments."""
+        with self._lock:
+            if a is None:
+                self._partitions.clear()
+            else:
+                self._partitions.discard(frozenset((a, b)))
+
+    def partitioned(self, a: str, b: str) -> bool:
+        """True while the *a* <-> *b* link is down."""
+        with self._lock:
+            return frozenset((a, b)) in self._partitions
+
+    # -- delivery ------------------------------------------------------------
+
+    def send(self, source: str, target: str, line: str) -> None:
+        metrics = _obs.current().metrics
+        if self.partitioned(source, target):
+            metrics.counter("replication.transport.partitioned").inc()
+            return
+        with self._lock:
+            # One draw per fault type, in a fixed order: the schedule is
+            # a pure function of (seed, message index).
+            dropped = self._rng.random() < self._drop
+            duplicated = self._rng.random() < self._duplicate
+            reordered = self._rng.random() < self._reorder
+            delayed = self._rng.random() < self._delay
+        if dropped:
+            metrics.counter("replication.transport.dropped").inc()
+            return
+        if delayed:
+            metrics.counter("replication.transport.delayed").inc()
+            with self._lock:
+                self._held.setdefault(target, []).append(
+                    (self._delay_rounds, (source, line)))
+            return
+        self._inner._push(target, (source, line), front=reordered)
+        if reordered:
+            metrics.counter("replication.transport.reordered").inc()
+        if duplicated:
+            metrics.counter("replication.transport.duplicated").inc()
+            self._inner._push(target, (source, line))
+        metrics.counter("replication.transport.sent").inc()
+
+    def receive(self, target: str,
+                limit: Optional[int] = None) -> List[Delivery]:
+        with self._lock:
+            held = self._held.get(target, [])
+            still_held: List[Tuple[int, Delivery]] = []
+            due: List[Delivery] = []
+            for rounds, delivery in held:
+                if rounds <= 1:
+                    due.append(delivery)
+                else:
+                    still_held.append((rounds - 1, delivery))
+            if held:
+                self._held[target] = still_held
+        for delivery in due:
+            self._inner._push(target, delivery)
+        return self._inner.receive(target, limit=limit)
+
+    def pending(self, target: str) -> int:
+        """Queued plus held deliveries for *target* (diagnostic)."""
+        with self._lock:
+            held = len(self._held.get(target, ()))
+        return self._inner.pending(target) + held
+
+
+def fault_error(fault: TransportFault) -> type:
+    """The typed error class a given transport fault surfaces as."""
+    error = FAULT_ERRORS.get(fault)
+    if error is None:
+        raise TransportError(f"unmapped transport fault {fault!r}")
+    return error

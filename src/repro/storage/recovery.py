@@ -275,8 +275,18 @@ class DurabilityManager:
         path = self._checkpoints.write(self._database, self._count)
         if self._count != self._live_start:
             self._live_start = self._count
-            self._live = Journal(self._segment_path(self._count),
-                                 fsync=self._fsync, io=self._io)
+            segment_path = self._segment_path(self._count)
+            self._live = Journal(segment_path, fsync=self._fsync, io=self._io)
+            # Create the rotated segment eagerly (zero-length) so the
+            # directory names its live segment even before the first
+            # append.  A crash in this window leaves an empty trailing
+            # segment file, which recovery tolerates: zero records is a
+            # valid (clean) tail, not damage.  Deliberately not routed
+            # through the io seam: creating an empty file is metadata,
+            # not a durability write, and must not consume a
+            # fault-injection crash budget.
+            with open(segment_path, "ab"):
+                pass
             _obs.current().metrics.counter("recovery.segments_rotated").inc()
         return path
 

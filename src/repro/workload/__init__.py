@@ -15,20 +15,27 @@ commit/transaction metrics the engine itself emits.
 counterpart: it hammers one database from many sessions through the
 :mod:`repro.concurrency` layer — optionally under crash injection — and
 audits zero lost updates, monotone commit times and serial equivalence.
+:func:`run_replicated` extends the chaos to :mod:`repro.replication`:
+writers on a primary, token-gated readers on replicas, seeded transport
+faults, partitions and a mid-run failover — audited for zero lost
+durable commits and replica digest convergence.
 """
 
 from repro.workload.generators import (
     FacultyWorkload, PayrollWorkload, VersionWorkload, WorkloadStep,
     apply_workload,
 )
-from repro.workload.stress import StressReport, run_stress
+from repro.workload.stress import (ReplicatedReport, StressReport,
+                                   run_replicated, run_stress)
 
 __all__ = [
     "FacultyWorkload",
     "PayrollWorkload",
+    "ReplicatedReport",
     "StressReport",
     "VersionWorkload",
     "WorkloadStep",
     "apply_workload",
+    "run_replicated",
     "run_stress",
 ]

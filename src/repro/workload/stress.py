@@ -308,3 +308,343 @@ def run_stress(kind: Type[Database] = TemporalDatabase,
         recovery_is_durable_prefix=prefix_ok,
         manager_accepts_begin_after_run=accepts_begin,
     )
+
+
+# ---------------------------------------------------------------------------
+# Replicated chaos mode
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class ReplicatedReport:
+    """What one :func:`run_replicated` run did, and whether it held up."""
+
+    writers: int
+    transactions_per_writer: int
+    replicas: int
+    attempted: int
+    committed: int
+    shed: int
+    deadline_exceeded: int
+    failed: int
+    wall_s: float
+    #: A mid-run failover happened (``failover_at`` reached).
+    failover_performed: bool
+    #: The coordinator's digest audit of the promoted state (None when
+    #: no digest history covered the promoted seq; False is a failure).
+    promoted_prefix_verified: Optional[bool]
+    final_epoch: int
+    #: Sum of the counters on the surviving primary.
+    applied_increments: int
+    #: Commits acknowledged to a writer but absent from the surviving
+    #: primary's state.  Must be zero: failover drains the old primary's
+    #: full durable history before promotion.
+    lost_durable_commits: int
+    #: Every surviving replica reached the primary's seq and the exact
+    #: same canonical state digest.
+    replicas_converged: bool
+    replica_applied: Dict[str, int]
+    primary_seq: int
+    #: Replicas that latched a DivergenceError (must be zero).
+    diverged: int
+    #: All surviving replicas serve a read at the newest commit token,
+    #: and still refuse one past the primary's head.
+    read_your_writes_ok: bool
+    ryw_reads_lagging: int
+    ryw_reads_served: int
+    fenced_rejects: int
+    snapshots_loaded: int
+    duplicates_dropped: int
+    gaps_detected: int
+    #: The transport's fault tally (sent/dropped/duplicated/...).
+    transport: Dict[str, int]
+
+    @property
+    def ok(self) -> bool:
+        """All audited invariants held."""
+        return (self.lost_durable_commits == 0
+                and self.replicas_converged
+                and self.diverged == 0
+                and self.read_your_writes_ok
+                and (not self.failover_performed
+                     or self.promoted_prefix_verified is not False))
+
+    def describe(self) -> Dict[str, Any]:
+        """A plain dict (what ``repro replicate --json`` prints)."""
+        data = dataclasses.asdict(self)
+        data["ok"] = self.ok
+        return data
+
+
+def run_replicated(kind: Type[Database] = TemporalDatabase,
+                   replicas: int = 2, writers: int = 4,
+                   transactions: int = 40, keys: int = 8, seed: int = 0,
+                   drop: float = 0.05, duplicate: float = 0.05,
+                   reorder: float = 0.05, delay: float = 0.0,
+                   partition_at: Optional[int] = None,
+                   heal_at: Optional[int] = None,
+                   failover_at: Optional[int] = None,
+                   retry: Optional[RetryPolicy] = None,
+                   admission: Optional[AdmissionController] = None,
+                   convergence_rounds: int = 2000) -> ReplicatedReport:
+    """Writers on a primary, readers on replicas, faults on the wire.
+
+    *writers* threads run seeded increments through a
+    :class:`SessionLayer` on the primary while a pump thread streams the
+    journal to *replicas* replicas over a seeded
+    :class:`~repro.replication.transport.FaultyTransport` (``drop`` /
+    ``duplicate`` / ``reorder`` / ``delay`` probabilities).  The
+    ``*_at`` knobs are committed-transaction thresholds: at
+    ``partition_at`` the transport partitions the primary from the last
+    replica (healed at ``heal_at``, or at the end); at ``failover_at``
+    the writers are quiesced and the **first** replica is promoted
+    through :class:`~repro.replication.failover.FailoverCoordinator` —
+    the writers then resume against the promoted primary, epoch bumped,
+    old primary fenced.
+
+    The audit (see :class:`ReplicatedReport.ok`): zero acknowledged-but-
+    lost commits, every surviving replica converges to the primary's
+    exact canonical digest, nobody latched divergence, the promoted
+    state was digest-verified as a prefix of the old primary's history,
+    and read-your-writes tokens gate replica reads correctly.
+    """
+    from repro.replication import (FailoverCoordinator, FaultyTransport,
+                                   Primary, Replica, state_digest)
+    from repro.errors import ReplicaLagging, UnknownRelationError
+
+    if retry is None:
+        retry = RetryPolicy(max_attempts=10 * max(writers, 2),
+                            base_delay=0.0002, max_delay=0.002,
+                            jitter=0.5, seed=seed)
+    if admission is None:
+        admission = AdmissionController(max_active=max(2, writers),
+                                        max_queue=4 * writers)
+
+    transport = FaultyTransport(seed=seed, drop=drop, duplicate=duplicate,
+                                reorder=reorder, delay=delay)
+    database = kind(clock=SimulatedClock(_BASE))
+    primary = Primary("primary", database, transport)
+    _define_counters(database, keys)
+
+    replica_nodes = [Replica(f"replica-{i}", kind, transport, "primary")
+                     for i in range(replicas)]
+    for node in replica_nodes:
+        primary.add_replica(node.node_id)
+        node.request_catchup()
+
+    # Shared control state.  ``gate`` pauses the writers for failover;
+    # ``token_base`` maps a layer-local commit token to a global seq (a
+    # promoted primary's log may be only the tail of global history).
+    gate = threading.Condition()
+    state = {"layer": SessionLayer(database, retry=retry,
+                                   admission=admission),
+             "primary": primary, "paused": False, "in_flight": 0,
+             "token_base": 0, "serving": list(replica_nodes),
+             "failover": None}
+    counts_lock = threading.Lock()
+    counts = {"attempted": 0, "committed": 0, "shed": 0,
+              "deadline_exceeded": 0, "failed": 0,
+              "latest_token": 0, "ryw_lagging": 0, "ryw_served": 0}
+
+    def worker(worker_index: int) -> None:
+        rng = random.Random((seed << 16) ^ worker_index)
+        for _ in range(transactions):
+            closure = _increment_closure(rng, keys)
+            box: Dict[str, Any] = {}
+
+            def wrapped(session, _inner=closure, _box=box):
+                _box["session"] = session
+                return _inner(session)
+
+            with gate:
+                while state["paused"]:
+                    gate.wait()
+                state["in_flight"] += 1
+                layer_now = state["layer"]
+                base_now = state["token_base"]
+            outcome = "committed"
+            try:
+                layer_now.run(wrapped)
+            except Overloaded:
+                outcome = "shed"
+            except DeadlineExceeded:
+                outcome = "deadline_exceeded"
+            except ReproError:
+                outcome = "failed"
+            finally:
+                with gate:
+                    state["in_flight"] -= 1
+                    gate.notify_all()
+            token = None
+            if outcome == "committed" and "session" in box:
+                local = box["session"].commit_token
+                if local is not None:
+                    token = base_now + local
+            with counts_lock:
+                counts["attempted"] += 1
+                counts[outcome] += 1
+                if token is not None:
+                    counts["latest_token"] = max(counts["latest_token"],
+                                                 token)
+
+    def do_failover() -> None:
+        """Quiesce the writers, promote the first replica, resume."""
+        with gate:
+            state["paused"] = True
+            while state["in_flight"]:
+                gate.wait()
+            old = state["primary"]
+            victim = state["serving"][0]
+            others = [node for node in state["serving"]
+                      if node is not victim]
+            promoted, promotion = FailoverCoordinator(transport).promote(
+                victim, old_primary=old,
+                replicas=[node.node_id for node in others])
+            state["primary"] = promoted
+            state["layer"] = SessionLayer(promoted.database, retry=retry,
+                                          admission=admission)
+            state["token_base"] = promoted.floor
+            state["serving"] = others
+            state["failover"] = promotion
+            state["paused"] = False
+            gate.notify_all()
+
+    stop_pump = threading.Event()
+    triggers = {"partition": partition_at is None,
+                "heal": heal_at is None,
+                "failover": failover_at is None}
+
+    def fire_triggers() -> None:
+        with counts_lock:
+            committed = counts["committed"]
+        if (not triggers["partition"] and committed >= partition_at
+                and len(replica_nodes) > 1):
+            transport.partition(state["primary"].node_id,
+                                replica_nodes[-1].node_id)
+            triggers["partition"] = True
+        if not triggers["heal"] and committed >= heal_at:
+            transport.heal()
+            triggers["heal"] = True
+        if not triggers["failover"] and committed >= failover_at:
+            do_failover()
+            triggers["failover"] = True
+
+    def pump_once(beat: int) -> None:
+        current = state["primary"]
+        current.pump()
+        if beat % 5 == 0:
+            current.heartbeat()
+        with counts_lock:
+            token = counts["latest_token"]
+        for node in state["serving"]:
+            node.pump()
+            try:
+                node.read(RELATION, token=token or None)
+                served = True
+            except (ReplicaLagging, UnknownRelationError):
+                # UnknownRelation = so far behind even the schema-defining
+                # commit has not arrived yet; that is lag, not an error.
+                served = False
+            with counts_lock:
+                counts["ryw_served" if served else "ryw_lagging"] += 1
+
+    def pumper() -> None:
+        beat = 0
+        while not stop_pump.is_set():
+            fire_triggers()
+            pump_once(beat)
+            beat += 1
+            time.sleep(0)
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(writers)]
+    with obs.recording() as instrumentation:
+        started = time.monotonic()
+        pump_thread = threading.Thread(target=pumper, daemon=True)
+        pump_thread.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop_pump.set()
+        pump_thread.join()
+        # Late triggers the pump thread never saw (writers finished
+        # first), then heal everything and drain to convergence.
+        fire_triggers()
+        transport.heal()
+        final = state["primary"]
+        serving = state["serving"]
+        for round_index in range(convergence_rounds):
+            pump_once(round_index)
+            if all(node.applied_seq >= final.current_seq
+                   and not transport.pending(node.node_id)
+                   for node in serving):
+                break
+        final.heartbeat()
+        final.pump()
+        for node in serving:
+            node.pump()
+        wall = time.monotonic() - started
+    metrics = instrumentation.metrics.snapshot()["counters"]
+
+    # -- audit ---------------------------------------------------------------
+    applied = sum(row["v"] for row in final.database.snapshot(RELATION))
+    committed = counts["committed"]
+    lost = max(0, committed - applied)
+    primary_digest = state_digest(final.database)
+    converged = all(
+        node.applied_seq == final.current_seq
+        and state_digest(node.database) == primary_digest
+        for node in serving)
+    diverged = sum(1 for node in serving if node.diverged)
+
+    with counts_lock:
+        latest_token = counts["latest_token"]
+    ryw_ok = True
+    for node in serving:
+        try:
+            node.read(RELATION, token=latest_token or None)
+        except ReplicaLagging:
+            ryw_ok = False
+        try:
+            node.read(RELATION, token=final.current_seq + 1)
+        except ReplicaLagging as error:
+            ryw_ok = ryw_ok and error.retryable
+        else:
+            ryw_ok = False  # a future token must not be served
+
+    promotion = state["failover"]
+    transport_tally = {
+        name.rsplit(".", 1)[1]: count
+        for name, count in sorted(metrics.items())
+        if name.startswith("replication.transport.")}
+
+    return ReplicatedReport(
+        writers=writers,
+        transactions_per_writer=transactions,
+        replicas=replicas,
+        attempted=counts["attempted"],
+        committed=committed,
+        shed=counts["shed"],
+        deadline_exceeded=counts["deadline_exceeded"],
+        failed=counts["failed"],
+        wall_s=round(wall, 6),
+        failover_performed=promotion is not None,
+        promoted_prefix_verified=(promotion.prefix_verified
+                                  if promotion is not None else None),
+        final_epoch=final.epoch,
+        applied_increments=applied,
+        lost_durable_commits=lost,
+        replicas_converged=converged,
+        replica_applied={node.node_id: node.applied_seq
+                         for node in serving},
+        primary_seq=final.current_seq,
+        diverged=diverged,
+        read_your_writes_ok=ryw_ok,
+        ryw_reads_lagging=counts["ryw_lagging"],
+        ryw_reads_served=counts["ryw_served"],
+        fenced_rejects=metrics.get("replication.fenced_rejects", 0),
+        snapshots_loaded=metrics.get("replication.snapshots_loaded", 0),
+        duplicates_dropped=metrics.get("replication.duplicates_dropped", 0),
+        gaps_detected=metrics.get("replication.gaps_detected", 0),
+        transport=transport_tally,
+    )

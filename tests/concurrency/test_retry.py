@@ -135,3 +135,83 @@ class TestDeadlines:
 
         assert policy.call(overloaded_once) == "in"
         assert sleeps == [0.25]  # the hint beat the tiny exponential delay
+
+
+class TestMetrics:
+    """The retry loop reports shed load and attempt counts to obs."""
+
+    def _counters_and_histograms(self, instrumentation):
+        snapshot = instrumentation.metrics.snapshot()
+        return snapshot["counters"], snapshot["histograms"]
+
+    def test_overloaded_errors_are_counted_with_their_hints(self):
+        from repro import obs
+
+        policy, _, _ = make_policy(max_attempts=3, base_delay=0.001,
+                                   jitter=0.0)
+        calls = []
+
+        def overloaded_twice():
+            calls.append(True)
+            if len(calls) <= 2:
+                raise Overloaded("full", retry_after=0.25)
+            return "in"
+
+        with obs.recording() as instrumentation:
+            assert policy.call(overloaded_twice) == "in"
+        counters, histograms = self._counters_and_histograms(instrumentation)
+        assert counters["concurrency.overloaded"] == 2
+        hints = histograms["concurrency.retry_after_seconds"]
+        assert hints["count"] == 2
+        assert hints["max"] == pytest.approx(0.25)
+
+    def test_attempts_per_txn_records_the_final_attempt_count(self):
+        from repro import obs
+
+        policy, _, _ = make_policy(max_attempts=5, base_delay=0.001,
+                                   jitter=0.0)
+        calls = []
+
+        def conflict_twice():
+            calls.append(True)
+            if len(calls) <= 2:
+                raise ConflictError("again")
+            return "done"
+
+        with obs.recording() as instrumentation:
+            assert policy.call(conflict_twice) == "done"
+        _, histograms = self._counters_and_histograms(instrumentation)
+        attempts = histograms["concurrency.attempts_per_txn"]
+        assert attempts["count"] == 1  # one transaction...
+        assert attempts["max"] == 3    # ...that took three attempts
+
+    def test_exhaustion_still_records_the_attempts(self):
+        from repro import obs
+
+        policy, _, _ = make_policy(max_attempts=2, base_delay=0.001,
+                                   jitter=0.0)
+        with obs.recording() as instrumentation:
+            with pytest.raises(ConflictError):
+                policy.call(
+                    lambda: (_ for _ in ()).throw(ConflictError("x")))
+        _, histograms = self._counters_and_histograms(instrumentation)
+        assert histograms["concurrency.attempts_per_txn"]["max"] == 2
+
+    def test_overloaded_without_a_hint_skips_the_hint_histogram(self):
+        from repro import obs
+
+        policy, _, _ = make_policy(max_attempts=2, base_delay=0.001,
+                                   jitter=0.0)
+        calls = []
+
+        def overloaded_once():
+            calls.append(True)
+            if len(calls) == 1:
+                raise Overloaded("full")
+            return "in"
+
+        with obs.recording() as instrumentation:
+            assert policy.call(overloaded_once) == "in"
+        counters, histograms = self._counters_and_histograms(instrumentation)
+        assert counters["concurrency.overloaded"] == 1
+        assert "concurrency.retry_after_seconds" not in histograms

@@ -1,0 +1,238 @@
+"""Failover: promotion drains the durable prefix, epochs fence zombies.
+
+The guarantees under test (docs/REPLICATION.md):
+
+- the promoted state equals a *durable prefix* of the old primary's
+  commit order — with a reachable old primary, the *whole* history
+  (zero lost durable commits), digest-verified;
+- the new primary streams under a strictly greater epoch, every
+  follower adopts it, and records stamped with a deposed epoch are
+  rejected (zombie fencing);
+- ``read_epoch`` / ``write_epoch`` persist the fencing epoch for the
+  hand-operated ``repro promote`` path.
+"""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.core import TemporalDatabase
+from repro.errors import DivergenceError, StorageError
+from repro.replication import (EPOCH_FILE, FailoverCoordinator,
+                               FaultyTransport, InProcessTransport, Primary,
+                               Replica, read_epoch, state_digest,
+                               write_epoch)
+from repro.storage import DurabilityManager
+from repro.time import SimulatedClock
+
+from tests.storage.probes import drive_faculty, observations, paper_answers
+
+
+def cluster(replica_count=2):
+    # Zero-probability faults: honest delivery, but partitionable.
+    transport = FaultyTransport()
+    database = TemporalDatabase(clock=SimulatedClock(1))
+    primary = Primary("primary", database, transport)
+    replicas = [Replica(f"replica-{i}", TemporalDatabase, transport,
+                        "primary") for i in range(replica_count)]
+    for replica in replicas:
+        primary.add_replica(replica.node_id)
+    return database, primary, replicas, transport
+
+
+class TestPlannedFailover:
+    def test_promotion_drains_the_undelivered_tail(self):
+        database, primary, (victim, follower), transport = cluster()
+        drive_faculty(database, stop=5)
+        victim.pump()
+        follower.pump()
+        transport.partition("primary", "replica-0")
+        drive_faculty(database, start=5)  # 2 commits the victim never saw
+        transport.heal()
+        primary.heartbeat()
+
+        promoted, report = FailoverCoordinator(transport).promote(
+            victim, old_primary=primary, replicas=[follower.node_id])
+        assert report.drained == 2       # the partitioned-away tail
+        assert report.promoted_seq == 7 == report.old_seq
+        assert report.prefix_verified is True
+        assert report.epoch == 1 == promoted.epoch
+        assert primary.retired
+        reference = TemporalDatabase(clock=SimulatedClock(1))
+        drive_faculty(reference)
+        assert observations(promoted.database) == observations(reference)
+        assert paper_answers(promoted.database) == paper_answers(reference)
+
+    def test_followers_adopt_the_new_epoch_and_keep_following(self):
+        database, primary, (victim, follower), transport = cluster()
+        drive_faculty(database)
+        victim.pump()
+        follower.pump()
+        promoted, _ = FailoverCoordinator(transport).promote(
+            victim, old_primary=primary, replicas=[follower.node_id])
+        with obs.recording() as instrumentation:
+            follower.pump()  # the announce heartbeat carries epoch 1
+        counters = instrumentation.metrics.snapshot()["counters"]
+        assert counters["replication.epoch_adoptions"] == 1
+        assert follower.epoch == 1
+        assert follower.primary_id == promoted.node_id
+        # New writes on the promoted primary reach the follower.
+        clock = promoted.database.manager.clock.source
+        clock.set("06/01/85")
+        promoted.database.insert("faculty",
+                                 {"name": "Ada", "rank": "full"},
+                                 valid_from="06/01/85")
+        follower.pump()
+        assert follower.applied_seq == promoted.current_seq == 8
+        assert state_digest(follower.database) == \
+            state_digest(promoted.database)
+
+    def test_crash_failover_without_the_old_primary(self):
+        database, primary, (victim, follower), transport = cluster()
+        drive_faculty(database, stop=4)
+        victim.pump()
+        # The primary is gone: promote on the applied prefix alone.
+        promoted, report = FailoverCoordinator(transport).promote(
+            victim, replicas=[follower.node_id])
+        assert report.old_seq is None and report.drained == 0
+        assert report.promoted_seq == 4
+        assert report.prefix_verified is None  # no reference digest
+        assert promoted.epoch == 1
+
+    def test_promoting_a_diverged_replica_is_refused(self):
+        database, primary, (victim, follower), transport = cluster()
+        drive_faculty(database)
+        victim.pump()
+        clock = victim.database.manager.clock.source
+        clock.set("01/01/85")
+        victim.database.insert("faculty", {"name": "Evil", "rank": "full"},
+                               valid_from="01/01/85")
+        primary.heartbeat()
+        victim.pump()
+        assert victim.diverged
+        with pytest.raises(DivergenceError):
+            FailoverCoordinator(transport).promote(victim,
+                                                   old_primary=primary)
+
+    def test_promotion_audit_catches_silent_corruption(self):
+        # Same corruption, but no heartbeat reached the victim, so only
+        # the coordinator's own digest audit can catch it.
+        database, primary, (victim, follower), transport = cluster()
+        drive_faculty(database)
+        victim.pump()
+        clock = victim.database.manager.clock.source
+        clock.set("01/01/85")
+        victim.database.insert("faculty", {"name": "Evil", "rank": "full"},
+                               valid_from="01/01/85")
+        assert not victim.diverged  # nobody told it yet
+        with pytest.raises(DivergenceError):
+            FailoverCoordinator(transport).promote(victim,
+                                                   old_primary=primary)
+
+    def test_snapshot_drain_when_the_victim_is_below_the_floor(self,
+                                                               tmp_path):
+        # The old primary was checkpoint-recovered: it retains only the
+        # tail in memory.  A victim behind the floor is drained by
+        # snapshot first, then records.
+        directory = str(tmp_path / "dur")
+        manager = DurabilityManager(directory)
+        durable, _ = manager.recover(TemporalDatabase)
+        drive_faculty(durable, stop=5)
+        manager.checkpoint()
+        drive_faculty(durable, start=5)
+        recovered, report = DurabilityManager(directory).recover(
+            TemporalDatabase)
+        floor = report.records_total - len(recovered.log)
+        transport = InProcessTransport()
+        primary = Primary("primary", recovered, transport, floor=floor)
+        victim = Replica("replica-0", TemporalDatabase, transport, "primary")
+        primary.add_replica("replica-0")
+        assert victim.applied_seq == 0 < primary.floor == 5
+
+        promoted, promotion = FailoverCoordinator(transport).promote(
+            victim, old_primary=primary)
+        assert promotion.promoted_seq == 7
+        assert promotion.prefix_verified is True
+        assert promoted.floor == 7  # snapshot state carries no log tail
+        reference = TemporalDatabase(clock=SimulatedClock(1))
+        drive_faculty(reference)
+        assert observations(promoted.database) == observations(reference)
+
+
+class TestZombieFencing:
+    def test_zombie_records_are_rejected_by_epoch(self):
+        database, primary, (victim, follower), transport = cluster()
+        drive_faculty(database, stop=5)
+        victim.pump()
+        follower.pump()
+        promoted, _ = FailoverCoordinator(transport).promote(
+            victim, old_primary=primary, replicas=[follower.node_id])
+        follower.pump()  # adopt epoch 1
+        # The old primary never heard it was deposed ("retire" did not
+        # reach it): it keeps committing and streaming under epoch 0.
+        primary._retired = False
+        clock = database.manager.clock.source
+        clock.set("06/01/85")
+        database.insert("faculty", {"name": "Zombie", "rank": "assistant"},
+                        valid_from="06/01/85")
+        before = follower.applied_seq
+        with obs.recording() as instrumentation:
+            follower.pump()
+        counters = instrumentation.metrics.snapshot()["counters"]
+        assert counters["replication.fenced_rejects"] == 1
+        assert follower.applied_seq == before  # the zombie write is gone
+        assert not any(row["name"] == "Zombie"
+                       for row in follower.read("faculty"))
+
+    def test_adoption_discards_buffered_records_of_the_deposed_epoch(self):
+        database, primary, (victim, follower), transport = cluster()
+        drive_faculty(database, stop=3)
+        victim.pump()
+        follower.pump()
+        drive_faculty(database, start=3, stop=5)
+        # Withhold the first of the two queued records: the follower
+        # sees only the later one and buffers it against the gap.
+        deliveries = transport.receive("replica-1")
+        assert len(deliveries) == 2
+        source, payload = deliveries[1]
+        transport.send(source, "replica-1", payload)
+        follower.pump()
+        assert follower._buffer  # seq 4 waits for seq 3
+        victim.pump()
+        promoted, _ = FailoverCoordinator(transport).promote(
+            victim, old_primary=primary, replicas=[follower.node_id])
+        follower.pump()  # adopts epoch 1, clears the stale buffer
+        assert follower.epoch == 1
+        assert not follower._buffer
+        # The follower re-requests and converges on the new primary.
+        for _ in range(20):
+            if follower.applied_seq >= promoted.current_seq:
+                break
+            promoted.pump()
+            follower.pump()
+        assert state_digest(follower.database) == \
+            state_digest(promoted.database)
+
+
+class TestEpochFile:
+    def test_roundtrip(self, tmp_path):
+        directory = str(tmp_path / "dur")
+        assert read_epoch(directory) == 0  # absent means epoch zero
+        path = write_epoch(directory, 3)
+        assert os.path.basename(path) == EPOCH_FILE
+        assert read_epoch(directory) == 3
+        write_epoch(directory, 4)
+        assert read_epoch(directory) == 4
+
+    def test_garbage_is_a_typed_error(self, tmp_path):
+        directory = str(tmp_path / "dur")
+        os.makedirs(directory)
+        with open(os.path.join(directory, EPOCH_FILE), "w") as handle:
+            handle.write("not-an-epoch")
+        with pytest.raises(StorageError):
+            read_epoch(directory)
+
+    def test_negative_epochs_are_refused(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_epoch(str(tmp_path / "dur"), -1)

@@ -1,0 +1,119 @@
+"""The transport seam: honest delivery, then every injected misbehaviour.
+
+The fault injector must be *deterministic* — a fixed seed reproduces the
+exact fault schedule for a given message sequence — and every fault must
+map to a typed, retryable error (the protocol's promise that a hostile
+network can slow a replica down but never corrupt it).
+"""
+
+import pytest
+
+from repro.errors import ReplicationError, TransportError
+from repro.replication import (ALL_TRANSPORT_FAULTS, FAULT_ERRORS,
+                               FaultyTransport, InProcessTransport,
+                               TransportFault, fault_error)
+
+
+class TestInProcessTransport:
+    def test_per_target_fifo(self):
+        transport = InProcessTransport()
+        transport.send("a", "b", "one")
+        transport.send("a", "b", "two")
+        transport.send("a", "c", "other")
+        assert transport.receive("b") == [("a", "one"), ("a", "two")]
+        assert transport.receive("c") == [("a", "other")]
+        assert transport.receive("b") == []
+
+    def test_receive_limit(self):
+        transport = InProcessTransport()
+        for i in range(5):
+            transport.send("a", "b", str(i))
+        assert [line for _, line in transport.receive("b", limit=2)] == \
+            ["0", "1"]
+        assert transport.pending("b") == 3
+
+    def test_unknown_target_is_empty(self):
+        assert InProcessTransport().receive("nobody") == []
+
+
+class TestFaultDeterminism:
+    def test_same_seed_same_schedule(self):
+        def run(seed):
+            transport = FaultyTransport(seed=seed, drop=0.3, duplicate=0.3,
+                                        reorder=0.3)
+            for i in range(40):
+                transport.send("a", "b", f"m{i}")
+            return [line for _, line in transport.receive("b")]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)  # a different seed, a different schedule
+
+
+class TestEachFault:
+    def test_drop_loses_the_message(self):
+        transport = FaultyTransport(drop=1.0)
+        transport.send("a", "b", "gone")
+        assert transport.receive("b") == []
+        assert transport.pending("b") == 0
+
+    def test_duplicate_delivers_twice(self):
+        transport = FaultyTransport(duplicate=1.0)
+        transport.send("a", "b", "twice")
+        assert transport.receive("b") == [("a", "twice"), ("a", "twice")]
+
+    def test_reorder_jumps_the_queue(self):
+        transport = FaultyTransport(seed=0)
+        transport.send("a", "b", "first")
+        jumper = FaultyTransport(inner=transport._inner, reorder=1.0)
+        jumper.send("a", "b", "pushy")
+        assert [line for _, line in transport.receive("b")] == \
+            ["pushy", "first"]
+
+    def test_delay_holds_for_n_receive_rounds(self):
+        transport = FaultyTransport(delay=1.0, delay_rounds=2)
+        transport.send("a", "b", "late")
+        assert transport.pending("b") == 1  # held, but accounted for
+        assert transport.receive("b") == []          # round 1: still held
+        assert transport.receive("b") == [("a", "late")]  # round 2: due
+
+    def test_partition_is_symmetric_until_healed(self):
+        transport = FaultyTransport()
+        transport.partition("a", "b")
+        assert transport.partitioned("a", "b")
+        assert transport.partitioned("b", "a")
+        transport.send("a", "b", "x")
+        transport.send("b", "a", "y")
+        assert transport.receive("a") == []
+        assert transport.receive("b") == []
+        transport.send("a", "c", "ok")  # other links unaffected
+        assert transport.receive("c") == [("a", "ok")]
+        transport.heal("b", "a")
+        transport.send("a", "b", "through")
+        assert transport.receive("b") == [("a", "through")]
+
+    def test_heal_without_arguments_restores_every_link(self):
+        transport = FaultyTransport()
+        transport.partition("a", "b")
+        transport.partition("a", "c")
+        transport.heal()
+        assert not transport.partitioned("a", "b")
+        assert not transport.partitioned("a", "c")
+
+
+class TestFaultErrorMapping:
+    """Every fault kind surfaces as a typed, retryable replication error."""
+
+    @pytest.mark.parametrize("fault", ALL_TRANSPORT_FAULTS,
+                             ids=[f.value for f in ALL_TRANSPORT_FAULTS])
+    def test_every_fault_is_mapped_and_retryable(self, fault):
+        error_class = fault_error(fault)
+        assert error_class is FAULT_ERRORS[fault]
+        assert issubclass(error_class, ReplicationError)
+        assert error_class("injected").retryable is True
+
+    def test_the_mapping_covers_the_whole_enum(self):
+        assert set(FAULT_ERRORS) == set(TransportFault)
+
+    def test_unmapped_fault_raises(self):
+        with pytest.raises(TransportError):
+            fault_error("not-a-fault")

@@ -175,3 +175,47 @@ class TestInjector:
         assert crash_faculty(TemporalDatabase, directory, io)
         _, report = DurabilityManager(directory).recover(TemporalDatabase)
         assert report.records_total == 4  # died on the fifth append
+
+
+class TestTransportFaultMatrix:
+    """The wire-fault matrix, alongside the disk-fault matrix above.
+
+    Storage faults crash the process and are healed by recovery;
+    transport faults (see :mod:`repro.replication.transport`) never
+    crash anything — each kind surfaces as a typed *retryable* error so
+    callers can wait out the repair.  Fencing and divergence are the two
+    deliberate exceptions: retrying cannot fix a deposed primary or a
+    corrupted replica.
+    """
+
+    def test_every_transport_fault_maps_to_a_retryable_error(self):
+        from repro.errors import ReplicationError
+        from repro.replication import (ALL_TRANSPORT_FAULTS, fault_error)
+
+        for fault in ALL_TRANSPORT_FAULTS:
+            error_class = fault_error(fault)
+            error = error_class(f"injected {fault.value}")
+            assert isinstance(error, ReplicationError)
+            assert error.retryable is True
+
+    def test_fault_matrix_is_exhaustive(self):
+        from repro.replication import (ALL_TRANSPORT_FAULTS, FAULT_ERRORS,
+                                       TransportFault)
+
+        assert set(ALL_TRANSPORT_FAULTS) == set(TransportFault)
+        assert set(FAULT_ERRORS) == set(TransportFault)
+
+    def test_fencing_and_divergence_are_not_retryable(self):
+        from repro.errors import DivergenceError, FencedError
+
+        assert FencedError("deposed").retryable is False
+        assert DivergenceError("corrupt").retryable is False
+
+    def test_transport_faults_do_not_overlap_crash_points(self):
+        # The two matrices are disjoint vocabularies: a wire fault is
+        # never spelled like a disk crash point.
+        from repro.replication import ALL_TRANSPORT_FAULTS
+
+        wire = {fault.value for fault in ALL_TRANSPORT_FAULTS}
+        disk = {point.value for point in ALL_CRASH_POINTS}
+        assert not wire & disk

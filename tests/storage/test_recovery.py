@@ -151,12 +151,16 @@ class TestManagerMechanics:
         durable, _ = manager.recover(TemporalDatabase)
         drive_faculty(durable, stop=3)
         manager.checkpoint()
+        # Rotation creates the new segment eagerly (zero-length), so the
+        # directory names its live segment before the first append.
+        assert [start for start, _ in manager.segments()] == [0, 3]
         drive_faculty(durable, start=3, stop=5)
         assert [start for start, _ in manager.segments()] == [0, 3]
+        manager.checkpoint()
+        assert [start for start, _ in manager.segments()] == [0, 3, 5]
         # A checkpoint with no commits since the last one does not rotate.
         manager.checkpoint()
-        manager.checkpoint()
-        assert [start for start, _ in manager.segments()] == [0, 3]
+        assert [start for start, _ in manager.segments()] == [0, 3, 5]
         assert manager.checkpoints.indices() == [3, 5]
 
     def test_old_segments_can_be_pruned_after_checkpoint(self, directory):
@@ -253,4 +257,72 @@ class TestDamageHandling:
         assert report.records_replayed == 7
         reference = TemporalDatabase(clock=SimulatedClock(1))
         drive_faculty(reference)
+        assert observations(recovered) == observations(reference)
+
+
+class TestEmptyTrailingSegment:
+    """Regression: a crash between segment create and first append.
+
+    Checkpoint rotation creates the new segment eagerly, so a crash in
+    that window leaves a zero-length trailing segment file.  Recovery
+    must classify it as a clean (empty) tail — not damage — place the
+    next append correctly, and keep every durable record.
+    """
+
+    def test_rotation_crash_leaves_recoverable_empty_segment(self,
+                                                             directory):
+        manager = DurabilityManager(directory)
+        durable, _ = manager.recover(TemporalDatabase)
+        drive_faculty(durable, stop=4)
+        manager.checkpoint()  # rotates; creates journal-00000004.seg empty
+        start, live_path = manager.segments()[-1]
+        assert start == 4 and os.path.getsize(live_path) == 0
+        # "Crash" here: abandon the manager, recover the directory fresh.
+        recovered, report = DurabilityManager(directory).recover(
+            TemporalDatabase)
+        assert report.records_total == 4
+        assert report.records_replayed == 0
+        assert report.torn_bytes_truncated == 0
+        reference = TemporalDatabase(clock=SimulatedClock(1))
+        drive_faculty(reference, stop=4)
+        assert observations(recovered) == observations(reference)
+
+    def test_appends_after_recovery_land_in_the_empty_segment(self,
+                                                              directory):
+        manager = DurabilityManager(directory)
+        durable, _ = manager.recover(TemporalDatabase)
+        drive_faculty(durable, stop=4)
+        manager.checkpoint()
+        fresh = DurabilityManager(directory)
+        recovered, _ = fresh.recover(TemporalDatabase)
+        drive_faculty(recovered, start=4)
+        start, live_path = fresh.segments()[-1]
+        assert start == 4 and os.path.getsize(live_path) > 0
+        assert fresh.record_count == 7
+        again, report = DurabilityManager(directory).recover(TemporalDatabase)
+        assert report.records_total == 7
+        reference = TemporalDatabase(clock=SimulatedClock(1))
+        drive_faculty(reference)
+        assert observations(again) == observations(reference)
+
+    def test_zero_length_lone_segment_is_a_fresh_database(self, directory):
+        os.makedirs(directory)
+        open(os.path.join(directory, "journal-00000000.seg"), "wb").close()
+        recovered, report = DurabilityManager(directory).recover(
+            TemporalDatabase)
+        assert report.records_total == 0
+        assert report.segments_read == 1
+        assert recovered.relation_names() == []
+
+    def test_full_replay_tolerates_the_empty_tail_too(self, directory):
+        manager = DurabilityManager(directory)
+        durable, _ = manager.recover(TemporalDatabase)
+        drive_faculty(durable, stop=4)
+        manager.checkpoint()
+        recovered, report = DurabilityManager(directory).recover(
+            TemporalDatabase, use_checkpoint=False)
+        assert report.full_replay
+        assert report.records_total == 4
+        reference = TemporalDatabase(clock=SimulatedClock(1))
+        drive_faculty(reference, stop=4)
         assert observations(recovered) == observations(reference)
