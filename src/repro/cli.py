@@ -59,6 +59,14 @@ and the replication subsystem (see docs/REPLICATION.md)::
     repro promote --dir DIR                # durably bump the fencing
                                            # epoch of a directory
 
+and the sharded store (see docs/SHARDING.md)::
+
+    repro shard-stress                     # 4 shards x 8 sessions, audit
+    repro shard-stress --shards 8 --cross 0.3       # heavier 2PC mix
+    repro shard-stress --faults lost-record --dir DIR   # chaos + recovery
+    repro stats --shards 4                 # demo workload on a sharded
+                                           # store: per-shard metrics
+
 The database kind is read from the newest checkpoint when one exists;
 ``--kind`` decides it for journal-only or fresh directories.
 """
@@ -284,6 +292,9 @@ def build_repro_parser() -> argparse.ArgumentParser:
     add_common(stats)
     stats.add_argument("--json", action="store_true",
                        help="emit the snapshot as JSON instead of text")
+    stats.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="drive a sharded demo workload over N shards "
+                            "instead (surfaces the shard.<i>.* metrics)")
 
     trace = subparsers.add_parser(
         "trace", help="dump the recorded spans as JSON lines")
@@ -410,6 +421,55 @@ def build_repro_parser() -> argparse.ArgumentParser:
                                 "(default: never)")
     replicate.add_argument("--json", action="store_true",
                            help="emit the full report as JSON")
+
+    shard_stress = subparsers.add_parser(
+        "shard-stress", help="hammer a sharded store from concurrent "
+                             "sessions and audit the cross-shard "
+                             "invariants")
+    shard_stress.add_argument("--kind", choices=sorted(_KINDS),
+                              default="static",
+                              help="which kind of database to shard "
+                                   "(default: static)")
+    shard_stress.add_argument("--shards", type=int, default=4, metavar="N",
+                              help="shard count (default: 4)")
+    shard_stress.add_argument("--sessions", type=int, default=8, metavar="N",
+                              help="concurrent worker threads (default: 8)")
+    shard_stress.add_argument("--ops", type=int, default=100, metavar="N",
+                              help="transactions per session (default: 100)")
+    shard_stress.add_argument("--keys", type=int, default=16, metavar="N",
+                              help="keys per worker (default: 16)")
+    shard_stress.add_argument("--cross", type=float, default=0.1,
+                              metavar="P",
+                              help="cross-shard transfer probability "
+                                   "(default: 0.1)")
+    shard_stress.add_argument("--placement",
+                              choices=["scattered", "aligned"],
+                              default="scattered",
+                              help="key placement: scattered over all "
+                                   "shards or aligned worker-per-shard "
+                                   "(default: scattered)")
+    shard_stress.add_argument("--seed", type=int, default=0,
+                              help="workload and backoff-jitter seed "
+                                   "(default: 0)")
+    shard_stress.add_argument("--timeout", type=float, default=None,
+                              metavar="S",
+                              help="per-transaction deadline in seconds "
+                                   "(default: none)")
+    shard_stress.add_argument("--faults", default=None,
+                              choices=[point.value
+                                       for point in _append_points()],
+                              help="chaos mode: kill journal/2PC I/O at "
+                                   "this crash point, then audit recovery")
+    shard_stress.add_argument("--fault-at", type=int, default=50,
+                              metavar="N",
+                              help="which append dies in chaos mode — a "
+                                   "shard journal record, a prepare or "
+                                   "the decision (default: 50)")
+    shard_stress.add_argument("--dir", default=None, metavar="DIR",
+                              help="durability directory for chaos mode "
+                                   "(default: a temporary one)")
+    shard_stress.add_argument("--json", action="store_true",
+                              help="emit the full report as JSON")
 
     promote = subparsers.add_parser(
         "promote", help="promote a durability directory: recover it, "
@@ -553,6 +613,68 @@ def _repro_stress(args) -> int:
     return 0 if report.ok else 1
 
 
+def _repro_shard_stress(args) -> int:
+    """The ``repro shard-stress`` verb: run the sharded harness."""
+    import tempfile
+
+    from repro.storage.faults import CrashPoint
+    from repro.workload.sharded import run_sharded
+
+    faults = CrashPoint(args.faults) if args.faults else None
+
+    def run(directory):
+        return run_sharded(
+            kind=_KINDS[args.kind], shards=args.shards,
+            sessions=args.sessions, transactions=args.ops,
+            keys_per_session=args.keys, cross_ratio=args.cross,
+            seed=args.seed, placement=args.placement,
+            timeout=args.timeout, faults=faults, fault_at=args.fault_at,
+            directory=directory)
+
+    if faults is not None and args.dir is None:
+        with tempfile.TemporaryDirectory() as scratch:
+            report = run(scratch)
+    else:
+        report = run(args.dir) if faults is not None else run(None)
+
+    if args.json:
+        print(json.dumps(report.describe(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    print(f"shard-stress: {report.sessions} sessions x "
+          f"{report.transactions_per_session} transactions over "
+          f"{report.shards} shards of a {args.kind} database "
+          f"({report.wall_s:.3f}s, {report.placement} keys)")
+    print(f"  committed:          {report.committed} of {report.attempted} "
+          f"attempted ({report.tps:.0f} tps)")
+    print(f"  cross-shard:        {report.cross_shard_commits} committed "
+          f"through the two-phase protocol")
+    print(f"  conflicts retried:  {report.conflicts}")
+    print(f"  commit latency:     p50 {report.latency_p50_s * 1e6:.0f}us, "
+          f"p95 {report.latency_p95_s * 1e6:.0f}us, "
+          f"p99 {report.latency_p99_s * 1e6:.0f}us")
+    for entry in report.per_shard:
+        extra = (f", {entry['journal_bytes']} journal bytes"
+                 if "journal_bytes" in entry else "")
+        print(f"  shard {entry['shard']}:            "
+              f"{entry['commits']} commits, "
+              f"{entry['conflicts']} conflicts{extra}")
+    if faults is not None:
+        print(f"  crashed:            {report.crashed} worker(s) saw the "
+              f"injected crash")
+        print(f"  recovery:           {report.recovered_records} records, "
+              f"{report.recovery_reapplied} decided batches re-applied, "
+              f"{report.recovery_in_doubt_aborted} in-doubt rolled back")
+        print(f"  durable prefix:     {report.recovery_is_durable_prefix}")
+    print(f"  lost updates:       {report.lost_updates}")
+    print(f"  sum conservation:   delta {report.sum_delta:+d}")
+    print(f"  commit times:       "
+          f"{'strictly increasing' if report.commit_times_monotone else 'OUT OF ORDER'}")
+    print(f"  serial replay:      "
+          f"{'equivalent' if report.serial_equivalent else 'DIVERGED'}")
+    print(f"  audit: {'ok' if report.ok else 'FAILED'}")
+    return 0 if report.ok else 1
+
+
 def _repro_digest(args) -> int:
     """The ``repro digest`` verb: recover, print the canonical digest.
 
@@ -685,11 +807,67 @@ def _demo_workload(session: Session, clock: SimulatedClock) -> None:
             session.execute('retrieve (f.name, f.rank) sort by name')
 
 
+def _sharded_demo(shards: int) -> None:
+    """A small sharded workload: populates every ``shard.<i>.*`` metric.
+
+    Runs inside the caller's recording: durable store, per-shard
+    sessions with a deliberate same-key collision (conflicts), a
+    cross-shard transfer (the 2PC counters), then ``shard_stats()`` for
+    the journal-bytes and record gauges.
+    """
+    import tempfile
+
+    from repro.relational import Domain, Schema
+    from repro.sharding import ShardedDurabilityManager
+
+    with tempfile.TemporaryDirectory() as scratch:
+        manager = ShardedDurabilityManager(scratch, shards=shards)
+        store, _ = manager.recover(StaticDatabase)
+        for shard_db in store.shard_databases:
+            shard_db.manager.clock.source.set("01/01/77")
+        store.define("counters", Schema.of(key=["k"], k=Domain.STRING,
+                                           v=Domain.INTEGER))
+        keys = [f"k{i}" for i in range(8 * shards)]
+        for key in keys:
+            store.insert("counters", {"k": key, "v": 0})
+        layer = store.sessions()
+
+        def bump(key):
+            def closure(session):
+                row = session.get("counters", {"k": key})[0]
+                session.replace("counters", {"k": key},
+                                {"v": row["v"] + 1})
+            return closure
+
+        for key in keys:
+            layer.run(bump(key))
+        # one deliberate conflict: validate against a moved footprint
+        first, second = layer.begin(), layer.begin()
+        first.replace("counters", {"k": keys[0]}, {"v": 100})
+        second.replace("counters", {"k": keys[0]}, {"v": 200})
+        first.commit()
+        try:
+            second.commit()
+        except ReproError:
+            pass
+        # one cross-shard transfer through the two-phase protocol
+        pair = sorted(keys, key=lambda k: store.shard_of_key(
+            "counters", {"k": k}))
+        with store.begin() as txn:
+            store.replace("counters", {"k": pair[0]}, {"v": 1}, txn=txn)
+            store.replace("counters", {"k": pair[-1]}, {"v": 2}, txn=txn)
+        manager.shard_stats()
+
+
 def _instrumented_run(args):
     """Run the requested workload under a fresh recording; return it."""
     from repro import obs
     clock = SimulatedClock("01/01/77")
     session = Session(_KINDS[args.kind](clock=clock))
+    if getattr(args, "shards", None):
+        with obs.recording() as instrumentation:
+            _sharded_demo(args.shards)
+        return instrumentation
     with obs.recording() as instrumentation:
         if args.file is not None:
             with open(args.file, encoding="utf-8") as handle:
@@ -737,14 +915,15 @@ def repro_main(argv: Optional[list] = None) -> int:
     """Entry point for the ``repro`` console script."""
     args = build_repro_parser().parse_args(argv)
     if args.subcommand in ("recover", "checkpoint", "stress", "digest",
-                           "replicate", "promote"):
+                           "replicate", "promote", "shard-stress"):
         try:
             handler = {"recover": _repro_recover,
                        "checkpoint": _repro_checkpoint,
                        "stress": _repro_stress,
                        "digest": _repro_digest,
                        "replicate": _repro_replicate,
-                       "promote": _repro_promote}[args.subcommand]
+                       "promote": _repro_promote,
+                       "shard-stress": _repro_shard_stress}[args.subcommand]
             return handler(args)
         except (ReproError, OSError) as error:
             print(f"error: {error}", file=sys.stderr)

@@ -282,27 +282,7 @@ class Database(abc.ABC):
             snapshot = (dict(self._schemas), dict(self._constraints),
                         set(self._event_relations))
             try:
-                for op in operations:
-                    if op.action == "define":
-                        if op.relation in self._schemas:
-                            raise DuplicateRelationError(
-                                f"relation {op.relation!r} already exists"
-                            )
-                        self._schemas[op.relation] = op.arguments["schema"]
-                        self._constraints[op.relation] = list(
-                            op.arguments["constraints"])
-                        if op.arguments.get("event"):
-                            self._event_relations.add(op.relation)
-                        self._create_store(staged, op.relation,
-                                           op.arguments["schema"])
-                    elif op.action == "drop":
-                        self._require_defined(op.relation)
-                        del self._schemas[op.relation]
-                        del self._constraints[op.relation]
-                        self._event_relations.discard(op.relation)
-                        self._drop_store(staged, op.relation)
-                    else:
-                        self._apply_dml(staged, op, commit_time)
+                self._execute(staged, operations, commit_time)
                 self._install(staged)
             except Exception:
                 self._schemas, self._constraints, self._event_relations = \
@@ -313,6 +293,59 @@ class Database(abc.ABC):
                 self._versions[name] = self._versions.get(name, 0) + 1
         metrics.counter("commit.batches").inc()
         metrics.counter("commit.operations").inc(len(operations))
+
+    def _execute(self, staged: Any, operations: Sequence[Operation],
+                 commit_time: Instant) -> None:
+        """Run one batch against *staged* (shared by apply and rehearse).
+
+        Mutates the schema/constraint/event bookkeeping as it goes (DDL
+        must be visible to later operations of the same batch); the
+        caller snapshots that bookkeeping beforehand and restores it on
+        failure (:meth:`_apply`) or unconditionally (:meth:`rehearse`).
+        """
+        for op in operations:
+            if op.action == "define":
+                if op.relation in self._schemas:
+                    raise DuplicateRelationError(
+                        f"relation {op.relation!r} already exists"
+                    )
+                self._schemas[op.relation] = op.arguments["schema"]
+                self._constraints[op.relation] = list(
+                    op.arguments["constraints"])
+                if op.arguments.get("event"):
+                    self._event_relations.add(op.relation)
+                self._create_store(staged, op.relation,
+                                   op.arguments["schema"])
+            elif op.action == "drop":
+                self._require_defined(op.relation)
+                del self._schemas[op.relation]
+                del self._constraints[op.relation]
+                self._event_relations.discard(op.relation)
+                self._drop_store(staged, op.relation)
+            else:
+                self._apply_dml(staged, op, commit_time)
+
+    def rehearse(self, operations: Sequence[Operation],
+                 commit_time: Instant) -> None:
+        """Dry-run a batch: raise exactly when :meth:`_apply` would.
+
+        Runs the whole batch against a staged copy and then discards it
+        — no install, no version bump, no observable state change.  The
+        sharded store's two-phase commit rehearses each shard's part
+        during *prepare*, so a participant only votes yes for a batch it
+        can actually apply (a constraint violation surfaces before the
+        commit decision is journaled, never after another shard already
+        applied its part).  Callers must hold the commit serialization
+        lock for the answer to remain true at apply time.
+        """
+        staged = self._stage()
+        snapshot = (dict(self._schemas), dict(self._constraints),
+                    set(self._event_relations))
+        try:
+            self._execute(staged, operations, commit_time)
+        finally:
+            self._schemas, self._constraints, self._event_relations = \
+                snapshot
 
     # -- observability -----------------------------------------------------------------------------
 

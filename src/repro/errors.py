@@ -146,6 +146,36 @@ class Overloaded(ConcurrencyError):
 
 
 # ---------------------------------------------------------------------------
+# Sharding
+# ---------------------------------------------------------------------------
+
+class ShardingError(TransactionError):
+    """Base class for the sharded store (docs/SHARDING.md)."""
+
+
+class ShardRoutingError(ShardingError):
+    """An operation cannot be routed to a shard.
+
+    Raised for updates that would move a row between shards — a
+    ``replace`` whose updates rewrite a primary-key attribute — because
+    rows live on the shard their key hashes to and a silent migration
+    would strand the row where later key lookups cannot find it.  Not
+    retryable: the operation itself is malformed for a sharded store
+    (use delete + insert).
+    """
+
+
+class ShardConfigError(ShardingError):
+    """A sharded directory's layout disagrees with the request.
+
+    Raised when the shard count or partitioning scheme recorded in the
+    directory's ``shards.json`` does not match what the caller asked
+    for — re-partitioning is an explicit migration, never an implicit
+    reinterpretation of existing journal directories.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Replication
 # ---------------------------------------------------------------------------
 

@@ -103,7 +103,7 @@ class _Timer:
 
 
 class Histogram:
-    """Raw-sample histogram with p50/p95/max summaries.
+    """Raw-sample histogram with p50/p95/p99/max summaries.
 
     Keeps every observation (these are process-local diagnostics, not a
     long-running telemetry pipeline); :meth:`summary` sorts once and
@@ -135,16 +135,17 @@ class Histogram:
         return list(self._values)
 
     def summary(self) -> Dict[str, float]:
-        """``{count, total, p50, p95, max}`` over the samples so far."""
+        """``{count, total, p50, p95, p99, max}`` over the samples so far."""
         if not self._values:
             return {"count": 0, "total": 0.0, "p50": 0.0, "p95": 0.0,
-                    "max": 0.0}
+                    "p99": 0.0, "max": 0.0}
         ordered = sorted(self._values)
         return {
             "count": len(ordered),
             "total": float(sum(ordered)),
             "p50": quantile(ordered, 0.50),
             "p95": quantile(ordered, 0.95),
+            "p99": quantile(ordered, 0.99),
             "max": float(ordered[-1]),
         }
 

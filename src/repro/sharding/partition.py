@@ -1,0 +1,123 @@
+"""Stable hash partitioning: which shard owns a row.
+
+The sharded store (:mod:`repro.sharding.store`) splits every relation
+across N shards by **primary key**: a row lives on the shard its key
+hashes to, forever.  Two properties make that sound:
+
+- **Stability.**  The hash is :func:`zlib.crc32` over the canonical
+  JSON of the key values (encoded with the same tagged-value scheme the
+  journal uses, so instants and periods hash identically before and
+  after a recovery round-trip).  Python's builtin ``hash()`` is salted
+  per process (``PYTHONHASHSEED``) and is therefore banned from every
+  partitioning and digest path — a shard assignment must survive
+  interpreter restarts, or recovery would scatter rows
+  (``tests/sharding/test_partition.py`` pins this with a subprocess).
+- **Determinism of routing.**  Any operation that names its full key
+  routes to exactly one shard; anything else (a partial-key delete, a
+  keyless relation's ops, DDL) is a *broadcast* touching every shard.
+  A ``replace`` that rewrites a key attribute raises
+  :class:`~repro.errors.ShardRoutingError` — rows never migrate between
+  shards (use delete + insert).
+
+Keyless relations are pinned whole to shard 0: without a declared key
+there is no stable row identity to hash, so splitting them would make
+``replace``/``delete`` semantics shard-order dependent.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from repro.errors import ShardRoutingError
+from repro.storage.serializer import encode_value
+from repro.txn.transaction import Operation
+
+#: The partitioning scheme tag recorded in ``shards.json``; bump it if
+#: the hash function or routing rules ever change incompatibly.
+SCHEME = "crc32-key-mod"
+
+
+def stable_hash(values: Sequence[Any]) -> int:
+    """A process-independent 32-bit hash of a key-value sequence.
+
+    CRC32 over the canonical (sorted-key, tagged) JSON of the values.
+    Deliberately *not* Python's salted ``hash()``: equal inputs hash
+    equal across interpreter restarts and machines.
+    """
+    payload = json.dumps([encode_value(value) for value in values],
+                         sort_keys=True, ensure_ascii=False)
+    return zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+
+
+class Partitioner:
+    """Routes keys and operations to one of ``shards`` shards."""
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError("a sharded store needs at least 1 shard")
+        self.shards = shards
+
+    # -- key routing -----------------------------------------------------------
+
+    def shard_of_key(self, key_values: Sequence[Any]) -> int:
+        """The shard owning the row with these primary-key values."""
+        if self.shards == 1:
+            return 0
+        return stable_hash(key_values) % self.shards
+
+    def shard_of_values(self, key_attrs: Sequence[str],
+                        values: Mapping[str, Any]) -> Optional[int]:
+        """The owning shard, or ``None`` when *values* misses key attrs.
+
+        Keyless relations (empty *key_attrs*) are pinned to shard 0.
+        """
+        if not key_attrs:
+            return 0
+        if not all(attr in values for attr in key_attrs):
+            return None
+        return self.shard_of_key([values[attr] for attr in key_attrs])
+
+    # -- operation routing ------------------------------------------------------
+
+    def shard_of_operation(self, key_attrs: Sequence[str],
+                           op: Operation) -> Optional[int]:
+        """The single shard *op* touches, or ``None`` for a broadcast.
+
+        DDL (``define``/``drop``) always broadcasts — every shard holds
+        every relation's schema.  An ``insert`` routes by its values; a
+        ``delete``/``replace`` routes by its match when the match pins
+        the full key, and broadcasts otherwise.  A ``replace`` whose
+        updates rewrite a key attribute to a *different* value raises
+        :class:`~repro.errors.ShardRoutingError`.
+        """
+        if op.action in ("define", "drop"):
+            return None
+        if op.action == "insert":
+            values = op.arguments.get("values", {})
+            return self.shard_of_values(key_attrs, values)
+        if op.action in ("delete", "replace"):
+            match = op.arguments.get("match") or {}
+            if op.action == "replace":
+                updates = op.arguments.get("updates", {})
+                for attr in key_attrs:
+                    if attr in updates and (attr not in match
+                                            or updates[attr] != match[attr]):
+                        raise ShardRoutingError(
+                            f"replace on {op.relation!r} rewrites key "
+                            f"attribute {attr!r}; rows never migrate "
+                            f"between shards — delete and re-insert "
+                            f"instead")
+            if not key_attrs:
+                return 0
+            return self.shard_of_values(key_attrs, match)
+        # Unknown actions are conservatively broadcast.
+        return None
+
+    def describe(self) -> Dict[str, Any]:
+        """The metadata recorded in a sharded directory's ``shards.json``."""
+        return {"shards": self.shards, "scheme": SCHEME}
+
+    def __repr__(self) -> str:
+        return f"Partitioner(shards={self.shards})"

@@ -1,0 +1,214 @@
+"""Optimistic sessions with per-shard footprints over the sharded store.
+
+The unsharded session layer validates at **relation** granularity: two
+sessions writing different keys of the same relation conflict, and the
+retry layer absorbs the false sharing (docs/CONCURRENCY.md).  Sharding
+cuts that sharing by construction: a :class:`ShardedSession` records its
+footprint per ``relation@shard``, so sessions whose keys hash to
+different shards of the same relation neither conflict nor even share a
+commit lock — they validate and apply through entirely disjoint
+pipelines.  This is where the sharded store's throughput comes from
+(benchmarks/run_bench.py's ``sharding`` section measures exactly it).
+
+Commit routing: the session's written shards and read shards are
+unioned; one involved shard takes the single-shard fast path (that
+shard's lock only), several run the coordinator's two-phase protocol
+(:mod:`repro.sharding.coordinator`).  Either way validation runs under
+*all* involved locks, atomically with the apply it guards, so
+first-committer-wins holds exactly as in the unsharded layer — per
+shard.
+
+Reads: :meth:`ShardedSession.get` is the targeted read — it touches and
+reads only the owning shard, keeping a single-key transaction's
+footprint on one shard.  The inherited whole-relation reads
+(``read``/``timeslice``/``rollback``) remain available; they touch
+*every* shard and therefore conflict with any commit to the relation,
+which is the correct (conservative) footprint for a merged read.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Mapping, Optional
+
+from repro.concurrency.layer import SessionLayer
+from repro.concurrency.session import ConcurrentSession, SessionStatus
+from repro.errors import ConflictError, DeadlineExceeded
+from repro.obs import runtime as _obs
+from repro.relational.tuple import Tuple as Row
+from repro.time.instant import Instant
+from repro.txn.transaction import Operation
+
+
+def _footprint_key(name: str, shard: int) -> str:
+    return f"{name}@{shard}"
+
+
+class ShardedSession(ConcurrentSession):
+    """One optimistic transaction with a ``relation@shard`` footprint."""
+
+    # -- footprint ---------------------------------------------------------------
+
+    def touch(self, name: str) -> None:
+        """Record *name* on **every** shard (a whole-relation dependency)."""
+        for shard in range(self._database.shards):
+            self.touch_shard(name, shard)
+
+    def touch_shard(self, name: str, shard: int) -> None:
+        """Record *name* on one shard at that shard's current version."""
+        key = _footprint_key(name, shard)
+        if key not in self._footprint:
+            self._footprint[key] = self._database.shard_relation_version(
+                name, shard)
+
+    def conflicts(self) -> List[str]:
+        """Touched ``relation@shard`` entries whose version has moved."""
+        stale: List[str] = []
+        for key, version in self._footprint.items():
+            name, _, shard = key.rpartition("@")
+            if self._database.shard_relation_version(
+                    name, int(shard)) != version:
+                stale.append(key)
+        return sorted(stale)
+
+    def footprint_shards(self) -> List[int]:
+        """Every shard id appearing in the footprint, ascending."""
+        return sorted({int(key.rpartition("@")[2])
+                       for key in self._footprint})
+
+    # -- writes ------------------------------------------------------------------
+
+    def add(self, operation: Operation) -> None:
+        """Buffer one operation, touching exactly the shards it routes to."""
+        self._require_active()
+        database = self._database
+        if operation.action in ("define", "drop"):
+            target: Optional[int] = None
+        else:
+            target = database.partitioner.shard_of_operation(
+                database.schema(operation.relation).key, operation)
+        if target is None:
+            self.touch(operation.relation)  # broadcast: every shard
+        else:
+            self.touch_shard(operation.relation, target)
+        self._operations.append(operation)
+
+    # The base class's DML methods pre-touch the whole relation before
+    # handing the database the ``txn=`` seam; here that would broadcast
+    # every keyed write to all shards and reintroduce exactly the false
+    # sharing this layer exists to remove.  Route through :meth:`add`
+    # alone — it touches the shards the operation actually lands on.
+
+    def insert(self, name: str, values: Mapping[str, Any],
+               **valid_bounds: Any) -> None:
+        self._require_active()
+        self._database.insert(name, values, txn=self, **valid_bounds)
+
+    def delete(self, name: str, match: Optional[Mapping[str, Any]] = None,
+               **valid_bounds: Any) -> None:
+        self._require_active()
+        self._database.delete(name, match, txn=self, **valid_bounds)
+
+    def replace(self, name: str, match: Mapping[str, Any],
+                updates: Mapping[str, Any], **valid_bounds: Any) -> None:
+        self._require_active()
+        self._database.replace(name, match, updates, txn=self,
+                               **valid_bounds)
+
+    # -- reads -------------------------------------------------------------------
+
+    def _consistent(self, compute: Callable[[], Any]) -> Any:
+        # The sharded store's query methods already run under per-shard
+        # locks inside a coordinator consistent cut; wrapping them in a
+        # further certify would lock all shards for no added guarantee.
+        return compute()
+
+    def get(self, name: str, key: Mapping[str, Any]) -> List[Row]:
+        """The rows of *name* matching *key*, read from their shard only.
+
+        *key* must pin the relation's full primary key (else
+        :class:`~repro.errors.ShardConfigError`): the point is a
+        single-shard footprint.  Returns the matching rows of that
+        shard's current snapshot (at most one under a key constraint).
+        """
+        database = self._database
+        shard = database.shard_of_key(name, key)
+        self.touch_shard(name, shard)
+        shard_db = database.shard_databases[shard]
+        holder: List[Any] = []
+        shard_db.manager.certify(
+            lambda: holder.append(shard_db.snapshot(name)))
+        return [row for row in holder[0]
+                if all(row[attr] == value for attr, value in key.items())]
+
+
+class ShardedSessionLayer(SessionLayer):
+    """Concurrent optimistic sessions over a :class:`ShardedDatabase`.
+
+    Same admission/retry/deadline envelope as the base layer; only the
+    session class and the commit path differ.  Commit tokens are the
+    store's **vector tokens** — per-shard commit-log lengths — because a
+    single integer cannot say which shard's replica must catch up
+    (docs/SHARDING.md).
+    """
+
+    def begin(self) -> ShardedSession:
+        with self._id_lock:
+            session_id = self._next_id
+            self._next_id += 1
+        _obs.current().metrics.counter("concurrency.sessions").inc()
+        return ShardedSession(self, session_id)
+
+    def commit_session(self, session: ConcurrentSession,
+                       deadline: Optional[float] = None,
+                       ) -> Optional[Instant]:
+        """Validate per ``relation@shard`` and commit through the router.
+
+        Mirrors the base layer's contract (first-committer-wins under
+        the locks, :class:`~repro.errors.DeadlineExceeded` past the
+        deadline, read-only sessions certify without committing) with
+        the locks scoped to the involved shards only.
+        """
+        metrics = _obs.current().metrics
+        if deadline is not None and self._clock() >= deadline:
+            session._status = SessionStatus.ABORTED
+            raise DeadlineExceeded(
+                f"session {session.session_id} reached its deadline "
+                f"before commit; aborting instead of committing late")
+
+        def validate() -> None:
+            stale = session.conflicts()
+            if stale:
+                metrics.counter("concurrency.conflicts").inc()
+                for key in stale:
+                    metrics.counter(
+                        f"shard.{key.rpartition('@')[2]}.conflicts").inc()
+                raise ConflictError(
+                    f"session {session.session_id} lost first-committer-"
+                    f"wins validation: {', '.join(stale)} changed since "
+                    f"it began", relations=stale)
+
+        database = self.database
+        coordinator = database.coordinator
+        involved = session.footprint_shards()
+        try:
+            if not session.operations:
+                # Read-only: certify the footprint under exactly the
+                # involved shards' locks; no commit record anywhere.
+                coordinator.commit({}, lock_shards=involved,
+                                   validate=validate)
+                session._status = SessionStatus.COMMITTED
+                session._commit_token = database.log.vector()
+                return None
+            with metrics.histogram("concurrency.commit_seconds").time():
+                grouped = coordinator.group(session.operations,
+                                            database.schema)
+                times = coordinator.commit(grouped, lock_shards=involved,
+                                           validate=validate)
+        except Exception:
+            session._status = SessionStatus.ABORTED
+            raise
+        session._status = SessionStatus.COMMITTED
+        session._commit_time = max(times.values()) if times else None
+        session._commit_token = database.log.vector()
+        metrics.counter("concurrency.commits").inc()
+        return session._commit_time

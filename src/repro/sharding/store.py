@@ -1,0 +1,447 @@
+"""The sharded database: one logical store over N per-shard databases.
+
+A :class:`ShardedDatabase` presents the same surface as a single
+:class:`~repro.core.base.Database` of any of the four taxonomy kinds —
+``define``/``drop``, the kind's DML (valid-time keywords included),
+``begin()`` transactions, ``snapshot``/``rollback``/``timeslice``/
+``history`` queries, ``sessions()`` — but stores every relation
+partitioned by primary key across N independent shard databases
+(:mod:`repro.sharding.partition`).  Each shard is a complete database of
+the same kind with its *own* transaction manager, commit lock, clock,
+commit log, journal stream and index cache, which is the whole point:
+transactions that touch one shard commit through that shard's pipeline
+alone, in parallel with every other shard (docs/SHARDING.md).
+
+Semantics kept, and one deliberately weakened:
+
+- **Schemas are global.**  DDL broadcasts — every shard holds every
+  relation's schema — so routing can always consult shard 0's catalog.
+- **Set semantics are exact.**  A row's key hashes to exactly one shard,
+  so merged snapshots contain each logical row once; key constraints
+  hold globally because both rows of any would-be duplicate key land on
+  the same shard.
+- **Declared non-key constraints become per-shard.**  A check constraint
+  sees only its shard's rows; cross-row predicates (e.g. aggregates)
+  therefore weaken to per-shard assertions — the documented trade.
+- **Transaction time is per-shard.**  Each shard's clock assigns its own
+  strictly-increasing commit times.  A cross-shard transaction's parts
+  commit at slightly different instants on different shards, so a
+  ``rollback`` *as of* an instant inside that tiny window can see the
+  transaction on some shards and not others.  Current-state reads are
+  never affected (the coordinator's consistent cuts cover them); the
+  2PC decision log remains the authority on atomicity after a crash.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple as PyTuple, Type)
+
+from repro.core.base import Database, InstantLike
+from repro.core.temporal import TemporalDatabase
+from repro.errors import DuplicateRelationError, ShardConfigError
+from repro.obs import runtime as _obs
+from repro.relational.constraints import Constraint
+from repro.relational.schema import Schema
+from repro.sharding.coordinator import ShardCoordinator
+from repro.sharding.partition import Partitioner
+from repro.time.clock import Clock
+from repro.time.instant import Instant
+from repro.txn.log import CommitRecord
+from repro.txn.transaction import Operation, Transaction
+
+
+class _OpRecorder:
+    """A ``txn=`` stand-in that captures operations instead of running them.
+
+    The kind databases validate arguments and build the
+    :class:`Operation` inside their DML methods, then hand it to
+    ``txn.add`` when a transaction is given.  Passing a recorder reuses
+    all of that validation while leaving the commit to the sharded
+    router.
+    """
+
+    __slots__ = ("ops",)
+
+    def __init__(self) -> None:
+        self.ops: List[Operation] = []
+
+    def add(self, operation: Operation) -> None:
+        self.ops.append(operation)
+
+
+class ShardLog:
+    """A read-only, merged view of the per-shard commit logs.
+
+    ``len()`` is the total commit count; iteration yields every shard's
+    records ordered by commit time (ties broken by shard id), which is a
+    *possible* serial order — per-shard order is exact, cross-shard
+    interleaving is reconstructed from timestamps.  :meth:`vector` is
+    the per-shard log lengths: the sharded store's commit token
+    (docs/SHARDING.md).
+    """
+
+    def __init__(self, shard_dbs: Sequence[Database]) -> None:
+        self._shards = shard_dbs
+
+    def vector(self) -> PyTuple[int, ...]:
+        """Per-shard commit counts — the vector commit token."""
+        return tuple(len(db.log) for db in self._shards)
+
+    def __len__(self) -> int:
+        return sum(len(db.log) for db in self._shards)
+
+    def __iter__(self):
+        tagged: List[PyTuple[Instant, int, CommitRecord]] = []
+        for sid, db in enumerate(self._shards):
+            for record in db.log.records:
+                tagged.append((record.commit_time, sid, record))
+        tagged.sort(key=lambda item: (item[0], item[1]))
+        return iter([record for _, _, record in tagged])
+
+    @property
+    def records(self):
+        """The merged records, oldest commit time first."""
+        return tuple(self)
+
+    def __repr__(self) -> str:
+        return f"ShardLog({self.vector()})"
+
+
+class ShardedDatabase:
+    """One logical database of any kind, hash-partitioned over N shards.
+
+    ``factory`` is the kind class (:class:`TemporalDatabase` by
+    default); each shard is ``factory(clock=clock, index=index)``, all
+    sharing the base *clock* but each owning its transaction clock and
+    manager.  Use :meth:`from_shards` to wrap pre-built shard databases
+    (recovery does).
+    """
+
+    def __init__(self, factory: Type[Database] = TemporalDatabase,
+                 shards: int = 4, clock: Optional[Clock] = None,
+                 index: bool = True) -> None:
+        shard_dbs = [factory(clock=clock, index=index)
+                     for _ in range(shards)]
+        self._init_from(shard_dbs)
+
+    @classmethod
+    def from_shards(cls, shard_dbs: Sequence[Database]) -> "ShardedDatabase":
+        """Wrap existing per-shard databases (they must agree on kind)."""
+        if not shard_dbs:
+            raise ShardConfigError("a sharded store needs at least 1 shard")
+        kinds = {type(db) for db in shard_dbs}
+        if len(kinds) > 1:
+            raise ShardConfigError(
+                f"shards disagree on database kind: "
+                f"{sorted(k.__name__ for k in kinds)}")
+        store = cls.__new__(cls)
+        store._init_from(list(shard_dbs))
+        return store
+
+    def _init_from(self, shard_dbs: List[Database]) -> None:
+        self._shards = shard_dbs
+        self.partitioner = Partitioner(len(shard_dbs))
+        self.coordinator = ShardCoordinator(shard_dbs, self.partitioner)
+        self._log = ShardLog(shard_dbs)
+        self._txn_lock = threading.Lock()
+        self._next_txn_id = 1
+
+    # -- shape ------------------------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        """How many shards the store is partitioned over."""
+        return len(self._shards)
+
+    @property
+    def shard_databases(self) -> List[Database]:
+        """The per-shard databases, in shard order (a copy)."""
+        return list(self._shards)
+
+    @property
+    def kind(self):
+        """The taxonomy kind (shared by every shard)."""
+        return self._shards[0].kind
+
+    @property
+    def supports_rollback(self) -> bool:
+        return self._shards[0].supports_rollback
+
+    @property
+    def supports_historical_queries(self) -> bool:
+        return self._shards[0].supports_historical_queries
+
+    @property
+    def manager(self) -> ShardCoordinator:
+        """The coordinator — the store's manager-shaped commit seam."""
+        return self.coordinator
+
+    @property
+    def log(self) -> ShardLog:
+        """The merged commit-log view (per-shard logs stay authoritative)."""
+        return self._log
+
+    def now(self) -> Instant:
+        """The store's *now*: the latest of the shard clocks."""
+        return self.coordinator.now()
+
+    # -- catalog (delegated to shard 0; DDL broadcasts keep all equal) -----------
+
+    def relation_names(self) -> List[str]:
+        return self._shards[0].relation_names()
+
+    def schema(self, name: str) -> Schema:
+        return self._shards[0].schema(name)
+
+    def constraints(self, name: str) -> PyTuple[Constraint, ...]:
+        return self._shards[0].constraints(name)
+
+    def is_event_relation(self, name: str) -> bool:
+        return self._shards[0].is_event_relation(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._shards[0]
+
+    def shard_of_key(self, name: str, values: Mapping[str, Any]) -> int:
+        """The shard owning the row of *name* keyed by *values*.
+
+        Raises :class:`~repro.errors.ShardConfigError` when *values*
+        does not pin the relation's full key.
+        """
+        target = self.partitioner.shard_of_values(
+            self.schema(name).key, values)
+        if target is None:
+            raise ShardConfigError(
+                f"values {sorted(values)} do not pin the key "
+                f"{list(self.schema(name).key)} of {name!r}")
+        return target
+
+    def relation_version(self, name: str) -> int:
+        """Committed batches that touched *name*, summed over shards.
+
+        A single-shard commit bumps exactly one shard's counter, so the
+        sum moves iff *some* shard's version moved — the relation-level
+        conflict signal.  Per-shard granularity is
+        :meth:`shard_relation_version`.
+        """
+        return sum(db.relation_version(name) for db in self._shards)
+
+    def shard_relation_version(self, name: str, shard: int) -> int:
+        """Committed batches that touched *name* on one shard."""
+        return self._shards[shard].relation_version(name)
+
+    def spread(self, name: str) -> List[int]:
+        """Current row count of *name* per shard (balance diagnostics)."""
+        parts = self._read_all(lambda db: len(db.snapshot(name)))
+        return list(parts)
+
+    # -- DDL (broadcast) ---------------------------------------------------------
+
+    def define(self, name: str, schema: Schema,
+               constraints: Sequence[Constraint] = (),
+               event: bool = False) -> Instant:
+        """Create a relation on every shard; one broadcast transaction."""
+        lead = self._shards[0]
+        if event:
+            lead.require_historical("an event relation")
+        from repro.core.temporal_constraints import TemporalConstraint
+        if any(isinstance(c, TemporalConstraint) for c in constraints):
+            lead.require_historical("a temporal constraint")
+        if name in lead:
+            raise DuplicateRelationError(f"relation {name!r} already exists")
+        op = Operation("define", name,
+                       {"schema": schema, "constraints": tuple(constraints),
+                        "event": event})
+        return self._run([op])
+
+    def drop(self, name: str) -> Instant:
+        """Remove a relation (and its history) from every shard."""
+        self._shards[0].schema(name)  # raises UnknownRelationError
+        return self._run([Operation("drop", name, {})])
+
+    # -- DML (validated by shard 0, routed by the coordinator) -------------------
+
+    def _capture(self, method: str, name: str, *args: Any,
+                 **kwargs: Any) -> List[Operation]:
+        """Run a kind DML method against a recorder; return the ops.
+
+        All argument validation (schema checks, valid-time rules, event
+        relations) happens in the kind method exactly as unsharded.
+        """
+        recorder = _OpRecorder()
+        getattr(self._shards[0], method)(name, *args, txn=recorder, **kwargs)
+        return recorder.ops
+
+    def _dispatch(self, ops: Sequence[Operation],
+                  txn: Optional[Transaction]) -> Optional[Instant]:
+        if txn is not None:
+            for op in ops:
+                txn.add(op)
+            return None
+        return self._run(ops)
+
+    def _run(self, ops: Sequence[Operation]) -> Instant:
+        if not ops:
+            # An empty transaction still commits (and ticks) somewhere;
+            # pin it to shard 0 like everything else without a key.
+            return self._shards[0].manager.run([])
+        time = self.coordinator.run(ops, schema_of=self.schema)
+        assert time is not None
+        return time
+
+    def insert(self, name: str, values: Mapping[str, Any],
+               txn: Optional[Transaction] = None,
+               **valid_bounds: Any) -> Optional[Instant]:
+        """Insert one row on its owning shard (kind keywords pass through)."""
+        return self._dispatch(
+            self._capture("insert", name, values, **valid_bounds), txn)
+
+    def delete(self, name: str, match: Optional[Mapping[str, Any]] = None,
+               txn: Optional[Transaction] = None,
+               **valid_bounds: Any) -> Optional[Instant]:
+        """Delete matching rows (one shard when *match* pins the key)."""
+        return self._dispatch(
+            self._capture("delete", name, match, **valid_bounds), txn)
+
+    def replace(self, name: str, match: Mapping[str, Any],
+                updates: Mapping[str, Any],
+                txn: Optional[Transaction] = None,
+                **valid_bounds: Any) -> Optional[Instant]:
+        """Replace matching rows' attributes; key rewrites are rejected
+        (:class:`~repro.errors.ShardRoutingError` — rows never migrate)."""
+        return self._dispatch(
+            self._capture("replace", name, match, updates, **valid_bounds),
+            txn)
+
+    def delete_where(self, name: str, predicate,
+                     txn: Optional[Transaction] = None) -> Optional[Instant]:
+        """Delete by predicate, resolved against the *merged* snapshot.
+
+        Only kinds exposing ``delete_where`` (static, rollback) support
+        this; resolution produces full-tuple matches, each routed to its
+        owning shard.
+        """
+        if not hasattr(self._shards[0], "delete_where"):
+            raise AttributeError(
+                f"{type(self._shards[0]).__name__} has no delete_where")
+        matched = self.snapshot(name).select(predicate)
+        ops: List[Operation] = []
+        for row in matched:
+            ops.extend(self._capture("delete", name, dict(row)))
+        return self._dispatch(ops, txn)
+
+    # -- transactions ------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a multi-operation transaction spanning any shards.
+
+        Unlike a single database's ``begin()`` this takes no slot on any
+        shard while buffering; the commit routes the batch and runs the
+        cross-shard protocol if it spans shards.  For many concurrent
+        callers use :meth:`sessions`.
+        """
+        with self._txn_lock:
+            txn_id = self._next_txn_id
+            self._next_txn_id += 1
+        return Transaction(txn_id, self._commit_transaction)
+
+    def _commit_transaction(self, txn: Transaction) -> Instant:
+        return self._run(list(txn.operations))
+
+    def sessions(self, retry: Optional[Any] = None,
+                 admission: Optional[Any] = None, **kwargs: Any):
+        """A concurrent session layer with shard-granularity validation.
+
+        The sharded analogue of :meth:`Database.sessions
+        <repro.core.base.Database.sessions>`: sessions validate their
+        footprint per ``relation@shard``, so two sessions writing
+        different shards of the same relation do **not** conflict —
+        the false sharing the unsharded layer documents is cut by a
+        factor of the shard count (docs/SHARDING.md).
+        """
+        from repro.sharding.session import ShardedSessionLayer  # no cycle
+        return ShardedSessionLayer(self, retry=retry, admission=admission,
+                                   **kwargs)
+
+    # -- queries (shard-merging, consistent cuts) ---------------------------------
+
+    def _read_all(self, per_shard: Callable[[Database], Any]) -> List[Any]:
+        """*per_shard* on every shard, atomically per shard, one cut overall."""
+
+        def compute() -> List[Any]:
+            out: List[Any] = []
+            for db in self._shards:
+                holder: List[Any] = []
+                db.manager.certify(
+                    lambda db=db, holder=holder: holder.append(per_shard(db)))
+                out.append(holder[0])
+            return out
+
+        return self.coordinator.consistent_read(compute)
+
+    def _merged(self, name: str, per_shard: Callable[[Database], Any]):
+        """Merge per-shard relation values of the same type into one.
+
+        Works for :class:`~repro.relational.relation.Relation`,
+        :class:`~repro.core.historical.HistoricalRelation`,
+        :class:`~repro.core.temporal.TemporalRelation` and
+        :class:`~repro.core.rollback.RollbackRelation` alike: each
+        constructs from ``(schema, rows)`` and iterates its rows, and
+        shards never share a logical row, so concatenation is the union.
+        """
+        parts = self._read_all(per_shard)
+        first = parts[0]
+        return type(first)(self.schema(name),
+                           [row for part in parts for row in part])
+
+    def snapshot(self, name: str):
+        """The current merged state of *name* (all kinds)."""
+        self.schema(name)
+        return self._merged(name, lambda db: db.snapshot(name))
+
+    def rollback(self, name: str, as_of: InstantLike):
+        """The merged state as of a past transaction time.
+
+        Per-shard transaction times differ slightly for cross-shard
+        transactions (module docstring); an *as_of* inside that window
+        sees the transaction on the shards whose commit instant it
+        covers.
+        """
+        self._shards[0].require_rollback("rollback")
+        return self._merged(name, lambda db: db.rollback(name, as_of))
+
+    def timeslice(self, name: str, valid_at: InstantLike, **kwargs: Any):
+        """The merged valid-time slice (historical and temporal kinds)."""
+        self._shards[0].require_historical("timeslice")
+        return self._merged(name,
+                            lambda db: db.timeslice(name, valid_at, **kwargs))
+
+    def history(self, name: str):
+        """The merged current historical state (valid-time kinds)."""
+        self._shards[0].require_historical("history")
+        return self._merged(name, lambda db: db.history(name))
+
+    def temporal(self, name: str):
+        """The merged bitemporal relation (temporal kind)."""
+        self._shards[0].require_historical("temporal")
+        self._shards[0].require_rollback("temporal")
+        return self._merged(name, lambda db: db.temporal(name))
+
+    def rollback_range(self, name: str, from_: InstantLike,
+                       through: InstantLike):
+        """The merged rows of every state over the inclusive tt range."""
+        self._shards[0].require_rollback("rollback_range")
+        return self._merged(
+            name, lambda db: db.rollback_range(name, from_, through))
+
+    # -- observability -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The process-local instrumentation snapshot (docs/OBSERVABILITY.md)."""
+        return _obs.stats()
+
+    def __repr__(self) -> str:
+        return (f"ShardedDatabase({type(self._shards[0]).__name__} × "
+                f"{len(self._shards)}, {len(self._log)} commits)")

@@ -79,16 +79,24 @@ def _decode_arguments(arguments: Dict[str, Any]) -> Dict[str, Any]:
     return decoded
 
 
+def encode_operation(op: Operation) -> Dict[str, Any]:
+    """The plain-data form of one operation (journal and 2PC records)."""
+    return {"action": op.action, "relation": op.relation,
+            "arguments": _encode_arguments(op.arguments)}
+
+
+def decode_operation(data: Dict[str, Any]) -> Operation:
+    """Rebuild an :class:`Operation` from :func:`encode_operation` data."""
+    return Operation(data["action"], data["relation"],
+                     _decode_arguments(data["arguments"]))
+
+
 def encode_commit(commit: CommitRecord) -> Dict[str, Any]:
     """The plain-data form of one commit record (what gets framed)."""
     return {
         "sequence": commit.sequence,
         "commit_time": encode_value(commit.commit_time),
-        "operations": [
-            {"action": op.action, "relation": op.relation,
-             "arguments": _encode_arguments(op.arguments)}
-            for op in commit.operations
-        ],
+        "operations": [encode_operation(op) for op in commit.operations],
     }
 
 
@@ -109,11 +117,7 @@ def apply_entries(database, clock: SimulatedClock,
         if not isinstance(commit_time, Instant):
             raise JournalError(f"bad commit time in entry {entry!r}")
         clock.set(commit_time)
-        operations = [
-            Operation(op["action"], op["relation"],
-                      _decode_arguments(op["arguments"]))
-            for op in entry["operations"]
-        ]
+        operations = [decode_operation(op) for op in entry["operations"]]
         actual = database.manager.run(operations)
         if actual != commit_time:
             raise JournalError(

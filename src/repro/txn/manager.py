@@ -86,6 +86,23 @@ class TransactionManager:
         """The transaction clock (strictly monotone)."""
         return self._txn_clock
 
+    @property
+    def serialization_lock(self) -> threading.RLock:
+        """The reentrant commit serialization lock.
+
+        Every commit path — :meth:`run`, an explicit
+        :meth:`Transaction.commit`, :meth:`certify` — acquires this
+        lock, and it is reentrant, so a holder may still call
+        :meth:`run` on this manager.  Exposed for *cross-manager*
+        coordination: the sharded store's two-phase commit
+        (:mod:`repro.sharding.coordinator`) takes several managers'
+        locks in shard order to make one multi-shard commit atomic
+        against every single-shard committer on the involved shards.
+        Holders must acquire managers in a globally consistent order
+        (ascending shard id) or risk deadlock.
+        """
+        return self._run_lock
+
     def now(self) -> Instant:
         """The database's notion of *now* (for ``now`` literals and defaults).
 

@@ -19,12 +19,18 @@ audits zero lost updates, monotone commit times and serial equivalence.
 writers on a primary, token-gated readers on replicas, seeded transport
 faults, partitions and a mid-run failover — audited for zero lost
 durable commits and replica digest convergence.
+:func:`run_sharded` (:mod:`repro.workload.sharded`) stresses the
+:mod:`repro.sharding` store the same way: disjoint per-worker keys,
+optional cross-shard transfers through the two-phase protocol, and — in
+chaos mode — crash injection anywhere in the shard journals or 2PC
+logs, audited for atomic cross-shard recovery.
 """
 
 from repro.workload.generators import (
     FacultyWorkload, PayrollWorkload, VersionWorkload, WorkloadStep,
     apply_workload,
 )
+from repro.workload.sharded import ShardedStressReport, run_sharded
 from repro.workload.stress import (ReplicatedReport, StressReport,
                                    run_replicated, run_stress)
 
@@ -32,10 +38,12 @@ __all__ = [
     "FacultyWorkload",
     "PayrollWorkload",
     "ReplicatedReport",
+    "ShardedStressReport",
     "StressReport",
     "VersionWorkload",
     "WorkloadStep",
     "apply_workload",
     "run_replicated",
+    "run_sharded",
     "run_stress",
 ]

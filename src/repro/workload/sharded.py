@@ -1,0 +1,459 @@
+"""Stress and chaos harness for the sharded store.
+
+:func:`run_sharded` hammers a :class:`~repro.sharding.store.
+ShardedDatabase` from many concurrent sessions and audits the paper's
+invariants over the wreckage, exactly as :func:`~repro.workload.stress.
+run_stress` does for the single-pipeline store — plus the two properties
+sharding adds:
+
+- **throughput**: per-worker **disjoint** key sets make the workload
+  embarrassingly parallel in principle; how close the store gets is the
+  reported ``tps`` (the ``sharding`` benchmark sweeps it against the
+  1-shard baseline, where every session contends on the same pipeline
+  and relation version);
+- **cross-shard atomicity**: a fraction of transactions are two-key
+  *transfers* (+1 on one key, −1 on another, usually on different
+  shards).  A transfer conserves the counter sum, so a torn cross-shard
+  commit — one half applied without the other — shows up as a nonzero
+  ``sum_delta`` no matter which half survived.
+
+The audit: zero lost updates (counter sum equals acknowledged single
+increments exactly; transfers net out), per-shard monotone commit
+times, per-shard serial-replay equivalence, and — in chaos mode — the
+sharded durable-prefix rule: each shard's recovered journal is a prefix
+of that shard's in-memory history, except that a *decided* cross-shard
+transaction may additionally be re-applied at the tail by recovery
+(matched by its operations against the prepare log; see
+docs/SHARDING.md's recovery rules).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from repro import obs
+from repro.concurrency import AdmissionController, RetryPolicy
+from repro.core.base import Database
+from repro.core.static import StaticDatabase
+from repro.errors import DeadlineExceeded, Overloaded, ReproError
+from repro.obs.metrics import quantile
+from repro.relational.domain import Domain
+from repro.relational.schema import Schema
+from repro.sharding.durability import ShardedDurabilityManager
+from repro.sharding.store import ShardedDatabase
+from repro.storage.faults import CrashPoint, FaultyIO, SimulatedCrash
+from repro.storage.journal import encode_operation
+from repro.time.clock import SimulatedClock
+from repro.time.instant import Instant
+from repro.workload.generators import EPOCH
+from repro.workload.stress import _DeadAfterCrashIO
+
+RELATION = "counters"
+_BASE = Instant.from_chronon(EPOCH)
+
+
+@dataclasses.dataclass
+class ShardedStressReport:
+    """What one :func:`run_sharded` run did, and whether it held up."""
+
+    shards: int
+    sessions: int
+    transactions_per_session: int
+    cross_ratio: float
+    #: ``"scattered"`` or ``"aligned"`` (see :func:`_worker_keys`).
+    placement: str
+    attempted: int
+    committed: int
+    #: Committed transactions that actually spanned >1 shard (measured,
+    #: not requested: two keys may hash to the same shard).
+    cross_shard_commits: int
+    conflicts: int
+    shed: int
+    deadline_exceeded: int
+    crashed: int
+    failed: int
+    wall_s: float
+    #: Committed transactions per wall-clock second.
+    tps: float
+    #: Commit-to-commit latency quantiles over successful transactions.
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    applied_sum: int
+    expected_sum: int
+    #: ``applied − expected``; 0 in clean runs.  In chaos runs an
+    #: unacknowledged-but-durable transaction may legally push it up,
+    #: bounded by the unacknowledged count (see ``ok``).
+    sum_delta: int
+    lost_updates: int
+    commit_times_monotone: bool
+    serial_equivalent: bool
+    #: Chaos mode only.
+    crash_injected: Optional[str] = None
+    recovered_records: Optional[int] = None
+    recovery_reapplied: Optional[int] = None
+    recovery_in_doubt_aborted: Optional[int] = None
+    recovery_is_durable_prefix: Optional[bool] = None
+    #: Chaos mode: acknowledged single increments vs the slack allowed
+    #: for unacknowledged ones (diagnostic bounds for ``sum_delta``).
+    unacknowledged: Optional[int] = None
+    #: Per-shard pipeline counters from the run's metrics registry
+    #: (``shard.<i>.commits`` / ``shard.<i>.conflicts``; chaos runs add
+    #: ``journal_bytes`` and ``records`` from the recovered directory).
+    per_shard: List[Dict[str, int]] = dataclasses.field(
+        default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """All audited invariants held."""
+        if self.crash_injected is None:
+            exact = self.sum_delta == 0
+        else:
+            # A transaction that failed at the client may still be
+            # durable (the decision landed, the ack did not) — the
+            # classic in-doubt outcome.  It may add increments, never
+            # remove them, and never more than the unacknowledged count.
+            exact = 0 <= self.sum_delta <= (self.unacknowledged or 0)
+        return (exact and self.lost_updates == 0
+                and self.commit_times_monotone and self.serial_equivalent
+                and self.recovery_is_durable_prefix is not False)
+
+    def describe(self) -> Dict[str, Any]:
+        """A plain dict (what the CLI and benchmark emit)."""
+        data = dataclasses.asdict(self)
+        data["ok"] = self.ok
+        return data
+
+
+def _define_counters(store: ShardedDatabase, keys: List[str]) -> None:
+    schema = Schema.of(key=["k"], k=Domain.STRING, v=Domain.INTEGER)
+    store.define(RELATION, schema)
+    historical = store.kind.supports_historical_queries
+    with store.begin() as txn:
+        for key in keys:
+            if historical:
+                store.insert(RELATION, {"k": key, "v": 0},
+                             valid_from=_BASE, txn=txn)
+            else:
+                store.insert(RELATION, {"k": key, "v": 0}, txn=txn)
+
+
+def _shard_serial_replay_matches(shard_db: Database,
+                                 kind: Type[Database]) -> bool:
+    """Replay one shard's log serially into a fresh database; compare."""
+    reference = kind(clock=SimulatedClock(_BASE))
+    ref_clock = reference.manager.clock.source
+    for record in shard_db.log:
+        ref_clock.set(record.commit_time)
+        actual = reference.manager.run(list(record.operations))
+        if actual != record.commit_time:
+            return False
+    return (reference.snapshot(RELATION) == shard_db.snapshot(RELATION)
+            and len(reference.log) == len(shard_db.log))
+
+
+def _ops_key(operations) -> Tuple[str, ...]:
+    """A comparable fingerprint of an operation batch (order preserved)."""
+    return tuple(json.dumps(encode_operation(op), sort_keys=True)
+                 for op in operations)
+
+
+def _sharded_prefix_ok(manager: ShardedDurabilityManager,
+                       recovered: ShardedDatabase,
+                       live: ShardedDatabase) -> bool:
+    """The sharded durable-prefix audit (module docstring)."""
+    decided_ops: set = set()
+    committed_gids = {
+        entry["gid"] for entry in manager._decisions.read(recover=True)
+        if entry.get("kind") == "decision"
+        and entry.get("decision") == "commit"}
+    for sid in range(manager.shards):
+        for entry in manager._prepares[sid].read(recover=True):
+            if (entry.get("kind") == "prepare"
+                    and entry["gid"] in committed_gids):
+                fingerprint = tuple(json.dumps(op, sort_keys=True)
+                                    for op in entry["operations"])
+                decided_ops.add((sid, fingerprint))
+    for sid, (rec_db, live_db) in enumerate(
+            zip(recovered.shard_databases, live.shard_databases)):
+        durable = list(rec_db.log)
+        in_memory = list(live_db.log)
+        matched = 0
+        for d, m in zip(durable, in_memory):
+            if (d.commit_time == m.commit_time
+                    and _ops_key(d.operations) == _ops_key(m.operations)):
+                matched += 1
+            else:
+                break
+        # Anything past the common prefix must be a re-applied decided
+        # cross-shard batch (fresh commit time, same operations).
+        for record in durable[matched:]:
+            if (sid, _ops_key(record.operations)) not in decided_ops:
+                return False
+    return True
+
+
+def _worker_keys(store: ShardedDatabase, sessions: int,
+                 keys_per_session: int, placement: str) -> List[List[str]]:
+    """Disjoint per-worker key sets, placed per *placement*.
+
+    ``"scattered"``: worker *w* owns ``w<w>k0 …`` and its keys hash
+    wherever crc32 sends them — every worker touches every shard.
+    ``"aligned"``: worker *w*'s keys are filtered (by the same stable
+    hash, so the choice survives restarts) to all live on shard
+    ``w % shards`` — the well-partitioned deployment, where workload
+    partitioning matches data partitioning and workers on different
+    shards share nothing, not even a lock.
+    """
+    if placement == "scattered":
+        return [[f"w{w}k{i}" for i in range(keys_per_session)]
+                for w in range(sessions)]
+    if placement != "aligned":
+        raise ValueError(f"unknown placement {placement!r}")
+    partitioner = store.partitioner
+    worker_keys: List[List[str]] = []
+    for w in range(sessions):
+        target = w % store.shards
+        keys: List[str] = []
+        candidate = 0
+        while len(keys) < keys_per_session:
+            key = f"w{w}k{candidate}"
+            if partitioner.shard_of_key([key]) == target:
+                keys.append(key)
+            candidate += 1
+        worker_keys.append(keys)
+    return worker_keys
+
+
+def run_sharded(kind: Type[Database] = StaticDatabase,
+                shards: int = 4, sessions: int = 8,
+                transactions: int = 100, keys_per_session: int = 16,
+                cross_ratio: float = 0.1, seed: int = 0,
+                placement: str = "scattered",
+                retry: Optional[RetryPolicy] = None,
+                admission: Optional[AdmissionController] = None,
+                timeout: Optional[float] = None,
+                faults: Optional[CrashPoint] = None,
+                fault_at: int = 50,
+                directory: Optional[str] = None,
+                work: Optional[Callable[[], None]] = None,
+                ) -> ShardedStressReport:
+    """Hammer a fresh sharded store from *sessions* threads; audit it.
+
+    Worker *w* owns *keys_per_session* keys disjoint from every other
+    worker's (*placement* picks whether they scatter over all shards or
+    align with one — :func:`_worker_keys`), so on a sharded store its
+    transactions conflict with nobody at the key level; only shard-
+    granularity footprint collisions remain.  Each transaction is
+    either a single-key increment (via the targeted
+    :meth:`ShardedSession.get
+    <repro.sharding.session.ShardedSession.get>` read, keeping the
+    footprint on one shard) or, with probability *cross_ratio*, a
+    two-key transfer between the worker's own keys — which spans shards
+    and exercises the 2PC path when the keys hash apart (under
+    ``"aligned"`` placement they never do; use ``"scattered"`` for a
+    cross-shard mix).  ``faults``/*directory* switch to chaos mode over
+    a :class:`~repro.sharding.durability.ShardedDurabilityManager`
+    whose I/O dies at the *fault_at*-th matching write — wherever that
+    lands: a shard journal append, a prepare, or the decision record.
+    """
+    if retry is None:
+        retry = RetryPolicy(max_attempts=10 * max(sessions, 2),
+                            base_delay=0.0002, max_delay=0.002,
+                            jitter=0.5, seed=seed)
+    if admission is None:
+        admission = AdmissionController(max_active=max(2, sessions),
+                                        max_queue=4 * sessions)
+
+    manager: Optional[ShardedDurabilityManager] = None
+    if faults is not None:
+        if directory is None:
+            raise ValueError("chaos mode (faults=) needs a directory")
+        io = _DeadAfterCrashIO(FaultyIO(faults, at=fault_at))
+        manager = ShardedDurabilityManager(directory, shards=shards, io=io)
+        store, _ = manager.recover(kind)
+        for shard_db in store.shard_databases:
+            shard_db.manager.clock.source.set(_BASE)
+    else:
+        store = ShardedDatabase(kind, shards=shards,
+                                clock=SimulatedClock(_BASE))
+
+    worker_keys = _worker_keys(store, sessions, keys_per_session, placement)
+    _define_counters(store, [key for keys in worker_keys for key in keys])
+    layer = store.sessions(retry=retry, admission=admission)
+
+    counts_lock = threading.Lock()
+    counts = {"attempted": 0, "committed": 0, "shed": 0,
+              "deadline_exceeded": 0, "crashed": 0, "failed": 0,
+              "singles": 0, "cross_committed": 0}
+    latencies: List[float] = []
+    stop = threading.Event()
+
+    # *work* (think-time) runs between the read and the write — the
+    # window where a competing commit invalidates the footprint — so a
+    # GIL-yielding hook forces real interleaving instead of leaving
+    # contention to scheduler-quantum luck.
+    def transfer_closure(key_a: str, key_b: str):
+        def closure(session) -> None:
+            row_a = session.get(RELATION, {"k": key_a})[0]
+            row_b = session.get(RELATION, {"k": key_b})[0]
+            if work is not None:
+                work()
+            session.replace(RELATION, {"k": key_a},
+                            {"v": row_a["v"] + 1})
+            session.replace(RELATION, {"k": key_b},
+                            {"v": row_b["v"] - 1})
+        return closure
+
+    def increment_closure(key: str):
+        def closure(session) -> None:
+            row = session.get(RELATION, {"k": key})[0]
+            if work is not None:
+                work()
+            session.replace(RELATION, {"k": key}, {"v": row["v"] + 1})
+        return closure
+
+    def worker(worker_index: int) -> None:
+        rng = random.Random((seed << 16) ^ worker_index)
+        keys = worker_keys[worker_index]
+        for _ in range(transactions):
+            if stop.is_set():
+                return
+            is_cross = rng.random() < cross_ratio
+            if is_cross:
+                key_a, key_b = rng.sample(keys, 2)
+                closure = transfer_closure(key_a, key_b)
+                spans = (store.shard_of_key(RELATION, {"k": key_a})
+                         != store.shard_of_key(RELATION, {"k": key_b}))
+            else:
+                closure = increment_closure(keys[rng.randrange(len(keys))])
+                spans = False
+            outcome = "committed"
+            started = time.monotonic()
+            try:
+                layer.run(closure, timeout=timeout)
+            except Overloaded:
+                outcome = "shed"
+            except DeadlineExceeded:
+                outcome = "deadline_exceeded"
+            except SimulatedCrash:
+                outcome = "crashed"
+                stop.set()
+            except ReproError:
+                outcome = "failed"
+            elapsed = time.monotonic() - started
+            with counts_lock:
+                counts["attempted"] += 1
+                counts[outcome] += 1
+                if outcome == "committed":
+                    latencies.append(elapsed)
+                    if not is_cross:
+                        counts["singles"] += 1
+                    if spans:
+                        counts["cross_committed"] += 1
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(sessions)]
+    with obs.recording() as instrumentation:
+        started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.monotonic() - started
+    metrics = instrumentation.metrics.snapshot()["counters"]
+
+    # -- audit ---------------------------------------------------------------
+    applied = sum(row["v"] for row in store.snapshot(RELATION))
+    expected = counts["singles"]
+    delta = applied - expected
+    monotone = True
+    serial_ok = True
+    for shard_db in store.shard_databases:
+        times = [record.commit_time for record in shard_db.log]
+        monotone = monotone and all(
+            a < b for a, b in zip(times, times[1:]))
+        serial_ok = serial_ok and _shard_serial_replay_matches(
+            shard_db, kind)
+
+    per_shard = [
+        {"shard": sid,
+         "commits": metrics.get(f"shard.{sid}.commits", 0),
+         "conflicts": metrics.get(f"shard.{sid}.conflicts", 0)}
+        for sid in range(shards)
+    ]
+
+    recovered_records: Optional[int] = None
+    reapplied: Optional[int] = None
+    in_doubt: Optional[int] = None
+    prefix_ok: Optional[bool] = None
+    unacknowledged: Optional[int] = None
+    if faults is not None:
+        fresh = ShardedDurabilityManager(directory)
+        recovered, report = fresh.recover(kind)
+        for sid, stats in enumerate(fresh.shard_stats()["per_shard"]):
+            per_shard[sid]["journal_bytes"] = stats["journal_bytes"]
+            per_shard[sid]["records"] = stats["records"]
+        recovered_records = report.describe()["records_total"]
+        reapplied = report.reapplied
+        in_doubt = report.in_doubt_aborted
+        prefix_ok = _sharded_prefix_ok(fresh, recovered, store)
+        unacknowledged = counts["crashed"] + counts["failed"]
+        # In chaos mode the authoritative state is the recovered one;
+        # audit the sum there.  An acknowledged commit journaled before
+        # the ack, so the recovered sum can never fall short of the
+        # acknowledged singles — a negative delta is a lost update.  It
+        # may exceed them: a transaction whose decision became durable
+        # before its error is applied by recovery without an ack.
+        applied = sum(row["v"] for row in recovered.snapshot(RELATION))
+        delta = applied - expected
+        serial_ok = serial_ok and all(
+            _shard_serial_replay_matches(shard_db, kind)
+            for shard_db in recovered.shard_databases)
+
+    if latencies:
+        ordered = sorted(latencies)
+        p50 = quantile(ordered, 0.50)
+        p95 = quantile(ordered, 0.95)
+        p99 = quantile(ordered, 0.99)
+    else:
+        p50 = p95 = p99 = 0.0
+
+    return ShardedStressReport(
+        shards=shards,
+        sessions=sessions,
+        transactions_per_session=transactions,
+        cross_ratio=cross_ratio,
+        placement=placement,
+        attempted=counts["attempted"],
+        committed=counts["committed"],
+        cross_shard_commits=counts["cross_committed"],
+        conflicts=metrics.get("concurrency.conflicts", 0),
+        shed=counts["shed"],
+        deadline_exceeded=counts["deadline_exceeded"],
+        crashed=counts["crashed"],
+        failed=counts["failed"],
+        wall_s=round(wall, 6),
+        tps=round(counts["committed"] / wall, 3) if wall > 0 else 0.0,
+        latency_p50_s=round(p50, 6),
+        latency_p95_s=round(p95, 6),
+        latency_p99_s=round(p99, 6),
+        applied_sum=applied,
+        expected_sum=expected,
+        sum_delta=delta,
+        lost_updates=max(0, -delta),
+        commit_times_monotone=monotone,
+        serial_equivalent=serial_ok,
+        crash_injected=faults.value if faults is not None else None,
+        recovered_records=recovered_records,
+        recovery_reapplied=reapplied,
+        recovery_in_doubt_aborted=in_doubt,
+        recovery_is_durable_prefix=prefix_ok,
+        unacknowledged=unacknowledged,
+        per_shard=per_shard,
+    )

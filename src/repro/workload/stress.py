@@ -77,6 +77,10 @@ class StressReport:
     recovered_records: Optional[int] = None
     recovery_is_durable_prefix: Optional[bool] = None
     manager_accepts_begin_after_run: bool = True
+    #: The ``concurrency.commit_seconds`` histogram summary — per-commit
+    #: latency under the lock ({count, total, p50, p95, p99, max}).
+    commit_latency: Dict[str, float] = dataclasses.field(
+        default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -250,7 +254,9 @@ def run_stress(kind: Type[Database] = TemporalDatabase,
         for thread in threads:
             thread.join()
         wall = time.monotonic() - started
-    metrics = instrumentation.metrics.snapshot()["counters"]
+    snapshot = instrumentation.metrics.snapshot()
+    metrics = snapshot["counters"]
+    latency = snapshot["histograms"].get("concurrency.commit_seconds", {})
 
     # -- audit ---------------------------------------------------------------
     applied = sum(row["v"] for row in database.snapshot(RELATION))
@@ -307,6 +313,7 @@ def run_stress(kind: Type[Database] = TemporalDatabase,
         recovered_records=recovered_records,
         recovery_is_durable_prefix=prefix_ok,
         manager_accepts_begin_after_run=accepts_begin,
+        commit_latency=latency,
     )
 
 

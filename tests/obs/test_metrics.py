@@ -75,7 +75,7 @@ class TestInstruments:
     def test_empty_histogram_summary_is_zeroed(self):
         summary = MetricsRegistry().histogram("h").summary()
         assert summary == {"count": 0, "total": 0.0, "p50": 0.0,
-                           "p95": 0.0, "max": 0.0}
+                           "p95": 0.0, "p99": 0.0, "max": 0.0}
 
     def test_histogram_timer_observes_positive_duration(self):
         histogram = MetricsRegistry().histogram("h")

@@ -1,0 +1,115 @@
+"""Stable hash partitioning: routing rules and restart survival."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ShardRoutingError
+from repro.sharding import SCHEME, Partitioner, stable_hash
+from repro.time import Instant, Period
+from repro.txn.transaction import Operation
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))), "src")
+
+
+class TestStableHash:
+    def test_equal_inputs_hash_equal(self):
+        assert stable_hash(["alice", 7]) == stable_hash(["alice", 7])
+
+    def test_different_inputs_hash_differently_somewhere(self):
+        values = {stable_hash([f"k{i}"]) for i in range(64)}
+        assert len(values) > 32  # crc32 actually spreads
+
+    def test_temporal_values_hash_after_canonical_encoding(self):
+        instant = Instant.parse("01/01/80")
+        assert stable_hash([instant]) == stable_hash([instant])
+        period = Period(instant, Instant.parse("01/01/81"))
+        assert stable_hash([period]) == stable_hash([period])
+
+    def test_hash_survives_interpreter_restart(self):
+        """The satellite regression: shard mapping must not depend on
+        ``PYTHONHASHSEED`` — a salted hash would scatter every key on
+        the next process's recovery."""
+        keys = [f"w{w}k{i}" for w in range(4) for i in range(8)]
+        script = (
+            "import json, sys\n"
+            "from repro.sharding import Partitioner, stable_hash\n"
+            "p = Partitioner(4)\n"
+            "keys = json.loads(sys.argv[1])\n"
+            "print(json.dumps({\n"
+            "  'hashes': [stable_hash([k]) for k in keys],\n"
+            "  'shards': [p.shard_of_key([k]) for k in keys],\n"
+            "}))\n"
+        )
+
+        def run(seed):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = REPO_SRC
+            env["PYTHONHASHSEED"] = seed
+            proc = subprocess.run(
+                [sys.executable, "-c", script, json.dumps(keys)],
+                env=env, stdout=subprocess.PIPE, check=True)
+            return json.loads(proc.stdout)
+
+        here = {"hashes": [stable_hash([k]) for k in keys],
+                "shards": [Partitioner(4).shard_of_key([k]) for k in keys]}
+        assert run("0") == here
+        assert run("12345") == here
+
+
+class TestPartitioner:
+    def test_single_shard_short_circuits(self):
+        assert Partitioner(1).shard_of_key(["anything"]) == 0
+
+    def test_at_least_one_shard(self):
+        with pytest.raises(ValueError):
+            Partitioner(0)
+
+    def test_shard_of_values_requires_full_key(self):
+        p = Partitioner(4)
+        assert p.shard_of_values(("a", "b"), {"a": 1}) is None
+        full = p.shard_of_values(("a", "b"), {"a": 1, "b": 2})
+        assert full == p.shard_of_key([1, 2])
+
+    def test_keyless_relations_pin_to_shard_zero(self):
+        p = Partitioner(4)
+        assert p.shard_of_values((), {"x": 1}) == 0
+        op = Operation("delete", "r", {"match": None})
+        assert p.shard_of_operation((), op) == 0
+
+    def test_ddl_broadcasts(self):
+        p = Partitioner(4)
+        assert p.shard_of_operation(("k",),
+                                    Operation("define", "r", {})) is None
+        assert p.shard_of_operation(("k",),
+                                    Operation("drop", "r", {})) is None
+
+    def test_insert_routes_by_values(self):
+        p = Partitioner(4)
+        op = Operation("insert", "r", {"values": {"k": "x", "v": 1}})
+        assert p.shard_of_operation(("k",), op) == p.shard_of_key(["x"])
+
+    def test_partial_key_delete_broadcasts(self):
+        p = Partitioner(4)
+        op = Operation("delete", "r", {"match": {"v": 1}})
+        assert p.shard_of_operation(("k",), op) is None
+
+    def test_key_rewriting_replace_is_rejected(self):
+        p = Partitioner(4)
+        op = Operation("replace", "r",
+                       {"match": {"k": "x"}, "updates": {"k": "y"}})
+        with pytest.raises(ShardRoutingError):
+            p.shard_of_operation(("k",), op)
+
+    def test_identity_key_update_is_allowed(self):
+        p = Partitioner(4)
+        op = Operation("replace", "r",
+                       {"match": {"k": "x"}, "updates": {"k": "x", "v": 2}})
+        assert p.shard_of_operation(("k",), op) == p.shard_of_key(["x"])
+
+    def test_describe_names_the_scheme(self):
+        assert Partitioner(4).describe() == {"shards": 4, "scheme": SCHEME}

@@ -1,0 +1,209 @@
+"""The sharded store behaves like one logical database of its kind."""
+
+import pytest
+
+from repro.core import (HistoricalDatabase, RollbackDatabase, StaticDatabase,
+                        TemporalDatabase)
+from repro.errors import (DuplicateRelationError, ShardConfigError,
+                          UnknownRelationError)
+from repro.relational import Domain, Schema
+from repro.sharding import ShardedDatabase, sharded_digest
+from repro.time import SimulatedClock
+
+ALL_KINDS = [StaticDatabase, RollbackDatabase, HistoricalDatabase,
+             TemporalDatabase]
+BASE = "01/01/80"
+
+
+def counters_schema():
+    return Schema.of(key=["k"], k=Domain.STRING, v=Domain.INTEGER)
+
+
+def fresh(kind=StaticDatabase, shards=4):
+    return ShardedDatabase(kind, shards=shards,
+                           clock=SimulatedClock(BASE))
+
+
+def load(store, n=20):
+    store.define("counters", counters_schema())
+    historical = store.kind.supports_historical_queries
+    with store.begin() as txn:
+        for i in range(n):
+            if historical:
+                store.insert("counters", {"k": f"k{i}", "v": i},
+                             valid_from=BASE, txn=txn)
+            else:
+                store.insert("counters", {"k": f"k{i}", "v": i}, txn=txn)
+
+
+class TestShape:
+    def test_rows_spread_over_every_shard(self):
+        store = fresh()
+        load(store, 40)
+        spread = store.spread("counters")
+        assert sum(spread) == 40
+        assert all(part > 0 for part in spread)
+
+    def test_each_row_lives_on_its_hashed_shard(self):
+        store = fresh()
+        load(store, 20)
+        for i in range(20):
+            sid = store.shard_of_key("counters", {"k": f"k{i}"})
+            rows = store.shard_databases[sid].snapshot("counters")
+            assert any(row["k"] == f"k{i}" for row in rows)
+
+    def test_from_shards_rejects_mixed_kinds(self):
+        clock = SimulatedClock(BASE)
+        with pytest.raises(ShardConfigError):
+            ShardedDatabase.from_shards([StaticDatabase(clock=clock),
+                                         TemporalDatabase(clock=clock)])
+
+    def test_from_shards_rejects_empty(self):
+        with pytest.raises(ShardConfigError):
+            ShardedDatabase.from_shards([])
+
+    def test_shard_of_key_requires_full_key(self):
+        store = fresh()
+        load(store, 2)
+        with pytest.raises(ShardConfigError):
+            store.shard_of_key("counters", {"v": 1})
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda cls: cls.__name__)
+class TestEquivalence:
+    """The same operations produce the same logical state, any shard count."""
+
+    def drive(self, kind, shards):
+        clock = SimulatedClock(BASE)
+        if shards == 0:  # the unsharded reference
+            db = kind(clock=clock)
+        else:
+            db = ShardedDatabase(kind, shards=shards, clock=clock)
+        db.define("counters", counters_schema())
+        kwargs = {"valid_from": BASE} if db.supports_historical_queries else {}
+        for i in range(12):
+            clock.set(Ticks.at(10 + i))
+            db.insert("counters", {"k": f"k{i}", "v": i}, **kwargs)
+        clock.set(Ticks.at(40))
+        db.replace("counters", {"k": "k3"}, {"v": 333})
+        clock.set(Ticks.at(41))
+        db.delete("counters", {"k": "k7"})
+        return db
+
+    def test_snapshot_matches_unsharded(self, kind):
+        reference = self.drive(kind, 0)
+        for shards in (1, 3, 4):
+            store = self.drive(kind, shards)
+            assert (sorted(tuple(sorted(r.items()))
+                           for r in store.snapshot("counters"))
+                    == sorted(tuple(sorted(r.items()))
+                              for r in reference.snapshot("counters")))
+
+    def test_equal_stores_hash_equal(self, kind):
+        first = self.drive(kind, 4)
+        second = self.drive(kind, 4)
+        assert sharded_digest(first) == sharded_digest(second)
+
+
+class Ticks:
+    """01/01/80 plus a fixed chronon offset (readable clock steps)."""
+
+    @staticmethod
+    def at(steps):
+        from repro.time import Instant
+        return Instant.parse(BASE) + steps
+
+
+class TestCatalog:
+    def test_ddl_broadcasts_to_every_shard(self):
+        store = fresh()
+        store.define("counters", counters_schema())
+        for db in store.shard_databases:
+            assert "counters" in db
+        store.drop("counters")
+        for db in store.shard_databases:
+            assert "counters" not in db
+
+    def test_duplicate_define_is_rejected(self):
+        store = fresh()
+        store.define("counters", counters_schema())
+        with pytest.raises(DuplicateRelationError):
+            store.define("counters", counters_schema())
+
+    def test_unknown_relation_raises(self):
+        store = fresh()
+        with pytest.raises(UnknownRelationError):
+            store.snapshot("nope")
+        with pytest.raises(UnknownRelationError):
+            store.drop("nope")
+
+
+class TestCommits:
+    def test_single_shard_commit_moves_one_shard_log(self):
+        store = fresh()
+        load(store, 8)
+        before = store.log.vector()
+        store.replace("counters", {"k": "k1"}, {"v": 100})
+        after = store.log.vector()
+        moved = [b != a for b, a in zip(before, after)]
+        assert sum(moved) == 1
+        sid = store.shard_of_key("counters", {"k": "k1"})
+        assert moved[sid]
+
+    def test_cross_shard_transaction_is_atomic_in_state(self):
+        store = fresh()
+        load(store, 8)
+        a, b = "k0", "k1"
+        assert (store.shard_of_key("counters", {"k": a})
+                != store.shard_of_key("counters", {"k": b}))
+        with store.begin() as txn:
+            store.replace("counters", {"k": a}, {"v": 1000}, txn=txn)
+            store.replace("counters", {"k": b}, {"v": 2000}, txn=txn)
+        rows = {row["k"]: row["v"] for row in store.snapshot("counters")}
+        assert rows[a] == 1000 and rows[b] == 2000
+
+    def test_merged_log_orders_by_commit_time(self):
+        store = fresh()
+        load(store, 10)
+        times = [record.commit_time for record in store.log]
+        assert times == sorted(times)
+        assert len(store.log) == sum(store.log.vector())
+
+    def test_empty_transaction_still_commits(self):
+        store = fresh()
+        before = store.log.vector()
+        with store.begin():
+            pass
+        assert sum(store.log.vector()) == sum(before) + 1
+
+
+class TestQueries:
+    def test_rollback_sees_past_states(self):
+        store = fresh(RollbackDatabase, shards=3)
+        load(store, 6)
+        past = store.now()
+        store.replace("counters", {"k": "k2"}, {"v": 999})
+        rows = {r["k"]: r["v"] for r in store.rollback("counters", past)}
+        assert rows["k2"] == 2
+        now_rows = {r["k"]: r["v"] for r in store.snapshot("counters")}
+        assert now_rows["k2"] == 999
+
+    def test_history_and_timeslice_merge_shards(self):
+        store = fresh(TemporalDatabase, shards=3)
+        load(store, 6)
+        assert len(store.history("counters")) == 6
+        slice_rows = store.timeslice("counters", BASE)
+        assert len(slice_rows) == 6
+
+    def test_historical_queries_require_the_kind(self):
+        store = fresh(StaticDatabase)
+        load(store, 2)
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            store.history("counters")
+
+    def test_delete_where_routes_matches(self):
+        store = fresh(StaticDatabase)
+        load(store, 10)
+        store.delete_where("counters", lambda row: row["v"] >= 5)
+        assert len(store.snapshot("counters")) == 5

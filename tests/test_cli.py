@@ -512,3 +512,57 @@ class TestReplicationVerbs:
         assert report["failover_performed"] is True
         assert report["final_epoch"] == 1
         assert report["lost_durable_commits"] == 0
+
+
+class TestShardStressVerb:
+    """The ``repro shard-stress`` verb over the sharded store."""
+
+    def test_shard_stress_prints_the_audit(self, capsys):
+        from repro.cli import repro_main
+        assert repro_main(["shard-stress", "--shards", "3", "--sessions",
+                           "3", "--ops", "10", "--keys", "6",
+                           "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "committed:          30 of 30 attempted" in output
+        assert "shard 0:" in output and "shard 2:" in output
+        assert "lost updates:       0" in output
+        assert "audit: ok" in output
+
+    def test_shard_stress_json_report(self, capsys):
+        import json
+        from repro.cli import repro_main
+        assert repro_main(["shard-stress", "--shards", "2", "--sessions",
+                           "2", "--ops", "5", "--keys", "4", "--cross",
+                           "0.5", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["committed"] == 10
+        assert report["sum_delta"] == 0
+        assert len(report["per_shard"]) == 2
+
+    def test_shard_stress_chaos_audits_recovery(self, capsys, tmp_path):
+        from repro.cli import repro_main
+        assert repro_main(["shard-stress", "--shards", "3", "--sessions",
+                           "2", "--ops", "20", "--keys", "6", "--cross",
+                           "0.3", "--faults", "lost-record",
+                           "--fault-at", "25",
+                           "--dir", str(tmp_path / "dur")]) == 0
+        output = capsys.readouterr().out
+        assert "durable prefix:     True" in output
+        assert "audit: ok" in output
+
+    def test_shard_stress_chaos_uses_a_temporary_directory(self, capsys):
+        from repro.cli import repro_main
+        assert repro_main(["shard-stress", "--shards", "2", "--sessions",
+                           "2", "--ops", "20", "--keys", "4", "--faults",
+                           "torn-record", "--fault-at", "25"]) == 0
+        assert "audit: ok" in capsys.readouterr().out
+
+    def test_stats_shards_surfaces_per_shard_metrics(self, capsys):
+        from repro.cli import repro_main
+        assert repro_main(["stats", "--shards", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "shard.0.commits" in output
+        assert "shard.2.records" in output
+        assert "shard.0.journal_bytes" in output
+        assert "sharding.cross_commits" in output
