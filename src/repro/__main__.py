@@ -1,0 +1,13 @@
+"""``python -m repro`` — the ``repro`` observability CLI, no install.
+
+The console scripts (``tquel``, ``repro``) only exist after ``pip
+install``; CI and fresh checkouts run ``PYTHONPATH=src python -m repro
+…`` instead and land here.
+"""
+
+import sys
+
+from repro.cli import repro_main
+
+if __name__ == "__main__":
+    sys.exit(repro_main())

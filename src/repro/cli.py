@@ -30,9 +30,17 @@ instrumentation (see :mod:`repro.obs` and docs/OBSERVABILITY.md)::
 
     repro stats                  # run the demo workload, print metrics
     repro stats --json           # the same snapshot as JSON
+    repro stats --openmetrics    # OpenMetrics text exposition
     repro stats -f script.tq     # instrument your own TQuel script
     repro trace --limit 20       # the last 20 spans as JSON lines
     repro trace --out spans.jsonl
+    repro trace --txn txn-3 --input spans.jsonl   # one transaction's
+                                 # causally-ordered lifecycle tree
+    repro health                 # drive a mixed workload, judge it
+                                 # against the SLO policy (exit 1 on
+                                 # budget burn)
+    repro bench-diff --baseline BENCH_X.json --fresh fresh.json
+                                 # regression-gate two benchmark reports
 
 ``repro`` also operates durability directories (checkpoint + segmented
 journal; see docs/DURABILITY.md)::
@@ -292,17 +300,65 @@ def build_repro_parser() -> argparse.ArgumentParser:
     add_common(stats)
     stats.add_argument("--json", action="store_true",
                        help="emit the snapshot as JSON instead of text")
+    stats.add_argument("--openmetrics", action="store_true",
+                       help="emit the metrics in OpenMetrics text "
+                            "exposition format instead")
     stats.add_argument("--shards", type=int, default=None, metavar="N",
                        help="drive a sharded demo workload over N shards "
                             "instead (surfaces the shard.<i>.* metrics)")
 
     trace = subparsers.add_parser(
-        "trace", help="dump the recorded spans as JSON lines")
+        "trace", help="dump the recorded spans as JSON lines, or "
+                      "reconstruct one transaction's lifecycle tree")
     add_common(trace)
     trace.add_argument("--out", metavar="PATH", default=None,
                        help="write the spans to PATH instead of stdout")
     trace.add_argument("--limit", type=int, default=None, metavar="N",
                        help="only the last N spans")
+    trace.add_argument("--txn", metavar="ID", default=None,
+                       help="render transaction ID's spans as a causally-"
+                            "ordered tree instead of JSON lines")
+    trace.add_argument("--input", metavar="PATH", default=None,
+                       help="read spans from a JSONL export (e.g. "
+                            "shard-stress --trace-out) instead of running "
+                            "a workload")
+    trace.add_argument("--events-input", metavar="PATH", default=None,
+                       help="also list the transaction's lifecycle events "
+                            "from an event-log JSONL export")
+
+    health = subparsers.add_parser(
+        "health", help="drive a mixed read/write/cross-shard workload and "
+                       "judge it against the SLO policy")
+    health.add_argument("--ops", type=int, default=25, metavar="N",
+                        help="operations per class (default: 25)")
+    health.add_argument("--read-ms", type=float, default=50.0, metavar="MS",
+                        help="read latency objective (default: 50)")
+    health.add_argument("--write-ms", type=float, default=250.0,
+                        metavar="MS",
+                        help="single-shard write objective (default: 250)")
+    health.add_argument("--cross-ms", type=float, default=1000.0,
+                        metavar="MS",
+                        help="cross-shard write objective (default: 1000)")
+    health.add_argument("--budget", type=float, default=0.10, metavar="P",
+                        help="error budget: tolerated violation fraction "
+                             "per class (default: 0.10)")
+    health.add_argument("--json", action="store_true",
+                        help="emit the health report as JSON")
+
+    bench_diff = subparsers.add_parser(
+        "bench-diff", help="compare a fresh benchmark report against a "
+                           "committed baseline; exit 1 on regression")
+    bench_diff.add_argument("--baseline", required=True, metavar="PATH",
+                            help="the committed BENCH_*.json baseline")
+    bench_diff.add_argument("--fresh", required=True, metavar="PATH",
+                            help="the freshly produced report")
+    bench_diff.add_argument("--tolerance", type=float, default=0.5,
+                            metavar="P",
+                            help="tolerated relative worsening before a "
+                                 "metric counts as a regression "
+                                 "(default: 0.5 = 50%%)")
+    bench_diff.add_argument("--json", action="store_true",
+                            help="emit the comparison as JSON")
 
     recover = subparsers.add_parser(
         "recover", help="recover a durability directory and report how")
@@ -466,8 +522,20 @@ def build_repro_parser() -> argparse.ArgumentParser:
                                    "shard journal record, a prepare or "
                                    "the decision (default: 50)")
     shard_stress.add_argument("--dir", default=None, metavar="DIR",
-                              help="durability directory for chaos mode "
-                                   "(default: a temporary one)")
+                              help="durability directory: durable mode on "
+                                   "its own, chaos mode with --faults "
+                                   "(chaos default: a temporary one)")
+    shard_stress.add_argument("--replicas", type=int, default=0,
+                              metavar="N",
+                              help="stream every shard's commits to N "
+                                   "sharded replicas and audit their "
+                                   "convergence (default: 0)")
+    shard_stress.add_argument("--trace-out", default=None, metavar="PATH",
+                              help="export the run's spans as JSONL "
+                                   "(feeds repro trace --txn)")
+    shard_stress.add_argument("--events-out", default=None, metavar="PATH",
+                              help="export the run's lifecycle events as "
+                                   "JSONL")
     shard_stress.add_argument("--json", action="store_true",
                               help="emit the full report as JSON")
 
@@ -629,13 +697,14 @@ def _repro_shard_stress(args) -> int:
             keys_per_session=args.keys, cross_ratio=args.cross,
             seed=args.seed, placement=args.placement,
             timeout=args.timeout, faults=faults, fault_at=args.fault_at,
-            directory=directory)
+            directory=directory, replicas=args.replicas,
+            trace_out=args.trace_out, events_out=args.events_out)
 
     if faults is not None and args.dir is None:
         with tempfile.TemporaryDirectory() as scratch:
             report = run(scratch)
     else:
-        report = run(args.dir) if faults is not None else run(None)
+        report = run(args.dir)
 
     if args.json:
         print(json.dumps(report.describe(), indent=2, sort_keys=True))
@@ -665,6 +734,28 @@ def _repro_shard_stress(args) -> int:
               f"{report.recovery_reapplied} decided batches re-applied, "
               f"{report.recovery_in_doubt_aborted} in-doubt rolled back")
         print(f"  durable prefix:     {report.recovery_is_durable_prefix}")
+    if report.replicas:
+        digest_note = ("" if report.replica_digest_match is None else
+                       f", digests "
+                       f"{'match' if report.replica_digest_match else 'DIVERGED'}")
+        print(f"  replicas:           {report.replicas} "
+              f"({'converged' if report.replica_converged else 'LAGGING'}, "
+              f"{report.replica_records_applied} records applied"
+              f"{digest_note})")
+    if report.sample_cross_txn is not None:
+        print(f"  sample cross txn:   {report.sample_cross_txn}"
+              + (f"  (repro trace --txn {report.sample_cross_txn} "
+                 f"--input {report.trace_path})"
+                 if report.trace_path else ""))
+    if report.trace_path:
+        print(f"  spans exported:     {report.trace_path} "
+              f"({report.spans_dropped} dropped)")
+    if report.events_path:
+        print(f"  events exported:    {report.events_path} "
+              f"({report.events_dropped} dropped)")
+    if report.slo:
+        print(f"  slo:                "
+              f"{'within objectives' if report.slo.get('ok') else 'BUDGET BURNED'}")
     print(f"  lost updates:       {report.lost_updates}")
     print(f"  sum conservation:   delta {report.sum_delta:+d}")
     print(f"  commit times:       "
@@ -673,6 +764,160 @@ def _repro_shard_stress(args) -> int:
           f"{'equivalent' if report.serial_equivalent else 'DIVERGED'}")
     print(f"  audit: {'ok' if report.ok else 'FAILED'}")
     return 0 if report.ok else 1
+
+
+def _repro_health(args) -> int:
+    """The ``repro health`` verb: mixed workload, SLO verdict, exit code.
+
+    Drives *ops* transactions of each operation class — read-only,
+    single-shard write, cross-shard transfer — through a small sharded
+    store, then judges the recorded latencies against the policy built
+    from the objective flags.  Exit 1 means an error budget burned:
+    more than ``--budget`` of a class's transactions missed their
+    latency objective.
+    """
+    from repro import obs
+    from repro.obs.slo import Objective, SloPolicy
+    from repro.relational import Domain, Schema
+    from repro.sharding.store import ShardedDatabase
+
+    policy = SloPolicy({
+        "read": Objective(args.read_ms / 1000.0, args.budget),
+        "single_shard_write": Objective(args.write_ms / 1000.0, args.budget),
+        "cross_shard_write": Objective(args.cross_ms / 1000.0, args.budget),
+    })
+    store = ShardedDatabase(StaticDatabase, shards=2,
+                            clock=SimulatedClock("01/01/77"))
+    store.define("counters", Schema.of(key=["k"], k=Domain.STRING,
+                                       v=Domain.INTEGER))
+    keys = [f"k{i}" for i in range(16)]
+    for key in keys:
+        store.insert("counters", {"k": key, "v": 0})
+    by_shard = sorted(keys, key=lambda k: store.shard_of_key(
+        "counters", {"k": k}))
+    cross_a, cross_b = by_shard[0], by_shard[-1]
+    layer = store.sessions()
+
+    def read_only(session):
+        session.get("counters", {"k": keys[0]})
+
+    def increment(session):
+        row = session.get("counters", {"k": keys[1]})[0]
+        session.replace("counters", {"k": keys[1]}, {"v": row["v"] + 1})
+
+    def transfer(session):
+        row_a = session.get("counters", {"k": cross_a})[0]
+        row_b = session.get("counters", {"k": cross_b})[0]
+        session.replace("counters", {"k": cross_a}, {"v": row_a["v"] + 1})
+        session.replace("counters", {"k": cross_b}, {"v": row_b["v"] - 1})
+
+    with obs.recording() as instrumentation:
+        for _ in range(args.ops):
+            layer.run(read_only)
+            layer.run(increment)
+            layer.run(transfer)
+    health = instrumentation.slo.health(policy)
+    if args.json:
+        print(json.dumps(health, indent=2, sort_keys=True))
+        return 0 if health["ok"] else 1
+    print(f"health: {'ok' if health['ok'] else 'BUDGET BURNED'} "
+          f"({args.ops} transactions per class)")
+    for name, entry in sorted(health["classes"].items()):
+        print(f"  {name:<20} p50 {entry.get('p50', 0.0) * 1e3:.2f}ms  "
+              f"p95 {entry.get('p95', 0.0) * 1e3:.2f}ms  "
+              f"objective {entry['objective_s'] * 1e3:.0f}ms  "
+              f"violations {entry['violations']}/{entry['count']} "
+              f"(burn {entry['burn']:.2f} of budget {entry['budget']:.2f})"
+              f"  {'ok' if entry['ok'] else 'BURNED'}")
+    return 0 if health["ok"] else 1
+
+
+def _repro_bench_diff(args) -> int:
+    """The ``repro bench-diff`` verb: gate a fresh report on a baseline."""
+    from repro.obs import bench_diff
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.fresh, encoding="utf-8") as handle:
+        fresh = json.load(handle)
+    result = bench_diff(baseline, fresh, tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0 if result["ok"] else 1
+    print(f"bench-diff: {result['compared']} metrics compared, "
+          f"{result['regressions']} regression(s) beyond "
+          f"{result['tolerance']:.0%} tolerance")
+    for row in result["rows"]:
+        if row["change"] >= 0:
+            marker = "REGRESSED" if row["regression"] else "ok"
+            detail = f"({row['change']:+.1%} worse, {marker})"
+        else:
+            detail = f"({-row['change']:.1%} better)"
+        print(f"  {row['metric']:<44} {row['baseline']:>12.4g} -> "
+              f"{row['fresh']:>12.4g}  {detail}")
+    return 0 if result["ok"] else 1
+
+
+def _load_jsonl(path: str) -> list:
+    """Parse one JSON object per line (span / event exports)."""
+    rows = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def _render_trace_tree(span_rows, event_rows, txn: str, out=None) -> int:
+    """Print one transaction's spans as a causally-ordered tree.
+
+    Children are ordered by start time under their parent; a span whose
+    parent fell off the ring is shown as an extra root (and counted, so
+    a truncated export is visible rather than silently re-rooted).
+    """
+    out = out if out is not None else sys.stdout
+    mine = [s for s in span_rows if s.get("trace_id") == txn]
+    if not mine:
+        print(f"no spans recorded for {txn!r}", file=out)
+        return 1
+    by_id = {s["span_id"]: s for s in mine}
+    children: dict = {}
+    roots = []
+    for span in sorted(mine, key=lambda s: (s.get("started_at", 0.0),
+                                            s["span_id"])):
+        parent = span.get("parent_id")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    orphans = sum(1 for s in roots if s.get("parent_id") is not None)
+    note = f", {orphans} orphaned" if orphans else ""
+    print(f"trace {txn}: {len(mine)} span(s), {len(roots)} root(s){note}",
+          file=out)
+    base = min(s.get("started_at", 0.0) for s in mine)
+
+    def walk(span, depth):
+        attrs = span.get("attributes") or {}
+        extra = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        offset = (span.get("started_at", 0.0) - base) * 1e6
+        print(f"  {'  ' * depth}- {span['name']}  "
+              f"+{offset:.0f}us {span.get('duration_s', 0.0) * 1e6:.0f}us"
+              + (f"  [{extra}]" if extra else ""), file=out)
+        for child in children.get(span["span_id"], ()):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    events = [e for e in event_rows if e.get("txn") == txn]
+    if events:
+        print(f"events ({len(events)}):", file=out)
+        for event in sorted(events, key=lambda e: e.get("seq", 0)):
+            attrs = event.get("attrs") or {}
+            extra = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            print(f"  #{event.get('seq')} {event['kind']}"
+                  + (f"  {extra}" if extra else ""), file=out)
+    return 0
 
 
 def _repro_digest(args) -> int:
@@ -902,12 +1147,28 @@ def _format_stats(stats) -> str:
                 f"p95={summary['p95'] * 1e6:.1f}us "
                 f"max={summary['max'] * 1e6:.1f}us")
     if stats["spans"]:
-        lines.append(f"spans ({stats['spans_retained']} retained):")
+        dropped = stats.get("spans_dropped", 0)
+        lines.append(f"spans ({stats['spans_retained']} retained, "
+                     f"{dropped} dropped):")
         for name, entry in sorted(stats["spans"].items()):
             lines.append(
                 f"  {name:<34} count={entry['count']} "
                 f"total={entry['total_s'] * 1e3:.3f}ms "
                 f"max={entry['max_s'] * 1e6:.1f}us")
+    events = stats.get("events") or {}
+    if events.get("recorded"):
+        lines.append(f"events ({events['recorded']} recorded, "
+                     f"{events['dropped']} dropped):")
+        for kind, count in sorted((events.get("by_kind") or {}).items()):
+            lines.append(f"  {kind:<34} {count}")
+    slo = stats.get("slo") or {}
+    if slo.get("classes"):
+        lines.append(f"slo: {'ok' if slo.get('ok') else 'BUDGET BURNED'}")
+        for name, entry in sorted(slo["classes"].items()):
+            lines.append(
+                f"  {name:<34} count={entry['count']} "
+                f"p95={entry.get('p95', 0.0) * 1e3:.2f}ms "
+                f"violations={entry['violations']}")
     return "\n".join(lines)
 
 
@@ -915,7 +1176,8 @@ def repro_main(argv: Optional[list] = None) -> int:
     """Entry point for the ``repro`` console script."""
     args = build_repro_parser().parse_args(argv)
     if args.subcommand in ("recover", "checkpoint", "stress", "digest",
-                           "replicate", "promote", "shard-stress"):
+                           "replicate", "promote", "shard-stress",
+                           "health", "bench-diff"):
         try:
             handler = {"recover": _repro_recover,
                        "checkpoint": _repro_checkpoint,
@@ -923,17 +1185,40 @@ def repro_main(argv: Optional[list] = None) -> int:
                        "digest": _repro_digest,
                        "replicate": _repro_replicate,
                        "promote": _repro_promote,
-                       "shard-stress": _repro_shard_stress}[args.subcommand]
+                       "shard-stress": _repro_shard_stress,
+                       "health": _repro_health,
+                       "bench-diff": _repro_bench_diff}[args.subcommand]
             return handler(args)
-        except (ReproError, OSError) as error:
+        except (ReproError, OSError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
+    if args.subcommand == "trace" and args.input is not None:
+        # Offline reconstruction from a JSONL export — no workload run.
+        try:
+            span_rows = _load_jsonl(args.input)
+            event_rows = (_load_jsonl(args.events_input)
+                          if args.events_input else [])
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if args.txn is not None:
+            return _render_trace_tree(span_rows, event_rows, args.txn)
+        if args.limit is not None:
+            span_rows = span_rows[-args.limit:]
+        for row in span_rows:
+            print(json.dumps(row, sort_keys=True, default=str))
+        return 0
     try:
         instrumentation = _instrumented_run(args)
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     if args.subcommand == "stats":
+        if args.openmetrics:
+            from repro.obs import to_openmetrics
+            print(to_openmetrics(instrumentation.metrics.snapshot()),
+                  end="")
+            return 0
         snapshot = instrumentation.stats()
         if args.json:
             print(json.dumps(snapshot, indent=2, sort_keys=True, default=str))
@@ -941,6 +1226,11 @@ def repro_main(argv: Optional[list] = None) -> int:
             print(_format_stats(snapshot))
         return 0
     spans = instrumentation.tracer.spans()
+    if args.txn is not None:
+        event_rows = [event.describe()
+                      for event in instrumentation.events.events()]
+        return _render_trace_tree([span.describe() for span in spans],
+                                  event_rows, args.txn)
     if args.limit is not None:
         spans = spans[-args.limit:]
     if args.out is not None:

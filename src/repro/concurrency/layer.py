@@ -44,7 +44,8 @@ from typing import Any, Callable, Optional, TYPE_CHECKING
 from repro.concurrency.admission import AdmissionController
 from repro.concurrency.retry import RetryPolicy
 from repro.concurrency.session import ConcurrentSession, SessionStatus
-from repro.errors import ConflictError, DeadlineExceeded
+from repro.errors import ConflictError, DeadlineExceeded, Overloaded
+from repro.obs import context as _trace
 from repro.obs import runtime as _obs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -106,7 +107,8 @@ class SessionLayer:
         commit record, but the whole read set is certified to have held
         simultaneously.
         """
-        metrics = _obs.current().metrics
+        obs = _obs.current()
+        metrics = obs.metrics
         if deadline is not None and self._clock() >= deadline:
             session._status = SessionStatus.ABORTED
             raise DeadlineExceeded(
@@ -117,6 +119,8 @@ class SessionLayer:
             stale = session.conflicts()
             if stale:
                 metrics.counter("concurrency.conflicts").inc()
+                obs.events.emit("txn.conflict", txn=session.txn_id,
+                                relations=stale)
                 raise ConflictError(
                     f"session {session.session_id} lost first-committer-"
                     f"wins validation: {', '.join(stale)} changed since "
@@ -129,10 +133,15 @@ class SessionLayer:
                 # A certified read-only session still gets a token: a
                 # replica at this index has everything the session saw.
                 session._commit_token = len(self.database.log)
+                obs.events.emit("txn.commit", txn=session.txn_id,
+                                op_class="read",
+                                token=session._commit_token)
                 return None
-            with metrics.histogram("concurrency.commit_seconds").time():
-                commit_time = self.database.manager.run(
-                    session.operations, validate=validate)
+            with obs.tracer.span("concurrency.commit",
+                                 txn=session.txn_id):
+                with metrics.histogram("concurrency.commit_seconds").time():
+                    commit_time = self.database.manager.run(
+                        session.operations, validate=validate)
         except Exception:
             session._status = SessionStatus.ABORTED
             raise
@@ -144,6 +153,9 @@ class SessionLayer:
         # commit landing first) — conservative, never stale.
         session._commit_token = len(self.database.log)
         metrics.counter("concurrency.commits").inc()
+        obs.events.emit("txn.commit", txn=session.txn_id,
+                        op_class=session.op_class,
+                        token=session._commit_token)
         return commit_time
 
     # -- the transactional entry point -----------------------------------------
@@ -167,25 +179,60 @@ class SessionLayer:
         if deadline is None and timeout is not None:
             deadline = self._clock() + timeout
         obs = _obs.current()
+        txn_id = _trace.new_txn_id()
+        state = {"attempt": 0, "session": None}
 
         def attempt() -> Any:
-            with self.admission.admit(deadline):
-                session = self.begin()
+            state["attempt"] += 1
+            number = state["attempt"]
+            obs.events.emit("txn.attempt", txn=txn_id, attempt=number)
+            with obs.tracer.span("concurrency.attempt", attempt=number):
                 try:
-                    result = closure(session)
-                    if session.is_active:
-                        session.commit(deadline)
-                    return result
-                finally:
-                    if session.is_active:
-                        session.abort()
+                    with self.admission.admit(deadline):
+                        session = self.begin()
+                        state["session"] = session
+                        try:
+                            result = closure(session)
+                            if session.is_active:
+                                session.commit(deadline)
+                            return result
+                        finally:
+                            if session.is_active:
+                                session.abort()
+                except Overloaded as error:
+                    obs.events.emit("txn.shed", txn=txn_id,
+                                    attempt=number,
+                                    retry_after=error.retry_after)
+                    raise
 
-        with obs.tracer.span("concurrency.run"):
-            try:
-                return self.retry.call(attempt, deadline)
-            except DeadlineExceeded:
-                obs.metrics.counter("concurrency.deadline_exceeded").inc()
-                raise
+        # The root span *starts* this transaction's trace; attaching its
+        # context makes txn_id ambient for every same-thread descendant
+        # (events default their txn, journal appends find their owner)
+        # and every retry attempt's session inherit the same txn_id.
+        with obs.tracer.span("concurrency.run", trace_id=txn_id,
+                             txn=txn_id) as root:
+            with _trace.attach(root.context):
+                obs.events.emit("txn.begin", txn=txn_id)
+                started = self._clock()
+                try:
+                    result = self.retry.call(attempt, deadline)
+                except DeadlineExceeded:
+                    obs.metrics.counter("concurrency.deadline_exceeded").inc()
+                    obs.events.emit("txn.deadline", txn=txn_id,
+                                    attempts=state["attempt"])
+                    raise
+                except Exception as error:
+                    obs.events.emit("txn.abort", txn=txn_id,
+                                    error=type(error).__name__,
+                                    attempts=state["attempt"])
+                    raise
+                # End-to-end latency — admission queueing, every retry
+                # attempt, validation and commit — against the class the
+                # *committed* session fell into.
+                session = state["session"]
+                op_class = session.op_class if session is not None else "read"
+                obs.slo.record(op_class, self._clock() - started)
+                return result
 
     def __repr__(self) -> str:
         return (f"SessionLayer({self.database!r}, retry={self.retry!r}, "

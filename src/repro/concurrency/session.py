@@ -32,6 +32,7 @@ from typing import (Any, Callable, Dict, List, Mapping, Optional, Tuple,
                     Union)
 
 from repro.errors import TransactionStateError
+from repro.obs import context as _trace
 from repro.time.instant import Instant
 from repro.txn.transaction import Operation
 
@@ -68,6 +69,11 @@ class ConcurrentSession:
         self._snapshot_index = len(self._database.log)
         self._commit_time: Optional[Instant] = None
         self._commit_token: Optional[int] = None
+        #: the correlation id tying this attempt to its logical
+        #: transaction: inherited from the thread's attached trace
+        #: context (every retry attempt of one SessionLayer.run shares
+        #: it), or freshly minted for raw begin() use.
+        self._txn_id = _trace.current_txn() or _trace.new_txn_id()
 
     # -- accessors ------------------------------------------------------------
 
@@ -75,6 +81,27 @@ class ConcurrentSession:
     def session_id(self) -> int:
         """A layer-unique, increasing session identifier."""
         return self._id
+
+    @property
+    def txn_id(self) -> str:
+        """The logical transaction's correlation id (``txn-N``).
+
+        Shared by every retry attempt of one :meth:`SessionLayer.run`
+        call; spans and lifecycle events carry it as ``trace_id`` /
+        ``txn`` so ``repro trace --txn`` can reconstruct the commit's
+        whole distributed lineage.
+        """
+        return self._txn_id
+
+    @property
+    def op_class(self) -> str:
+        """The SLO operation class this session falls into.
+
+        ``read`` while nothing is buffered; ``single_shard_write``
+        otherwise (the unsharded engine is one shard).  The sharded
+        session refines the write classes by footprint.
+        """
+        return "read" if not self._operations else "single_shard_write"
 
     @property
     def status(self) -> SessionStatus:

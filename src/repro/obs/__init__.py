@@ -20,9 +20,19 @@ pipeline (:mod:`repro.tquel`), the transaction lifecycle
 (:mod:`repro.txn`) and the workload driver (:mod:`repro.workload`).
 """
 
+from repro.obs import context
+from repro.obs.context import TraceContext
+from repro.obs.events import (
+    EVENT_KINDS, Event, EventLog, NULL_EVENTS, NullEventLog,
+)
+from repro.obs.export import bench_diff, to_openmetrics
 from repro.obs.metrics import (
     Counter, Gauge, Histogram, MetricsRegistry, NullRegistry, NULL_REGISTRY,
     quantile,
+)
+from repro.obs.slo import (
+    DEFAULT_POLICY, NULL_SLO, NullSloTracker, Objective, OP_CLASSES,
+    SloPolicy, SloTracker,
 )
 from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
 from repro.obs.runtime import (
@@ -32,17 +42,32 @@ from repro.obs.runtime import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_POLICY",
+    "EVENT_KINDS",
+    "Event",
+    "EventLog",
     "Gauge",
     "Histogram",
     "Instrumentation",
     "MetricsRegistry",
     "NULL",
+    "NULL_EVENTS",
     "NULL_REGISTRY",
+    "NULL_SLO",
     "NULL_TRACER",
+    "NullEventLog",
     "NullRegistry",
+    "NullSloTracker",
     "NullTracer",
+    "OP_CLASSES",
+    "Objective",
+    "SloPolicy",
+    "SloTracker",
     "Span",
+    "TraceContext",
     "Tracer",
+    "bench_diff",
+    "context",
     "current",
     "disable",
     "enable",
@@ -50,4 +75,5 @@ __all__ = [
     "quantile",
     "recording",
     "stats",
+    "to_openmetrics",
 ]

@@ -1,0 +1,102 @@
+"""Trace/correlation context: the thread-local carrier of commit lineage.
+
+A :class:`TraceContext` names a position in one logical transaction's
+trace: the ``trace_id`` (the transaction's correlation id, ``txn-N``)
+plus the ``span_id`` of the span that position should parent to.  The
+tracer's per-thread open-span stack already parents same-thread nesting;
+this module covers the two cases the stack cannot:
+
+- **explicit handoff** — code that runs on *another* thread (a replica's
+  pump loop applying a shipped record) receives a serialized context in
+  the message and opens its span with ``tracer.span(..., parent=ctx)``;
+- **ambient activation** — a layer that owns the transaction (the
+  session layer's retry loop) activates its context with
+  :func:`attach`, so downstream code with no span on its stack (event
+  emission, journal appends on the commit path) can still discover the
+  transaction id with :func:`current_txn`.
+
+Transaction ids are process-unique and cheap (a shared
+:class:`itertools.count`); they are deliberately *not* random so
+deterministic tests can pin them down.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import threading
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["TraceContext", "attach", "current", "current_txn", "new_txn_id",
+           "from_wire"]
+
+
+class TraceContext:
+    """An immutable (trace_id, span_id) pair naming a parent position."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: Optional[str],
+                 span_id: Optional[int]) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def to_wire(self) -> Dict[str, Any]:
+        """A JSON-ready dict for carrying the context inside a message."""
+        return {"txn": self.trace_id, "span": self.span_id}
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, TraceContext)
+                and other.trace_id == self.trace_id
+                and other.span_id == self.span_id)
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id))
+
+    def __repr__(self) -> str:
+        return f"TraceContext({self.trace_id!r}, span #{self.span_id})"
+
+
+def from_wire(payload: Optional[Dict[str, Any]]) -> Optional[TraceContext]:
+    """Rebuild a context from :meth:`TraceContext.to_wire` (None-safe)."""
+    if not payload:
+        return None
+    return TraceContext(payload.get("txn"), payload.get("span"))
+
+
+_txn_ids = itertools.count(1)
+_local = threading.local()
+
+
+def new_txn_id() -> str:
+    """A fresh process-unique transaction id (``txn-N``)."""
+    return f"txn-{next(_txn_ids)}"
+
+
+def current() -> Optional[TraceContext]:
+    """The context attached to this thread, or None."""
+    stack = getattr(_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+def current_txn() -> Optional[str]:
+    """The attached transaction id, or None outside any transaction."""
+    context = current()
+    return context.trace_id if context is not None else None
+
+
+@contextlib.contextmanager
+def attach(context: TraceContext) -> Iterator[TraceContext]:
+    """Make *context* current on this thread for the ``with`` block.
+
+    Attachments nest (re-entrant layers push and pop); the previous
+    context is restored on exit even when the block raises.
+    """
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    stack.append(context)
+    try:
+        yield context
+    finally:
+        stack.pop()

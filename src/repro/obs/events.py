@@ -1,0 +1,199 @@
+"""Structured lifecycle events: the machine-readable commit record.
+
+Spans answer "how long"; the event log answers "what happened, in what
+order, to which transaction".  Every event is one of the schema'd
+:data:`EVENT_KINDS` below — emitting an unknown kind raises, so the
+vocabulary stays a contract rather than a convention — and carries the
+transaction id it belongs to (defaulting to the thread's attached
+:mod:`repro.obs.context`).
+
+The log is a bounded ring (old events fall off the back and are counted
+in :attr:`EventLog.dropped`) with a JSON-lines sink, mirroring the
+tracer's design: constant memory under chaos runs, exportable for
+offline reconstruction.  :class:`NullEventLog` is the zero-cost twin
+used while recording is off.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, IO, Iterator, List, Optional
+
+__all__ = ["Event", "EventLog", "NullEventLog", "NULL_EVENTS", "EVENT_KINDS"]
+
+from repro.obs import context as trace_context
+
+#: The lifecycle vocabulary (docs/OBSERVABILITY.md documents each kind).
+EVENT_KINDS = (
+    "txn.begin",          # SessionLayer.run accepted a transaction
+    "txn.attempt",        # one optimistic attempt started {attempt}
+    "txn.shed",           # admission refused the attempt {retry_after}
+    "txn.conflict",       # first-committer-wins validation failed {relation}
+    "txn.commit",         # the transaction committed {token, op_class}
+    "txn.abort",          # the transaction gave up {error}
+    "txn.deadline",       # the deadline expired before commit
+    "2pc.prepare",        # coordinator journaled a shard prepare {gid, shard}
+    "2pc.decide",         # decision-log append: THE commit point {gid}
+    "2pc.apply",          # one shard applied its decided batch {gid, shard}
+    "journal.append",     # a commit record became durable {shard, records}
+    "replication.ship",   # primary published a record {node, seq}
+    "replication.apply",  # replica applied a shipped record {node, seq}
+    "replication.failover",  # FailoverCoordinator promoted {node, epoch}
+)
+
+_KIND_SET = frozenset(EVENT_KINDS)
+
+
+class Event:
+    """One lifecycle event: schema'd kind, txn id, free attributes."""
+
+    __slots__ = ("seq", "ts", "kind", "txn", "attrs")
+
+    def __init__(self, seq: int, ts: float, kind: str, txn: Optional[str],
+                 attrs: Dict[str, Any]) -> None:
+        self.seq = seq
+        self.ts = ts
+        self.kind = kind
+        self.txn = txn
+        self.attrs = attrs
+
+    def describe(self) -> Dict[str, Any]:
+        """A JSON-ready dict (the exporter's row format)."""
+        return {
+            "seq": self.seq,
+            "ts": round(self.ts, 9),
+            "kind": self.kind,
+            "txn": self.txn,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:
+        txn = f" {self.txn}" if self.txn else ""
+        return f"Event(#{self.seq} {self.kind}{txn} {self.attrs!r})"
+
+
+class EventLog:
+    """A bounded, thread-safe ring of lifecycle events."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("event-log capacity must be positive")
+        self._events: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        """The ring size (events retained)."""
+        return self._events.maxlen  # type: ignore[return-value]
+
+    @property
+    def recorded(self) -> int:
+        """Events ever emitted (including ones that fell off the ring)."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring to make room."""
+        return self._dropped
+
+    def emit(self, kind: str, txn: Optional[str] = None,
+             **attrs: Any) -> None:
+        """Append one event; *kind* must be in :data:`EVENT_KINDS`.
+
+        When *txn* is omitted the thread's attached trace context supplies
+        it (None outside any transaction).
+        """
+        if kind not in _KIND_SET:
+            raise ValueError(f"unknown event kind {kind!r} "
+                             f"(schema: {', '.join(EVENT_KINDS)})")
+        if txn is None:
+            txn = trace_context.current_txn()
+        ts = time.perf_counter()
+        with self._lock:
+            self._seq += 1
+            if len(self._events) == self._events.maxlen:
+                self._dropped += 1
+            self._events.append(Event(self._seq, ts, kind, txn, attrs))
+
+    def events(self) -> List[Event]:
+        """The retained events, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    def for_txn(self, txn: str) -> List[Event]:
+        """The retained events belonging to transaction *txn*."""
+        return [event for event in self.events() if event.txn == txn]
+
+    def aggregate(self) -> Dict[str, int]:
+        """Per-kind counts over the retained events, sorted by kind."""
+        counts: Dict[str, int] = {}
+        for event in self.events():
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def export_jsonl(self, target) -> int:
+        """Write the retained events as JSON lines; returns the count.
+
+        *target* is an open text file or a path.
+        """
+        if hasattr(target, "write"):
+            return self._write_jsonl(target)
+        with open(target, "w", encoding="utf-8") as handle:
+            return self._write_jsonl(handle)
+
+    def _write_jsonl(self, handle: IO[str]) -> int:
+        count = 0
+        for event in self.events():
+            handle.write(json.dumps(event.describe(), sort_keys=True,
+                                    default=str))
+            handle.write("\n")
+            count += 1
+        return count
+
+    def reset(self) -> None:
+        """Drop the retained events and the drop count."""
+        with self._lock:
+            self._events.clear()
+            self._seq = 0
+            self._dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events())
+
+    def __repr__(self) -> str:
+        return (f"EventLog({len(self)}/{self.capacity} retained, "
+                f"{self.dropped} dropped)")
+
+
+class NullEventLog(EventLog):
+    """The disabled event log: emits nothing, retains nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def emit(self, kind: str, txn: Optional[str] = None,
+             **attrs: Any) -> None:
+        pass
+
+    def events(self) -> List[Event]:
+        return []
+
+    def export_jsonl(self, target) -> int:
+        return 0
+
+
+#: The shared no-op event log (the process default until recording is on).
+NULL_EVENTS = NullEventLog()

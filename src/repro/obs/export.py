@@ -1,0 +1,159 @@
+"""Exporters: OpenMetrics text exposition and benchmark-baseline diffing.
+
+Two read-side consumers of the snapshots the rest of the layer already
+produces:
+
+- :func:`to_openmetrics` renders a :meth:`MetricsRegistry.snapshot`
+  dict in the OpenMetrics / Prometheus text format (counters as
+  ``_total``, histograms as quantile summaries), so ``repro stats
+  --openmetrics`` can feed a scraper without any new dependency;
+- :func:`bench_diff` compares a freshly produced ``BENCH_*.json`` report
+  against the committed baseline, extracting the *directional* metrics
+  (throughput: higher is better; per-op latency and overhead ratios:
+  lower is better) and flagging relative regressions beyond a tolerance.
+  ``repro bench-diff`` wraps it with a non-zero exit on regression.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["to_openmetrics", "bench_diff", "DIRECTION_RULES"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, prefix: str = "repro") -> str:
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"{prefix}_{sanitized}"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    try:
+        return repr(float(value))
+    except (TypeError, ValueError):
+        return "0"
+
+
+def to_openmetrics(snapshot: Dict[str, Any], prefix: str = "repro") -> str:
+    """Render a metrics snapshot as OpenMetrics text exposition.
+
+    *snapshot* is the ``{"counters", "gauges", "histograms"}`` dict from
+    :meth:`MetricsRegistry.snapshot`.  Histogram summaries become
+    Prometheus *summary* families (quantile series + ``_count`` +
+    ``_sum``).  The output ends with the mandatory ``# EOF`` marker.
+    """
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, summary in snapshot.get("histograms", {}).items():
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for q_label, key in (("0.5", "p50"), ("0.95", "p95"),
+                             ("0.99", "p99")):
+            if key in summary:
+                lines.append(f'{metric}{{quantile="{q_label}"}} '
+                             f"{_format_value(summary[key])}")
+        lines.append(f"{metric}_count {_format_value(summary.get('count', 0))}")
+        lines.append(f"{metric}_sum {_format_value(summary.get('total', 0.0))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+#: Which leaf metrics in a BENCH_*.json report are directional, and how.
+#: Matched against the dotted path of each numeric leaf.
+DIRECTION_RULES: Tuple[Tuple[str, str], ...] = (
+    (r"\bper_commit_us$", "lower"),
+    (r"\bper_record_us$", "lower"),
+    (r"\bper_query_us$", "lower"),
+    (r"\boverhead_ratio$", "lower"),
+    (r"\bflatness_ratio$", "lower"),
+    (r"\bops_per_sec$", "higher"),
+    (r"\bthroughput_tps$", "higher"),
+    (r"\bspeedup$", "higher"),
+)
+
+_COMPILED_RULES = tuple((re.compile(pattern), direction)
+                        for pattern, direction in DIRECTION_RULES)
+
+
+def _numeric_leaves(report: Any, path: str = "") -> Dict[str, float]:
+    leaves: Dict[str, float] = {}
+    if isinstance(report, dict):
+        for key, value in report.items():
+            child = f"{path}.{key}" if path else str(key)
+            leaves.update(_numeric_leaves(value, child))
+    elif isinstance(report, list):
+        for index, value in enumerate(report):
+            leaves.update(_numeric_leaves(value, f"{path}[{index}]"))
+    elif isinstance(report, (int, float)) and not isinstance(report, bool):
+        leaves[path] = float(report)
+    return leaves
+
+
+def _direction(path: str) -> str:
+    for pattern, direction in _COMPILED_RULES:
+        if pattern.search(path):
+            return direction
+    return ""
+
+
+def bench_diff(baseline: Dict[str, Any], fresh: Dict[str, Any],
+               tolerance: float = 0.5) -> Dict[str, Any]:
+    """Compare two benchmark reports metric-by-metric.
+
+    Walks both reports for numeric leaves whose dotted path matches a
+    :data:`DIRECTION_RULES` entry and is present in *both*.  For each,
+    computes the relative change *in the bad direction* — a positive
+    ``change`` always means "got worse" regardless of polarity — and
+    flags a regression when it exceeds *tolerance* (0.5 = 50% worse).
+
+    Returns ``{"compared", "regressions", "ok", "rows"}``; rows carry
+    ``{metric, direction, baseline, fresh, change, regression}`` sorted
+    worst-first.  Baselines at 0 are skipped (no relative change).
+    """
+    base_leaves = _numeric_leaves(baseline)
+    fresh_leaves = _numeric_leaves(fresh)
+    rows: List[Dict[str, Any]] = []
+    for path in sorted(set(base_leaves) & set(fresh_leaves)):
+        direction = _direction(path)
+        if not direction:
+            continue
+        base_value = base_leaves[path]
+        fresh_value = fresh_leaves[path]
+        if base_value == 0.0:
+            continue
+        if direction == "lower":
+            change = (fresh_value - base_value) / abs(base_value)
+        else:
+            change = (base_value - fresh_value) / abs(base_value)
+        rows.append({
+            "metric": path,
+            "direction": direction,
+            "baseline": base_value,
+            "fresh": fresh_value,
+            "change": round(change, 6),
+            "regression": change > tolerance,
+        })
+    rows.sort(key=lambda row: row["change"], reverse=True)
+    regressions = sum(1 for row in rows if row["regression"])
+    return {
+        "compared": len(rows),
+        "regressions": regressions,
+        "ok": regressions == 0,
+        "tolerance": tolerance,
+        "rows": rows,
+    }

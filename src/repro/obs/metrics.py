@@ -23,12 +23,15 @@ grep guard.
 
 from __future__ import annotations
 
+import random
+import threading
 import time
+import zlib
 from typing import Any, Dict, List, Optional, Sequence
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
-    "NULL_REGISTRY", "quantile",
+    "NULL_REGISTRY", "quantile", "DEFAULT_RESERVOIR",
 ]
 
 
@@ -53,35 +56,49 @@ def quantile(sorted_values: Sequence[float], q: float) -> float:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "value")
+    Thread-safe: the stress harness bumps counters from many sessions at
+    once, and ``value += amount`` is a read-modify-write that loses
+    increments without the lock.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         """Add *amount* (default 1)."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A value that goes up and down (sizes, active counts)."""
+    """A value that goes up and down (sizes, active counts).
 
-    __slots__ = ("name", "value")
+    Thread-safe for the same reason as :class:`Counter`: ``add`` is a
+    read-modify-write.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def set(self, value) -> None:
         """Record the current reading."""
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def add(self, amount) -> None:
         """Move the reading by *amount* (may be negative)."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class _Timer:
@@ -102,23 +119,51 @@ class _Timer:
         return False
 
 
-class Histogram:
-    """Raw-sample histogram with p50/p95/p99/max summaries.
+#: Retained samples per histogram before reservoir sampling kicks in.
+DEFAULT_RESERVOIR = 8192
 
-    Keeps every observation (these are process-local diagnostics, not a
-    long-running telemetry pipeline); :meth:`summary` sorts once and
-    reads the quantiles off the sorted samples.
+
+class Histogram:
+    """Bounded-sample histogram with p50/p95/p99/max summaries.
+
+    Below *reservoir* observations every sample is retained and the
+    summary is exact.  Above it, Vitter's Algorithm R keeps a uniform
+    random sample of the stream in constant memory, so quantiles become
+    unbiased estimates while ``count``/``total`` (and therefore the
+    mean) stay exact; ``max`` degrades to the maximum of the retained
+    sample.  The reservoir RNG is seeded from the histogram's name, so
+    runs are reproducible.  Thread-safe.
     """
 
-    __slots__ = ("name", "_values")
+    __slots__ = ("name", "_values", "_lock", "_reservoir", "_seen",
+                 "_total", "_max", "_rng")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str,
+                 reservoir: int = DEFAULT_RESERVOIR) -> None:
+        if reservoir < 1:
+            raise ValueError("histogram reservoir must be positive")
         self.name = name
         self._values: List[float] = []
+        self._lock = threading.Lock()
+        self._reservoir = reservoir
+        self._seen = 0
+        self._total = 0.0
+        self._max = 0.0
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
 
     def observe(self, value: float) -> None:
         """Record one sample."""
-        self._values.append(value)
+        with self._lock:
+            self._seen += 1
+            self._total += value
+            if self._seen == 1 or value > self._max:
+                self._max = value
+            if len(self._values) < self._reservoir:
+                self._values.append(value)
+            else:  # Algorithm R: replace a random slot with prob k/seen
+                slot = self._rng.randrange(self._seen)
+                if slot < self._reservoir:
+                    self._values[slot] = value
 
     def time(self) -> _Timer:
         """A context manager observing the wrapped block's duration."""
@@ -126,27 +171,44 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        """How many samples have been observed."""
-        return len(self._values)
+        """How many samples have been observed (exact, not retained)."""
+        return self._seen
+
+    @property
+    def reservoir(self) -> int:
+        """The retained-sample cap."""
+        return self._reservoir
+
+    @property
+    def sampled(self) -> bool:
+        """True once the stream outgrew the reservoir (estimates apply)."""
+        return self._seen > self._reservoir
 
     @property
     def values(self) -> List[float]:
-        """A copy of the raw samples, in observation order."""
-        return list(self._values)
+        """A copy of the retained samples (all of them below the cap)."""
+        with self._lock:
+            return list(self._values)
 
     def summary(self) -> Dict[str, float]:
-        """``{count, total, p50, p95, p99, max}`` over the samples so far."""
-        if not self._values:
-            return {"count": 0, "total": 0.0, "p50": 0.0, "p95": 0.0,
-                    "p99": 0.0, "max": 0.0}
-        ordered = sorted(self._values)
+        """``{count, total, p50, p95, p99, max}`` over the samples so far.
+
+        ``count``/``total``/``max`` are exact; the quantiles are exact
+        below the reservoir cap and uniform-sample estimates above it.
+        """
+        with self._lock:
+            if not self._values:
+                return {"count": 0, "total": 0.0, "p50": 0.0, "p95": 0.0,
+                        "p99": 0.0, "max": 0.0}
+            ordered = sorted(self._values)
+            seen, total, maximum = self._seen, self._total, self._max
         return {
-            "count": len(ordered),
-            "total": float(sum(ordered)),
+            "count": seen,
+            "total": float(total),
             "p50": quantile(ordered, 0.50),
             "p95": quantile(ordered, 0.95),
             "p99": quantile(ordered, 0.99),
-            "max": float(ordered[-1]),
+            "max": float(maximum),
         }
 
 
@@ -164,26 +226,36 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._create_lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         """The counter called *name* (created empty on first use)."""
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name)
+            with self._create_lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    instrument = self._counters[name] = Counter(name)
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         """The gauge called *name* (created at 0 on first use)."""
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = self._gauges[name] = Gauge(name)
+            with self._create_lock:
+                instrument = self._gauges.get(name)
+                if instrument is None:
+                    instrument = self._gauges[name] = Gauge(name)
         return instrument
 
     def histogram(self, name: str) -> Histogram:
         """The histogram called *name* (created empty on first use)."""
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(name)
+            with self._create_lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = self._histograms[name] = Histogram(name)
         return instrument
 
     def snapshot(self) -> Dict[str, Any]:

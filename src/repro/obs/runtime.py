@@ -28,7 +28,9 @@ from __future__ import annotations
 import contextlib
 from typing import Any, Dict, Iterator, Optional
 
+from repro.obs.events import EventLog, NULL_EVENTS
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.obs.slo import NULL_SLO, SloTracker
 from repro.obs.tracing import NULL_TRACER, Tracer
 
 __all__ = ["Instrumentation", "NULL", "current", "install", "enable",
@@ -36,15 +38,21 @@ __all__ = ["Instrumentation", "NULL", "current", "install", "enable",
 
 
 class Instrumentation:
-    """A metrics registry and a tracer that travel together."""
+    """Metrics, tracer, event log and SLO tracker that travel together."""
 
-    __slots__ = ("metrics", "tracer")
+    __slots__ = ("metrics", "tracer", "events", "slo")
 
     def __init__(self, metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
-                 capacity: int = 2048) -> None:
+                 events: Optional[EventLog] = None,
+                 slo: Optional[SloTracker] = None,
+                 capacity: int = 2048,
+                 event_capacity: int = 4096) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(capacity)
+        self.events = events if events is not None \
+            else EventLog(event_capacity)
+        self.slo = slo if slo is not None else SloTracker()
 
     @property
     def enabled(self) -> bool:
@@ -58,12 +66,22 @@ class Instrumentation:
             "metrics": self.metrics.snapshot(),
             "spans": self.tracer.aggregate(),
             "spans_retained": len(self.tracer),
+            "spans_dropped": self.tracer.spans_dropped,
+            "events": {
+                "recorded": self.events.recorded,
+                "retained": len(self.events),
+                "dropped": self.events.dropped,
+                "by_kind": self.events.aggregate(),
+            },
+            "slo": self.slo.health(),
         }
 
     def reset(self) -> None:
-        """Drop all recorded metrics and spans."""
+        """Drop all recorded metrics, spans, events and SLO windows."""
         self.metrics.reset()
         self.tracer.reset()
+        self.events.reset()
+        self.slo.reset()
 
     def __repr__(self) -> str:
         state = "recording" if self.enabled else "no-op"
@@ -71,7 +89,7 @@ class Instrumentation:
 
 
 #: The no-op instrumentation: the process default.
-NULL = Instrumentation(NULL_REGISTRY, NULL_TRACER)
+NULL = Instrumentation(NULL_REGISTRY, NULL_TRACER, NULL_EVENTS, NULL_SLO)
 
 _current: Instrumentation = NULL
 
@@ -89,7 +107,8 @@ def install(instrumentation: Instrumentation) -> Instrumentation:
     return previous
 
 
-def enable(capacity: int = 2048) -> Instrumentation:
+def enable(capacity: int = 2048,
+           event_capacity: int = 4096) -> Instrumentation:
     """Start recording into a fresh instrumentation and return it.
 
     If recording is already on, the existing instrumentation is kept (so
@@ -97,7 +116,8 @@ def enable(capacity: int = 2048) -> Instrumentation:
     """
     if _current.enabled:
         return _current
-    install(Instrumentation(capacity=capacity))
+    install(Instrumentation(capacity=capacity,
+                            event_capacity=event_capacity))
     return _current
 
 
@@ -108,13 +128,15 @@ def disable() -> Instrumentation:
 
 
 @contextlib.contextmanager
-def recording(capacity: int = 2048) -> Iterator[Instrumentation]:
+def recording(capacity: int = 2048,
+              event_capacity: int = 4096) -> Iterator[Instrumentation]:
     """Record within a ``with`` block; restores the previous state after.
 
     Yields the fresh :class:`Instrumentation`, which stays readable after
     the block (it is merely no longer *current*).
     """
-    instrumentation = Instrumentation(capacity=capacity)
+    instrumentation = Instrumentation(capacity=capacity,
+                                      event_capacity=event_capacity)
     previous = install(instrumentation)
     try:
         yield instrumentation

@@ -1,0 +1,179 @@
+"""SLO / health: per-operation-class latency objectives with error budgets.
+
+The session layers classify every committed transaction into one of
+three operation classes — ``read`` (no buffered writes), a
+``single_shard_write`` (one shard's fast path), or a
+``cross_shard_write`` (the 2PC protocol) — and record its end-to-end
+latency (admission + every retry attempt + commit) into the
+:class:`SloTracker`'s per-class sliding window.
+
+Health is evaluated lazily against an :class:`SloPolicy`: each class has
+a latency objective and an **error budget** — the fraction of the
+window allowed to miss the objective.  A class is healthy while its burn
+rate (violations / samples) stays within budget; ``repro health`` exits
+non-zero the moment any class burns through.  Evaluating at read time
+(rather than at record time) means the same window can be re-judged
+under a stricter policy without re-running the workload.
+
+The default objectives are deliberately loose — they must hold on noisy
+CI machines — and tunable per call (``repro health --read-ms ...``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import quantile
+
+__all__ = ["Objective", "SloPolicy", "SloTracker", "NullSloTracker",
+           "NULL_SLO", "OP_CLASSES", "DEFAULT_POLICY"]
+
+#: The canonical operation classes (docs/OBSERVABILITY.md).
+OP_CLASSES = ("read", "single_shard_write", "cross_shard_write")
+
+
+class Objective:
+    """One class's target: latency bound + tolerated miss fraction."""
+
+    __slots__ = ("latency_s", "budget")
+
+    def __init__(self, latency_s: float, budget: float) -> None:
+        if latency_s <= 0.0:
+            raise ValueError("latency objective must be positive")
+        if not 0.0 <= budget < 1.0:
+            raise ValueError("error budget must be in [0, 1)")
+        self.latency_s = latency_s
+        self.budget = budget
+
+    def __repr__(self) -> str:
+        return f"Objective(<= {self.latency_s * 1e3:.1f} ms, " \
+               f"budget {self.budget:.0%})"
+
+
+class SloPolicy:
+    """A named set of per-class objectives."""
+
+    __slots__ = ("objectives",)
+
+    def __init__(self, objectives: Dict[str, Objective]) -> None:
+        self.objectives = dict(objectives)
+
+    def objective(self, op_class: str) -> Optional[Objective]:
+        return self.objectives.get(op_class)
+
+    def __repr__(self) -> str:
+        return f"SloPolicy({self.objectives!r})"
+
+
+#: Loose-by-design defaults: an in-process engine on a shared CI box.
+DEFAULT_POLICY = SloPolicy({
+    "read": Objective(latency_s=0.050, budget=0.10),
+    "single_shard_write": Objective(latency_s=0.250, budget=0.10),
+    "cross_shard_write": Objective(latency_s=1.000, budget=0.10),
+})
+
+
+class SloTracker:
+    """Per-class sliding latency windows, judged against a policy."""
+
+    enabled = True
+
+    def __init__(self, window: int = 1024) -> None:
+        if window < 1:
+            raise ValueError("SLO window must be positive")
+        self._window = window
+        self._samples: Dict[str, deque] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def window(self) -> int:
+        """Samples retained per class (the sliding window length)."""
+        return self._window
+
+    def record(self, op_class: str, latency_s: float) -> None:
+        """Add one completed operation's end-to-end latency."""
+        with self._lock:
+            samples = self._samples.get(op_class)
+            if samples is None:
+                samples = self._samples[op_class] = deque(maxlen=self._window)
+            samples.append(latency_s)
+
+    def classes(self) -> List[str]:
+        """Classes with at least one recorded sample."""
+        with self._lock:
+            return sorted(self._samples)
+
+    def samples(self, op_class: str) -> List[float]:
+        """A copy of the class's window, oldest first."""
+        with self._lock:
+            return list(self._samples.get(op_class, ()))
+
+    def health(self, policy: Optional[SloPolicy] = None) -> Dict[str, Any]:
+        """Judge every class against *policy* (default loose objectives).
+
+        Returns ``{"ok": bool, "classes": {name: {...}}}`` where each
+        class entry carries its window stats, the objective, the
+        violation count and the burn rate.  A class with no objective is
+        reported but never unhealthy; an objective with no samples is
+        healthy (nothing burned).
+        """
+        if policy is None:
+            policy = DEFAULT_POLICY
+        with self._lock:
+            windows = {name: list(samples)
+                       for name, samples in self._samples.items()}
+        names = sorted(set(windows) | set(policy.objectives))
+        classes: Dict[str, Any] = {}
+        healthy = True
+        for name in names:
+            samples = windows.get(name, [])
+            objective = policy.objective(name)
+            entry: Dict[str, Any] = {"count": len(samples)}
+            if samples:
+                ordered = sorted(samples)
+                entry.update(
+                    p50=quantile(ordered, 0.50),
+                    p95=quantile(ordered, 0.95),
+                    max=float(ordered[-1]),
+                )
+            if objective is None:
+                entry.update(objective_s=None, budget=None, violations=0,
+                             burn=0.0, ok=True)
+            else:
+                violations = sum(1 for value in samples
+                                 if value > objective.latency_s)
+                burn = violations / len(samples) if samples else 0.0
+                ok = burn <= objective.budget
+                entry.update(objective_s=objective.latency_s,
+                             budget=objective.budget, violations=violations,
+                             burn=round(burn, 6), ok=ok)
+                healthy = healthy and ok
+            classes[name] = entry
+        return {"ok": healthy, "classes": classes}
+
+    def reset(self) -> None:
+        """Drop every window."""
+        with self._lock:
+            self._samples.clear()
+
+    def __repr__(self) -> str:
+        return f"SloTracker({len(self.classes())} classes, " \
+               f"window {self._window})"
+
+
+class NullSloTracker(SloTracker):
+    """The disabled tracker: records nothing, always healthy."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(window=1)
+
+    def record(self, op_class: str, latency_s: float) -> None:
+        pass
+
+
+#: The shared no-op tracker (the process default until recording is on).
+NULL_SLO = NullSloTracker()

@@ -28,6 +28,9 @@ import time
 from collections import deque
 from typing import Any, Dict, IO, Iterator, List, Optional
 
+from repro.obs import context as trace_context
+from repro.obs.context import TraceContext
+
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
 
 
@@ -36,22 +39,29 @@ class Span:
 
     Created by :meth:`Tracer.span` and used as a context manager; set
     extra attributes mid-flight with :meth:`set`.  ``duration`` is in
-    monotonic-clock seconds.
+    monotonic-clock seconds.  ``trace_id`` correlates the span with the
+    logical transaction it served (None outside any transaction).
     """
 
-    __slots__ = ("name", "attributes", "span_id", "parent_id", "started_at",
-                 "duration", "_tracer")
+    __slots__ = ("name", "attributes", "span_id", "parent_id", "trace_id",
+                 "started_at", "duration", "_tracer")
 
     def __init__(self, tracer: "Tracer", name: str, span_id: int,
-                 parent_id: Optional[int],
+                 parent_id: Optional[int], trace_id: Optional[str],
                  attributes: Dict[str, Any]) -> None:
         self.name = name
         self.attributes = attributes
         self.span_id = span_id
         self.parent_id = parent_id
+        self.trace_id = trace_id
         self.started_at = 0.0
         self.duration = 0.0
         self._tracer = tracer
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's position as a handoff-able :class:`TraceContext`."""
+        return TraceContext(self.trace_id, self.span_id)
 
     def set(self, **attributes: Any) -> "Span":
         """Attach attributes to the live span; returns the span."""
@@ -75,6 +85,7 @@ class Span:
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "started_at": round(self.started_at, 9),
             "duration_s": round(self.duration, 9),
             "attributes": self.attributes,
@@ -95,11 +106,18 @@ class Tracer:
         self._finished: deque = deque(maxlen=capacity)
         self._ids = itertools.count(1)
         self._local = threading.local()  # per-thread open-span stack
+        self._ring_lock = threading.Lock()
+        self._dropped = 0
 
     @property
     def capacity(self) -> int:
         """The ring-buffer size (finished spans retained)."""
         return self._finished.maxlen  # type: ignore[return-value]
+
+    @property
+    def spans_dropped(self) -> int:
+        """Finished spans evicted from the ring buffer to make room."""
+        return self._dropped
 
     def _stack(self) -> List[Span]:
         stack = getattr(self._local, "stack", None)
@@ -107,15 +125,38 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
-    def span(self, name: str, **attributes: Any) -> Span:
+    def span(self, name: str, parent: Optional[Any] = None,
+             trace_id: Optional[str] = None, **attributes: Any) -> Span:
         """Open a span; use as a context manager.
 
-        The span's parent is whatever span is currently open on this
-        thread (None at top level).
+        Parenting, most explicit first:
+
+        1. *parent* — a :class:`Span` or :class:`TraceContext` handed
+           across a thread (or process message) boundary;
+        2. the span currently open on this thread's stack;
+        3. the thread's attached :mod:`repro.obs.context`, if any.
+
+        The trace id is inherited from the chosen parent unless
+        *trace_id* overrides it (how a transaction's root span starts a
+        new trace).
         """
         stack = self._stack()
-        parent_id = stack[-1].span_id if stack else None
-        span = Span(self, name, next(self._ids), parent_id, attributes)
+        parent_id: Optional[int] = None
+        inherited: Optional[str] = None
+        if parent is not None:
+            parent_id = parent.span_id
+            inherited = parent.trace_id
+        elif stack:
+            parent_id = stack[-1].span_id
+            inherited = stack[-1].trace_id
+        else:
+            ambient = trace_context.current()
+            if ambient is not None:
+                parent_id = ambient.span_id
+                inherited = ambient.trace_id
+        span = Span(self, name, next(self._ids), parent_id,
+                    trace_id if trace_id is not None else inherited,
+                    attributes)
         stack.append(span)
         return span
 
@@ -128,7 +169,10 @@ class Tracer:
                 stack.remove(span)
             except ValueError:
                 pass
-        self._finished.append(span)
+        with self._ring_lock:
+            if len(self._finished) == self._finished.maxlen:
+                self._dropped += 1
+            self._finished.append(span)
 
     def spans(self) -> List[Span]:
         """The retained finished spans, oldest first (completion order)."""
@@ -176,8 +220,10 @@ class Tracer:
         return count
 
     def reset(self) -> None:
-        """Drop the retained spans (open spans are unaffected)."""
-        self._finished.clear()
+        """Drop the retained spans and the eviction count."""
+        with self._ring_lock:
+            self._finished.clear()
+            self._dropped = 0
 
     def __repr__(self) -> str:
         return f"Tracer({len(self._finished)}/{self.capacity} spans retained)"
@@ -192,7 +238,13 @@ class _NullSpan:
     attributes: Dict[str, Any] = {}
     span_id = 0
     parent_id = None
+    trace_id = None
+    started_at = 0.0
     duration = 0.0
+
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(None, None)
 
     def set(self, **attributes: Any) -> "_NullSpan":
         return self
@@ -213,7 +265,9 @@ class NullTracer(Tracer):
     def __init__(self) -> None:
         super().__init__(capacity=1)
 
-    def span(self, name: str, **attributes: Any) -> _NullSpan:  # type: ignore[override]
+    def span(self, name: str, parent: Optional[Any] = None,  # type: ignore[override]
+             trace_id: Optional[str] = None,
+             **attributes: Any) -> _NullSpan:
         return _NULL_SPAN
 
     def spans(self) -> List[Span]:

@@ -138,6 +138,10 @@ class FailoverCoordinator:
         if announce:
             promoted.heartbeat()  # followers adopt the new epoch on receipt
         metrics.counter("replication.promotions").inc()
+        _obs.current().events.emit("replication.failover",
+                                   node=replica.node_id, epoch=epoch,
+                                   promoted_seq=promoted_seq,
+                                   drained=drained)
         report = PromotionReport(promoted_seq=promoted_seq, old_seq=old_seq,
                                  drained=drained, digest=digest,
                                  prefix_verified=verified, epoch=epoch)

@@ -54,10 +54,22 @@ def decode_message(line: str) -> Dict[str, Any]:
     return parse_frame(line, tag=REPLICATION_TAG)
 
 
-def record_message(epoch: int, seq: int, entry: Dict[str, Any]) -> str:
-    """One journal record at global index *seq*."""
-    return encode_message({"type": "record", "epoch": epoch, "seq": seq,
-                           "entry": entry})
+def record_message(epoch: int, seq: int, entry: Dict[str, Any],
+                   trace: Optional[Dict[str, Any]] = None) -> str:
+    """One journal record at global index *seq*.
+
+    *trace* is the optional serialized
+    :class:`~repro.obs.context.TraceContext` of the publishing commit
+    (``{"txn", "span"}``): the cross-thread handoff that lets a
+    replica's apply span parent under the primary-side ship span.
+    Replicas ignore its absence (resends and old-format messages carry
+    none).
+    """
+    message: Dict[str, Any] = {"type": "record", "epoch": epoch, "seq": seq,
+                               "entry": entry}
+    if trace is not None:
+        message["trace"] = trace
+    return encode_message(message)
 
 
 def gap_message(next_seq: int) -> str:

@@ -127,6 +127,7 @@ class Primary:
 
     def _publish(self, record) -> None:
         """``on_commit`` tail: append to the retained entries and stream."""
+        obs = _obs.current()
         entry = encode_commit(record)
         with self._lock:
             seq = self._floor + len(self._entries)
@@ -134,10 +135,20 @@ class Primary:
             targets = tuple(self._replicas)
         if self._retired:
             return
-        line = record_message(self.epoch, seq, entry)
-        for target in targets:
-            self.transport.send(self.node_id, target, line)
-        _obs.current().metrics.counter(
+        # The ship span runs on the committing thread (under the commit
+        # lock), so it nests under the commit's own trace; its context
+        # rides on the wire so the replica's apply — another thread,
+        # logically another node — can parent under it.
+        with obs.tracer.span("replication.ship", node=self.node_id,
+                             seq=seq) as span:
+            trace = (span.context.to_wire()
+                     if span.trace_id is not None else None)
+            line = record_message(self.epoch, seq, entry, trace=trace)
+            for target in targets:
+                self.transport.send(self.node_id, target, line)
+        obs.events.emit("replication.ship", node=self.node_id, seq=seq,
+                        replicas=len(targets))
+        obs.metrics.counter(
             "replication.records_sent").inc(len(targets))
 
     def _capture(self):

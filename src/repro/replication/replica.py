@@ -45,6 +45,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import DivergenceError, ReplicaLagging, ReplicationGap
+from repro.obs import context as _trace
 from repro.obs import runtime as _obs
 from repro.replication.digest import state_digest
 from repro.replication.messages import (catchup_message, decode_message,
@@ -71,8 +72,9 @@ class Replica:
         self._clock = SimulatedClock(1)
         self.database = kind(clock=self._clock)
         self.applied_seq = 0
-        #: seq -> (epoch, entry): records that arrived ahead of order.
-        self._buffer: Dict[int, Tuple[int, dict]] = {}
+        #: seq -> (epoch, entry, trace): records that arrived ahead of
+        #: order (trace is the publisher's serialized context, or None).
+        self._buffer: Dict[int, Tuple[int, dict, Optional[dict]]] = {}
         #: seq -> digest the primary claims; checked on reaching seq.
         self._expected: Dict[int, str] = {}
         self._divergence: Optional[DivergenceError] = None
@@ -115,7 +117,8 @@ class Replica:
                     self._adopt(epoch, source)
             if kind == "record":
                 applied += self._on_record(int(message["seq"]),
-                                           epoch, message["entry"])
+                                           epoch, message["entry"],
+                                           message.get("trace"))
             elif kind == "snapshot":
                 applied += self._on_snapshot(int(message["seq"]),
                                              message["state"])
@@ -140,7 +143,8 @@ class Replica:
 
     # -- message handlers ----------------------------------------------------
 
-    def _on_record(self, seq: int, epoch: int, entry: dict) -> int:
+    def _on_record(self, seq: int, epoch: int, entry: dict,
+                   trace: Optional[dict] = None) -> int:
         metrics = _obs.current().metrics
         self._head_seq = max(self._head_seq, seq + 1)
         if seq < self.applied_seq:
@@ -149,9 +153,9 @@ class Replica:
         if seq > self.applied_seq:
             if seq not in self._buffer:
                 metrics.counter("replication.gaps_detected").inc()
-            self._buffer[seq] = (epoch, entry)
+            self._buffer[seq] = (epoch, entry, trace)
             return 0
-        applied = self._apply(entry)
+        applied = self._apply(entry, trace)
         applied += self._drain_buffer()
         return applied
 
@@ -186,14 +190,25 @@ class Replica:
 
     # -- apply ---------------------------------------------------------------
 
-    def _apply(self, entry: dict) -> int:
-        metrics = _obs.current().metrics
-        with metrics.histogram("replication.apply_seconds").time():
-            apply_entries(self.database, self._clock, [entry])
+    def _apply(self, entry: dict, trace: Optional[dict] = None) -> int:
+        obs = _obs.current()
+        metrics = obs.metrics
+        seq = self.applied_seq
+        # The cross-thread (cross-node) handoff: the shipped record's
+        # trace context parents this apply span under the primary-side
+        # ship span, even though we run on the replica's pump thread.
+        parent = _trace.from_wire(trace)
+        with obs.tracer.span("replication.apply", parent=parent,
+                             node=self.node_id, seq=seq):
+            with metrics.histogram("replication.apply_seconds").time():
+                apply_entries(self.database, self._clock, [entry])
         self.applied_seq += 1
         commit_time = decode_value(entry["commit_time"])
         self._applied_chronon = commit_time.chronon
         metrics.counter("replication.records_applied").inc()
+        obs.events.emit("replication.apply",
+                        txn=parent.trace_id if parent is not None else None,
+                        node=self.node_id, seq=seq)
         self._check_digest()
         return 1
 
@@ -220,8 +235,8 @@ class Replica:
     def _drain_buffer(self) -> int:
         applied = 0
         while self.applied_seq in self._buffer:
-            _, entry = self._buffer.pop(self.applied_seq)
-            applied += self._apply(entry)
+            _, entry, trace = self._buffer.pop(self.applied_seq)
+            applied += self._apply(entry, trace)
         return applied
 
     def _check_digest(self) -> None:

@@ -60,6 +60,7 @@ import uuid
 from typing import (Any, Callable, Dict, List, Optional, Sequence,
                     TYPE_CHECKING)
 
+from repro.obs import context as _trace
 from repro.obs import runtime as _obs
 from repro.storage.journal import encode_operation
 from repro.txn.transaction import Operation
@@ -223,10 +224,11 @@ class ShardCoordinator:
     def _commit_cross(self, grouped: Dict[int, List[Operation]],
                       write_shards: List[int]) -> Dict[int, "Instant"]:
         """The 2PC leg of :meth:`commit`; all involved locks are held."""
-        metrics = _obs.current().metrics
         obs = _obs.current()
+        metrics = obs.metrics
+        txn = _trace.current_txn()
         with obs.tracer.span("sharding.cross_commit",
-                             shards=len(write_shards)):
+                             shards=len(write_shards)) as cross_span:
             # Prepare vote: rehearse every part before journaling
             # anything — an unappliable batch aborts the whole
             # transaction with no 2PC record on any shard.
@@ -235,32 +237,45 @@ class ShardCoordinator:
                 database.rehearse(grouped[sid],
                                   database.manager.clock.peek())
             gid = self._next_gid()
+            cross_span.set(gid=gid)
             if self._two_phase is not None:
                 for sid in write_shards:
-                    self._two_phase.prepare(sid, {
-                        "kind": "prepare",
-                        "gid": gid,
-                        "shard": sid,
-                        "base": self._two_phase.record_count(sid),
-                        "operations": [encode_operation(op)
-                                       for op in grouped[sid]],
-                    })
+                    with obs.tracer.span("sharding.prepare", gid=gid,
+                                         shard=sid):
+                        self._two_phase.prepare(sid, {
+                            "kind": "prepare",
+                            "gid": gid,
+                            "shard": sid,
+                            "base": self._two_phase.record_count(sid),
+                            "operations": [encode_operation(op)
+                                           for op in grouped[sid]],
+                        })
+                    obs.events.emit("2pc.prepare", txn=txn, gid=gid,
+                                    shard=sid)
                 # The commit point: once this decision record is
                 # durable the transaction commits on every shard, by
                 # recovery if not by the applies below.
-                self._two_phase.decide({
-                    "kind": "decision",
-                    "gid": gid,
-                    "decision": "commit",
-                    "shards": write_shards,
-                })
+                with obs.tracer.span("sharding.decide", gid=gid):
+                    self._two_phase.decide({
+                        "kind": "decision",
+                        "gid": gid,
+                        "decision": "commit",
+                        "shards": write_shards,
+                    })
+                obs.events.emit("2pc.decide", txn=txn, gid=gid,
+                                shards=write_shards)
             with self._cut_lock:
                 self._cross_active += 1
             times: Dict[int, "Instant"] = {}
             try:
                 for sid in write_shards:
-                    times[sid] = self._shards[sid].manager.run(grouped[sid])
+                    with obs.tracer.span("sharding.apply", gid=gid,
+                                         shard=sid):
+                        times[sid] = self._shards[sid].manager.run(
+                            grouped[sid])
                     metrics.counter(f"shard.{sid}.commits").inc()
+                    obs.events.emit("2pc.apply", txn=txn, gid=gid,
+                                    shard=sid)
             finally:
                 with self._cut_lock:
                     self._cross_active -= 1

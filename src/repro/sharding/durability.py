@@ -160,7 +160,8 @@ class ShardedDurabilityManager:
         self._io = io if io is not None else REAL_IO
         self._shards = self._resolve_shape(shards)
         self._managers = [
-            DurabilityManager(self._shard_dir(sid), fsync=fsync, io=self._io)
+            DurabilityManager(self._shard_dir(sid), fsync=fsync,
+                              io=self._io, shard=sid)
             for sid in range(self._shards)
         ]
         self._decisions = _SideLog(os.path.join(directory, _DECISIONS),

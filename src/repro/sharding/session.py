@@ -75,6 +75,29 @@ class ShardedSession(ConcurrentSession):
         return sorted({int(key.rpartition("@")[2])
                        for key in self._footprint})
 
+    @property
+    def op_class(self) -> str:
+        """The SLO operation class, refined by write routing.
+
+        ``read`` with nothing buffered; ``cross_shard_write`` when the
+        buffered writes land on more than one shard (including any
+        broadcast operation); ``single_shard_write`` otherwise.
+        """
+        if not self._operations:
+            return "read"
+        database = self._database
+        shards = set()
+        for op in self._operations:
+            if op.action in ("define", "drop"):
+                return "cross_shard_write"
+            target = database.partitioner.shard_of_operation(
+                database.schema(op.relation).key, op)
+            if target is None:
+                return "cross_shard_write"
+            shards.add(target)
+        return ("cross_shard_write" if len(shards) > 1
+                else "single_shard_write")
+
     # -- writes ------------------------------------------------------------------
 
     def add(self, operation: Operation) -> None:
@@ -168,7 +191,8 @@ class ShardedSessionLayer(SessionLayer):
         deadline, read-only sessions certify without committing) with
         the locks scoped to the involved shards only.
         """
-        metrics = _obs.current().metrics
+        obs = _obs.current()
+        metrics = obs.metrics
         if deadline is not None and self._clock() >= deadline:
             session._status = SessionStatus.ABORTED
             raise DeadlineExceeded(
@@ -182,6 +206,8 @@ class ShardedSessionLayer(SessionLayer):
                 for key in stale:
                     metrics.counter(
                         f"shard.{key.rpartition('@')[2]}.conflicts").inc()
+                obs.events.emit("txn.conflict", txn=session.txn_id,
+                                relations=stale)
                 raise ConflictError(
                     f"session {session.session_id} lost first-committer-"
                     f"wins validation: {', '.join(stale)} changed since "
@@ -198,12 +224,19 @@ class ShardedSessionLayer(SessionLayer):
                                    validate=validate)
                 session._status = SessionStatus.COMMITTED
                 session._commit_token = database.log.vector()
+                obs.events.emit("txn.commit", txn=session.txn_id,
+                                op_class="read",
+                                token=session._commit_token)
                 return None
-            with metrics.histogram("concurrency.commit_seconds").time():
-                grouped = coordinator.group(session.operations,
-                                            database.schema)
-                times = coordinator.commit(grouped, lock_shards=involved,
-                                           validate=validate)
+            with obs.tracer.span("concurrency.commit",
+                                 txn=session.txn_id,
+                                 shards=involved):
+                with metrics.histogram("concurrency.commit_seconds").time():
+                    grouped = coordinator.group(session.operations,
+                                                database.schema)
+                    times = coordinator.commit(grouped,
+                                               lock_shards=involved,
+                                               validate=validate)
         except Exception:
             session._status = SessionStatus.ABORTED
             raise
@@ -211,4 +244,7 @@ class ShardedSessionLayer(SessionLayer):
         session._commit_time = max(times.values()) if times else None
         session._commit_token = database.log.vector()
         metrics.counter("concurrency.commits").inc()
+        obs.events.emit("txn.commit", txn=session.txn_id,
+                        op_class=session.op_class,
+                        token=session._commit_token)
         return session._commit_time

@@ -96,7 +96,8 @@ class DurabilityManager:
     """
 
     def __init__(self, directory: str, fsync: bool = False,
-                 io: Optional[StorageIO] = None) -> None:
+                 io: Optional[StorageIO] = None,
+                 shard: Optional[int] = None) -> None:
         self._directory = directory
         self._fsync = fsync
         self._io = io if io is not None else REAL_IO
@@ -105,6 +106,9 @@ class DurabilityManager:
         self._count = 0  # durable records; also the next global index
         self._live: Optional[Journal] = None
         self._live_start = 0
+        #: which shard this journal stream serves (None when unsharded);
+        #: purely an observability label on journal-append spans/events.
+        self.shard = shard
 
     # -- accessors ------------------------------------------------------------
 
@@ -252,8 +256,13 @@ class DurabilityManager:
         under its commit lock, so concurrent sessions
         (:mod:`repro.concurrency`) append records in serialized commit
         order and the ``_count`` increment never races."""
-        self._live.record(record)
-        self._count += 1
+        obs = _obs.current()
+        with obs.tracer.span("journal.append", shard=self.shard,
+                             record=self._count):
+            self._live.record(record)
+            self._count += 1
+        obs.events.emit("journal.append", shard=self.shard,
+                        records=self._count)
 
     # -- checkpointing ---------------------------------------------------------------
 

@@ -44,7 +44,10 @@ from repro.errors import DeadlineExceeded, Overloaded, ReproError
 from repro.obs.metrics import quantile
 from repro.relational.domain import Domain
 from repro.relational.schema import Schema
+from repro.replication.transport import InProcessTransport
 from repro.sharding.durability import ShardedDurabilityManager
+from repro.sharding.replication import (ShardedPrimary, ShardedReplica,
+                                        combined_digest)
 from repro.sharding.store import ShardedDatabase
 from repro.storage.faults import CrashPoint, FaultyIO, SimulatedCrash
 from repro.storage.journal import encode_operation
@@ -107,6 +110,25 @@ class ShardedStressReport:
     #: ``journal_bytes`` and ``records`` from the recovered directory).
     per_shard: List[Dict[str, int]] = dataclasses.field(
         default_factory=list)
+    #: Replication mode (``replicas > 0``) only.
+    replicas: int = 0
+    replica_records_applied: Optional[int] = None
+    #: Every shard replica reached its primary's published head.
+    replica_converged: Optional[bool] = None
+    #: Combined replica digest equals the live store's (clean runs only;
+    #: a crash legally strands unpublished commits on the primary).
+    replica_digest_match: Optional[bool] = None
+    #: The txn id of one committed cross-shard transfer — the handle
+    #: ``repro trace --txn`` reconstructs the full lifecycle from.
+    sample_cross_txn: Optional[str] = None
+    #: Per-operation-class SLO health over the run (``slo["ok"]`` is
+    #: advisory: objectives judge latency, not correctness).
+    slo: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Where the span / event JSONL exports landed, when requested.
+    trace_path: Optional[str] = None
+    events_path: Optional[str] = None
+    spans_dropped: int = 0
+    events_dropped: int = 0
 
     @property
     def ok(self) -> bool:
@@ -121,7 +143,9 @@ class ShardedStressReport:
             exact = 0 <= self.sum_delta <= (self.unacknowledged or 0)
         return (exact and self.lost_updates == 0
                 and self.commit_times_monotone and self.serial_equivalent
-                and self.recovery_is_durable_prefix is not False)
+                and self.recovery_is_durable_prefix is not False
+                and self.replica_converged is not False
+                and self.replica_digest_match is not False)
 
     def describe(self) -> Dict[str, Any]:
         """A plain dict (what the CLI and benchmark emit)."""
@@ -242,6 +266,10 @@ def run_sharded(kind: Type[Database] = StaticDatabase,
                 fault_at: int = 50,
                 directory: Optional[str] = None,
                 work: Optional[Callable[[], None]] = None,
+                replicas: int = 0,
+                trace_out: Optional[str] = None,
+                events_out: Optional[str] = None,
+                convergence_rounds: int = 512,
                 ) -> ShardedStressReport:
     """Hammer a fresh sharded store from *sessions* threads; audit it.
 
@@ -261,6 +289,15 @@ def run_sharded(kind: Type[Database] = StaticDatabase,
     a :class:`~repro.sharding.durability.ShardedDurabilityManager`
     whose I/O dies at the *fault_at*-th matching write — wherever that
     lands: a shard journal append, a prepare, or the decision record.
+
+    *replicas* > 0 attaches a :class:`~repro.sharding.replication.
+    ShardedPrimary` (chained *after* any durability hook, so published
+    ⊆ durable) streaming to that many :class:`ShardedReplica` followers
+    over an in-process transport; after the workers join, the streams
+    are pumped to convergence and audited.  *trace_out* / *events_out*
+    export the run's spans and lifecycle events as JSONL (the recording
+    capacities are raised so a full run fits) — together with the
+    reported ``sample_cross_txn`` these feed ``repro trace --txn``.
     """
     if retry is None:
         retry = RetryPolicy(max_attempts=10 * max(sessions, 2),
@@ -271,10 +308,13 @@ def run_sharded(kind: Type[Database] = StaticDatabase,
                                         max_queue=4 * sessions)
 
     manager: Optional[ShardedDurabilityManager] = None
-    if faults is not None:
-        if directory is None:
-            raise ValueError("chaos mode (faults=) needs a directory")
-        io = _DeadAfterCrashIO(FaultyIO(faults, at=fault_at))
+    if faults is not None and directory is None:
+        raise ValueError("chaos mode (faults=) needs a directory")
+    if directory is not None:
+        # Durable mode; with ``faults`` the I/O additionally dies at the
+        # injected crash point (chaos mode).
+        io = (_DeadAfterCrashIO(FaultyIO(faults, at=fault_at))
+              if faults is not None else None)
         manager = ShardedDurabilityManager(directory, shards=shards, io=io)
         store, _ = manager.recover(kind)
         for shard_db in store.shard_databases:
@@ -285,21 +325,49 @@ def run_sharded(kind: Type[Database] = StaticDatabase,
 
     worker_keys = _worker_keys(store, sessions, keys_per_session, placement)
     _define_counters(store, [key for keys in worker_keys for key in keys])
+
+    # The primary chains onto each shard manager's ``on_commit`` *after*
+    # the durability hook, so a record is never on the wire before it is
+    # on disk; attached before the workers start so every commit ships
+    # live, with its trace context on the record.
+    primary: Optional[ShardedPrimary] = None
+    replica_set: List[ShardedReplica] = []
+    if replicas > 0:
+        transport = InProcessTransport()
+        primary = ShardedPrimary("primary", store, transport)
+        for index in range(replicas):
+            follower = ShardedReplica(f"replica-{index}", kind, transport,
+                                      "primary", shards=shards)
+            primary.add_replica(follower)
+            follower.request_catchup()
+            replica_set.append(follower)
+
     layer = store.sessions(retry=retry, admission=admission)
+
+    # A full run's lifecycle must fit in the rings when it is being
+    # exported or replicated — an evicted span would orphan part of the
+    # sample transaction's tree.
+    span_capacity, event_capacity = 2048, 4096
+    if trace_out is not None or events_out is not None or replicas > 0:
+        budget = max(1, sessions * transactions)
+        span_capacity = max(span_capacity, budget * 48)
+        event_capacity = max(event_capacity, budget * 24)
 
     counts_lock = threading.Lock()
     counts = {"attempted": 0, "committed": 0, "shed": 0,
               "deadline_exceeded": 0, "crashed": 0, "failed": 0,
               "singles": 0, "cross_committed": 0}
     latencies: List[float] = []
+    sample = {"txn": None}
     stop = threading.Event()
 
     # *work* (think-time) runs between the read and the write — the
     # window where a competing commit invalidates the footprint — so a
     # GIL-yielding hook forces real interleaving instead of leaving
     # contention to scheduler-quantum luck.
-    def transfer_closure(key_a: str, key_b: str):
+    def transfer_closure(key_a: str, key_b: str, txn_box: Dict[str, str]):
         def closure(session) -> None:
+            txn_box["txn"] = session.txn_id
             row_a = session.get(RELATION, {"k": key_a})[0]
             row_b = session.get(RELATION, {"k": key_b})[0]
             if work is not None:
@@ -325,9 +393,10 @@ def run_sharded(kind: Type[Database] = StaticDatabase,
             if stop.is_set():
                 return
             is_cross = rng.random() < cross_ratio
+            txn_box: Dict[str, str] = {}
             if is_cross:
                 key_a, key_b = rng.sample(keys, 2)
-                closure = transfer_closure(key_a, key_b)
+                closure = transfer_closure(key_a, key_b, txn_box)
                 spans = (store.shard_of_key(RELATION, {"k": key_a})
                          != store.shard_of_key(RELATION, {"k": key_b}))
             else:
@@ -356,17 +425,50 @@ def run_sharded(kind: Type[Database] = StaticDatabase,
                         counts["singles"] += 1
                     if spans:
                         counts["cross_committed"] += 1
+                        if sample["txn"] is None:
+                            sample["txn"] = txn_box.get("txn")
 
     threads = [threading.Thread(target=worker, args=(i,), daemon=True)
                for i in range(sessions)]
-    with obs.recording() as instrumentation:
+    replica_applied: Optional[int] = None
+    converged: Optional[bool] = None
+    digest_match: Optional[bool] = None
+    with obs.recording(capacity=span_capacity,
+                       event_capacity=event_capacity) as instrumentation:
         started = time.monotonic()
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join()
         wall = time.monotonic() - started
+        if primary is not None:
+            # Pump inside the recording window so replica-apply spans
+            # (parented via the wire trace context) land in the ring.
+            replica_applied = 0
+            for _ in range(convergence_rounds):
+                primary.pump()
+                replica_applied += sum(follower.pump()
+                                       for follower in replica_set)
+                if all(follower.applied_vector() == primary.current_vector()
+                       for follower in replica_set):
+                    break
+            converged = all(
+                follower.applied_vector() == primary.current_vector()
+                for follower in replica_set)
+            if faults is None:
+                # A crash legally strands journaled-but-unpublished
+                # commits on the primary, so state equality is only a
+                # clean-run invariant.
+                live = combined_digest(store.shard_databases)
+                digest_match = all(follower.digest() == live
+                                   for follower in replica_set)
     metrics = instrumentation.metrics.snapshot()["counters"]
+
+    if trace_out is not None:
+        instrumentation.tracer.export_jsonl(trace_out)
+    if events_out is not None:
+        instrumentation.events.export_jsonl(events_out)
+    slo_health = instrumentation.slo.health()
 
     # -- audit ---------------------------------------------------------------
     applied = sum(row["v"] for row in store.snapshot(RELATION))
@@ -456,4 +558,14 @@ def run_sharded(kind: Type[Database] = StaticDatabase,
         recovery_is_durable_prefix=prefix_ok,
         unacknowledged=unacknowledged,
         per_shard=per_shard,
+        replicas=replicas,
+        replica_records_applied=replica_applied,
+        replica_converged=converged,
+        replica_digest_match=digest_match,
+        sample_cross_txn=sample["txn"],
+        slo=slo_health,
+        trace_path=trace_out,
+        events_path=events_out,
+        spans_dropped=instrumentation.tracer.spans_dropped,
+        events_dropped=instrumentation.events.dropped,
     )

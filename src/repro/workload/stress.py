@@ -81,6 +81,9 @@ class StressReport:
     #: latency under the lock ({count, total, p50, p95, p99, max}).
     commit_latency: Dict[str, float] = dataclasses.field(
         default_factory=dict)
+    #: Per-operation-class SLO health over the run (advisory: latency
+    #: objectives, not correctness — ``ok`` does not include it).
+    slo: Dict[str, Any] = dataclasses.field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -314,6 +317,7 @@ def run_stress(kind: Type[Database] = TemporalDatabase,
         recovery_is_durable_prefix=prefix_ok,
         manager_accepts_begin_after_run=accepts_begin,
         commit_latency=latency,
+        slo=instrumentation.slo.health(),
     )
 
 

@@ -39,9 +39,10 @@ class TestStress:
         first = run_stress(sessions=1, transactions=40, keys=3, seed=5)
         second = run_stress(sessions=1, transactions=40, keys=3, seed=5)
         left, right = first.describe(), second.describe()
-        # Wall time and the commit-latency histogram are measurements,
-        # not outcomes — everything else must replay identically.
-        for timing in ("wall_s", "commit_latency"):
+        # Wall time, the commit-latency histogram and the SLO health
+        # are measurements, not outcomes — everything else must replay
+        # identically.
+        for timing in ("wall_s", "commit_latency", "slo"):
             left.pop(timing), right.pop(timing)
         assert left == right
 

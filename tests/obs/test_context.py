@@ -1,0 +1,89 @@
+"""Unit tests for the trace-context carrier: attach, handoff, wire form."""
+
+import threading
+
+from repro.obs import context as trace_context
+from repro.obs.context import TraceContext, from_wire, new_txn_id
+
+
+class TestTxnIds:
+    def test_ids_are_unique_and_sequential_in_form(self):
+        first, second = new_txn_id(), new_txn_id()
+        assert first != second
+        assert first.startswith("txn-") and second.startswith("txn-")
+
+    def test_ids_are_unique_across_threads(self):
+        ids, lock = [], threading.Lock()
+
+        def take(n):
+            for _ in range(n):
+                value = new_txn_id()
+                with lock:
+                    ids.append(value)
+
+        threads = [threading.Thread(target=take, args=(50,))
+                   for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(ids)) == len(ids) == 200
+
+
+class TestAttach:
+    def test_no_context_by_default(self):
+        assert trace_context.current() is None
+        assert trace_context.current_txn() is None
+
+    def test_attach_makes_context_current(self):
+        context = TraceContext("txn-a", 7)
+        with trace_context.attach(context):
+            assert trace_context.current() == context
+            assert trace_context.current_txn() == "txn-a"
+        assert trace_context.current() is None
+
+    def test_attachments_nest_and_restore(self):
+        outer, inner = TraceContext("txn-o", 1), TraceContext("txn-i", 2)
+        with trace_context.attach(outer):
+            with trace_context.attach(inner):
+                assert trace_context.current_txn() == "txn-i"
+            assert trace_context.current_txn() == "txn-o"
+
+    def test_attachment_restored_on_exception(self):
+        try:
+            with trace_context.attach(TraceContext("txn-x", 1)):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert trace_context.current() is None
+
+    def test_attachment_is_thread_local(self):
+        seen = {}
+
+        def probe():
+            seen["other"] = trace_context.current()
+
+        with trace_context.attach(TraceContext("txn-a", 1)):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen["other"] is None
+
+
+class TestWireForm:
+    def test_round_trip(self):
+        context = TraceContext("txn-9", 42)
+        assert from_wire(context.to_wire()) == context
+
+    def test_wire_dict_is_json_plain(self):
+        assert TraceContext("txn-9", 42).to_wire() == {"txn": "txn-9",
+                                                       "span": 42}
+
+    def test_from_wire_none_and_empty_are_none(self):
+        assert from_wire(None) is None
+        assert from_wire({}) is None
+
+    def test_equality_and_hash(self):
+        assert TraceContext("t", 1) == TraceContext("t", 1)
+        assert TraceContext("t", 1) != TraceContext("t", 2)
+        assert hash(TraceContext("t", 1)) == hash(TraceContext("t", 1))

@@ -1,0 +1,112 @@
+"""Unit tests for the structured event log: schema, ring, sink."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import context as trace_context
+from repro.obs.context import TraceContext
+from repro.obs.events import EVENT_KINDS, EventLog, NullEventLog
+
+
+class TestSchema:
+    def test_every_documented_kind_is_emittable(self):
+        log = EventLog()
+        for kind in EVENT_KINDS:
+            log.emit(kind, txn="txn-1")
+        assert len(log) == len(EVENT_KINDS)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            EventLog().emit("txn.wat")
+
+    def test_attrs_ride_along(self):
+        log = EventLog()
+        log.emit("2pc.decide", txn="txn-3", gid="g-1", shards=2)
+        (event,) = log.events()
+        assert event.attrs == {"gid": "g-1", "shards": 2}
+
+    def test_txn_defaults_from_attached_context(self):
+        log = EventLog()
+        with trace_context.attach(TraceContext("txn-7", 1)):
+            log.emit("txn.commit")
+        log.emit("txn.begin")  # outside any transaction
+        first, second = log.events()
+        assert first.txn == "txn-7"
+        assert second.txn is None
+
+
+class TestRing:
+    def test_old_events_fall_off_and_are_counted(self):
+        log = EventLog(capacity=3)
+        for index in range(5):
+            log.emit("txn.begin", txn=f"txn-{index}")
+        assert [event.txn for event in log.events()] == \
+            ["txn-2", "txn-3", "txn-4"]
+        assert log.dropped == 2
+        assert log.recorded == 5  # seq keeps counting past eviction
+
+    def test_seq_is_gapless_and_ordered(self):
+        log = EventLog()
+        for _ in range(4):
+            log.emit("txn.attempt", txn="txn-1")
+        assert [event.seq for event in log.events()] == [1, 2, 3, 4]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_reset_drops_events_and_counters(self):
+        log = EventLog(capacity=1)
+        log.emit("txn.begin")
+        log.emit("txn.begin")
+        log.reset()
+        assert len(log) == 0 and log.dropped == 0 and log.recorded == 0
+
+
+class TestQueries:
+    def test_for_txn_filters(self):
+        log = EventLog()
+        log.emit("txn.begin", txn="txn-1")
+        log.emit("txn.begin", txn="txn-2")
+        log.emit("txn.commit", txn="txn-1", token=5)
+        mine = log.for_txn("txn-1")
+        assert [event.kind for event in mine] == ["txn.begin", "txn.commit"]
+
+    def test_aggregate_counts_by_kind_sorted(self):
+        log = EventLog()
+        log.emit("txn.commit", txn="t")
+        log.emit("txn.begin", txn="t")
+        log.emit("txn.begin", txn="t")
+        assert log.aggregate() == {"txn.begin": 2, "txn.commit": 1}
+        assert list(log.aggregate()) == ["txn.begin", "txn.commit"]
+
+
+class TestExport:
+    def test_jsonl_round_trip(self):
+        log = EventLog()
+        log.emit("journal.append", txn="txn-1", shard=0, records=1)
+        buffer = io.StringIO()
+        assert log.export_jsonl(buffer) == 1
+        row = json.loads(buffer.getvalue())
+        assert row["kind"] == "journal.append"
+        assert row["txn"] == "txn-1"
+        assert row["attrs"] == {"shard": 0, "records": 1}
+        assert {"seq", "ts"} <= set(row)
+
+    def test_jsonl_to_path(self, tmp_path):
+        log = EventLog()
+        log.emit("replication.ship", txn="txn-1", node="primary", seq=3)
+        target = tmp_path / "events.jsonl"
+        assert log.export_jsonl(str(target)) == 1
+        assert json.loads(target.read_text())["kind"] == "replication.ship"
+
+
+class TestNullEventLog:
+    def test_emits_nothing_and_costs_nothing(self):
+        log = NullEventLog()
+        log.emit("txn.begin", txn="txn-1")
+        assert log.events() == []
+        assert log.export_jsonl(io.StringIO()) == 0
+        assert log.enabled is False

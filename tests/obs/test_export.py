@@ -1,0 +1,122 @@
+"""Unit tests for the exporters: OpenMetrics text and bench-diffing."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.export import bench_diff, to_openmetrics
+
+
+class TestOpenMetrics:
+    def snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("commit.batches").inc(3)
+        registry.gauge("journal.bytes").set(128)
+        for value in (0.5, 1.5):
+            registry.histogram("commit.seconds").observe(value)
+        return registry.snapshot()
+
+    def test_counters_render_as_total(self):
+        text = to_openmetrics(self.snapshot())
+        assert "# TYPE repro_commit_batches counter" in text
+        assert "repro_commit_batches_total 3" in text
+
+    def test_gauges_render_plain(self):
+        text = to_openmetrics(self.snapshot())
+        assert "# TYPE repro_journal_bytes gauge" in text
+        assert "repro_journal_bytes 128" in text
+
+    def test_histograms_render_as_summaries(self):
+        text = to_openmetrics(self.snapshot())
+        assert "# TYPE repro_commit_seconds summary" in text
+        assert 'repro_commit_seconds{quantile="0.5"} 1.0' in text
+        assert "repro_commit_seconds_count 2" in text
+        assert "repro_commit_seconds_sum 2.0" in text
+
+    def test_ends_with_eof_marker(self):
+        assert to_openmetrics(self.snapshot()).endswith("# EOF\n")
+
+    def test_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("shard.0.commits").inc()
+        text = to_openmetrics(registry.snapshot())
+        assert "repro_shard_0_commits_total 1" in text
+
+    def test_custom_prefix(self):
+        text = to_openmetrics(self.snapshot(), prefix="db")
+        assert "db_commit_batches_total 3" in text
+
+    def test_empty_snapshot_is_just_eof(self):
+        empty = {"counters": {}, "gauges": {}, "histograms": {}}
+        assert to_openmetrics(empty) == "# EOF\n"
+
+
+class TestBenchDiff:
+    def test_no_change_is_ok(self):
+        report = {"ingest": {"throughput_tps": 100.0}}
+        result = bench_diff(report, report)
+        assert result == {"compared": 1, "regressions": 0, "ok": True,
+                          "tolerance": 0.5, "rows": result["rows"]}
+        assert result["rows"][0]["change"] == 0.0
+
+    def test_throughput_drop_is_a_regression(self):
+        baseline = {"ingest": {"throughput_tps": 100.0}}
+        fresh = {"ingest": {"throughput_tps": 40.0}}  # 60% worse
+        result = bench_diff(baseline, fresh, tolerance=0.5)
+        assert result["ok"] is False
+        (row,) = result["rows"]
+        assert row["metric"] == "ingest.throughput_tps"
+        assert row["direction"] == "higher"
+        assert row["change"] == pytest.approx(0.6)
+        assert row["regression"] is True
+
+    def test_latency_rise_is_a_regression(self):
+        baseline = {"commit": {"per_commit_us": 10.0}}
+        fresh = {"commit": {"per_commit_us": 30.0}}  # 200% worse
+        result = bench_diff(baseline, fresh, tolerance=0.5)
+        assert result["ok"] is False
+        assert result["rows"][0]["direction"] == "lower"
+        assert result["rows"][0]["change"] == pytest.approx(2.0)
+
+    def test_improvement_is_negative_change_and_ok(self):
+        baseline = {"commit": {"per_commit_us": 30.0}}
+        fresh = {"commit": {"per_commit_us": 10.0}}
+        result = bench_diff(baseline, fresh)
+        assert result["ok"] is True
+        assert result["rows"][0]["change"] < 0.0
+
+    def test_tolerance_forgives_within_bound(self):
+        baseline = {"x": {"speedup": 4.0}}
+        fresh = {"x": {"speedup": 3.0}}  # 25% worse
+        assert bench_diff(baseline, fresh, tolerance=0.5)["ok"] is True
+        assert bench_diff(baseline, fresh, tolerance=0.1)["ok"] is False
+
+    def test_non_directional_leaves_are_ignored(self):
+        baseline = {"committed": 100, "wall_s": 1.0}
+        fresh = {"committed": 1, "wall_s": 99.0}
+        assert bench_diff(baseline, fresh)["compared"] == 0
+
+    def test_metrics_missing_from_either_side_are_skipped(self):
+        baseline = {"a": {"throughput_tps": 10.0}}
+        fresh = {"b": {"throughput_tps": 10.0}}
+        assert bench_diff(baseline, fresh)["compared"] == 0
+
+    def test_zero_baseline_is_skipped(self):
+        baseline = {"a": {"throughput_tps": 0.0}}
+        fresh = {"a": {"throughput_tps": 5.0}}
+        assert bench_diff(baseline, fresh)["compared"] == 0
+
+    def test_rows_sorted_worst_first(self):
+        baseline = {"a": {"throughput_tps": 100.0},
+                    "b": {"per_commit_us": 10.0}}
+        fresh = {"a": {"throughput_tps": 90.0},     # 10% worse
+                 "b": {"per_commit_us": 25.0}}      # 150% worse
+        rows = bench_diff(baseline, fresh)["rows"]
+        assert [row["metric"] for row in rows] == \
+            ["b.per_commit_us", "a.throughput_tps"]
+
+    def test_nested_lists_are_walked(self):
+        baseline = {"points": [{"throughput_tps": 10.0}]}
+        fresh = {"points": [{"throughput_tps": 2.0}]}
+        result = bench_diff(baseline, fresh)
+        assert result["rows"][0]["metric"] == "points[0].throughput_tps"
+        assert result["ok"] is False

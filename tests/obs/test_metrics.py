@@ -1,8 +1,11 @@
 """Unit tests for the metrics side: quantiles, instruments, the registry."""
 
+import threading
+
 import pytest
 
 from repro.obs import MetricsRegistry, quantile
+from repro.obs.metrics import DEFAULT_RESERVOIR, Histogram
 
 
 class TestQuantile:
@@ -83,6 +86,109 @@ class TestInstruments:
             sum(range(100))
         assert histogram.count == 1
         assert histogram.values[0] >= 0.0
+
+
+class TestThreadSafety:
+    """Instruments are bumped from every session thread at once.
+
+    ``value += amount`` is a read-modify-write; without the instrument
+    lock, racing increments vanish.  These tests are the regression
+    harness for that: 8 threads x 2500 bumps each must land exactly.
+    """
+
+    THREADS, BUMPS = 8, 2500
+
+    def hammer(self, work):
+        threads = [threading.Thread(target=work)
+                   for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_racing_counter_increments_all_land(self):
+        counter = MetricsRegistry().counter("c")
+        self.hammer(lambda: [counter.inc() for _ in range(self.BUMPS)])
+        assert counter.value == self.THREADS * self.BUMPS
+
+    def test_racing_gauge_adds_all_land(self):
+        gauge = MetricsRegistry().gauge("g")
+        self.hammer(lambda: [gauge.add(1) for _ in range(self.BUMPS)])
+        assert gauge.value == self.THREADS * self.BUMPS
+
+    def test_racing_histogram_observations_all_counted(self):
+        histogram = MetricsRegistry().histogram("h")
+        self.hammer(lambda: [histogram.observe(1.0)
+                             for _ in range(self.BUMPS)])
+        assert histogram.count == self.THREADS * self.BUMPS
+        assert histogram.summary()["total"] == \
+            pytest.approx(self.THREADS * self.BUMPS)
+
+    def test_racing_registry_lookups_return_one_instrument(self):
+        registry = MetricsRegistry()
+        handles = []
+        lock = threading.Lock()
+
+        def grab():
+            handle = registry.counter("shared")
+            with lock:
+                handles.append(handle)
+
+        self.hammer(grab)
+        assert len(set(map(id, handles))) == 1
+
+
+class TestReservoir:
+    """Bounded histogram memory: exact below the cap, sampled above."""
+
+    def test_below_cap_every_sample_is_retained(self):
+        histogram = Histogram("h", reservoir=100)
+        for index in range(100):
+            histogram.observe(float(index))
+        assert sorted(histogram.values) == [float(i) for i in range(100)]
+        assert histogram.sampled is False
+
+    def test_above_cap_memory_is_bounded(self):
+        histogram = Histogram("h", reservoir=64)
+        for index in range(1000):
+            histogram.observe(float(index))
+        assert len(histogram.values) == 64
+        assert histogram.sampled is True
+
+    def test_count_total_and_max_stay_exact_above_cap(self):
+        histogram = Histogram("h", reservoir=32)
+        for index in range(500):
+            histogram.observe(float(index))
+        summary = histogram.summary()
+        assert summary["count"] == 500
+        assert summary["total"] == pytest.approx(sum(range(500)))
+        assert summary["max"] == 499.0
+
+    def test_quantiles_above_cap_are_reasonable_estimates(self):
+        # A uniform 0..9999 stream: the sampled median must land well
+        # inside the middle of the distribution, not at an edge.
+        histogram = Histogram("uniform", reservoir=512)
+        for index in range(10_000):
+            histogram.observe(float(index))
+        p50 = histogram.summary()["p50"]
+        assert 3500.0 < p50 < 6500.0
+
+    def test_sampling_is_reproducible_per_name(self):
+        def run(name):
+            histogram = Histogram(name, reservoir=16)
+            for index in range(200):
+                histogram.observe(float(index))
+            return histogram.values
+
+        assert run("stable") == run("stable")
+
+    def test_default_reservoir_applies(self):
+        assert MetricsRegistry().histogram("h").reservoir \
+            == DEFAULT_RESERVOIR
+
+    def test_reservoir_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Histogram("h", reservoir=0)
 
 
 class TestRegistry:

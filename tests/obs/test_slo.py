@@ -1,0 +1,110 @@
+"""Unit tests for SLO health: objectives, error budgets, lazy judging."""
+
+import pytest
+
+from repro.obs.slo import (DEFAULT_POLICY, OP_CLASSES, NullSloTracker,
+                           Objective, SloPolicy, SloTracker)
+
+
+class TestObjective:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="latency"):
+            Objective(latency_s=0.0, budget=0.1)
+        with pytest.raises(ValueError, match="budget"):
+            Objective(latency_s=1.0, budget=1.0)
+        with pytest.raises(ValueError, match="budget"):
+            Objective(latency_s=1.0, budget=-0.1)
+
+    def test_default_policy_covers_every_op_class(self):
+        for op_class in OP_CLASSES:
+            assert DEFAULT_POLICY.objective(op_class) is not None
+
+
+class TestHealth:
+    def policy(self, latency_s=0.1, budget=0.25):
+        return SloPolicy({"read": Objective(latency_s, budget)})
+
+    def test_within_budget_is_healthy(self):
+        tracker = SloTracker()
+        for latency in (0.01, 0.02, 0.03, 0.2):  # 1 of 4 misses = 25%
+            tracker.record("read", latency)
+        health = tracker.health(self.policy(budget=0.25))
+        assert health["ok"] is True
+        entry = health["classes"]["read"]
+        assert entry["violations"] == 1
+        assert entry["burn"] == pytest.approx(0.25)
+        assert entry["ok"] is True
+
+    def test_burn_beyond_budget_is_unhealthy(self):
+        tracker = SloTracker()
+        for latency in (0.2, 0.2, 0.01, 0.01):  # 50% miss vs 25% budget
+            tracker.record("read", latency)
+        health = tracker.health(self.policy(budget=0.25))
+        assert health["ok"] is False
+        assert health["classes"]["read"]["ok"] is False
+        assert health["classes"]["read"]["burn"] == pytest.approx(0.5)
+
+    def test_zero_sample_objective_is_healthy_and_omits_quantiles(self):
+        health = SloTracker().health(self.policy())
+        entry = health["classes"]["read"]
+        assert health["ok"] is True
+        assert entry["count"] == 0 and entry["violations"] == 0
+        # No samples -> no latency stats; consumers must use .get().
+        assert "p50" not in entry and "p95" not in entry and \
+            "max" not in entry
+
+    def test_class_without_objective_is_reported_but_never_unhealthy(self):
+        tracker = SloTracker()
+        tracker.record("bulk_load", 99.0)
+        health = tracker.health(self.policy())
+        entry = health["classes"]["bulk_load"]
+        assert entry["objective_s"] is None
+        assert entry["ok"] is True
+        assert health["ok"] is True
+
+    def test_window_slides_old_misses_forgiven(self):
+        tracker = SloTracker(window=4)
+        for _ in range(4):
+            tracker.record("read", 9.0)  # all miss
+        assert tracker.health(self.policy())["ok"] is False
+        for _ in range(4):
+            tracker.record("read", 0.01)  # pushes the misses out
+        assert tracker.health(self.policy())["ok"] is True
+
+    def test_same_window_rejudged_under_a_stricter_policy(self):
+        tracker = SloTracker()
+        for latency in (0.05, 0.06):
+            tracker.record("read", latency)
+        assert tracker.health(self.policy(latency_s=0.1))["ok"] is True
+        assert tracker.health(self.policy(latency_s=0.055,
+                                          budget=0.1))["ok"] is False
+
+    def test_quantiles_reported_with_samples(self):
+        tracker = SloTracker()
+        for latency in (0.01, 0.02, 0.03):
+            tracker.record("read", latency)
+        entry = tracker.health(self.policy())["classes"]["read"]
+        assert entry["p50"] == pytest.approx(0.02)
+        assert entry["max"] == pytest.approx(0.03)
+
+    def test_reset_and_accessors(self):
+        tracker = SloTracker(window=8)
+        tracker.record("read", 0.01)
+        assert tracker.classes() == ["read"]
+        assert tracker.samples("read") == [0.01]
+        assert tracker.window == 8
+        tracker.reset()
+        assert tracker.classes() == []
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SloTracker(window=0)
+
+
+class TestNullSloTracker:
+    def test_records_nothing_and_stays_healthy(self):
+        tracker = NullSloTracker()
+        tracker.record("read", 99.0)
+        assert tracker.classes() == []
+        assert tracker.health()["ok"] is True
+        assert tracker.enabled is False

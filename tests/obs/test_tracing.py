@@ -2,10 +2,13 @@
 
 import io
 import json
+import threading
 
 import pytest
 
 from repro.obs import Tracer
+from repro.obs import context as trace_context
+from repro.obs.context import TraceContext, from_wire
 
 
 class TestNesting:
@@ -85,6 +88,107 @@ class TestRingBuffer:
             pass
         tracer.reset()
         assert tracer.spans() == []
+
+
+class TestEviction:
+    def test_dropped_spans_are_counted(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert tracer.spans_dropped == 2
+        assert len(tracer) == 3
+
+    def test_no_drops_below_capacity(self):
+        tracer = Tracer(capacity=8)
+        with tracer.span("s"):
+            pass
+        assert tracer.spans_dropped == 0
+
+    def test_reset_clears_the_drop_count(self):
+        tracer = Tracer(capacity=1)
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        tracer.reset()
+        assert tracer.spans_dropped == 0
+
+
+class TestPropagation:
+    """The three parenting sources: explicit > stack > ambient context."""
+
+    def test_trace_id_flows_to_children(self):
+        tracer = Tracer()
+        with tracer.span("root", trace_id="txn-1"):
+            with tracer.span("child") as child:
+                pass
+        assert child.trace_id == "txn-1"
+
+    def test_explicit_parent_beats_the_stack(self):
+        tracer = Tracer()
+        with tracer.span("elsewhere", trace_id="txn-a") as other:
+            pass
+        with tracer.span("open", trace_id="txn-b"):
+            with tracer.span("adopted", parent=other) as adopted:
+                pass
+        assert adopted.parent_id == other.span_id
+        assert adopted.trace_id == "txn-a"
+
+    def test_ambient_context_parents_when_the_stack_is_empty(self):
+        tracer = Tracer()
+        with trace_context.attach(TraceContext("txn-9", 77)):
+            with tracer.span("downstream") as span:
+                pass
+        assert span.parent_id == 77
+        assert span.trace_id == "txn-9"
+
+    def test_trace_id_override_starts_a_new_trace(self):
+        tracer = Tracer()
+        with tracer.span("outer", trace_id="txn-old"):
+            with tracer.span("fresh", trace_id="txn-new") as fresh:
+                pass
+        assert fresh.trace_id == "txn-new"
+
+    def test_span_context_is_a_handoff(self):
+        tracer = Tracer()
+        with tracer.span("root", trace_id="txn-5") as root:
+            context = root.context
+        assert context == TraceContext("txn-5", root.span_id)
+
+    def test_cross_thread_handoff_over_the_wire(self):
+        # The replication shape: the committing thread serializes its
+        # span's context into the message; the replica's pump thread
+        # rebuilds it and parents its apply span under the ship span.
+        tracer = Tracer()
+        with tracer.span("replication.ship", trace_id="txn-3") as ship:
+            wire = ship.context.to_wire()
+
+        def apply_side():
+            with tracer.span("replication.apply",
+                             parent=from_wire(wire)):
+                pass
+
+        thread = threading.Thread(target=apply_side)
+        thread.start()
+        thread.join()
+        by_name = {span.name: span for span in tracer.spans()}
+        applied = by_name["replication.apply"]
+        assert applied.parent_id == ship.span_id
+        assert applied.trace_id == "txn-3"
+
+    def test_threads_do_not_share_open_span_stacks(self):
+        tracer = Tracer()
+        seen = {}
+
+        def other_thread():
+            with tracer.span("other") as span:
+                seen["parent"] = span.parent_id
+
+        with tracer.span("main"):
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join()
+        assert seen["parent"] is None  # main's stack is invisible there
 
 
 class TestAggregateAndExport:

@@ -566,3 +566,166 @@ class TestShardStressVerb:
         assert "shard.2.records" in output
         assert "shard.0.journal_bytes" in output
         assert "sharding.cross_commits" in output
+
+
+class TestObservabilityVerbs:
+    """``repro health`` / ``repro bench-diff`` / offline ``repro trace``."""
+
+    def test_health_ok_under_loose_objectives(self, capsys):
+        from repro.cli import repro_main
+        assert repro_main(["health", "--ops", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "health: ok" in output
+        for op_class in ("read", "single_shard_write", "cross_shard_write"):
+            assert op_class in output
+
+    def test_health_json_reports_every_class(self, capsys):
+        import json
+        from repro.cli import repro_main
+        assert repro_main(["health", "--ops", "5", "--json"]) == 0
+        health = json.loads(capsys.readouterr().out)
+        assert health["ok"] is True
+        for op_class in ("read", "single_shard_write", "cross_shard_write"):
+            assert health["classes"][op_class]["count"] == 5
+
+    def test_health_burned_budget_exits_nonzero(self, capsys):
+        from repro.cli import repro_main
+        # A 1-nanosecond objective: every transaction misses it.
+        assert repro_main(["health", "--ops", "5", "--read-ms", "0.000001",
+                           "--write-ms", "0.000001",
+                           "--cross-ms", "0.000001"]) == 1
+        assert "BUDGET BURNED" in capsys.readouterr().out
+
+    def test_stats_openmetrics_exposition(self, capsys):
+        from repro.cli import repro_main
+        assert repro_main(["stats", "--openmetrics"]) == 0
+        output = capsys.readouterr().out
+        assert "# TYPE repro_commit_batches counter" in output
+        assert "repro_commit_batches_total" in output
+        assert output.endswith("# EOF\n")
+
+    def write_report(self, tmp_path, name, tps):
+        import json
+        path = tmp_path / name
+        path.write_text(json.dumps({"ingest": {"throughput_tps": tps}}))
+        return str(path)
+
+    def test_bench_diff_ok_exits_zero(self, capsys, tmp_path):
+        from repro.cli import repro_main
+        baseline = self.write_report(tmp_path, "base.json", 100.0)
+        fresh = self.write_report(tmp_path, "fresh.json", 95.0)
+        assert repro_main(["bench-diff", "--baseline", baseline,
+                           "--fresh", fresh]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_bench_diff_regression_exits_nonzero(self, capsys, tmp_path):
+        from repro.cli import repro_main
+        baseline = self.write_report(tmp_path, "base.json", 100.0)
+        fresh = self.write_report(tmp_path, "fresh.json", 10.0)
+        assert repro_main(["bench-diff", "--baseline", baseline,
+                           "--fresh", fresh]) == 1
+        output = capsys.readouterr().out
+        assert "REGRESSED" in output
+        assert "ingest.throughput_tps" in output
+
+    def test_bench_diff_json(self, capsys, tmp_path):
+        import json
+        from repro.cli import repro_main
+        baseline = self.write_report(tmp_path, "base.json", 100.0)
+        fresh = self.write_report(tmp_path, "fresh.json", 10.0)
+        assert repro_main(["bench-diff", "--baseline", baseline,
+                           "--fresh", fresh, "--json"]) == 1
+        result = json.loads(capsys.readouterr().out)
+        assert result["ok"] is False
+        assert result["rows"][0]["metric"] == "ingest.throughput_tps"
+
+
+class TestTraceTreeVerb:
+    """``repro trace --txn`` reconstructing lineage from exported JSONL."""
+
+    def write_jsonl(self, path, rows):
+        import json
+        path.write_text("".join(json.dumps(row) + "\n" for row in rows))
+        return str(path)
+
+    def spans(self, tmp_path):
+        return self.write_jsonl(tmp_path / "spans.jsonl", [
+            {"name": "concurrency.run", "span_id": 1, "parent_id": None,
+             "trace_id": "txn-1", "started_at": 0.0, "duration_s": 0.01,
+             "attributes": {}},
+            {"name": "sharding.cross_commit", "span_id": 2, "parent_id": 1,
+             "trace_id": "txn-1", "started_at": 0.002,
+             "duration_s": 0.005, "attributes": {"shards": 2}},
+            {"name": "replication.ship", "span_id": 3, "parent_id": 2,
+             "trace_id": "txn-1", "started_at": 0.004,
+             "duration_s": 0.001, "attributes": {}},
+            {"name": "other.txn", "span_id": 9, "parent_id": None,
+             "trace_id": "txn-2", "started_at": 0.0, "duration_s": 0.01,
+             "attributes": {}},
+        ])
+
+    def test_renders_one_tree_with_events(self, capsys, tmp_path):
+        from repro.cli import repro_main
+        spans = self.spans(tmp_path)
+        events = self.write_jsonl(tmp_path / "events.jsonl", [
+            {"seq": 1, "ts": 0.0, "kind": "txn.begin", "txn": "txn-1",
+             "attrs": {}},
+            {"seq": 2, "ts": 0.01, "kind": "txn.commit", "txn": "txn-1",
+             "attrs": {"token": 4}},
+            {"seq": 3, "ts": 0.02, "kind": "txn.begin", "txn": "txn-2",
+             "attrs": {}},
+        ])
+        assert repro_main(["trace", "--txn", "txn-1", "--input", spans,
+                           "--events-input", events]) == 0
+        output = capsys.readouterr().out
+        assert "trace txn-1: 3 span(s), 1 root(s)" in output
+        assert "- concurrency.run" in output
+        assert "sharding.cross_commit" in output  # indented child
+        assert "[shards=2]" in output
+        assert "events (2):" in output
+        assert "txn.commit  token=4" in output
+        assert "txn-2" not in output  # the other transaction is filtered
+
+    def test_unknown_txn_exits_nonzero(self, capsys, tmp_path):
+        from repro.cli import repro_main
+        assert repro_main(["trace", "--txn", "txn-404", "--input",
+                           self.spans(tmp_path)]) == 1
+        assert "no spans recorded" in capsys.readouterr().out
+
+    def test_orphaned_parent_is_reported_not_hidden(self, capsys,
+                                                    tmp_path):
+        from repro.cli import repro_main
+        spans = self.write_jsonl(tmp_path / "spans.jsonl", [
+            {"name": "concurrency.run", "span_id": 5, "parent_id": None,
+             "trace_id": "txn-1", "started_at": 0.0, "duration_s": 0.01,
+             "attributes": {}},
+            # Its parent fell off the ring: span 99 is not in the file.
+            {"name": "journal.append", "span_id": 6, "parent_id": 99,
+             "trace_id": "txn-1", "started_at": 0.001,
+             "duration_s": 0.001, "attributes": {}},
+        ])
+        assert repro_main(["trace", "--txn", "txn-1",
+                           "--input", spans]) == 0
+        assert "2 root(s), 1 orphaned" in capsys.readouterr().out
+
+    def test_shard_stress_replicas_flow_into_the_report(self, capsys,
+                                                        tmp_path):
+        import json
+        from repro.cli import repro_main
+        trace_out = str(tmp_path / "spans.jsonl")
+        assert repro_main(["shard-stress", "--shards", "2", "--sessions",
+                           "2", "--ops", "10", "--keys", "4", "--cross",
+                           "0.5", "--replicas", "1", "--dir",
+                           str(tmp_path / "store"), "--trace-out",
+                           trace_out, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["replicas"] == 1
+        assert report["replica_converged"] is True
+        assert report["replica_digest_match"] is True
+        assert report["sample_cross_txn"]
+        assert report["trace_path"] == trace_out
+        # The export really is consumable by the offline tree renderer.
+        assert repro_main(["trace", "--txn", report["sample_cross_txn"],
+                           "--input", trace_out]) == 0
+        assert "1 root(s)" in capsys.readouterr().out
