@@ -20,6 +20,18 @@ cheap: the same ingest loop runs with recording off and on (best of
 several rounds each) and the per-commit overhead must stay under 5%.
 The collected metrics snapshot is embedded in the report.
 
+An additional measurement sweeps the **query paths** (embedded in
+``BENCH_temporal.json`` under ``query_paths``): an as-of timeslice and
+a predicate+as-of retrieve run through a TQuel :class:`Session` against
+the same replace-loop history, once per plan mode (forced ``naive`` /
+``index`` / ``columnar``, plus ``auto`` — the cost-based planner with
+the as-of result cache live).  Each mode is warmed once (chunk packing
+/ cache fill), then timed best-of-``QUERY_REPEATS``; the canonical row
+sets of all four modes must be identical (plan choice never changes
+results).  The acceptance bar is a ≥ 10x planner-on speedup over
+forced-naive at the largest size (enforced when that size reaches
+10^4; the CI smoke sweep records the numbers without gating).
+
 A fourth measurement times **recovery** (``BENCH_recovery.json``): the
 same ingest history is journaled through a
 :class:`~repro.storage.recovery.DurabilityManager` with a checkpoint
@@ -91,6 +103,7 @@ from repro import obs  # noqa: E402
 from repro.core import TemporalDatabase  # noqa: E402
 from repro.relational import Domain, Schema  # noqa: E402
 from repro.time import Instant, SimulatedClock  # noqa: E402
+from repro.tquel import Session  # noqa: E402
 
 KEYS = 50
 SUITES = ["bench_temporal_workload.py", "bench_indexing.py",
@@ -129,6 +142,12 @@ SHARDING_SPEEDUP = 3.0
 SHARDING_ROUNDS = 3
 #: Pump-round ceiling for catch-up loops (a bug, not noise, exhausts it).
 REPLICATION_MAX_ROUNDS = 100_000
+#: The query-path sweep: required planner-on speedup over forced-naive
+#: at the gate size (gated only when the sweep reaches that size), and
+#: timing repeats per (plan, query) pair — best-of-N, as everywhere.
+QUERY_GATE_SIZE = 10_000
+QUERY_SPEEDUP = 10.0
+QUERY_REPEATS = 3
 
 
 def _git_sha():
@@ -207,6 +226,132 @@ def _measure_overhead(seed):
         "overhead_under_5pct": ratio <= OVERHEAD_LIMIT,
     }
     return summary, snapshot
+
+
+def _query_history(commits, seed):
+    """Build (untimed) the same replace-loop history :func:`_ingest` times.
+
+    Returns ``(database, as_of)`` where *as_of* pins the middle of
+    transaction-time history, so an as-of query must reject roughly half
+    the closed log — the regime the planner's cost model is built for.
+    """
+    rng = random.Random(seed)
+    clock = SimulatedClock(BASE)
+    database = TemporalDatabase(clock=clock)
+    database.define("facts", Schema.of(k=Domain.STRING, v=Domain.INTEGER))
+    for i in range(KEYS):
+        database.insert("facts", {"k": "k%d" % i, "v": 0},
+                        valid_from=BASE)
+    for step in range(commits):
+        clock.set(BASE + 10 + step)
+        database.replace("facts", {"k": "k%d" % rng.randrange(KEYS)},
+                         {"v": step + 1})
+    return database, BASE + 10 + commits // 2
+
+
+def _canonical_rows(result):
+    """A plan-independent fingerprint of a relation result.
+
+    Sorted ``(attributes, valid, tt)`` triples: the differential
+    contract says plan choice may reorder rows but never change the
+    set, so equality of this form is the bench-side equivalence check.
+    """
+    rows = []
+    for row in result.rows:
+        rows.append((tuple(sorted(row.data.items())),
+                     str(getattr(row, "valid", None)),
+                     str(getattr(row, "tt", None))))
+    rows.sort()
+    return rows
+
+
+def _time_query(session, source, repeats):
+    """Best-of-*repeats* wall time of one retrieve, in seconds."""
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        session.query(source)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _query_point(commits, seed):
+    """One query-path measurement: four plan modes over one history.
+
+    Each mode gets its own :class:`Session` (so forced modes never see
+    another mode's result-cache entries), one untimed warm-up run (the
+    columnar mode packs its chunk there; ``auto`` populates the as-of
+    result cache there — warm ``auto`` is the planner-on steady state
+    the gate measures), then best-of-``QUERY_REPEATS`` timed runs.  The
+    canonical row sets of all four modes are cross-checked per query.
+    """
+    database, as_of = _query_history(commits, seed)
+    queries = {
+        "timeslice": 'retrieve (f.k, f.v) as of "%s"' % as_of,
+        "predicate": ('retrieve (f.v) where f.k = "k7" as of "%s"'
+                      % as_of),
+    }
+    modes = ("naive", "index", "columnar", "auto")
+    point = {
+        "commits": commits,
+        "history_rows": len(database.temporal("facts")),
+        "as_of": str(as_of),
+        "queries": {},
+        "results_agree": True,
+    }
+    for label, source in queries.items():
+        timings = {}
+        rows_by_mode = {}
+        for mode in modes:
+            session = Session(database, plan=mode)
+            session.execute("range of f is facts")
+            rows_by_mode[mode] = _canonical_rows(session.query(source))
+            timings[mode] = _time_query(session, source, QUERY_REPEATS)
+        agree = all(rows_by_mode[mode] == rows_by_mode["naive"]
+                    for mode in modes)
+        if not agree:
+            point["results_agree"] = False
+        point["queries"][label] = {
+            "rows": len(rows_by_mode["naive"]),
+            "results_agree": agree,
+            "speedup": round(timings["naive"] / max(timings["auto"],
+                                                    1e-9), 2),
+            **{"%s_us" % mode: round(timings[mode] * 1e6, 1)
+               for mode in modes},
+        }
+    point["speedup"] = min(info["speedup"]
+                           for info in point["queries"].values())
+    return point
+
+
+def _run_query_paths(sizes, seed):
+    """The query-path sweep + its gate flags (see module docstring)."""
+    section = {"points": {}, "gate_size": QUERY_GATE_SIZE,
+               "required_speedup": QUERY_SPEEDUP,
+               "repeats": QUERY_REPEATS}
+    for n in sizes:
+        point = _query_point(n, seed)
+        section["points"][str(n)] = point
+        print("query paths n=%d: timeslice naive %.0f us -> auto %.0f us "
+              "(%.1fx); predicate naive %.0f us -> auto %.0f us (%.1fx)"
+              % (n,
+                 point["queries"]["timeslice"]["naive_us"],
+                 point["queries"]["timeslice"]["auto_us"],
+                 point["queries"]["timeslice"]["speedup"],
+                 point["queries"]["predicate"]["naive_us"],
+                 point["queries"]["predicate"]["auto_us"],
+                 point["queries"]["predicate"]["speedup"]))
+    largest = max(sizes)
+    at_largest = section["points"][str(largest)]
+    section["gated"] = largest >= QUERY_GATE_SIZE
+    section["speedup"] = at_largest["speedup"]
+    section["speedup_ok"] = (not section["gated"]
+                             or section["speedup"] >= QUERY_SPEEDUP)
+    section["results_agree"] = all(point["results_agree"]
+                                   for point in section["points"].values())
+    return section
 
 
 def _recovery_point(commits, seed):
@@ -720,6 +865,8 @@ def main(argv=None):
     print("per-commit latency ratio (n=%s vs n=%s): %.2fx"
           % (largest, smallest, ratio))
 
+    report["query_paths"] = _run_query_paths(sizes, args.seed)
+
     overhead, metrics = _measure_overhead(args.seed)
     if not overhead["overhead_under_5pct"]:
         # One re-measure absorbs a noisy first pass on a loaded machine.
@@ -804,6 +951,15 @@ def main(argv=None):
         return 1
     if len(sizes) > 1 and not report["flat_within_2x"]:
         print("FAIL: per-commit ingest latency is not flat within 2x")
+        return 1
+    if not report["query_paths"]["results_agree"]:
+        print("FAIL: a forced plan mode returned different rows than "
+              "the naive reference — plan choice must never change "
+              "results")
+        return 1
+    if not report["query_paths"]["speedup_ok"]:
+        print("FAIL: planner-on queries are not ≥ %.1fx faster than "
+              "forced-naive at n=%d" % (QUERY_SPEEDUP, max(sizes)))
         return 1
     if not overhead["overhead_under_5pct"]:
         print("FAIL: instrumentation overhead %.2f%% exceeds 5%%"

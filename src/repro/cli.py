@@ -22,6 +22,10 @@ dot are shell commands:
                         (static|rollback|historical|temporal); append
                         " force" to allow a lossy downgrade
     .explain <query>    show how a retrieve would execute
+    .plan [mode]        show or set the access-path mode
+                        (auto|naive|index|columnar; see
+                        docs/QUERY_PLANNING.md)
+    .cache              show the columnar-chunk and as-of result caches
     .stats              show the instrumentation snapshot (see ``repro stats``)
     .quit               leave
 
@@ -41,6 +45,9 @@ instrumentation (see :mod:`repro.obs` and docs/OBSERVABILITY.md)::
                                  # budget burn)
     repro bench-diff --baseline BENCH_X.json --fresh fresh.json
                                  # regression-gate two benchmark reports
+    repro cache                  # run the demo workload, report the
+                                 # columnar-chunk and as-of result
+                                 # caches (see docs/QUERY_PLANNING.md)
 
 ``repro`` also operates durability directories (checkpoint + segmented
 journal; see docs/DURABILITY.md)::
@@ -222,6 +229,17 @@ def _dot_command(session: Session, line: str, out) -> bool:
             print(session.explain(argument), file=out)
         except ReproError as error:
             print(f"error: {error}", file=out)
+    elif command == ".plan":
+        if not argument:
+            print(f"plan mode: {session.plan}", file=out)
+        else:
+            try:
+                session.plan = argument
+                print(f"plan mode: {session.plan}", file=out)
+            except ValueError as error:
+                print(f"error: {error}", file=out)
+    elif command == ".cache":
+        print(_format_caches(database), file=out)
     elif command == ".stats":
         print(_format_stats(database.stats()), file=out)
     elif command == ".save":
@@ -359,6 +377,18 @@ def build_repro_parser() -> argparse.ArgumentParser:
                                  "(default: 0.5 = 50%%)")
     bench_diff.add_argument("--json", action="store_true",
                             help="emit the comparison as JSON")
+
+    cache = subparsers.add_parser(
+        "cache", help="run a workload and report the columnar-chunk and "
+                      "as-of result caches (hits/misses/sizes)")
+    add_common(cache)
+    cache.add_argument("--plan", default="auto",
+                       choices=("auto", "naive", "index", "columnar"),
+                       help="the session's access-path mode "
+                            "(default: auto; only auto uses the result "
+                            "cache)")
+    cache.add_argument("--json", action="store_true",
+                       help="emit the snapshot as JSON instead of text")
 
     recover = subparsers.add_parser(
         "recover", help="recover a durability directory and report how")
@@ -1050,6 +1080,17 @@ def _demo_workload(session: Session, clock: SimulatedClock) -> None:
                             'as of "12/10/82"')
         else:
             session.execute('retrieve (f.name, f.rank) sort by name')
+    if database.supports_rollback and session.plan == "auto":
+        # The cost model keeps this tiny relation on the naive path, so
+        # force one indexed pass (a miss, then a hit) to keep the
+        # interval-tree layer in the stats story too.
+        session.plan = "index"
+        try:
+            for _ in range(2):
+                session.execute('retrieve (f.rank) where f.name = "Merrie" '
+                                'as of "12/10/82"')
+        finally:
+            session.plan = "auto"
 
 
 def _sharded_demo(shards: int) -> None:
@@ -1124,6 +1165,60 @@ def _instrumented_run(args):
     return instrumentation
 
 
+def _cache_snapshot(database) -> dict:
+    """The two query caches' stats, as one JSON-friendly dict."""
+    columnar = database.columnar_cache
+    results = database.result_cache
+    return {
+        "columnar": columnar.describe() if columnar is not None else None,
+        "results": results.describe() if results is not None else None,
+    }
+
+
+def _format_caches(database) -> str:
+    """Render the columnar and result caches as aligned text."""
+    snapshot = _cache_snapshot(database)
+    if snapshot["columnar"] is None and snapshot["results"] is None:
+        return "query caches disabled (database created with index=False)"
+    lines = []
+    columnar = snapshot["columnar"]
+    if columnar is not None:
+        lines.append("columnar chunks:")
+        lines.append(f"  built for: "
+                     f"{', '.join(columnar['relations']) or '(none)'}")
+        for name, count in columnar["rows"].items():
+            lines.append(f"  rows packed ({name}): {count}")
+        lines.append(f"  hits={columnar['hits']} misses={columnar['misses']} "
+                     f"extensions={columnar['extensions']}")
+    results = snapshot["results"]
+    if results is not None:
+        lines.append("as-of result cache:")
+        lines.append(f"  entries: {results['size']}/{results['capacity']} "
+                     f"({results['immutable_entries']} immutable, "
+                     f"{results['epoch_entries']} epoch-bound)")
+        lines.append(f"  hits={results['hits']} misses={results['misses']} "
+                     f"evictions={results['evictions']} "
+                     f"invalidations={results['invalidations']}")
+    return "\n".join(lines)
+
+
+def _repro_cache(args) -> int:
+    """``repro cache``: run a workload, report both query caches."""
+    clock = SimulatedClock("01/01/77")
+    session = Session(_KINDS[args.kind](clock=clock), plan=args.plan)
+    if args.file is not None:
+        with open(args.file, encoding="utf-8") as handle:
+            session.execute_script(handle.read())
+    else:
+        _demo_workload(session, clock)
+    if args.json:
+        print(json.dumps(_cache_snapshot(session.database), indent=2,
+                         sort_keys=True))
+    else:
+        print(_format_caches(session.database))
+    return 0
+
+
 def _format_stats(stats) -> str:
     """Render a ``stats()`` snapshot as aligned text."""
     state = "recording" if stats["instrumentation_enabled"] else "off"
@@ -1177,7 +1272,7 @@ def repro_main(argv: Optional[list] = None) -> int:
     args = build_repro_parser().parse_args(argv)
     if args.subcommand in ("recover", "checkpoint", "stress", "digest",
                            "replicate", "promote", "shard-stress",
-                           "health", "bench-diff"):
+                           "health", "bench-diff", "cache"):
         try:
             handler = {"recover": _repro_recover,
                        "checkpoint": _repro_checkpoint,
@@ -1187,7 +1282,8 @@ def repro_main(argv: Optional[list] = None) -> int:
                        "promote": _repro_promote,
                        "shard-stress": _repro_shard_stress,
                        "health": _repro_health,
-                       "bench-diff": _repro_bench_diff}[args.subcommand]
+                       "bench-diff": _repro_bench_diff,
+                       "cache": _repro_cache}[args.subcommand]
             return handler(args)
         except (ReproError, OSError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)

@@ -65,8 +65,14 @@ class Database(abc.ABC):
         # that touches the relation (DML, define, drop).  Monotone across
         # drop/redefine, so a version never aliases an older value.
         self._versions: Dict[str, int] = {}
+        # Per-relation commit time of the latest touching batch.  The
+        # result cache uses it to decide whether an as-of pin lies
+        # entirely in the immutable past.
+        self._last_change: Dict[str, Instant] = {}
         self._index_enabled = bool(index)
         self._index_cache: Optional[Any] = None
+        self._columnar_cache: Optional[Any] = None
+        self._result_cache: Optional[Any] = None
 
     # -- capabilities ----------------------------------------------------------
 
@@ -121,6 +127,18 @@ class Database(abc.ABC):
         """
         return self._versions.get(name, 0)
 
+    def last_change(self, name: str) -> Optional[Instant]:
+        """The commit time of the latest batch that touched *name*.
+
+        ``None`` before any commit has.  An ``as of`` pin at or before
+        this instant reads only rows whose membership in the answer can
+        no longer change — the immutability test behind the result
+        cache's cache-forever flavor (see :mod:`repro.core.resultcache`;
+        the evaluator additionally requires every contributing
+        transaction period to be closed).
+        """
+        return self._last_change.get(name)
+
     @property
     def index_cache(self):
         """The live :class:`~repro.core.indexing.DatabaseIndexCache`.
@@ -136,6 +154,36 @@ class Database(abc.ABC):
             from repro.core.indexing import DatabaseIndexCache  # avoid cycle
             self._index_cache = DatabaseIndexCache(self)
         return self._index_cache
+
+    @property
+    def columnar_cache(self):
+        """The live :class:`~repro.core.columnar.ColumnarCache`.
+
+        Built lazily on first use; follows the ``index=False`` switch (a
+        database created without acceleration structures gets neither
+        trees nor chunks, and the planner falls back to naive scans).
+        """
+        if not self._index_enabled:
+            return None
+        if self._columnar_cache is None:
+            from repro.core.columnar import ColumnarCache  # avoid cycle
+            self._columnar_cache = ColumnarCache(self)
+        return self._columnar_cache
+
+    @property
+    def result_cache(self):
+        """The live :class:`~repro.core.resultcache.ResultCache`.
+
+        Built lazily on first use; follows the ``index=False`` switch so
+        an acceleration-free database also reports honest per-query
+        costs.
+        """
+        if not self._index_enabled:
+            return None
+        if self._result_cache is None:
+            from repro.core.resultcache import ResultCache  # avoid cycle
+            self._result_cache = ResultCache(self)
+        return self._result_cache
 
     def relation_names(self) -> List[str]:
         """All defined relation names, sorted."""
@@ -291,6 +339,14 @@ class Database(abc.ABC):
                 raise
             for name in {op.relation for op in operations}:
                 self._versions[name] = self._versions.get(name, 0) + 1
+                self._last_change[name] = commit_time
+            if self._result_cache is not None:
+                # DDL reuses names for unrelated stores, so even the
+                # cache-forever entries of a dropped/redefined relation
+                # must die with it.
+                for op in operations:
+                    if op.action in ("define", "drop"):
+                        self._result_cache.purge(op.relation)
         metrics.counter("commit.batches").inc()
         metrics.counter("commit.operations").inc(len(operations))
 

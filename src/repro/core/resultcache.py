@@ -1,0 +1,148 @@
+"""The as-of/timeslice result cache.
+
+The taxonomy's central storage guarantee — transaction time is
+append-only, "errors ... cannot be forgotten" — makes one class of query
+result reusable forever: anything computed *entirely* from closed
+(immutable) state.  A rollback to a past instant, or an as-of retrieve
+whose every contributing row has a closed transaction period, can never
+change again, no matter how many transactions commit afterwards.  Results
+that touch *open* state (the current belief) can change on any commit and
+are only reusable between commits.
+
+:class:`ResultCache` holds both flavors under one LRU:
+
+- **immutable** entries are kept until evicted by capacity or purged by
+  DDL on their relation (a drop/redefine re-uses the name for an
+  unrelated store, so name-keyed entries must die with the store);
+- **epoch** entries are stamped with the relation's version
+  (:meth:`~repro.core.base.Database.relation_version`) and lazily
+  invalidated when a lookup observes a newer version — a commit to an
+  open store can therefore never serve a stale as-of result (the
+  cache-invalidation test in ``tests/tquel/test_result_cache.py`` drives
+  exactly that scenario).
+
+Keys are ``(relation, tt_key, fingerprint)`` where *tt_key* renders the
+transaction-time pin (the ``as of``/``through`` instants, or ``"now"``)
+and *fingerprint* is the caller's canonical rendering of everything else
+that shaped the result (pushed predicates, applied ``when`` kernels, the
+database kind).  The TQuel evaluator is the only writer today, but the
+cache itself is query-agnostic.
+
+The plain counters (:attr:`hits`, :attr:`misses`, :attr:`evictions`,
+:attr:`invalidations`) are always live; the same events are mirrored into
+the process instrumentation as ``tquel.cache.hits`` /
+``tquel.cache.misses`` / ``tquel.cache.evictions``, plus a
+``tquel.cache.size`` gauge.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple as PyTuple
+
+from repro.obs import runtime as _obs
+
+__all__ = ["ResultCache"]
+
+#: (relation name, tt pin rendering, predicate fingerprint)
+Key = PyTuple[str, str, str]
+
+
+class _Entry:
+    __slots__ = ("value", "immutable", "version")
+
+    def __init__(self, value: Any, immutable: bool, version: int) -> None:
+        self.value = value
+        self.immutable = immutable
+        self.version = version
+
+
+class ResultCache:
+    """A bounded LRU of per-relation query results (see module docstring)."""
+
+    def __init__(self, database, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("result cache capacity must be positive")
+        self._db = database
+        self._capacity = capacity
+        self._entries: "OrderedDict[Key, _Entry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        """The LRU bound."""
+        return self._capacity
+
+    def get(self, relation: str, tt_key: str, fingerprint: str
+            ) -> Optional[Any]:
+        """The cached value, or ``None`` on miss/stale.
+
+        Epoch entries are checked against the relation's current version
+        and dropped when stale — a lookup after a commit can never return
+        the pre-commit result.
+        """
+        metrics = _obs.current().metrics
+        key = (relation, tt_key, fingerprint)
+        entry = self._entries.get(key)
+        if entry is not None and not entry.immutable \
+                and entry.version != self._db.relation_version(relation):
+            del self._entries[key]
+            self.invalidations += 1
+            entry = None
+        if entry is None:
+            self.misses += 1
+            metrics.counter("tquel.cache.misses").inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        metrics.counter("tquel.cache.hits").inc()
+        return entry.value
+
+    def put(self, relation: str, tt_key: str, fingerprint: str, value: Any,
+            immutable: bool) -> None:
+        """Store *value*; *immutable* selects the cache-forever flavor."""
+        metrics = _obs.current().metrics
+        key = (relation, tt_key, fingerprint)
+        self._entries[key] = _Entry(
+            value, immutable, self._db.relation_version(relation))
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            metrics.counter("tquel.cache.evictions").inc()
+        metrics.gauge("tquel.cache.size").set(len(self._entries))
+
+    def purge(self, relation: str) -> int:
+        """Drop every entry for *relation* (DDL reuses names for new stores)."""
+        doomed = [key for key in self._entries if key[0] == relation]
+        for key in doomed:
+            del self._entries[key]
+        if doomed:
+            self.invalidations += len(doomed)
+            _obs.current().metrics.gauge("tquel.cache.size").set(
+                len(self._entries))
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop everything (used by tests and the ``.cache`` shell verb)."""
+        self._entries.clear()
+
+    def describe(self) -> Dict[str, Any]:
+        """Deterministic stats view for ``repro cache`` and ``.cache``."""
+        immutable = sum(1 for e in self._entries.values() if e.immutable)
+        return {
+            "size": len(self._entries),
+            "capacity": self._capacity,
+            "immutable_entries": immutable,
+            "epoch_entries": len(self._entries) - immutable,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

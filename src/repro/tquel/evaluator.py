@@ -25,6 +25,26 @@ Aggregate retrieves group by the non-aggregate targets and always produce
 a static relation, computed over the candidate rows — which for the
 valid-time kinds means the recorded *facts* (one per tuple-validity row),
 not a single timeslice.
+
+**Access paths and the equivalence obligation.**  Candidate rows can be
+sourced three ways — a naive row-at-a-time scan, an interval-tree probe,
+or the vectorized mask kernels of :mod:`repro.core.columnar` — chosen per
+range variable by :mod:`repro.tquel.planner` (or forced via the ``plan``
+knob).  The naive path is the executable specification: every other path
+must yield the *same candidate multiset* for the same statement, and
+every vectorized kernel (transaction-time stab/overlap, ``when``
+comparison, attribute-comparison pushdown, compiled projection) owes
+row-for-row agreement with its scalar twin, including null semantics and
+raised error types.  The randomized differential suite
+(``tests/tquel/test_differential.py``) runs every query shape under all
+forced plans and asserts identical results.
+
+In ``auto`` mode the evaluator also consults the database's
+:class:`~repro.core.resultcache.ResultCache`: filtered candidate streams
+keyed by ``(relation, as-of pin, predicate fingerprint)`` are cached
+forever when the pin lies in the immutable (closed) past and
+epoch-invalidated otherwise, so a commit to an open store can never
+serve a stale as-of answer.
 """
 
 from __future__ import annotations
@@ -35,7 +55,7 @@ from typing import (Any, Dict, List, Mapping, NamedTuple, Optional, Sequence,
 
 from repro.core.base import Database
 from repro.core.historical import HistoricalDatabase, HistoricalRelation, HistoricalRow
-from repro.core.rollback import RollbackDatabase
+from repro.core.rollback import RollbackDatabase, RollbackRelation
 from repro.core.temporal import BitemporalRow, TemporalDatabase, TemporalRelation
 from repro.errors import TQuelSemanticError
 from repro.obs import runtime as _obs
@@ -54,6 +74,7 @@ from repro.tquel.ast import (
     TNow, TOverlap, TPAnd, TPCompare, TPNot, TPOr, TStartOf, TVar,
     TemporalExpr, TemporalPredicate, ValidClause,
 )
+from repro.tquel import planner as _planner
 
 #: What execute() can return: a derived relation, a commit time, or None.
 Result = Union[Relation, HistoricalRelation, TemporalRelation, Instant, None]
@@ -247,16 +268,129 @@ def temporal_variables(node) -> Set[str]:
     return set()
 
 
+def contains_now(node) -> bool:
+    """Does a temporal expression read the clock (``now``)?
+
+    A clock-dependent kernel constant makes a cached stream stale the
+    moment the clock moves, even without a commit — so such streams are
+    never result-cached.
+    """
+    if isinstance(node, TNow):
+        return True
+    if isinstance(node, (TStartOf, TEndOf, TPNot)):
+        return contains_now(node.operand)
+    if isinstance(node, (TOverlap, TExtend, TPCompare, TPAnd, TPOr)):
+        return contains_now(node.left) or contains_now(node.right)
+    return False
+
+
+#: The ``when`` operators with a vectorized kernel in
+#: :meth:`repro.core.columnar.ColumnarChunk.when_mask` — exactly the set
+#: :func:`eval_temporal_predicate` accepts, so an unknown operator always
+#: raises through the naive path instead of a kernel ``KeyError``.
+_WHEN_KERNEL_OPS = frozenset((
+    "overlap", "precede", "equal", "meets", "before", "after", "during",
+    "starts", "finishes",
+))
+
+
+class _WhenKernel(NamedTuple):
+    """A compiled, kernel-eligible ``when`` clause.
+
+    Eligible means: the clause is a single ``TPCompare`` with exactly one
+    side being a bare range variable and the other side a constant
+    temporal expression (no range variables), so the predicate can run
+    as one vectorized mask over that variable's valid column.  ``constant
+    is None`` records an empty ``overlap(...)`` constant — the predicate
+    is then false for every row, exactly as
+    :func:`eval_temporal_predicate` would report.
+    """
+
+    variable: str
+    op: str
+    constant: Optional[Period]
+    var_on_left: bool
+    #: Did the constant read ``now``?  Clock-dependent streams are never
+    #: result-cached (the clock can move without a commit).
+    clock_dependent: bool
+
+
+def when_kernel_spec(statement: RetrieveStmt,
+                     now: Instant) -> Optional[_WhenKernel]:
+    """Compile the ``when`` clause to a :class:`_WhenKernel`, if eligible."""
+    when = statement.when
+    if not isinstance(when, TPCompare) or when.op not in _WHEN_KERNEL_OPS:
+        return None
+    left_is_var = isinstance(when.left, TVar)
+    right_is_var = isinstance(when.right, TVar)
+    if left_is_var == right_is_var:
+        return None
+    var_side, const_side = ((when.left, when.right) if left_is_var
+                            else (when.right, when.left))
+    if temporal_variables(const_side):
+        return None
+    try:
+        constant = eval_period(const_side, {}, now)
+    except TQuelSemanticError:
+        # Constants eval_period rejects (bare `forever` etc.) must raise
+        # identically per row — leave them to the naive predicate.
+        return None
+    return _WhenKernel(var_side.variable, when.op, constant, left_is_var,
+                       contains_now(const_side))
+
+
+def columnar_compare_spec(conjunct: Expression, variable: str
+                          ) -> Optional[PyTuple[str, str, Any, bool]]:
+    """The ``(attr, op, value, attr_on_left)`` kernel form of a conjunct.
+
+    Only a direct attribute-vs-literal comparison vectorizes; anything
+    else (arithmetic, attr-vs-attr, ``is null``, disjunctions) runs
+    per-row through the expression AST on the already-selected indices.
+    """
+    if not isinstance(conjunct, Comparison):
+        return None
+    left, right = conjunct.left, conjunct.right
+    if (isinstance(left, AttrRef) and left.variable == variable
+            and isinstance(right, Const)):
+        return (left.name, conjunct.op, right.value, True)
+    if (isinstance(right, AttrRef) and right.variable == variable
+            and isinstance(left, Const)):
+        return (right.name, conjunct.op, left.value, False)
+    return None
+
+
 # ---------------------------------------------------------------------------
 # The evaluator
 # ---------------------------------------------------------------------------
 
 class Evaluator:
-    """Executes statements against one database and a range environment."""
+    """Executes statements against one database and a range environment.
 
-    def __init__(self, database: Database, ranges: Mapping[str, str]) -> None:
+    ``plan`` selects the access path for every range variable:
+    ``"auto"`` (cost-based, the default) or a forced
+    ``"naive"``/``"index"``/``"columnar"`` for debugging and differential
+    testing.  Only ``auto`` consults the result cache — forced plans must
+    exercise their path, not a memo of it.
+    """
+
+    def __init__(self, database: Database, ranges: Mapping[str, str],
+                 plan: str = "auto") -> None:
         self._db = database
         self._ranges = dict(ranges)
+        self.plan = plan
+
+    @property
+    def plan(self) -> str:
+        """The plan mode (one of :data:`repro.tquel.planner.PLAN_MODES`)."""
+        return self._plan
+
+    @plan.setter
+    def plan(self, mode: str) -> None:
+        if mode not in _planner.PLAN_MODES:
+            raise ValueError(
+                f"plan must be one of {', '.join(_planner.PLAN_MODES)}; "
+                f"got {mode!r}")
+        self._plan = mode
 
     # -- dispatch ------------------------------------------------------------------
 
@@ -316,6 +450,250 @@ class Evaluator:
         return [_Candidate(row, None, None)
                 for row in db.snapshot(relation)]
 
+    def _candidates_naive(self, relation: str, as_of: Optional[Instant],
+                          through: Optional[Instant] = None
+                          ) -> List[_Candidate]:
+        """The raw-scan twin of :meth:`_candidates`.
+
+        Same rows in store order, but sourced by walking every stored row
+        and testing the temporal clauses per row — never through an
+        interval tree.  This is the executable specification the index
+        and columnar paths are differentially tested against.
+        """
+        db = self._db
+        if isinstance(db, TemporalDatabase):
+            value = db.temporal(relation)
+            if through is not None:
+                if as_of is None:  # degenerate bound: mirror the legacy path
+                    return self._candidates(relation, as_of, through)
+                window = Period.from_inclusive(as_of, through)
+                return [_Candidate(row.data, row.valid, row.tt)
+                        for row in value.rows if row.tt.overlaps(window)]
+            when = as_of if as_of is not None else db.now()
+            return [_Candidate(row.data, row.valid, row.tt)
+                    for row in value.rows if row.tt.contains(when)]
+        if isinstance(db, HistoricalDatabase):
+            return [_Candidate(row.data, row.valid, None)
+                    for row in db.history(relation).rows]
+        if isinstance(db, RollbackDatabase):
+            store = db.store(relation)
+            if not isinstance(store, RollbackRelation):
+                # StateSequence: the representation's own state walk *is*
+                # the naive scan (no partition, no index, no chunk).
+                return self._candidates(relation, as_of, through)
+            if through is not None:
+                if as_of is None:
+                    return self._candidates(relation, as_of, through)
+                window = Period.from_inclusive(as_of, through)
+                data = [row.data for row in store.rows
+                        if row.tt.overlaps(window)]
+            elif as_of is not None:
+                data = [row.data for row in store.rows
+                        if row.tt.contains(as_of)]
+            else:
+                data = list(store.current())
+            # Relation construction dedups tuples (first occurrence);
+            # mirror it so counts and multiplicity match.
+            return [_Candidate(row, None, None)
+                    for row in dict.fromkeys(data)]
+        return [_Candidate(row, None, None)
+                for row in db.snapshot(relation)]
+
+    def _columnar_stream(self, relation: str, as_of: Optional[Instant],
+                         through: Optional[Instant],
+                         conjuncts: Sequence[Expression], variable: str,
+                         kernel: Optional[_WhenKernel], now: Instant
+                         ) -> Optional[PyTuple[int, PyTuple[_Candidate, ...],
+                                               bool]]:
+        """Source one variable's stream through the columnar kernels.
+
+        Returns ``(pre-pushdown count, filtered candidates, when
+        applied?)``, or ``None`` when no chunk exists for the relation
+        (the caller then degrades to the naive scan).  Filter order
+        matches the naive path — visibility, then pushed conjuncts in
+        clause order restricted to surviving rows, then the ``when``
+        kernel — so error behavior (an untypable comparison, say) is
+        identical row for row.
+        """
+        cache = self._db.columnar_cache
+        if cache is None:
+            return None
+        chunk = cache.chunk(relation)
+        if chunk is None or (through is not None and as_of is None):
+            return None
+        db = self._db
+        if isinstance(db, TemporalDatabase):
+            if through is not None:
+                mask = chunk.tt_overlap_mask(
+                    Period.from_inclusive(as_of, through))
+            else:
+                mask = chunk.tt_stab_mask(
+                    as_of if as_of is not None else now)
+            indices = chunk.mask_indices(mask)
+            pre_count = len(indices)
+
+            def make(row) -> _Candidate:
+                return _Candidate(row.data, row.valid, row.tt)
+        elif isinstance(db, RollbackDatabase):
+            if through is not None:
+                mask = chunk.tt_overlap_mask(
+                    Period.from_inclusive(as_of, through))
+            else:
+                # No as-of: the current state, which is exactly the rows
+                # whose transaction time contains now (open partition).
+                mask = chunk.tt_stab_mask(
+                    as_of if as_of is not None else now)
+            rows = chunk.rows
+            first: Dict[Tuple, int] = {}
+            for i in chunk.mask_indices(mask):
+                first.setdefault(rows[i].data, i)
+            indices = list(first.values())
+            pre_count = len(indices)
+
+            def make(row) -> _Candidate:
+                return _Candidate(row.data, None, None)
+        else:  # historical: candidates are all recorded facts
+            indices = chunk.mask_indices(chunk.all_mask())
+            pre_count = len(indices)
+
+            def make(row) -> _Candidate:
+                return _Candidate(row.data, row.valid, None)
+        for conjunct in conjuncts:
+            spec = columnar_compare_spec(conjunct, variable)
+            if spec is not None:
+                name, op, value, attr_on_left = spec
+                indices = chunk.compare_select(indices, name, op, value,
+                                               attr_on_left)
+            else:
+                rows = chunk.rows
+                indices = [i for i in indices
+                           if conjunct.evaluate({variable: rows[i].data})]
+        when_applied = False
+        if kernel is not None:
+            when_applied = True
+            if chunk.valid is None or kernel.constant is None:
+                # No valid axis / empty constant: the predicate is false
+                # for every row (eval_temporal_predicate on None periods).
+                indices = []
+            else:
+                mask = chunk.when_mask(kernel.op, kernel.constant,
+                                       kernel.var_on_left)
+                indices = [i for i in indices if mask[i]]
+        rows = chunk.rows
+        return pre_count, tuple(make(rows[i]) for i in indices), when_applied
+
+    # -- planning and the per-variable stream ----------------------------------
+
+    def _plan_for(self, relation: str, variable: str,
+                  as_of: Optional[Instant], through: Optional[Instant],
+                  conjuncts: Sequence[Expression],
+                  when_spec: Optional[_WhenKernel]) -> _planner.AccessPlan:
+        prof = _planner.profile(self._db, relation)
+        vectorizable = sum(
+            1 for c in conjuncts
+            if columnar_compare_spec(c, variable) is not None)
+        clauses = _planner.Clauses(
+            as_of is not None, through is not None, len(conjuncts),
+            vectorizable,
+            when_spec is not None and when_spec.variable == variable)
+        return _planner.choose(prof, clauses, self._plan)
+
+    def _stream(self, variable: str, relation: str,
+                as_of: Optional[Instant], through: Optional[Instant],
+                conjuncts: Sequence[Expression],
+                when_spec: Optional[_WhenKernel],
+                plan: _planner.AccessPlan, now: Instant
+                ) -> PyTuple[int, PyTuple[_Candidate, ...], bool]:
+        """One variable's filtered candidate stream, result-cached in auto.
+
+        Returns ``(pre-pushdown candidate count, candidates after
+        pushdown, when-clause already applied?)``.
+        """
+        kernel = (when_spec
+                  if (when_spec is not None
+                      and when_spec.variable == variable
+                      and plan.path == "columnar")
+                  else None)
+        cache = self._db.result_cache if self._plan == "auto" else None
+        if cache is not None and kernel is not None and kernel.clock_dependent:
+            cache = None  # the clock can move without a commit
+        key = None
+        if cache is not None:
+            tt_key = (f"{as_of if as_of is not None else 'now'}"
+                      f"|{through if through is not None else '-'}")
+            when_part = (f"{kernel.op}:{kernel.constant}:{kernel.var_on_left}"
+                         if kernel is not None else "-")
+            fingerprint = "|".join(
+                [str(self._db.kind), plan.path,
+                 ";".join(repr(c) for c in conjuncts), when_part])
+            key = (relation, tt_key, fingerprint)
+            hit = cache.get(*key)
+            if hit is not None:
+                return hit
+        result = self._stream_compute(variable, relation, as_of, through,
+                                      conjuncts, kernel, plan, now)
+        if cache is not None:
+            cache.put(*key, result,
+                      self._immutable_result(relation, as_of, through,
+                                             result[1]))
+        return result
+
+    def _stream_compute(self, variable: str, relation: str,
+                        as_of: Optional[Instant],
+                        through: Optional[Instant],
+                        conjuncts: Sequence[Expression],
+                        kernel: Optional[_WhenKernel],
+                        plan: _planner.AccessPlan, now: Instant
+                        ) -> PyTuple[int, PyTuple[_Candidate, ...], bool]:
+        if plan.path == "columnar":
+            out = self._columnar_stream(relation, as_of, through, conjuncts,
+                                        variable, kernel, now)
+            if out is not None:
+                return out
+            # No chunk after all (e.g. the relation was redefined as an
+            # unsupported representation): degrade to the naive twin.
+        if plan.path == "index":
+            candidates = self._candidates(relation, as_of, through)
+        else:
+            candidates = self._candidates_naive(relation, as_of, through)
+        pre_count = len(candidates)
+        if conjuncts:
+            candidates = [
+                candidate for candidate in candidates
+                if all(conjunct.evaluate({variable: candidate.data})
+                       for conjunct in conjuncts)]
+        return pre_count, tuple(candidates), False
+
+    def _immutable_result(self, relation: str, as_of: Optional[Instant],
+                          through: Optional[Instant],
+                          candidates: Sequence[_Candidate]) -> bool:
+        """Can this stream never change again (cache-forever eligible)?
+
+        Two conditions (see ``docs/QUERY_PLANNING.md``):
+
+        - the transaction-time pin lies at or before the relation's last
+          commit — commit times strictly increase, so every future commit
+          happens strictly after the pin and can neither add rows visible
+          at it nor remove any;
+        - every contributing transaction period is already closed — an
+          *open* row stays visible at the pin after it closes, but its
+          recorded transaction period changes from ``[s, ∞)`` to
+          ``[s, t)``, which §4.4 requires the result to retain.
+        """
+        pin = through if through is not None else as_of
+        if pin is None or not pin.is_finite:
+            return False
+        last = self._db.last_change(relation)
+        if last is None:
+            return False
+        try:
+            if not pin <= last:
+                return False
+        except Exception:  # incomparable granularities: stay epoch-bound
+            return False
+        return all(candidate.tt is None or candidate.tt.end.is_finite
+                   for candidate in candidates)
+
     def _index_decision(self, as_of: Optional[Instant],
                         through: Optional[Instant]) -> str:
         """How :meth:`_candidates` would source one relation's rows.
@@ -365,6 +743,8 @@ class Evaluator:
             through = eval_bound(statement.as_of_through, {}, now)
 
         pushdown, residual = partition_pushdown(statement.where)
+        when_spec = (when_kernel_spec(statement, now)
+                     if statement.when is not None else None)
         index_decision = self._index_decision(as_of, through)
         variables = {}
         product = 1
@@ -376,12 +756,18 @@ class Evaluator:
                 filtered = [c for c in candidates
                             if all(conjunct.evaluate({variable: c.data})
                                    for conjunct in pushdown[variable])]
+            plan = self._plan_for(self._ranges[variable], variable, as_of,
+                                  through, pushdown.get(variable, []),
+                                  when_spec)
             variables[variable] = {
                 "relation": self._ranges[variable],
                 "candidates": len(candidates),
                 "after_pushdown": len(filtered),
                 "pushed_conjuncts": len(pushdown.get(variable, [])),
                 "index": index_decision,
+                "plan": plan.path,
+                "estimated_rows": plan.estimated_rows,
+                "plan_reason": plan.reason,
             }
             product *= len(filtered)
 
@@ -396,6 +782,7 @@ class Evaluator:
 
         return {
             "database_kind": str(self._db.kind),
+            "planner_mode": self._plan,
             "variables": variables,
             "product_size": product,
             "residual_conjuncts": len(residual),
@@ -422,28 +809,36 @@ class Evaluator:
                     f"backwards"
                 )
 
-        streams = {variable: self._candidates(self._ranges[variable], as_of,
-                                              through)
-                   for variable in used}
-        variables = list(used)
-        metrics = _obs.current().metrics
-        metrics.counter("tquel.candidates_enumerated").inc(
-            sum(len(stream) for stream in streams.values()))
-
         # Selection pushdown: single-variable conjuncts filter their
         # stream before the product is formed.
         pushdown, residual = partition_pushdown(statement.where)
-        for variable, conjuncts in pushdown.items():
-            streams[variable] = [
-                candidate for candidate in streams[variable]
-                if all(conjunct.evaluate({variable: candidate.data})
-                       for conjunct in conjuncts)
-            ]
+        when_spec = (when_kernel_spec(statement, now)
+                     if statement.when is not None else None)
+
+        metrics = _obs.current().metrics
+        streams: Dict[str, PyTuple[_Candidate, ...]] = {}
+        total_candidates = 0
+        when_handled = False
+        for variable in used:
+            relation = self._ranges[variable]
+            conjuncts = pushdown.get(variable, [])
+            plan = self._plan_for(relation, variable, as_of, through,
+                                  conjuncts, when_spec)
+            metrics.counter(f"tquel.plan.{plan.path}").inc()
+            pre_count, candidates, when_applied = self._stream(
+                variable, relation, as_of, through, conjuncts, when_spec,
+                plan, now)
+            total_candidates += pre_count
+            streams[variable] = candidates
+            when_handled = when_handled or when_applied
+        metrics.counter("tquel.candidates_enumerated").inc(total_candidates)
+        variables = list(used)
 
         has_aggregates = any(isinstance(t.expr, AggCall)
                              for t in statement.targets)
         target_vars = self._target_variables(statement.targets) or set(variables)
 
+        check_when = statement.when is not None and not when_handled
         matched: List[Dict[str, _Candidate]] = []
         for combination in itertools.product(*(streams[v] for v in variables)):
             binding = dict(zip(variables, combination))
@@ -452,7 +847,7 @@ class Evaluator:
             if residual and not all(conjunct.evaluate(env)
                                     for conjunct in residual):
                 continue
-            if statement.when is not None:
+            if check_when:
                 periods = {variable: candidate.valid
                            for variable, candidate in binding.items()}
                 if not eval_temporal_predicate(statement.when, periods, now):

@@ -37,16 +37,36 @@ from repro.tquel import printer
 
 
 class Session:
-    """An interactive TQuel session over one database."""
+    """An interactive TQuel session over one database.
 
-    def __init__(self, database: Database) -> None:
+    ``plan`` is the session-wide access-path knob: ``"auto"`` lets the
+    cost-based planner (:mod:`repro.tquel.planner`) pick per range
+    variable; ``"naive"``/``"index"``/``"columnar"`` force one path
+    everywhere (the shell exposes this as ``.plan``).
+    """
+
+    def __init__(self, database: Database, plan: str = "auto") -> None:
         self._db = database
         self._ranges: Dict[str, str] = {}
+        self.plan = plan
 
     @property
     def database(self) -> Database:
         """The underlying database."""
         return self._db
+
+    @property
+    def plan(self) -> str:
+        """The access-path mode every evaluator of this session uses."""
+        return self._plan
+
+    @plan.setter
+    def plan(self, mode: str) -> None:
+        from repro.tquel.planner import PLAN_MODES
+        if mode not in PLAN_MODES:
+            raise ValueError(
+                f"plan must be one of {', '.join(PLAN_MODES)}; got {mode!r}")
+        self._plan = mode
 
     @property
     def ranges(self) -> Dict[str, str]:
@@ -88,7 +108,7 @@ class Session:
         tracer = _obs.current().tracer
         with tracer.span("tquel.analyze"):
             analyze(statement, self._db, self._ranges)
-        evaluator = Evaluator(self._db, self._ranges)
+        evaluator = Evaluator(self._db, self._ranges, plan=self._plan)
         with tracer.span("tquel.evaluate"):
             result = evaluator.execute(statement)
         if isinstance(statement, RangeStmt):
@@ -111,15 +131,20 @@ class Session:
             raise TypeError(f"{source!r} did not produce a relation")
         return result
 
-    def explain_plan(self, source: str) -> Dict[str, object]:
+    def explain_plan(self, source: str,
+                     timings: bool = True) -> Dict[str, object]:
         """The raw explain plan, with measured pipeline-phase timings.
 
         Runs lex → parse → analyze → plan under a private (not installed)
         :class:`~repro.obs.Instrumentation` so the timings are recorded
         even when process-wide recording is off, and nothing leaks into
         the global registry.  The returned dict is the evaluator's plan
-        (per-variable candidate counts, pushdown effect, and index access
-        path) plus a ``"phases"`` map of phase name → seconds.
+        (per-variable candidate counts, pushdown effect, chosen access
+        path with estimated rows) plus a ``"phases"`` map of phase name →
+        seconds.  ``timings=False`` omits the ``"phases"`` key — every
+        remaining field is a pure function of database state, so the
+        plan (and its text rendering) can be asserted verbatim; the
+        doc-sync transcripts in ``docs/QUERY_PLANNING.md`` rely on this.
         """
         local = Instrumentation(capacity=16)
         with local.tracer.span("lex"):
@@ -129,23 +154,29 @@ class Session:
         with local.tracer.span("analyze"):
             analyze(statement, self._db, self._ranges)
         with local.tracer.span("plan"):
-            plan = Evaluator(self._db, self._ranges).explain(statement)
-        plan["phases"] = {span.name: span.duration
-                          for span in local.tracer.spans()}
+            plan = Evaluator(self._db, self._ranges,
+                             plan=self._plan).explain(statement)
+        if timings:
+            plan["phases"] = {span.name: span.duration
+                              for span in local.tracer.spans()}
         return plan
 
-    def explain(self, source: str) -> str:
+    def explain(self, source: str, timings: bool = True) -> str:
         """Describe how a retrieve would execute, as readable text.
 
-        Shows the candidate source, count and index access path per range
-        variable (before and after selection pushdown), the residual
-        predicate size, the temporal clauses, the result kind, and the
-        measured time of each pipeline phase — without forming the
-        product.
+        Shows the candidate source, count, index access path and chosen
+        plan per range variable (before and after selection pushdown),
+        the residual predicate size, the temporal clauses, the result
+        kind, and the measured time of each pipeline phase — without
+        forming the product.  With ``timings=False`` the output is fully
+        deterministic (stable key order, no measured durations) and can
+        be asserted verbatim — the contract ``docs/QUERY_PLANNING.md``'s
+        annotated transcripts depend on.
         """
-        plan = self.explain_plan(source)
+        plan = self.explain_plan(source, timings=timings)
         lines = [f"retrieve on a {plan['database_kind']} database "
-                 f"-> {plan['result_kind']} result"]
+                 f"-> {plan['result_kind']} result (planner: "
+                 f"{plan['planner_mode']})"]
         for variable, info in plan["variables"].items():
             note = (f", {info['pushed_conjuncts']} conjunct(s) pushed"
                     if info["pushed_conjuncts"] else "")
@@ -154,6 +185,10 @@ class Session:
                 f"{info['candidates']} candidates -> "
                 f"{info['after_pushdown']}{note}")
             lines.append(f"    access path: {info['index']}")
+            lines.append(
+                f"    plan: {info['plan']} — estimated "
+                f"{info['estimated_rows']} row(s), actual "
+                f"{info['candidates']} ({info['plan_reason']})")
         lines.append(f"  product of {plan['product_size']} combination(s), "
                      f"{plan['residual_conjuncts']} residual conjunct(s)")
         clauses = []
@@ -167,9 +202,10 @@ class Session:
                               if plan["through"] else ""))
         if clauses:
             lines.append("  temporal clauses: " + ", ".join(clauses))
-        lines.append("  phases: " + ", ".join(
-            f"{name} {duration * 1e6:.1f}us"
-            for name, duration in plan["phases"].items()))
+        if "phases" in plan:
+            lines.append("  phases: " + ", ".join(
+                f"{name} {duration * 1e6:.1f}us"
+                for name, duration in plan["phases"].items()))
         return "\n".join(lines)
 
     def migrate_database(self, target_class, allow_loss: bool = False):

@@ -1,0 +1,78 @@
+"""The doc-sync tool: generated doc blocks must track the live code."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+TOOL = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                    "tools", "doc_sync.py")
+
+
+@pytest.fixture(scope="module")
+def doc_sync():
+    # Importing the tool pins repro.core.columnar._np = None (so its
+    # transcripts are machine-independent); restore the real kernels
+    # afterwards so this module cannot skew the numpy-parametrized
+    # suites running in the same process.
+    from repro.core import columnar
+    saved = columnar._np
+    spec = importlib.util.spec_from_file_location("doc_sync", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("doc_sync", module)
+    spec.loader.exec_module(module)
+    yield module
+    columnar._np = saved
+
+
+def test_generators_are_deterministic(doc_sync):
+    for name, generator in doc_sync.GENERATORS.items():
+        assert generator() == generator(), name
+
+
+def test_stale_block_is_regenerated(doc_sync):
+    text = ("intro\n"
+            "<!-- doc-sync:begin planning-costs -->\n"
+            "OUT OF DATE\n"
+            "<!-- doc-sync:end -->\n"
+            "outro\n")
+    synced = doc_sync.sync_text(text, "docs/example.md")
+    assert "OUT OF DATE" not in synced
+    assert "| `C_SETUP` |" in synced
+    assert synced.startswith("intro\n<!-- doc-sync:begin planning-costs -->")
+    assert synced.endswith("<!-- doc-sync:end -->\noutro\n")
+    # Re-syncing the synced text is a fixed point.
+    assert doc_sync.sync_text(synced, "docs/example.md") == synced
+
+
+def test_text_without_markers_passes_through(doc_sync):
+    assert doc_sync.sync_text("plain prose\n", "docs/x.md") == "plain prose\n"
+
+
+def test_unknown_generator_is_an_error(doc_sync):
+    text = ("<!-- doc-sync:begin no-such-generator -->\n"
+            "body\n"
+            "<!-- doc-sync:end -->\n")
+    with pytest.raises(SystemExit, match="unknown doc-sync generator"):
+        doc_sync.sync_text(text, "docs/x.md")
+
+
+def test_begin_without_end_is_an_error(doc_sync):
+    text = "<!-- doc-sync:begin planning-costs -->\nnever closed\n"
+    with pytest.raises(SystemExit, match="without an\\s+end marker"):
+        doc_sync.sync_text(text, "docs/x.md")
+
+
+def test_committed_docs_are_fresh(doc_sync, capsys):
+    # The same assertion CI makes: --check on the real docs/ tree.
+    assert doc_sync.run(write=False) == 0
+    assert "all generated blocks are fresh" in capsys.readouterr().out
+
+
+def test_transcripts_are_pinned_to_fallback_kernels(doc_sync):
+    # doc_sync pins _np = None so transcripts match on machines without
+    # numpy (CI); the columnar cost in the worked example depends on it.
+    from repro.core import columnar
+    assert columnar._np is None
+    assert "columnar=46.4" in doc_sync.GENERATORS["planning-explain-asof"]()

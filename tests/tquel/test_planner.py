@@ -1,0 +1,190 @@
+"""The cost-based planner: choices, forcing, and the explain contract."""
+
+import pytest
+
+from repro.core import (HistoricalDatabase, RollbackDatabase, StaticDatabase,
+                        TemporalDatabase)
+from repro.tquel import Session
+from repro.tquel.planner import (COSTS, AccessPlan, Clauses, PLAN_MODES,
+                                 RelationProfile, choose, estimate_rows)
+
+from tests.conftest import build_faculty
+
+
+def prof(total=10_000, open_rows=50, has_tt=True, index=True,
+         columnar=True, ready=False):
+    return RelationProfile("facts", total, open_rows, has_tt, index,
+                           columnar, ready)
+
+
+def clauses(as_of=False, through=False, pushed=0, vectorizable=0,
+            when=False):
+    return Clauses(as_of, through, pushed, vectorizable, when)
+
+
+class TestChoose:
+    def test_tiny_relation_stays_naive(self):
+        plan = choose(prof(total=6, open_rows=3), clauses(as_of=True))
+        assert plan.path == "naive"
+        assert plan.reason.startswith("min cost (")
+
+    def test_selective_as_of_stab_picks_index(self):
+        plan = choose(prof(), clauses(as_of=True))
+        assert plan.path == "index"
+
+    def test_predicate_heavy_scan_picks_columnar(self):
+        # A through-range keeps half the closed log: too many survivors
+        # for the probe to win, and the vectorized predicates make the
+        # scan cheap per cell.
+        plan = choose(prof(ready=True),
+                      clauses(through=True, pushed=2, vectorizable=2),
+                      vectorized_kernels=True)
+        assert plan.path == "columnar"
+
+    def test_missing_index_is_not_offered(self):
+        plan = choose(prof(index=False), clauses(as_of=True),
+                      vectorized_kernels=True)
+        assert plan.costs["index"] is None
+        assert plan.path != "index"
+
+    def test_fallback_kernels_cost_more(self):
+        fast = choose(prof(), clauses(), vectorized_kernels=True)
+        slow = choose(prof(), clauses(), vectorized_kernels=False)
+        assert slow.costs["columnar"] > fast.costs["columnar"]
+
+    def test_first_build_pays_packing(self):
+        cold = choose(prof(ready=False), clauses())
+        warm = choose(prof(ready=True), clauses())
+        assert cold.costs["columnar"] - warm.costs["columnar"] == \
+            pytest.approx(COSTS["C_PACK"] * 10_000)
+
+    def test_forced_mode_skips_costing(self):
+        plan = choose(prof(total=6, open_rows=3), clauses(),
+                      mode="columnar")
+        assert plan.path == "columnar"
+        assert plan.reason == "forced plan 'columnar'"
+
+    def test_forced_unavailable_degrades_to_naive(self):
+        plan = choose(prof(index=False, columnar=False), clauses(),
+                      mode="index")
+        assert plan.path == "naive"
+        assert plan.reason == "forced plan 'index' unavailable here; using naive"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="plan must be one of"):
+            choose(prof(), clauses(), mode="quantum")
+
+    def test_reason_renders_every_cost(self):
+        plan = choose(prof(columnar=False), clauses(as_of=True))
+        assert "columnar=n/a" in plan.reason
+        assert "naive=" in plan.reason and "index=" in plan.reason
+
+
+class TestEstimateRows:
+    def test_default_state_is_exactly_the_open_partition(self):
+        assert estimate_rows(prof(), clauses()) == 50
+
+    def test_as_of_keeps_a_thin_closed_slice(self):
+        assert estimate_rows(prof(), clauses(as_of=True)) == \
+            50 + (10_000 - 50) // 8
+
+    def test_through_keeps_half_the_closed_log(self):
+        assert estimate_rows(prof(), clauses(through=True)) == \
+            50 + (10_000 - 50) // 2
+
+    def test_no_transaction_time_selects_everything(self):
+        assert estimate_rows(prof(has_tt=False), clauses(as_of=True)) == \
+            10_000
+
+
+class TestSessionKnob:
+    def test_invalid_plan_rejected_with_modes_listed(self):
+        database, _ = build_faculty(TemporalDatabase)
+        with pytest.raises(ValueError) as err:
+            Session(database, plan="speedy")
+        assert str(err.value) == \
+            f"plan must be one of {', '.join(PLAN_MODES)}; got 'speedy'"
+
+    def test_plan_property_roundtrips(self):
+        database, _ = build_faculty(TemporalDatabase)
+        session = Session(database)
+        assert session.plan == "auto"
+        session.plan = "columnar"
+        assert session.plan == "columnar"
+
+
+class TestExplainContract:
+    def session(self, db_class, plan="auto"):
+        database, _ = build_faculty(db_class)
+        session = Session(database, plan=plan)
+        session.execute("range of f is faculty")
+        return session
+
+    def test_plan_keys_present_per_variable(self):
+        session = self.session(TemporalDatabase)
+        plan = session.explain_plan(
+            'retrieve (f.rank) where f.name = "Merrie" as of "12/10/82"')
+        info = plan["variables"]["f"]
+        assert info["plan"] in ("naive", "index", "columnar")
+        assert isinstance(info["estimated_rows"], int)
+        assert info["plan_reason"].startswith("min cost (")
+        assert plan["planner_mode"] == "auto"
+
+    def test_explain_reports_forced_mode(self):
+        session = self.session(TemporalDatabase, plan="columnar")
+        plan = session.explain_plan('retrieve (f.rank) as of "12/10/82"')
+        assert plan["planner_mode"] == "columnar"
+        assert plan["variables"]["f"]["plan"] == "columnar"
+        assert plan["variables"]["f"]["plan_reason"] == \
+            "forced plan 'columnar'"
+
+    def test_explain_reports_degradation(self):
+        session = self.session(StaticDatabase, plan="columnar")
+        plan = session.explain_plan("retrieve (f.rank)")
+        assert plan["variables"]["f"]["plan"] == "naive"
+        assert "unavailable here" in plan["variables"]["f"]["plan_reason"]
+
+    def test_timings_false_is_verbatim_stable(self):
+        # The doc-sync transcripts in docs/QUERY_PLANNING.md rely on
+        # this exact rendering; keep the two in lockstep.
+        session = self.session(TemporalDatabase)
+        text = session.explain(
+            'retrieve (f.rank) where f.name = "Merrie" as of "12/10/82"',
+            timings=False)
+        assert text == session.explain(
+            'retrieve (f.rank) where f.name = "Merrie" as of "12/10/82"',
+            timings=False)
+        lines = text.splitlines()
+        assert lines[0] == ("retrieve on a temporal database -> "
+                            "temporal result (planner: auto)")
+        assert lines[1] == ("  f over faculty: 2 candidates -> 1, "
+                            "1 conjunct(s) pushed")
+        assert lines[2] == \
+            "    access path: bitemporal index: transaction-time stab"
+        assert lines[3].startswith(
+            "    plan: naive — estimated 4 row(s), actual 2 (min cost "
+            "(naive=11.2, index=19.1, columnar=")
+        assert lines[4] == \
+            "  product of 1 combination(s), 0 residual conjunct(s)"
+        assert lines[5] == "  temporal clauses: as of 1982-12-10"
+        assert "phases" not in text
+
+    def test_timings_true_appends_phases(self):
+        session = self.session(TemporalDatabase)
+        plan = session.explain_plan('retrieve (f.rank) as of "12/10/82"')
+        assert list(plan["phases"]) == ["lex", "parse", "analyze", "plan"]
+
+    def test_explain_has_no_cache_side_effects(self):
+        session = self.session(TemporalDatabase)
+        session.explain_plan(
+            'retrieve (f.rank) where f.name = "Merrie" as of "12/10/82"')
+        assert len(session.database.result_cache) == 0
+
+    def test_plan_counts_match_on_every_kind(self):
+        for db_class in (StaticDatabase, RollbackDatabase,
+                         HistoricalDatabase, TemporalDatabase):
+            session = self.session(db_class)
+            plan = session.explain_plan("retrieve (f.name)")
+            info = plan["variables"]["f"]
+            assert info["plan"] in ("naive", "index", "columnar"), db_class
+            assert info["estimated_rows"] >= 0

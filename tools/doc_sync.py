@@ -1,0 +1,252 @@
+#!/usr/bin/env python
+"""Regenerate (or verify) the machine-produced blocks in ``docs/``.
+
+Markdown files under ``docs/`` may embed blocks bounded by::
+
+    <!-- doc-sync:begin <name> -->
+    ...generated content...
+    <!-- doc-sync:end -->
+
+Each ``<name>`` maps to a generator in this file that rebuilds the
+content from the live code.  Every generator is deterministic by
+construction — simulated clock, ``explain(..., timings=False)``, no
+wall-clock anywhere — so the blocks are byte-stable across runs and
+machines.
+
+``--check`` (the CI mode) regenerates every block and exits non-zero
+with a unified diff when a committed doc has drifted from the code;
+``--write`` rewrites the files in place.  A marker naming an unknown
+generator, or a ``begin`` without its ``end``, is an error in both
+modes: silent marker rot is exactly what this tool exists to prevent.
+
+Run:  PYTHONPATH=src python tools/doc_sync.py --check
+      PYTHONPATH=src python tools/doc_sync.py --write
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import os
+import re
+import sys
+from typing import Callable, Dict, List
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core import TemporalDatabase  # noqa: E402
+from repro.core import columnar as _columnar  # noqa: E402
+from repro.time import SimulatedClock  # noqa: E402
+from repro.tquel import Session  # noqa: E402
+from repro.tquel.planner import COSTS  # noqa: E402
+
+# The planner's columnar cost (and so the reason strings in the
+# transcripts below) depends on whether NumPy imported.  Pin the
+# pure-Python fallback kernels so the generated blocks are identical on
+# every machine — including the CI image, which has no numpy.
+_columnar._np = None
+
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
+
+_BLOCK = re.compile(
+    r"(<!-- doc-sync:begin (?P<name>[\w-]+) -->\n)"
+    r"(?P<body>.*?)"
+    r"(<!-- doc-sync:end -->)",
+    re.DOTALL)
+_BEGIN = re.compile(r"<!-- doc-sync:begin ([\w-]+) -->")
+
+
+# -- fixtures ---------------------------------------------------------------------
+
+#: The §4 faculty history (the quickstart / ``repro cache`` workload).
+FACULTY_HISTORY = [
+    ("08/25/77", 'append to faculty (name = "Merrie", rank = "associate") '
+                 'valid from "09/01/77"'),
+    ("12/01/82", 'append to faculty (name = "Tom", rank = "full") '
+                 'valid from "12/05/82"'),
+    ("12/07/82", 'replace f (rank = "associate") where f.name = "Tom" '
+                 'valid from "12/05/82"'),
+    ("12/15/82", 'replace f (rank = "full") where f.name = "Merrie" '
+                 'valid from "12/01/82"'),
+    ("01/10/83", 'append to faculty (name = "Mike", rank = "assistant") '
+                 'valid from "01/01/83"'),
+    ("02/25/84", 'delete f where f.name = "Mike" valid from "03/01/84"'),
+]
+
+
+def _faculty_session(plan: str = "auto") -> Session:
+    """The paper's faculty database on a pinned simulated clock."""
+    clock = SimulatedClock("01/01/77")
+    session = Session(TemporalDatabase(clock=clock), plan=plan)
+    session.execute("create faculty (name = string, rank = string) "
+                    "key (name)")
+    session.execute("range of f is faculty")
+    for instant, statement in FACULTY_HISTORY:
+        clock.set(instant)
+        session.execute(statement)
+    clock.set("03/01/84")
+    return session
+
+
+def _fenced(text: str) -> str:
+    return "```\n" + text.rstrip("\n") + "\n```\n"
+
+
+# -- generators -------------------------------------------------------------------
+
+def _gen_explain_asof() -> str:
+    """The worked as-of explain transcript QUERY_PLANNING.md annotates."""
+    session = _faculty_session()
+    query = ('retrieve (f.rank) where f.name = "Merrie" '
+             'as of "12/10/82"')
+    return (f"    .explain {query}\n\n"
+            + _fenced(session.explain(query, timings=False)))
+
+
+def _gen_explain_forced() -> str:
+    """The same query under each forced plan mode (one line each),
+    plus a forced `index` on a kind that has no index path — the
+    degradation notice is part of the contract."""
+    query = ('retrieve (f.rank) where f.name = "Merrie" '
+             'as of "12/10/82"')
+    lines = []
+    for mode in ("naive", "index", "columnar"):
+        session = _faculty_session(plan=mode)
+        plan = session.explain_plan(query, timings=False)
+        info = plan["variables"]["f"]
+        lines.append(f"plan={mode:<8} (temporal)   -> {info['plan']:<8} "
+                     f"({info['plan_reason']})")
+    from repro.core import HistoricalDatabase
+    clock = SimulatedClock("01/01/77")
+    session = Session(HistoricalDatabase(clock=clock), plan="index")
+    session.execute("create faculty (name = string, rank = string) "
+                    "key (name)")
+    session.execute("range of f is faculty")
+    clock.set("08/25/77")
+    session.execute('append to faculty (name = "Merrie", '
+                    'rank = "associate") valid from "09/01/77"')
+    plan = session.explain_plan(
+        'retrieve (f.rank) where f.name = "Merrie"', timings=False)
+    info = plan["variables"]["f"]
+    lines.append(f"plan=index    (historical) -> {info['plan']:<8} "
+                 f"({info['plan_reason']})")
+    return _fenced("\n".join(lines))
+
+
+def _gen_cache_stats() -> str:
+    """The ``repro cache`` transcript: the demo workload's cache stats."""
+    # Imported from the CLI so this transcript can never diverge from
+    # what the `repro cache` verb actually prints.
+    from repro.cli import _demo_workload, _format_caches
+    clock = SimulatedClock("01/01/77")
+    session = Session(TemporalDatabase(clock=clock))
+    _demo_workload(session, clock)
+    auto = _fenced(_format_caches(session.database))
+    clock = SimulatedClock("01/01/77")
+    session = Session(TemporalDatabase(clock=clock), plan="columnar")
+    _demo_workload(session, clock)
+    forced = _fenced(_format_caches(session.database))
+    return ("    $ repro cache --kind temporal\n\n" + auto
+            + "\nForcing the columnar path (`repro cache --plan columnar`)"
+            " packs the\nchunk instead — and the result cache stays"
+            " cold, because cached\nstreams serve `auto` sessions"
+            " only:\n\n" + forced)
+
+
+def _gen_costs() -> str:
+    """The COSTS table, straight from ``repro.tquel.planner.COSTS``."""
+    rows = ["| constant | value | charges for |",
+            "|---|---|---|"]
+    notes = {
+        "C_ROW": "visiting one stored row as a Python object",
+        "C_PRED": "one pushed conjunct evaluated through the AST",
+        "C_WHEN": "one `when` predicate evaluated through `Period` objects",
+        "C_PROBE": "one interval-tree descent step (multiplied by log2 N)",
+        "C_MAT": "materializing one candidate from a chunk row",
+        "C_CELL_NUMPY": "one cell of an ndarray mask kernel",
+        "C_CELL_PY": "one cell of the fallback float-loop kernel",
+        "C_PACK": "packing one row into columns (first chunk build)",
+        "C_SETUP": "fixed kernel setup (keeps tiny scans naive)",
+    }
+    for name, value in COSTS.items():
+        rows.append(f"| `{name}` | {value} | {notes[name]} |")
+    return "\n".join(rows) + "\n"
+
+
+GENERATORS: Dict[str, Callable[[], str]] = {
+    "planning-explain-asof": _gen_explain_asof,
+    "planning-explain-forced": _gen_explain_forced,
+    "planning-cache-stats": _gen_cache_stats,
+    "planning-costs": _gen_costs,
+}
+
+
+# -- sync engine ------------------------------------------------------------------
+
+def sync_text(text: str, path: str) -> str:
+    """Return *text* with every doc-sync block regenerated."""
+    spans = []
+
+    def _replace(match: "re.Match[str]") -> str:
+        name = match.group("name")
+        if name not in GENERATORS:
+            raise SystemExit(f"{path}: unknown doc-sync generator {name!r} "
+                             f"(known: {', '.join(sorted(GENERATORS))})")
+        spans.append(name)
+        return match.group(1) + GENERATORS[name]() + match.group(4)
+
+    synced = _BLOCK.sub(_replace, text)
+    unmatched = [name for name in _BEGIN.findall(text)
+                 if name not in spans]
+    if unmatched:
+        raise SystemExit(f"{path}: doc-sync begin marker(s) without an "
+                         f"end marker: {', '.join(unmatched)}")
+    return synced
+
+
+def run(write: bool) -> int:
+    stale: List[str] = []
+    for entry in sorted(os.listdir(DOCS_DIR)):
+        if not entry.endswith(".md"):
+            continue
+        path = os.path.join(DOCS_DIR, entry)
+        with open(path) as handle:
+            text = handle.read()
+        synced = sync_text(text, os.path.relpath(path, REPO_ROOT))
+        if synced == text:
+            continue
+        rel = os.path.relpath(path, REPO_ROOT)
+        if write:
+            with open(path, "w") as handle:
+                handle.write(synced)
+            print(f"rewrote {rel}")
+        else:
+            stale.append(rel)
+            sys.stdout.writelines(difflib.unified_diff(
+                text.splitlines(keepends=True),
+                synced.splitlines(keepends=True),
+                fromfile=f"{rel} (committed)",
+                tofile=f"{rel} (regenerated)"))
+    if stale:
+        print(f"STALE: {', '.join(stale)} — run "
+              f"`PYTHONPATH=src python tools/doc_sync.py --write`")
+        return 1
+    if not write:
+        print("doc-sync: all generated blocks are fresh")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--check", action="store_true",
+                       help="fail (with a diff) if any block is stale")
+    group.add_argument("--write", action="store_true",
+                       help="rewrite stale blocks in place")
+    args = parser.parse_args(argv)
+    return run(write=args.write)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
