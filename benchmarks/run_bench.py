@@ -77,6 +77,20 @@ over the 1-shard baseline on the disjoint workload — the per-shard
 pipelines actually break the single-writer wall, they don't just
 relabel it.
 
+An eighth measurement sweeps **integrity** (``BENCH_integrity.json``):
+the same journaled history, with its Merkle chain, drives the two
+divergence-detection paths against each other — the O(1) chain-head
+comparison a replica performs on *every* heartbeat versus the O(state)
+canonical digest it would otherwise need (kept as the slow-path
+cross-check, computed uncached here).  The acceptance bar is a ≥ 10x
+chain-over-digest speedup at the largest size (enforced when that size
+reaches 10^4; the CI smoke sweep records the numbers without gating).
+The same point also times a full `audit_directory` walk and both
+scrubber repair paths: a damaged tail segment repaired by record
+resend from a full-history source, and a damaged prefix segment
+repaired by snapshot catch-up from a source compacted past the damage
+— every repair must converge digest-equal and re-audit clean.
+
 Run:  python benchmarks/run_bench.py [--sizes 100,1000,10000]
                                      [--seed N]
                                      [--out BENCH_temporal.json]
@@ -84,6 +98,8 @@ Run:  python benchmarks/run_bench.py [--sizes 100,1000,10000]
                                      [--concurrency-out BENCH_concurrency.json]
                                      [--replication-out BENCH_replication.json]
                                      [--sharding-out BENCH_sharding.json]
+                                     [--integrity-out BENCH_integrity.json]
+                                     [--integrity-only]
                                      [--skip-suites]
 """
 
@@ -91,6 +107,7 @@ import argparse
 import json
 import os
 import random
+import shutil
 import subprocess
 import sys
 import tempfile
@@ -148,6 +165,14 @@ REPLICATION_MAX_ROUNDS = 100_000
 QUERY_GATE_SIZE = 10_000
 QUERY_SPEEDUP = 10.0
 QUERY_REPEATS = 3
+#: The integrity sweep: the O(1) chain-head compare is far below one
+#: timer tick, so it is timed over a loop; the digest side is
+#: best-of-N single runs.  The chain-vs-digest speedup gate applies at
+#: the gate size, like the query-path gate above.
+INTEGRITY_CHAIN_LOOPS = 1000
+INTEGRITY_ROUNDS = 3
+INTEGRITY_GATE_SIZE = 10_000
+INTEGRITY_SPEEDUP = 10.0
 
 
 def _git_sha():
@@ -777,6 +802,171 @@ def _run_replication(sizes, seed):
     return section
 
 
+def _integrity_history(directory, commits, seed):
+    """Build the journaled replace-loop history the integrity sweep uses.
+
+    Same trajectory as :func:`_recovery_point`: a checkpoint published
+    ``RECOVERY_TAIL`` commits before the end, so the directory holds a
+    prefix segment (covered by the checkpoint) and a tail segment —
+    the two-segment shape both repair paths need.
+    """
+    from repro.storage import DurabilityManager
+
+    rng = random.Random(seed)
+    manager = DurabilityManager(directory)
+    database, _ = manager.recover(TemporalDatabase)
+    clock = database.manager.clock.source
+    clock.set(BASE)
+    database.define("facts", Schema.of(k=Domain.STRING, v=Domain.INTEGER))
+    for i in range(KEYS):
+        database.insert("facts", {"k": "k%d" % i, "v": 0},
+                        valid_from=BASE)
+    checkpoint_after = max(1, commits - RECOVERY_TAIL)
+    for step in range(commits):
+        clock.set(BASE + 10 + step)
+        database.replace("facts", {"k": "k%d" % rng.randrange(KEYS)},
+                         {"v": step + 1})
+        if step + 1 == checkpoint_after:
+            manager.checkpoint()
+    return manager, database
+
+
+def _integrity_point(commits, seed):
+    """One integrity measurement: divergence-check costs + repair paths.
+
+    - the **chain check** is what a replica does on every heartbeat:
+      compare the shipped chain head against its own and its local
+      commit count against the expected one — O(1) regardless of n;
+    - the **digest** is the full-state canonical SHA-256 it replaced,
+      computed uncached (the slow-path cross-check's true cost);
+    - the **repair paths**: a damaged tail segment repaired by record
+      resend from a full-history source, and a damaged prefix segment
+      repaired by snapshot catch-up from a source that compacted past
+      the verified prefix.  Both must converge digest-equal and
+      re-audit clean — the correctness half of the gate.
+    """
+    from repro.replication import state_digest
+    from repro.storage import (DurabilityManager, Scrubber,
+                               audit_directory, flip_byte)
+    from repro.storage.scrub import DirectorySource
+
+    with tempfile.TemporaryDirectory() as scratch:
+        base = os.path.join(scratch, "base")
+        manager, database = _integrity_history(base, commits, seed)
+
+        head = manager.chain_head
+        expected = len(database.log)
+        start = time.perf_counter()
+        for _ in range(INTEGRITY_CHAIN_LOOPS):
+            verdict = (manager.chain_head == head
+                       and len(database.log) == expected)
+        chain_s = (time.perf_counter() - start) / INTEGRITY_CHAIN_LOOPS
+        if not verdict:
+            raise AssertionError("chain head drifted during timing")
+
+        digest_s = None
+        for _ in range(INTEGRITY_ROUNDS):
+            start = time.perf_counter()
+            state_digest(database, cache=False)
+            elapsed = time.perf_counter() - start
+            if digest_s is None or elapsed < digest_s:
+                digest_s = elapsed
+
+        start = time.perf_counter()
+        audit = audit_directory(base)
+        audit_s = time.perf_counter() - start
+        if not audit.clean:
+            raise AssertionError(
+                "clean directory failed its audit at n=%d: %s"
+                % (commits, [f.describe() for f in audit.findings]))
+
+        source_dir = os.path.join(scratch, "source")
+        resend_dir = os.path.join(scratch, "damaged-tail")
+        snapshot_dir = os.path.join(scratch, "damaged-prefix")
+        for copy in (source_dir, resend_dir, snapshot_dir):
+            shutil.copytree(base, copy)
+
+        # Record resend: damage the tail segment; the full-history
+        # source's floor (0) sits below the verified prefix, so repair
+        # re-fetches just the quarantined tail records.
+        tail_path = DurabilityManager(resend_dir).segments()[-1][1]
+        flip_byte(tail_path, os.path.getsize(tail_path) // 2)
+        source = DirectorySource(source_dir, TemporalDatabase)
+        start = time.perf_counter()
+        resend = Scrubber(resend_dir).repair(source, TemporalDatabase)
+        resend_s = time.perf_counter() - start
+
+        # Snapshot catch-up: prune the source's pre-checkpoint
+        # segments (its floor rises to the checkpoint) and damage the
+        # copy's *first* segment, so no record path can serve the
+        # repair and a whole snapshot is adopted.
+        pruned_dir = os.path.join(scratch, "source-pruned")
+        shutil.copytree(base, pruned_dir)
+        pruned_segments = DurabilityManager(pruned_dir).segments()
+        floor_index = pruned_segments[-1][0]
+        for start_index, path in pruned_segments:
+            if start_index < floor_index:
+                os.unlink(path)
+        first_path = DurabilityManager(snapshot_dir).segments()[0][1]
+        flip_byte(first_path, os.path.getsize(first_path) // 2)
+        pruned = DirectorySource(pruned_dir, TemporalDatabase)
+        start = time.perf_counter()
+        snapshot = Scrubber(snapshot_dir).repair(pruned, TemporalDatabase)
+        snapshot_s = time.perf_counter() - start
+
+        converged = (resend.digest_match is True
+                     and not resend.used_snapshot
+                     and snapshot.digest_match is True
+                     and snapshot.used_snapshot
+                     and audit_directory(resend_dir).clean
+                     and audit_directory(snapshot_dir).clean)
+        return {
+            "commits": commits,
+            "records_total": audit.records_total,
+            "legacy_frames": audit.legacy_frames,
+            "chain_check_us": round(chain_s * 1e6, 4),
+            "digest_us": round(digest_s * 1e6, 1),
+            "speedup": round(digest_s / chain_s, 1),
+            "audit_s": round(audit_s, 6),
+            "repair_resend_s": round(resend_s, 6),
+            "repair_resend_records": resend.refetched_records,
+            "repair_snapshot_s": round(snapshot_s, 6),
+            "repair_snapshot_records": snapshot.refetched_records,
+            "repairs_converged": converged,
+        }
+
+
+def _run_integrity(sizes, seed):
+    """The integrity sweep: every size, plus the gate verdicts."""
+    section = {"points": {}, "gate_size": INTEGRITY_GATE_SIZE,
+               "required_speedup": INTEGRITY_SPEEDUP,
+               "chain_loops": INTEGRITY_CHAIN_LOOPS,
+               "digest_rounds": INTEGRITY_ROUNDS}
+    ok = True
+    for n in sizes:
+        point = _integrity_point(n, seed)
+        section["points"][str(n)] = point
+        ok = ok and point["repairs_converged"]
+        print("integrity n=%d: chain check %.2f us vs digest %.0f us "
+              "(%.0fx); audit %.1f ms; repair resend %.1f ms "
+              "(%d records), snapshot %.1f ms (%d records) %s" % (
+                  n, point["chain_check_us"], point["digest_us"],
+                  point["speedup"], point["audit_s"] * 1e3,
+                  point["repair_resend_s"] * 1e3,
+                  point["repair_resend_records"],
+                  point["repair_snapshot_s"] * 1e3,
+                  point["repair_snapshot_records"],
+                  "ok" if point["repairs_converged"] else "DIVERGED"))
+    largest = max(sizes)
+    at_largest = section["points"][str(largest)]
+    section["gated"] = largest >= INTEGRITY_GATE_SIZE
+    section["speedup"] = at_largest["speedup"]
+    section["speedup_ok"] = (not section["gated"]
+                             or section["speedup"] >= INTEGRITY_SPEEDUP)
+    section["repairs_converged"] = ok
+    return section
+
+
 def _run_suites():
     results = {}
     env = dict(os.environ)
@@ -822,6 +1012,12 @@ def main(argv=None):
     parser.add_argument("--sharding-out",
                         default=os.path.join(REPO_ROOT,
                                              "BENCH_sharding.json"))
+    parser.add_argument("--integrity-out",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_integrity.json"))
+    parser.add_argument("--integrity-only", action="store_true",
+                        help="run only the integrity sweep (the "
+                             "integrity-suite CI step's bench half)")
     parser.add_argument("--skip-suites", action="store_true",
                         help="skip the pytest benches (ingest sweep only)")
     parser.add_argument("--seed", type=int, default=0,
@@ -835,6 +1031,30 @@ def main(argv=None):
                      "got %r" % args.sizes)
     if not sizes:
         parser.error("--sizes must name at least one commit count")
+
+    if args.integrity_only:
+        integrity = _run_integrity(sizes, args.seed)
+        integrity.update({
+            "generated_by": "benchmarks/run_bench.py",
+            "python": sys.version.split()[0],
+            "git_sha": _git_sha(),
+            "seed": args.seed,
+            "keys": KEYS,
+        })
+        with open(args.integrity_out, "w") as handle:
+            json.dump(integrity, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.integrity_out)
+        if not integrity["repairs_converged"]:
+            print("FAIL: a scrubber repair failed to converge to a "
+                  "digest-equal, clean-auditing directory")
+            return 1
+        if not integrity["speedup_ok"]:
+            print("FAIL: the chain-head divergence check is not ≥ %.1fx "
+                  "faster than the full-state digest at n=%d"
+                  % (INTEGRITY_SPEEDUP, max(sizes)))
+            return 1
+        return 0
 
     report = {
         "generated_by": "benchmarks/run_bench.py",
@@ -933,6 +1153,20 @@ def main(argv=None):
     print("wrote %s" % args.sharding_out)
     report["sharding"] = sharding
 
+    integrity = _run_integrity(sizes, args.seed)
+    integrity.update({
+        "generated_by": "benchmarks/run_bench.py",
+        "python": report["python"],
+        "git_sha": report["git_sha"],
+        "seed": args.seed,
+        "keys": KEYS,
+    })
+    with open(args.integrity_out, "w") as handle:
+        json.dump(integrity, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.integrity_out)
+    report["integrity"] = integrity
+
     if not args.skip_suites:
         report["suites"] = _run_suites()
         for suite, outcome in report["suites"].items():
@@ -992,6 +1226,15 @@ def main(argv=None):
         print("FAIL: %d shards are not ≥ %.1fx faster than the 1-shard "
               "baseline on disjoint keys"
               % (SHARDING_SHARDS, SHARDING_SPEEDUP))
+        return 1
+    if not integrity["repairs_converged"]:
+        print("FAIL: a scrubber repair failed to converge to a "
+              "digest-equal, clean-auditing directory")
+        return 1
+    if not integrity["speedup_ok"]:
+        print("FAIL: the chain-head divergence check is not ≥ %.1fx "
+              "faster than the full-state digest at n=%d"
+              % (INTEGRITY_SPEEDUP, max(sizes)))
         return 1
     return 0
 

@@ -465,6 +465,36 @@ def build_repro_parser() -> argparse.ArgumentParser:
     digest.add_argument("--json", action="store_true",
                         help="emit digest and record count as JSON")
 
+    audit = subparsers.add_parser(
+        "audit", help="walk a durability directory — frames, hash chain, "
+                      "checkpoints, 2PC logs — and classify every problem "
+                      "without touching anything")
+    audit.add_argument("--dir", required=True, metavar="DIR",
+                       help="the durability directory (or a sharded one "
+                            "with --sharded)")
+    audit.add_argument("--sharded", action="store_true",
+                       help="audit a sharded directory: every shard plus "
+                            "the decision log, with the combined root")
+    audit.add_argument("--json", action="store_true",
+                       help="emit the audit report as JSON")
+
+    scrub = subparsers.add_parser(
+        "scrub", help="audit a durability directory, quarantine damaged "
+                      "files, and (with --repair-from) re-fetch the "
+                      "damaged suffix from a healthy copy")
+    scrub.add_argument("--dir", required=True, metavar="DIR",
+                       help="the durability directory to scrub")
+    scrub.add_argument("--kind", choices=sorted(_KINDS), default="temporal",
+                       help="database kind when no checkpoint records it "
+                            "(default: temporal)")
+    scrub.add_argument("--repair-from", default=None, metavar="SRC",
+                       help="healthy durability directory (a primary's, or "
+                            "another replica's) to re-fetch the damaged "
+                            "suffix from; without it scrub only "
+                            "quarantines")
+    scrub.add_argument("--json", action="store_true",
+                       help="emit the scrub report as JSON")
+
     replicate = subparsers.add_parser(
         "replicate", help="run the replicated chaos harness: writers on a "
                           "primary, readers on replicas, faults on the wire")
@@ -973,6 +1003,115 @@ def _repro_digest(args) -> int:
     return 0
 
 
+def _format_audit(report) -> str:
+    """Human-readable rendering of one AuditReport."""
+    lines = [f"audited {report.directory}: "
+             f"{report.segments_audited} segment(s), "
+             f"{report.checkpoints_audited} checkpoint(s), "
+             f"{report.sidelogs_audited} side log(s)"]
+    lines.append(f"  records:         {report.records_total} "
+                 f"({report.chain_verified} chain-verified, "
+                 f"{report.legacy_frames} legacy bare-JSON)")
+    lines.append(f"  verified prefix: {report.verified_prefix} record(s)")
+    head = report.chain_head
+    lines.append(f"  chain head:      "
+                 f"{head if head is not None else '(unknown)'}")
+    if report.clean:
+        lines.append("  clean: no damage found")
+    else:
+        lines.append(f"  findings: {len(report.findings)}")
+        for finding in report.findings:
+            where = finding.file
+            if finding.line_number is not None:
+                where += f":{finding.line_number}"
+            lines.append(f"    [{finding.kind}] {where}: {finding.detail}")
+    return "\n".join(lines)
+
+
+def _repro_audit(args) -> int:
+    """The ``repro audit`` verb: classify damage, change nothing.
+
+    Exit status 0 means clean; 2 means the audit found damage (so a
+    cron job can page on it) — 1 stays reserved for operational errors.
+    """
+    from repro.storage import audit_directory
+    from repro.storage.scrub import audit_sharded
+    if args.sharded:
+        result = audit_sharded(args.dir)
+        if args.json:
+            data = dict(result)
+            data["per_shard"] = [r.describe() for r in result["per_shard"]]
+            data["decision_log"] = [f.describe()
+                                    for f in result["decision_log"]]
+            print(json.dumps(data, indent=2, sort_keys=True))
+        else:
+            for report in result["per_shard"]:
+                print(_format_audit(report))
+            for finding in result["decision_log"]:
+                print(f"  [sidelog] decisions.seg: {finding.detail}")
+            root = result["combined_root"]
+            print(f"combined root: "
+                  f"{root if root is not None else '(unknown)'}")
+        return 0 if result["clean"] else 2
+    report = audit_directory(args.dir)
+    if args.json:
+        print(json.dumps(report.describe(), indent=2, sort_keys=True))
+    else:
+        print(_format_audit(report))
+    return 0 if report.clean else 2
+
+
+def _repro_scrub(args) -> int:
+    """The ``repro scrub`` verb: quarantine damage, optionally repair.
+
+    Without ``--repair-from`` the damaged files are quarantined and the
+    directory is left recoverable at its verified prefix.  With it, the
+    damaged suffix is re-fetched from the source (records, or a whole
+    snapshot when the source compacted past the prefix) and the result
+    is digest-checked against the source.
+    """
+    from repro.storage import Scrubber
+    from repro.storage.scrub import DirectorySource
+    scrubber = Scrubber(args.dir)
+    factory = _durable_class(args.dir, args.kind)
+    if args.repair_from is None:
+        report = scrubber.audit()
+        moved = scrubber.quarantine(report)
+        if args.json:
+            data = report.describe()
+            data["quarantined"] = moved
+            print(json.dumps(data, indent=2, sort_keys=True))
+            return 0 if report.clean else 2
+        print(_format_audit(report))
+        if moved:
+            print(f"  quarantined: {', '.join(moved)}")
+            print(f"  the directory now recovers to its verified prefix; "
+                  f"re-run with --repair-from to converge with a healthy "
+                  f"copy")
+        return 0 if report.clean else 2
+    source = DirectorySource(args.repair_from, factory)
+    report = scrubber.repair(source, factory)
+    if args.json:
+        print(json.dumps(report.describe(), indent=2, sort_keys=True))
+        return 0
+    if report.findings == 0:
+        print(f"{args.dir} is clean: {report.records_total} record(s), "
+              f"nothing to repair")
+        return 0
+    path = "snapshot catch-up" if report.used_snapshot else "record resend"
+    print(f"repaired {args.dir} from {args.repair_from}")
+    print(f"  findings:     {report.findings}")
+    print(f"  quarantined:  {', '.join(report.quarantined) or '(nothing)'}")
+    print(f"  re-fetched:   {report.refetched_records} record(s) via {path}")
+    print(f"  records now:  {report.records_total}")
+    head = report.chain_head
+    print(f"  chain head:   {head if head is not None else '(unknown)'}")
+    if report.digest_match is not None:
+        print(f"  digest check: "
+              f"{'equal to source' if report.digest_match else 'MISMATCH'}")
+    return 0 if report.digest_match in (True, None) else 1
+
+
 def _repro_promote(args) -> int:
     """The ``repro promote`` verb: durably bump a directory's epoch.
 
@@ -1271,13 +1410,15 @@ def repro_main(argv: Optional[list] = None) -> int:
     """Entry point for the ``repro`` console script."""
     args = build_repro_parser().parse_args(argv)
     if args.subcommand in ("recover", "checkpoint", "stress", "digest",
-                           "replicate", "promote", "shard-stress",
-                           "health", "bench-diff", "cache"):
+                           "audit", "scrub", "replicate", "promote",
+                           "shard-stress", "health", "bench-diff", "cache"):
         try:
             handler = {"recover": _repro_recover,
                        "checkpoint": _repro_checkpoint,
                        "stress": _repro_stress,
                        "digest": _repro_digest,
+                       "audit": _repro_audit,
+                       "scrub": _repro_scrub,
                        "replicate": _repro_replicate,
                        "promote": _repro_promote,
                        "shard-stress": _repro_shard_stress,

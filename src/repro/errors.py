@@ -99,6 +99,26 @@ class JournalError(TransactionError):
     """The append-only journal is corrupt or was used incorrectly."""
 
 
+class ChainError(JournalError):
+    """The commit hash chain is broken: history was tampered with.
+
+    Distinct from frame-level damage (torn tails, CRC failures): the
+    bytes on disk are internally valid, but they are not the bytes the
+    chain committed to — a record was rewritten (``kind="tamper"``) or
+    removed/reordered/substituted (``kind="break"``).  CRC alone cannot
+    catch a rewrite that recomputes the checksum; the chain does,
+    because the *next* record's ``prev_hash`` pins the original content
+    (docs/INTEGRITY.md).  Never retryable and never auto-truncated —
+    repair re-fetches the damaged suffix from a healthy peer.
+    """
+
+    def __init__(self, message: str, kind: str = "break") -> None:
+        #: ``"break"`` (link to wrong parent) or ``"tamper"`` (record
+        #: body or chain fields rewritten in place).
+        self.kind = kind
+        super().__init__(message)
+
+
 class ConcurrencyError(TransactionError):
     """Base class for the concurrent session layer (docs/CONCURRENCY.md)."""
 

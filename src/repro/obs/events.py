@@ -42,6 +42,12 @@ EVENT_KINDS = (
     "replication.ship",   # primary published a record {node, seq}
     "replication.apply",  # replica applied a shipped record {node, seq}
     "replication.failover",  # FailoverCoordinator promoted {node, epoch}
+    "integrity.audit",    # a scrub/audit pass finished {findings, records}
+    "integrity.damage",   # one classified finding {file, damage, index}
+    "integrity.quarantine",  # a damaged file was quarantined {file}
+    "integrity.repair",   # a damaged suffix was re-fetched {records, path}
+    "integrity.degraded",  # a node limited itself to its verified prefix
+    "integrity.healed",   # a degraded node converged with its source
 )
 
 _KIND_SET = frozenset(EVENT_KINDS)

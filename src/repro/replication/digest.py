@@ -24,15 +24,28 @@ two nodes that applied the same commit prefix *must* hash equal — the
 dump excludes the in-memory commit log precisely so the digest
 round-trips through both full-replay and checkpoint recovery (after a
 checkpoint recovery the log holds only the tail).
+
+**Memoization.**  Re-serializing the whole store per heartbeat is the
+cost the chain-prefix fast path exists to avoid, but callers that do
+want the full digest (failover audits, ``repro digest``) should not pay
+it twice when nothing committed in between.  :func:`state_digest`
+caches its result *on the database object*, keyed by the identity of
+the last commit record — state only changes through commits, so an
+unchanged log tail means an unchanged state.  Pass ``cache=False`` to
+force a fresh serialization (the benchmark's honest baseline).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Optional, Tuple
 
+from repro.obs import runtime as _obs
 from repro.storage.serializer import dump_database
+
+#: Attribute the memo rides on (per database object; never cross-object).
+_CACHE_ATTR = "_repro_digest_memo"
 
 
 def _canonical_json(value: Any) -> str:
@@ -55,7 +68,40 @@ def canonical_state(database) -> Dict[str, Any]:
     return data
 
 
-def state_digest(database) -> str:
-    """The canonical SHA-256 hex digest of *database*'s current state."""
+def _memo_key(database) -> Optional[Tuple[int, Any]]:
+    """A key that changes iff the database committed since it was taken.
+
+    ``(commit count, last record)`` — the record rides in the key as a
+    strong reference, so identity comparison can never be fooled by an
+    id being recycled.  None (no caching) when the log is empty or the
+    database has no log: a checkpoint may clear the log, making "empty"
+    ambiguous, and empty-log digests are cheap anyway.
+    """
+    records = getattr(getattr(database, "log", None), "records", None)
+    if not records:
+        return None
+    return (len(records), records[-1])
+
+
+def state_digest(database, cache: bool = True) -> str:
+    """The canonical SHA-256 hex digest of *database*'s current state.
+
+    Memoized on the database object by the identity of its last commit
+    record; ``cache=False`` forces a fresh serialization.
+    """
+    key = _memo_key(database) if cache else None
+    if key is not None:
+        memo = getattr(database, _CACHE_ATTR, None)
+        if (memo is not None and memo[0][0] == key[0]
+                and memo[0][1] is key[1]):
+            _obs.current().metrics.counter("digest.cache_hits").inc()
+            return memo[1]
     payload = _canonical_json(canonical_state(database))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    if key is not None:
+        try:
+            setattr(database, _CACHE_ATTR, (key, digest))
+        except AttributeError:
+            pass  # slotted stand-ins just skip the memo
+        _obs.current().metrics.counter("digest.cache_misses").inc()
+    return digest

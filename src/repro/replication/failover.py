@@ -16,10 +16,13 @@ primary in four audited steps:
    sequence-checked path.  An unreachable old primary simply drains
    nothing: the promoted state is then the replica's applied prefix.
 3. **audit** — the promoted state must equal a durable prefix of the
-   old primary's commit order.  The coordinator checks the canonical
-   digest against the old primary's heartbeat history at exactly the
-   promoted sequence number (or against its live state when fully
-   drained); a mismatch aborts promotion with
+   old primary's commit order.  The fast check compares **chain heads**
+   (:mod:`repro.storage.chain`) at exactly the promoted sequence
+   number: two equal 64-char heads prove the replica applied exactly
+   the old primary's journal prefix, in O(1).  The canonical digest is
+   the slow-path cross-check against the old primary's heartbeat
+   history at that seq (or its live state when fully drained).  Either
+   mismatch aborts promotion with
    :class:`~repro.errors.DivergenceError`.
 4. **announce** — the surviving replicas are registered with the new
    primary and a heartbeat publishes the new epoch; each replica adopts
@@ -67,6 +70,11 @@ class PromotionReport:
     prefix_verified: Optional[bool]
     #: The epoch the new primary streams under.
     epoch: int
+    #: True when the chain heads matched at ``promoted_seq`` (the O(1)
+    #: fast-path proof); None when either side's head was unknown.
+    chain_verified: Optional[bool] = None
+    #: The promoted state's chain head (what the new primary anchors on).
+    chain_head: Optional[str] = None
 
     def describe(self) -> Dict[str, Any]:
         """A plain dict (what ``repro replicate --json`` embeds)."""
@@ -113,6 +121,24 @@ class FailoverCoordinator:
         replica.check()  # a diverged replica must never be promoted
         digest = state_digest(replica.database)
 
+        # Fast-path audit: the chain heads must agree at promoted_seq.
+        chain_verified: Optional[bool] = None
+        promoted_head = replica.chain_head
+        if old_primary is not None and promoted_head is not None:
+            expected_head = old_primary.chain_head_at(promoted_seq)
+            if expected_head is not None:
+                chain_verified = expected_head == promoted_head
+                metrics.counter("replication.chain_checks").inc()
+                if not chain_verified:
+                    metrics.counter(
+                        "replication.chain_divergence").inc()
+                    raise DivergenceError(
+                        f"promotion of {replica.node_id} aborted: chain "
+                        f"head at seq {promoted_seq} is "
+                        f"{promoted_head[:12]}…, the old primary's journal "
+                        f"walks to {expected_head[:12]}… — the replica "
+                        f"applied a different stream")
+
         expected: Optional[str] = None
         if old_primary is not None:
             expected = old_primary.digest_at(promoted_seq)
@@ -131,7 +157,8 @@ class FailoverCoordinator:
         epoch = max(replica.epoch, old_epoch) + 1
         replica.epoch = epoch
         promoted = Primary(replica.node_id, replica.database, self.transport,
-                           epoch=epoch, floor=replica.log_floor)
+                           epoch=epoch, floor=replica.log_floor,
+                           chain_head=promoted_head)
         for node in replicas:
             if node != replica.node_id:
                 promoted.add_replica(node)
@@ -144,7 +171,9 @@ class FailoverCoordinator:
                                    drained=drained)
         report = PromotionReport(promoted_seq=promoted_seq, old_seq=old_seq,
                                  drained=drained, digest=digest,
-                                 prefix_verified=verified, epoch=epoch)
+                                 prefix_verified=verified, epoch=epoch,
+                                 chain_verified=chain_verified,
+                                 chain_head=promoted_head)
         return promoted, report
 
 

@@ -22,10 +22,24 @@ payload is a JSON object with a ``type`` field:
 ``snapshot``
     Checkpoint-based catch-up: the primary's full dumped state as of
     ``seq`` records, plus the stream ``epoch``.
+``head``
+    The O(1) fast-path integrity check, sent on **every** heartbeat:
+    the primary's chain head (:mod:`repro.storage.chain`) at exactly
+    ``seq`` applied records.  A replica that folded the same entries
+    holds the same head — comparing two 64-char strings replaces
+    re-serializing the whole store.  ``chronon`` rides along for lag
+    reporting, same as ``digest``.
 ``digest``
-    Periodic divergence check: the primary's canonical state digest at
+    The slow-path cross-check: the primary's canonical state digest at
     exactly ``seq`` applied records (``chronon`` carries the last commit
     time so replicas can report lag in time units, not just records).
+    Sent every ``digest_every``-th heartbeat — the chain proves the
+    journal prefix, the digest proves the materialized state.
+``repair``
+    A degraded replica asking to be made whole: its chain head stopped
+    matching the primary's, so records alone cannot be trusted — the
+    primary answers with a full snapshot (which carries the chain head
+    to re-anchor on).
 
 Epoch numbers ride on every primary-originated message; see
 docs/REPLICATION.md for the fencing rules.
@@ -82,10 +96,18 @@ def catchup_message(applied: int) -> str:
     return encode_message({"type": "catchup", "applied": applied})
 
 
-def snapshot_message(epoch: int, seq: int, state: Dict[str, Any]) -> str:
-    """The primary's full state as of *seq* records (checkpoint catch-up)."""
-    return encode_message({"type": "snapshot", "epoch": epoch, "seq": seq,
-                           "state": state})
+def snapshot_message(epoch: int, seq: int, state: Dict[str, Any],
+                     head: Optional[str] = None) -> str:
+    """The primary's full state as of *seq* records (checkpoint catch-up).
+
+    *head* is the primary's chain head at *seq*, when known — a replica
+    adopting the snapshot re-anchors its chain fold on it.
+    """
+    message: Dict[str, Any] = {"type": "snapshot", "epoch": epoch,
+                               "seq": seq, "state": state}
+    if head is not None:
+        message["head"] = head
+    return encode_message(message)
 
 
 def digest_message(epoch: int, seq: int, digest: str,
@@ -93,3 +115,20 @@ def digest_message(epoch: int, seq: int, digest: str,
     """The primary's canonical state digest at exactly *seq* records."""
     return encode_message({"type": "digest", "epoch": epoch, "seq": seq,
                            "digest": digest, "chronon": chronon})
+
+
+def head_message(epoch: int, seq: int, head: Optional[str],
+                 chronon: Optional[int] = None) -> str:
+    """The primary's chain head at exactly *seq* records (O(1) check).
+
+    *head* may be None when the primary itself does not know its chain
+    prefix (promoted with an unknown floor); replicas then skip the
+    compare but still learn the advertised head seq for lag.
+    """
+    return encode_message({"type": "head", "epoch": epoch, "seq": seq,
+                           "head": head, "chronon": chronon})
+
+
+def repair_message(applied: int) -> str:
+    """A degraded replica asking for snapshot repair from *applied*."""
+    return encode_message({"type": "repair", "applied": applied})

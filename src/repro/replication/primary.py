@@ -16,11 +16,21 @@ checkpoint only has the tail of its log, exactly like
 resend request below the floor is answered with a full snapshot
 (checkpoint-based catch-up) instead of records.
 
-:meth:`heartbeat` publishes the canonical state digest at an exact
+:meth:`heartbeat` publishes two kinds of integrity evidence at an exact
 sequence number (captured atomically under
-:meth:`~repro.txn.manager.TransactionManager.certify`), which is both
-the divergence check and the failover audit trail: the coordinator
-compares a promoted replica against ``digest_at(seq)``.
+:meth:`~repro.txn.manager.TransactionManager.certify`):
+
+- a **chain head** on *every* beat — the fast path.  Comparing the
+  head at seq N against a replica's own fold over the entries it
+  applied costs O(1) per heartbeat instead of re-serializing the whole
+  store, and (unlike a CRC) catches a record that was rewritten with a
+  recomputed checksum.
+- a **state digest** every ``digest_every``-th beat — the slow-path
+  cross-check that the *materialized* state (not just the journal
+  prefix) matches, and the failover audit trail: the coordinator
+  compares a promoted replica against ``digest_at(seq)``.  The digest
+  is memoized (:mod:`repro.replication.digest`), so idle heartbeats do
+  not re-serialize anything.
 """
 
 from __future__ import annotations
@@ -32,18 +42,39 @@ from repro.errors import ReplicationError
 from repro.obs import runtime as _obs
 from repro.replication.digest import state_digest
 from repro.replication.messages import (decode_message, digest_message,
-                                        record_message, snapshot_message)
+                                        head_message, record_message,
+                                        snapshot_message)
 from repro.replication.transport import Transport
+from repro.storage import chain as _chain
 from repro.storage.framing import FrameError
 from repro.storage.journal import encode_commit
 from repro.storage.serializer import dump_database
 
 
 class Primary:
-    """One database streaming its commit order to a set of replicas."""
+    """One database streaming its commit order to a set of replicas.
+
+    *chain_head* is the hash-chain head over the database's **current
+    full history** (after the last record of ``database.log``) — pass
+    it when promoting a replica that knows its own head, so the fold
+    continues from a verified anchor.  A fresh primary at floor 0
+    derives every head from :data:`~repro.storage.chain.GENESIS`
+    itself (and cross-checks *chain_head* when both are known); a
+    primary cut in mid-history without a head advertises ``None``
+    heads (replicas skip the compare, digests still cover it).
+
+    *digest_every* sets the slow-path cadence: a full digest message
+    every N-th heartbeat (chain heads go on every one).  The first
+    heartbeat always carries a digest, so a fresh pair establishes a
+    state cross-check immediately.
+    """
 
     def __init__(self, node_id: str, database, transport: Transport,
-                 epoch: int = 0, floor: int = 0) -> None:
+                 epoch: int = 0, floor: int = 0,
+                 chain_head: Optional[str] = None,
+                 digest_every: int = 4) -> None:
+        if digest_every < 1:
+            raise ValueError("digest_every is a cadence; it must be >= 1")
         self.node_id = node_id
         self.database = database
         self.transport = transport
@@ -53,8 +84,34 @@ class Primary:
         #: Encoded entries from ``floor`` on; entry i is global seq floor+i.
         self._entries: List[dict] = [encode_commit(commit)
                                      for commit in database.log]
+        #: Chain head *before* the first retained entry (at seq = floor).
+        self._base_head: Optional[str] = (_chain.GENESIS if floor == 0
+                                          else None)
+        #: Head after entry i (aligned with ``_entries``); None = unknown.
+        self._heads: List[Optional[str]] = []
+        head = self._base_head
+        for entry in self._entries:
+            head = (None if head is None
+                    else _chain.link_hash(head, _chain.content_hash(entry)))
+            self._heads.append(head)
+        if chain_head is not None:
+            current = self._heads[-1] if self._heads else self._base_head
+            if current is None:
+                # Anchor the fold at the caller's verified head; earlier
+                # links left memory and stay unknown.
+                if self._heads:
+                    self._heads[-1] = chain_head
+                else:
+                    self._base_head = chain_head
+            elif current != chain_head:
+                raise ReplicationError(
+                    f"primary {node_id} walks its log to chain head "
+                    f"{current[:12]}…, caller claims {chain_head[:12]}… — "
+                    f"refusing to stream from a disputed history")
         self._replicas: List[str] = []
         self._retired = False
+        self._digest_every = digest_every
+        self._beats = 0
         #: seq -> canonical digest, recorded at each heartbeat (the
         #: failover coordinator's durable-prefix audit trail).
         self._digest_history: Dict[int, str] = {}
@@ -111,6 +168,26 @@ class Primary:
         with self._lock:
             return self._digest_history.get(seq)
 
+    @property
+    def chain_head(self) -> Optional[str]:
+        """The chain head over this primary's full history (None when the
+        prefix below the floor is unknown)."""
+        with self._lock:
+            return self._heads[-1] if self._heads else self._base_head
+
+    def chain_head_at(self, seq: int) -> Optional[str]:
+        """The chain head after exactly *seq* records, if derivable.
+
+        None when *seq* precedes the floor (those links left memory) or
+        the base head is unknown.
+        """
+        with self._lock:
+            if seq < self._floor or seq > self._floor + len(self._heads):
+                return None
+            if seq == self._floor:
+                return self._base_head
+            return self._heads[seq - self._floor - 1]
+
     # -- membership -----------------------------------------------------------
 
     def add_replica(self, node_id: str) -> None:
@@ -132,6 +209,10 @@ class Primary:
         with self._lock:
             seq = self._floor + len(self._entries)
             self._entries.append(entry)
+            prev = self._heads[-1] if self._heads else self._base_head
+            self._heads.append(
+                None if prev is None
+                else _chain.link_hash(prev, _chain.content_hash(entry)))
             targets = tuple(self._replicas)
         if self._retired:
             return
@@ -152,35 +233,53 @@ class Primary:
             "replication.records_sent").inc(len(targets))
 
     def _capture(self):
-        """Atomically capture ``(seq, digest, chronon)`` between commits."""
+        """Atomically capture ``(seq, head, digest, chronon)`` between
+        commits; the digest is memoized, so an idle capture is cheap."""
         captured = {}
 
         def capture() -> None:
             with self._lock:
                 captured["seq"] = self._floor + len(self._entries)
+                captured["head"] = (self._heads[-1] if self._heads
+                                    else self._base_head)
             captured["digest"] = state_digest(self.database)
             last = self.database.manager.clock.last
             captured["chronon"] = (last.chronon if last is not None
                                    else None)
 
         self.database.manager.certify(capture)
-        return captured["seq"], captured["digest"], captured["chronon"]
+        return (captured["seq"], captured["head"], captured["digest"],
+                captured["chronon"])
 
     def heartbeat(self) -> Tuple[int, str]:
-        """Publish the state digest at an exact seq; returns ``(seq, digest)``.
+        """Publish integrity evidence at an exact seq; returns
+        ``(seq, digest)``.
 
-        Also records the digest in :meth:`digest_at` history — the
-        failover coordinator's proof obligation refers to it.
+        Every beat sends the O(1) chain head; every ``digest_every``-th
+        beat (and always the first) also sends the full state digest —
+        the slow-path cross-check.  The digest is recorded in
+        :meth:`digest_at` history either way — the failover
+        coordinator's proof obligation refers to it, and memoization
+        makes the idle-beat recording free.
         """
-        seq, digest, chronon = self._capture()
+        metrics = _obs.current().metrics
+        seq, head, digest, chronon = self._capture()
         with self._lock:
             self._digest_history[seq] = digest
             targets = tuple(self._replicas)
+            send_digest = self._beats % self._digest_every == 0
+            self._beats += 1
         if not self._retired:
-            line = digest_message(self.epoch, seq, digest, chronon)
+            head_line = head_message(self.epoch, seq, head, chronon)
+            digest_line = (digest_message(self.epoch, seq, digest, chronon)
+                           if send_digest else None)
             for target in targets:
-                self.transport.send(self.node_id, target, line)
-        _obs.current().metrics.counter("replication.digests_sent").inc()
+                self.transport.send(self.node_id, target, head_line)
+                if digest_line is not None:
+                    self.transport.send(self.node_id, target, digest_line)
+        metrics.counter("replication.heads_sent").inc()
+        if send_digest:
+            metrics.counter("replication.digests_sent").inc()
         return seq, digest
 
     def snapshot_state(self) -> dict:
@@ -194,18 +293,22 @@ class Primary:
         return captured["state"]
 
     def _send_snapshot(self, target: str) -> None:
-        """Checkpoint-based catch-up: full state at an exact seq."""
+        """Checkpoint-based catch-up: full state at an exact seq, plus
+        the chain head there so the receiver re-anchors its fold."""
         captured = {}
 
         def capture() -> None:
             with self._lock:
                 captured["seq"] = self._floor + len(self._entries)
+                captured["head"] = (self._heads[-1] if self._heads
+                                    else self._base_head)
             captured["state"] = dump_database(self.database)
 
         self.database.manager.certify(capture)
         self.transport.send(
             self.node_id, target,
-            snapshot_message(self.epoch, captured["seq"], captured["state"]))
+            snapshot_message(self.epoch, captured["seq"], captured["state"],
+                             head=captured["head"]))
         _obs.current().metrics.counter("replication.snapshots_served").inc()
 
     def pump(self) -> int:
@@ -230,6 +333,13 @@ class Primary:
             elif kind == "catchup":
                 self._serve_from(source, int(message["applied"]))
                 metrics.counter("replication.catchup_requests").inc()
+            elif kind == "repair":
+                # A degraded replica: its applied suffix failed the
+                # chain check, so records past its head cannot fix it —
+                # only a full snapshot (with the head to re-anchor on).
+                if not self._retired:
+                    self._send_snapshot(source)
+                metrics.counter("replication.repairs_served").inc()
         return handled
 
     def _serve_from(self, target: str, seq: int) -> None:

@@ -24,12 +24,32 @@ The apply discipline against a faulty transport:
   adopted — and the buffer is cleared, because buffered records from a
   deposed epoch may not be part of the surviving history.
 
-Divergence detection: the primary periodically publishes its canonical
-state digest at an exact sequence number; the replica checks its own
-digest when it reaches that seq.  A mismatch latches a
-:class:`~repro.errors.DivergenceError` that every subsequent read
-raises — replay is deterministic, so divergence is corruption, and a
-diverged replica must not serve.
+Divergence detection runs on two tiers:
+
+- **chain heads (every heartbeat, O(1))**: the replica folds the hash
+  chain (:mod:`repro.storage.chain`) over every entry it applies; the
+  primary advertises its head at an exact seq, and comparing the two
+  strings proves the replica applied exactly the primary's journal
+  prefix.  The same message carries an O(1) *local-commit* check: a
+  commit that entered the replica's database without coming off the
+  stream (operator error, corruption) makes its in-memory log longer
+  than the records it applied — that latches a
+  :class:`~repro.errors.DivergenceError`, because local writes mean
+  the state is no longer a function of the stream at all.
+- **state digests (every ``digest_every``-th heartbeat, O(state))**:
+  the slow-path cross-check of the materialized state.  A mismatch
+  latches the same :class:`~repro.errors.DivergenceError` — replay is
+  deterministic, so digest divergence at an equal chain head is local
+  corruption, and the node must not serve.
+
+A **chain-head mismatch**, by contrast, means the *stream* the replica
+applied differs from the primary's journal (a tampered or damaged
+resend) — the replica itself can be made whole, so instead of latching
+dead it **degrades**: reads fail fast by default (``allow_degraded=True``
+opts into the suspect state, which is verified through
+:attr:`Replica.verified_seq`) while the replica asks the primary for
+snapshot repair, adopts it, and emits ``integrity.healed`` —
+self-healing, not an outage.
 
 Read-your-writes: reads accept a ``token`` (the writing session's
 :attr:`~repro.concurrency.session.ConcurrentSession.commit_token`) and
@@ -49,8 +69,9 @@ from repro.obs import context as _trace
 from repro.obs import runtime as _obs
 from repro.replication.digest import state_digest
 from repro.replication.messages import (catchup_message, decode_message,
-                                        gap_message)
+                                        gap_message, repair_message)
 from repro.replication.transport import Transport
+from repro.storage import chain as _chain
 from repro.storage.framing import FrameError
 from repro.storage.journal import apply_entries
 from repro.storage.serializer import decode_value, load_database
@@ -77,11 +98,24 @@ class Replica:
         self._buffer: Dict[int, Tuple[int, dict, Optional[dict]]] = {}
         #: seq -> digest the primary claims; checked on reaching seq.
         self._expected: Dict[int, str] = {}
+        #: seq -> chain head the primary claims; checked on reaching seq.
+        self._expected_heads: Dict[int, Optional[str]] = {}
         self._divergence: Optional[DivergenceError] = None
+        #: The chain head folded over every applied entry (None after a
+        #: snapshot that carried no head — re-anchors on the next claim).
+        self._chain_head: Optional[str] = _chain.GENESIS
+        #: Last seq at which the folded head matched the primary's claim.
+        self._verified_seq = 0
+        #: Why this replica limited itself to degraded serving, if it did.
+        self._degraded: Optional[str] = None
+        #: In-memory log length the stream accounts for; a longer log
+        #: means a commit that never came off the stream (O(1) check).
+        self._log_expected = len(self.database.log)
         self._head_seq = 0
         self._head_chronon: Optional[int] = None
         self._applied_chronon: Optional[int] = None
         self._gap_cooldown = 0
+        self._repair_cooldown = 0
 
     # -- catch-up ------------------------------------------------------------
 
@@ -109,7 +143,7 @@ class Replica:
                 continue
             epoch = int(message.get("epoch", self.epoch))
             kind = message.get("type")
-            if kind in ("record", "snapshot", "digest"):
+            if kind in ("record", "snapshot", "digest", "head"):
                 if epoch < self.epoch:
                     metrics.counter("replication.fenced_rejects").inc()
                     continue
@@ -121,10 +155,14 @@ class Replica:
                                            message.get("trace"))
             elif kind == "snapshot":
                 applied += self._on_snapshot(int(message["seq"]),
-                                             message["state"])
+                                             message["state"],
+                                             message.get("head"))
             elif kind == "digest":
                 self._on_digest(int(message["seq"]), message["digest"],
                                 message.get("chronon"))
+            elif kind == "head":
+                self._on_head(int(message["seq"]), message.get("head"),
+                              message.get("chronon"))
         self._repair_gap()
         self._report_lag()
         return applied
@@ -159,11 +197,14 @@ class Replica:
         applied += self._drain_buffer()
         return applied
 
-    def _on_snapshot(self, seq: int, state: dict) -> int:
-        metrics = _obs.current().metrics
+    def _on_snapshot(self, seq: int, state: dict,
+                     head: Optional[str] = None) -> int:
+        obs = _obs.current()
+        metrics = obs.metrics
         if seq < self.applied_seq:
             metrics.counter("replication.duplicates_dropped").inc()
             return 0
+        was_degraded = self._degraded is not None
         self.database = load_database(state)
         self._clock = self.database.manager.clock.source
         self.applied_seq = seq
@@ -174,8 +215,23 @@ class Replica:
             del self._buffer[stale]
         for stale in [s for s in self._expected if s < seq]:
             del self._expected[stale]
+        for stale in [s for s in self._expected_heads if s < seq]:
+            del self._expected_heads[stale]
+        # The snapshot replaces the state wholesale with the primary's,
+        # so any suspicion about the old state is resolved with it.
+        self._chain_head = head if head is not None else (
+            _chain.GENESIS if seq == 0 else None)
+        self._verified_seq = seq if head is not None else self._verified_seq
+        self._log_expected = len(self.database.log)
+        self._divergence = None
+        if was_degraded:
+            self._degraded = None
+            self._repair_cooldown = 0
+            metrics.counter("replication.self_heals").inc()
+            obs.events.emit("integrity.healed", node=self.node_id, seq=seq)
         metrics.counter("replication.snapshots_loaded").inc()
         self._check_digest()
+        self._check_chain()
         return self._drain_buffer()
 
     def _on_digest(self, seq: int, digest: str,
@@ -187,6 +243,31 @@ class Replica:
             return  # a past state cannot be recomputed; the next one can
         self._expected[seq] = digest
         self._check_digest()
+
+    def _on_head(self, seq: int, head: Optional[str],
+                 chronon: Optional[int]) -> None:
+        """The O(1) fast path: compare chain heads, count local commits."""
+        self._head_seq = max(self._head_seq, seq)
+        if chronon is not None:
+            self._head_chronon = max(self._head_chronon or 0, chronon)
+        metrics = _obs.current().metrics
+        metrics.counter("replication.chain_checks").inc()
+        # Local-commit check: valid at any lag, because _log_expected
+        # moves in lockstep with the log on every streamed apply.
+        if (self._divergence is None
+                and len(self.database.log) != self._log_expected):
+            metrics.counter("replication.divergence_detected").inc()
+            self._divergence = DivergenceError(
+                f"replica {self.node_id} holds "
+                f"{len(self.database.log) - self._log_expected} commit(s) "
+                f"that never came off the stream — local writes made its "
+                f"state independent of the primary; refusing to serve; "
+                f"rebuild from a snapshot")
+            return
+        if seq < self.applied_seq:
+            return  # past heads cannot be re-derived; the next one can
+        self._expected_heads[seq] = head
+        self._check_chain()
 
     # -- apply ---------------------------------------------------------------
 
@@ -203,6 +284,10 @@ class Replica:
             with metrics.histogram("replication.apply_seconds").time():
                 apply_entries(self.database, self._clock, [entry])
         self.applied_seq += 1
+        self._log_expected += 1
+        if self._chain_head is not None:
+            self._chain_head = _chain.link_hash(
+                self._chain_head, _chain.content_hash(entry))
         commit_time = decode_value(entry["commit_time"])
         self._applied_chronon = commit_time.chronon
         metrics.counter("replication.records_applied").inc()
@@ -210,6 +295,7 @@ class Replica:
                         txn=parent.trace_id if parent is not None else None,
                         node=self.node_id, seq=seq)
         self._check_digest()
+        self._check_chain()
         return 1
 
     # -- the coordinator's drain path (no transport in between) --------------
@@ -241,11 +327,13 @@ class Replica:
 
     def _check_digest(self) -> None:
         expected = self._expected.pop(self.applied_seq, None)
-        if expected is None:
+        if expected is None or self._divergence is not None:
             return
         metrics = _obs.current().metrics
         metrics.counter("replication.digests_checked").inc()
-        actual = state_digest(self.database)
+        # Uncached on purpose: the digest is the detector of last
+        # resort, so it must re-read the state it is judging.
+        actual = state_digest(self.database, cache=False)
         if actual != expected:
             metrics.counter("replication.divergence_detected").inc()
             self._divergence = DivergenceError(
@@ -254,9 +342,68 @@ class Replica:
                 f"{expected[:12]}… — refusing to serve; rebuild from a "
                 f"snapshot")
 
+    def _check_chain(self) -> None:
+        """Compare the folded head against the primary's claim at the
+        applied seq; a mismatch degrades (and asks for repair) rather
+        than latching dead — the primary can make this node whole."""
+        if self.applied_seq not in self._expected_heads:
+            return
+        expected = self._expected_heads.pop(self.applied_seq)
+        if expected is None or self._divergence is not None:
+            return
+        if self._chain_head is None:
+            # Unknown local prefix (snapshot without a head): adopt the
+            # primary's claim and verify forward from here — the same
+            # re-anchoring the recovery-side verifier does after a gap.
+            self._chain_head = expected
+            self._verified_seq = self.applied_seq
+            return
+        if self._chain_head == expected:
+            self._verified_seq = self.applied_seq
+            if self._degraded is not None:
+                # The stream walked back onto the primary's chain
+                # without needing the snapshot (e.g. a clean resend).
+                self._degraded = None
+                self._repair_cooldown = 0
+                _obs.current().metrics.counter(
+                    "replication.self_heals").inc()
+                _obs.current().events.emit("integrity.healed",
+                                           node=self.node_id,
+                                           seq=self.applied_seq)
+            return
+        obs = _obs.current()
+        obs.metrics.counter("replication.chain_divergence").inc()
+        if self._degraded is None:
+            self._degraded = (
+                f"chain head at seq {self.applied_seq} is "
+                f"{self._chain_head[:12]}…, primary's is {expected[:12]}… "
+                f"— the applied stream differs from the primary's journal "
+                f"after seq {self._verified_seq}")
+            obs.events.emit("integrity.degraded", node=self.node_id,
+                            seq=self.applied_seq,
+                            verified_seq=self._verified_seq,
+                            reason="chain-head mismatch")
+        self._request_repair()
+
+    def _request_repair(self) -> None:
+        """Ask the primary for a snapshot to replace the suspect state."""
+        self.transport.send(self.node_id, self.primary_id,
+                            repair_message(self.applied_seq))
+        self._repair_cooldown = GAP_RETRY_EVERY
+        _obs.current().metrics.counter("replication.repair_requests").inc()
+
     # -- gap repair and lag --------------------------------------------------
 
     def _repair_gap(self) -> None:
+        if self._degraded is not None:
+            # Degraded: keep nudging the primary for the repair snapshot
+            # (rate-limited like gap repair) instead of chasing records
+            # that cannot fix a wrong prefix.
+            if self._repair_cooldown > 0:
+                self._repair_cooldown -= 1
+            else:
+                self._request_repair()
+            return
         behind = self.applied_seq < self._head_seq or self._buffer
         if not behind:
             self._gap_cooldown = 0
@@ -293,13 +440,55 @@ class Replica:
         """True once digest exchange latched a divergence."""
         return self._divergence is not None
 
+    @property
+    def degraded(self) -> bool:
+        """True while a chain-head mismatch awaits snapshot repair."""
+        return self._degraded is not None
+
+    @property
+    def chain_head(self) -> Optional[str]:
+        """The chain head folded over every entry this replica applied
+        (None when the prefix is unknown after a head-less snapshot)."""
+        return self._chain_head
+
+    @property
+    def verified_seq(self) -> int:
+        """The last seq at which the folded chain head matched the
+        primary's claim — the end of the verified prefix."""
+        return self._verified_seq
+
     def check(self) -> None:
         """Raise the latched :class:`~repro.errors.DivergenceError`, if any."""
         if self._divergence is not None:
             raise self._divergence
 
-    def _serveable(self, token: Optional[int]) -> None:
+    def health(self) -> Dict[str, Any]:
+        """The node's integrity surface (what SLO reporting embeds)."""
+        records, chronons = self.lag()
+        return {
+            "node": self.node_id,
+            "epoch": self.epoch,
+            "applied_seq": self.applied_seq,
+            "verified_seq": self._verified_seq,
+            "chain_head": self._chain_head,
+            "degraded": self._degraded,
+            "diverged": self._divergence is not None,
+            "lag_records": records,
+            "lag_chronons": chronons,
+            "buffered": len(self._buffer),
+        }
+
+    def _serveable(self, token: Optional[int],
+                   allow_degraded: bool = False) -> None:
         self.check()
+        if self._degraded is not None and not allow_degraded:
+            _obs.current().metrics.counter(
+                "replication.reads_degraded_refused").inc()
+            raise DivergenceError(
+                f"replica {self.node_id} is degraded ({self._degraded}); "
+                f"repair is in progress — retry, or pass "
+                f"allow_degraded=True to read the suspect state anyway "
+                f"(verified through seq {self._verified_seq})")
         if token is not None and self.applied_seq < token:
             _obs.current().metrics.counter(
                 "replication.reads_lagging").inc()
@@ -308,22 +497,26 @@ class Replica:
                 f"records, read requires {token}; retry after the stream "
                 f"catches up", token=token, applied=self.applied_seq)
 
-    def read(self, name: str, token: Optional[int] = None):
+    def read(self, name: str, token: Optional[int] = None,
+             allow_degraded: bool = False):
         """The relation's current snapshot, gated on *token* (see module
-        docs: read-your-writes)."""
-        self._serveable(token)
+        docs: read-your-writes).  *allow_degraded* opts into serving
+        while a chain mismatch awaits repair."""
+        self._serveable(token, allow_degraded)
         return self.database.snapshot(name)
 
     def timeslice(self, name: str, valid_at: Any,
-                  token: Optional[int] = None):
+                  token: Optional[int] = None,
+                  allow_degraded: bool = False):
         """A valid-time slice served from the replica."""
-        self._serveable(token)
+        self._serveable(token, allow_degraded)
         return self.database.timeslice(name, valid_at)
 
     def rollback(self, name: str, as_of: Any,
-                 token: Optional[int] = None):
+                 token: Optional[int] = None,
+                 allow_degraded: bool = False):
         """A transaction-time rollback served from the replica."""
-        self._serveable(token)
+        self._serveable(token, allow_degraded)
         return self.database.rollback(name, as_of)
 
     @property

@@ -355,6 +355,26 @@ class ShardedDurabilityManager:
 
     # -- observability ----------------------------------------------------------------
 
+    def chain_heads(self) -> List[Optional[str]]:
+        """Each shard's hash-chain head, in shard order.
+
+        A head is None before that shard's recover() ran (nothing is
+        attached to walk).  Per-shard streams chain independently;
+        :meth:`combined_root` names the whole store.
+        """
+        return [manager.chain_head for manager in self._managers]
+
+    def combined_root(self) -> Optional[str]:
+        """One hash naming the whole sharded history: the per-shard
+        chain heads folded in shard order (None when any is unknown).
+
+        The sharded analogue of a single journal's chain head — two
+        stores with equal roots hold byte-identical commit histories on
+        every shard, checked in O(shards) instead of O(state).
+        """
+        from repro.storage.scrub import combined_root
+        return combined_root(self.chain_heads())
+
     def journal_bytes(self, shard: int) -> int:
         """On-disk journal bytes of one shard (segments + its 2PC log)."""
         total = self._prepares[shard].size()
@@ -382,10 +402,12 @@ class ShardedDurabilityManager:
                 "records": count,
                 "journal_bytes": size,
                 "segments": len(self._managers[sid].segments()),
+                "chain_head": self._managers[sid].chain_head,
             })
         return {
             "shards": self._shards,
             "decision_log_bytes": self._decisions.size(),
+            "combined_root": self.combined_root(),
             "per_shard": shards,
         }
 

@@ -10,6 +10,14 @@ obligation it carries:
   length-prefixed and CRC32-checksummed, so a reader can tell a *torn*
   record (crash residue, recoverable at the tail) from a *corrupt* one
   (never recoverable).
+- :mod:`~repro.storage.chain` — the commit hash chain: every journal
+  record names its parent's commit hash, making history tamper-evident
+  (a rewritten record with a recomputed CRC still breaks the chain) and
+  prefix-comparable (equal heads ⇒ equal histories).
+- :mod:`~repro.storage.scrub` — the integrity scrubber: offline audit
+  of segments, checkpoints and 2PC side logs; quarantine of damaged
+  files; repair by re-fetching the damaged suffix from a healthy
+  source (``repro audit`` / ``repro scrub``).
 - :mod:`~repro.storage.io` — the two primitives everything durable is
   built from: flushed append and atomic whole-file replace.  Also the
   seam the fault-injection harness (:mod:`~repro.storage.faults`)
@@ -36,8 +44,13 @@ from repro.storage.serializer import (
     loads_database, schema_from_dict, schema_to_dict,
 )
 from repro.storage.framing import (
-    CHECKPOINT_TAG, JOURNAL_TAG, FrameDamage, FrameError, frame,
-    frame_record, parse_frame,
+    CHAINED_TAG, CHECKPOINT_TAG, JOURNAL_TAG, PROTECTION_CHAINED,
+    PROTECTION_CRC, PROTECTION_LEGACY, FrameDamage, FrameError, frame,
+    frame_record, parse_frame, parse_journal_line,
+)
+from repro.storage.chain import (
+    GENESIS, ChainVerifier, chain_entry, content_hash, entry_chain,
+    head_of, link_hash,
 )
 from repro.storage.io import REAL_IO, StorageIO
 from repro.storage.journal import Journal, apply_entries, encode_commit
@@ -46,7 +59,12 @@ from repro.storage.checkpoint import (
 )
 from repro.storage.recovery import DurabilityManager, RecoveryReport, detect_kind
 from repro.storage.faults import (
-    ALL_CRASH_POINTS, CrashPoint, FaultyIO, SimulatedCrash,
+    ALL_CRASH_POINTS, CrashPoint, FaultyIO, SimulatedCrash, flip_byte,
+    tamper_chain_field, tamper_record, truncate_file,
+)
+from repro.storage.scrub import (
+    AuditReport, Finding, RepairReport, Scrubber, audit_directory,
+    audit_sharded,
 )
 from repro.storage.interchange import (
     export_csv, export_historical_csv, export_temporal_csv, import_csv,
@@ -70,12 +88,34 @@ __all__ = [
     "FaultyIO",
     "SimulatedCrash",
     "JOURNAL_TAG",
+    "CHAINED_TAG",
     "CHECKPOINT_TAG",
+    "PROTECTION_CHAINED",
+    "PROTECTION_CRC",
+    "PROTECTION_LEGACY",
     "FrameDamage",
     "FrameError",
     "frame",
     "frame_record",
     "parse_frame",
+    "parse_journal_line",
+    "GENESIS",
+    "ChainVerifier",
+    "chain_entry",
+    "content_hash",
+    "entry_chain",
+    "head_of",
+    "link_hash",
+    "flip_byte",
+    "truncate_file",
+    "tamper_record",
+    "tamper_chain_field",
+    "AuditReport",
+    "Finding",
+    "RepairReport",
+    "Scrubber",
+    "audit_directory",
+    "audit_sharded",
     "export_csv",
     "export_historical_csv",
     "export_temporal_csv",

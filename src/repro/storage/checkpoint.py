@@ -42,13 +42,24 @@ CHECKPOINT_FORMAT = 1
 _NAME = re.compile(r"^checkpoint-(\d{8,})\.ckpt$")
 
 
-def checkpoint_bytes(database, commit_index: int) -> bytes:
-    """The framed on-disk form of a checkpoint (exposed for tests)."""
-    payload = json.dumps({
+def checkpoint_bytes(database, commit_index: int,
+                     chain_head: Optional[str] = None) -> bytes:
+    """The framed on-disk form of a checkpoint (exposed for tests).
+
+    *chain_head* is the journal's commit-hash chain head at
+    *commit_index* (:mod:`repro.storage.chain`); recovery verifies the
+    replayed tail links onto it.  ``None`` (a pre-chain writer, or an
+    unknown head behind legacy records) omits the key — the format
+    version stays 1 and old checkpoints stay loadable.
+    """
+    body: Dict[str, Any] = {
         "format": CHECKPOINT_FORMAT,
         "commit_index": commit_index,
         "database": dump_database(database),
-    }, ensure_ascii=False, sort_keys=True)
+    }
+    if chain_head is not None:
+        body["chain_head"] = chain_head
+    payload = json.dumps(body, ensure_ascii=False, sort_keys=True)
     return (frame(payload, tag=CHECKPOINT_TAG) + "\n").encode("utf-8")
 
 
@@ -108,7 +119,8 @@ class CheckpointStore:
                     found.append(int(match.group(1)))
         return sorted(found)
 
-    def write(self, database, commit_index: int) -> str:
+    def write(self, database, commit_index: int,
+              chain_head: Optional[str] = None) -> str:
         """Atomically publish a checkpoint of *database*; returns its path.
 
         Must be called between transactions (the system is single-writer;
@@ -120,8 +132,9 @@ class CheckpointStore:
         with obs.tracer.span("recovery.checkpoint",
                              commit_index=commit_index), \
                 obs.metrics.histogram("recovery.checkpoint_seconds").time():
-            self._io.write_atomic(path, checkpoint_bytes(database,
-                                                         commit_index),
+            self._io.write_atomic(path,
+                                  checkpoint_bytes(database, commit_index,
+                                                   chain_head=chain_head),
                                   fsync=True)
         obs.metrics.counter("recovery.checkpoints_written").inc()
         return path

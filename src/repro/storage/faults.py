@@ -43,7 +43,7 @@ records that were durable at the crash point.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.storage.io import REAL_IO, StorageIO
 
@@ -134,3 +134,115 @@ class FaultyIO(StorageIO):
     def __repr__(self) -> str:
         state = "fired" if self.fired else f"in {self._remaining}"
         return f"FaultyIO({self._crash.value}, {state})"
+
+
+# ---------------------------------------------------------------------------
+# At-rest corruption.  FaultyIO models a process dying mid-write; these
+# model what happens to bytes that were written *correctly* and then
+# damaged afterwards — bit rot, a bad sector, or deliberate tampering.
+# They are the raw material of the integrity chaos matrix
+# (tests/storage/test_integrity_chaos.py): every injector's damage must
+# be detected and classified by the scrubber (docs/INTEGRITY.md), never
+# silently replayed.
+# ---------------------------------------------------------------------------
+
+def flip_byte(path: str, offset: int, xor: int = 0x01) -> int:
+    """XOR one byte of *path* at *offset*; returns the original byte.
+
+    The classic bit-rot model.  ``xor`` must be nonzero — flipping a
+    byte to itself would be no damage at all."""
+    if not 0 < xor < 256:
+        raise ValueError("xor must flip at least one bit (1..255)")
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        original = handle.read(1)
+        if len(original) != 1:
+            raise ValueError(f"offset {offset} is beyond {path}")
+        handle.seek(offset)
+        handle.write(bytes([original[0] ^ xor]))
+    return original[0]
+
+
+def truncate_file(path: str, size: int) -> int:
+    """Cut *path* down to *size* bytes; returns bytes removed.
+
+    Mid-file truncation of a journal segment leaves a torn final record
+    *and* silently removes whole records after it — exactly the damage
+    a CRC alone cannot distinguish from a legitimate short history, and
+    the chain (or the next segment's start index) can."""
+    original = 0
+    with open(path, "r+b") as handle:
+        handle.seek(0, 2)
+        original = handle.tell()
+        if size > original:
+            raise ValueError(f"cannot truncate {path} to {size} bytes; "
+                             f"it has {original}")
+        handle.truncate(size)
+    return original - size
+
+
+def _rewrite_line(path: str, line_number: int,
+                  rewrite: Callable[[str], str]) -> None:
+    with open(path, "rb") as handle:
+        lines = handle.read().split(b"\n")
+    index = line_number - 1
+    if not 0 <= index < len(lines) or not lines[index].strip():
+        raise ValueError(f"{path} has no record at line {line_number}")
+    lines[index] = rewrite(lines[index].decode("utf-8")).encode("utf-8")
+    with open(path, "wb") as handle:
+        handle.write(b"\n".join(lines))
+
+
+def tamper_record(path: str, line_number: int,
+                  mutate: Optional[Callable[[Dict[str, Any]], None]] = None
+                  ) -> None:
+    """Rewrite one record's payload **with a recomputed CRC**.
+
+    The adversarial case: the frame stays perfectly valid (length and
+    checksum both match the new bytes), so CRC verification passes —
+    only the hash chain can tell the record is no longer the one that
+    was committed, because its content hash changed while the chain
+    fields (and the next record's ``prev``) still pin the original.
+
+    *mutate* edits the decoded entry in place; the default bumps the
+    commit's ``sequence`` far out of range."""
+    from repro.storage.framing import frame_record, parse_journal_line
+
+    def rewrite(line: str) -> str:
+        entry, _ = parse_journal_line(line)
+        if mutate is not None:
+            mutate(entry)
+        else:
+            entry["sequence"] = entry.get("sequence", 0) + 1_000_000
+        tag = line.split(" ", 1)[0] if not line.startswith("{") else None
+        if tag is None:
+            import json
+            return json.dumps(entry, ensure_ascii=False, sort_keys=True)
+        return frame_record(entry, tag=tag)
+
+    _rewrite_line(path, line_number, rewrite)
+
+
+def tamper_chain_field(path: str, line_number: int, field: str = "prev",
+                       value: str = "f" * 64) -> None:
+    """Rewrite one chain field (``prev``/``content``/``commit``) of a
+    chained record, with a recomputed CRC.
+
+    Models an attacker trying to splice history by editing the chain
+    itself; the verifier catches it because the three fields must hash
+    together and link to the walked head."""
+    from repro.errors import ChainError
+    from repro.storage.chain import CHAIN_KEY
+    from repro.storage.framing import frame_record, parse_journal_line
+
+    def rewrite(line: str) -> str:
+        entry, _ = parse_journal_line(line)
+        chain = entry.get(CHAIN_KEY)
+        if not isinstance(chain, dict) or field not in chain:
+            raise ChainError(
+                f"record at {path}:{line_number} carries no chain "
+                f"field {field!r} to tamper with")
+        chain[field] = value
+        return frame_record(entry, tag=line.split(" ", 1)[0])
+
+    _rewrite_line(path, line_number, rewrite)

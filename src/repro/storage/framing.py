@@ -23,6 +23,11 @@ final record; a record whose bytes are all present but wrong
 Journal files written before framing existed hold bare JSON objects, one
 per line.  :func:`parse_frame` accepts those (a line starting with
 ``{``) so old journals stay replayable; they simply carry no checksum.
+:func:`parse_journal_line` dispatches the three journal generations —
+chained ``r2``, pre-chain ``r1``, bare JSON — and counts the unprotected
+legacy lines into the ``storage.legacy_frames`` metric so an operator
+can see exactly how much of a journal carries no checksum
+(``repro audit`` reports the same count per file).
 
 Nothing in this module touches the filesystem — it frames and parses
 strings.  Durability (when bytes reach the disk) is the business of
@@ -34,12 +39,23 @@ from __future__ import annotations
 import enum
 import json
 import zlib
-from typing import Any, Dict
+from typing import Any, Dict, Tuple
 
-#: Frame tag of journal commit records.
+from repro.obs import runtime as _obs
+
+#: Frame tag of pre-chain journal commit records.
 JOURNAL_TAG = "r1"
+#: Frame tag of chained journal commit records (payload carries the
+#: ``chain`` field of :mod:`repro.storage.chain`).
+CHAINED_TAG = "r2"
 #: Frame tag of checkpoint bodies.
 CHECKPOINT_TAG = "c1"
+
+#: How a journal line is protected: chained frame, CRC-only frame, or
+#: nothing at all (``parse_journal_line``'s second return value).
+PROTECTION_CHAINED = "r2"
+PROTECTION_CRC = "r1"
+PROTECTION_LEGACY = "legacy"
 
 
 class FrameDamage(enum.Enum):
@@ -141,3 +157,23 @@ def parse_frame(line: str, tag: str = JOURNAL_TAG) -> Dict[str, Any]:
         # either way the record cannot be used.
         raise FrameError(f"framed payload is not JSON: {exc}",
                          FrameDamage.CORRUPT) from exc
+
+
+def parse_journal_line(line: str) -> Tuple[Dict[str, Any], str]:
+    """Parse one journal line of any generation; returns ``(entry, how)``.
+
+    ``how`` is :data:`PROTECTION_CHAINED` for an ``r2`` frame,
+    :data:`PROTECTION_CRC` for an ``r1`` frame, and
+    :data:`PROTECTION_LEGACY` for a bare-JSON line (which also counts
+    into the ``storage.legacy_frames`` metric — those records carry no
+    checksum at all).  Damage raises :class:`FrameError` exactly as
+    :func:`parse_frame` does; a line that is a strict prefix of either
+    journal tag is torn residue, not corruption.
+    """
+    if line.startswith("{"):
+        entry = parse_frame(line)
+        _obs.current().metrics.counter("storage.legacy_frames").inc()
+        return entry, PROTECTION_LEGACY
+    if line == CHAINED_TAG or line.startswith(CHAINED_TAG + " "):
+        return parse_frame(line, tag=CHAINED_TAG), PROTECTION_CHAINED
+    return parse_frame(line), PROTECTION_CRC

@@ -40,7 +40,10 @@ from typing import (Any, Callable, Dict, List, NamedTuple, Optional,
 
 from repro.errors import JournalError
 from repro.obs import runtime as _obs
-from repro.storage.framing import FrameError, frame_record, parse_frame
+from repro.storage import chain as _chain
+from repro.storage.framing import (CHAINED_TAG, PROTECTION_CHAINED,
+                                   FrameError, frame_record,
+                                   parse_journal_line)
 from repro.storage.io import REAL_IO, StorageIO
 from repro.storage.serializer import (decode_value, encode_value,
                                       schema_from_dict, schema_to_dict)
@@ -133,6 +136,8 @@ class ScannedRecord(NamedTuple):
     line_number: int
     offset: int  # byte offset of the record's first byte
     entry: Dict[str, Any]
+    #: How the line was protected on disk (framing.PROTECTION_*).
+    protection: str = PROTECTION_CHAINED
 
 
 class TailDamage(NamedTuple):
@@ -162,22 +167,66 @@ class Journal:
         # bound directly from several threads must still never interleave
         # bytes of two records.
         self._append_lock = threading.Lock()
+        # Running commit hash of the file's last chained record; ``None``
+        # until known (resolved lazily from disk on the first append, or
+        # seeded by set_head when the caller tracks the stream's head).
+        self._head: Optional[str] = None
 
     @property
     def path(self) -> str:
         """The journal file path."""
         return self._path
 
+    @property
+    def chain_head(self) -> Optional[str]:
+        """The last appended record's commit hash (``None`` = unknown)."""
+        return self._head
+
+    def set_head(self, head: Optional[str]) -> None:
+        """Seed the chain head (e.g. a rotated segment continuing a
+        stream whose head the caller tracks)."""
+        self._head = head
+
     # -- writing -------------------------------------------------------------------
 
-    def record(self, commit: CommitRecord) -> None:
-        """Append one framed commit record; durable (per the ``fsync``
-        setting) when this returns."""
-        line = frame_record(encode_commit(commit))
+    def _resolve_prev(self) -> str:
+        """The ``prev_hash`` the next record should carry.
+
+        Known head wins; an empty or absent file starts at GENESIS; an
+        existing file is scanned once and its chain walked with an
+        *unknown* seed (a rotated segment's first record links to the
+        previous segment, not GENESIS).  An unchained tail (legacy
+        records) also yields GENESIS — verification re-anchors there.
+        """
+        if self._head is not None:
+            return self._head
+        if not os.path.exists(self._path) or os.path.getsize(self._path) == 0:
+            return _chain.GENESIS
+        records, _ = self.scan()
+        head = _chain.head_of((r.entry for r in records), head=None)
+        return head if head is not None else _chain.GENESIS
+
+    def record(self, commit: CommitRecord,
+               prev_hash: Optional[str] = None) -> str:
+        """Append one chained, framed commit record; returns its commit
+        hash.  Durable (per the ``fsync`` setting) when this returns.
+
+        *prev_hash* overrides the journal's own head tracking — the
+        durability manager threads the stream-wide head through rotated
+        segments this way.  Left ``None``, the journal chains to its own
+        last record.
+        """
+        entry = encode_commit(commit)
         with self._append_lock:
+            prev = prev_hash if prev_hash is not None else self._resolve_prev()
+            chained = _chain.chain_entry(entry, prev)
+            line = frame_record(chained, tag=CHAINED_TAG)
             self._io.append(self._path, (line + "\n").encode("utf-8"),
                             fsync=self._fsync)
+            self._head = chained[_chain.CHAIN_KEY]["commit"]
+            head = self._head
         _obs.current().metrics.counter("journal.records").inc()
+        return head
 
     def bind(self, database) -> None:
         """Journal every future commit of *database*, and any past ones.
@@ -222,11 +271,13 @@ class Journal:
                         f"it, so this is not a torn tail"
                     )
                 try:
-                    entry = parse_frame(chunk.decode("utf-8"))
+                    entry, protection = parse_journal_line(
+                        chunk.decode("utf-8"))
                 except (FrameError, UnicodeDecodeError) as exc:
                     damage = TailDamage(line_number, offset, str(exc))
                 else:
-                    records.append(ScannedRecord(line_number, offset, entry))
+                    records.append(ScannedRecord(line_number, offset, entry,
+                                                 protection))
             offset += len(chunk) + 1
         return records, damage
 

@@ -22,7 +22,14 @@ entire durable state:
    nothing but the tail can be half-written;
 3. replay, in global order, every record whose index is at or after the
    checkpoint's, driving the simulated clock so each transaction
-   commits at its original instant;
+   commits at its original instant — verifying, record by record, the
+   commit hash chain (:mod:`repro.storage.chain`): every chained record
+   must link to the walked head, the head crossing the checkpoint
+   boundary must equal the head the checkpoint recorded, and segments
+   must be contiguous (a hole above the checkpoint index is a hard
+   error, not a silent skip).  A broken or rewritten link raises
+   :class:`~repro.errors.ChainError` — its own damage kind, distinct
+   from torn tails and CRC corruption;
 4. attach: new commits append to the final segment, and
    :meth:`DurabilityManager.checkpoint` publishes a fresh checkpoint
    and rotates to a new segment.
@@ -47,11 +54,14 @@ import os
 import re
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import JournalError
+from repro.errors import ChainError, JournalError
 from repro.obs import runtime as _obs
+from repro.storage import chain as _chain
 from repro.storage.checkpoint import CheckpointStore
+from repro.storage.framing import PROTECTION_LEGACY
 from repro.storage.io import REAL_IO, StorageIO
 from repro.storage.journal import Journal, apply_entries
+from repro.storage.serializer import load_database
 from repro.time.clock import SimulatedClock
 
 _SEGMENT = re.compile(r"^journal-(\d{8,})\.seg$")
@@ -74,6 +84,13 @@ class RecoveryReport:
     #: Checkpoint files present but newer than the one used (i.e. damaged
     #: and skipped); nonzero means a checkpoint write was interrupted.
     checkpoints_skipped: int
+    #: Chained records whose hash link was verified during the walk.
+    chain_verified: int = 0
+    #: The history's commit-hash chain head after recovery (``None``
+    #: when the tail is unchained legacy records).
+    chain_head: Optional[str] = None
+    #: Bare-JSON lines crossed — records carrying no checksum at all.
+    legacy_frames: int = 0
 
     @property
     def full_replay(self) -> bool:
@@ -106,6 +123,9 @@ class DurabilityManager:
         self._count = 0  # durable records; also the next global index
         self._live: Optional[Journal] = None
         self._live_start = 0
+        # Commit-hash chain head of the durable stream (None = unknown,
+        # i.e. the tail is unchained legacy records).
+        self._head: Optional[str] = None
         #: which shard this journal stream serves (None when unsharded);
         #: purely an observability label on journal-append spans/events.
         self.shard = shard
@@ -131,6 +151,12 @@ class DurabilityManager:
     def checkpoints(self) -> CheckpointStore:
         """The directory's checkpoint store."""
         return self._checkpoints
+
+    @property
+    def chain_head(self) -> Optional[str]:
+        """Commit-hash chain head of the durable history (``None`` when
+        the tail is unchained legacy records)."""
+        return self._head
 
     def segments(self) -> List[Tuple[int, str]]:
         """``(start_index, path)`` of every segment, oldest first."""
@@ -165,10 +191,13 @@ class DurabilityManager:
                              directory=self._directory), \
                 obs.metrics.histogram("recovery.recover_seconds").time():
             segment_list = self.segments()
-            loaded = (self._checkpoints.load_latest() if use_checkpoint
+            loaded = (self._checkpoints.latest() if use_checkpoint
                       else None)
+            ckpt_head: Optional[str] = None
             if loaded is not None:
-                base, database = loaded
+                base, ckpt_entry = loaded
+                ckpt_head = ckpt_entry.get("chain_head")
+                database = load_database(ckpt_entry["database"])
             else:
                 base = 0
                 database = factory(clock=SimulatedClock(1))
@@ -179,28 +208,90 @@ class DurabilityManager:
                     "accept clock=SimulatedClock(...)")
             replayed = 0
             truncated = 0
+            legacy = 0
             total = base
+            # Hash-chain verification walks every record read, seeded
+            # GENESIS when history starts at record 0 and *unknown*
+            # when an operator deleted checkpointed prefix segments.
+            verifier = _chain.ChainVerifier(_chain.GENESIS)
+            reconciled = base == 0  # head checked against the checkpoint?
+            expected: Optional[int] = None  # next global index expected
             for position, (start, path) in enumerate(segment_list):
+                name = os.path.basename(path)
                 journal = Journal(path, fsync=self._fsync, io=self._io)
                 if position == len(segment_list) - 1:
                     # Only the live segment may carry a torn tail; repair
                     # it so future appends extend a clean file.
                     truncated = journal.truncate_torn_tail()
-                entries = journal.read()  # strict: damage here is fatal
-                tail = [entry for index, entry in enumerate(entries)
-                        if start + index >= base]
+                scanned, damage = journal.scan()
+                if damage is not None:  # strict: damage here is fatal
+                    raise JournalError(
+                        f"corrupt journal record at line "
+                        f"{damage.line_number} (byte offset "
+                        f"{damage.offset}) in {path}: {damage.reason}")
+                if expected is None:
+                    # First segment present.  Anything it fails to cover
+                    # must be covered by the checkpoint instead.
+                    if start > base:
+                        raise JournalError(
+                            f"journal gap: records {base}..{start} are in "
+                            f"no segment (first segment is {name}); the "
+                            f"history cannot be reconstructed")
+                    if start > 0:
+                        verifier = _chain.ChainVerifier(None)
+                elif start != expected:
+                    if expected < start <= base:
+                        # A deleted-by-the-operator range entirely below
+                        # the checkpoint: replay is unaffected, but the
+                        # chain cannot be followed across the hole.
+                        verifier.forget()
+                    else:
+                        raise JournalError(
+                            f"journal gap: segment {name} starts at "
+                            f"record {start} but the previous segment "
+                            f"ends at {expected}; records in between are "
+                            f"in no segment")
+                tail = []
+                for index, record in enumerate(scanned):
+                    if record.protection == PROTECTION_LEGACY:
+                        legacy += 1
+                    if not reconciled and start + index >= base:
+                        # Crossing the checkpoint boundary: the walked
+                        # head must match the head the checkpoint
+                        # recorded for the same prefix.
+                        if ckpt_head is not None:
+                            if (verifier.head is not None
+                                    and verifier.head != ckpt_head):
+                                raise ChainError(
+                                    f"chain break at {name}:"
+                                    f"{record.line_number}: checkpoint "
+                                    f"{base} records head "
+                                    f"{ckpt_head[:12]}… but the journal "
+                                    f"walks to {verifier.head[:12]}…")
+                            if verifier.head is None:
+                                verifier.head = ckpt_head
+                        reconciled = True
+                    verifier.take(record.entry,
+                                  where=f"{name}:{record.line_number}")
+                    if start + index >= base:
+                        tail.append(record.entry)
                 if tail:
                     with obs.tracer.span("recovery.tail_replay",
-                                         segment=os.path.basename(path),
+                                         segment=name,
                                          records=len(tail)):
                         apply_entries(database, clock, tail)
                     replayed += len(tail)
-                total = max(total, start + len(entries))
+                expected = start + len(scanned)
+                total = max(total, expected)
+            head = verifier.head if reconciled else ckpt_head
             obs.metrics.counter("recovery.records_replayed").inc(replayed)
+            obs.metrics.counter("recovery.chain_links_verified").inc(
+                verifier.verified)
             obs.metrics.counter("recovery.runs").inc()
 
             self._database = database
             self._count = total
+            self._head = head
             if segment_list:
                 self._live_start, live_path = segment_list[-1]
                 self._live = Journal(live_path, fsync=self._fsync,
@@ -209,6 +300,7 @@ class DurabilityManager:
                 self._live_start = base
                 self._live = Journal(self._segment_path(base),
                                      fsync=self._fsync, io=self._io)
+            self._live.set_head(head)
             database.manager.on_commit = self._on_commit
 
             skipped = len([index for index in self._checkpoints.indices()
@@ -220,6 +312,9 @@ class DurabilityManager:
                 segments_read=len(segment_list),
                 torn_bytes_truncated=truncated,
                 checkpoints_skipped=skipped if use_checkpoint else 0,
+                chain_verified=verifier.verified,
+                chain_head=head,
+                legacy_frames=legacy,
             )
         return database, report
 
@@ -240,10 +335,12 @@ class DurabilityManager:
         self._database = database
         self._count = 0
         self._live_start = 0
+        self._head = _chain.GENESIS
         self._live = Journal(self._segment_path(0), fsync=self._fsync,
                              io=self._io)
+        self._live.set_head(self._head)
         for commit in database.log:
-            self._live.record(commit)
+            self._head = self._live.record(commit, prev_hash=self._head)
             self._count += 1
         database.manager.on_commit = self._on_commit
 
@@ -259,7 +356,8 @@ class DurabilityManager:
         obs = _obs.current()
         with obs.tracer.span("journal.append", shard=self.shard,
                              record=self._count):
-            self._live.record(record)
+            prev = self._head if self._head is not None else _chain.GENESIS
+            self._head = self._live.record(record, prev_hash=prev)
             self._count += 1
         obs.events.emit("journal.append", shard=self.shard,
                         records=self._count)
@@ -281,11 +379,13 @@ class DurabilityManager:
         if self._database is None:
             raise JournalError("no database attached; recover() or "
                                "attach() first")
-        path = self._checkpoints.write(self._database, self._count)
+        path = self._checkpoints.write(self._database, self._count,
+                                       chain_head=self._head)
         if self._count != self._live_start:
             self._live_start = self._count
             segment_path = self._segment_path(self._count)
             self._live = Journal(segment_path, fsync=self._fsync, io=self._io)
+            self._live.set_head(self._head)
             # Create the rotated segment eagerly (zero-length) so the
             # directory names its live segment even before the first
             # append.  A crash in this window leaves an empty trailing
@@ -298,6 +398,44 @@ class DurabilityManager:
                 pass
             _obs.current().metrics.counter("recovery.segments_rotated").inc()
         return path
+
+    def adopt_snapshot(self, database, count: int,
+                       chain_head: Optional[str] = None) -> str:
+        """Install *database* — a trusted snapshot at global record
+        *count* — as this directory's new baseline; returns the
+        checkpoint path.
+
+        The snapshot repair path (:mod:`repro.storage.scrub`): when a
+        damaged suffix cannot be re-fetched record-by-record (the source
+        compacted past its floor), the whole verified state arrives as a
+        snapshot instead.  A checkpoint at *count* (carrying the
+        source's *chain_head*) is published and the journal rotates
+        there, so the next recovery starts from the snapshot and never
+        rereads the quarantined range.  Segments the caller left behind
+        below *count* are tolerated by recovery's gap rules; segments at
+        or beyond *count* must have been quarantined first — they would
+        overlap the rotated stream.
+        """
+        os.makedirs(self._directory, exist_ok=True)
+        for start, path in self.segments():
+            if start >= count:
+                raise JournalError(
+                    f"adopt_snapshot({count}) would overlap segment "
+                    f"{os.path.basename(path)}; quarantine it first")
+        self._database = database
+        self._count = count
+        self._head = chain_head
+        ckpt = self._checkpoints.write(database, count,
+                                       chain_head=chain_head)
+        self._live_start = count
+        segment_path = self._segment_path(count)
+        self._live = Journal(segment_path, fsync=self._fsync, io=self._io)
+        self._live.set_head(chain_head)
+        with open(segment_path, "ab"):
+            pass
+        database.manager.on_commit = self._on_commit
+        _obs.current().metrics.counter("recovery.snapshots_adopted").inc()
+        return ckpt
 
     def __repr__(self) -> str:
         return (f"DurabilityManager({self._directory!r}, "

@@ -1,0 +1,595 @@
+"""The integrity scrubber: audit, quarantine, and repair durable state.
+
+Recovery (:mod:`repro.storage.recovery`) verifies what it replays and
+*stops* at damage.  The scrubber is the operational layer above that: it
+walks everything a durability directory holds — journal segments,
+checkpoints, 2PC side logs — verifying frames **and** chain links
+without ever raising, classifies each problem into a
+:class:`Finding`, and can then take action:
+
+- :meth:`Scrubber.quarantine` moves every damaged file (and every file
+  whose content depends on the damage) into a ``quarantine/``
+  subdirectory.  Nothing is deleted: quarantine preserves the evidence
+  while getting it out of recovery's way.
+- :meth:`Scrubber.repair` re-fetches the quarantined suffix from a
+  healthy *source* (the primary, or another replica's directory): the
+  verified prefix is recovered in place, then the missing records are
+  re-applied and re-journaled one by one — or, when the source has
+  compacted past what we need, a whole snapshot is adopted
+  (:meth:`~repro.storage.recovery.DurabilityManager.adopt_snapshot`).
+  Either way the node converges to a digest-equal copy of the source
+  with **zero lost durable commits**: everything the damage destroyed
+  is on the source, because replication shipped it before it was
+  damaged at rest.
+
+The damage taxonomy the audit classifies into (docs/INTEGRITY.md):
+
+==============  ============================================================
+kind            meaning
+==============  ============================================================
+``torn``        a short final record in the final segment — benign crash
+                residue, repairable by truncation
+``corrupt``     a frame whose bytes are present but wrong (bad CRC, bad
+                header, undecodable payload), or torn bytes *mid-file*
+                where no crash can produce them
+``chain-break``  a record linking to a parent that is not the walked
+                head: records were removed, reordered or substituted
+``chain-tamper``  a record rewritten in place — CRC valid, but the
+                payload no longer matches the content hash the chain
+                pinned (the attack a checksum alone cannot catch)
+``gap``         records in no segment: a hole between segment files, or
+                a checkpoint claiming more records than the journal holds
+``checkpoint``  a checkpoint file that fails its frame or format
+``sidelog``     a damaged record in a 2PC prepare/decision log
+==============  ============================================================
+
+``repro audit`` prints the report; ``repro scrub`` quarantines and (with
+``--repair-from``) repairs.  The chaos matrix in
+``tests/storage/test_integrity_chaos.py`` drives every injector in
+:mod:`repro.storage.faults` through detect → classify → repair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ChainError, CheckpointError
+from repro.obs import runtime as _obs
+from repro.storage import chain as _chain
+from repro.storage.checkpoint import CheckpointStore, read_checkpoint
+from repro.storage.framing import (PROTECTION_LEGACY, FrameDamage,
+                                   FrameError, parse_journal_line)
+from repro.storage.io import REAL_IO, StorageIO
+from repro.storage.journal import apply_entries
+from repro.storage.recovery import DurabilityManager
+from repro.storage.serializer import dump_database, load_database
+
+#: Quarantine subdirectory name (inside the durability directory).
+QUARANTINE_DIR = "quarantine"
+
+#: 2PC side-log file names (audited when present).
+_SIDELOGS = ("2pc.seg", "decisions.seg")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One classified integrity problem."""
+
+    #: File the damage lives in (relative to the audited directory).
+    file: str
+    #: Damage kind (module docstring taxonomy).
+    kind: str
+    #: 1-based line in the file, when the damage is line-addressable.
+    line_number: Optional[int] = None
+    #: Global record index the damage starts at, when known.
+    index: Optional[int] = None
+    #: Human-readable diagnosis.
+    detail: str = ""
+
+    def describe(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditReport:
+    """What one audit pass over a durability directory saw."""
+
+    directory: str
+    #: Every classified problem, in walk order.
+    findings: Tuple[Finding, ...]
+    #: Journal records that parsed (frames intact), across all segments.
+    records_total: int
+    #: Chained records whose hash link verified against the walked head.
+    chain_verified: int
+    #: Bare-JSON records — no checksum at all (the ``r0`` generation).
+    legacy_frames: int
+    #: Records from index 0 provably intact (frames *and* chain) — a
+    #: degraded node may keep serving reads from exactly this prefix.
+    verified_prefix: int
+    #: The walked chain head (``None`` when damage or legacy records
+    #: leave it unknown).
+    chain_head: Optional[str]
+    segments_audited: int = 0
+    checkpoints_audited: int = 0
+    sidelogs_audited: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when the audit found nothing wrong."""
+        return not self.findings
+
+    def describe(self) -> Dict[str, Any]:
+        """A plain dict (what ``repro audit --json`` prints)."""
+        data = dataclasses.asdict(self)
+        data["findings"] = [finding.describe() for finding in self.findings]
+        data["clean"] = self.clean
+        return data
+
+
+@dataclasses.dataclass(frozen=True)
+class RepairReport:
+    """What one :meth:`Scrubber.repair` run did."""
+
+    #: Findings the pre-repair audit classified.
+    findings: int
+    #: Files moved into ``quarantine/`` (relative names).
+    quarantined: Tuple[str, ...]
+    #: Records re-fetched from the source and re-journaled.
+    refetched_records: int
+    #: True when the damaged suffix was replaced by a whole snapshot
+    #: (the source had compacted past the verified prefix).
+    used_snapshot: bool
+    #: Durable records after repair.
+    records_total: int
+    #: Chain head after repair.
+    chain_head: Optional[str]
+    #: Post-repair state digest comparison against the source (``None``
+    #: when the source offers no digest).
+    digest_match: Optional[bool]
+
+    def describe(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+class _SegmentWalk:
+    """Mutable state threaded through one audit's segment walk."""
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+        self.records = 0
+        self.legacy = 0
+        self.verified_prefix: Optional[int] = None  # None = no damage yet
+        self.verifier = _chain.ChainVerifier(_chain.GENESIS)
+        self.heads_at: Dict[int, Optional[str]] = {}
+        self.expected: Optional[int] = None  # next global index expected
+        self.end = 0  # highest global index accounted for
+
+    def damage(self, finding: Finding) -> None:
+        self.findings.append(finding)
+        if finding.index is not None and (self.verified_prefix is None
+                                          or finding.index
+                                          < self.verified_prefix):
+            self.verified_prefix = finding.index
+
+
+def _audit_segment(walk: _SegmentWalk, start: int, path: str, name: str,
+                   is_last: bool, head_marks: Tuple[int, ...]) -> None:
+    """Audit one segment file line by line (never raises)."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    chunks = data.split(b"\n")
+    # Trailing newline yields one empty final chunk; drop it so "last
+    # line" means the last record-bearing line.
+    while chunks and not chunks[-1].strip():
+        chunks.pop()
+    parsed_here = 0
+    for position, chunk in enumerate(chunks):
+        line_number = position + 1
+        stripped = chunk.strip()
+        if not stripped:
+            continue
+        index = start + parsed_here
+        for mark in head_marks:
+            if mark == index and mark not in walk.heads_at:
+                walk.heads_at[mark] = walk.verifier.head
+        try:
+            entry, protection = parse_journal_line(chunk.decode("utf-8"))
+        except (FrameError, UnicodeDecodeError) as exc:
+            damage = getattr(exc, "damage", FrameDamage.CORRUPT)
+            final = is_last and position == len(chunks) - 1
+            if damage is FrameDamage.TORN and final:
+                kind, detail = "torn", (f"torn final record (crash "
+                                        f"residue): {exc}")
+            elif damage is FrameDamage.TORN:
+                kind, detail = "corrupt", (f"torn bytes mid-file — no "
+                                           f"crash writes there: {exc}")
+            else:
+                kind, detail = "corrupt", str(exc)
+            walk.damage(Finding(name, kind, line_number, index, detail))
+            # Records beyond a damaged line still parse, but their global
+            # indices are no longer certain and the chain cannot be
+            # followed across the hole.
+            walk.verifier.forget()
+            parsed_here += 1
+            continue
+        if protection == PROTECTION_LEGACY:
+            walk.legacy += 1
+        try:
+            walk.verifier.take(entry, where=f"{name}:{line_number}")
+        except ChainError as exc:
+            walk.damage(Finding(
+                name, f"chain-{exc.kind}", line_number, index, str(exc)))
+            walk.verifier.forget()
+        walk.records += 1
+        parsed_here += 1
+    walk.expected = start + parsed_here
+    walk.end = max(walk.end, walk.expected)
+    for mark in head_marks:
+        if mark == walk.expected and mark not in walk.heads_at:
+            walk.heads_at[mark] = walk.verifier.head
+
+
+def _audit_sidelog(path: str, name: str,
+                   findings: List[Finding]) -> int:
+    """Frame-check one 2PC side log; returns records parsed."""
+    if not os.path.exists(path):
+        return 0
+    with open(path, "rb") as handle:
+        chunks = handle.read().split(b"\n")
+    while chunks and not chunks[-1].strip():
+        chunks.pop()
+    parsed = 0
+    for position, chunk in enumerate(chunks):
+        if not chunk.strip():
+            continue
+        try:
+            parse_journal_line(chunk.decode("utf-8"))
+        except (FrameError, UnicodeDecodeError) as exc:
+            damage = getattr(exc, "damage", FrameDamage.CORRUPT)
+            final = position == len(chunks) - 1
+            benign = damage is FrameDamage.TORN and final
+            findings.append(Finding(
+                name, "sidelog", position + 1, None,
+                ("torn final record (crash residue; recovery drops it): "
+                 if benign else "damaged 2PC record: ") + str(exc)))
+        else:
+            parsed += 1
+    return parsed
+
+
+def audit_directory(directory: str,
+                    io: Optional[StorageIO] = None) -> AuditReport:
+    """Audit one :class:`DurabilityManager` directory; never raises.
+
+    Walks every journal segment (frames + chain links + contiguity),
+    every checkpoint (frame, format, recorded chain head against the
+    walked head), and any 2PC side log living in the directory.
+    """
+    obs = _obs.current()
+    with obs.tracer.span("scrub.audit", directory=directory), \
+            obs.metrics.histogram("scrub.audit_seconds").time():
+        manager = DurabilityManager(directory, io=io)
+        segments = manager.segments()
+        store = CheckpointStore(directory, io=io)
+        ckpt_indices = store.indices()
+        head_marks = tuple(sorted(ckpt_indices))
+        walk = _SegmentWalk()
+        if segments and segments[0][0] > 0:
+            # History starts mid-stream (operator-deleted prefix): the
+            # head is unknown until a checkpointed head re-anchors it.
+            walk.verifier = _chain.ChainVerifier(None)
+        for position, (start, path) in enumerate(segments):
+            name = os.path.basename(path)
+            if walk.expected is not None and start != walk.expected:
+                if start > walk.expected:
+                    walk.damage(Finding(
+                        name, "gap", None, walk.expected,
+                        f"records {walk.expected}..{start} are in no "
+                        f"segment"))
+                else:
+                    walk.damage(Finding(
+                        name, "gap", None, start,
+                        f"segment overlaps the previous one (starts at "
+                        f"{start}, previous ends at {walk.expected})"))
+                walk.verifier.forget()
+            _audit_segment(walk, start, path, name,
+                           position == len(segments) - 1, head_marks)
+        # Checkpoints: damaged files, and valid ones whose recorded
+        # chain head contradicts the walked head at the same index.
+        newest_valid: Optional[int] = None
+        for index in ckpt_indices:
+            path = store.path_for(index)
+            name = os.path.basename(path)
+            try:
+                entry = read_checkpoint(path)
+            except CheckpointError as exc:
+                walk.findings.append(Finding(name, "checkpoint", None,
+                                             index, str(exc)))
+                continue
+            newest_valid = index
+            recorded = entry.get("chain_head")
+            walked = walk.heads_at.get(index)
+            if recorded is not None and walked is not None \
+                    and recorded != walked:
+                walk.damage(Finding(
+                    name, "chain-break", None, index,
+                    f"checkpoint records chain head {recorded[:12]}… but "
+                    f"the journal walks to {walked[:12]}… at record "
+                    f"{index}"))
+        if newest_valid is not None and newest_valid > walk.end:
+            walk.damage(Finding(
+                os.path.basename(store.path_for(newest_valid)), "gap",
+                None, walk.end,
+                f"checkpoint incorporates {newest_valid} records but the "
+                f"journal accounts for only {walk.end} — the journal "
+                f"tail was truncated"))
+        sidelogs = 0
+        for sidelog in _SIDELOGS:
+            path = os.path.join(directory, sidelog)
+            if os.path.exists(path):
+                sidelogs += 1
+                _audit_sidelog(path, sidelog, walk.findings)
+        damaged_from = walk.verified_prefix
+        prefix = damaged_from if damaged_from is not None else walk.end
+        report = AuditReport(
+            directory=directory,
+            findings=tuple(walk.findings),
+            records_total=walk.records,
+            chain_verified=walk.verifier.verified,
+            legacy_frames=walk.legacy,
+            verified_prefix=prefix,
+            chain_head=(walk.verifier.head if not walk.findings else None),
+            segments_audited=len(segments),
+            checkpoints_audited=len(ckpt_indices),
+            sidelogs_audited=sidelogs,
+        )
+        obs.metrics.counter("scrub.audits").inc()
+        if report.findings:
+            obs.metrics.counter("scrub.findings").inc(len(report.findings))
+        for finding in report.findings:
+            obs.events.emit("integrity.damage", file=finding.file,
+                            damage=finding.kind, index=finding.index)
+        obs.events.emit("integrity.audit", directory=directory,
+                        findings=len(report.findings),
+                        records=report.records_total)
+    return report
+
+
+def audit_sharded(directory: str,
+                  io: Optional[StorageIO] = None) -> Dict[str, Any]:
+    """Audit a :class:`ShardedDurabilityManager` directory.
+
+    Returns ``{"per_shard": [AuditReport...], "decision_log": [Finding...],
+    "combined_root": ...}`` — the combined root is the hash of the
+    per-shard chain heads in shard order (the single value two sharded
+    stores compare to prove identical history everywhere).
+    """
+    per_shard: List[AuditReport] = []
+    shard_ids: List[int] = []
+    for name in sorted(os.listdir(directory) if os.path.isdir(directory)
+                       else []):
+        path = os.path.join(directory, name)
+        if name.startswith("shard-") and os.path.isdir(path):
+            shard_ids.append(int(name.split("-", 1)[1]))
+            per_shard.append(audit_directory(path, io=io))
+    decision_findings: List[Finding] = []
+    _audit_sidelog(os.path.join(directory, "decisions.seg"),
+                   "decisions.seg", decision_findings)
+    heads = [report.chain_head for report in per_shard]
+    combined = combined_root(heads)
+    return {
+        "directory": directory,
+        "shards": shard_ids,
+        "per_shard": per_shard,
+        "decision_log": decision_findings,
+        "combined_root": combined,
+        "clean": (all(r.clean for r in per_shard)
+                  and not decision_findings),
+    }
+
+
+def combined_root(heads: List[Optional[str]]) -> Optional[str]:
+    """One hash over per-shard chain heads, in shard order.
+
+    ``None`` when any shard's head is unknown — a combined root must
+    never paper over an unverifiable shard."""
+    if not heads or any(head is None for head in heads):
+        return None
+    running = _chain.GENESIS
+    for head in heads:
+        running = _chain.link_hash(running, head)
+    return running
+
+
+class DirectorySource:
+    """A repair source backed by a healthy durability directory.
+
+    Recovers the directory (read-only use) and serves the three things
+    repair needs: the records floor, the records themselves, and a full
+    snapshot with digest for the slow-path cross-check.  The replication
+    primary offers the same surface over the wire
+    (:mod:`repro.replication.primary`).
+    """
+
+    def __init__(self, directory: str, factory: Callable[..., Any],
+                 io: Optional[StorageIO] = None) -> None:
+        self._manager = DurabilityManager(directory, io=io)
+        self._database, _ = self._manager.recover(factory)
+
+    @property
+    def record_count(self) -> int:
+        return self._manager.record_count
+
+    @property
+    def chain_head(self) -> Optional[str]:
+        return self._manager.chain_head
+
+    def floor(self) -> int:
+        """Earliest record index still present as journal records."""
+        segments = self._manager.segments()
+        return segments[0][0] if segments else self._manager.record_count
+
+    def entries_from(self, seq: int) -> List[Dict[str, Any]]:
+        """Every journal entry at or after *seq*, oldest first."""
+        from repro.storage.journal import Journal
+        entries: List[Dict[str, Any]] = []
+        for start, path in self._manager.segments():
+            for offset, entry in enumerate(Journal(path).read()):
+                if start + offset >= seq:
+                    entries.append(entry)
+        return entries
+
+    def snapshot(self) -> Tuple[int, Dict[str, Any], Optional[str]]:
+        """``(record_count, dumped_state, chain_head)`` of the source."""
+        return (self._manager.record_count,
+                dump_database(self._database),
+                self._manager.chain_head)
+
+    def digest(self) -> str:
+        from repro.replication.digest import state_digest
+        return state_digest(self._database)
+
+
+class Scrubber:
+    """Audit → quarantine → repair for one durability directory."""
+
+    def __init__(self, directory: str, fsync: bool = False,
+                 io: Optional[StorageIO] = None) -> None:
+        self._directory = directory
+        self._fsync = fsync
+        self._io = io if io is not None else REAL_IO
+
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    def audit(self) -> AuditReport:
+        """One non-destructive audit pass (see :func:`audit_directory`)."""
+        return audit_directory(self._directory, io=self._io)
+
+    def _quarantine_file(self, name: str, moved: List[str]) -> None:
+        source = os.path.join(self._directory, name)
+        if not os.path.exists(source):
+            return
+        qdir = os.path.join(self._directory, QUARANTINE_DIR)
+        os.makedirs(qdir, exist_ok=True)
+        target = os.path.join(qdir, name)
+        suffix = 0
+        while os.path.exists(target):
+            suffix += 1
+            target = os.path.join(qdir, f"{name}.{suffix}")
+        os.replace(source, target)
+        moved.append(name)
+        obs = _obs.current()
+        obs.metrics.counter("scrub.quarantined").inc()
+        obs.events.emit("integrity.quarantine", file=name,
+                        directory=self._directory)
+
+    def quarantine(self,
+                   report: Optional[AuditReport] = None) -> List[str]:
+        """Move every untrusted file into ``quarantine/``; returns names.
+
+        Untrusted means: any segment with a finding, every segment at or
+        after the first damaged record (their content is fine but their
+        place in history depends on the damaged range), any damaged
+        checkpoint, any checkpoint incorporating records at or beyond
+        the first damage, and any damaged 2PC side log.  Nothing is
+        deleted — the files keep their names under ``quarantine/``.
+        """
+        if report is None:
+            report = self.audit()
+        if report.clean:
+            return []
+        moved: List[str] = []
+        manager = DurabilityManager(self._directory, io=self._io)
+        segments = manager.segments()
+        by_name = {os.path.basename(path): start
+                   for start, path in segments}
+        damaged_segments = {f.file for f in report.findings
+                            if f.file in by_name}
+        refetch_from: Optional[int] = None
+        for name in damaged_segments:
+            start = by_name[name]
+            if refetch_from is None or start < refetch_from:
+                refetch_from = start
+        sidelog_findings = {f.file for f in report.findings
+                            if f.kind == "sidelog"}
+        gap_at_tail = any(f.kind == "gap" and f.file.startswith("checkpoint")
+                          for f in report.findings)
+        if gap_at_tail and refetch_from is None:
+            # The journal tail is missing (a checkpoint proves more
+            # records existed): re-fetch from the last surviving segment.
+            refetch_from = segments[-1][0] if segments else 0
+        if refetch_from is not None:
+            for start, path in segments:
+                if start >= refetch_from:
+                    self._quarantine_file(os.path.basename(path), moved)
+        store = CheckpointStore(self._directory, io=self._io)
+        damaged_ckpts = {f.file for f in report.findings
+                         if f.file.startswith("checkpoint")}
+        for index in store.indices():
+            name = os.path.basename(store.path_for(index))
+            if name in damaged_ckpts or (refetch_from is not None
+                                         and index > refetch_from):
+                self._quarantine_file(name, moved)
+        for name in sidelog_findings:
+            self._quarantine_file(name, moved)
+        return moved
+
+    def repair(self, source, factory: Callable[..., Any]) -> RepairReport:
+        """Detect, quarantine, and re-fetch the damaged suffix.
+
+        *source* implements the :class:`DirectorySource` surface
+        (``floor()``, ``entries_from(seq)``, ``snapshot()``, optionally
+        ``digest()``).  On a clean directory this is a no-op audit.
+        After repair the directory recovers cleanly, its chain head
+        matches the source's for the shared prefix, and — when the
+        source exposes a digest — the states are digest-equal.
+        """
+        obs = _obs.current()
+        report = self.audit()
+        if report.clean:
+            return RepairReport(
+                findings=0, quarantined=(), refetched_records=0,
+                used_snapshot=False, records_total=report.records_total,
+                chain_head=report.chain_head, digest_match=None)
+        moved = self.quarantine(report)
+        manager = DurabilityManager(self._directory, fsync=self._fsync,
+                                    io=self._io)
+        database, recovered = manager.recover(factory)
+        used_snapshot = False
+        refetched = 0
+        if source.floor() <= manager.record_count:
+            entries = source.entries_from(manager.record_count)
+            if entries:
+                clock = database.manager.clock.source
+                # on_commit is attached, so each re-run journals (and
+                # re-chains) its record exactly as a live commit would.
+                apply_entries(database, clock, entries)
+                refetched = len(entries)
+        else:
+            count, state, head = source.snapshot()
+            database = load_database(state)
+            manager.adopt_snapshot(database, count, chain_head=head)
+            used_snapshot = True
+            refetched = count - recovered.records_total
+        digest_match: Optional[bool] = None
+        if hasattr(source, "digest"):
+            from repro.replication.digest import state_digest
+            digest_match = state_digest(database) == source.digest()
+        obs.metrics.counter("scrub.repairs").inc()
+        obs.metrics.counter("scrub.refetched_records").inc(max(refetched, 0))
+        obs.events.emit("integrity.repair", directory=self._directory,
+                        records=refetched, path=("snapshot" if used_snapshot
+                                                 else "records"))
+        return RepairReport(
+            findings=len(report.findings),
+            quarantined=tuple(moved),
+            refetched_records=max(refetched, 0),
+            used_snapshot=used_snapshot,
+            records_total=manager.record_count,
+            chain_head=manager.chain_head,
+            digest_match=digest_match,
+        )

@@ -1,0 +1,259 @@
+"""Chain-head replication integrity: MITM tamper, degrade, self-heal.
+
+The two-tier divergence scheme under test (docs/REPLICATION.md,
+docs/INTEGRITY.md):
+
+- every heartbeat ships the primary's **chain head** — an O(1) compare
+  that catches a forged or damaged record even when its frame (CRC) is
+  perfectly valid;
+- every ``digest_every``-th heartbeat ships the **state digest** — the
+  O(state) slow path, memoized on the primary so idle beats are free.
+
+A chain-head mismatch means the *stream* was wrong, not the node: the
+replica degrades (reads fail fast unless ``allow_degraded=True``),
+requests snapshot repair, adopts it, and emits ``integrity.healed`` —
+self-healing instead of latching dead.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core import TemporalDatabase
+from repro.errors import DivergenceError, ReplicationError
+from repro.replication import (FailoverCoordinator, InProcessTransport,
+                               Primary, state_digest)
+from repro.replication.messages import decode_message, record_message
+from repro.storage import GENESIS, content_hash, link_hash
+from repro.storage.journal import encode_commit
+from repro.time import SimulatedClock
+
+from tests.replication.test_replication import converge, make_pair
+from tests.storage.probes import drive_faculty, observations
+
+
+def forge_record_in_flight(transport, target, seq, mutate):
+    """Replay *target*'s mailbox, rewriting the record at *seq*.
+
+    The man-in-the-middle: the forged line is a perfectly valid frame
+    (fresh CRC), so nothing below the chain can notice.
+    """
+    forged = 0
+    for source, line in transport.receive(target):
+        message = decode_message(line)
+        if message.get("type") == "record" and message["seq"] == seq:
+            entry = mutate(message["entry"])
+            line = record_message(message["epoch"], seq, entry)
+            forged += 1
+        transport.send(source, target, line)
+    assert forged == 1, f"no record at seq {seq} was in flight"
+
+
+def demote_rank(entry):
+    """A semantically valid edit: the committed rank, quietly changed."""
+    return json.loads(json.dumps(entry).replace('"full"', '"assistant"'))
+
+
+def synced_pair():
+    """A converged pair that has passed its first (digest-carrying) beat."""
+    database, primary, (replica,), transport = make_pair()
+    drive_faculty(database, stop=4)
+    replica.pump()
+    primary.heartbeat()  # beat 0: head + digest, both verify
+    replica.pump()
+    assert replica.verified_seq == 4
+    return database, primary, replica, transport
+
+
+class TestForgedStream:
+    def test_crc_valid_forgery_degrades_on_the_next_heartbeat(self):
+        database, primary, replica, transport = synced_pair()
+        drive_faculty(database, start=4, stop=5)  # ships record seq 4
+        forge_record_in_flight(transport, replica.node_id, 4, demote_rank)
+        replica.pump()  # applies the forgery; nothing to compare yet
+        assert replica.applied_seq == 5
+        assert not replica.degraded
+
+        primary.heartbeat()  # beat 1: chain head only — no digest
+        with obs.recording() as instrumentation:
+            replica.pump()
+        counters = instrumentation.metrics.snapshot()["counters"]
+        assert counters["replication.chain_divergence"] == 1
+        assert instrumentation.events.aggregate()["integrity.degraded"] == 1
+        assert replica.degraded
+        # Degraded, not dead: the stream was wrong, the node is healable.
+        assert not replica.diverged
+        assert replica.verified_seq == 4
+
+    def test_degraded_reads_fail_fast_unless_opted_in(self):
+        database, primary, replica, transport = synced_pair()
+        drive_faculty(database, start=4, stop=5)
+        forge_record_in_flight(transport, replica.node_id, 4, demote_rank)
+        replica.pump()
+        primary.heartbeat()
+        replica.pump()
+        with pytest.raises(DivergenceError) as excinfo:
+            replica.read("faculty")
+        assert "verified through seq 4" in str(excinfo.value)
+        # Explicit opt-in serves the suspect state.
+        rows = replica.read("faculty", allow_degraded=True)
+        assert rows is not None
+        health = replica.health()
+        assert health["degraded"] is not None
+        assert health["verified_seq"] == 4
+
+    def test_degraded_replica_self_heals_from_a_repair_snapshot(self):
+        database, primary, replica, transport = synced_pair()
+        drive_faculty(database, start=4, stop=5)
+        forge_record_in_flight(transport, replica.node_id, 4, demote_rank)
+        replica.pump()
+        primary.heartbeat()
+        replica.pump()  # degrades and sends the repair request
+        primary.pump()  # serves the repair snapshot
+        with obs.recording() as instrumentation:
+            replica.pump()  # adopts it
+        counters = instrumentation.metrics.snapshot()["counters"]
+        assert counters["replication.self_heals"] == 1
+        assert instrumentation.events.aggregate()["integrity.healed"] == 1
+        assert not replica.degraded
+        assert replica.chain_head == primary.chain_head
+        assert replica.verified_seq == 5
+        assert (state_digest(replica.database, cache=False)
+                == state_digest(database, cache=False))
+        # The healed node serves reads and keeps following the stream.
+        replica.read("faculty")
+        drive_faculty(database, start=5)
+        converge(primary, [replica])
+        assert observations(replica.database) == observations(database)
+
+    def test_degraded_replica_keeps_nudging_for_repair(self):
+        database, primary, replica, transport = synced_pair()
+        drive_faculty(database, start=4, stop=5)
+        forge_record_in_flight(transport, replica.node_id, 4, demote_rank)
+        replica.pump()
+        primary.heartbeat()
+        replica.pump()  # first repair request
+        with obs.recording() as instrumentation:
+            for _ in range(6):  # primary silent: request again after cooldown
+                replica.pump()
+        counters = instrumentation.metrics.snapshot()["counters"]
+        assert counters.get("replication.repair_requests", 0) >= 1
+
+
+class TestHeartbeatCadence:
+    def test_heads_every_beat_digests_on_the_cadence(self):
+        database, primary, (replica,), _ = make_pair()
+        drive_faculty(database)
+        replica.pump()
+        with obs.recording() as instrumentation:
+            for _ in range(8):
+                primary.heartbeat()
+        counters = instrumentation.metrics.snapshot()["counters"]
+        assert counters["replication.heads_sent"] == 8
+        assert counters["replication.digests_sent"] == 2  # beats 0 and 4
+        replica.pump()
+        assert replica.verified_seq == 7
+        assert not replica.degraded
+
+    def test_digest_history_is_recorded_every_beat(self):
+        database, primary, (replica,), _ = make_pair()
+        drive_faculty(database)
+        replica.pump()
+        primary.heartbeat()
+        primary.heartbeat()  # not a digest beat — still recorded
+        assert primary.digest_at(7) is not None
+
+    def test_cadence_must_be_positive(self):
+        database = TemporalDatabase(clock=SimulatedClock(1))
+        with pytest.raises(ValueError):
+            Primary("p", database, InProcessTransport(), digest_every=0)
+
+
+class TestDigestMemoization:
+    def test_repeated_digest_hits_the_cache(self):
+        database = TemporalDatabase(clock=SimulatedClock(1))
+        drive_faculty(database)
+        with obs.recording() as instrumentation:
+            first = state_digest(database)
+            second = state_digest(database)
+        counters = instrumentation.metrics.snapshot()["counters"]
+        assert first == second
+        assert counters["digest.cache_misses"] == 1
+        assert counters["digest.cache_hits"] == 1
+
+    def test_cache_invalidates_on_every_commit(self):
+        database = TemporalDatabase(clock=SimulatedClock(1))
+        drive_faculty(database, stop=6)
+        before = state_digest(database)
+        drive_faculty(database, start=6)
+        after = state_digest(database)
+        assert before != after
+
+    def test_cache_false_recomputes_and_never_caches(self):
+        database = TemporalDatabase(clock=SimulatedClock(1))
+        drive_faculty(database)
+        first = state_digest(database)
+        with obs.recording() as instrumentation:
+            second = state_digest(database, cache=False)
+        counters = instrumentation.metrics.snapshot()["counters"]
+        assert first == second
+        assert counters.get("digest.cache_hits", 0) == 0
+
+
+class TestPrimaryChainAnchoring:
+    def test_heads_are_positional_and_fold_from_genesis(self):
+        database, primary, (replica,), _ = make_pair()
+        drive_faculty(database)
+        assert primary.chain_head_at(0) == GENESIS
+        assert primary.chain_head_at(7) == primary.chain_head
+        assert primary.chain_head_at(8) is None
+        running = GENESIS
+        for commit in database.log:
+            running = link_hash(running,
+                                content_hash(encode_commit(commit)))
+        assert running == primary.chain_head
+
+    def test_primary_refuses_a_disputed_chain_head(self):
+        database = TemporalDatabase(clock=SimulatedClock(1))
+        drive_faculty(database)
+        with pytest.raises(ReplicationError) as excinfo:
+            Primary("p", database, InProcessTransport(),
+                    chain_head="f" * 64)
+        assert "disputed history" in str(excinfo.value)
+
+    def test_primary_accepts_its_own_true_head(self):
+        database = TemporalDatabase(clock=SimulatedClock(1))
+        drive_faculty(database)
+        running = GENESIS
+        for commit in database.log:
+            running = link_hash(running,
+                                content_hash(encode_commit(commit)))
+        primary = Primary("p", database, InProcessTransport(),
+                          chain_head=running)
+        assert primary.chain_head == running
+
+
+class TestFailoverChainAudit:
+    def test_promotion_reports_the_chain_fast_path(self):
+        database, primary, (replica,), transport = make_pair()
+        drive_faculty(database)
+        replica.pump()
+        primary.heartbeat()
+        replica.pump()
+        promoted, report = FailoverCoordinator(transport).promote(
+            replica, old_primary=primary)
+        assert report.chain_verified is True
+        assert report.chain_head == promoted.chain_head is not None
+        assert report.prefix_verified is True
+
+    def test_promotion_aborts_when_the_replica_applied_a_forged_stream(
+            self):
+        database, primary, replica, transport = synced_pair()
+        drive_faculty(database, start=4, stop=5)
+        forge_record_in_flight(transport, replica.node_id, 4, demote_rank)
+        replica.pump()  # the forgery is applied; no heartbeat ran since
+        with pytest.raises(DivergenceError) as excinfo:
+            FailoverCoordinator(transport).promote(
+                replica, old_primary=primary)
+        assert "applied a different stream" in str(excinfo.value)

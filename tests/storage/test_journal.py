@@ -51,25 +51,29 @@ class TestRecording:
 
     def test_entries_are_framed_lines(self, journal_path):
         # One record per line: tag, payload length, CRC32, JSON payload.
-        from repro.storage import JOURNAL_TAG, parse_frame
+        from repro.storage import CHAINED_TAG, parse_frame
         database, _ = build_faculty(StaticDatabase)
         Journal(journal_path).bind(database)
         with open(journal_path) as handle:
             for line in handle:
                 tag, length, checksum, payload = line.rstrip("\n").split(
                     " ", 3)
-                assert tag == JOURNAL_TAG
+                assert tag == CHAINED_TAG
                 assert int(length) == len(payload.encode("utf-8"))
-                assert parse_frame(line.rstrip("\n")) == json.loads(payload)
+                assert parse_frame(line.rstrip("\n"),
+                                   tag=CHAINED_TAG) == json.loads(payload)
 
     def test_legacy_bare_json_lines_still_replay(self, journal_path):
         # Journals written before framing (bare JSON lines) are still
-        # accepted; they just lack checksums.
+        # accepted; they just lack checksums (and chain fields).
         database, _ = build_faculty(TemporalDatabase)
         Journal(journal_path).bind(database)
-        from repro.storage import parse_frame
-        entries = [parse_frame(line.rstrip("\n"))
-                   for line in open(journal_path)]
+        from repro.storage import parse_journal_line
+        entries = []
+        for line in open(journal_path):
+            entry, _ = parse_journal_line(line.rstrip("\n"))
+            entry.pop("chain", None)
+            entries.append(entry)
         with open(journal_path, "w") as handle:
             for entry in entries:
                 handle.write(json.dumps(entry) + "\n")

@@ -1,0 +1,402 @@
+"""Scrubber tests: audit classification, quarantine, and repair.
+
+The scrubber's contract (docs/INTEGRITY.md): every kind of at-rest
+damage is *detected* and *classified* — never silently replayed — and a
+damaged directory with a healthy peer converges back to a digest-equal
+copy with zero lost durable commits.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.core import StaticDatabase, TemporalDatabase
+from repro.relational import Domain, Schema
+from repro.storage import (CHAINED_TAG, GENESIS, CheckpointStore,
+                           DurabilityManager, Journal, Scrubber,
+                           audit_directory, chain_entry, flip_byte,
+                           frame_record, parse_journal_line,
+                           tamper_chain_field, tamper_record, truncate_file)
+from repro.storage.scrub import (DirectorySource, audit_sharded,
+                                 combined_root)
+
+from tests.storage.probes import drive_faculty, observations
+
+
+@pytest.fixture
+def directory(tmp_path):
+    return str(tmp_path / "dur")
+
+
+@pytest.fixture
+def source_dir(tmp_path):
+    return str(tmp_path / "healthy")
+
+
+def build(directory, checkpoint_at=None, kind=TemporalDatabase):
+    """A durable faculty database; optionally checkpoint mid-history."""
+    manager = DurabilityManager(directory)
+    database, _ = manager.recover(kind)
+    if checkpoint_at is None:
+        drive_faculty(database)
+    else:
+        drive_faculty(database, stop=checkpoint_at)
+        manager.checkpoint()
+        drive_faculty(database, start=checkpoint_at)
+    return manager, database
+
+
+def segment_paths(directory):
+    return [path for _, path in DurabilityManager(directory).segments()]
+
+
+def rewrite_segment(path, rebuild):
+    """Parse a segment's entries (chain stripped) and rewrite its lines."""
+    entries = []
+    for line in open(path):
+        entry, _ = parse_journal_line(line.rstrip("\n"))
+        entry.pop("chain", None)
+        entries.append(entry)
+    with open(path, "w") as handle:
+        for line in rebuild(entries):
+            handle.write(line + "\n")
+
+
+class TestAuditClassification:
+    def test_clean_directory_audits_clean(self, directory):
+        build(directory)
+        report = audit_directory(directory)
+        assert report.clean
+        assert report.records_total == 7
+        assert report.chain_verified == 7
+        assert report.verified_prefix == 7
+        assert report.chain_head is not None
+
+    def test_audit_emits_events_and_metrics(self, directory):
+        build(directory)
+        with obs.recording() as instrumentation:
+            audit_directory(directory)
+        counters = instrumentation.metrics.snapshot()["counters"]
+        assert counters["scrub.audits"] == 1
+        kinds = instrumentation.events.aggregate()
+        assert kinds["integrity.audit"] == 1
+
+    def test_torn_final_record_is_benign_torn(self, directory):
+        build(directory)
+        path = segment_paths(directory)[-1]
+        line = frame_record(chain_entry({"sequence": 99, "operations": []},
+                                        GENESIS), tag=CHAINED_TAG)
+        with open(path, "a") as handle:
+            handle.write(line[:len(line) // 2])  # crashed mid-append
+        report = audit_directory(directory)
+        assert [f.kind for f in report.findings] == ["torn"]
+        # The torn tail does not damage the verified prefix's records.
+        assert report.chain_verified == 7
+
+    def test_flipped_byte_is_corrupt(self, directory):
+        build(directory)
+        path = segment_paths(directory)[0]
+        flip_byte(path, os.path.getsize(path) // 2)
+        report = audit_directory(directory)
+        assert any(f.kind == "corrupt" for f in report.findings)
+        assert report.verified_prefix < 7
+
+    def test_crc_valid_tamper_is_caught_by_the_chain_alone(self, directory):
+        # The acceptance case: the frame is perfectly valid (length and
+        # CRC recomputed), so checksum verification passes — only the
+        # chain knows the record is not the one that committed.
+        build(directory)
+        path = segment_paths(directory)[0]
+        tamper_record(path, 4)
+        assert len(Journal(path).read()) == 7  # CRC sees nothing wrong
+        report = audit_directory(directory)
+        assert [f.kind for f in report.findings] == ["chain-tamper"]
+        assert report.findings[0].line_number == 4
+        assert report.verified_prefix == 3
+
+    def test_edited_chain_field_is_classified(self, directory):
+        build(directory)
+        path = segment_paths(directory)[0]
+        tamper_chain_field(path, 3, field="prev")
+        report = audit_directory(directory)
+        assert report.findings
+        assert all(f.kind.startswith("chain-") for f in report.findings)
+
+    def test_mid_file_truncation_is_not_mistaken_for_a_crash(
+            self, directory):
+        # Truncate an *inner* segment: its torn tail looks like crash
+        # residue byte-wise, but no crash tears a mid-history file.
+        build(directory, checkpoint_at=4)
+        first = segment_paths(directory)[0]
+        truncate_file(first, os.path.getsize(first) - 30)
+        report = audit_directory(directory)
+        assert any(f.kind == "corrupt" and "mid-file" in f.detail
+                   for f in report.findings)
+        assert not report.clean
+
+    def test_tail_truncation_is_exposed_by_the_checkpoint(self, directory):
+        # Cut whole records off the end of the journal: framing alone
+        # reads a clean-but-shorter history, but the checkpoint already
+        # incorporates more records than the journal now holds.
+        manager, database = build(directory)
+        manager.checkpoint()  # covers 7 records; rotates an empty tail
+        data_segment, empty_tail = segment_paths(directory)
+        os.unlink(empty_tail)
+        lines = open(data_segment, "rb").read().splitlines(keepends=True)
+        with open(data_segment, "wb") as handle:
+            handle.writelines(lines[:-2])
+        report = audit_directory(directory)
+        assert any(f.kind == "gap" and "truncated" in f.detail
+                   for f in report.findings)
+
+    def test_tampered_checkpoint_is_classified(self, directory):
+        build(directory, checkpoint_at=4)
+        store = CheckpointStore(directory)
+        index = store.indices()[-1]
+        flip_byte(store.path_for(index), 40)
+        report = audit_directory(directory)
+        assert any(f.kind == "checkpoint" for f in report.findings)
+
+    def test_rewritten_prefix_contradicts_the_checkpointed_head(
+            self, directory):
+        # Rewrite history *before* a checkpoint while keeping every CRC
+        # and every chain link locally consistent (re-chained from
+        # genesis).  Only the checkpointed head still pins the original
+        # history.
+        build(directory, checkpoint_at=4)
+        path = segment_paths(directory)[0]
+
+        def forge(entries):
+            entries[1]["sequence"] = entries[1].get("sequence", 0) + 500
+            prev = GENESIS
+            for entry in entries:
+                chained = chain_entry(entry, prev)
+                prev = chained["chain"]["commit"]
+                yield frame_record(chained, tag=CHAINED_TAG)
+
+        rewrite_segment(path, lambda entries: list(forge(entries)))
+        report = audit_directory(directory)
+        assert any(f.kind == "chain-break" and "checkpoint" in f.detail
+                   for f in report.findings)
+
+    def test_damaged_sidelog_is_classified(self, directory):
+        build(directory)
+        side = os.path.join(directory, "2pc.seg")
+        with open(side, "w") as handle:
+            handle.write(frame_record({"kind": "prepare", "gid": "g1",
+                                       "base": 0, "operations": []}) + "\n")
+        flip_byte(side, 20)
+        report = audit_directory(directory)
+        assert any(f.kind == "sidelog" for f in report.findings)
+        assert report.sidelogs_audited == 1
+
+
+class TestLegacyFrames:
+    def test_bare_json_lines_are_counted_not_flagged(self, directory):
+        # Satellite: the audit reports how much unprotected history the
+        # directory still carries (the migration burn-down number).
+        build(directory)
+        path = segment_paths(directory)[0]
+
+        def downgrade(entries):
+            lines = [json.dumps(entry) for entry in entries[:3]]
+            prev = GENESIS
+            for entry in entries[3:]:
+                chained = chain_entry(entry, prev)
+                prev = chained["chain"]["commit"]
+                lines.append(frame_record(chained, tag=CHAINED_TAG))
+            return lines
+
+        rewrite_segment(path, downgrade)
+        with obs.recording() as instrumentation:
+            report = audit_directory(directory)
+        assert report.clean  # legacy is a fact, not damage
+        assert report.legacy_frames == 3
+        counters = instrumentation.metrics.snapshot()["counters"]
+        assert counters["storage.legacy_frames"] == 3
+
+    def test_recovery_reports_legacy_frames_too(self, directory):
+        build(directory)
+        path = segment_paths(directory)[0]
+        rewrite_segment(path, lambda entries: [json.dumps(entry)
+                                               for entry in entries])
+        database, report = DurabilityManager(directory).recover(
+            TemporalDatabase)
+        assert report.legacy_frames == 7
+        assert report.records_total == 7
+
+
+class TestQuarantineAndRepair:
+    def damage_and_repair(self, directory, source_dir, damage):
+        """Build two identical directories, damage one, repair it."""
+        build(directory)
+        src_manager, src_database = build(source_dir)
+        damage(directory)
+        report = Scrubber(directory).repair(
+            DirectorySource(source_dir, TemporalDatabase), TemporalDatabase)
+        return report, src_database
+
+    def test_quarantine_moves_never_deletes(self, directory):
+        build(directory)
+        path = segment_paths(directory)[0]
+        tamper_record(path, 4)
+        scrubber = Scrubber(directory)
+        with obs.recording() as instrumentation:
+            moved = scrubber.quarantine()
+        assert moved == [os.path.basename(path)]
+        quarantined = os.path.join(directory, "quarantine",
+                                   os.path.basename(path))
+        assert os.path.exists(quarantined)
+        assert not os.path.exists(path)
+        kinds = instrumentation.events.aggregate()
+        assert kinds["integrity.quarantine"] == 1
+
+    def test_repair_by_record_resend(self, directory, source_dir):
+        report, src_database = self.damage_and_repair(
+            directory, source_dir,
+            lambda d: tamper_record(segment_paths(d)[0], 4))
+        assert not report.used_snapshot
+        assert report.refetched_records > 0
+        assert report.digest_match is True
+        recovered, _ = DurabilityManager(directory).recover(TemporalDatabase)
+        assert observations(recovered) == observations(src_database)
+
+    def test_repair_by_snapshot_when_source_compacted(self, directory,
+                                                      source_dir):
+        # The source checkpointed and pruned its early segments, so the
+        # damaged node's verified prefix is below the source's floor —
+        # records cannot bridge it; a snapshot must.
+        build(directory)
+        src_manager, src_database = build(source_dir, checkpoint_at=4)
+        for start, path in src_manager.segments()[:-1]:
+            os.unlink(path)  # prune checkpointed-away history
+        tamper_record(segment_paths(directory)[0], 2)
+        report = Scrubber(directory).repair(
+            DirectorySource(source_dir, TemporalDatabase), TemporalDatabase)
+        assert report.used_snapshot
+        assert report.digest_match is True
+        recovered, _ = DurabilityManager(directory).recover(TemporalDatabase)
+        assert observations(recovered) == observations(src_database)
+
+    def test_repair_loses_zero_durable_commits(self, directory, source_dir):
+        report, src_database = self.damage_and_repair(
+            directory, source_dir,
+            lambda d: flip_byte(segment_paths(d)[0], 30))
+        recovered, recovery = DurabilityManager(directory).recover(
+            TemporalDatabase)
+        assert recovery.records_total == len(src_database.log)
+        assert recovery.chain_verified == recovery.records_total
+
+    def test_repaired_directory_keeps_committing(self, directory,
+                                                 source_dir):
+        self.damage_and_repair(
+            directory, source_dir,
+            lambda d: tamper_record(segment_paths(d)[0], 5))
+        manager = DurabilityManager(directory)
+        recovered, _ = manager.recover(TemporalDatabase)
+        recovered.manager.clock.source.set("06/01/85")
+        recovered.insert("faculty", {"name": "New", "rank": "full"},
+                         valid_from="06/01/85")
+        again, report = DurabilityManager(directory).recover(
+            TemporalDatabase)
+        assert report.records_total == 8
+        assert report.chain_verified == 8
+
+    def test_clean_repair_is_a_noop(self, directory, source_dir):
+        build(directory)
+        build(source_dir)
+        report = Scrubber(directory).repair(
+            DirectorySource(source_dir, TemporalDatabase), TemporalDatabase)
+        assert report.findings == 0
+        assert report.quarantined == ()
+        assert report.refetched_records == 0
+
+
+class TestShardedAudit:
+    def build_sharded(self, tmp_path, name="shards"):
+        from repro.sharding import ShardedDurabilityManager
+        directory = str(tmp_path / name)
+        manager = ShardedDurabilityManager(directory, shards=2)
+        store, _ = manager.recover(StaticDatabase)
+        store.define("counters",
+                     Schema.of(key=["k"], k=Domain.STRING, v=Domain.INTEGER))
+        for i in range(6):
+            store.insert("counters", {"k": f"k{i}", "v": i})
+        return directory, manager, store
+
+    def test_sharded_audit_walks_every_shard(self, tmp_path):
+        directory, manager, store = self.build_sharded(tmp_path)
+        result = audit_sharded(directory)
+        assert result["clean"]
+        assert len(result["per_shard"]) == 2
+        assert result["combined_root"] is not None
+        assert result["combined_root"] == manager.combined_root()
+        assert manager.chain_heads() == [r.chain_head
+                                         for r in result["per_shard"]]
+
+    def test_damage_in_one_shard_spoils_the_root(self, tmp_path):
+        directory, manager, store = self.build_sharded(tmp_path)
+        shard_dir = os.path.join(directory, "shard-00")
+        seg = segment_paths(shard_dir)[0]
+        tamper_record(seg, 1)
+        result = audit_sharded(directory)
+        assert not result["clean"]
+        assert result["combined_root"] is None
+
+    def test_combined_root_refuses_unknown_heads(self):
+        assert combined_root([]) is None
+        assert combined_root(["a" * 64, None]) is None
+        assert combined_root(["a" * 64, "b" * 64]) is not None
+
+
+class TestCliVerbs:
+    def run_cli(self, argv, capsys):
+        from repro.cli import repro_main
+        code = repro_main(argv)
+        return code, capsys.readouterr().out
+
+    def test_audit_verb_clean_and_damaged(self, directory, capsys):
+        build(directory)
+        code, out = self.run_cli(["audit", "--dir", directory], capsys)
+        assert code == 0
+        assert "clean" in out
+        tamper_record(segment_paths(directory)[0], 4)
+        code, out = self.run_cli(["audit", "--dir", directory, "--json"],
+                                 capsys)
+        assert code == 2
+        data = json.loads(out)
+        assert data["clean"] is False
+        assert data["findings"][0]["kind"] == "chain-tamper"
+        assert data["legacy_frames"] == 0
+
+    def test_scrub_verb_quarantines_without_a_source(self, directory,
+                                                     capsys):
+        build(directory)
+        tamper_record(segment_paths(directory)[0], 4)
+        code, out = self.run_cli(["scrub", "--dir", directory], capsys)
+        assert code == 2
+        assert "quarantined" in out
+        assert os.path.isdir(os.path.join(directory, "quarantine"))
+
+    def test_scrub_verb_repairs_from_a_source(self, directory, source_dir,
+                                              capsys):
+        build(directory)
+        build(source_dir)
+        tamper_record(segment_paths(directory)[0], 4)
+        code, out = self.run_cli(
+            ["scrub", "--dir", directory, "--repair-from", source_dir,
+             "--json"], capsys)
+        assert code == 0
+        data = json.loads(out)
+        assert data["digest_match"] is True
+        code, out = self.run_cli(["audit", "--dir", directory], capsys)
+        assert code == 0
+
+    def test_sharded_audit_verb(self, tmp_path, capsys):
+        directory, _, _ = TestShardedAudit().build_sharded(tmp_path)
+        code, out = self.run_cli(
+            ["audit", "--dir", directory, "--sharded"], capsys)
+        assert code == 0
+        assert "combined root" in out

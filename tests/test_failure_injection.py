@@ -152,15 +152,16 @@ class TestJournalFailures:
         # not tampering — the journal is the source of truth), but
         # editing the *commit time* against the recorded order must
         # still fail replay on the drift check.
-        from repro.storage import frame_record, parse_frame
+        from repro.storage import CHAINED_TAG, frame_record, parse_journal_line
         path = str(tmp_path / "db.journal")
         database, _ = build_faculty(TemporalDatabase)
         Journal(path).bind(database)
-        entries = [parse_frame(line.rstrip("\n")) for line in open(path)]
+        entries = [parse_journal_line(line.rstrip("\n"))[0]
+                   for line in open(path)]
         entries[3]["commit_time"] = entries[0]["commit_time"]
         with open(path, "w") as handle:
             for entry in entries:
-                handle.write(frame_record(entry) + "\n")
+                handle.write(frame_record(entry, tag=CHAINED_TAG) + "\n")
         with pytest.raises(ReproError):
             Journal(path).replay(TemporalDatabase)
 

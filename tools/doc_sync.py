@@ -174,11 +174,52 @@ def _gen_costs() -> str:
     return "\n".join(rows) + "\n"
 
 
+def _gen_integrity_audit() -> str:
+    """The ``repro audit`` transcripts INTEGRITY.md annotates: a clean
+    pass over the faculty store, then the same store with record 4
+    rewritten in place under a fresh CRC — the tamper only the chain
+    can see.  Deterministic: simulated clock, canonical JSON hashing,
+    and the temp directory name substituted out."""
+    import tempfile
+
+    from repro.cli import _format_audit
+    from repro.storage import (DurabilityManager, audit_directory,
+                               tamper_record)
+
+    with tempfile.TemporaryDirectory() as scratch:
+        directory = os.path.join(scratch, "store")
+        manager = DurabilityManager(directory)
+        database, _ = manager.recover(TemporalDatabase)
+        clock = database.manager.clock.source
+        clock.set("01/01/77")
+        session = Session(database)
+        session.execute("create faculty (name = string, rank = string) "
+                        "key (name)")
+        session.execute("range of f is faculty")
+        for instant, statement in FACULTY_HISTORY:
+            clock.set(instant)
+            session.execute(statement)
+        clean = _format_audit(audit_directory(directory))
+        tamper_record(manager.segments()[0][1], 4)
+        damaged = _format_audit(audit_directory(directory))
+        clean = clean.replace(directory, "store")
+        damaged = damaged.replace(directory, "store")
+    return ("    $ repro audit --dir store\n\n" + _fenced(clean)
+            + "\nNow rewrite record 4 in place **with a recomputed CRC**"
+              " (the\n`tamper_record` injector) — every frame still"
+              " verifies, and the same\naudit pins the rewrite anyway,"
+              " because the chain fields commit to the\noriginal"
+              " payload:\n\n"
+              "    $ repro audit --dir store    # exit status 2\n\n"
+            + _fenced(damaged))
+
+
 GENERATORS: Dict[str, Callable[[], str]] = {
     "planning-explain-asof": _gen_explain_asof,
     "planning-explain-forced": _gen_explain_forced,
     "planning-cache-stats": _gen_cache_stats,
     "planning-costs": _gen_costs,
+    "integrity-audit": _gen_integrity_audit,
 }
 
 
