@@ -91,6 +91,19 @@ resend from a full-history source, and a damaged prefix segment
 repaired by snapshot catch-up from a source compacted past the damage
 — every repair must converge digest-equal and re-audit clean.
 
+A ninth measurement sweeps **serving** (``BENCH_serving.json``): the
+asyncio serving layer end to end — concurrent ``ReproClient``
+connections driving a ``ReproServer`` over in-process MemoryPipes via
+the loadgen harness (:func:`repro.workload.run_serving`).  Clean
+points sweep client count × write mix and record client-observed
+latency percentiles, throughput and shed counts; a **chaos** point
+re-runs the mix under seeded wire faults (drop/delay/corrupt) and a
+**failover** point kills the primary mid-run and promotes a replica.
+The gate is correctness, not speed: every point's audit must hold —
+zero lost acknowledged writes, zero read-your-writes violations, zero
+untyped failures — and the hostile points must actually have been
+hostile (faults fired; the failover happened).
+
 Run:  python benchmarks/run_bench.py [--sizes 100,1000,10000]
                                      [--seed N]
                                      [--out BENCH_temporal.json]
@@ -99,7 +112,8 @@ Run:  python benchmarks/run_bench.py [--sizes 100,1000,10000]
                                      [--replication-out BENCH_replication.json]
                                      [--sharding-out BENCH_sharding.json]
                                      [--integrity-out BENCH_integrity.json]
-                                     [--integrity-only]
+                                     [--serving-out BENCH_serving.json]
+                                     [--integrity-only] [--serving-only]
                                      [--skip-suites]
 """
 
@@ -173,6 +187,18 @@ INTEGRITY_CHAIN_LOOPS = 1000
 INTEGRITY_ROUNDS = 3
 INTEGRITY_GATE_SIZE = 10_000
 INTEGRITY_SPEEDUP = 10.0
+#: The serving sweep: client counts × write mixes for the clean points,
+#: requests per client, the wire-fault probabilities of the chaos
+#: point, and the shape of the failover point (clients, replicas, the
+#: acked-write count that triggers the primary kill).
+SERVING_CLIENTS = (2, 8)
+SERVING_REQUESTS = 12
+SERVING_WRITE_RATIOS = (0.8, 0.2)
+SERVING_CHAOS = {"drop": 0.05, "delay": 0.05, "corrupt": 0.03,
+                 "delay_s": 0.002}
+SERVING_FAILOVER_CLIENTS = 4
+SERVING_FAILOVER_REPLICAS = 2
+SERVING_FAILOVER_AT = 5
 
 
 def _git_sha():
@@ -967,6 +993,106 @@ def _run_integrity(sizes, seed):
     return section
 
 
+def _serving_point(clients, write_ratio, seed, chaos=None, replicas=0,
+                   failover_at=None, ryw_ratio=0.3):
+    """One loadgen run, reduced to the numbers the report keeps."""
+    from repro.server import ChaosConfig
+    from repro.workload import run_serving
+    config = ChaosConfig(seed=seed, **chaos) if chaos else None
+    report = run_serving(clients=clients, requests=SERVING_REQUESTS,
+                         seed=seed, write_ratio=write_ratio,
+                         budget_ms=10_000.0, chaos=config,
+                         replicas=replicas, failover_at=failover_at,
+                         ryw_ratio=ryw_ratio)
+    point = {
+        "clients": clients,
+        "write_ratio": write_ratio,
+        "attempted": report.attempted,
+        "succeeded": report.succeeded,
+        "shed": report.shed,
+        "wall_s": report.wall_s,
+        "throughput_rps": report.throughput_rps,
+        "latency_p50_us": report.latency_p50_us,
+        "latency_p95_us": report.latency_p95_us,
+        "latency_p99_us": report.latency_p99_us,
+        "acked_writes": report.acked_writes,
+        "acked_writes_lost": report.acked_writes_lost,
+        "ryw_checks": report.ryw_checks,
+        "ryw_violations": report.ryw_violations,
+        "unexpected_failures": report.unexpected_failures,
+        "client_retries": report.client_retries,
+        "client_failovers": report.client_failovers,
+        "failover_performed": report.failover_performed,
+        "audit_ok": report.ok,
+    }
+    if chaos:
+        point["chaos"] = report.chaos
+    return point
+
+
+def _run_serving_bench(seed):
+    """The serving sweep + audit gate (see module docstring).
+
+    Clean points sweep ``SERVING_CLIENTS`` × ``SERVING_WRITE_RATIOS``;
+    the ``chaos`` point re-runs the busiest mix under seeded wire
+    faults; the ``failover`` point kills the primary mid-run.  The
+    recorded latencies are capability numbers — the gate is the audit
+    (plus proof the hostile points were hostile).
+    """
+    section = {"points": {}, "requests_per_client": SERVING_REQUESTS,
+               "chaos_config": dict(SERVING_CHAOS)}
+    ok = True
+    for clients in SERVING_CLIENTS:
+        for ratio in SERVING_WRITE_RATIOS:
+            name = "c%d_w%d" % (clients, int(ratio * 100))
+            point = _serving_point(clients, ratio, seed)
+            section["points"][name] = point
+            ok = ok and point["audit_ok"]
+            print("serving %s: %.0f req/s, p50 %.0f us, p95 %.0f us, "
+                  "p99 %.0f us, shed %d %s" % (
+                      name, point["throughput_rps"],
+                      point["latency_p50_us"], point["latency_p95_us"],
+                      point["latency_p99_us"], point["shed"],
+                      "ok" if point["audit_ok"] else "AUDIT FAILED"))
+
+    chaos_point = _serving_point(max(SERVING_CLIENTS),
+                                 max(SERVING_WRITE_RATIOS), seed,
+                                 chaos=SERVING_CHAOS)
+    section["points"]["chaos"] = chaos_point
+    hostile = sum(chaos_point.get("chaos", {}).values()) > 0
+    ok = ok and chaos_point["audit_ok"] and hostile
+    print("serving chaos: %.0f req/s, p99 %.0f us, faults %s, "
+          "retries %d %s" % (
+              chaos_point["throughput_rps"],
+              chaos_point["latency_p99_us"],
+              chaos_point.get("chaos", {}),
+              chaos_point["client_retries"],
+              "ok" if chaos_point["audit_ok"] and hostile
+              else "AUDIT FAILED"))
+
+    failover_point = _serving_point(
+        SERVING_FAILOVER_CLIENTS, 0.5, seed,
+        replicas=SERVING_FAILOVER_REPLICAS,
+        failover_at=SERVING_FAILOVER_AT, ryw_ratio=0.5)
+    section["points"]["failover"] = failover_point
+    moved = (failover_point["failover_performed"]
+             and failover_point["client_failovers"] > 0)
+    ok = ok and failover_point["audit_ok"] and moved
+    print("serving failover: %.0f req/s, acked %d lost %d, "
+          "client failovers %d %s" % (
+              failover_point["throughput_rps"],
+              failover_point["acked_writes"],
+              failover_point["acked_writes_lost"],
+              failover_point["client_failovers"],
+              "ok" if failover_point["audit_ok"] and moved
+              else "AUDIT FAILED"))
+
+    section["chaos_was_hostile"] = hostile
+    section["failover_moved_clients"] = moved
+    section["invariants_ok"] = ok
+    return section
+
+
 def _run_suites():
     results = {}
     env = dict(os.environ)
@@ -1015,9 +1141,15 @@ def main(argv=None):
     parser.add_argument("--integrity-out",
                         default=os.path.join(REPO_ROOT,
                                              "BENCH_integrity.json"))
+    parser.add_argument("--serving-out",
+                        default=os.path.join(REPO_ROOT,
+                                             "BENCH_serving.json"))
     parser.add_argument("--integrity-only", action="store_true",
                         help="run only the integrity sweep (the "
                              "integrity-suite CI step's bench half)")
+    parser.add_argument("--serving-only", action="store_true",
+                        help="run only the serving sweep (the "
+                             "serve-suite CI step's bench half)")
     parser.add_argument("--skip-suites", action="store_true",
                         help="skip the pytest benches (ingest sweep only)")
     parser.add_argument("--seed", type=int, default=0,
@@ -1031,6 +1163,25 @@ def main(argv=None):
                      "got %r" % args.sizes)
     if not sizes:
         parser.error("--sizes must name at least one commit count")
+
+    if args.serving_only:
+        serving = _run_serving_bench(args.seed)
+        serving.update({
+            "generated_by": "benchmarks/run_bench.py",
+            "python": sys.version.split()[0],
+            "git_sha": _git_sha(),
+            "seed": args.seed,
+        })
+        with open(args.serving_out, "w") as handle:
+            json.dump(serving, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.serving_out)
+        if not serving["invariants_ok"]:
+            print("FAIL: the serving sweep violated an audited "
+                  "invariant (lost acked write, ryw violation, untyped "
+                  "failure) or a hostile point was not hostile")
+            return 1
+        return 0
 
     if args.integrity_only:
         integrity = _run_integrity(sizes, args.seed)
@@ -1167,6 +1318,19 @@ def main(argv=None):
     print("wrote %s" % args.integrity_out)
     report["integrity"] = integrity
 
+    serving = _run_serving_bench(args.seed)
+    serving.update({
+        "generated_by": "benchmarks/run_bench.py",
+        "python": report["python"],
+        "git_sha": report["git_sha"],
+        "seed": args.seed,
+    })
+    with open(args.serving_out, "w") as handle:
+        json.dump(serving, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.serving_out)
+    report["serving"] = serving
+
     if not args.skip_suites:
         report["suites"] = _run_suites()
         for suite, outcome in report["suites"].items():
@@ -1235,6 +1399,11 @@ def main(argv=None):
         print("FAIL: the chain-head divergence check is not ≥ %.1fx "
               "faster than the full-state digest at n=%d"
               % (INTEGRITY_SPEEDUP, max(sizes)))
+        return 1
+    if not serving["invariants_ok"]:
+        print("FAIL: the serving sweep violated an audited invariant "
+              "(lost acked write, ryw violation, untyped failure) or a "
+              "hostile point was not hostile")
         return 1
     return 0
 

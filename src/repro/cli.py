@@ -609,6 +609,97 @@ def build_repro_parser() -> argparse.ArgumentParser:
                               "(default: temporal)")
     promote.add_argument("--json", action="store_true",
                          help="emit epoch, digest and record count as JSON")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a database over TCP with the s1 wire "
+                      "protocol; SIGTERM drains gracefully")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7583,
+                       help="bind port, 0 for ephemeral (default: 7583)")
+    serve.add_argument("--kind", choices=sorted(_KINDS), default="temporal",
+                       help="database kind for a fresh in-memory database "
+                            "(default: temporal)")
+    serve.add_argument("--dir", default=None, metavar="DIR",
+                       help="recover and serve a durability directory "
+                            "instead of a fresh database")
+    serve.add_argument("--plan", default="auto",
+                       choices=("auto", "naive", "index", "columnar"),
+                       help="TQuel access-path mode (default: auto)")
+    serve.add_argument("--max-active", type=int, default=8, metavar="N",
+                       help="admission slots per tenant (default: 8)")
+    serve.add_argument("--max-queue", type=int, default=16, metavar="N",
+                       help="admission queue per tenant; excess is shed "
+                            "with Overloaded (default: 16)")
+    serve.add_argument("--chunk-rows", type=int, default=64, metavar="N",
+                       help="rows per streamed reply chunk (default: 64)")
+    serve.add_argument("--max-pipeline", type=int, default=8, metavar="N",
+                       help="concurrent requests per connection "
+                            "(default: 8)")
+    serve.add_argument("--idle-timeout", type=float, default=30.0,
+                       metavar="S",
+                       help="close connections idle this long "
+                            "(default: 30)")
+    serve.add_argument("--write-stall", type=float, default=5.0,
+                       metavar="S",
+                       help="abort clients that stall reads this long "
+                            "(default: 5)")
+    serve.add_argument("--drain-grace", type=float, default=5.0,
+                       metavar="S",
+                       help="seconds in-flight work may finish after "
+                            "SIGTERM before typed abort (default: 5)")
+    serve.add_argument("--default-budget-ms", type=float, default=None,
+                       metavar="MS",
+                       help="deadline for requests that name none "
+                            "(default: unbounded)")
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="drive the serving layer with concurrent "
+                        "clients, optional wire chaos and failover; "
+                        "audit zero lost acks and read-your-writes")
+    loadgen.add_argument("--kind", choices=sorted(_KINDS),
+                         default="temporal",
+                         help="database kind behind the server "
+                              "(default: temporal)")
+    loadgen.add_argument("--clients", type=int, default=6, metavar="N",
+                         help="concurrent client connections (default: 6)")
+    loadgen.add_argument("--ops", type=int, default=20, metavar="N",
+                         help="requests per client (default: 20)")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="workload, backoff and chaos seed "
+                              "(default: 0)")
+    loadgen.add_argument("--write-ratio", type=float, default=0.5,
+                         metavar="P",
+                         help="fraction of requests that are writes "
+                              "(default: 0.5)")
+    loadgen.add_argument("--budget-ms", type=float, default=5000.0,
+                         metavar="MS",
+                         help="per-request deadline (default: 5000)")
+    loadgen.add_argument("--tenants", type=int, default=1, metavar="N",
+                         help="spread clients over N admission tenants "
+                              "(default: 1)")
+    loadgen.add_argument("--replicas", type=int, default=0, metavar="N",
+                         help="stream commits to N replicas and route "
+                              "replica/ryw reads (default: 0)")
+    loadgen.add_argument("--failover-at", type=int, default=None,
+                         metavar="N",
+                         help="kill the primary server after N acked "
+                              "writes and promote a replica "
+                              "(needs --replicas >= 1)")
+    loadgen.add_argument("--drop", type=float, default=0.0, metavar="P",
+                         help="wire chaos: per-line drop probability")
+    loadgen.add_argument("--delay", type=float, default=0.0, metavar="P",
+                         help="wire chaos: per-line delay probability")
+    loadgen.add_argument("--split", type=float, default=0.0, metavar="P",
+                         help="wire chaos: partial-write probability")
+    loadgen.add_argument("--corrupt", type=float, default=0.0, metavar="P",
+                         help="wire chaos: byte-flip probability (the CRC "
+                              "framing must catch every one)")
+    loadgen.add_argument("--disconnect", type=float, default=0.0,
+                         metavar="P",
+                         help="wire chaos: mid-line disconnect probability")
+    loadgen.add_argument("--json", action="store_true",
+                         help="emit the full report as JSON")
     return parser
 
 
@@ -1406,12 +1497,107 @@ def _format_stats(stats) -> str:
     return "\n".join(lines)
 
 
+def _repro_serve(args) -> int:
+    """The ``repro serve`` verb: a TCP server with graceful SIGTERM drain."""
+    import asyncio
+    import signal
+    from repro.server import ReproServer, ServerConfig
+    if args.dir is not None:
+        from repro.storage import DurabilityManager
+        database, _ = DurabilityManager(args.dir).recover(
+            _durable_class(args.dir, args.kind))
+    else:
+        database = _KINDS[args.kind]()
+    config = ServerConfig(chunk_rows=args.chunk_rows,
+                          max_pipeline=args.max_pipeline,
+                          idle_timeout=args.idle_timeout,
+                          write_stall_timeout=args.write_stall,
+                          drain_grace=args.drain_grace,
+                          max_active=args.max_active,
+                          max_queue=args.max_queue,
+                          default_budget=(args.default_budget_ms / 1000.0
+                                          if args.default_budget_ms
+                                          else None),
+                          plan=args.plan)
+
+    async def run() -> None:
+        server = ReproServer(database, config)
+        host, port = await server.serve(args.host, args.port)
+        print(f"serving a {database.kind} database on {host}:{port} "
+              f"(s1 protocol); SIGTERM drains", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("draining: no new work, finishing in-flight "
+              f"(grace {config.drain_grace}s)", flush=True)
+        tally = await server.drain()
+        server.shutdown()
+        print(f"drained: {tally['completed']} completed, "
+              f"{tally['aborted']} aborted, "
+              f"{tally['rejected']} rejected")
+
+    asyncio.run(run())
+    return 0
+
+
+def _repro_loadgen(args) -> int:
+    """The ``repro loadgen`` verb: run the serving harness, print the
+    audit, exit 1 when an invariant broke."""
+    from repro.server import ChaosConfig
+    from repro.workload import run_serving
+    chaos = None
+    if any((args.drop, args.delay, args.split, args.corrupt,
+            args.disconnect)):
+        chaos = ChaosConfig(seed=args.seed, drop=args.drop,
+                            delay=args.delay, split=args.split,
+                            corrupt=args.corrupt,
+                            disconnect=args.disconnect)
+    report = run_serving(
+        clients=args.clients, requests=args.ops, seed=args.seed,
+        write_ratio=args.write_ratio, budget_ms=args.budget_ms,
+        chaos=chaos, replicas=args.replicas,
+        failover_at=args.failover_at,
+        tenants=tuple(f"tenant-{i}" for i in range(args.tenants)),
+        kind=_KINDS[args.kind])
+    if args.json:
+        print(json.dumps(report.describe(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    print(f"loadgen: {args.clients} client(s) x {args.ops} request(s) "
+          f"in {report.wall_s:.3f}s")
+    print(f"  succeeded:            {report.succeeded} of "
+          f"{report.attempted}")
+    print(f"  shed / drained:       {report.shed} / {report.drained}")
+    print(f"  deadline exceeded:    {report.deadline_exceeded}")
+    print(f"  transport failures:   {report.transport_failures}")
+    print(f"  client retries:       {report.client_retries} "
+          f"(failovers: {report.client_failovers})")
+    print(f"  acked writes:         {report.acked_writes} "
+          f"(lost: {report.acked_writes_lost}, "
+          f"duplicate acks: {report.duplicate_acks})")
+    print(f"  read-your-writes:     {report.ryw_checks} check(s), "
+          f"{report.ryw_violations} violation(s)")
+    if report.failover_performed:
+        print("  failover:             primary killed mid-run, replica "
+              "promoted")
+    if report.chaos:
+        print("  chaos injected:       " + ", ".join(
+            f"{name}={count}" for name, count in
+            sorted(report.chaos.items())))
+    print(f"  late replies suppressed: "
+          f"{report.server.get('late_suppressed', 0)}")
+    print("  audit: " + ("OK" if report.ok else "FAILED"))
+    return 0 if report.ok else 1
+
+
 def repro_main(argv: Optional[list] = None) -> int:
     """Entry point for the ``repro`` console script."""
     args = build_repro_parser().parse_args(argv)
     if args.subcommand in ("recover", "checkpoint", "stress", "digest",
                            "audit", "scrub", "replicate", "promote",
-                           "shard-stress", "health", "bench-diff", "cache"):
+                           "shard-stress", "health", "bench-diff", "cache",
+                           "serve", "loadgen"):
         try:
             handler = {"recover": _repro_recover,
                        "checkpoint": _repro_checkpoint,
@@ -1424,7 +1610,9 @@ def repro_main(argv: Optional[list] = None) -> int:
                        "shard-stress": _repro_shard_stress,
                        "health": _repro_health,
                        "bench-diff": _repro_bench_diff,
-                       "cache": _repro_cache}[args.subcommand]
+                       "cache": _repro_cache,
+                       "serve": _repro_serve,
+                       "loadgen": _repro_loadgen}[args.subcommand]
             return handler(args)
         except (ReproError, OSError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)

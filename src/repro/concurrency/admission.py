@@ -64,7 +64,8 @@ class AdmissionController:
 
     def __init__(self, max_active: int = 8, max_queue: int = 16,
                  retry_after: float = 0.05,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 scope: Optional[str] = None) -> None:
         if max_active < 1:
             raise ValueError("max_active must be at least 1")
         if max_queue < 0:
@@ -73,9 +74,26 @@ class AdmissionController:
         self.max_queue = max_queue
         self.retry_after = retry_after
         self._clock = clock
+        #: Optional obs namespace: a scoped controller reports into
+        #: ``admission.<scope>.*`` *in addition to* the global
+        #: ``admission.*`` instruments, so a server with one controller
+        #: per tenant can export shed/queue-depth per tenant while the
+        #: process-wide view still aggregates (docs/SERVING.md).
+        self.scope = scope
         self._condition = threading.Condition()
         self._active = 0
         self._waiting = 0
+
+    def _bump(self, name: str, metrics, value: Optional[float] = None) -> None:
+        """Counter inc (value None) or gauge set, global + scoped."""
+        names = [f"admission.{name}"]
+        if self.scope is not None:
+            names.append(f"admission.{self.scope}.{name}")
+        for metric in names:
+            if value is None:
+                metrics.counter(metric).inc()
+            else:
+                metrics.gauge(metric).set(value)
 
     # -- introspection ---------------------------------------------------------
 
@@ -107,14 +125,22 @@ class AdmissionController:
                     "deadline already passed at admission")
             if self._active >= self.max_active:
                 if self._waiting >= self.max_queue:
-                    metrics.counter("admission.shed").inc()
                     hint = self.retry_after * (self._waiting + self._active)
+                    # The shed path reports everything the error carries
+                    # through obs too, so dashboards and the error agree:
+                    # the shed count, the depth that caused it, and the
+                    # back-pressure hint handed out.
+                    self._bump("shed", metrics)
+                    self._bump("queue_depth", metrics, self._waiting)
+                    metrics.histogram(
+                        "admission.retry_after_seconds").observe(hint)
                     raise Overloaded(
                         f"admission queue is full ({self._active} active, "
                         f"{self._waiting} queued); retry in ~{hint:.3f}s",
-                        retry_after=hint)
+                        retry_after=hint, queued=self._waiting,
+                        active=self._active)
                 self._waiting += 1
-                metrics.gauge("admission.queue_depth").set(self._waiting)
+                self._bump("queue_depth", metrics, self._waiting)
                 try:
                     # Deadline before capacity: a woken waiter whose
                     # deadline has passed must never take the slot.
@@ -131,16 +157,16 @@ class AdmissionController:
                         self._condition.wait(remaining)
                 finally:
                     self._waiting -= 1
-                    metrics.gauge("admission.queue_depth").set(self._waiting)
+                    self._bump("queue_depth", metrics, self._waiting)
             self._active += 1
-            metrics.counter("admission.admitted").inc()
-            metrics.gauge("admission.active").set(self._active)
+            self._bump("admitted", metrics)
+            self._bump("active", metrics, self._active)
         return _Slot(self)
 
     def _release(self) -> None:
         with self._condition:
             self._active -= 1
-            _obs.current().metrics.gauge("admission.active").set(self._active)
+            self._bump("active", _obs.current().metrics, self._active)
             # notify_all, not notify: a single wakeup can land on a waiter
             # that is abandoning the wait (deadline expired), which raises
             # and leaves without passing the wakeup on — stranding the

@@ -155,13 +155,22 @@ class Overloaded(ConcurrencyError):
     with ``retry_after`` (seconds) as a back-pressure hint, instead of
     wedging the process behind an unbounded queue.  Retryable: capacity
     frees up as in-flight transactions commit.
+
+    ``queued`` and ``active`` report the controller's depth at the
+    moment of the shed, so the error itself carries the overload
+    evidence — the serving layer forwards both on the wire and exports
+    them per tenant (docs/SERVING.md).
     """
 
     retryable = True
 
     def __init__(self, message: str,
-                 retry_after: "float | None" = None) -> None:
+                 retry_after: "float | None" = None,
+                 queued: "int | None" = None,
+                 active: "int | None" = None) -> None:
         self.retry_after = retry_after
+        self.queued = queued
+        self.active = active
         super().__init__(message)
 
 
@@ -338,3 +347,57 @@ class CheckpointError(StorageError):
     older checkpoint or a full journal replay); this error surfaces only
     when a checkpoint is read directly.
     """
+
+
+# ---------------------------------------------------------------------------
+# Serving (the network layer)
+# ---------------------------------------------------------------------------
+
+class ServingError(ReproError):
+    """Base class for the network serving layer (docs/SERVING.md)."""
+
+
+class ProtocolError(ServingError):
+    """A wire frame violated the serving protocol.
+
+    Truncated frames, oversized length prefixes, garbage bytes, frames
+    whose payload is not a well-formed request — all of them land here
+    as a *typed* reply so a misbehaving peer learns exactly what it
+    sent, while the connection (and every other client) keeps working.
+    Not retryable: resending the same malformed bytes cannot succeed.
+    """
+
+
+class DrainingError(ServingError):
+    """The server is draining: it no longer accepts this request.
+
+    Graceful shutdown's typed refusal — new requests get this instead
+    of a hang or a reset, and in-flight requests aborted at the drain
+    deadline get it too.  Retryable by definition: another endpoint (or
+    the same one after restart) can serve the identical request, which
+    is exactly what the client's failover path does.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str,
+                 retry_after: "float | None" = None) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class RemoteError(ReproError):
+    """An error type the client could not map back to a local class.
+
+    The serving protocol round-trips every :class:`ReproError` subclass
+    by name; a server newer than the client may name a type the client
+    does not know.  The triage bit still travels — ``retryable`` is an
+    *instance* attribute here, taken from the wire — so retry logic
+    keeps working even for unknown errors.
+    """
+
+    def __init__(self, message: str, type_name: str = "ReproError",
+                 retryable: bool = False) -> None:
+        self.type_name = type_name
+        self.retryable = retryable
+        super().__init__(message)

@@ -48,6 +48,13 @@ EVENT_KINDS = (
     "integrity.repair",   # a damaged suffix was re-fetched {records, path}
     "integrity.degraded",  # a node limited itself to its verified prefix
     "integrity.healed",   # a degraded node converged with its source
+    "server.request",     # the server accepted a request {conn, id, klass}
+    "server.reply",       # the final reply frame was sent {conn, id, status}
+    "server.shed",        # admission refused a request {tenant, retry_after,
+                          #   queued, active}
+    "server.error",       # a request failed with a typed error {error}
+    "server.slow_client",  # a stalled connection was aborted {conn}
+    "server.drain",       # the drain state machine moved {phase, in_flight}
 )
 
 _KIND_SET = frozenset(EVENT_KINDS)

@@ -81,8 +81,14 @@ DIRECTION_RULES: Tuple[Tuple[str, str], ...] = (
     (r"\bper_query_us$", "lower"),
     (r"\boverhead_ratio$", "lower"),
     (r"\bflatness_ratio$", "lower"),
+    # Of the latency percentiles the workload reports carry, only the
+    # median is directional: tail percentiles (p95/p99) on a shared CI
+    # runner are scheduler noise, not capability, and would flap any
+    # tolerance tight enough to mean something.
+    (r"\blatency_p50_us$", "lower"),
     (r"\bops_per_sec$", "higher"),
     (r"\bthroughput_tps$", "higher"),
+    (r"\bthroughput_rps$", "higher"),
     (r"\bspeedup$", "higher"),
 )
 

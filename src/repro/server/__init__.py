@@ -1,0 +1,35 @@
+"""The network serving layer: an asyncio server over the temporal engine.
+
+The library becomes a service here.  :mod:`repro.server.protocol`
+defines the CRC-framed request/response wire format (the same framing
+armor the journal and the replication stream wear) and the typed
+error mapping that round-trips every :class:`~repro.errors.ReproError`
+subclass; :mod:`repro.server.server` is the asyncio socket server with
+the robustness contract of docs/SERVING.md — per-request deadlines
+enforced at the socket, per-tenant admission with typed overload
+replies, write-buffer backpressure against slow clients, idle
+timeouts, and graceful drain; :mod:`repro.server.chaos` is the
+fault-injectable in-process duplex pipe the chaos harness and the
+loadgen drive connections through.
+"""
+
+from repro.server.chaos import ChaosConfig, MemoryPipe, open_pipe
+from repro.server.protocol import (SERVING_TAG, decode_error, decode_message,
+                                   encode_error, encode_message,
+                                   error_reply, parse_request)
+from repro.server.server import ReproServer, ServerConfig
+
+__all__ = [
+    "ChaosConfig",
+    "MemoryPipe",
+    "ReproServer",
+    "SERVING_TAG",
+    "ServerConfig",
+    "decode_error",
+    "decode_message",
+    "encode_error",
+    "encode_message",
+    "error_reply",
+    "open_pipe",
+    "parse_request",
+]

@@ -129,12 +129,16 @@ def parse_frame(line: str, tag: str = JOURNAL_TAG) -> Dict[str, Any]:
                              FrameDamage.TORN)
         raise FrameError(f"malformed frame prefix {line[:32]!r}",
                          FrameDamage.CORRUPT)
-    try:
-        length = int(parts[1])
-        checksum = int(parts[2], 16)
-    except ValueError as exc:
+    # The header format is canonical — decimal length, exactly eight
+    # lowercase hex checksum digits (what ``frame`` emits).  Lax parsing
+    # here would let a flipped case bit in the checksum field (``a`` ->
+    # ``A``) alias to the same value and mask real corruption.
+    if not parts[1].isdigit() or len(parts[2]) != 8 or any(
+            c not in "0123456789abcdef" for c in parts[2]):
         raise FrameError(f"malformed frame prefix {line[:32]!r}",
-                         FrameDamage.CORRUPT) from exc
+                         FrameDamage.CORRUPT)
+    length = int(parts[1])
+    checksum = int(parts[2], 16)
     payload = parts[3]
     data = payload.encode("utf-8")
     if len(data) < length:

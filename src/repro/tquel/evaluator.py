@@ -515,7 +515,7 @@ class Evaluator:
         kernel — so error behavior (an untypable comparison, say) is
         identical row for row.
         """
-        cache = self._db.columnar_cache
+        cache = getattr(self._db, "columnar_cache", None)
         if cache is None:
             return None
         chunk = cache.chunk(relation)
@@ -614,7 +614,8 @@ class Evaluator:
                       and when_spec.variable == variable
                       and plan.path == "columnar")
                   else None)
-        cache = self._db.result_cache if self._plan == "auto" else None
+        cache = (getattr(self._db, "result_cache", None)
+                 if self._plan == "auto" else None)
         if cache is not None and kernel is not None and kernel.clock_dependent:
             cache = None  # the clock can move without a commit
         key = None

@@ -45,9 +45,14 @@ class Session:
     everywhere (the shell exposes this as ``.plan``).
     """
 
-    def __init__(self, database: Database, plan: str = "auto") -> None:
+    def __init__(self, database: Database, plan: str = "auto",
+                 ranges: Optional[Dict[str, str]] = None) -> None:
         self._db = database
-        self._ranges: Dict[str, str] = {}
+        #: *ranges* seeds the range-variable environment — the serving
+        #: layer keeps bindings per connection and rebuilds a Session
+        #: per request (possibly against a replica's database), so the
+        #: bindings must be injectable rather than only accreted.
+        self._ranges: Dict[str, str] = dict(ranges) if ranges else {}
         self.plan = plan
 
     @property

@@ -125,9 +125,15 @@ class AccessPlan(NamedTuple):
 
 
 def profile(database: Database, relation: str) -> RelationProfile:
-    """Collect the per-relation stats for *relation* in *database*."""
-    columnar = database.columnar_cache
-    indexed = database.index_cache is not None
+    """Collect the per-relation stats for *relation* in *database*.
+
+    Databases that lack the per-relation caches entirely — the sharded
+    store's merged-read facade serves the TQuel surface but keeps its
+    caches per shard — profile as cache-less, so the planner degrades
+    to the naive scan instead of refusing to plan.
+    """
+    columnar = getattr(database, "columnar_cache", None)
+    indexed = getattr(database, "index_cache", None) is not None
     if isinstance(database, TemporalDatabase):
         value = database.temporal(relation)
         open_rows = len(value._open) + len(value._open_extra)

@@ -30,6 +30,7 @@ from repro.workload.generators import (
     FacultyWorkload, PayrollWorkload, VersionWorkload, WorkloadStep,
     apply_workload,
 )
+from repro.workload.serve import ServingReport, run_serving
 from repro.workload.sharded import ShardedStressReport, run_sharded
 from repro.workload.stress import (ReplicatedReport, StressReport,
                                    run_replicated, run_stress)
@@ -38,12 +39,14 @@ __all__ = [
     "FacultyWorkload",
     "PayrollWorkload",
     "ReplicatedReport",
+    "ServingReport",
     "ShardedStressReport",
     "StressReport",
     "VersionWorkload",
     "WorkloadStep",
     "apply_workload",
     "run_replicated",
+    "run_serving",
     "run_sharded",
     "run_stress",
 ]

@@ -1,0 +1,1 @@
+"""Serving-layer test suite (wire protocol, server, client, chaos)."""
